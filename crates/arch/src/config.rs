@@ -1,0 +1,149 @@
+//! Sunder machine configuration (paper, Sections 5 and 7.1).
+
+use sunder_transform::Rate;
+
+/// Bits in one subarray row (and states per processing unit).
+pub const ROW_BITS: usize = 256;
+/// Rows in one subarray.
+pub const SUBARRAY_ROWS: usize = 256;
+/// Rows summarized per batch by the column-wise NOR (Section 7.5).
+pub const SUMMARIZE_BATCH_ROWS: usize = 16;
+
+/// Configuration of a Sunder device.
+///
+/// Defaults follow the paper's parameter selection (Section 7.1): 12
+/// report-capable columns per subarray (3.9% × 256 ≈ 10, rounded up),
+/// 20 metadata bits (a cycle counter covering the 1 MB input), and the
+/// 16-bit (4-nibble) processing rate used in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SunderConfig {
+    /// Processing rate (nibbles per cycle).
+    pub rate: Rate,
+    /// Report-capable columns per subarray (`m` in the paper).
+    pub report_columns: usize,
+    /// Metadata bits per report entry (`n`): the global cycle counter.
+    pub metadata_bits: usize,
+    /// Enable the FIFO drain strategy (Section 5.1.2): the host reads the
+    /// reporting region continuously through Port 1 during execution.
+    pub fifo: bool,
+    /// FIFO: machine cycles between host row reads (one row = one batch of
+    /// entries). 8 sustains one entry per cycle at 8 entries/row.
+    pub drain_period_cycles: u32,
+    /// Without FIFO: stall cycles per region row during a flush. The
+    /// on-chip burst drain reads one row per cycle (cf. EXPERIMENTS.md for
+    /// the calibration discussion).
+    pub flush_cycles_per_row: u32,
+}
+
+impl SunderConfig {
+    /// The paper's evaluated configuration at a given rate.
+    pub fn with_rate(rate: Rate) -> Self {
+        SunderConfig {
+            rate,
+            report_columns: 12,
+            metadata_bits: 20,
+            fifo: false,
+            drain_period_cycles: 8,
+            flush_cycles_per_row: 1,
+        }
+    }
+
+    /// Enables or disables the FIFO strategy (chainable).
+    pub fn fifo(mut self, on: bool) -> Self {
+        self.fifo = on;
+        self
+    }
+
+    /// Rows used for state matching (16 per nibble).
+    pub fn matching_rows(&self) -> usize {
+        self.rate.matching_rows()
+    }
+
+    /// Rows available for the reporting region.
+    pub fn report_rows(&self) -> usize {
+        SUBARRAY_ROWS - self.matching_rows()
+    }
+
+    /// Bits per report entry (`m + n`).
+    pub fn entry_bits(&self) -> usize {
+        self.report_columns + self.metadata_bits
+    }
+
+    /// Report entries stored per region row.
+    pub fn entries_per_row(&self) -> usize {
+        ROW_BITS / self.entry_bits()
+    }
+
+    /// Total report entries a region can hold before overflowing.
+    pub fn region_capacity(&self) -> usize {
+        self.report_rows() * self.entries_per_row()
+    }
+
+    /// Local-counter width from the paper's Equation 1:
+    /// `⌈log₂ #ReportRows⌉ + ⌈log₂ (256 / (m + n))⌉`.
+    pub fn local_counter_bits(&self) -> u32 {
+        ceil_log2(self.report_rows()) + ceil_log2(ROW_BITS / self.entry_bits())
+    }
+
+    /// Stall cycles for one full-region flush (no FIFO).
+    pub fn flush_stall_cycles(&self) -> u64 {
+        self.report_rows() as u64 * u64::from(self.flush_cycles_per_row)
+    }
+}
+
+impl Default for SunderConfig {
+    fn default() -> Self {
+        SunderConfig::with_rate(Rate::Nibble4)
+    }
+}
+
+fn ceil_log2(v: usize) -> u32 {
+    assert!(v > 0, "log2 of zero");
+    usize::BITS - (v - 1).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_at_16_bit() {
+        let c = SunderConfig::with_rate(Rate::Nibble4);
+        assert_eq!(c.matching_rows(), 64);
+        assert_eq!(c.report_rows(), 192);
+        assert_eq!(c.entry_bits(), 32);
+        assert_eq!(c.entries_per_row(), 8);
+        assert_eq!(c.region_capacity(), 1536);
+        assert_eq!(c.flush_stall_cycles(), 192);
+    }
+
+    #[test]
+    fn four_bit_rate_keeps_60kb_for_reports() {
+        // Paper, Section 5.1: "up to 60Kb reporting data".
+        let c = SunderConfig::with_rate(Rate::Nibble1);
+        assert_eq!(c.report_rows(), 240);
+        assert_eq!(c.report_rows() * ROW_BITS, 61_440); // 60 Kib
+    }
+
+    #[test]
+    fn local_counter_matches_equation1() {
+        // 16-bit rate: ⌈log 192⌉ = 8, ⌈log (256/32)⌉ = 3.
+        let c = SunderConfig::with_rate(Rate::Nibble4);
+        assert_eq!(c.local_counter_bits(), 11);
+    }
+
+    #[test]
+    fn ceil_log2_edges() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(256), 8);
+    }
+
+    #[test]
+    fn builder_style_fifo() {
+        let c = SunderConfig::default().fifo(true);
+        assert!(c.fifo);
+        assert_eq!(c.rate, Rate::Nibble4);
+    }
+}

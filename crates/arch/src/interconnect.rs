@@ -1,0 +1,191 @@
+//! Global-switch resource accounting (paper, Figures 4 and 7).
+//!
+//! Within a processing unit, the local full-crossbar (one 8T 256×256
+//! subarray) connects every pair of resident states. Automata spanning
+//! PUs ride *global memory-mapped switches*: the paper gangs four PUs
+//! (1024 states) per switch group, with the global switch itself realized
+//! as 8T subarrays providing the same wired-NOR OR-reduction.
+//!
+//! The machine model applies cross-PU signals functionally; this module
+//! accounts for the *resources* that wiring consumes: how many switch
+//! groups a placement needs, how many switch columns each uses, and the
+//! utilization that feeds the area model.
+
+use std::collections::HashMap;
+
+use sunder_automata::Nfa;
+
+use crate::placement::Placement;
+
+/// PUs ganged per global switch group (4 × 256 = 1024 states).
+pub const PUS_PER_GROUP: usize = 4;
+/// Signal columns available in one global switch subarray.
+pub const SWITCH_COLUMNS: usize = 256;
+
+/// Resource usage of the global interconnect for one placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterconnectUsage {
+    /// Switch groups (one per 4 consecutive PUs with any cross traffic).
+    pub groups: usize,
+    /// Distinct source signals routed through each group, in group order.
+    pub group_signals: Vec<usize>,
+    /// Cross-PU edges that stay within a 4-PU group.
+    pub intra_group_edges: usize,
+    /// Cross-PU edges that leave their source's group (these need the
+    /// second-level, inter-group routing the paper's hierarchical design
+    /// implies for automata beyond 1024 states).
+    pub inter_group_edges: usize,
+    /// Groups whose signal demand exceeds one switch subarray's columns.
+    pub oversubscribed_groups: usize,
+}
+
+impl InterconnectUsage {
+    /// Computes usage for a placed automaton.
+    pub fn of(nfa: &Nfa, placement: &Placement) -> Self {
+        let group_of = |pu: u32| pu as usize / PUS_PER_GROUP;
+        // Distinct (source PU, source column) signals entering each group.
+        let mut signals: HashMap<usize, Vec<(u32, u8)>> = HashMap::new();
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for (id, _) in nfa.states() {
+            let from = placement.locations[id.index()];
+            for &t in nfa.successors(id) {
+                let to = placement.locations[t.index()];
+                if from.pu == to.pu {
+                    continue;
+                }
+                if group_of(from.pu) == group_of(to.pu) {
+                    intra += 1;
+                } else {
+                    inter += 1;
+                }
+                signals
+                    .entry(group_of(to.pu))
+                    .or_default()
+                    .push((from.pu, from.col));
+            }
+        }
+        let mut groups: Vec<usize> = signals.keys().copied().collect();
+        groups.sort_unstable();
+        let mut group_signals = Vec::with_capacity(groups.len());
+        let mut oversubscribed = 0;
+        for g in &groups {
+            let mut sig = signals.remove(g).expect("listed group");
+            sig.sort_unstable();
+            sig.dedup();
+            if sig.len() > SWITCH_COLUMNS {
+                oversubscribed += 1;
+            }
+            group_signals.push(sig.len());
+        }
+        InterconnectUsage {
+            groups: groups.len(),
+            group_signals,
+            intra_group_edges: intra,
+            inter_group_edges: inter,
+            oversubscribed_groups: oversubscribed,
+        }
+    }
+
+    /// Switch subarrays needed (each serves up to 256 signal columns).
+    pub fn switch_subarrays(&self) -> usize {
+        self.group_signals
+            .iter()
+            .map(|&s| s.div_ceil(SWITCH_COLUMNS))
+            .sum()
+    }
+
+    /// Mean fraction of switch columns used across groups.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.group_signals.is_empty() {
+            return 0.0;
+        }
+        let used: usize = self.group_signals.iter().sum();
+        used as f64 / (self.switch_subarrays().max(1) * SWITCH_COLUMNS) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SunderConfig;
+    use crate::placement::place;
+    use sunder_automata::{Nfa, StartKind, StateId, Ste, SymbolSet};
+    use sunder_transform::Rate;
+
+    fn chain(n: u32, reports_every: u32) -> Nfa {
+        let mut nfa = Nfa::new(4);
+        let mut prev: Option<StateId> = None;
+        for i in 0..n {
+            let mut ste = Ste::new(SymbolSet::singleton(4, (i % 16) as u16));
+            if i == 0 {
+                ste = ste.start(StartKind::AllInput);
+            }
+            if i % reports_every == reports_every - 1 {
+                ste = ste.report(i);
+            }
+            let id = nfa.add_state(ste);
+            if let Some(p) = prev {
+                nfa.add_edge(p, id);
+            }
+            prev = Some(id);
+        }
+        nfa
+    }
+
+    #[test]
+    fn single_pu_needs_no_switches() {
+        let nfa = chain(50, 50);
+        let placement = place(&nfa, &SunderConfig::with_rate(Rate::Nibble1)).unwrap();
+        let usage = InterconnectUsage::of(&nfa, &placement);
+        assert_eq!(usage.groups, 0);
+        assert_eq!(usage.switch_subarrays(), 0);
+        assert_eq!(usage.mean_utilization(), 0.0);
+    }
+
+    #[test]
+    fn split_chain_uses_one_group() {
+        // 600 states split across ≥3 PUs, all within the first 4-PU group.
+        let nfa = chain(600, 600);
+        let placement = place(&nfa, &SunderConfig::with_rate(Rate::Nibble1)).unwrap();
+        let usage = InterconnectUsage::of(&nfa, &placement);
+        assert!(usage.groups >= 1);
+        assert_eq!(usage.inter_group_edges, 0, "600 states fit one group");
+        assert!(usage.intra_group_edges >= 2);
+        assert_eq!(usage.oversubscribed_groups, 0);
+        assert!(usage.mean_utilization() > 0.0);
+    }
+
+    #[test]
+    fn huge_component_crosses_groups() {
+        // 2000 states need ≥8 PUs = 2 groups; the cut edges between them
+        // are inter-group.
+        let nfa = chain(2000, 2000);
+        let placement = place(&nfa, &SunderConfig::with_rate(Rate::Nibble1)).unwrap();
+        let usage = InterconnectUsage::of(&nfa, &placement);
+        assert!(usage.inter_group_edges >= 1, "{usage:?}");
+    }
+
+    #[test]
+    fn report_heavy_split_counts_signals() {
+        // Many report states force a split by the m = 12 budget even for a
+        // small chain; the trigger fan-out becomes switch signals.
+        let mut nfa = Nfa::new(4);
+        let t = nfa.add_state(
+            Ste::new(SymbolSet::singleton(4, 1)).start(StartKind::AllInput),
+        );
+        for i in 0..40 {
+            let r = nfa.add_state(Ste::new(SymbolSet::full(4)).report(i));
+            nfa.add_edge(t, r);
+        }
+        let placement = place(&nfa, &SunderConfig::with_rate(Rate::Nibble1)).unwrap();
+        assert!(placement.pus.len() >= 4);
+        let usage = InterconnectUsage::of(&nfa, &placement);
+        // One source state (t) broadcasts into several PUs: the distinct
+        // signal count per group stays 1 per target group.
+        assert!(usage.groups >= 1);
+        for &s in &usage.group_signals {
+            assert!(s >= 1);
+        }
+    }
+}

@@ -1,0 +1,518 @@
+//! The cycle-level Sunder machine (paper, Figure 4).
+//!
+//! A machine owns one processing unit per placed subarray. Each cycle it
+//! consumes one symbol vector and, for every PU that could do work:
+//!
+//! 1. **state matching** — one row per nibble group is activated through
+//!    the right-side 4:16 decoders; the wired-NOR on Port 2 senses the
+//!    bitwise AND of the activated rows (the *match vector*);
+//! 2. **state transition** — the active-state vector drives the local
+//!    full-crossbar rows (OR of successor rows) and the global switches
+//!    for cross-PU edges, producing the next cycle's *potential next
+//!    states*;
+//! 3. **reporting** — active report columns are OR-reduced; if any fired,
+//!    an `(m-bit vector, n-bit cycle)` entry is written into the PU's
+//!    in-place reporting region through Port 1, concurrently with matching
+//!    (dual-port 8T cells), so reporting itself costs no cycles — only
+//!    region overflow stalls the machine.
+//!
+//! Work is activity-gated: a PU is only evaluated when it has potential
+//! next states, receives a global signal, or hosts a start state that
+//! could match the current vector (indexed by the first non-don't-care
+//! vector position). This makes megabyte-scale runs tractable without
+//! changing any visible behavior.
+
+use sunder_automata::input::InputView;
+use sunder_automata::{Nfa, ReportInfo, StartKind, StateId};
+use sunder_sim::{ReportEvent, ReportSink};
+
+use crate::config::{SunderConfig, ROW_BITS};
+use crate::placement::{place, Placement, PlacementError};
+use crate::reporting::{ReportEntry, ReportRegion, WriteOutcome};
+use crate::stats::RunStats;
+use crate::subarray::{rowops, Row, Subarray, ZERO_ROW};
+
+/// One processing unit: subarray + interconnect + reporting region.
+#[derive(Debug, Clone)]
+struct Pu {
+    subarray: Subarray,
+    /// Per nibble group: columns whose charset at that position is full
+    /// (don't-care), used to mask the final partial vector.
+    full_masks: Vec<Row>,
+    /// Local full-crossbar: row per source column, bits = successor columns.
+    crossbar: Vec<Row>,
+    allinput_start: Row,
+    sod_start: Row,
+    report_mask: Row,
+    /// Cross-PU successors: (local column, target PU, target column).
+    cross_out: Vec<(u8, u32, u8)>,
+    /// Potential next states for the coming cycle (local + global in).
+    enabled_next: Row,
+    region: ReportRegion,
+    /// Column → automaton state (for report readback and verification).
+    col_state: Vec<Option<StateId>>,
+    /// Column → report descriptors.
+    col_reports: Vec<Vec<ReportInfo>>,
+}
+
+/// The Sunder device model.
+#[derive(Debug)]
+pub struct SunderMachine {
+    config: SunderConfig,
+    stride: usize,
+    start_period: u64,
+    pus: Vec<Pu>,
+    /// `start_wake[j][nibble]` → PUs hosting a start state whose first
+    /// non-full charset position is `j` and accepts `nibble`.
+    start_wake: Vec<[Vec<u32>; 16]>,
+    /// PUs hosting a start state with all-don't-care charsets.
+    always_wake: Vec<u32>,
+    /// PUs with pending potential-next-state bits.
+    pending: Vec<u32>,
+    stamp: Vec<u64>,
+    generation: u64,
+    cycle: u64,
+    /// Input cycle of the most recent flush episode: every region filling
+    /// in the same cycle drains in parallel through its own Port 1, so
+    /// simultaneous fills share a single stall.
+    last_flush_cycle: Option<u64>,
+    stats: RunStats,
+    placement_summary: PlacementSummary,
+    report_batch: Vec<ReportEvent>,
+    cross_buf: Vec<(u32, u8)>,
+    fifo_dirty: Vec<u32>,
+}
+
+/// Summary of how the automaton was placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementSummary {
+    /// Number of processing units used.
+    pub pus: usize,
+    /// Transitions riding the global switches.
+    pub cross_pu_edges: usize,
+    /// Largest PU span of a single component.
+    pub max_pus_per_component: usize,
+}
+
+impl SunderMachine {
+    /// Places and configures `nfa` (a nibble automaton at the config's
+    /// stride) onto a fresh machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlacementError`] if the automaton cannot be placed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the automaton's symbol width is not 4 bits or its stride
+    /// does not match the configured rate — run it through
+    /// [`sunder_transform::transform_to_rate`] first.
+    pub fn new(nfa: &Nfa, config: SunderConfig) -> Result<Self, PlacementError> {
+        assert_eq!(nfa.symbol_bits(), 4, "machine executes nibble automata");
+        assert_eq!(
+            nfa.stride(),
+            config.rate.nibbles_per_cycle(),
+            "automaton stride must match the configured rate"
+        );
+        let placement = place(nfa, &config)?;
+        Ok(Self::with_placement(nfa, config, &placement))
+    }
+
+    /// Builds the machine from an explicit placement.
+    fn with_placement(nfa: &Nfa, config: SunderConfig, placement: &Placement) -> Self {
+        let stride = nfa.stride();
+        let m = config.report_columns;
+        let mut pus: Vec<Pu> = (0..placement.pus.len())
+            .map(|_| Pu {
+                subarray: Subarray::new(),
+                full_masks: vec![ZERO_ROW; stride],
+                crossbar: vec![ZERO_ROW; ROW_BITS],
+                allinput_start: ZERO_ROW,
+                sod_start: ZERO_ROW,
+                report_mask: ZERO_ROW,
+                cross_out: Vec::new(),
+                enabled_next: ZERO_ROW,
+                region: ReportRegion::new(&config),
+                col_state: vec![None; ROW_BITS],
+                col_reports: vec![Vec::new(); ROW_BITS],
+            })
+            .collect();
+
+        let mut start_wake: Vec<[Vec<u32>; 16]> =
+            (0..stride).map(|_| std::array::from_fn(|_| Vec::new())).collect();
+        let mut always_wake: Vec<u32> = Vec::new();
+
+        for (pi, plan) in placement.pus.iter().enumerate() {
+            for &(col, state) in &plan.columns {
+                let ste = nfa.state(state);
+                let pu = &mut pus[pi];
+                let col_us = col as usize;
+                pu.col_state[col_us] = Some(state);
+                // Matching rows: one-hot nibble encoding per group.
+                for (j, cs) in ste.charsets().iter().enumerate() {
+                    for v in cs.iter() {
+                        pu.subarray.set_bit(16 * j + v as usize, col_us, true);
+                    }
+                    if cs.is_full() {
+                        rowops::set(&mut pu.full_masks[j], col_us);
+                    }
+                }
+                match ste.start_kind() {
+                    StartKind::AllInput => rowops::set(&mut pu.allinput_start, col_us),
+                    StartKind::StartOfData => rowops::set(&mut pu.sod_start, col_us),
+                    StartKind::None => {}
+                }
+                if ste.is_reporting() {
+                    debug_assert!(col_us >= ROW_BITS - m, "report state outside report columns");
+                    rowops::set(&mut pu.report_mask, col_us);
+                    pu.col_reports[col_us] = ste.reports().to_vec();
+                }
+                // Wake index for start states.
+                if ste.start_kind().is_start() {
+                    match ste.charsets().iter().position(|c| !c.is_full()) {
+                        Some(j) => {
+                            for v in ste.charsets()[j].iter() {
+                                let bucket = &mut start_wake[j][v as usize];
+                                if bucket.last() != Some(&(pi as u32)) {
+                                    bucket.push(pi as u32);
+                                }
+                            }
+                        }
+                        None => {
+                            if always_wake.last() != Some(&(pi as u32)) {
+                                always_wake.push(pi as u32);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Edges: local crossbar rows and cross-PU lists.
+        for (id, _) in nfa.states() {
+            let from = placement.locations[id.index()];
+            for &t in nfa.successors(id) {
+                let to = placement.locations[t.index()];
+                if from.pu == to.pu {
+                    rowops::set(
+                        &mut pus[from.pu as usize].crossbar[from.col as usize],
+                        to.col as usize,
+                    );
+                } else {
+                    pus[from.pu as usize]
+                        .cross_out
+                        .push((from.col, to.pu, to.col));
+                }
+            }
+        }
+        for pu in &mut pus {
+            pu.cross_out.sort_unstable();
+        }
+        // Deduplicate wake buckets (several states in one PU may share one).
+        for buckets in &mut start_wake {
+            for b in buckets.iter_mut() {
+                b.sort_unstable();
+                b.dedup();
+            }
+        }
+        always_wake.sort_unstable();
+        always_wake.dedup();
+
+        let n_pus = pus.len();
+        SunderMachine {
+            config,
+            stride,
+            start_period: u64::from(nfa.start_period()),
+            pus,
+            start_wake,
+            always_wake,
+            pending: Vec::new(),
+            stamp: vec![0; n_pus],
+            generation: 0,
+            cycle: 0,
+            last_flush_cycle: None,
+            stats: RunStats::default(),
+            placement_summary: PlacementSummary {
+                pus: n_pus,
+                cross_pu_edges: placement.cross_pu_edges,
+                max_pus_per_component: placement.max_pus_per_component,
+            },
+            report_batch: Vec::new(),
+            cross_buf: Vec::new(),
+            fifo_dirty: Vec::new(),
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &SunderConfig {
+        &self.config
+    }
+
+    /// How the automaton was placed.
+    pub fn placement_summary(&self) -> PlacementSummary {
+        self.placement_summary
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Runs a whole input stream, delivering reports to `sink`.
+    ///
+    /// The input view's stride must match the machine's rate.
+    pub fn run<S: ReportSink>(&mut self, input: &InputView, sink: &mut S) -> RunStats {
+        assert_eq!(input.stride(), self.stride, "input stride mismatch");
+        for v in input.iter() {
+            self.step(&v.symbols, v.valid, sink);
+        }
+        self.stats
+    }
+
+    /// Executes one machine cycle.
+    pub fn step<S: ReportSink>(&mut self, vector: &[u16], valid: usize, sink: &mut S) {
+        debug_assert_eq!(vector.len(), self.stride);
+        self.generation += 1;
+        let gen = self.generation;
+
+        // Candidate PUs: pending potential-next-states + start wakes.
+        let mut candidates = std::mem::take(&mut self.pending);
+        for &pu in &candidates {
+            self.stamp[pu as usize] = gen;
+        }
+        let aligned = self.cycle % self.start_period == 0;
+        if aligned || self.cycle == 0 {
+            for j in 0..valid.min(self.stride) {
+                for &pu in &self.start_wake[j][vector[j] as usize] {
+                    if self.stamp[pu as usize] != gen {
+                        self.stamp[pu as usize] = gen;
+                        candidates.push(pu);
+                    }
+                }
+            }
+            for &pu in &self.always_wake {
+                if self.stamp[pu as usize] != gen {
+                    self.stamp[pu as usize] = gen;
+                    candidates.push(pu);
+                }
+            }
+        }
+
+        self.report_batch.clear();
+        self.cross_buf.clear();
+
+        for &pi in &candidates {
+            let pu = &mut self.pus[pi as usize];
+            let mut enabled = std::mem::replace(&mut pu.enabled_next, ZERO_ROW);
+            if aligned {
+                rowops::or_assign(&mut enabled, &pu.allinput_start);
+            }
+            if self.cycle == 0 {
+                rowops::or_assign(&mut enabled, &pu.sod_start);
+            }
+            if !rowops::any(&enabled) {
+                continue;
+            }
+
+            // State matching: multi-row activation, one row per nibble.
+            let mut rows = [0usize; 8];
+            for (j, r) in rows.iter_mut().take(valid.min(self.stride)).enumerate() {
+                *r = 16 * j + vector[j] as usize;
+            }
+            let mut matched = pu.subarray.multi_row_and(&rows[..valid.min(self.stride)]);
+            for j in valid..self.stride {
+                matched = rowops::and(&matched, &pu.full_masks[j]);
+            }
+
+            let active = rowops::and(&enabled, &matched);
+            if !rowops::any(&active) {
+                continue;
+            }
+            self.stats.pu_work_cycles += 1;
+            self.stats.active_state_cycles += rowops::count(&active) as u64;
+
+            // State transition: local crossbar + global switches.
+            for col in rowops::iter_ones(&active) {
+                rowops::or_assign(&mut pu.enabled_next, &pu.crossbar[col]);
+            }
+            if !pu.cross_out.is_empty() {
+                for &(col, tpu, tcol) in &pu.cross_out {
+                    if rowops::get(&active, col as usize) {
+                        self.cross_buf.push((tpu, tcol));
+                    }
+                }
+            }
+
+            // Reporting.
+            let fired = rowops::and(&active, &pu.report_mask);
+            if rowops::any(&fired) {
+                let base = ROW_BITS - self.config.report_columns;
+                let mut mask = 0u32;
+                for col in rowops::iter_ones(&fired) {
+                    mask |= 1 << (col - base);
+                    let state = pu.col_state[col].expect("report column occupied");
+                    for r in &pu.col_reports[col] {
+                        if (r.offset as usize) < valid {
+                            self.report_batch.push(ReportEvent {
+                                cycle: self.cycle,
+                                state,
+                                info: *r,
+                            });
+                        }
+                    }
+                }
+                self.write_report_entry(pi, mask);
+            }
+        }
+
+        // Apply cross-PU signals and rebuild the pending list.
+        let next_gen = gen + 1;
+        self.generation = next_gen;
+        let cross_buf = std::mem::take(&mut self.cross_buf);
+        for &(tpu, tcol) in &cross_buf {
+            rowops::set(&mut self.pus[tpu as usize].enabled_next, tcol as usize);
+        }
+        for &pi in &candidates {
+            if rowops::any(&self.pus[pi as usize].enabled_next)
+                && self.stamp[pi as usize] != next_gen
+            {
+                self.stamp[pi as usize] = next_gen;
+                self.pending.push(pi);
+            }
+        }
+        for &(tpu, _) in &cross_buf {
+            if self.stamp[tpu as usize] != next_gen {
+                self.stamp[tpu as usize] = next_gen;
+                self.pending.push(tpu);
+            }
+        }
+        self.cross_buf = cross_buf;
+        // `candidates` is the drained previous pending list; its
+        // allocation is dropped here (per-cycle churn is negligible next
+        // to the bitwise work).
+        drop(candidates);
+
+        // FIFO drain tick.
+        if self.config.fifo && self.cycle % u64::from(self.config.drain_period_cycles) == 0 {
+            let dirty = std::mem::take(&mut self.fifo_dirty);
+            for &pi in &dirty {
+                let pu = &mut self.pus[pi as usize];
+                let drained = pu.region.drain_row(&pu.subarray);
+                self.stats.fifo_drained_entries += drained.len() as u64;
+                if !pu.region.is_empty() {
+                    self.fifo_dirty.push(pi);
+                }
+            }
+        }
+
+        if !self.report_batch.is_empty() {
+            self.stats.report_cycles += 1;
+            self.stats.reports += self.report_batch.len() as u64;
+            self.report_batch.sort_unstable();
+            let batch = std::mem::take(&mut self.report_batch);
+            sink.on_cycle_reports(self.cycle, &batch);
+            self.report_batch = batch;
+        }
+        self.stats.input_cycles += 1;
+        self.cycle += 1;
+    }
+
+    /// Writes one report entry into a PU's region, modelling the stall
+    /// behavior on overflow.
+    fn write_report_entry(&mut self, pi: u32, mask: u32) {
+        let config = self.config;
+        let pu = &mut self.pus[pi as usize];
+        self.stats.report_entries += 1;
+        match pu.region.write(&mut pu.subarray, mask, self.cycle) {
+            WriteOutcome::Stored => {
+                if config.fifo && pu.region.len() == 1 {
+                    self.fifo_dirty.push(pi);
+                }
+            }
+            WriteOutcome::Full => {
+                self.stats.flushes += 1;
+                if config.fifo {
+                    // Wait for the next drain tick, drain one row, retry.
+                    self.stats.stall_cycles += u64::from(config.drain_period_cycles);
+                    let drained = pu.region.drain_row(&pu.subarray);
+                    self.stats.fifo_drained_entries += drained.len() as u64;
+                } else {
+                    // Flush: the whole device stalls while the region
+                    // bursts out through Port 1. Regions filling in the
+                    // same cycle drain in parallel (one stall episode).
+                    if self.last_flush_cycle != Some(self.cycle) {
+                        self.stats.stall_cycles += config.flush_stall_cycles();
+                        self.last_flush_cycle = Some(self.cycle);
+                    }
+                    let _ = pu.region.flush(&mut pu.subarray);
+                }
+                let retry = pu.region.write(&mut pu.subarray, mask, self.cycle);
+                debug_assert_eq!(retry, WriteOutcome::Stored);
+                if config.fifo && !pu.region.is_empty() && pu.region.len() == 1 {
+                    self.fifo_dirty.push(pi);
+                }
+            }
+        }
+    }
+
+    /// Host-side summarization of one PU's reporting region: returns the
+    /// `m`-bit occurrence vector and charges the 1–2 cycle stall per
+    /// 16-row batch that the Port 2 multi-row activation costs.
+    pub fn summarize_pu(&mut self, pu: usize) -> u32 {
+        let p = &self.pus[pu];
+        let mask = p.region.summarize(&p.subarray);
+        self.stats.summarize_stall_cycles += 2 * p.region.summarize_batches();
+        mask
+    }
+
+    /// Host-side selective read: entry `index` (0 = oldest) of a PU's
+    /// region, without consuming it.
+    pub fn peek_report(&self, pu: usize, index: u64) -> Option<ReportEntry> {
+        let p = &self.pus[pu];
+        p.region.peek(&p.subarray, index)
+    }
+
+    /// Host-side flush of one PU's region (end-of-run readout).
+    pub fn flush_pu(&mut self, pu: usize) -> Vec<ReportEntry> {
+        let p = &mut self.pus[pu];
+        p.region.flush(&mut p.subarray)
+    }
+
+    /// Number of processing units.
+    pub fn num_pus(&self) -> usize {
+        self.pus.len()
+    }
+
+    /// Report ids attached to the state at report-mask bit `bit` of `pu`
+    /// (empty if the column is unoccupied).
+    pub fn report_rule_ids(&self, pu: usize, bit: u8) -> Vec<u32> {
+        let col = ROW_BITS - self.config.report_columns + bit as usize;
+        self.pus[pu].col_reports[col].iter().map(|r| r.id).collect()
+    }
+
+    /// Entries currently buffered in a PU's region.
+    pub fn region_len(&self, pu: usize) -> u64 {
+        self.pus[pu].region.len()
+    }
+
+    /// The raw storage of a PU's subarray (matching rows + reporting
+    /// region) — what the system-integration layer maps into cache lines.
+    pub fn subarray(&self, pu: usize) -> &Subarray {
+        &self.pus[pu].subarray
+    }
+
+    /// The automaton states mapped to a PU's report columns, lowest column
+    /// first (bit `i` of an entry's report mask corresponds to element `i`
+    /// of this list's padding-adjusted position — see `report_column_states`).
+    pub fn report_column_states(&self, pu: usize) -> Vec<(u8, StateId)> {
+        let base = ROW_BITS - self.config.report_columns;
+        let p = &self.pus[pu];
+        (base..ROW_BITS)
+            .filter_map(|c| p.col_state[c].map(|s| ((c - base) as u8, s)))
+            .filter(|&(bit, _)| {
+                let col = base + bit as usize;
+                rowops::get(&p.report_mask, col)
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,331 @@
+//! Mapping automata onto processing units.
+//!
+//! A processing unit hosts up to 256 states (subarray columns) of which
+//! only the last `m` are report-capable (paper, Figure 5). Connected
+//! components are the unit of placement; components that exceed either
+//! capacity are split along BFS layers, and transitions that end up
+//! crossing PUs ride the global memory-mapped switches (paper, Figure 7).
+
+use std::collections::HashMap;
+
+use sunder_automata::graph::{bfs_layers, connected_components};
+use sunder_automata::{Nfa, StateId};
+
+use crate::config::{SunderConfig, ROW_BITS};
+
+/// Where one automaton state landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Location {
+    /// Processing-unit index.
+    pub pu: u32,
+    /// Column within the PU's subarray.
+    pub col: u8,
+}
+
+/// The per-PU plan: which states sit in which columns.
+#[derive(Debug, Clone, Default)]
+pub struct PuPlan {
+    /// `column → state` for occupied columns (report states in the last
+    /// `m` columns).
+    pub columns: Vec<(u8, StateId)>,
+}
+
+impl PuPlan {
+    /// Number of states placed in this PU.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when no states are placed.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+}
+
+/// A complete placement of an automaton.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Per-PU plans.
+    pub pus: Vec<PuPlan>,
+    /// Per-state locations, indexed by state id.
+    pub locations: Vec<Location>,
+    /// Transitions that cross PUs (ride the global switches).
+    pub cross_pu_edges: usize,
+    /// Largest number of PUs any single component spans (the paper's
+    /// global switches gang 4 PUs = 1024 states; larger spans are
+    /// reported so capacity pressure is visible).
+    pub max_pus_per_component: usize,
+}
+
+/// Errors from placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementError {
+    /// The automaton has no states.
+    EmptyAutomaton,
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::EmptyAutomaton => write!(f, "cannot place an empty automaton"),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// Splits components and bin-packs them into PUs.
+///
+/// # Errors
+///
+/// Returns [`PlacementError::EmptyAutomaton`] for an automaton without
+/// states.
+pub fn place(nfa: &Nfa, config: &SunderConfig) -> Result<Placement, PlacementError> {
+    if nfa.num_states() == 0 {
+        return Err(PlacementError::EmptyAutomaton);
+    }
+    // Non-reporting states must stay out of the report-capable tail: the
+    // hardware ORs the last `m` columns of the active vector to detect
+    // reports, so a plain state there would raise false report cycles.
+    let report_cap = config.report_columns;
+    let plain_cap = ROW_BITS - report_cap;
+
+    // 1. Chunk every component under both capacities, visiting states in
+    //    BFS-layer order so chains split along "time" (few cut edges).
+    let layers = bfs_layers(nfa);
+    let components = connected_components(nfa);
+    let mut chunks: Vec<(usize, Vec<StateId>)> = Vec::new(); // (component, states)
+    for (ci, mut members) in components.into_iter().enumerate() {
+        members.sort_by_key(|s| (layers[s.index()], s.index()));
+        let mut current: Vec<StateId> = Vec::new();
+        let mut current_reports = 0usize;
+        let mut current_plain = 0usize;
+        for s in members {
+            let is_report = nfa.state(s).is_reporting();
+            let overflow = if is_report {
+                current_reports + 1 > report_cap
+            } else {
+                current_plain + 1 > plain_cap
+            };
+            if overflow {
+                chunks.push((ci, std::mem::take(&mut current)));
+                current_reports = 0;
+                current_plain = 0;
+            }
+            current_reports += usize::from(is_report);
+            current_plain += usize::from(!is_report);
+            current.push(s);
+        }
+        if !current.is_empty() {
+            chunks.push((ci, current));
+        }
+    }
+
+    // 2. First-fit-decreasing bin packing of chunks into PUs.
+    chunks.sort_by_key(|(_, c)| std::cmp::Reverse(c.len()));
+    struct Bin {
+        plain: usize,
+        reports: usize,
+        chunks: Vec<usize>,
+    }
+    let mut bins: Vec<Bin> = Vec::new();
+    let mut chunk_bin: Vec<usize> = vec![0; chunks.len()];
+    for (idx, (_, chunk)) in chunks.iter().enumerate() {
+        let reports = chunk
+            .iter()
+            .filter(|&&s| nfa.state(s).is_reporting())
+            .count();
+        let plain = chunk.len() - reports;
+        let slot = bins.iter().position(|b| {
+            b.plain + plain <= plain_cap && b.reports + reports <= report_cap
+        });
+        let bi = match slot {
+            Some(bi) => bi,
+            None => {
+                bins.push(Bin {
+                    plain: 0,
+                    reports: 0,
+                    chunks: Vec::new(),
+                });
+                bins.len() - 1
+            }
+        };
+        bins[bi].plain += plain;
+        bins[bi].reports += reports;
+        bins[bi].chunks.push(idx);
+        chunk_bin[idx] = bi;
+    }
+
+    // 3. Column assignment: non-report states from column 0 upward, report
+    //    states from the report-capable tail (columns 256−m .. 255).
+    let mut pus: Vec<PuPlan> = (0..bins.len()).map(|_| PuPlan::default()).collect();
+    let mut locations = vec![
+        Location {
+            pu: u32::MAX,
+            col: 0
+        };
+        nfa.num_states()
+    ];
+    for (bi, bin) in bins.iter().enumerate() {
+        let mut next_plain: usize = 0;
+        let mut next_report: usize = ROW_BITS - report_cap;
+        for &ci in &bin.chunks {
+            for &s in &chunks[ci].1 {
+                let col = if nfa.state(s).is_reporting() {
+                    let c = next_report;
+                    next_report += 1;
+                    c
+                } else {
+                    let c = next_plain;
+                    next_plain += 1;
+                    c
+                };
+                debug_assert!(col < ROW_BITS);
+                pus[bi].columns.push((col as u8, s));
+                locations[s.index()] = Location {
+                    pu: bi as u32,
+                    col: col as u8,
+                };
+            }
+        }
+    }
+
+    // 4. Statistics: cross-PU edges and component spans.
+    let mut cross = 0usize;
+    for (id, _) in nfa.states() {
+        let from = locations[id.index()].pu;
+        for &t in nfa.successors(id) {
+            if locations[t.index()].pu != from {
+                cross += 1;
+            }
+        }
+    }
+    let mut span: HashMap<usize, Vec<u32>> = HashMap::new();
+    for (idx, (ci, _)) in chunks.iter().enumerate() {
+        span.entry(*ci).or_default().push(chunk_bin[idx] as u32);
+    }
+    let max_pus_per_component = span
+        .values()
+        .map(|pus| {
+            let mut v = pus.clone();
+            v.sort_unstable();
+            v.dedup();
+            v.len()
+        })
+        .max()
+        .unwrap_or(0);
+
+    Ok(Placement {
+        pus,
+        locations,
+        cross_pu_edges: cross,
+        max_pus_per_component,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunder_automata::regex::compile_rule_set;
+    use sunder_automata::{StartKind, Ste, SymbolSet};
+    use sunder_transform::Rate;
+
+    fn config() -> SunderConfig {
+        SunderConfig::with_rate(Rate::Nibble4)
+    }
+
+    #[test]
+    fn small_rule_set_fits_one_pu() {
+        let nfa = compile_rule_set(&["abc", "de"]).unwrap();
+        let p = place(&nfa, &config()).unwrap();
+        assert_eq!(p.pus.len(), 1);
+        assert_eq!(p.cross_pu_edges, 0);
+        assert_eq!(p.max_pus_per_component, 1);
+        // Every state has a valid location.
+        for (i, loc) in p.locations.iter().enumerate() {
+            assert_ne!(loc.pu, u32::MAX, "state {i} unplaced");
+        }
+    }
+
+    #[test]
+    fn report_states_sit_in_report_columns() {
+        let nfa = compile_rule_set(&["abc"]).unwrap();
+        let cfg = config();
+        let p = place(&nfa, &cfg).unwrap();
+        for (col, s) in &p.pus[0].columns {
+            let reporting = nfa.state(*s).is_reporting();
+            let in_tail = (*col as usize) >= ROW_BITS - cfg.report_columns;
+            assert_eq!(reporting, in_tail, "column {col}");
+        }
+    }
+
+    #[test]
+    fn report_capacity_forces_split() {
+        // 30 single-state reporting patterns: m = 12 → at least 3 PUs.
+        let patterns: Vec<String> = (0..30).map(|i| format!("{}", (b'a' + i % 26) as char)).collect();
+        let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
+        let nfa = compile_rule_set(&refs).unwrap();
+        let p = place(&nfa, &config()).unwrap();
+        assert_eq!(p.pus.len(), 3);
+        for pu in &p.pus {
+            let reports = pu
+                .columns
+                .iter()
+                .filter(|(_, s)| nfa.state(*s).is_reporting())
+                .count();
+            assert!(reports <= 12);
+        }
+    }
+
+    #[test]
+    fn big_component_splits_across_pus_with_cross_edges() {
+        // One long chain of 600 states must span ≥ 3 PUs.
+        let mut nfa = sunder_automata::Nfa::new(8);
+        let mut prev = None;
+        for i in 0..600u32 {
+            let mut ste = Ste::new(SymbolSet::singleton(8, (i % 256) as u16));
+            if i == 0 {
+                ste = ste.start(StartKind::AllInput);
+            }
+            if i == 599 {
+                ste = ste.report(0);
+            }
+            let s = nfa.add_state(ste);
+            if let Some(p) = prev {
+                nfa.add_edge(p, s);
+            }
+            prev = Some(s);
+        }
+        let p = place(&nfa, &config()).unwrap();
+        assert!(p.pus.len() >= 3);
+        assert!(p.cross_pu_edges >= 2, "chain cut at least twice");
+        assert!(p.max_pus_per_component >= 3);
+    }
+
+    #[test]
+    fn state_capacity_respected() {
+        let patterns: Vec<String> = (0..100)
+            .map(|i| format!("x{:02}[0-9]ab", i % 100))
+            .collect();
+        let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
+        let nfa = compile_rule_set(&refs).unwrap();
+        let p = place(&nfa, &config()).unwrap();
+        for pu in &p.pus {
+            assert!(pu.len() <= ROW_BITS);
+            // No duplicate columns.
+            let mut cols: Vec<u8> = pu.columns.iter().map(|(c, _)| *c).collect();
+            cols.sort_unstable();
+            cols.dedup();
+            assert_eq!(cols.len(), pu.columns.len());
+        }
+    }
+
+    #[test]
+    fn empty_automaton_rejected() {
+        let nfa = sunder_automata::Nfa::new(8);
+        assert_eq!(
+            place(&nfa, &config()).unwrap_err(),
+            PlacementError::EmptyAutomaton
+        );
+    }
+}

@@ -1,0 +1,384 @@
+//! The in-place reporting region (paper, Section 5.1.2).
+//!
+//! Nibble processing leaves most of a state-matching subarray's 256 rows
+//! unused; Sunder stores report entries there. Each entry packs an `m`-bit
+//! report vector (which of the subarray's report-capable columns fired)
+//! with an `n`-bit cycle stamp from the global counter. A local counter
+//! (paper, Equation 1) addresses the next free row/slot.
+//!
+//! The region is a ring of entries:
+//!
+//! * **without FIFO**, the host only drains on overflow — a *flush* — and
+//!   execution stalls while the region streams out through Port 1;
+//! * **with FIFO**, the host continuously reads from the tail through
+//!   Port 1 while Port 2 keeps matching, so overflow (and therefore any
+//!   stall) only happens when generation outpaces the drain rate.
+//!
+//! *Report summarization* ORs the region's rows column-wise in 16-row
+//! batches (wired-NOR on Port 2) and hands the host one `m`-bit occurrence
+//! vector instead of the full cycle-accurate log.
+
+use crate::config::{SunderConfig, SUMMARIZE_BATCH_ROWS};
+use crate::subarray::{rowops, Row, Subarray};
+
+/// One decoded report entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReportEntry {
+    /// Which of the `m` report columns fired (bit `i` = report column `i`).
+    pub report_mask: u32,
+    /// The `n`-bit cycle stamp.
+    pub cycle: u32,
+}
+
+/// Outcome of a report write attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// Entry stored.
+    Stored,
+    /// Region is full; the machine must stall (flush or FIFO wait).
+    Full,
+}
+
+/// Ring-buffer state of one subarray's reporting region.
+#[derive(Debug, Clone)]
+pub struct ReportRegion {
+    base_row: usize,
+    rows: usize,
+    entry_bits: usize,
+    entries_per_row: usize,
+    report_columns: usize,
+    metadata_bits: usize,
+    /// Next entry index to write (monotone; wraps modulo capacity).
+    head: u64,
+    /// Oldest unread entry index.
+    tail: u64,
+    /// Total entries ever written.
+    pub entries_written: u64,
+    /// Fill (overflow) events.
+    pub fill_events: u64,
+}
+
+impl ReportRegion {
+    /// Creates the region for a subarray under `config`.
+    pub fn new(config: &SunderConfig) -> Self {
+        assert!(config.entry_bits() <= 64, "entry must fit in 64 bits");
+        ReportRegion {
+            base_row: config.matching_rows(),
+            rows: config.report_rows(),
+            entry_bits: config.entry_bits(),
+            entries_per_row: config.entries_per_row(),
+            report_columns: config.report_columns,
+            metadata_bits: config.metadata_bits,
+            head: 0,
+            tail: 0,
+            entries_written: 0,
+            fill_events: 0,
+        }
+    }
+
+    /// Entries the region can hold.
+    pub fn capacity(&self) -> u64 {
+        (self.rows * self.entries_per_row) as u64
+    }
+
+    /// Entries currently stored.
+    pub fn len(&self) -> u64 {
+        self.head - self.tail
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.head == self.tail
+    }
+
+    /// True when the next write would overflow.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.capacity()
+    }
+
+    fn entry_location(&self, index: u64) -> (usize, usize) {
+        let e = (index % self.capacity()) as usize;
+        let row = self.base_row + e / self.entries_per_row;
+        let bit = (e % self.entries_per_row) * self.entry_bits;
+        (row, bit)
+    }
+
+    /// Attempts to store an entry. `report_mask` holds the fired report
+    /// columns, `cycle` the global-counter value (truncated to `n` bits,
+    /// as the hardware's counter would wrap).
+    pub fn write(
+        &mut self,
+        subarray: &mut Subarray,
+        report_mask: u32,
+        cycle: u64,
+    ) -> WriteOutcome {
+        if self.is_full() {
+            self.fill_events += 1;
+            return WriteOutcome::Full;
+        }
+        let meta_mask = if self.metadata_bits >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.metadata_bits) - 1
+        };
+        let value = (u64::from(report_mask) & ((1u64 << self.report_columns) - 1))
+            | (u64::from((cycle as u32) & meta_mask) << self.report_columns);
+        let (row, bit) = self.entry_location(self.head);
+        let mut current = subarray.read_row(row);
+        clear_field(&mut current, bit, self.entry_bits);
+        set_field(&mut current, bit, value);
+        subarray.write_row(row, current);
+        self.head += 1;
+        self.entries_written += 1;
+        WriteOutcome::Stored
+    }
+
+    /// FIFO drain: the host reads (and frees) up to one row's worth of the
+    /// oldest entries. Returns the decoded entries.
+    pub fn drain_row(&mut self, subarray: &Subarray) -> Vec<ReportEntry> {
+        let n = (self.entries_per_row as u64).min(self.len());
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            out.push(self.decode_at(subarray, self.tail));
+            self.tail += 1;
+        }
+        out
+    }
+
+    /// Full flush: the host reads everything and the region empties.
+    pub fn flush(&mut self, subarray: &mut Subarray) -> Vec<ReportEntry> {
+        let mut out = Vec::with_capacity(self.len() as usize);
+        while self.tail < self.head {
+            out.push(self.decode_at(subarray, self.tail));
+            self.tail += 1;
+        }
+        subarray.clear_rows(self.base_row..self.base_row + self.rows);
+        out
+    }
+
+    fn decode_at(&self, subarray: &Subarray, index: u64) -> ReportEntry {
+        let (row, bit) = self.entry_location(index);
+        let raw = get_field(&subarray.read_row(row), bit, self.entry_bits);
+        ReportEntry {
+            report_mask: (raw & ((1u64 << self.report_columns) - 1)) as u32,
+            cycle: (raw >> self.report_columns) as u32,
+        }
+    }
+
+    /// Reads entry `index` (0 = oldest) without consuming it — the paper's
+    /// *selective reporting*: the host can inspect any report row at any
+    /// time through Port 1 in constant time.
+    pub fn peek(&self, subarray: &Subarray, index: u64) -> Option<ReportEntry> {
+        if index >= self.len() {
+            return None;
+        }
+        Some(self.decode_at(subarray, self.tail + index))
+    }
+
+    /// Report summarization: column-wise OR over the region's rows (done
+    /// by the hardware in 16-row batches on Port 2), folded across the
+    /// entry slots into one `m`-bit occurrence vector.
+    pub fn summarize(&self, subarray: &Subarray) -> u32 {
+        let mut acc: Row = [0; 4];
+        let mut row = self.base_row;
+        while row < self.base_row + self.rows {
+            let batch_end = (row + SUMMARIZE_BATCH_ROWS).min(self.base_row + self.rows);
+            let batch = subarray.or_rows(row..batch_end);
+            rowops::or_assign(&mut acc, &batch);
+            row = batch_end;
+        }
+        let mut mask = 0u32;
+        for slot in 0..self.entries_per_row {
+            let v = get_field(&acc, slot * self.entry_bits, self.entry_bits);
+            mask |= (v & ((1u64 << self.report_columns) - 1)) as u32;
+        }
+        mask
+    }
+
+    /// Number of 16-row batches one summarization touches (each stalls
+    /// matching for the multi-row activation on Port 2).
+    pub fn summarize_batches(&self) -> u64 {
+        self.rows.div_ceil(SUMMARIZE_BATCH_ROWS) as u64
+    }
+}
+
+/// Decodes every entry slot of one region row — the host-side view of a
+/// row fetched through the cache (`clflush` spill or a plain load). Slots
+/// the region never wrote decode as zeroed entries; callers track the fill
+/// level separately (e.g. via the local counter or the machine's
+/// `region_len`).
+pub fn decode_row_entries(config: &SunderConfig, row: &Row) -> Vec<ReportEntry> {
+    let m = config.report_columns;
+    let entry_bits = config.entry_bits();
+    (0..config.entries_per_row())
+        .map(|slot| {
+            let raw = get_field(row, slot * entry_bits, entry_bits);
+            ReportEntry {
+                report_mask: (raw & ((1u64 << m) - 1)) as u32,
+                cycle: (raw >> m) as u32,
+            }
+        })
+        .collect()
+}
+
+fn set_field(row: &mut Row, bit: usize, value: u64) {
+    let w = bit / 64;
+    let off = bit % 64;
+    row[w] |= value << off;
+    if off > 0 && w + 1 < 4 {
+        let spill = value.checked_shr((64 - off) as u32).unwrap_or(0);
+        if 64 - off < 64 {
+            row[w + 1] |= spill;
+        }
+    }
+}
+
+fn clear_field(row: &mut Row, bit: usize, width: usize) {
+    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let w = bit / 64;
+    let off = bit % 64;
+    row[w] &= !(mask << off);
+    if off + width > 64 && w + 1 < 4 {
+        row[w + 1] &= !(mask >> (64 - off));
+    }
+}
+
+fn get_field(row: &Row, bit: usize, width: usize) -> u64 {
+    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let w = bit / 64;
+    let off = bit % 64;
+    let mut v = row[w] >> off;
+    if off + width > 64 && w + 1 < 4 {
+        v |= row[w + 1] << (64 - off);
+    }
+    v & mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunder_transform::Rate;
+
+    fn setup() -> (SunderConfig, Subarray, ReportRegion) {
+        let config = SunderConfig::with_rate(Rate::Nibble4);
+        let region = ReportRegion::new(&config);
+        (config, Subarray::new(), region)
+    }
+
+    #[test]
+    fn write_and_decode_round_trip() {
+        let (_, mut sa, mut region) = setup();
+        assert_eq!(region.write(&mut sa, 0b1010, 42), WriteOutcome::Stored);
+        assert_eq!(region.write(&mut sa, 0xFFF, 1_000_000), WriteOutcome::Stored);
+        let e0 = region.peek(&sa, 0).unwrap();
+        assert_eq!(e0.report_mask, 0b1010);
+        assert_eq!(e0.cycle, 42);
+        let e1 = region.peek(&sa, 1).unwrap();
+        assert_eq!(e1.report_mask, 0xFFF);
+        // 20-bit metadata wraps the cycle counter.
+        assert_eq!(e1.cycle, 1_000_000 & 0xFFFFF);
+        assert!(region.peek(&sa, 2).is_none());
+    }
+
+    #[test]
+    fn capacity_and_fill() {
+        let (config, mut sa, mut region) = setup();
+        for i in 0..config.region_capacity() {
+            assert_eq!(
+                region.write(&mut sa, 1, i as u64),
+                WriteOutcome::Stored,
+                "entry {i}"
+            );
+        }
+        assert!(region.is_full());
+        assert_eq!(region.write(&mut sa, 1, 9999), WriteOutcome::Full);
+        assert_eq!(region.fill_events, 1);
+    }
+
+    #[test]
+    fn flush_empties_and_returns_everything() {
+        let (_, mut sa, mut region) = setup();
+        for i in 0..10 {
+            region.write(&mut sa, i as u32 + 1, i);
+        }
+        let drained = region.flush(&mut sa);
+        assert_eq!(drained.len(), 10);
+        assert_eq!(drained[3].report_mask, 4);
+        assert!(region.is_empty());
+        // Physical rows are cleared.
+        assert_eq!(region.summarize(&sa), 0);
+    }
+
+    #[test]
+    fn fifo_drain_preserves_order_and_frees_space() {
+        let (config, mut sa, mut region) = setup();
+        let cap = config.region_capacity();
+        for i in 0..cap {
+            region.write(&mut sa, 1 << (i % 12), i as u64);
+        }
+        assert!(region.is_full());
+        let drained = region.drain_row(&sa);
+        assert_eq!(drained.len(), config.entries_per_row());
+        assert_eq!(drained[0].cycle, 0);
+        assert!(!region.is_full());
+        // Ring wrap: the freed slots accept new entries that decode right.
+        for i in 0..config.entries_per_row() {
+            assert_eq!(
+                region.write(&mut sa, 0b111, 7000 + i as u64),
+                WriteOutcome::Stored
+            );
+        }
+        assert!(region.is_full());
+        // The oldest remaining entry is the second original row.
+        let e = region.peek(&sa, 0).unwrap();
+        assert_eq!(e.cycle, config.entries_per_row() as u32);
+    }
+
+    #[test]
+    fn summarize_is_or_of_report_masks() {
+        let (_, mut sa, mut region) = setup();
+        region.write(&mut sa, 0b0001, 5);
+        region.write(&mut sa, 0b1000, 9);
+        region.write(&mut sa, 0b0010, 100);
+        assert_eq!(region.summarize(&sa), 0b1011);
+        assert_eq!(region.summarize_batches(), 12); // 192 rows / 16
+    }
+
+    #[test]
+    fn summarize_sees_entries_in_later_rows() {
+        let (config, mut sa, mut region) = setup();
+        // Fill 3 full rows so entries land beyond the first region row.
+        for i in 0..3 * config.entries_per_row() {
+            region.write(&mut sa, if i % 17 == 0 { 0b100 } else { 0 }, i as u64);
+        }
+        assert_eq!(region.summarize(&sa), 0b100);
+    }
+
+    #[test]
+    fn field_helpers_straddle_words() {
+        // A 24-bit entry layout straddles the 64-bit word boundary.
+        let mut row = [0u64; 4];
+        set_field(&mut row, 48, 0xAB_CDEF);
+        assert_eq!(get_field(&row, 48, 24), 0xAB_CDEF);
+        clear_field(&mut row, 48, 24);
+        assert_eq!(get_field(&row, 48, 24), 0);
+        assert_eq!(row, [0u64; 4]);
+    }
+
+    #[test]
+    fn local_counter_addressing_matches_rows() {
+        let (config, mut sa, mut region) = setup();
+        // Write exactly one row of entries; the next entry must land in
+        // the following physical row.
+        for i in 0..config.entries_per_row() {
+            region.write(&mut sa, 0xFFF, i as u64);
+        }
+        let row0 = sa.read_row(config.matching_rows());
+        assert!(rowops::any(&row0));
+        let row1 = sa.read_row(config.matching_rows() + 1);
+        assert!(!rowops::any(&row1));
+        region.write(&mut sa, 0xFFF, 99);
+        let row1 = sa.read_row(config.matching_rows() + 1);
+        assert!(rowops::any(&row1));
+    }
+}

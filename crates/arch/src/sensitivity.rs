@@ -1,0 +1,122 @@
+//! Input-stream sensitivity model (paper, Section 7.5 / Figure 10).
+//!
+//! Figure 10 sweeps the fraction of reporting cycles from 1% to 100% for a
+//! single subarray with 12 reporting states and plots the slowdown with
+//! and without report summarization. The analytic model:
+//!
+//! * the region fills after `capacity / fraction` cycles (one entry per
+//!   reporting cycle);
+//! * **without summarization** a fill drains the whole region to the host
+//!   at [`HOST_ROW_READ_CYCLES`] per row;
+//! * **with summarization** the hardware NORs the region in 16-row batches
+//!   (2 stall cycles each) and ships one summary row per batch instead.
+//!
+//! With the calibrated host read cost the model lands on the paper's
+//! anchor points: ~7× worst-case slowdown without summarization and ~1.4×
+//! with it.
+
+use crate::config::{SunderConfig, SUMMARIZE_BATCH_ROWS};
+
+/// Host read latency per region row when draining across the cache/host
+/// interface (calibrated to Figure 10's 7× worst case; see EXPERIMENTS.md).
+pub const HOST_ROW_READ_CYCLES: u64 = 48;
+
+/// Stall cycles per 16-row summarization batch (Port 2 multi-row
+/// activation; "1-2 cycles" in the paper).
+pub const SUMMARIZE_BATCH_STALL: u64 = 2;
+
+/// Slowdown of one subarray at a given report-cycle fraction.
+///
+/// `fraction` is the probability that a cycle generates a report entry
+/// (`0 < fraction ≤ 1`); `summarize` selects the summarization strategy.
+///
+/// # Panics
+///
+/// Panics if `fraction` is not in `(0, 1]`.
+pub fn slowdown(config: &SunderConfig, fraction: f64, summarize: bool) -> f64 {
+    assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0,1]");
+    let capacity = config.region_capacity() as f64;
+    let fill_interval = capacity / fraction; // cycles between overflows
+    let rows = config.report_rows() as u64;
+    let stall = if summarize {
+        let batches = rows.div_ceil(SUMMARIZE_BATCH_ROWS as u64);
+        batches * (SUMMARIZE_BATCH_STALL + HOST_ROW_READ_CYCLES)
+    } else {
+        rows * HOST_ROW_READ_CYCLES
+    };
+    (fill_interval + stall as f64) / fill_interval
+}
+
+/// The Figure 10 sweep: report-cycle percentages with both strategies.
+pub fn figure10(config: &SunderConfig, percents: &[u32]) -> Vec<(u32, f64, f64)> {
+    percents
+        .iter()
+        .map(|&p| {
+            let f = f64::from(p) / 100.0;
+            (p, slowdown(config, f, false), slowdown(config, f, true))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunder_transform::Rate;
+
+    fn config() -> SunderConfig {
+        SunderConfig::with_rate(Rate::Nibble4)
+    }
+
+    #[test]
+    fn worst_case_matches_paper_anchors() {
+        // Paper: 7× at 100% without summarization, 1.4× with it.
+        let no_sum = slowdown(&config(), 1.0, false);
+        assert!((6.5..7.5).contains(&no_sum), "no-summarize {no_sum}");
+        let with_sum = slowdown(&config(), 1.0, true);
+        assert!((1.3..1.5).contains(&with_sum), "summarize {with_sum}");
+    }
+
+    #[test]
+    fn negligible_below_five_percent() {
+        // Paper: "negligible performance overhead when the reporting
+        // cycles are less than 5%".
+        let s = slowdown(&config(), 0.05, false);
+        assert!(s < 1.35, "5% slowdown {s}");
+        let s1 = slowdown(&config(), 0.01, false);
+        assert!(s1 < 1.07, "1% slowdown {s1}");
+    }
+
+    #[test]
+    fn monotone_in_fraction() {
+        let c = config();
+        let mut prev = 1.0;
+        for p in [1, 5, 10, 25, 50, 75, 100] {
+            let s = slowdown(&c, f64::from(p) / 100.0, false);
+            assert!(s >= prev, "non-monotone at {p}%");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn summarization_always_wins() {
+        let c = config();
+        for p in [1, 10, 50, 100] {
+            let f = f64::from(p) / 100.0;
+            assert!(slowdown(&c, f, true) < slowdown(&c, f, false));
+        }
+    }
+
+    #[test]
+    fn figure10_sweep_shape() {
+        let rows = figure10(&config(), &[1, 25, 50, 100]);
+        assert_eq!(rows.len(), 4);
+        assert!(rows[3].1 > rows[0].1);
+        assert!(rows[3].2 < rows[3].1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn zero_fraction_panics() {
+        let _ = slowdown(&config(), 0.0, false);
+    }
+}

@@ -1,0 +1,65 @@
+//! Execution statistics of a Sunder run (feeds Table 4).
+
+/// Counters collected by a [`crate::machine::SunderMachine`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Input (kernel) cycles: one per consumed symbol vector.
+    pub input_cycles: u64,
+    /// Stall cycles added by the reporting architecture.
+    pub stall_cycles: u64,
+    /// Region fill events ("#Flushes" in Table 4).
+    pub flushes: u64,
+    /// Report events delivered (matches the functional simulator).
+    pub reports: u64,
+    /// Report entries written into reporting regions (one per PU per
+    /// reporting cycle).
+    pub report_entries: u64,
+    /// Machine cycles in which at least one report fired.
+    pub report_cycles: u64,
+    /// Sum over cycles of active states (kernel load).
+    pub active_state_cycles: u64,
+    /// Sum over cycles of processing units that did any work.
+    pub pu_work_cycles: u64,
+    /// Stall cycles attributable to host-requested summarization.
+    pub summarize_stall_cycles: u64,
+    /// Entries drained to the host by the FIFO strategy during execution.
+    pub fifo_drained_entries: u64,
+}
+
+impl RunStats {
+    /// End-to-end cycles: kernel plus stalls.
+    pub fn total_cycles(&self) -> u64 {
+        self.input_cycles + self.stall_cycles + self.summarize_stall_cycles
+    }
+
+    /// The reporting overhead as Table 4 defines it: total over nominal.
+    pub fn reporting_overhead(&self) -> f64 {
+        if self.input_cycles == 0 {
+            1.0
+        } else {
+            self.total_cycles() as f64 / self.input_cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_is_total_over_nominal() {
+        let s = RunStats {
+            input_cycles: 1000,
+            stall_cycles: 40,
+            summarize_stall_cycles: 10,
+            ..RunStats::default()
+        };
+        assert_eq!(s.total_cycles(), 1050);
+        assert!((s.reporting_overhead() - 1.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_has_unit_overhead() {
+        assert_eq!(RunStats::default().reporting_overhead(), 1.0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Bit-level model of the 256×256 dual-port 8T SRAM subarray.
+//!
+//! The subarray is the physical substrate of a processing unit: columns are
+//! states, the top `16k` rows one-hot encode `k` nibbles of matching data,
+//! and the remaining rows store reporting entries (paper, Figure 4).
+//!
+//! The 8T cell's two ports are modeled functionally:
+//!
+//! * **Port 1** (read/write wordlines, left 8:256 decoder) — configuration
+//!   writes, report writes, and host report reads: [`Subarray::read_row`],
+//!   [`Subarray::write_row`], [`Subarray::write_bits`].
+//! * **Port 2** (read-only, right 4:16 decoders) — state matching via
+//!   multi-row activation: activating one row per nibble group and sensing
+//!   the wired-NOR computes the bitwise AND of the activated rows
+//!   ([`Subarray::multi_row_and`]), and activating a batch of report rows
+//!   computes their column-wise OR for summarization
+//!   ([`Subarray::or_rows`]).
+
+use crate::config::{ROW_BITS, SUBARRAY_ROWS};
+
+/// One 256-bit row, as four machine words.
+pub type Row = [u64; 4];
+
+/// An all-zeroes row.
+pub const ZERO_ROW: Row = [0; 4];
+
+/// A 256×256 bit array with the operations Sunder uses.
+#[derive(Debug, Clone)]
+pub struct Subarray {
+    rows: Vec<Row>,
+}
+
+impl Default for Subarray {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Subarray {
+    /// An all-zero subarray.
+    pub fn new() -> Self {
+        Subarray {
+            rows: vec![ZERO_ROW; SUBARRAY_ROWS],
+        }
+    }
+
+    /// Sets a single bit (configuration-time write through Port 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range.
+    pub fn set_bit(&mut self, row: usize, col: usize, value: bool) {
+        assert!(col < ROW_BITS, "column {col} out of range");
+        let (w, b) = (col / 64, col % 64);
+        if value {
+            self.rows[row][w] |= 1 << b;
+        } else {
+            self.rows[row][w] &= !(1 << b);
+        }
+    }
+
+    /// Reads a single bit.
+    pub fn bit(&self, row: usize, col: usize) -> bool {
+        assert!(col < ROW_BITS, "column {col} out of range");
+        self.rows[row][col / 64] >> (col % 64) & 1 == 1
+    }
+
+    /// Reads a whole row (Port 1).
+    pub fn read_row(&self, row: usize) -> Row {
+        self.rows[row]
+    }
+
+    /// Overwrites a whole row (Port 1).
+    pub fn write_row(&mut self, row: usize, value: Row) {
+        self.rows[row] = value;
+    }
+
+    /// ORs `bits` into a row (masked write of a report entry: only the
+    /// entry's bit-lines are driven, the rest of the row is untouched).
+    pub fn write_bits(&mut self, row: usize, bits: Row) {
+        for (dst, src) in self.rows[row].iter_mut().zip(bits) {
+            *dst |= src;
+        }
+    }
+
+    /// Clears a range of rows (region flush).
+    pub fn clear_rows(&mut self, rows: std::ops::Range<usize>) {
+        for r in rows {
+            self.rows[r] = ZERO_ROW;
+        }
+    }
+
+    /// Multi-row activation on Port 2: the bitwise AND of the selected
+    /// rows. With one row activated per nibble group this is exactly the
+    /// paper's partial-match combination (Section 5.1.1); Jeloka et al.
+    /// demonstrated up to 64 simultaneous wordlines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 rows are activated (beyond the demonstrated
+    /// stability envelope) or `rows` is empty.
+    pub fn multi_row_and(&self, rows: &[usize]) -> Row {
+        assert!(!rows.is_empty(), "must activate at least one row");
+        assert!(rows.len() <= 64, "multi-row activation limited to 64 rows");
+        let mut acc = self.rows[rows[0]];
+        for &r in &rows[1..] {
+            for (a, b) in acc.iter_mut().zip(self.rows[r]) {
+                *a &= b;
+            }
+        }
+        acc
+    }
+
+    /// Column-wise OR of a row range (Port 2 wired-NOR with an inverted
+    /// sense): the primitive behind report summarization.
+    pub fn or_rows(&self, rows: std::ops::Range<usize>) -> Row {
+        let mut acc = ZERO_ROW;
+        for r in rows {
+            for (a, b) in acc.iter_mut().zip(self.rows[r]) {
+                *a |= b;
+            }
+        }
+        acc
+    }
+}
+
+/// Bit-vector helpers for [`Row`] values.
+pub mod rowops {
+    use super::Row;
+
+    /// Tests whether any bit is set.
+    pub fn any(row: &Row) -> bool {
+        row.iter().any(|&w| w != 0)
+    }
+
+    /// Bitwise AND.
+    pub fn and(a: &Row, b: &Row) -> Row {
+        [a[0] & b[0], a[1] & b[1], a[2] & b[2], a[3] & b[3]]
+    }
+
+    /// Bitwise OR into `a`.
+    pub fn or_assign(a: &mut Row, b: &Row) {
+        for (x, y) in a.iter_mut().zip(b) {
+            *x |= y;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count(row: &Row) -> usize {
+        row.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Tests one bit.
+    pub fn get(row: &Row, col: usize) -> bool {
+        row[col / 64] >> (col % 64) & 1 == 1
+    }
+
+    /// Sets one bit.
+    pub fn set(row: &mut Row, col: usize) {
+        row[col / 64] |= 1 << (col % 64);
+    }
+
+    /// Iterates over set-bit positions in ascending order.
+    pub fn iter_ones(row: &Row) -> impl Iterator<Item = usize> + '_ {
+        row.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rowops::*;
+    use super::*;
+
+    #[test]
+    fn bit_roundtrip() {
+        let mut s = Subarray::new();
+        s.set_bit(10, 200, true);
+        assert!(s.bit(10, 200));
+        assert!(!s.bit(10, 201));
+        s.set_bit(10, 200, false);
+        assert!(!s.bit(10, 200));
+    }
+
+    #[test]
+    fn multi_row_and_is_intersection() {
+        let mut s = Subarray::new();
+        for col in [1, 2, 3] {
+            s.set_bit(0, col, true);
+        }
+        for col in [2, 3, 4] {
+            s.set_bit(16, col, true);
+        }
+        let m = s.multi_row_and(&[0, 16]);
+        assert!(!get(&m, 1));
+        assert!(get(&m, 2));
+        assert!(get(&m, 3));
+        assert!(!get(&m, 4));
+    }
+
+    #[test]
+    fn or_rows_is_union() {
+        let mut s = Subarray::new();
+        s.set_bit(64, 7, true);
+        s.set_bit(100, 9, true);
+        let m = s.or_rows(64..256);
+        assert!(get(&m, 7) && get(&m, 9));
+        assert_eq!(count(&m), 2);
+        let none = s.or_rows(0..64);
+        assert!(!any(&none));
+    }
+
+    #[test]
+    fn write_bits_is_masked_or() {
+        let mut s = Subarray::new();
+        s.set_bit(70, 0, true);
+        let mut extra = ZERO_ROW;
+        set(&mut extra, 255);
+        s.write_bits(70, extra);
+        assert!(s.bit(70, 0), "masked write must not clobber other bits");
+        assert!(s.bit(70, 255));
+    }
+
+    #[test]
+    fn clear_rows_flushes() {
+        let mut s = Subarray::new();
+        s.set_bit(64, 1, true);
+        s.set_bit(63, 1, true);
+        s.clear_rows(64..256);
+        assert!(!s.bit(64, 1));
+        assert!(s.bit(63, 1), "matching rows survive a region flush");
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 64")]
+    fn multi_row_activation_bound() {
+        let s = Subarray::new();
+        let rows: Vec<usize> = (0..65).collect();
+        let _ = s.multi_row_and(&rows);
+    }
+
+    #[test]
+    fn iter_ones_order() {
+        let mut r = ZERO_ROW;
+        set(&mut r, 3);
+        set(&mut r, 64);
+        set(&mut r, 255);
+        let v: Vec<usize> = iter_ones(&r).collect();
+        assert_eq!(v, vec![3, 64, 255]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for placement invariants: every state lands in exactly
+//! one column, report states in report columns, capacities respected.
+
+use proptest::prelude::*;
+use sunder_arch::config::ROW_BITS;
+use sunder_arch::{place, SunderConfig};
+use sunder_automata::{Nfa, StartKind, StateId, Ste, SymbolSet};
+use sunder_transform::Rate;
+
+#[derive(Debug, Clone)]
+struct Spec {
+    chains: Vec<(u8, bool)>, // (length 1..=40, reporting tail)
+    extra_edges: Vec<(u16, u16)>,
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    let chains = prop::collection::vec((1u8..40, any::<bool>()), 1..25);
+    let extra = prop::collection::vec((any::<u16>(), any::<u16>()), 0..10);
+    (chains, extra).prop_map(|(chains, extra_edges)| Spec {
+        chains,
+        extra_edges,
+    })
+}
+
+fn build(spec: &Spec) -> Nfa {
+    let mut nfa = Nfa::new(4);
+    for &(len, reporting) in &spec.chains {
+        let mut prev: Option<StateId> = None;
+        for i in 0..len {
+            let mut ste = Ste::new(SymbolSet::singleton(4, u16::from(i % 16)));
+            if i == 0 {
+                ste = ste.start(StartKind::AllInput);
+            }
+            if reporting && i == len - 1 {
+                ste = ste.report(u32::from(len) * 100 + u32::from(i));
+            }
+            let id = nfa.add_state(ste);
+            if let Some(p) = prev {
+                nfa.add_edge(p, id);
+            }
+            prev = Some(id);
+        }
+    }
+    let n = nfa.num_states() as u16;
+    for &(a, b) in &spec.extra_edges {
+        nfa.add_edge(StateId(u32::from(a % n)), StateId(u32::from(b % n)));
+    }
+    nfa
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn placement_invariants(spec in spec()) {
+        let nfa = build(&spec);
+        let config = SunderConfig::with_rate(Rate::Nibble1);
+        let placement = place(&nfa, &config).unwrap();
+
+        // 1. Every state placed exactly once, consistent both ways.
+        let mut seen = vec![false; nfa.num_states()];
+        for (pi, pu) in placement.pus.iter().enumerate() {
+            prop_assert!(pu.len() <= ROW_BITS);
+            let mut cols = vec![false; ROW_BITS];
+            let mut reports = 0;
+            for &(col, state) in &pu.columns {
+                prop_assert!(!cols[col as usize], "column collision");
+                cols[col as usize] = true;
+                prop_assert!(!seen[state.index()], "state placed twice");
+                seen[state.index()] = true;
+                let loc = placement.locations[state.index()];
+                prop_assert_eq!(loc.pu as usize, pi);
+                prop_assert_eq!(loc.col, col);
+                // 2. Report states in report columns, others outside.
+                let in_tail = (col as usize) >= ROW_BITS - config.report_columns;
+                prop_assert_eq!(nfa.state(state).is_reporting(), in_tail);
+                if in_tail {
+                    reports += 1;
+                }
+            }
+            prop_assert!(reports <= config.report_columns);
+        }
+        prop_assert!(seen.iter().all(|&s| s), "every state placed");
+
+        // 3. Cross-edge count matches the location map.
+        let mut cross = 0;
+        for (id, _) in nfa.states() {
+            for &t in nfa.successors(id) {
+                if placement.locations[id.index()].pu != placement.locations[t.index()].pu {
+                    cross += 1;
+                }
+            }
+        }
+        prop_assert_eq!(cross, placement.cross_pu_edges);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests: the reporting region's ring-buffer behavior matches a
+//! reference model (a VecDeque of entries) under arbitrary interleavings
+//! of writes, FIFO drains, flushes, peeks, and summarizations.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+use sunder_arch::reporting::{ReportRegion, WriteOutcome};
+use sunder_arch::{Subarray, SunderConfig};
+use sunder_transform::Rate;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { mask: u32, cycle: u32 },
+    DrainRow,
+    Flush,
+    Peek(u8),
+    Summarize,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (any::<u32>(), any::<u32>()).prop_map(|(mask, cycle)| Op::Write {
+            mask: mask & 0xFFF,
+            cycle: cycle & 0xFFFFF,
+        }),
+        2 => Just(Op::DrainRow),
+        1 => Just(Op::Flush),
+        2 => any::<u8>().prop_map(Op::Peek),
+        1 => Just(Op::Summarize),
+    ]
+}
+
+fn rates() -> impl Strategy<Value = Rate> {
+    prop::sample::select(vec![Rate::Nibble1, Rate::Nibble2, Rate::Nibble4])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn region_matches_reference_model(rate in rates(), ops in prop::collection::vec(op(), 1..300)) {
+        let config = SunderConfig::with_rate(rate);
+        let mut subarray = Subarray::new();
+        let mut region = ReportRegion::new(&config);
+        let mut model: VecDeque<(u32, u32)> = VecDeque::new();
+        let capacity = config.region_capacity();
+
+        for op in ops {
+            match op {
+                Op::Write { mask, cycle } => {
+                    let outcome = region.write(&mut subarray, mask, u64::from(cycle));
+                    if model.len() < capacity {
+                        prop_assert_eq!(outcome, WriteOutcome::Stored);
+                        model.push_back((mask, cycle));
+                    } else {
+                        prop_assert_eq!(outcome, WriteOutcome::Full);
+                    }
+                }
+                Op::DrainRow => {
+                    let drained = region.drain_row(&subarray);
+                    let expect = config.entries_per_row().min(model.len());
+                    prop_assert_eq!(drained.len(), expect);
+                    for e in drained {
+                        let (mask, cycle) = model.pop_front().expect("model entry");
+                        prop_assert_eq!(e.report_mask, mask);
+                        prop_assert_eq!(e.cycle, cycle);
+                    }
+                }
+                Op::Flush => {
+                    let flushed = region.flush(&mut subarray);
+                    prop_assert_eq!(flushed.len(), model.len());
+                    for e in flushed {
+                        let (mask, cycle) = model.pop_front().expect("model entry");
+                        prop_assert_eq!(e.report_mask, mask);
+                        prop_assert_eq!(e.cycle, cycle);
+                    }
+                    prop_assert!(region.is_empty());
+                }
+                Op::Peek(i) => {
+                    let i = u64::from(i);
+                    match region.peek(&subarray, i) {
+                        Some(e) => {
+                            let (mask, cycle) = model[i as usize];
+                            prop_assert_eq!(e.report_mask, mask);
+                            prop_assert_eq!(e.cycle, cycle);
+                        }
+                        None => prop_assert!(i >= model.len() as u64),
+                    }
+                }
+                Op::Summarize => {
+                    // The summary covers at least the live entries (stale
+                    // drained bits may linger until overwritten — the
+                    // hardware's OR sees whatever is in the rows).
+                    let summary = region.summarize(&subarray);
+                    let live: u32 = model.iter().map(|&(m, _)| m).fold(0, |a, b| a | b);
+                    prop_assert_eq!(summary & live, live, "summary must cover live entries");
+                }
+            }
+            prop_assert_eq!(region.len(), model.len() as u64);
+            prop_assert_eq!(region.is_full(), model.len() == capacity);
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! A plain-text automaton exchange format (ANML-inspired).
+//!
+//! The real benchmark suites ship automata in Micron's XML-based ANML.
+//! This module defines an equivalent, line-oriented format that is easy to
+//! diff and to generate, and supports the strided extension used by the
+//! transformation toolchain:
+//!
+//! ```text
+//! # comment
+//! automaton bits=8 stride=1 period=1
+//! ste q0 [0x61] start=all-input
+//! ste q1 [0x30-0x39,0x5f] report=7
+//! ste q2 [*] report=3@0
+//! edge q0 q1
+//! edge q1 q2
+//! ```
+//!
+//! For `stride > 1`, each state lists one bracketed charset per position:
+//! `ste q0 [0x1][*]`. Reports use `id` or `id@offset`.
+
+use std::fmt::Write as _;
+
+use crate::error::AutomataError;
+use crate::nfa::{Nfa, ReportInfo, StartKind, StateId, Ste};
+use crate::symbol::SymbolSet;
+
+/// Serializes an automaton to the textual format.
+///
+/// The output round-trips through [`parse`] to an automaton equal to the
+/// input (state order preserved).
+pub fn serialize(nfa: &Nfa) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "automaton bits={} stride={} period={}",
+        nfa.symbol_bits(),
+        nfa.stride(),
+        nfa.start_period()
+    );
+    for (id, ste) in nfa.states() {
+        let _ = write!(out, "ste q{}", id.0);
+        for cs in ste.charsets() {
+            let _ = write!(out, " {}", format_charset(cs));
+        }
+        match ste.start_kind() {
+            StartKind::None => {}
+            StartKind::StartOfData => out.push_str(" start=start-of-data"),
+            StartKind::AllInput => out.push_str(" start=all-input"),
+        }
+        for r in ste.reports() {
+            let _ = write!(out, " report={}@{}", r.id, r.offset);
+        }
+        out.push('\n');
+    }
+    for (id, _) in nfa.states() {
+        for &t in nfa.successors(id) {
+            let _ = writeln!(out, "edge q{} q{}", id.0, t.0);
+        }
+    }
+    out
+}
+
+fn format_charset(cs: &SymbolSet) -> String {
+    format!("{cs}") // the Display impl prints [..] range syntax
+}
+
+/// Parses the textual format into an automaton.
+///
+/// # Errors
+///
+/// Returns [`AutomataError::Parse`] with a 1-based line number on any
+/// malformed line, unknown state reference, or header/state inconsistency.
+pub fn parse(text: &str) -> Result<Nfa, AutomataError> {
+    let mut nfa: Option<Nfa> = None;
+    let mut names: Vec<String> = Vec::new();
+
+    let err = |line: usize, msg: &str| AutomataError::Parse {
+        line,
+        message: msg.to_string(),
+    };
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("automaton") => {
+                let mut bits = None;
+                let mut stride = 1usize;
+                let mut period = 1u32;
+                for w in words {
+                    if let Some(v) = w.strip_prefix("bits=") {
+                        bits = Some(v.parse().map_err(|_| err(lineno, "bad bits value"))?);
+                    } else if let Some(v) = w.strip_prefix("stride=") {
+                        stride = v.parse().map_err(|_| err(lineno, "bad stride value"))?;
+                    } else if let Some(v) = w.strip_prefix("period=") {
+                        period = v.parse().map_err(|_| err(lineno, "bad period value"))?;
+                    } else {
+                        return Err(err(lineno, "unknown automaton attribute"));
+                    }
+                }
+                let bits = bits.ok_or_else(|| err(lineno, "missing bits= in header"))?;
+                let mut a = Nfa::with_stride(bits, stride);
+                a.set_start_period(period);
+                nfa = Some(a);
+            }
+            Some("ste") => {
+                let nfa = nfa
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "ste before automaton header"))?;
+                let name = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "ste needs a name"))?
+                    .to_string();
+                let mut charsets = Vec::new();
+                let mut start = StartKind::None;
+                let mut reports = Vec::new();
+                for w in words {
+                    if w.starts_with('[') {
+                        charsets.push(parse_charset(w, nfa.symbol_bits(), lineno)?);
+                    } else if let Some(v) = w.strip_prefix("start=") {
+                        start = match v {
+                            "start-of-data" => StartKind::StartOfData,
+                            "all-input" => StartKind::AllInput,
+                            "none" => StartKind::None,
+                            _ => return Err(err(lineno, "unknown start kind")),
+                        };
+                    } else if let Some(v) = w.strip_prefix("report=") {
+                        let (id, offset) = match v.split_once('@') {
+                            Some((i, o)) => (
+                                i.parse().map_err(|_| err(lineno, "bad report id"))?,
+                                o.parse().map_err(|_| err(lineno, "bad report offset"))?,
+                            ),
+                            None => (v.parse().map_err(|_| err(lineno, "bad report id"))?, 0),
+                        };
+                        reports.push(ReportInfo::at_offset(id, offset));
+                    } else {
+                        return Err(err(lineno, "unknown ste attribute"));
+                    }
+                }
+                if charsets.len() != nfa.stride() {
+                    return Err(err(lineno, "charset count does not match stride"));
+                }
+                let mut ste = Ste::with_charsets(charsets).start(start);
+                for r in reports {
+                    ste.add_report(r);
+                }
+                nfa.add_state(ste);
+                names.push(name);
+            }
+            Some("edge") => {
+                let nfa = nfa
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "edge before automaton header"))?;
+                let a = words.next().ok_or_else(|| err(lineno, "edge needs two states"))?;
+                let b = words.next().ok_or_else(|| err(lineno, "edge needs two states"))?;
+                let fa = lookup(&names, a).ok_or_else(|| err(lineno, "unknown edge source"))?;
+                let fb = lookup(&names, b).ok_or_else(|| err(lineno, "unknown edge target"))?;
+                nfa.add_edge(fa, fb);
+            }
+            _ => return Err(err(lineno, "unknown directive")),
+        }
+    }
+    let nfa = nfa.ok_or_else(|| err(0, "missing automaton header"))?;
+    nfa.validate()?;
+    Ok(nfa)
+}
+
+fn lookup(names: &[String], name: &str) -> Option<StateId> {
+    names
+        .iter()
+        .position(|n| n == name)
+        .map(|i| StateId(i as u32))
+}
+
+fn parse_charset(token: &str, bits: u8, lineno: usize) -> Result<SymbolSet, AutomataError> {
+    let err = |msg: &str| AutomataError::Parse {
+        line: lineno,
+        message: msg.to_string(),
+    };
+    let inner = token
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| err("charset must be bracketed"))?;
+    if inner == "*" {
+        return Ok(SymbolSet::full(bits));
+    }
+    let mut set = SymbolSet::empty(bits);
+    if inner.is_empty() {
+        return Ok(set);
+    }
+    for part in inner.split(',') {
+        let parse_sym = |s: &str| -> Result<u16, AutomataError> {
+            let s = s.trim();
+            let v = if let Some(hex) = s.strip_prefix("0x") {
+                u16::from_str_radix(hex, 16).map_err(|_| err("bad hex symbol"))?
+            } else {
+                s.parse().map_err(|_| err("bad symbol"))?
+            };
+            if (v as usize) >= (1usize << bits) {
+                return Err(err("symbol out of alphabet range"));
+            }
+            Ok(v)
+        };
+        match part.split_once('-') {
+            Some((lo, hi)) => {
+                let lo = parse_sym(lo)?;
+                let hi = parse_sym(hi)?;
+                if hi < lo {
+                    return Err(err("range out of order"));
+                }
+                set.insert_range(lo, hi);
+            }
+            None => {
+                set.insert(parse_sym(part)?);
+            }
+        }
+    }
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::compile_regex;
+
+    #[test]
+    fn round_trip_simple() {
+        let nfa = compile_regex("ab[0-9]+", 3).unwrap();
+        let text = serialize(&nfa);
+        let back = parse(&text).unwrap();
+        assert_eq!(nfa, back);
+    }
+
+    #[test]
+    fn round_trip_strided() {
+        let mut nfa = Nfa::with_stride(4, 2);
+        nfa.set_start_period(2);
+        let a = nfa.add_state(
+            Ste::with_charsets(vec![SymbolSet::singleton(4, 1), SymbolSet::full(4)])
+                .start(StartKind::AllInput)
+                .report_at(5, 1),
+        );
+        nfa.add_edge(a, a);
+        let text = serialize(&nfa);
+        let back = parse(&text).unwrap();
+        assert_eq!(nfa, back);
+        assert_eq!(back.start_period(), 2);
+    }
+
+    #[test]
+    fn parse_hand_written() {
+        let text = "\n# two-state chain\nautomaton bits=8 stride=1 period=1\n\
+                    ste s0 [0x61] start=all-input\n\
+                    ste s1 [0x62-0x63] report=9\n\
+                    edge s0 s1\n";
+        let nfa = parse(text).unwrap();
+        assert_eq!(nfa.num_states(), 2);
+        assert_eq!(nfa.num_transitions(), 1);
+        assert_eq!(nfa.state(StateId(1)).reports()[0].id, 9);
+    }
+
+    #[test]
+    fn parse_full_and_empty_charsets() {
+        let text = "automaton bits=4 stride=1\nste a [*]\nste b []\n";
+        let nfa = parse(text).unwrap();
+        assert!(nfa.state(StateId(0)).charset().is_full());
+        assert!(nfa.state(StateId(1)).charset().is_empty());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = "automaton bits=8\nste s0 [0x61]\nedge s0 s9\n";
+        let e = parse(bad).unwrap_err();
+        match e {
+            AutomataError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("bogus line").is_err());
+        assert!(parse("ste s [0x1]").is_err()); // before header
+        assert!(parse("automaton bits=8\nste s [0x1] report=x").is_err());
+        assert!(parse("automaton stride=2").is_err()); // missing bits
+        assert!(parse("automaton bits=8\nste s [0x1] [0x2]").is_err()); // stride 1, two sets
+        assert!(parse("automaton bits=4\nste s [0x1f]").is_err()); // out of range
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn decimal_symbols_accepted() {
+        let nfa = parse("automaton bits=8\nste s [97,98-99]\n").unwrap();
+        assert_eq!(nfa.state(StateId(0)).charset().len(), 3);
+    }
+}

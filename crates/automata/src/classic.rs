@@ -1,0 +1,267 @@
+//! Classic (edge-labeled) NFAs and their conversion to homogeneous form.
+//!
+//! Textbook NFAs label *transitions* with symbol sets; in-memory automata
+//! hardware needs the *homogeneous* form, where every transition entering
+//! a state fires on the same set (the set moves onto the state). The
+//! paper's Figure 1 shows the conversion: a classic state whose incoming
+//! edges carry different labels splits into one homogeneous state per
+//! distinct incoming label class.
+//!
+//! This module implements the classic model plus the label-splitting
+//! conversion, so automata imported from textbook descriptions can enter
+//! the Sunder pipeline.
+
+use std::collections::HashMap;
+
+use crate::nfa::{Nfa, StartKind, StateId, Ste};
+use crate::symbol::SymbolSet;
+
+/// A classic NFA: labeled edges, accepting states.
+///
+/// Epsilon transitions are not represented; eliminate them before
+/// construction (the usual closure construction), as the hardware model
+/// has no epsilon either.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassicNfa {
+    symbol_bits: u8,
+    states: usize,
+    start: Vec<usize>,
+    accepting: Vec<(usize, u32)>,
+    edges: Vec<(usize, usize, SymbolSet)>,
+    anchored: bool,
+}
+
+impl ClassicNfa {
+    /// Creates an empty classic NFA over `symbol_bits`-wide symbols.
+    ///
+    /// `anchored` selects whether matching is pinned to the start of the
+    /// input (start-of-data) or may begin anywhere (all-input).
+    pub fn new(symbol_bits: u8, anchored: bool) -> Self {
+        ClassicNfa {
+            symbol_bits,
+            states: 0,
+            start: Vec::new(),
+            accepting: Vec::new(),
+            edges: Vec::new(),
+            anchored,
+        }
+    }
+
+    /// Adds a state, returning its index.
+    pub fn add_state(&mut self) -> usize {
+        self.states += 1;
+        self.states - 1
+    }
+
+    /// Marks a start state.
+    pub fn mark_start(&mut self, state: usize) {
+        assert!(state < self.states, "state out of range");
+        if !self.start.contains(&state) {
+            self.start.push(state);
+        }
+    }
+
+    /// Marks an accepting state with a report id.
+    pub fn mark_accepting(&mut self, state: usize, report_id: u32) {
+        assert!(state < self.states, "state out of range");
+        self.accepting.push((state, report_id));
+    }
+
+    /// Adds a labeled transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range states or a label of the wrong width.
+    pub fn add_edge(&mut self, from: usize, to: usize, label: SymbolSet) {
+        assert!(from < self.states && to < self.states, "state out of range");
+        assert_eq!(label.bits(), self.symbol_bits, "label width mismatch");
+        self.edges.push((from, to, label));
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.states
+    }
+
+    /// Converts to the homogeneous form by label splitting.
+    ///
+    /// Each classic state `q` becomes one homogeneous STE per distinct
+    /// incoming label (labels are compared as sets); start states that
+    /// can be entered "spontaneously" at the beginning of a match get an
+    /// extra entry for each outgoing step, which the Glushkov-style
+    /// construction below realizes by making the *targets* of start-state
+    /// edges start STEs.
+    pub fn to_homogeneous(&self) -> Nfa {
+        let mut out = Nfa::new(self.symbol_bits);
+        // (classic state, incoming label) → homogeneous STE.
+        let mut variants: HashMap<(usize, String), StateId> = HashMap::new();
+        let accepting: HashMap<usize, Vec<u32>> = {
+            let mut m: HashMap<usize, Vec<u32>> = HashMap::new();
+            for &(s, id) in &self.accepting {
+                m.entry(s).or_default().push(id);
+            }
+            m
+        };
+        let start_kind = if self.anchored {
+            StartKind::StartOfData
+        } else {
+            StartKind::AllInput
+        };
+
+        // Materialize one STE per (target, label-class).
+        let mut get_variant = |out: &mut Nfa, state: usize, label: &SymbolSet| -> StateId {
+            let key = (state, format!("{label}"));
+            if let Some(&id) = variants.get(&key) {
+                return id;
+            }
+            let mut ste = Ste::new(label.clone());
+            if let Some(ids) = accepting.get(&state) {
+                for &r in ids {
+                    ste.add_report(crate::nfa::ReportInfo::new(r));
+                }
+            }
+            let id = out.add_state(ste);
+            variants.insert(key, id);
+            id
+        };
+
+        // Create all edge-target variants first.
+        let mut variant_of_edge: Vec<StateId> = Vec::with_capacity(self.edges.len());
+        for (_, to, label) in &self.edges {
+            variant_of_edge.push(get_variant(&mut out, *to, label));
+        }
+        // Wire: an edge u→v lands in v's variant; from there, every edge
+        // v→w continues into w's variant.
+        for (i, (_, v, _)) in self.edges.iter().enumerate() {
+            let from_ste = variant_of_edge[i];
+            for (j, (u2, _, _)) in self.edges.iter().enumerate() {
+                if u2 == v {
+                    out.add_edge(from_ste, variant_of_edge[j]);
+                }
+            }
+        }
+        // Start: edges leaving a classic start state begin matches, so
+        // their target variants are start STEs.
+        for (i, (u, _, _)) in self.edges.iter().enumerate() {
+            if self.start.contains(u) {
+                out.state_mut(variant_of_edge[i]).set_start_kind(start_kind);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::InputView;
+
+    fn run(nfa: &Nfa, input: &[u8]) -> Vec<(u64, u32)> {
+        // A tiny inline simulator to keep this crate dependency-free.
+        let view = InputView::new(input, 8, 1).unwrap();
+        let mut active: Vec<StateId> = Vec::new();
+        let mut out = Vec::new();
+        for (cycle, v) in view.iter().enumerate() {
+            let mut enabled: Vec<StateId> = Vec::new();
+            for &a in &active {
+                enabled.extend_from_slice(nfa.successors(a));
+            }
+            for (id, s) in nfa.states() {
+                match s.start_kind() {
+                    StartKind::AllInput => enabled.push(id),
+                    StartKind::StartOfData if cycle == 0 => enabled.push(id),
+                    _ => {}
+                }
+            }
+            enabled.sort_unstable();
+            enabled.dedup();
+            active = enabled
+                .into_iter()
+                .filter(|&id| nfa.state(id).matches(&v.symbols, v.valid))
+                .collect();
+            for &id in &active {
+                for r in nfa.state(id).reports() {
+                    out.push((cycle as u64, r.id));
+                }
+            }
+        }
+        out
+    }
+
+    fn sym(c: u8) -> SymbolSet {
+        SymbolSet::singleton(8, u16::from(c))
+    }
+
+    /// The paper's Figure 1 example: classic NFA accepting (A|(C* G))-ish
+    /// structure — here the simpler `A|BC` of Figure 3 in classic form.
+    #[test]
+    fn figure_style_conversion() {
+        let mut classic = ClassicNfa::new(8, true);
+        let q0 = classic.add_state();
+        let q1 = classic.add_state();
+        let q2 = classic.add_state();
+        classic.mark_start(q0);
+        classic.mark_accepting(q2, 0);
+        classic.add_edge(q0, q2, sym(b'A')); // A
+        classic.add_edge(q0, q1, sym(b'B')); // B…
+        classic.add_edge(q1, q2, sym(b'C')); // …C
+        let homog = classic.to_homogeneous();
+        assert!(homog.validate().is_ok());
+        // q2 splits into an 'A' variant and a 'C' variant.
+        assert_eq!(homog.num_states(), 3);
+        assert_eq!(homog.report_states().len(), 2);
+
+        assert_eq!(run(&homog, b"A"), vec![(0, 0)]);
+        assert_eq!(run(&homog, b"BC"), vec![(1, 0)]);
+        assert!(run(&homog, b"BA").is_empty());
+        assert!(run(&homog, b"C").is_empty());
+    }
+
+    #[test]
+    fn incoming_label_classes_split_states() {
+        // q1 reachable on 'x' from q0 and on 'y' from itself: two variants.
+        let mut classic = ClassicNfa::new(8, false);
+        let q0 = classic.add_state();
+        let q1 = classic.add_state();
+        classic.mark_start(q0);
+        classic.mark_accepting(q1, 7);
+        classic.add_edge(q0, q1, sym(b'x'));
+        classic.add_edge(q1, q1, sym(b'y'));
+        let homog = classic.to_homogeneous();
+        assert_eq!(homog.num_states(), 2);
+        assert_eq!(homog.report_states().len(), 2);
+        assert_eq!(run(&homog, b"xyy"), vec![(0, 7), (1, 7), (2, 7)]);
+        assert!(run(&homog, b"y").is_empty());
+    }
+
+    #[test]
+    fn identical_labels_share_a_variant() {
+        // Two edges into q1, both on 'z': one homogeneous state.
+        let mut classic = ClassicNfa::new(8, false);
+        let q0 = classic.add_state();
+        let qa = classic.add_state();
+        let q1 = classic.add_state();
+        classic.mark_start(q0);
+        classic.mark_accepting(q1, 1);
+        classic.add_edge(q0, q1, sym(b'z'));
+        classic.add_edge(qa, q1, sym(b'z'));
+        classic.add_edge(q0, qa, sym(b'w'));
+        let homog = classic.to_homogeneous();
+        // Variants: q1/'z' (shared), qa/'w'.
+        assert_eq!(homog.num_states(), 2);
+        assert_eq!(run(&homog, b"z"), vec![(0, 1)]);
+        assert_eq!(run(&homog, b"wz"), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn unanchored_matches_anywhere() {
+        let mut classic = ClassicNfa::new(8, false);
+        let q0 = classic.add_state();
+        let q1 = classic.add_state();
+        classic.mark_start(q0);
+        classic.mark_accepting(q1, 0);
+        classic.add_edge(q0, q1, sym(b'k'));
+        let homog = classic.to_homogeneous();
+        assert_eq!(run(&homog, b"akbk"), vec![(1, 0), (3, 0)]);
+    }
+}

@@ -1,0 +1,299 @@
+//! Deterministic automata: subset construction and a software matcher.
+//!
+//! The paper's motivation (Section 1) is that pattern matching on
+//! von Neumann hardware struggles: DFA-based software matchers avoid the
+//! NFA's per-cycle active-set work but pay exponential state blowup on
+//! rule sets with wildcards and counters, while NFA software pays poor
+//! memory locality. This module provides the DFA side of that story —
+//! subset construction over a homogeneous NFA (with a state cap, since
+//! blowup is the point) and a dense-table matcher that models the software
+//! baseline.
+
+use std::collections::HashMap;
+
+use crate::error::AutomataError;
+use crate::nfa::{Nfa, StartKind, StateId};
+
+/// A deterministic automaton over the same alphabet as its source NFA.
+///
+/// State 0 is the start state. The transition table is dense:
+/// `next[state × alphabet + symbol]`. Reports fire on *entering* a state,
+/// matching the homogeneous NFA's report-on-activation semantics.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    symbol_bits: u8,
+    next: Vec<u32>,
+    /// Report ids fired on entering each state.
+    reports: Vec<Vec<u32>>,
+}
+
+/// Subset construction exceeded the configured state budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DfaBlowup {
+    /// States materialized before giving up.
+    pub states_reached: usize,
+}
+
+impl std::fmt::Display for DfaBlowup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "subset construction exceeded the budget after {} states",
+            self.states_reached
+        )
+    }
+}
+
+impl std::error::Error for DfaBlowup {}
+
+impl Dfa {
+    /// Determinizes `nfa` with a state budget.
+    ///
+    /// Unanchored (all-input) start states are folded in by keeping the
+    /// start set enabled in every subset — the standard trick that turns
+    /// scanning into a single DFA pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfaBlowup`] if more than `max_states` subsets appear —
+    /// which, for the rule-set shapes this repository studies, is the
+    /// expected outcome and the quantity worth measuring.
+    pub fn determinize(nfa: &Nfa, max_states: usize) -> Result<Dfa, DfaBlowup> {
+        assert_eq!(nfa.stride(), 1, "determinize stride-1 automata");
+        let alphabet = 1usize << nfa.symbol_bits();
+        let all_input: Vec<StateId> = nfa
+            .states()
+            .filter(|(_, s)| s.start_kind() == StartKind::AllInput)
+            .map(|(id, _)| id)
+            .collect();
+        let sod: Vec<StateId> = nfa
+            .states()
+            .filter(|(_, s)| s.start_kind() == StartKind::StartOfData)
+            .map(|(id, _)| id)
+            .collect();
+
+        // Subset = sorted state list; the empty "dead but rearmed" subset
+        // is the set of enabled-but-unmatched states = just the starts.
+        let mut subsets: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut worklist: Vec<Vec<u32>> = Vec::new();
+        let mut next: Vec<u32> = Vec::new();
+        let mut reports: Vec<Vec<u32>> = Vec::new();
+
+        // The DFA's state tracks the *active* NFA set after a symbol. The
+        // initial "no symbols consumed" state must stay distinct from a
+        // mid-stream empty active set (only the former enables anchored
+        // starts), so it carries a sentinel marker.
+        const INITIAL_SENTINEL: u32 = u32::MAX;
+        let initial: Vec<u32> = vec![INITIAL_SENTINEL];
+
+        let intern = |set: Vec<u32>,
+                          worklist: &mut Vec<Vec<u32>>,
+                          subsets: &mut HashMap<Vec<u32>, u32>,
+                          next: &mut Vec<u32>,
+                          reports: &mut Vec<Vec<u32>>|
+         -> u32 {
+            if let Some(&id) = subsets.get(&set) {
+                return id;
+            }
+            let id = subsets.len() as u32;
+            let mut rs: Vec<u32> = Vec::new();
+            for &s in &set {
+                if s == u32::MAX {
+                    continue; // initial-state sentinel
+                }
+                for r in nfa.state(StateId(s)).reports() {
+                    rs.push(r.id);
+                }
+            }
+            rs.sort_unstable();
+            rs.dedup();
+            subsets.insert(set.clone(), id);
+            worklist.push(set);
+            next.resize(next.len() + (1 << nfa.symbol_bits()), u32::MAX);
+            reports.push(rs);
+            id
+        };
+        intern(initial, &mut worklist, &mut subsets, &mut next, &mut reports);
+
+        let mut cursor = 0usize;
+        while cursor < worklist.len() {
+            if subsets.len() > max_states {
+                return Err(DfaBlowup {
+                    states_reached: subsets.len(),
+                });
+            }
+            let current = worklist[cursor].clone();
+            let is_initial = current.as_slice() == [INITIAL_SENTINEL];
+            // Enabled set: successors of the current actives plus the
+            // rearmed start states; anchored starts only from the initial
+            // state.
+            let mut enabled: Vec<u32> = Vec::new();
+            if !is_initial {
+                for &s in &current {
+                    enabled.extend(nfa.successors(StateId(s)).iter().map(|t| t.0));
+                }
+            }
+            enabled.extend(all_input.iter().map(|s| s.0));
+            if is_initial {
+                enabled.extend(sod.iter().map(|s| s.0));
+            }
+            enabled.sort_unstable();
+            enabled.dedup();
+
+            for sym in 0..alphabet {
+                let mut target: Vec<u32> = enabled
+                    .iter()
+                    .copied()
+                    .filter(|&s| nfa.state(StateId(s)).charset().contains(sym as u16))
+                    .collect();
+                target.sort_unstable();
+                let tid = intern(
+                    target,
+                    &mut worklist,
+                    &mut subsets,
+                    &mut next,
+                    &mut reports,
+                );
+                next[cursor * alphabet + sym] = tid;
+            }
+            cursor += 1;
+        }
+        Ok(Dfa {
+            symbol_bits: nfa.symbol_bits(),
+            next,
+            reports,
+        })
+    }
+
+    /// Number of DFA states.
+    pub fn num_states(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Symbol width in bits.
+    pub fn symbol_bits(&self) -> u8 {
+        self.symbol_bits
+    }
+
+    /// Scans `input`, returning `(position, report id)` pairs — the same
+    /// view the NFA simulator produces, for equivalence checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::UnsupportedWidth`] if the input cannot be
+    /// viewed at the DFA's symbol width.
+    pub fn scan(&self, input: &[u8]) -> Result<Vec<(u64, u32)>, AutomataError> {
+        let view = crate::input::InputView::new(input, self.symbol_bits, 1)?;
+        let alphabet = 1usize << self.symbol_bits;
+        let mut state = 0usize;
+        let mut out = Vec::new();
+        for (pos, v) in view.iter().enumerate() {
+            state = self.next[state * alphabet + v.symbols[0] as usize] as usize;
+            for &r in &self.reports[state] {
+                out.push((pos as u64, r));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::{compile_regex, compile_rule_set};
+
+    fn nfa_positions(nfa: &Nfa, input: &[u8]) -> Vec<(u64, u32)> {
+        // Reference: the (deduplicated) NFA report positions.
+        use crate::input::InputView;
+        let view = InputView::new(input, 8, 1).unwrap();
+        let mut active: Vec<StateId> = Vec::new();
+        let mut out = Vec::new();
+        for (cycle, v) in view.iter().enumerate() {
+            let mut enabled: Vec<StateId> = Vec::new();
+            for &a in &active {
+                enabled.extend_from_slice(nfa.successors(a));
+            }
+            for (id, s) in nfa.states() {
+                match s.start_kind() {
+                    StartKind::AllInput => enabled.push(id),
+                    StartKind::StartOfData if cycle == 0 => enabled.push(id),
+                    _ => {}
+                }
+            }
+            enabled.sort_unstable();
+            enabled.dedup();
+            active = enabled
+                .into_iter()
+                .filter(|&id| nfa.state(id).matches(&v.symbols, v.valid))
+                .collect();
+            let mut ids: Vec<u32> = active
+                .iter()
+                .flat_map(|&id| nfa.state(id).reports().iter().map(|r| r.id))
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            for id in ids {
+                out.push((cycle as u64, id));
+            }
+        }
+        out
+    }
+
+    fn assert_dfa_equals_nfa(patterns: &[&str], input: &[u8]) {
+        let nfa = compile_rule_set(patterns).unwrap();
+        let dfa = Dfa::determinize(&nfa, 1 << 16).unwrap();
+        assert_eq!(
+            dfa.scan(input).unwrap(),
+            nfa_positions(&nfa, input),
+            "patterns {patterns:?}"
+        );
+    }
+
+    #[test]
+    fn dfa_matches_simple_patterns() {
+        assert_dfa_equals_nfa(&["abc"], b"xxabcxabc");
+        assert_dfa_equals_nfa(&["a"], b"aaa");
+        assert_dfa_equals_nfa(&["cat", "dog"], b"cat dog catdog");
+    }
+
+    #[test]
+    fn dfa_matches_classes_and_loops() {
+        assert_dfa_equals_nfa(&["a[0-9]+b"], b"a12b a5 b a9b");
+        assert_dfa_equals_nfa(&[".*zz"], b"qzzqzz");
+        assert_dfa_equals_nfa(&["(ab|ba)+"], b"ababab");
+    }
+
+    #[test]
+    fn dfa_handles_anchors() {
+        assert_dfa_equals_nfa(&["^ab"], b"abab");
+        assert_dfa_equals_nfa(&["^a", "b"], b"ab ba");
+        // The anchor must NOT re-arm after a mid-stream dead state.
+        assert_dfa_equals_nfa(&["^ab"], b"xab");
+        assert_dfa_equals_nfa(&["^ab"], b"x ab ab");
+    }
+
+    #[test]
+    fn overlapping_reports_dedup_like_active_sets() {
+        assert_dfa_equals_nfa(&["aa"], b"aaaa");
+        assert_dfa_equals_nfa(&["ab", "b"], b"abb");
+    }
+
+    #[test]
+    fn blowup_is_detected() {
+        // The classic (a|b)*a(a|b){n}: the DFA needs ~2^n states.
+        let nfa = compile_regex("[ab]*a[ab]{12}", 0).unwrap();
+        let err = Dfa::determinize(&nfa, 1000).unwrap_err();
+        assert!(err.states_reached > 1000);
+        assert!(err.to_string().contains("exceeded"));
+        // With a big enough budget it succeeds and needs ≥ 2^12 states.
+        let dfa = Dfa::determinize(&nfa, 1 << 15).unwrap();
+        assert!(dfa.num_states() >= 1 << 12, "{}", dfa.num_states());
+    }
+
+    #[test]
+    fn small_rule_sets_stay_small() {
+        let nfa = compile_rule_set(&["abc", "def"]).unwrap();
+        let dfa = Dfa::determinize(&nfa, 1 << 16).unwrap();
+        assert!(dfa.num_states() < 20, "{}", dfa.num_states());
+    }
+}

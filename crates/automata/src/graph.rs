@@ -1,0 +1,259 @@
+//! Graph utilities over the automaton transition structure.
+//!
+//! Placement onto processing units, pruning, and the workload statistics all
+//! view the automaton as a directed graph; this module collects the shared
+//! algorithms.
+
+use crate::nfa::{Nfa, StateId};
+
+/// Weakly connected components of the transition graph.
+///
+/// Each component is a sorted list of state ids. Multi-pattern rule sets
+/// decompose into one component per independent pattern, which is the unit
+/// the hardware mapper bin-packs into processing units.
+pub fn connected_components(nfa: &Nfa) -> Vec<Vec<StateId>> {
+    let n = nfa.num_states();
+    let mut comp = vec![usize::MAX; n];
+    let pred = nfa.predecessors();
+    let mut components = Vec::new();
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let cid = components.len();
+        let mut members = Vec::new();
+        stack.push(start);
+        comp[start] = cid;
+        while let Some(v) = stack.pop() {
+            members.push(StateId(v as u32));
+            for &t in nfa.successors(StateId(v as u32)) {
+                if comp[t.index()] == usize::MAX {
+                    comp[t.index()] = cid;
+                    stack.push(t.index());
+                }
+            }
+            for &p in &pred[v] {
+                if comp[p.index()] == usize::MAX {
+                    comp[p.index()] = cid;
+                    stack.push(p.index());
+                }
+            }
+        }
+        members.sort_unstable();
+        components.push(members);
+    }
+    components
+}
+
+/// States reachable from any start state by following transitions.
+pub fn reachable_from_starts(nfa: &Nfa) -> Vec<bool> {
+    let n = nfa.num_states();
+    let mut seen = vec![false; n];
+    let mut stack: Vec<StateId> = nfa.start_states();
+    for s in &stack {
+        seen[s.index()] = true;
+    }
+    while let Some(v) = stack.pop() {
+        for &t in nfa.successors(v) {
+            if !seen[t.index()] {
+                seen[t.index()] = true;
+                stack.push(t);
+            }
+        }
+    }
+    seen
+}
+
+/// States from which some reporting state is reachable (including reporting
+/// states themselves).
+pub fn can_reach_report(nfa: &Nfa) -> Vec<bool> {
+    let n = nfa.num_states();
+    let pred = nfa.predecessors();
+    let mut useful = vec![false; n];
+    let mut stack: Vec<StateId> = nfa.report_states();
+    for s in &stack {
+        useful[s.index()] = true;
+    }
+    while let Some(v) = stack.pop() {
+        for &p in &pred[v.index()] {
+            if !useful[p.index()] {
+                useful[p.index()] = true;
+                stack.push(p);
+            }
+        }
+    }
+    useful
+}
+
+/// Removes states that are unreachable from the starts or cannot contribute
+/// to a report. Returns the number of states removed.
+///
+/// Transformations can leave such dead states behind; hardware capacity is
+/// too precious to configure them (cf. Liu et al. (MICRO '18) in the paper, who
+/// exploit the same observation dynamically).
+pub fn prune_useless(nfa: &mut Nfa) -> usize {
+    let reach = reachable_from_starts(nfa);
+    let useful = can_reach_report(nfa);
+    let keep: Vec<bool> = reach
+        .iter()
+        .zip(&useful)
+        .map(|(&r, &u)| r && u)
+        .collect();
+    let removed = keep.iter().filter(|&&k| !k).count();
+    if removed > 0 {
+        nfa.retain_states(&keep);
+    }
+    removed
+}
+
+/// Extracts the sub-automaton induced by `members`, remapping ids densely.
+///
+/// States outside `members` are dropped along with any edges touching them.
+/// Returned ids follow the order of `members`.
+pub fn extract_subautomaton(nfa: &Nfa, members: &[StateId]) -> Nfa {
+    let mut map = vec![None; nfa.num_states()];
+    for (new, old) in members.iter().enumerate() {
+        map[old.index()] = Some(StateId(new as u32));
+    }
+    let mut out = Nfa::with_stride(nfa.symbol_bits(), nfa.stride());
+    out.set_start_period(nfa.start_period());
+    for &old in members {
+        out.add_state(nfa.state(old).clone());
+    }
+    for &old in members {
+        let from = map[old.index()].expect("member must be mapped");
+        for &t in nfa.successors(old) {
+            if let Some(to) = map[t.index()] {
+                out.add_edge(from, to);
+            }
+        }
+    }
+    out
+}
+
+/// Breadth-first layering from the start states; states unreachable from a
+/// start get layer `usize::MAX`.
+///
+/// Used by the placement heuristics to split oversized components along
+/// "time" layers, which minimizes the number of cut transitions for the
+/// chain-like automata that dominate pattern-matching rule sets.
+pub fn bfs_layers(nfa: &Nfa) -> Vec<usize> {
+    let n = nfa.num_states();
+    let mut layer = vec![usize::MAX; n];
+    let mut frontier: Vec<StateId> = nfa.start_states();
+    for s in &frontier {
+        layer[s.index()] = 0;
+    }
+    let mut depth = 0;
+    while !frontier.is_empty() {
+        depth += 1;
+        let mut next = Vec::new();
+        for v in frontier.drain(..) {
+            for &t in nfa.successors(v) {
+                if layer[t.index()] == usize::MAX {
+                    layer[t.index()] = depth;
+                    next.push(t);
+                }
+            }
+        }
+        frontier = next;
+    }
+    layer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::{StartKind, Ste};
+    use crate::symbol::SymbolSet;
+
+    fn chain(nfa: &mut Nfa, syms: &[u8], report: u32) -> Vec<StateId> {
+        let mut ids = Vec::new();
+        for (i, &c) in syms.iter().enumerate() {
+            let mut ste = Ste::new(SymbolSet::singleton(8, c as u16));
+            if i == 0 {
+                ste = ste.start(StartKind::AllInput);
+            }
+            if i == syms.len() - 1 {
+                ste = ste.report(report);
+            }
+            ids.push(nfa.add_state(ste));
+        }
+        for w in ids.windows(2) {
+            nfa.add_edge(w[0], w[1]);
+        }
+        ids
+    }
+
+    #[test]
+    fn components_of_two_chains() {
+        let mut nfa = Nfa::new(8);
+        chain(&mut nfa, b"abc", 0);
+        chain(&mut nfa, b"xy", 1);
+        let comps = connected_components(&nfa);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].len(), 3);
+        assert_eq!(comps[1].len(), 2);
+    }
+
+    #[test]
+    fn components_follow_reverse_edges() {
+        // a → c ← b : one component even though no path a→b.
+        let mut nfa = Nfa::new(8);
+        let a = nfa.add_state(Ste::new(SymbolSet::singleton(8, 1)));
+        let b = nfa.add_state(Ste::new(SymbolSet::singleton(8, 2)));
+        let c = nfa.add_state(Ste::new(SymbolSet::singleton(8, 3)));
+        nfa.add_edge(a, c);
+        nfa.add_edge(b, c);
+        assert_eq!(connected_components(&nfa).len(), 1);
+    }
+
+    #[test]
+    fn prune_removes_dead_states() {
+        let mut nfa = Nfa::new(8);
+        let ids = chain(&mut nfa, b"ab", 0);
+        // Orphan state: unreachable and reportless.
+        nfa.add_state(Ste::new(SymbolSet::singleton(8, 99)));
+        // Reachable but cannot reach a report.
+        let dead_end = nfa.add_state(Ste::new(SymbolSet::singleton(8, 98)));
+        nfa.add_edge(ids[1], dead_end);
+        let removed = prune_useless(&mut nfa);
+        assert_eq!(removed, 2);
+        assert_eq!(nfa.num_states(), 2);
+        assert!(nfa.validate().is_ok());
+    }
+
+    #[test]
+    fn extract_preserves_internal_edges() {
+        let mut nfa = Nfa::new(8);
+        let ids = chain(&mut nfa, b"abcd", 0);
+        let sub = extract_subautomaton(&nfa, &ids[1..3]);
+        assert_eq!(sub.num_states(), 2);
+        assert_eq!(sub.num_transitions(), 1);
+        assert_eq!(sub.successors(StateId(0)), &[StateId(1)]);
+    }
+
+    #[test]
+    fn bfs_layers_count_depth() {
+        let mut nfa = Nfa::new(8);
+        let ids = chain(&mut nfa, b"abc", 0);
+        let layers = bfs_layers(&nfa);
+        assert_eq!(layers[ids[0].index()], 0);
+        assert_eq!(layers[ids[1].index()], 1);
+        assert_eq!(layers[ids[2].index()], 2);
+    }
+
+    #[test]
+    fn reachability_and_usefulness() {
+        let mut nfa = Nfa::new(8);
+        let ids = chain(&mut nfa, b"ab", 3);
+        let orphan = nfa.add_state(Ste::new(SymbolSet::singleton(8, 9)).report(4));
+        let reach = reachable_from_starts(&nfa);
+        assert!(reach[ids[0].index()] && reach[ids[1].index()]);
+        assert!(!reach[orphan.index()]);
+        let useful = can_reach_report(&nfa);
+        assert!(useful[ids[0].index()]);
+        assert!(useful[orphan.index()]); // it reports, even if unreachable
+    }
+}

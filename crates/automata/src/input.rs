@@ -1,0 +1,232 @@
+//! Input-stream views for different symbol widths and strides.
+//!
+//! The benchmark inputs are byte streams; depending on the configured
+//! processing rate the machine consumes them as 8-bit symbols, 4-bit nibbles,
+//! 16-bit symbol pairs, or fixed-width vectors of nibbles. [`InputView`]
+//! produces the per-cycle symbol vectors for any `(symbol_bits, stride)`
+//! combination, including the partially-valid final vector.
+
+use crate::error::AutomataError;
+
+/// Splits a byte into its (high, low) nibbles, high first.
+///
+/// The nibble transformation consumes the most-significant nibble first, so
+/// `0x3A` streams as `0x3` then `0xA`.
+pub fn byte_to_nibbles(byte: u8) -> (u8, u8) {
+    (byte >> 4, byte & 0x0F)
+}
+
+/// Expands a byte stream into a nibble stream (two nibbles per byte,
+/// most-significant first).
+pub fn nibbles_of_bytes(bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        let (hi, lo) = byte_to_nibbles(b);
+        out.push(hi);
+        out.push(lo);
+    }
+    out
+}
+
+/// One per-cycle symbol vector: `stride` symbols, of which the first
+/// `valid` carry real input (the rest are end-of-stream padding).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolVector {
+    /// The symbols for this cycle; length equals the stride.
+    pub symbols: Vec<u16>,
+    /// Number of leading symbols that are real input.
+    pub valid: usize,
+}
+
+/// A view of a byte stream as a sequence of per-cycle symbol vectors.
+///
+/// # Examples
+///
+/// ```
+/// use sunder_automata::input::InputView;
+///
+/// // 4-bit symbols, four per cycle (Sunder's 16-bit processing rate).
+/// let view = InputView::new(&[0x12, 0x34, 0x56], 4, 4)?;
+/// let cycles: Vec<_> = view.iter().collect();
+/// assert_eq!(cycles.len(), 2);
+/// assert_eq!(cycles[0].symbols, vec![0x1, 0x2, 0x3, 0x4]);
+/// assert_eq!(cycles[1].symbols, vec![0x5, 0x6, 0x0, 0x0]);
+/// assert_eq!(cycles[1].valid, 2);
+/// # Ok::<(), sunder_automata::AutomataError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct InputView {
+    symbols: Vec<u16>,
+    stride: usize,
+}
+
+impl InputView {
+    /// Builds a view of `bytes` as `stride`-wide vectors of
+    /// `symbol_bits`-wide symbols.
+    ///
+    /// Supported widths are 4 (nibbles), 8 (bytes), and 16 (byte pairs,
+    /// big-endian). A trailing odd byte for 16-bit symbols is padded with
+    /// zero in the low byte and still marked valid (it carries real input).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::UnsupportedWidth`] for other widths.
+    pub fn new(bytes: &[u8], symbol_bits: u8, stride: usize) -> Result<Self, AutomataError> {
+        assert!(stride >= 1, "stride must be at least 1");
+        let symbols: Vec<u16> = match symbol_bits {
+            4 => nibbles_of_bytes(bytes).into_iter().map(u16::from).collect(),
+            8 => bytes.iter().map(|&b| u16::from(b)).collect(),
+            16 => bytes
+                .chunks(2)
+                .map(|c| {
+                    let hi = u16::from(c[0]) << 8;
+                    let lo = c.get(1).copied().map(u16::from).unwrap_or(0);
+                    hi | lo
+                })
+                .collect(),
+            other => return Err(AutomataError::UnsupportedWidth(other)),
+        };
+        Ok(InputView { symbols, stride })
+    }
+
+    /// Builds a view directly from pre-split symbols.
+    pub fn from_symbols(symbols: Vec<u16>, stride: usize) -> Self {
+        assert!(stride >= 1, "stride must be at least 1");
+        InputView { symbols, stride }
+    }
+
+    /// Number of per-cycle vectors the stream yields.
+    pub fn num_cycles(&self) -> usize {
+        self.symbols.len().div_ceil(self.stride)
+    }
+
+    /// Total number of real symbols.
+    pub fn num_symbols(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Stride (symbols per cycle).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The raw symbol stream.
+    pub fn symbols(&self) -> &[u16] {
+        &self.symbols
+    }
+
+    /// Iterates over the per-cycle symbol vectors.
+    pub fn iter(&self) -> Vectors<'_> {
+        Vectors {
+            view: self,
+            pos: 0,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a InputView {
+    type Item = SymbolVector;
+    type IntoIter = Vectors<'a>;
+
+    fn into_iter(self) -> Vectors<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over the per-cycle [`SymbolVector`]s of an [`InputView`].
+#[derive(Debug, Clone)]
+pub struct Vectors<'a> {
+    view: &'a InputView,
+    pos: usize,
+}
+
+impl Iterator for Vectors<'_> {
+    type Item = SymbolVector;
+
+    fn next(&mut self) -> Option<SymbolVector> {
+        if self.pos >= self.view.symbols.len() {
+            return None;
+        }
+        let stride = self.view.stride;
+        let end = (self.pos + stride).min(self.view.symbols.len());
+        let valid = end - self.pos;
+        let mut symbols = Vec::with_capacity(stride);
+        symbols.extend_from_slice(&self.view.symbols[self.pos..end]);
+        symbols.resize(stride, 0);
+        self.pos += stride;
+        Some(SymbolVector { symbols, valid })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self
+            .view
+            .symbols
+            .len()
+            .saturating_sub(self.pos)
+            .div_ceil(self.view.stride);
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Vectors<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nibble_order_is_high_first() {
+        assert_eq!(byte_to_nibbles(0x3A), (0x3, 0xA));
+        assert_eq!(nibbles_of_bytes(&[0x12, 0xF0]), vec![1, 2, 0xF, 0]);
+    }
+
+    #[test]
+    fn byte_view() {
+        let v = InputView::new(b"ab", 8, 1).unwrap();
+        let cycles: Vec<_> = v.iter().collect();
+        assert_eq!(cycles.len(), 2);
+        assert_eq!(cycles[0].symbols, vec![b'a' as u16]);
+        assert_eq!(cycles[0].valid, 1);
+    }
+
+    #[test]
+    fn sixteen_bit_view_pads_odd_tail() {
+        let v = InputView::new(&[0xAB, 0xCD, 0xEF], 16, 1).unwrap();
+        let cycles: Vec<_> = v.iter().collect();
+        assert_eq!(cycles.len(), 2);
+        assert_eq!(cycles[0].symbols, vec![0xABCD]);
+        assert_eq!(cycles[1].symbols, vec![0xEF00]);
+    }
+
+    #[test]
+    fn partial_final_vector() {
+        let v = InputView::new(&[0x12], 4, 4).unwrap();
+        let cycles: Vec<_> = v.iter().collect();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].symbols, vec![1, 2, 0, 0]);
+        assert_eq!(cycles[0].valid, 2);
+    }
+
+    #[test]
+    fn unsupported_width_errors() {
+        assert!(matches!(
+            InputView::new(&[1], 5, 1),
+            Err(AutomataError::UnsupportedWidth(5))
+        ));
+    }
+
+    #[test]
+    fn exact_size_iterator() {
+        let v = InputView::new(&[1, 2, 3, 4, 5], 4, 4).unwrap();
+        assert_eq!(v.num_cycles(), 3);
+        assert_eq!(v.iter().len(), 3);
+        assert_eq!(v.num_symbols(), 10);
+    }
+
+    #[test]
+    fn empty_input() {
+        let v = InputView::new(&[], 8, 1).unwrap();
+        assert_eq!(v.num_cycles(), 0);
+        assert_eq!(v.iter().count(), 0);
+    }
+}

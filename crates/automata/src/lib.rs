@@ -1,0 +1,56 @@
+//! Homogeneous NFA toolkit for in-memory automata processing.
+//!
+//! This crate is the foundation of the Sunder reproduction: it defines the
+//! automata representation that every other crate (transformation, functional
+//! simulation, hardware model, workloads) builds on.
+//!
+//! # Model
+//!
+//! Automata are *homogeneous* (ANML-style): every state — called an STE,
+//! state transition element — owns the symbol set on which it activates, so
+//! edges carry no labels. This is exactly the structure in-memory automata
+//! accelerators implement: one memory column per STE, one-hot symbol
+//! encoding down the rows, and a label-independent interconnect.
+//!
+//! Two generalizations support Sunder's reconfigurable processing rates:
+//!
+//! * **symbol width** — an [`Nfa`] ranges over `w`-bit symbols, `w ≤ 16`;
+//!   byte automata use `w = 8` and Sunder's *nibble* automata use `w = 4`;
+//! * **stride** — a state may carry one charset per position of a
+//!   fixed-width symbol *vector* consumed each cycle (vectorized temporal
+//!   striding), with reports pinned to vector offsets to stay
+//!   cycle-accurate.
+//!
+//! # Quick start
+//!
+//! ```
+//! use sunder_automata::regex::compile_rule_set;
+//! use sunder_automata::stats::StaticStats;
+//!
+//! let nfa = compile_rule_set(&["ab+c", ".*evil", "[0-9]{4}"])?;
+//! let stats = StaticStats::of(&nfa);
+//! assert_eq!(stats.components, 3);
+//! # Ok::<(), sunder_automata::AutomataError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod anml;
+pub mod classic;
+pub mod dfa;
+pub mod error;
+pub mod graph;
+pub mod input;
+pub mod minimize;
+pub mod nfa;
+pub mod regex;
+pub mod stats;
+pub mod symbol;
+
+pub use classic::ClassicNfa;
+pub use dfa::{Dfa, DfaBlowup};
+pub use error::AutomataError;
+pub use input::InputView;
+pub use nfa::{Nfa, ReportInfo, StartKind, StateId, Ste};
+pub use symbol::SymbolSet;

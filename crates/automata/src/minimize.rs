@@ -1,0 +1,307 @@
+//! State reduction for homogeneous NFAs.
+//!
+//! Two exact, report-preserving merges run to a joint fixpoint:
+//!
+//! * **Forward merge** — states with identical charset vectors, start
+//!   behavior, reports, *and successor sets* are interchangeable: the merged
+//!   state activates exactly when either original would, enables the same
+//!   successors, and emits the same reports. This collapses shared
+//!   *suffixes*.
+//! * **Backward merge** — states with identical charset vectors, start
+//!   behavior, reports, *and predecessor sets* are always active
+//!   simultaneously, so they merge taking the union of their successors.
+//!   This collapses shared *prefixes*, which is where most of the nibble
+//!   transformation's redundancy lives (every pattern beginning with the
+//!   same byte grows an identical high-nibble state). Requiring equal
+//!   reports keeps distinct rules on distinct states: a hardware report
+//!   column can only be attributed to one rule set, so merging two
+//!   different reporting states would break report attribution (and make
+//!   the reporting-pressure experiments unrealistically light).
+//!
+//! This is the minimization FlexAmata applies after bitwidth transformation
+//! (paper, Section 4: "FlexAmata generates a binary NFA and minimizes the
+//! states when possible") — e.g. the shared 6-bit prefix of `A` and `B` in
+//! Figure 3 collapses into one state chain.
+
+use std::collections::HashMap;
+
+use crate::nfa::{Nfa, StateId};
+
+/// Sentinel used in signatures to make self-loops comparable across states.
+const SELF: u32 = u32::MAX;
+
+/// Merges forward- and backward-indistinguishable states in place, to a
+/// fixpoint. Returns the number of states eliminated.
+pub fn merge_equivalent_states(nfa: &mut Nfa) -> usize {
+    let before = nfa.num_states();
+    loop {
+        let f = merge_round(nfa, Direction::Forward);
+        let b = merge_round(nfa, Direction::Backward);
+        if f + b == 0 {
+            break;
+        }
+    }
+    before - nfa.num_states()
+}
+
+/// Runs only the forward merge to a fixpoint (for ablation studies).
+pub fn merge_forward_only(nfa: &mut Nfa) -> usize {
+    let before = nfa.num_states();
+    while merge_round(nfa, Direction::Forward) > 0 {}
+    before - nfa.num_states()
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Forward,
+    Backward,
+}
+
+/// One signature-based merge round. Returns the number of states removed.
+fn merge_round(nfa: &mut Nfa, dir: Direction) -> usize {
+    let n = nfa.num_states();
+    if n == 0 {
+        return 0;
+    }
+    let pred = if dir == Direction::Backward {
+        nfa.predecessors()
+    } else {
+        Vec::new()
+    };
+
+    let mut groups: HashMap<String, Vec<StateId>> = HashMap::new();
+    for (id, ste) in nfa.states() {
+        let normalize = |list: &[StateId]| -> Vec<u32> {
+            let mut v: Vec<u32> = list
+                .iter()
+                .map(|t| if *t == id { SELF } else { t.0 })
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let key = match dir {
+            Direction::Forward => {
+                let succ = normalize(nfa.successors(id));
+                let mut reports: Vec<(u32, u8)> =
+                    ste.reports().iter().map(|r| (r.id, r.offset)).collect();
+                reports.sort_unstable();
+                format!(
+                    "{:?}|{:?}|{:?}|{:?}",
+                    ste.charsets(),
+                    ste.start_kind(),
+                    reports,
+                    succ
+                )
+            }
+            Direction::Backward => {
+                let preds = normalize(&pred[id.index()]);
+                let mut reports: Vec<(u32, u8)> =
+                    ste.reports().iter().map(|r| (r.id, r.offset)).collect();
+                reports.sort_unstable();
+                format!(
+                    "{:?}|{:?}|{:?}|{:?}",
+                    ste.charsets(),
+                    ste.start_kind(),
+                    reports,
+                    preds
+                )
+            }
+        };
+        groups.entry(key).or_default().push(id);
+    }
+
+    // Representative = smallest id in each group.
+    let mut repr: Vec<StateId> = (0..n as u32).map(StateId).collect();
+    let mut removed = 0;
+    for members in groups.values() {
+        if members.len() < 2 {
+            continue;
+        }
+        let lead = *members.iter().min().expect("non-empty group");
+        for &m in members {
+            if m != lead {
+                repr[m.index()] = lead;
+                removed += 1;
+            }
+        }
+    }
+    if removed == 0 {
+        return 0;
+    }
+
+    // Rebuild: keep representatives, redirect all edges through the map.
+    // (In the backward direction this also unions the successor sets.)
+    let keep: Vec<bool> = (0..n).map(|i| repr[i] == StateId(i as u32)).collect();
+    let mut new_edges: Vec<(StateId, StateId)> = Vec::new();
+    for (id, _) in nfa.states() {
+        for &t in nfa.successors(id) {
+            new_edges.push((repr[id.index()], repr[t.index()]));
+        }
+    }
+    let old_to_new = nfa.retain_states(&keep);
+    for (f, t) in new_edges {
+        let nf = old_to_new[f.index()].expect("representative kept");
+        let nt = old_to_new[t.index()].expect("representative kept");
+        nfa.add_edge(nf, nt);
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::{StartKind, Ste};
+    use crate::symbol::SymbolSet;
+
+    fn sym(c: u8) -> SymbolSet {
+        SymbolSet::singleton(8, c as u16)
+    }
+
+    #[test]
+    fn merges_identical_leaves_then_parents() {
+        // Two identical chains a→b; suffix merging should collapse them
+        // completely into one chain.
+        let mut nfa = Nfa::new(8);
+        for _ in 0..2 {
+            let a = nfa.add_state(Ste::new(sym(b'a')).start(StartKind::AllInput));
+            let b = nfa.add_state(Ste::new(sym(b'b')).report(0));
+            nfa.add_edge(a, b);
+        }
+        let removed = merge_equivalent_states(&mut nfa);
+        assert_eq!(removed, 2);
+        assert_eq!(nfa.num_states(), 2);
+        assert_eq!(nfa.num_transitions(), 1);
+    }
+
+    #[test]
+    fn backward_merge_collapses_prefixes() {
+        // a→b, a→c where b and c have the same charset and no reports but
+        // different successors: backward merge unions the successor sets.
+        let mut nfa = Nfa::new(8);
+        let a = nfa.add_state(Ste::new(sym(b'a')).start(StartKind::AllInput));
+        let b = nfa.add_state(Ste::new(sym(b'x')));
+        let c = nfa.add_state(Ste::new(sym(b'x')));
+        let d = nfa.add_state(Ste::new(sym(b'd')).report(2));
+        let e = nfa.add_state(Ste::new(sym(b'e')).report(3));
+        nfa.add_edge(a, b);
+        nfa.add_edge(a, c);
+        nfa.add_edge(b, d);
+        nfa.add_edge(c, e);
+        let removed = merge_equivalent_states(&mut nfa);
+        assert_eq!(removed, 1);
+        assert_eq!(nfa.num_states(), 4);
+        // The merged x-state keeps edges to both tails.
+        let x = nfa
+            .states()
+            .find(|(_, s)| s.charset().contains(u16::from(b'x')))
+            .map(|(id, _)| id)
+            .unwrap();
+        assert_eq!(nfa.successors(x).len(), 2);
+    }
+
+    #[test]
+    fn backward_merge_never_unions_distinct_reports() {
+        // Two report states with different ids and identical predecessors
+        // must stay separate: a hardware report column is attributed to
+        // exactly one rule.
+        let mut nfa = Nfa::new(8);
+        let a = nfa.add_state(Ste::new(sym(b'a')).start(StartKind::AllInput));
+        let r1 = nfa.add_state(Ste::new(SymbolSet::full(8)).report(1));
+        let r2 = nfa.add_state(Ste::new(SymbolSet::full(8)).report(2));
+        nfa.add_edge(a, r1);
+        nfa.add_edge(a, r2);
+        assert_eq!(merge_equivalent_states(&mut nfa), 0);
+        assert_eq!(nfa.num_states(), 3);
+    }
+
+    #[test]
+    fn forward_only_does_not_merge_prefixes() {
+        let mut nfa = Nfa::new(8);
+        let a = nfa.add_state(Ste::new(sym(b'a')).start(StartKind::AllInput));
+        let b = nfa.add_state(Ste::new(sym(b'x')));
+        let c = nfa.add_state(Ste::new(sym(b'x')).report(1));
+        let d = nfa.add_state(Ste::new(sym(b'd')).report(2));
+        nfa.add_edge(a, b);
+        nfa.add_edge(a, c);
+        nfa.add_edge(b, d);
+        assert_eq!(merge_forward_only(&mut nfa), 0);
+        assert_eq!(nfa.num_states(), 4);
+    }
+
+    #[test]
+    fn does_not_merge_different_reports_forward() {
+        let mut nfa = Nfa::new(8);
+        // Different predecessors too, so backward merge can't apply.
+        let p = nfa.add_state(Ste::new(sym(b'p')).start(StartKind::AllInput));
+        let q = nfa.add_state(Ste::new(sym(b'q')).start(StartKind::AllInput));
+        let r1 = nfa.add_state(Ste::new(sym(b'a')).report(0));
+        let r2 = nfa.add_state(Ste::new(sym(b'a')).report(1));
+        nfa.add_edge(p, r1);
+        nfa.add_edge(q, r2);
+        assert_eq!(merge_equivalent_states(&mut nfa), 0);
+        assert_eq!(nfa.num_states(), 4);
+    }
+
+    #[test]
+    fn does_not_merge_different_start_kinds() {
+        let mut nfa = Nfa::new(8);
+        nfa.add_state(Ste::new(sym(b'a')).start(StartKind::AllInput).report(0));
+        nfa.add_state(Ste::new(sym(b'a')).start(StartKind::StartOfData).report(0));
+        assert_eq!(merge_equivalent_states(&mut nfa), 0);
+    }
+
+    #[test]
+    fn merges_self_looping_twins() {
+        let mut nfa = Nfa::new(8);
+        let r = nfa.add_state(Ste::new(sym(b'r')).report(0));
+        let u = nfa.add_state(Ste::new(sym(b'u')).start(StartKind::AllInput));
+        let v = nfa.add_state(Ste::new(sym(b'u')).start(StartKind::AllInput));
+        nfa.add_edge(u, u);
+        nfa.add_edge(v, v);
+        nfa.add_edge(u, r);
+        nfa.add_edge(v, r);
+        let removed = merge_equivalent_states(&mut nfa);
+        assert_eq!(removed, 1);
+        assert_eq!(nfa.num_states(), 2);
+        let looper = nfa
+            .states()
+            .find(|(_, s)| !s.is_reporting())
+            .map(|(id, _)| id)
+            .unwrap();
+        assert_eq!(nfa.successors(looper).len(), 2);
+    }
+
+    #[test]
+    fn predecessors_union_after_forward_merge() {
+        // p1 → x1, p2 → x2 with x1 == x2; after merge both p's point at x.
+        let mut nfa = Nfa::new(8);
+        let p1 = nfa.add_state(Ste::new(sym(b'p')).start(StartKind::AllInput));
+        let p2 = nfa.add_state(Ste::new(sym(b'q')).start(StartKind::AllInput));
+        let x1 = nfa.add_state(Ste::new(sym(b'x')).report(9));
+        let x2 = nfa.add_state(Ste::new(sym(b'x')).report(9));
+        nfa.add_edge(p1, x1);
+        nfa.add_edge(p2, x2);
+        merge_equivalent_states(&mut nfa);
+        assert_eq!(nfa.num_states(), 3);
+        let x = nfa.report_states()[0];
+        let pred = nfa.predecessors();
+        assert_eq!(pred[x.index()].len(), 2);
+    }
+
+    #[test]
+    fn shared_prefix_chains_collapse() {
+        // "abX" and "abY": the two a's share (no) predecessors and the two
+        // b's then share the merged a — full prefix collapse.
+        let mut nfa = Nfa::new(8);
+        for (tail, id) in [(b'X', 0u32), (b'Y', 1u32)] {
+            let a = nfa.add_state(Ste::new(sym(b'a')).start(StartKind::AllInput));
+            let b = nfa.add_state(Ste::new(sym(b'b')));
+            let t = nfa.add_state(Ste::new(sym(tail)).report(id));
+            nfa.add_edge(a, b);
+            nfa.add_edge(b, t);
+        }
+        merge_equivalent_states(&mut nfa);
+        assert_eq!(nfa.num_states(), 4); // a, b, X, Y
+    }
+}

@@ -1,0 +1,127 @@
+//! Static (structure-only) automaton statistics.
+//!
+//! These are the "Static Analysis" columns of the paper's Table 1 plus the
+//! structural quantities that drive the transformation overheads of Table 3
+//! (symbol density in particular).
+
+use std::fmt;
+
+use crate::graph::connected_components;
+use crate::nfa::Nfa;
+
+/// Structure-only statistics of an automaton.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticStats {
+    /// Total number of states (`#States` in Table 1).
+    pub states: usize,
+    /// Total number of transitions.
+    pub transitions: usize,
+    /// Number of reporting states (`#Report States`).
+    pub report_states: usize,
+    /// Number of start states.
+    pub start_states: usize,
+    /// Number of weakly connected components (≈ independent patterns).
+    pub components: usize,
+    /// Largest component size (bounds the placement granularity).
+    pub largest_component: usize,
+    /// Mean fraction of the alphabet accepted per state. Symbol-dense
+    /// benchmarks (Brill, Protomata, …) pay the largest nibble-transform
+    /// overhead (paper, Section 7.2).
+    pub mean_symbol_density: f64,
+    /// Maximum out-degree over all states.
+    pub max_fan_out: usize,
+}
+
+impl StaticStats {
+    /// Computes the statistics for an automaton.
+    pub fn of(nfa: &Nfa) -> Self {
+        let comps = connected_components(nfa);
+        let mut density_sum = 0.0;
+        let mut max_fan_out = 0;
+        for (id, ste) in nfa.states() {
+            let d: f64 = ste
+                .charsets()
+                .iter()
+                .map(|c| c.density())
+                .sum::<f64>()
+                / ste.charsets().len() as f64;
+            density_sum += d;
+            max_fan_out = max_fan_out.max(nfa.successors(id).len());
+        }
+        let states = nfa.num_states();
+        StaticStats {
+            states,
+            transitions: nfa.num_transitions(),
+            report_states: nfa.report_states().len(),
+            start_states: nfa.start_states().len(),
+            components: comps.len(),
+            largest_component: comps.iter().map(Vec::len).max().unwrap_or(0),
+            mean_symbol_density: if states == 0 {
+                0.0
+            } else {
+                density_sum / states as f64
+            },
+            max_fan_out,
+        }
+    }
+
+    /// `#Report States / #States`, as a percentage (Table 1, fifth column).
+    pub fn report_state_percent(&self) -> f64 {
+        if self.states == 0 {
+            0.0
+        } else {
+            100.0 * self.report_states as f64 / self.states as f64
+        }
+    }
+}
+
+impl fmt::Display for StaticStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} states, {} transitions, {} report states ({:.1}%), {} components (max {}), density {:.3}",
+            self.states,
+            self.transitions,
+            self.report_states,
+            self.report_state_percent(),
+            self.components,
+            self.largest_component,
+            self.mean_symbol_density,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::compile_rule_set;
+
+    #[test]
+    fn stats_of_rule_set() {
+        let nfa = compile_rule_set(&["abc", "x[0-9]z"]).unwrap();
+        let s = StaticStats::of(&nfa);
+        assert_eq!(s.states, 6);
+        assert_eq!(s.transitions, 4);
+        assert_eq!(s.report_states, 2);
+        assert_eq!(s.start_states, 2);
+        assert_eq!(s.components, 2);
+        assert_eq!(s.largest_component, 3);
+        assert!((s.report_state_percent() - 100.0 * 2.0 / 6.0).abs() < 1e-9);
+        assert!(s.mean_symbol_density > 0.0 && s.mean_symbol_density < 0.02);
+    }
+
+    #[test]
+    fn empty_automaton() {
+        let s = StaticStats::of(&Nfa::new(8));
+        assert_eq!(s.states, 0);
+        assert_eq!(s.report_state_percent(), 0.0);
+        assert_eq!(s.mean_symbol_density, 0.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let nfa = compile_rule_set(&["ab"]).unwrap();
+        let text = StaticStats::of(&nfa).to_string();
+        assert!(text.contains("2 states"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the symbol-set algebra.
+
+use proptest::prelude::*;
+use sunder_automata::SymbolSet;
+
+fn set_of(bits: u8, symbols: &[u16]) -> SymbolSet {
+    SymbolSet::from_symbols(
+        bits,
+        symbols.iter().map(|&s| (u32::from(s) % (1u32 << bits)) as u16),
+    )
+}
+
+fn symbols() -> impl Strategy<Value = Vec<u16>> {
+    prop::collection::vec(any::<u16>(), 0..40)
+}
+
+fn widths() -> impl Strategy<Value = u8> {
+    prop::sample::select(vec![4u8, 8, 12, 16])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn double_complement_is_identity(bits in widths(), syms in symbols()) {
+        let a = set_of(bits, &syms);
+        prop_assert_eq!(a.complement().complement(), a);
+    }
+
+    #[test]
+    fn de_morgan(bits in widths(), xs in symbols(), ys in symbols()) {
+        let a = set_of(bits, &xs);
+        let b = set_of(bits, &ys);
+        // ¬(a ∪ b) == ¬a ∩ ¬b
+        let mut union = a.clone();
+        union.union_with(&b);
+        let lhs = union.complement();
+        let mut rhs = a.complement();
+        rhs.intersect_with(&b.complement());
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn union_and_intersection_cardinalities(bits in widths(), xs in symbols(), ys in symbols()) {
+        let a = set_of(bits, &xs);
+        let b = set_of(bits, &ys);
+        let mut u = a.clone();
+        u.union_with(&b);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        // |A ∪ B| + |A ∩ B| = |A| + |B|
+        prop_assert_eq!(u.len() + i.len(), a.len() + b.len());
+        prop_assert!(u.len() >= a.len().max(b.len()));
+        prop_assert!(i.len() <= a.len().min(b.len()));
+        prop_assert_eq!(a.intersects(&b), i.len() > 0);
+    }
+
+    #[test]
+    fn iteration_round_trips(bits in widths(), xs in symbols()) {
+        let a = set_of(bits, &xs);
+        let collected: Vec<u16> = a.iter().collect();
+        prop_assert_eq!(collected.len(), a.len());
+        // Sorted and unique.
+        for w in collected.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        let rebuilt = SymbolSet::from_symbols(bits, collected);
+        prop_assert_eq!(rebuilt, a);
+    }
+
+    #[test]
+    fn nibble_decomposition_partitions(xs in symbols()) {
+        // Splitting an 8-bit set by top nibble loses nothing.
+        let a = set_of(8, &xs);
+        let mut total = 0;
+        for nib in 0..16u16 {
+            let sub = a.sub_set_for_top_nibble(nib);
+            total += sub.len();
+            for low in sub.iter() {
+                prop_assert!(a.contains((nib << 4) | low));
+            }
+        }
+        prop_assert_eq!(total, a.len());
+    }
+
+    #[test]
+    fn complement_partitions_alphabet(bits in widths(), xs in symbols()) {
+        let a = set_of(bits, &xs);
+        let c = a.complement();
+        prop_assert!(!a.intersects(&c) || a.is_empty() || c.is_empty());
+        prop_assert_eq!(a.len() + c.len(), a.alphabet_size());
+    }
+
+    #[test]
+    fn density_bounds(bits in widths(), xs in symbols()) {
+        let a = set_of(bits, &xs);
+        let d = a.density();
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert_eq!(d == 0.0, a.is_empty());
+        prop_assert_eq!(d == 1.0, a.is_full());
+    }
+}

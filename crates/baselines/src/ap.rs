@@ -1,0 +1,320 @@
+//! The Micron Automata Processor's hierarchical reporting architecture
+//! (paper, Section 2.2 / Figure 2), with the optional Report Aggregator
+//! Division (RAD) of Wadden et al. (HPCA '18).
+//!
+//! Structure: report STEs are distributed over *reporting regions* of up
+//! to 1024 STEs. Whenever any STE of a region fires, the region offloads a
+//! full 1024-bit vector plus 64-bit metadata into its L1 buffer (481 Kb).
+//! A full L1 must be offloaded through the shared L2 buffers to the host,
+//! and the AP cannot push and pop simultaneously, so execution stalls for
+//! the duration of the offload.
+//!
+//! The offload stall is a single calibrated constant,
+//! [`ApParams::fill_stall_cycles`]: 481 Kb exported at the AP's effective
+//! export bandwidth (~40 bits/cycle at its 133 MHz clock) ≈ 12,000 cycles.
+//! With it, the model lands on the paper's Table 4 anchors (Snort ≈ 46×,
+//! Brill ≈ 7×, TCP ≈ 3.8×, average ≈ 4.7×) from the report streams alone.
+//!
+//! **RAD** divides each region's vector into chunks with their own
+//! metadata and offloads only non-empty chunks, which compresses *sparse*
+//! report cycles. Dense cycles touch every chunk, so RAD degenerates to
+//! (at worst) the full vector — exactly the paper's observation that RAD
+//! does not help SPM.
+
+use std::collections::HashMap;
+
+use sunder_automata::{Nfa, StateId};
+use sunder_sim::{ReportEvent, ReportSink};
+
+/// Parameters of the AP reporting model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApParams {
+    /// Report STEs per reporting region.
+    pub report_stes_per_region: usize,
+    /// L1 buffer capacity per region, in bits (481 Kb).
+    pub l1_bits: u64,
+    /// Offloaded vector width per trigger (1024 bits).
+    pub vector_bits: u64,
+    /// Metadata bits per offloaded vector or chunk (64).
+    pub metadata_bits: u64,
+    /// Stall cycles for one L1 offload episode (calibrated; see module
+    /// docs).
+    pub fill_stall_cycles: u64,
+    /// RAD chunk width in bits; `None` disables RAD.
+    pub rad_chunk_bits: Option<u64>,
+}
+
+impl ApParams {
+    /// The plain AP reporting architecture.
+    pub fn ap() -> Self {
+        ApParams {
+            report_stes_per_region: 1024,
+            l1_bits: 481 * 1024,
+            vector_bits: 1024,
+            metadata_bits: 64,
+            fill_stall_cycles: 12_000,
+            rad_chunk_bits: None,
+        }
+    }
+
+    /// AP with Report Aggregator Division (32-bit chunks).
+    pub fn ap_rad() -> Self {
+        ApParams {
+            rad_chunk_bits: Some(32),
+            ..ApParams::ap()
+        }
+    }
+}
+
+impl Default for ApParams {
+    fn default() -> Self {
+        ApParams::ap()
+    }
+}
+
+/// Statistics of one AP reporting run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApStats {
+    /// Cycles observed (the kernel's nominal cycle count).
+    pub cycles: u64,
+    /// Stall cycles due to L1 offloads.
+    pub stall_cycles: u64,
+    /// L1 fill (offload) episodes.
+    pub fills: u64,
+    /// Region-vector (or chunk-set) pushes.
+    pub pushes: u64,
+    /// Total bits pushed into L1 buffers.
+    pub bits_pushed: u64,
+    /// Reports observed.
+    pub reports: u64,
+}
+
+impl ApStats {
+    /// The reporting overhead: `(cycles + stalls) / cycles`.
+    pub fn reporting_overhead(&self) -> f64 {
+        if self.cycles == 0 {
+            1.0
+        } else {
+            (self.cycles + self.stall_cycles) as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The AP reporting datapath, consumable as a [`ReportSink`]: feed it the
+/// functional simulator's report stream and read the overhead afterwards.
+#[derive(Debug)]
+pub struct ApReportingModel {
+    params: ApParams,
+    /// Dense report-state index per automaton state.
+    report_index: HashMap<StateId, usize>,
+    regions: usize,
+    /// L1 occupancy per region, in bits.
+    l1_used: Vec<u64>,
+    /// Scratch: distinct (region, chunk) pairs for the current cycle.
+    scratch: Vec<(usize, u64)>,
+    stats: ApStats,
+}
+
+impl ApReportingModel {
+    /// Builds the model for an automaton's report-state population.
+    ///
+    /// Report states are spread round-robin across
+    /// `⌈report states / 1024⌉` regions, reflecting that the AP routes
+    /// each reporting STE to one of its reporting regions.
+    pub fn new(nfa: &Nfa, params: ApParams) -> Self {
+        let report_states = nfa.report_states();
+        let regions = report_states.len().div_ceil(params.report_stes_per_region).max(1);
+        let report_index = report_states
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i))
+            .collect();
+        ApReportingModel {
+            params,
+            report_index,
+            regions,
+            l1_used: vec![0; regions],
+            scratch: Vec::new(),
+            stats: ApStats::default(),
+        }
+    }
+
+    /// Number of reporting regions.
+    pub fn regions(&self) -> usize {
+        self.regions
+    }
+
+    /// Results so far. `cycles` must be set by [`ApReportingModel::finish`].
+    pub fn stats(&self) -> &ApStats {
+        &self.stats
+    }
+
+    /// Finalizes the run with the kernel's nominal cycle count.
+    pub fn finish(mut self, cycles: u64) -> ApStats {
+        self.stats.cycles = cycles;
+        self.stats
+    }
+
+    fn push_region_bits(&mut self, region: usize, bits: u64) {
+        self.stats.pushes += 1;
+        self.stats.bits_pushed += bits;
+        if self.l1_used[region] + bits > self.params.l1_bits {
+            // Offload: the AP stalls (no simultaneous push/pop).
+            self.stats.fills += 1;
+            self.stats.stall_cycles += self.params.fill_stall_cycles;
+            self.l1_used[region] = 0;
+        }
+        self.l1_used[region] += bits;
+    }
+}
+
+impl ReportSink for ApReportingModel {
+    fn on_cycle_reports(&mut self, _cycle: u64, reports: &[ReportEvent]) {
+        self.stats.reports += reports.len() as u64;
+        // Distinct (region, chunk) pairs triggered this cycle.
+        self.scratch.clear();
+        let chunk_bits = self.params.rad_chunk_bits.unwrap_or(0);
+        for ev in reports {
+            let Some(&idx) = self.report_index.get(&ev.state) else {
+                continue;
+            };
+            let region = idx % self.regions;
+            let within = (idx / self.regions) as u64;
+            let chunk = if chunk_bits > 0 { within / chunk_bits } else { 0 };
+            self.scratch.push((region, chunk));
+        }
+        self.scratch.sort_unstable();
+        self.scratch.dedup();
+
+        match self.params.rad_chunk_bits {
+            None => {
+                // One full vector + metadata per triggered region.
+                let mut r = 0;
+                while r < self.scratch.len() {
+                    let region = self.scratch[r].0;
+                    while r < self.scratch.len() && self.scratch[r].0 == region {
+                        r += 1;
+                    }
+                    self.push_region_bits(
+                        region,
+                        self.params.vector_bits + self.params.metadata_bits,
+                    );
+                }
+            }
+            Some(chunk) => {
+                // Non-empty chunks with per-chunk metadata, capped at the
+                // full-vector cost (dense cycles gain nothing from RAD).
+                let mut r = 0;
+                while r < self.scratch.len() {
+                    let region = self.scratch[r].0;
+                    let mut chunks = 0u64;
+                    while r < self.scratch.len() && self.scratch[r].0 == region {
+                        chunks += 1;
+                        r += 1;
+                    }
+                    let rad_bits = chunks * (chunk + self.params.metadata_bits);
+                    let full_bits = self.params.vector_bits + self.params.metadata_bits;
+                    self.push_region_bits(region, rad_bits.min(full_bits));
+                }
+            }
+        }
+    }
+
+    fn on_cycle_activity(&mut self, _cycle: u64, _active: usize) {
+        self.stats.cycles += 1;
+    }
+}
+
+/// Convenience: runs `nfa` over `input` (byte view) through the functional
+/// simulator with the AP model attached; returns the finished statistics.
+///
+/// # Errors
+///
+/// Returns an error if the input cannot be viewed at the automaton's
+/// symbol width.
+pub fn evaluate(
+    nfa: &Nfa,
+    input: &[u8],
+    params: ApParams,
+) -> Result<ApStats, sunder_automata::AutomataError> {
+    let view = sunder_automata::InputView::new(input, nfa.symbol_bits(), nfa.stride())?;
+    let mut sim = sunder_sim::Simulator::new(nfa);
+    let mut model = ApReportingModel::new(nfa, params);
+    sim.run(&view, &mut model);
+    let stats = *model.stats();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunder_automata::regex::compile_rule_set;
+
+    #[test]
+    fn quiet_workload_has_no_overhead() {
+        let nfa = compile_rule_set(&["never"]).unwrap();
+        let stats = evaluate(&nfa, &vec![b'x'; 10_000], ApParams::ap()).unwrap();
+        assert_eq!(stats.fills, 0);
+        assert_eq!(stats.reporting_overhead(), 1.0);
+        assert_eq!(stats.cycles, 10_000);
+    }
+
+    #[test]
+    fn continuous_reporting_fills_l1() {
+        // One report every cycle: vector+meta = 1088 bits; L1 holds 452.
+        let nfa = compile_rule_set(&["."]).unwrap();
+        let input = vec![b'a'; 10_000];
+        let stats = evaluate(&nfa, &input, ApParams::ap()).unwrap();
+        assert_eq!(stats.pushes, 10_000);
+        let expected_fills = (10_000 * 1088) / (481 * 1024);
+        assert_eq!(stats.fills, expected_fills as u64);
+        assert!(stats.reporting_overhead() > 20.0, "AP melts under dense reporting");
+    }
+
+    #[test]
+    fn rad_compresses_sparse_reporting() {
+        let nfa = compile_rule_set(&["."]).unwrap();
+        let input = vec![b'a'; 50_000];
+        let ap = evaluate(&nfa, &input, ApParams::ap()).unwrap();
+        let rad = evaluate(&nfa, &input, ApParams::ap_rad()).unwrap();
+        // One report per cycle = one 96-bit chunk vs a 1088-bit vector.
+        assert!(rad.bits_pushed < ap.bits_pushed / 10);
+        assert!(rad.stall_cycles < ap.stall_cycles);
+        assert!(rad.reporting_overhead() < ap.reporting_overhead());
+    }
+
+    #[test]
+    fn rad_does_not_help_dense_reporting() {
+        // 400 patterns all firing together each cycle touch every chunk;
+        // with the full-vector cap, RAD ≈ AP.
+        let patterns: Vec<String> = (0..400).map(|_| ".".to_string()).collect();
+        let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
+        let nfa = compile_rule_set(&refs).unwrap();
+        let input = vec![b'a'; 20_000];
+        let ap = evaluate(&nfa, &input, ApParams::ap()).unwrap();
+        let rad = evaluate(&nfa, &input, ApParams::ap_rad()).unwrap();
+        let ratio = rad.reporting_overhead() / ap.reporting_overhead();
+        assert!((0.9..=1.01).contains(&ratio), "RAD dense ratio {ratio}");
+    }
+
+    #[test]
+    fn regions_scale_with_report_states() {
+        let patterns: Vec<String> = (0..1500).map(|i| format!("p{i:04}")).collect();
+        let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
+        let nfa = compile_rule_set(&refs).unwrap();
+        let model = ApReportingModel::new(&nfa, ApParams::ap());
+        assert_eq!(model.regions(), 2);
+    }
+
+    #[test]
+    fn multi_region_cycle_pushes_both() {
+        // Two reporting states in different regions firing together.
+        let patterns: Vec<String> = (0..1100).map(|i| format!("q{i:04}")).collect();
+        let mut refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
+        refs[0] = "."; // state 0 fires every cycle
+        refs[1] = "."; // state 1 fires every cycle (region 1 under rr)
+        let nfa = compile_rule_set(&refs).unwrap();
+        let stats = evaluate(&nfa, &vec![b'a'; 100], ApParams::ap()).unwrap();
+        assert_eq!(stats.pushes, 200, "two regions per cycle");
+    }
+}

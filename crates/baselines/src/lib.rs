@@ -1,0 +1,32 @@
+//! Reporting-architecture baselines.
+//!
+//! The paper compares Sunder's in-place reporting against the Micron
+//! Automata Processor's hierarchical buffers, with and without the Report
+//! Aggregator Division (RAD) compression of Wadden et al. Cache Automaton
+//! and Impala "overlook the real cost of reporting", so the evaluation
+//! attaches the same AP-style reporting architecture to them (Section
+//! 7.1); consequently their *reporting overhead* equals the AP's and only
+//! their kernel frequency and processing rate differ — both of which live
+//! in [`sunder_tech::timing`].
+//!
+//! [`ap::ApReportingModel`] is a [`sunder_sim::ReportSink`]: drive it with
+//! the functional simulator's report stream and read the stall statistics
+//! afterwards.
+//!
+//! ```
+//! use sunder_automata::regex::compile_rule_set;
+//! use sunder_baselines::ap::{evaluate, ApParams};
+//!
+//! let nfa = compile_rule_set(&["alert"])?;
+//! let stats = evaluate(&nfa, b"nothing to see... alert!", ApParams::ap())?;
+//! assert_eq!(stats.reports, 1);
+//! assert_eq!(stats.reporting_overhead(), 1.0); // far from filling L1
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ap;
+
+pub use ap::{ApParams, ApReportingModel, ApStats};

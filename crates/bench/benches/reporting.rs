@@ -1,0 +1,101 @@
+//! Criterion benches of the reporting datapaths: Sunder's in-place region
+//! operations and the AP buffer model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use sunder_arch::reporting::ReportRegion;
+use sunder_arch::{Subarray, SunderConfig};
+use sunder_baselines::ap::{ApParams, ApReportingModel};
+use sunder_sim::ReportSink;
+use sunder_sim::{ReportEvent, Simulator};
+use sunder_automata::InputView;
+use sunder_transform::Rate;
+use sunder_workloads::{Benchmark, Scale};
+
+fn bench_region_ops(c: &mut Criterion) {
+    let config = SunderConfig::with_rate(Rate::Nibble4);
+    let mut group = c.benchmark_group("report_region");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("write_entry", |b| {
+        let mut subarray = Subarray::new();
+        let mut region = ReportRegion::new(&config);
+        let mut cycle = 0u64;
+        b.iter(|| {
+            if region.is_full() {
+                let _ = region.flush(&mut subarray);
+            }
+            cycle += 1;
+            black_box(region.write(&mut subarray, 0xABC, cycle))
+        })
+    });
+
+    group.bench_function("summarize_192_rows", |b| {
+        let mut subarray = Subarray::new();
+        let mut region = ReportRegion::new(&config);
+        for i in 0..region.capacity() {
+            region.write(&mut subarray, 1 << (i % 12), i);
+        }
+        b.iter(|| black_box(region.summarize(&subarray)))
+    });
+
+    group.bench_function("drain_row", |b| {
+        let mut subarray = Subarray::new();
+        let mut region = ReportRegion::new(&config);
+        b.iter(|| {
+            if region.is_empty() {
+                for i in 0..64 {
+                    region.write(&mut subarray, 0xFFF, i);
+                }
+            }
+            black_box(region.drain_row(&subarray).len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_ap_model(c: &mut Criterion) {
+    let scale = Scale {
+        state_fraction: 0.02,
+        input_len: 32 * 1024,
+    };
+    let w = Benchmark::Snort.build(scale);
+    let view = InputView::new(&w.input, 8, 1).expect("view");
+    let mut group = c.benchmark_group("ap_reporting_model");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(w.input.len() as u64));
+    for (label, params) in [("ap", ApParams::ap()), ("rad", ApParams::ap_rad())] {
+        group.bench_function(BenchmarkId::new("snort_stream", label), |b| {
+            b.iter(|| {
+                let mut sim = Simulator::new(&w.nfa);
+                let mut model = ApReportingModel::new(&w.nfa, params);
+                sim.run(&view, &mut model);
+                black_box(model.stats().stall_cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sink_dispatch(c: &mut Criterion) {
+    // Measures the per-report-cycle cost of the sink interface itself.
+    let events: Vec<ReportEvent> = (0..8)
+        .map(|i| ReportEvent {
+            cycle: i,
+            state: sunder_automata::StateId(i as u32),
+            info: sunder_automata::ReportInfo::new(i as u32),
+        })
+        .collect();
+    c.bench_function("count_sink_batch_of_8", |b| {
+        let mut sink = sunder_sim::CountSink::new();
+        let mut cycle = 0;
+        b.iter(|| {
+            cycle += 1;
+            sink.on_cycle_reports(cycle, &events);
+            black_box(sink.reports)
+        })
+    });
+}
+
+criterion_group!(benches, bench_region_ops, bench_ap_model, bench_sink_dispatch);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benches of the transformation toolchain, including the
+//! minimization ablation DESIGN.md calls out: how much the prefix/suffix
+//! merging passes cost and save.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sunder_transform::{
+    to_nibble_automaton, transform_to_rate_with, Rate, TransformOptions,
+};
+use sunder_workloads::{Benchmark, Scale};
+
+fn bench_nibble_transform(c: &mut Criterion) {
+    let scale = Scale {
+        state_fraction: 0.05,
+        input_len: 1024,
+    };
+    let mut group = c.benchmark_group("nibble_transform");
+    group.sample_size(10);
+    for bench in [Benchmark::Snort, Benchmark::Brill, Benchmark::Hamming] {
+        let w = bench.build(scale);
+        group.bench_function(BenchmarkId::new("to_nibbles", bench.name()), |b| {
+            b.iter(|| black_box(to_nibble_automaton(&w.nfa).expect("transform")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_minimization_ablation(c: &mut Criterion) {
+    let scale = Scale {
+        state_fraction: 0.03,
+        input_len: 1024,
+    };
+    let w = Benchmark::Bro217.build(scale);
+    let mut group = c.benchmark_group("stride_pipeline");
+    group.sample_size(10);
+    for (label, options) in [
+        (
+            "minimized",
+            TransformOptions {
+                minimize: true,
+                prune: true,
+            },
+        ),
+        (
+            "raw",
+            TransformOptions {
+                minimize: false,
+                prune: false,
+            },
+        ),
+    ] {
+        group.bench_function(BenchmarkId::new("to_16bit", label), |b| {
+            b.iter(|| {
+                black_box(
+                    transform_to_rate_with(&w.nfa, Rate::Nibble4, options).expect("transform"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nibble_transform, bench_minimization_ablation);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Regenerates the paper's Figure 10: performance slowdown vs. the
+//! percentage of reporting cycles (1%–100%), with and without report
+//! summarization, for a subarray with 12 reporting states at the 16-bit
+//! rate.
+//!
+//! Usage: `cargo run -p sunder-bench --bin fig10`
+
+use sunder_arch::sensitivity::{figure10, HOST_ROW_READ_CYCLES};
+use sunder_arch::{SunderConfig, SunderMachine};
+use sunder_automata::{InputView, Nfa, StartKind, Ste, SymbolSet};
+use sunder_bench::table::TextTable;
+use sunder_sim::NullSink;
+use sunder_transform::{transform_to_rate, Rate};
+
+/// Builds a single always-enabled report state whose charset covers
+/// `percent`% of the byte alphabet: the machine then generates a report
+/// entry in that fraction of cycles.
+fn hot_automaton(percent: u32) -> Nfa {
+    let mut nfa = Nfa::new(8);
+    let hi = (256 * percent / 100).max(1) as u16 - 1;
+    nfa.add_state(
+        Ste::new(SymbolSet::range(8, 0, hi))
+            .start(StartKind::AllInput)
+            .report(0),
+    );
+    nfa
+}
+
+/// Runs the machine on uniform-random bytes and returns the measured
+/// slowdown, with the host drain cost matched to the analytic model.
+fn measured_slowdown(percent: u32, summarize_mode: bool) -> f64 {
+    let nfa = hot_automaton(percent);
+    let strided = transform_to_rate(&nfa, Rate::Nibble4).expect("transform");
+    let mut config = SunderConfig::with_rate(Rate::Nibble4);
+    config.flush_cycles_per_row = HOST_ROW_READ_CYCLES as u32;
+    // Uniform bytes via a fixed multiplicative generator.
+    let mut x = 0x9E37_79B9u64;
+    let input: Vec<u8> = (0..400_000)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33) as u8
+        })
+        .collect();
+    let view = InputView::new(&input, 4, 4).expect("view");
+    let mut machine = SunderMachine::new(&strided, config).expect("place");
+    let stats = machine.run(&view, &mut NullSink);
+    if summarize_mode {
+        // Summarization replaces the flush drain: per fill, 12 batches of
+        // (2-cycle NOR + one summary-row transfer) instead of 192 rows.
+        let per_fill_flush = config.flush_stall_cycles();
+        let per_fill_summarize =
+            12 * (2 + HOST_ROW_READ_CYCLES);
+        let adjusted = stats.stall_cycles / per_fill_flush.max(1) * per_fill_summarize;
+        (stats.input_cycles + adjusted) as f64 / stats.input_cycles as f64
+    } else {
+        stats.reporting_overhead()
+    }
+}
+
+fn main() {
+    println!("Figure 10: slowdown vs. reporting-cycle percentage\n");
+    let config = SunderConfig::with_rate(Rate::Nibble4);
+    let percents = [1, 2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+    let rows = figure10(&config, &percents);
+    let mut table = TextTable::new([
+        "Report cycles %",
+        "No summarization",
+        "(machine)",
+        "With summarization",
+        "(machine)",
+    ]);
+    for (p, plain, summarized) in rows {
+        table.row([
+            format!("{p}%"),
+            format!("{plain:.2}x"),
+            format!("{:.2}x", measured_slowdown(p, false)),
+            format!("{summarized:.2}x"),
+            format!("{:.2}x", measured_slowdown(p, true)),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nAnalytic model columns 2/4; cycle-level machine measurements 3/5");
+    println!("(one subarray, hot charset covering the given alphabet fraction;");
+    println!("the machine consumes 2 bytes/cycle, so its per-cycle report");
+    println!("fraction is 1-(1-p)^2 — the mid-range measured columns sit on the");
+    println!("analytic curve evaluated at that fraction).");
+    println!("Paper anchors: negligible below 5%; worst case 7x without and 1.4x with summarization.");
+    println!("(AP-style reporting reaches 46x at just 3.24% report cycles — SPM in Table 1.)");
+}

@@ -1,0 +1,45 @@
+//! Regenerates the paper's Figure 8: end-to-end throughput of Sunder vs.
+//! Impala, Cache Automaton, and the AP, under AP-style and AP+RAD
+//! reporting for the baselines.
+//!
+//! By default the paper's average reporting overheads are used (Sunder
+//! 1.0×, AP-style 4.69×, RAD 2.23×). Pass the averages printed by the
+//! `table4` binary to use measured values:
+//!
+//! `cargo run -p sunder-bench --release --bin fig8 [sunder ap rad]`
+
+use sunder_bench::table::TextTable;
+use sunder_tech::throughput::{figure8, Throughput};
+
+fn main() {
+    let args: Vec<f64> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let (sunder_oh, ap_oh, rad_oh) = match args.as_slice() {
+        [s, a, r] => (*s, *a, *r),
+        _ => (1.0, 4.69, 2.23),
+    };
+    println!(
+        "Figure 8: throughput (Gbps); overheads: sunder={sunder_oh:.2}x ap-style={ap_oh:.2}x rad={rad_oh:.2}x\n"
+    );
+
+    for (label, baseline_oh) in [("AP-style reporting", ap_oh), ("AP+RAD reporting", rad_oh)] {
+        println!("-- {label} --");
+        let rows = figure8(sunder_oh, baseline_oh);
+        let sunder = rows[0].gbps;
+        let mut table = TextTable::new(["Architecture", "Kernel Gbps", "End-to-end Gbps", "Sunder speedup"]);
+        for t in &rows {
+            table.row([
+                t.architecture.to_string(),
+                format!("{:.1}", Throughput::kernel_gbps(t.architecture)),
+                format!("{:.2}", t.gbps),
+                format!("{:.1}x", sunder / t.gbps),
+            ]);
+        }
+        print!("{}", table.render());
+        println!();
+    }
+    println!("Paper headline speedups (AP-style): 280x / 22x / 10x / 4x vs AP(50nm)/AP(14nm)/CA/Impala");
+    println!("Paper headline speedups (AP+RAD):   133x / 10.4x / 4.8x / 1.9x");
+}

@@ -1,0 +1,47 @@
+//! Regenerates the paper's Figure 9: area for 32K STEs, decomposed into
+//! state matching, interconnect, and reporting.
+//!
+//! Usage: `cargo run -p sunder-bench --bin fig9`
+
+use sunder_bench::table::TextTable;
+use sunder_tech::area::{ap_buffer_bits_per_report_ste, report_buffer_bits_per_report_ste};
+use sunder_tech::{AreaBreakdown, Architecture};
+
+const STES: usize = 32 * 1024;
+
+fn main() {
+    println!("Figure 9: area overhead for 32K STEs (mm^2)\n");
+    let mut table = TextTable::new([
+        "Architecture",
+        "Matching",
+        "Interconnect",
+        "Reporting",
+        "Total",
+        "vs Sunder",
+    ]);
+    let sunder_total = AreaBreakdown::of(Architecture::Sunder).total_mm2_for(STES);
+    for b in AreaBreakdown::figure9() {
+        let scale = STES as f64 / 256.0 / 1e6;
+        table.row([
+            b.architecture.to_string(),
+            format!("{:.2}", b.matching_um2 * scale),
+            format!("{:.2}", b.interconnect_um2 * scale),
+            format!("{:.2}", b.reporting_um2 * scale),
+            format!("{:.2}", b.total_mm2_for(STES)),
+            format!("{:.2}x", b.total_mm2_for(STES) / sunder_total),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nPaper ratios: AP 2.1x, Impala 1.6x, CA 1.5x Sunder's area.");
+    println!("Sunder reporting share: 2% of the PU (paper: \"less than 2% hardware overhead\").");
+
+    // The Section 1 buffer-capacity claim.
+    let sunder_bits = report_buffer_bits_per_report_ste(64, 12);
+    let ap_bits = ap_buffer_bits_per_report_ste();
+    println!(
+        "\nReport buffer per reporting STE: Sunder {:.0} b vs AP {:.0} b = {:.1}x (paper: ~9x)",
+        sunder_bits,
+        ap_bits,
+        sunder_bits / ap_bits
+    );
+}

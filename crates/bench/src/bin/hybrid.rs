@@ -1,0 +1,147 @@
+//! Hybrid accelerator/CPU processing à la Liu et al. (MICRO '18), and the
+//! paper's Section 1 claim that Sunder's reporting architecture "is
+//! complementary to their technique and can significantly improve
+//! reporting efficiency when larger intermediate reports are generated".
+//!
+//! Method: rule sets whose *prefixes* match traffic frequently but whose
+//! tails almost never complete (the common IDS shape). Profiling a
+//! training prefix finds the tails cold; the hybrid split moves them to
+//! the CPU and turns the warm frontier states into *intermediate
+//! reporters* — which then fire at the prefix-match rate, a far heavier
+//! reporting load than the application's own matches. Buffer-based
+//! reporting (the AP) melts under that load; Sunder's in-place regions
+//! absorb it.
+//!
+//! Usage: `cargo run -p sunder-bench --release --bin hybrid`
+
+use sunder_arch::{SunderConfig, SunderMachine};
+use sunder_automata::{InputView, Nfa, StartKind, Ste, SymbolSet};
+use sunder_baselines::ap::{ApParams, ApReportingModel};
+use sunder_bench::table::TextTable;
+use sunder_sim::{hybrid_split, ActivationProfileSink, CountSink, NullSink, Simulator};
+use sunder_transform::{transform_to_rate, Rate};
+
+const INTERMEDIATE_BASE: u32 = 1_000_000;
+const INPUT_LEN: usize = 200_000;
+const TRAIN_LEN: usize = 20_000;
+const PATTERNS: usize = 24;
+
+/// Deterministic pseudo-random byte in the printable band.
+fn filler(x: &mut u64) -> u8 {
+    *x = x
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    0x20 + ((*x >> 33) % 95) as u8
+}
+
+/// Builds `PATTERNS` rules of the IDS shape: two wide-class prefix states
+/// (`density` fraction of the printable band each) followed by a six-byte
+/// rare tail, reporting at the end.
+fn warm_workload(density: f64) -> (Nfa, Vec<u8>) {
+    let span = (95.0 * density).max(1.0) as u16;
+    let mut nfa = Nfa::new(8);
+    let mut tails = Vec::new();
+    for p in 0..PATTERNS as u16 {
+        // Stagger the class windows so patterns are not identical.
+        let lo = 0x20 + (p * 3) % (95 - span);
+        let c0 = nfa.add_state(
+            Ste::new(SymbolSet::range(8, lo, lo + span - 1)).start(StartKind::AllInput),
+        );
+        let c1 = nfa.add_state(Ste::new(SymbolSet::range(8, lo, lo + span - 1)));
+        nfa.add_edge(c0, c1);
+        let mut prev = c1;
+        let tail: Vec<u8> = (0..6).map(|i| 0xE0 + ((p as u8 + i) % 16)).collect();
+        for (i, &b) in tail.iter().enumerate() {
+            let mut ste = Ste::new(SymbolSet::singleton(8, u16::from(b)));
+            if i == 5 {
+                ste = ste.report(u32::from(p));
+            }
+            let s = nfa.add_state(ste);
+            nfa.add_edge(prev, s);
+            prev = s;
+        }
+        tails.push((lo, tail));
+    }
+    // Input: random printable bytes; a few full matches planted past the
+    // training prefix.
+    let mut x = 7u64;
+    let mut input: Vec<u8> = (0..INPUT_LEN).map(|_| filler(&mut x)).collect();
+    for (k, (lo, tail)) in tails.iter().enumerate().take(6) {
+        let at = TRAIN_LEN + 10_000 + k * 20_000;
+        input[at] = *lo as u8;
+        input[at + 1] = *lo as u8;
+        input[at + 2..at + 8].copy_from_slice(tail);
+    }
+    (nfa, input)
+}
+
+fn main() {
+    println!("Hybrid (Liu et al.) split: intermediate reporting pressure\n");
+    let mut table = TextTable::new([
+        "Prefix density",
+        "States",
+        "Resident",
+        "Frontier",
+        "App reports",
+        "w/ intermediate",
+        "AP",
+        "AP (hybrid)",
+        "Sunder",
+        "Sunder (hybrid)",
+    ]);
+
+    for density in [0.05, 0.15, 0.30] {
+        let (nfa, input) = warm_workload(density);
+
+        // Profile on the training prefix (no tail ever completes there).
+        let mut sim = Simulator::new(&nfa);
+        let mut profile = ActivationProfileSink::new(nfa.num_states());
+        sim.run(
+            &InputView::new(&input[..TRAIN_LEN], 8, 1).expect("view"),
+            &mut profile,
+        );
+        let split = hybrid_split(&nfa, &profile, INTERMEDIATE_BASE);
+
+        let count = |nfa: &Nfa| {
+            let mut sim = Simulator::new(nfa);
+            let mut sink = CountSink::new();
+            sim.run(&InputView::new(&input, 8, 1).expect("view"), &mut sink);
+            sink
+        };
+        let base_counts = count(&nfa);
+        let hybrid_counts = count(&split.accelerator);
+
+        let ap_overhead = |nfa: &Nfa| {
+            let mut sim = Simulator::new(nfa);
+            let mut model = ApReportingModel::new(nfa, ApParams::ap());
+            sim.run(&InputView::new(&input, 8, 1).expect("view"), &mut model);
+            model.stats().reporting_overhead()
+        };
+        let sunder_overhead = |nfa: &Nfa| {
+            let strided = transform_to_rate(nfa, Rate::Nibble4).expect("transform");
+            let config = SunderConfig::with_rate(Rate::Nibble4).fifo(true);
+            let mut machine = SunderMachine::new(&strided, config).expect("place");
+            let view = InputView::new(&input, 4, 4).expect("view");
+            machine.run(&view, &mut NullSink).reporting_overhead()
+        };
+
+        table.row([
+            format!("{:.0}%", density * 100.0),
+            format!("{}", nfa.num_states()),
+            format!("{}", split.accelerator.num_states()),
+            format!("{}", split.frontier_states),
+            format!("{}", base_counts.reports),
+            format!("{}", hybrid_counts.reports),
+            format!("{:.2}x", ap_overhead(&nfa)),
+            format!("{:.2}x", ap_overhead(&split.accelerator)),
+            format!("{:.3}x", sunder_overhead(&nfa)),
+            format!("{:.3}x", sunder_overhead(&split.accelerator)),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nThe split shrinks the resident automaton ~4x but the warm frontier");
+    println!("now *reports* at the prefix-match rate: intermediate volume grows");
+    println!("orders of magnitude beyond the application's own matches. The AP's");
+    println!("buffers pay for every vector; Sunder's in-place regions absorb it —");
+    println!("the complementarity claimed in the paper's Section 1.");
+}

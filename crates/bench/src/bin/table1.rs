@@ -1,0 +1,79 @@
+//! Regenerates the paper's Table 1: reporting behavior summary.
+//!
+//! Runs every synthetic benchmark through the functional simulator over its
+//! generated input and prints the static and dynamic reporting statistics
+//! next to the paper's values.
+//!
+//! Usage: `cargo run -p sunder-bench --release --bin table1 [--small]`
+
+use sunder_automata::stats::StaticStats;
+use sunder_automata::InputView;
+use sunder_bench::table::TextTable;
+use sunder_sim::{DynamicStatsSink, Simulator};
+use sunder_workloads::{Benchmark, Scale};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let scale = if small { Scale::small() } else { Scale::paper() };
+    println!(
+        "Table 1: reporting behavior summary ({} scale: {} states fraction, {} input bytes)",
+        if small { "small" } else { "paper" },
+        scale.state_fraction,
+        scale.input_len
+    );
+    println!();
+
+    let mut table = TextTable::new([
+        "Benchmark",
+        "Family",
+        "#States",
+        "(paper)",
+        "#RepSTE",
+        "(paper)",
+        "#Reports",
+        "(paper)",
+        "#RepCycles",
+        "(paper)",
+        "Rep/RepCyc",
+        "(paper)",
+        "RepCyc%",
+    ]);
+
+    for bench in Benchmark::ALL {
+        let paper = bench.paper();
+        let w = bench.build(scale);
+        let stats = StaticStats::of(&w.nfa);
+        let input = InputView::new(&w.input, 8, 1).expect("byte view");
+        let mut sim = Simulator::new(&w.nfa);
+        let mut sink = DynamicStatsSink::new();
+        sim.run(&input, &mut sink);
+        let d = sink.finish();
+
+        let scale_note = |v: u64| -> String {
+            if small {
+                format!("{v}*")
+            } else {
+                format!("{v}")
+            }
+        };
+        table.row([
+            bench.name().to_string(),
+            format!("{}", paper.family),
+            format!("{}", stats.states),
+            format!("{}", paper.states),
+            format!("{}", stats.report_states),
+            format!("{}", paper.report_states),
+            format!("{}", d.reports),
+            scale_note(paper.reports),
+            format!("{}", d.report_cycles),
+            scale_note(paper.report_cycles),
+            format!("{:.2}", d.reports_per_report_cycle()),
+            format!("{:.2}", paper.reports_per_report_cycle()),
+            format!("{:.2}%", d.report_cycle_percent()),
+        ]);
+    }
+    print!("{}", table.render());
+    if small {
+        println!("\n(*) paper values are per 1 MB; small scale shrinks absolute counts proportionally.");
+    }
+}

@@ -1,0 +1,47 @@
+//! Prints the paper's Table 2: subarray parameters of the technology
+//! model (14 nm memory-compiler figures quoted by the paper).
+//!
+//! Usage: `cargo run -p sunder-bench --bin table2`
+
+use sunder_bench::table::TextTable;
+use sunder_tech::params::{CA_MATCH, IMPALA_MATCH, SUNDER_8T};
+use sunder_tech::{CellType, SubarrayParams};
+
+fn cell_name(c: CellType) -> &'static str {
+    match c {
+        CellType::T6 => "6T",
+        CellType::T8 => "8T",
+    }
+}
+
+fn main() {
+    println!("Table 2: subarray parameters (14 nm, peripheral overhead included)\n");
+    let mut table = TextTable::new([
+        "Usage",
+        "Cell",
+        "Size",
+        "Delay (ps)",
+        "Read Power (mW)",
+        "Area (um2)",
+    ]);
+    let rows: [(&str, SubarrayParams); 3] = [
+        ("State-matching (Impala)", IMPALA_MATCH),
+        ("State-matching (CA)", CA_MATCH),
+        ("Interconnect (CA, Impala, Sunder) / State-matching (Sunder)", SUNDER_8T),
+    ];
+    for (usage, p) in rows {
+        table.row([
+            usage.to_string(),
+            cell_name(p.cell).to_string(),
+            format!("{}x{}", p.rows, p.cols),
+            format!("{}", p.delay_ps),
+            format!("{}", p.read_power_mw),
+            format!("{}", p.area_um2),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\n8T/6T area ratio at 256x256: {:.2}x (the paper notes ~2.1x)",
+        SUNDER_8T.area_um2 / CA_MATCH.area_um2
+    );
+}

@@ -1,0 +1,113 @@
+//! Regenerates the paper's Table 3: states and transitions of the 1-, 2-,
+//! and 4-nibble designs, normalized to the original 8-bit automata.
+//!
+//! Usage: `cargo run -p sunder-bench --release --bin table3 [--small]`
+
+use sunder_bench::table::TextTable;
+use sunder_transform::{Rate, TransformStats};
+use sunder_workloads::{Benchmark, Scale};
+
+/// Paper values: (name, s1, s2, s4, t1, t2, t4).
+const PAPER: [(&str, f64, f64, f64, f64, f64, f64); 19] = [
+    ("Brill", 5.3, 1.0, 1.9, 11.9, 1.0, 1.8),
+    ("Bro217", 2.0, 1.0, 1.0, 2.1, 1.0, 7.4),
+    ("Dotstar03", 2.2, 1.0, 1.0, 2.6, 1.0, 1.1),
+    ("Dotstar06", 2.3, 1.0, 1.0, 3.0, 1.0, 1.1),
+    ("Dotstar09", 2.4, 1.0, 1.0, 3.5, 1.0, 1.2),
+    ("ExactMatch", 2.0, 1.0, 1.0, 2.0, 1.0, 1.0),
+    ("PowerEN", 2.3, 1.0, 1.1, 3.1, 1.0, 1.0),
+    ("Protomata", 6.0, 1.0, 1.2, 12.5, 1.0, 1.1),
+    ("Ranges05", 2.0, 1.0, 1.0, 2.1, 1.0, 1.0),
+    ("Ranges1", 2.1, 1.0, 1.0, 2.2, 1.0, 1.0),
+    ("Snort", 2.5, 1.0, 1.1, 3.8, 1.0, 1.4),
+    ("TCP", 2.5, 1.0, 1.1, 3.9, 1.0, 1.3),
+    ("ClamAV", f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN),
+    ("Hamming", 6.5, 1.1, 1.3, 9.7, 1.1, 1.4),
+    ("Levenshtein", 2.8, 1.1, 2.2, 1.9, 1.1, 3.5),
+    ("Fermi", 2.2, 1.0, 1.0, 2.1, 1.0, 1.3),
+    ("RandomForest", 5.3, 1.0, 1.0, 9.4, 1.0, 1.0),
+    ("SPM", 2.7, 1.1, 2.3, 2.7, 1.1, 4.6),
+    ("EntityResolution", 3.2, 0.7, 0.9, 2.8, 0.7, 1.6),
+];
+
+fn fmt_paper(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{v:.1}x")
+    }
+}
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let scale = if small {
+        Scale::small()
+    } else {
+        // Table 3 is static: the input stream is irrelevant, so keep it
+        // tiny even at full state scale.
+        Scale {
+            state_fraction: 1.0,
+            input_len: 1024,
+        }
+    };
+    println!(
+        "Table 3: state/transition overhead of nibble designs vs. 8-bit ({} scale)",
+        if small { "small" } else { "paper" }
+    );
+    println!("(paper values in parentheses; ClamAV is absent from the paper's table)\n");
+
+    let mut table = TextTable::new([
+        "Benchmark", "S 1-nib", "(p)", "S 2-nib", "(p)", "S 4-nib", "(p)", "T 1-nib", "(p)",
+        "T 2-nib", "(p)", "T 4-nib", "(p)",
+    ]);
+    let mut sums = [0.0f64; 6];
+    let mut counted = 0usize;
+    for (bench, paper) in Benchmark::ALL.iter().zip(PAPER.iter()) {
+        let w = bench.build(scale);
+        let stats = TransformStats::measure(&w.nfa).expect("transform");
+        let vals = [
+            stats.state_ratio(Rate::Nibble1),
+            stats.state_ratio(Rate::Nibble2),
+            stats.state_ratio(Rate::Nibble4),
+            stats.transition_ratio(Rate::Nibble1),
+            stats.transition_ratio(Rate::Nibble2),
+            stats.transition_ratio(Rate::Nibble4),
+        ];
+        for (s, v) in sums.iter_mut().zip(vals) {
+            *s += v;
+        }
+        counted += 1;
+        table.row([
+            bench.name().to_string(),
+            format!("{:.1}x", vals[0]),
+            fmt_paper(paper.1),
+            format!("{:.1}x", vals[1]),
+            fmt_paper(paper.2),
+            format!("{:.1}x", vals[2]),
+            fmt_paper(paper.3),
+            format!("{:.1}x", vals[3]),
+            fmt_paper(paper.4),
+            format!("{:.1}x", vals[4]),
+            fmt_paper(paper.5),
+            format!("{:.1}x", vals[5]),
+            fmt_paper(paper.6),
+        ]);
+    }
+    let n = counted as f64;
+    table.row([
+        "Average".to_string(),
+        format!("{:.1}x", sums[0] / n),
+        "3.1x".to_string(),
+        format!("{:.1}x", sums[1] / n),
+        "1.0x".to_string(),
+        format!("{:.1}x", sums[2] / n),
+        "1.2x".to_string(),
+        format!("{:.1}x", sums[3] / n),
+        "4.5x".to_string(),
+        format!("{:.1}x", sums[4] / n),
+        "1.0x".to_string(),
+        format!("{:.1}x", sums[5] / n),
+        "1.8x".to_string(),
+    ]);
+    print!("{}", table.render());
+}

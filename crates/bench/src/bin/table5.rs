@@ -1,0 +1,35 @@
+//! Regenerates the paper's Table 5: pipeline-stage delays and operating
+//! frequencies.
+//!
+//! Usage: `cargo run -p sunder-bench --bin table5`
+
+use sunder_bench::table::TextTable;
+use sunder_tech::PipelineTiming;
+
+fn opt(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.0} ps")).unwrap_or_else(|| "-".into())
+}
+
+fn main() {
+    println!("Table 5: delays and operating frequency in pipeline stages\n");
+    let mut table = TextTable::new([
+        "Architecture",
+        "State Matching",
+        "Local Switch",
+        "Global Switch",
+        "Max Freq (GHz)",
+        "Operating Freq (GHz)",
+    ]);
+    for t in PipelineTiming::table5() {
+        table.row([
+            t.architecture.to_string(),
+            opt(t.state_matching_ps),
+            opt(t.local_switch_ps),
+            opt(t.global_switch_ps),
+            format!("{:.2}", t.max_freq_ghz),
+            format!("{:.2}", t.operating_freq_ghz),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nPaper: Sunder 4.01/3.6, Impala 5.55/5.0, CA 4.01/3.6, AP 0.133, AP@14nm 1.69");
+}

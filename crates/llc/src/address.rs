@@ -1,0 +1,169 @@
+//! Physical-address decomposition and the sliced-LLC hash.
+//!
+//! Modern Intel LLCs are split into slices connected by a ring; an
+//! undocumented hash of the physical address selects the slice at
+//! cache-line granularity, so consecutive lines land in different slices.
+//! To configure Sunder the host needs *flat* access to specific arrays,
+//! which the paper obtains by reverse-engineering the hash (Maurice et
+//! al.) and inverting it. This module implements the published XOR-fold
+//! hash family and its inversion.
+
+/// Cache-line size in bytes.
+pub const LINE_BYTES: u64 = 64;
+
+/// An LLC slice-selection hash: slice bit `i` is the XOR-parity of the
+/// physical address masked with `masks[i]` (the structure recovered by
+/// Maurice et al. for 2/4/8-slice parts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SliceHash {
+    masks: Vec<u64>,
+}
+
+impl SliceHash {
+    /// The published hash functions for 2, 4, or 8 slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `slices` is 2, 4, or 8.
+    pub fn for_slices(slices: usize) -> Self {
+        // Bit masks from "Reverse Engineering Intel Last-Level Cache
+        // Complex Addressing Using Performance Counters" (RAID '15),
+        // addresses b34..b6.
+        const O0: u64 = 0x1B5F575440; // slice bit 0
+        const O1: u64 = 0x2EB5FAA880; // slice bit 1
+        const O2: u64 = 0x3CCCC93100; // slice bit 2
+        let masks = match slices {
+            2 => vec![O0],
+            4 => vec![O0, O1],
+            8 => vec![O0, O1, O2],
+            _ => panic!("published slice hashes exist for 2, 4, or 8 slices"),
+        };
+        SliceHash { masks }
+    }
+
+    /// Number of slices this hash selects among.
+    pub fn slices(&self) -> usize {
+        1 << self.masks.len()
+    }
+
+    /// The slice a physical address maps to.
+    pub fn slice_of(&self, phys: u64) -> usize {
+        let mut s = 0;
+        for (i, m) in self.masks.iter().enumerate() {
+            s |= (((phys & m).count_ones() & 1) as usize) << i;
+        }
+        s
+    }
+
+    /// Finds, within a 1 GB-aligned region starting at `base`, the `n`-th
+    /// cache line that maps to `slice` — the inversion the host uses to
+    /// build a flat view of one slice (the paper maps a 1 GB page and
+    /// consults `/proc/self/pagemap`; here the search is explicit).
+    ///
+    /// Returns the line's physical address.
+    pub fn nth_line_in_slice(&self, base: u64, slice: usize, n: u64) -> u64 {
+        assert!(slice < self.slices(), "slice out of range");
+        let mut seen = 0;
+        let mut addr = base;
+        loop {
+            if self.slice_of(addr) == slice {
+                if seen == n {
+                    return addr;
+                }
+                seen += 1;
+            }
+            addr += LINE_BYTES;
+        }
+    }
+}
+
+/// Set-index/way geometry of one slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceGeometry {
+    /// Number of sets per slice.
+    pub sets: usize,
+    /// Associativity (ways).
+    pub ways: usize,
+}
+
+impl SliceGeometry {
+    /// A 2.5 MB Xeon-style slice: 2048 sets × 20 ways × 64 B.
+    pub fn xeon_2p5mb() -> Self {
+        SliceGeometry {
+            sets: 2048,
+            ways: 20,
+        }
+    }
+
+    /// Slice capacity in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.sets as u64 * self.ways as u64 * LINE_BYTES
+    }
+
+    /// Set index of a physical address (bits above the line offset).
+    pub fn set_of(&self, phys: u64) -> usize {
+        ((phys / LINE_BYTES) as usize) % self.sets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_balanced_over_large_regions() {
+        for slices in [2, 4, 8] {
+            let h = SliceHash::for_slices(slices);
+            let mut counts = vec![0u64; slices];
+            for i in 0..16_384u64 {
+                counts[h.slice_of(i * LINE_BYTES)] += 1;
+            }
+            let expect = 16_384 / slices as u64;
+            for (s, &c) in counts.iter().enumerate() {
+                let err = (c as f64 / expect as f64 - 1.0).abs();
+                assert!(err < 0.05, "slice {s} has {c} lines (expected ~{expect})");
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_lines_spread_across_slices() {
+        let h = SliceHash::for_slices(8);
+        let s: Vec<usize> = (0..16).map(|i| h.slice_of(i * LINE_BYTES)).collect();
+        let mut distinct = s.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() > 1, "hash must not map a whole page to one slice");
+    }
+
+    #[test]
+    fn nth_line_inversion_round_trips() {
+        let h = SliceHash::for_slices(4);
+        for slice in 0..4 {
+            for n in [0u64, 1, 7, 40] {
+                let addr = h.nth_line_in_slice(0, slice, n);
+                assert_eq!(h.slice_of(addr), slice);
+                assert_eq!(addr % LINE_BYTES, 0);
+            }
+            // Ordering: the n-th line comes after the (n-1)-th.
+            let a0 = h.nth_line_in_slice(0, slice, 0);
+            let a1 = h.nth_line_in_slice(0, slice, 1);
+            assert!(a1 > a0);
+        }
+    }
+
+    #[test]
+    fn geometry_capacity() {
+        let g = SliceGeometry::xeon_2p5mb();
+        assert_eq!(g.bytes(), 2_621_440); // 2.5 MB
+        assert_eq!(g.set_of(0), 0);
+        assert_eq!(g.set_of(64), 1);
+        assert_eq!(g.set_of(2048 * 64), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "published slice hashes")]
+    fn unsupported_slice_count_panics() {
+        let _ = SliceHash::for_slices(6);
+    }
+}

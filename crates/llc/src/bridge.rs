@@ -1,0 +1,288 @@
+//! The host ↔ Sunder bridge: configuration, report readout, and traffic
+//! accounting (paper, Section 6).
+//!
+//! The host maps a 1 GB page, inverts the slice hash to obtain a flat view
+//! of each repurposed slice, writes automata configurations through those
+//! addresses, and at runtime issues loads against the report regions (for
+//! immediate processing) or `clflush` (to spill them to DRAM for
+//! post-processing). [`HostBridge`] performs those operations against the
+//! [`SlicedLlc`] model and tallies every byte moved, which is the quantity
+//! Sunder's in-place reporting is designed to minimize.
+
+use sunder_arch::subarray::{Row, Subarray};
+use sunder_arch::SunderConfig;
+
+use crate::address::LINE_BYTES;
+use crate::cache::SlicedLlc;
+
+/// Rows per subarray (fixed by the architecture).
+const ROWS: usize = 256;
+/// Bytes per subarray row (256 bits).
+const ROW_BYTES: usize = 32;
+/// Subarray rows per cache line.
+const ROWS_PER_LINE: usize = LINE_BYTES as usize / ROW_BYTES;
+/// Cache lines per processing unit (256 rows × 32 B / 64 B).
+pub const LINES_PER_PU: usize = ROWS / ROWS_PER_LINE;
+
+/// Where one PU's storage lives in the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PuLocation {
+    /// LLC slice index.
+    pub slice: usize,
+    /// First way of the PU's line run.
+    pub way: usize,
+    /// First set of the PU's line run.
+    pub set: usize,
+}
+
+/// Traffic counters for host↔cache interactions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Traffic {
+    /// Lines stored by the host (configuration).
+    pub lines_stored: u64,
+    /// Lines loaded by the host (report readout).
+    pub lines_loaded: u64,
+    /// Lines flushed to DRAM (`clflush`).
+    pub lines_flushed: u64,
+}
+
+impl Traffic {
+    /// Total bytes moved between host and cache.
+    pub fn bytes(&self) -> u64 {
+        (self.lines_stored + self.lines_loaded + self.lines_flushed) * LINE_BYTES
+    }
+}
+
+/// The host's view of a Sunder-enabled LLC.
+#[derive(Debug)]
+pub struct HostBridge {
+    llc: SlicedLlc,
+    /// Traffic counters.
+    pub traffic: Traffic,
+    /// Lines spilled to DRAM by `clflush`, in flush order.
+    pub dram_spill: Vec<[u8; LINE_BYTES as usize]>,
+}
+
+impl HostBridge {
+    /// Wraps an LLC.
+    pub fn new(llc: SlicedLlc) -> Self {
+        HostBridge {
+            llc,
+            traffic: Traffic::default(),
+            dram_spill: Vec::new(),
+        }
+    }
+
+    /// The wrapped LLC.
+    pub fn llc(&self) -> &SlicedLlc {
+        &self.llc
+    }
+
+    /// Mutable access to the wrapped LLC (normal-mode traffic).
+    pub fn llc_mut(&mut self) -> &mut SlicedLlc {
+        &mut self.llc
+    }
+
+    /// How many PUs the repurposed ways can hold.
+    pub fn pu_capacity(&self) -> usize {
+        (self.llc.automata_bytes() / (LINES_PER_PU as u64 * LINE_BYTES)) as usize
+    }
+
+    /// Location of PU `index`: PUs are laid out one after another through
+    /// each slice's automata ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds [`HostBridge::pu_capacity`].
+    pub fn pu_location(&self, index: usize) -> PuLocation {
+        assert!(index < self.pu_capacity(), "PU index beyond capacity");
+        let geometry = self.llc.geometry();
+        let am_ways: Vec<usize> = (0..geometry.ways)
+            .filter(|&w| self.llc.way_mode(w) == crate::cache::WayMode::Automata)
+            .collect();
+        let pus_per_way = geometry.sets / LINES_PER_PU;
+        let pus_per_slice = pus_per_way * am_ways.len();
+        let slice = index / pus_per_slice;
+        let within = index % pus_per_slice;
+        PuLocation {
+            slice,
+            way: am_ways[within / pus_per_way],
+            set: (within % pus_per_way) * LINES_PER_PU,
+        }
+    }
+
+    /// Writes a whole subarray (configuration time): 128 line stores.
+    pub fn configure_pu(&mut self, index: usize, subarray: &Subarray) {
+        let loc = self.pu_location(index);
+        for line in 0..LINES_PER_PU {
+            let mut data = [0u8; LINE_BYTES as usize];
+            for r in 0..ROWS_PER_LINE {
+                let row = subarray.read_row(line * ROWS_PER_LINE + r);
+                data[r * ROW_BYTES..(r + 1) * ROW_BYTES].copy_from_slice(&row_bytes(&row));
+            }
+            self.llc
+                .write_array_line(loc.slice, loc.way, loc.set + line, &data);
+            self.traffic.lines_stored += 1;
+        }
+    }
+
+    /// Reads one subarray row (selective report access): one line load.
+    pub fn read_row(&mut self, index: usize, row: usize) -> Row {
+        assert!(row < ROWS, "row out of range");
+        let loc = self.pu_location(index);
+        let line = self
+            .llc
+            .read_array_line(loc.slice, loc.way, loc.set + row / ROWS_PER_LINE);
+        self.traffic.lines_loaded += 1;
+        let off = (row % ROWS_PER_LINE) * ROW_BYTES;
+        bytes_row(&line[off..off + ROW_BYTES])
+    }
+
+    /// Flushes a PU's report region to DRAM for post-processing
+    /// (`clflush` of the region's lines).
+    pub fn clflush_region(&mut self, index: usize, config: &SunderConfig) {
+        let loc = self.pu_location(index);
+        let first_line = config.matching_rows() / ROWS_PER_LINE;
+        for line in first_line..LINES_PER_PU {
+            let data = self
+                .llc
+                .read_array_line(loc.slice, loc.way, loc.set + line);
+            self.dram_spill.push(data);
+            self.traffic.lines_flushed += 1;
+        }
+    }
+
+    /// Reads a full subarray back (verification): 128 line loads (each
+    /// 64-byte line carries two 32-byte rows).
+    pub fn read_pu(&mut self, index: usize) -> Subarray {
+        let loc = self.pu_location(index);
+        let mut out = Subarray::new();
+        for line in 0..LINES_PER_PU {
+            let data = self
+                .llc
+                .read_array_line(loc.slice, loc.way, loc.set + line);
+            self.traffic.lines_loaded += 1;
+            for r in 0..ROWS_PER_LINE {
+                let off = r * ROW_BYTES;
+                out.write_row(
+                    line * ROWS_PER_LINE + r,
+                    bytes_row(&data[off..off + ROW_BYTES]),
+                );
+            }
+        }
+        out
+    }
+}
+
+fn row_bytes(row: &Row) -> [u8; ROW_BYTES] {
+    let mut out = [0u8; ROW_BYTES];
+    for (i, w) in row.iter().enumerate() {
+        out[i * 8..(i + 1) * 8].copy_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+fn bytes_row(bytes: &[u8]) -> Row {
+    let mut row = [0u64; 4];
+    for (i, chunk) in bytes.chunks(8).enumerate() {
+        row[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::SliceGeometry;
+    use crate::cat::WayPartition;
+    use sunder_transform::Rate;
+
+    fn bridge() -> HostBridge {
+        let llc = SlicedLlc::new(
+            4,
+            SliceGeometry {
+                sets: 2048,
+                ways: 20,
+            },
+            WayPartition::split(20, 8),
+        );
+        HostBridge::new(llc)
+    }
+
+    #[test]
+    fn capacity_matches_geometry() {
+        let b = bridge();
+        // 4 slices × 8 ways × 2048 sets / 128 lines per PU = 512 PUs.
+        assert_eq!(b.pu_capacity(), 512);
+        // 512 PUs × 256 states = 128K STEs resident at once.
+    }
+
+    #[test]
+    fn locations_are_disjoint_and_in_am_ways() {
+        let b = bridge();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..b.pu_capacity() {
+            let loc = b.pu_location(i);
+            assert!(loc.way >= 12, "PU in a normal way");
+            assert_eq!(loc.set % LINES_PER_PU, 0);
+            assert!(seen.insert((loc.slice, loc.way, loc.set)), "overlap at {i}");
+        }
+    }
+
+    #[test]
+    fn configure_and_read_back_round_trips() {
+        let mut b = bridge();
+        let mut subarray = Subarray::new();
+        subarray.set_bit(0, 0, true);
+        subarray.set_bit(17, 200, true);
+        subarray.set_bit(255, 255, true);
+        b.configure_pu(3, &subarray);
+        assert_eq!(b.traffic.lines_stored, LINES_PER_PU as u64);
+        let back = b.read_pu(3);
+        for row in 0..256 {
+            assert_eq!(back.read_row(row), subarray.read_row(row), "row {row}");
+        }
+        // A different PU reads back empty.
+        let other = b.read_pu(4);
+        assert_eq!(other.read_row(17), [0u64; 4]);
+    }
+
+    #[test]
+    fn selective_row_read_costs_one_line() {
+        let mut b = bridge();
+        let mut subarray = Subarray::new();
+        subarray.set_bit(100, 7, true);
+        b.configure_pu(0, &subarray);
+        let before = b.traffic.lines_loaded;
+        let row = b.read_row(0, 100);
+        assert!(sunder_arch::subarray::rowops::get(&row, 7));
+        assert_eq!(b.traffic.lines_loaded, before + 1);
+    }
+
+    #[test]
+    fn clflush_spills_report_region_only() {
+        let mut b = bridge();
+        let mut subarray = Subarray::new();
+        subarray.set_bit(64, 1, true); // first report row at the 16-bit rate
+        b.configure_pu(0, &subarray);
+        let config = SunderConfig::with_rate(Rate::Nibble4);
+        b.clflush_region(0, &config);
+        // 192 report rows = 96 lines.
+        assert_eq!(b.traffic.lines_flushed, 96);
+        assert_eq!(b.dram_spill.len(), 96);
+        assert_eq!(b.dram_spill[0][0], 2); // bit 1 of row 64
+    }
+
+    #[test]
+    fn normal_traffic_does_not_disturb_arrays() {
+        let mut b = bridge();
+        let mut subarray = Subarray::new();
+        subarray.set_bit(5, 5, true);
+        b.configure_pu(0, &subarray);
+        for i in 0..100_000u64 {
+            b.llc_mut().access_normal(i * 64);
+        }
+        let back = b.read_pu(0);
+        assert!(sunder_arch::subarray::rowops::get(&back.read_row(5), 5));
+    }
+}

@@ -1,0 +1,131 @@
+//! Cache Allocation Technology (CAT) way masks.
+//!
+//! Within a slice, Sunder repurposes a subset of the ways as automata
+//! arrays; CAT restricts which ways ordinary programs may allocate into,
+//! keeping the repurposed ways untouched (paper, Section 6).
+
+/// A class of service: a bitmask of ways a workload may fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WayMask(u32);
+
+impl WayMask {
+    /// Creates a mask from raw bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask is zero (CAT requires at least one way) or the
+    /// set bits are not contiguous (a hardware constraint of CAT).
+    pub fn new(bits: u32) -> Self {
+        assert!(bits != 0, "CAT mask must enable at least one way");
+        let shifted = bits >> bits.trailing_zeros();
+        assert!(
+            (shifted & (shifted + 1)) == 0,
+            "CAT way masks must be contiguous, got {bits:#b}"
+        );
+        WayMask(bits)
+    }
+
+    /// The lowest `n` ways.
+    pub fn low(n: u32) -> Self {
+        assert!(n >= 1 && n <= 32, "way count out of range");
+        WayMask(if n == 32 { u32::MAX } else { (1 << n) - 1 })
+    }
+
+    /// Ways `from..to` (exclusive).
+    pub fn range(from: u32, to: u32) -> Self {
+        assert!(from < to && to <= 32, "invalid way range");
+        let width = to - from;
+        let bits = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+        WayMask(bits << from)
+    }
+
+    /// Raw bits.
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Whether way `w` is allowed.
+    pub fn allows(self, way: u32) -> bool {
+        self.0 >> way & 1 == 1
+    }
+
+    /// Number of ways enabled.
+    pub fn ways(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// True if the two masks share no ways (the isolation property the
+    /// Sunder configuration relies on).
+    pub fn disjoint(self, other: WayMask) -> bool {
+        self.0 & other.0 == 0
+    }
+}
+
+/// The way partition of a Sunder-enabled slice: which ways stay a normal
+/// cache and which are repurposed for automata processing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WayPartition {
+    /// Ways available to ordinary workloads.
+    pub normal: WayMask,
+    /// Ways repurposed as Sunder arrays.
+    pub sunder: WayMask,
+}
+
+impl WayPartition {
+    /// Splits `total_ways` ways, giving the top `sunder_ways` to Sunder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sunder_ways` is zero or leaves no normal way.
+    pub fn split(total_ways: u32, sunder_ways: u32) -> Self {
+        assert!(sunder_ways >= 1 && sunder_ways < total_ways);
+        let partition = WayPartition {
+            normal: WayMask::range(0, total_ways - sunder_ways),
+            sunder: WayMask::range(total_ways - sunder_ways, total_ways),
+        };
+        debug_assert!(partition.normal.disjoint(partition.sunder));
+        partition
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_are_contiguous() {
+        assert_eq!(WayMask::low(4).bits(), 0b1111);
+        assert_eq!(WayMask::range(2, 5).bits(), 0b11100);
+        assert!(WayMask::range(2, 5).allows(3));
+        assert!(!WayMask::range(2, 5).allows(5));
+        assert_eq!(WayMask::range(2, 5).ways(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn non_contiguous_rejected() {
+        let _ = WayMask::new(0b1011);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn empty_mask_rejected() {
+        let _ = WayMask::new(0);
+    }
+
+    #[test]
+    fn partition_isolates() {
+        let p = WayPartition::split(20, 8);
+        assert_eq!(p.normal.ways(), 12);
+        assert_eq!(p.sunder.ways(), 8);
+        assert!(p.normal.disjoint(p.sunder));
+        assert!(p.sunder.allows(19));
+        assert!(!p.sunder.allows(11));
+    }
+
+    #[test]
+    fn full_width_masks() {
+        assert_eq!(WayMask::low(32).ways(), 32);
+        assert_eq!(WayMask::range(0, 32).ways(), 32);
+    }
+}

@@ -1,0 +1,40 @@
+//! System integration: Sunder inside a last-level cache (paper, Section 6).
+//!
+//! Sunder is realized by repurposing LLC slices of a server-class CPU. The
+//! host faces three obstacles that this crate models:
+//!
+//! * the LLC is **sliced** and an undocumented hash scatters consecutive
+//!   cache lines across slices — [`address::SliceHash`] implements the
+//!   reverse-engineered hash family and its inversion, giving the host a
+//!   flat view of each slice;
+//! * ordinary cache traffic must not evict the automata arrays —
+//!   [`cat::WayPartition`] models Cache Allocation Technology way masks
+//!   isolating the repurposed ways;
+//! * configuration and report readout happen through plain loads, stores,
+//!   and `clflush` — [`bridge::HostBridge`] executes them against the
+//!   [`cache::SlicedLlc`] model and accounts for every byte of host
+//!   traffic, the cost Sunder's in-place reporting minimizes.
+//!
+//! ```
+//! use sunder_llc::address::SliceGeometry;
+//! use sunder_llc::bridge::HostBridge;
+//! use sunder_llc::cache::SlicedLlc;
+//! use sunder_llc::cat::WayPartition;
+//!
+//! let llc = SlicedLlc::new(4, SliceGeometry::xeon_2p5mb(), WayPartition::split(20, 8));
+//! let bridge = HostBridge::new(llc);
+//! assert_eq!(bridge.pu_capacity(), 512); // 128K STEs resident
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod address;
+pub mod bridge;
+pub mod cache;
+pub mod cat;
+
+pub use address::{SliceGeometry, SliceHash};
+pub use bridge::{HostBridge, PuLocation, Traffic};
+pub use cache::{SlicedLlc, WayMode};
+pub use cat::{WayMask, WayPartition};

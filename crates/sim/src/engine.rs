@@ -1,0 +1,394 @@
+//! The functional automata simulator.
+//!
+//! [`Simulator`] executes a homogeneous NFA cycle by cycle over an input
+//! stream, exactly following the three-stage model of the paper's Figure 1:
+//! per cycle, the set of *potential next states* (successors of the current
+//! active set plus the enabled start states) is intersected with the set of
+//! states whose charsets match the current symbol vector; the result is the
+//! next active set and its reporting members emit reports.
+//!
+//! The implementation is frontier-based: per cycle the cost is proportional
+//! to the number of enabled candidate states, not the automaton size, using
+//! generation stamps instead of clearing bitsets.
+
+use sunder_automata::input::InputView;
+use sunder_automata::{Nfa, StartKind, StateId};
+
+use crate::sink::{ReportEvent, ReportSink};
+
+/// Cycle-by-cycle executor for one automaton over one input stream.
+///
+/// # Examples
+///
+/// ```
+/// use sunder_automata::regex::compile_regex;
+/// use sunder_automata::InputView;
+/// use sunder_sim::{Simulator, TraceSink};
+///
+/// let nfa = compile_regex("ab", 9)?;
+/// let input = InputView::new(b"xxabx", 8, 1)?;
+/// let mut sim = Simulator::new(&nfa);
+/// let mut trace = TraceSink::new();
+/// sim.run(&input, &mut trace);
+/// assert_eq!(trace.cycle_id_pairs(), vec![(3, 9)]);
+/// # Ok::<(), sunder_automata::AutomataError>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    nfa: &'a Nfa,
+    /// All-input start states, bucketed by accepted first-position symbol
+    /// when the alphabet is small enough; otherwise a flat list.
+    start_index: StartIndex,
+    /// Start-of-data start states (enabled at cycle 0 only).
+    sod_starts: Vec<StateId>,
+    /// Current active set (sparse).
+    active: Vec<StateId>,
+    /// Candidate de-duplication stamps.
+    stamp: Vec<u64>,
+    generation: u64,
+    cycle: u64,
+    /// Scratch: candidate states for the current cycle.
+    candidates: Vec<StateId>,
+    /// Scratch: reports for the current cycle.
+    reports: Vec<ReportEvent>,
+}
+
+#[derive(Debug)]
+enum StartIndex {
+    /// `buckets[symbol]` lists the all-input starts whose first-position
+    /// charset accepts `symbol`.
+    Bucketed(Vec<Vec<StateId>>),
+    /// Flat list, scanned every enabled cycle (large alphabets).
+    Flat(Vec<StateId>),
+}
+
+/// Alphabets up to this size get a per-symbol start index.
+const MAX_BUCKETED_ALPHABET: usize = 1 << 8;
+
+impl<'a> Simulator<'a> {
+    /// Prepares a simulator for the automaton. The automaton must be valid
+    /// (see [`Nfa::validate`]).
+    pub fn new(nfa: &'a Nfa) -> Self {
+        let mut all_input = Vec::new();
+        let mut sod_starts = Vec::new();
+        for (id, ste) in nfa.states() {
+            match ste.start_kind() {
+                StartKind::AllInput => all_input.push(id),
+                StartKind::StartOfData => sod_starts.push(id),
+                StartKind::None => {}
+            }
+        }
+        let alphabet = 1usize << nfa.symbol_bits();
+        let start_index = if alphabet <= MAX_BUCKETED_ALPHABET {
+            let mut buckets = vec![Vec::new(); alphabet];
+            for &id in &all_input {
+                let cs = &nfa.state(id).charsets()[0];
+                for sym in cs.iter() {
+                    buckets[sym as usize].push(id);
+                }
+            }
+            StartIndex::Bucketed(buckets)
+        } else {
+            StartIndex::Flat(all_input)
+        };
+        Simulator {
+            nfa,
+            start_index,
+            sod_starts,
+            active: Vec::new(),
+            stamp: vec![0; nfa.num_states()],
+            generation: 0,
+            cycle: 0,
+            candidates: Vec::new(),
+            reports: Vec::new(),
+        }
+    }
+
+    /// The automaton being executed.
+    pub fn nfa(&self) -> &Nfa {
+        self.nfa
+    }
+
+    /// Cycles executed so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The currently active states (sorted not guaranteed).
+    pub fn active_states(&self) -> &[StateId] {
+        &self.active
+    }
+
+    /// Resets to the initial configuration (cycle 0, empty active set).
+    pub fn reset(&mut self) {
+        self.active.clear();
+        self.cycle = 0;
+        // Stamps stay monotone; no clearing needed.
+    }
+
+    /// Executes one cycle on a symbol vector whose first `valid` entries
+    /// carry real input, delivering any reports to `sink`.
+    ///
+    /// Returns the number of active states after the cycle.
+    pub fn step<S: ReportSink>(&mut self, vector: &[u16], valid: usize, sink: &mut S) -> usize {
+        debug_assert_eq!(vector.len(), self.nfa.stride());
+        self.generation += 1;
+        self.candidates.clear();
+        let gen = self.generation;
+
+        // Generation-stamped candidate insertion; a free function so the
+        // disjoint field borrows are visible to the compiler.
+        fn push(stamp: &mut [u64], candidates: &mut Vec<StateId>, gen: u64, id: StateId) {
+            let slot = &mut stamp[id.index()];
+            if *slot != gen {
+                *slot = gen;
+                candidates.push(id);
+            }
+        }
+
+        // Successors of the current frontier.
+        for &s in &self.active {
+            for &t in self.nfa.successors(s) {
+                push(&mut self.stamp, &mut self.candidates, gen, t);
+            }
+        }
+
+        // Start states, respecting the start period and cycle 0.
+        if self.cycle % u64::from(self.nfa.start_period()) == 0 {
+            match &self.start_index {
+                StartIndex::Bucketed(buckets) => {
+                    for &id in &buckets[vector[0] as usize] {
+                        push(&mut self.stamp, &mut self.candidates, gen, id);
+                    }
+                }
+                StartIndex::Flat(starts) => {
+                    for &id in starts {
+                        push(&mut self.stamp, &mut self.candidates, gen, id);
+                    }
+                }
+            }
+        }
+        if self.cycle == 0 {
+            for &id in &self.sod_starts {
+                push(&mut self.stamp, &mut self.candidates, gen, id);
+            }
+        }
+
+        // Match phase.
+        self.active.clear();
+        self.reports.clear();
+        let nfa = self.nfa;
+        let candidates = std::mem::take(&mut self.candidates);
+        for &id in &candidates {
+            let ste = nfa.state(id);
+            if ste.matches(vector, valid) {
+                self.active.push(id);
+                for r in ste.reports() {
+                    // Reports landing in the end-of-stream padding region
+                    // never fired in the unstrided automaton; drop them.
+                    if (r.offset as usize) < valid {
+                        self.reports.push(ReportEvent {
+                            cycle: self.cycle,
+                            state: id,
+                            info: *r,
+                        });
+                    }
+                }
+            }
+        }
+        self.candidates = candidates;
+
+        if !self.reports.is_empty() {
+            sink.on_cycle_reports(self.cycle, &self.reports);
+        }
+        sink.on_cycle_activity(self.cycle, self.active.len());
+        if sink.wants_active_states() {
+            sink.on_active_states(self.cycle, &self.active);
+        }
+        self.cycle += 1;
+        self.active.len()
+    }
+
+    /// Runs the whole input stream through the automaton.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the view's stride does not match the
+    /// automaton's.
+    pub fn run<S: ReportSink>(&mut self, input: &InputView, sink: &mut S) {
+        debug_assert_eq!(input.stride(), self.nfa.stride());
+        for v in input.iter() {
+            self.step(&v.symbols, v.valid, sink);
+        }
+    }
+}
+
+/// Convenience: runs `nfa` over `bytes` at its native width/stride and
+/// returns the trace. Intended for tests and examples; big runs should
+/// construct a [`Simulator`] with a streaming sink.
+///
+/// # Errors
+///
+/// Returns an error if the byte stream cannot be viewed at the automaton's
+/// symbol width (see [`InputView::new`]).
+pub fn run_trace(
+    nfa: &Nfa,
+    bytes: &[u8],
+) -> Result<crate::sink::TraceSink, sunder_automata::AutomataError> {
+    let input = InputView::new(bytes, nfa.symbol_bits(), nfa.stride())?;
+    let mut sim = Simulator::new(nfa);
+    let mut trace = crate::sink::TraceSink::new();
+    sim.run(&input, &mut trace);
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{CountSink, TraceSink};
+    use sunder_automata::regex::{compile_regex, compile_rule_set};
+    use sunder_automata::{Ste, SymbolSet};
+
+    #[test]
+    fn single_literal_matches_everywhere() {
+        let nfa = compile_regex("a", 1).unwrap();
+        let trace = run_trace(&nfa, b"aXaa").unwrap();
+        assert_eq!(trace.cycle_id_pairs(), vec![(0, 1), (2, 1), (3, 1)]);
+    }
+
+    #[test]
+    fn anchored_only_at_start() {
+        let nfa = compile_regex("^ab", 0).unwrap();
+        assert_eq!(run_trace(&nfa, b"abab").unwrap().events.len(), 1);
+        assert_eq!(run_trace(&nfa, b"xab").unwrap().events.len(), 0);
+    }
+
+    #[test]
+    fn overlapping_matches() {
+        let nfa = compile_regex("aa", 0).unwrap();
+        let trace = run_trace(&nfa, b"aaaa").unwrap();
+        // Matches end at positions 1, 2, 3.
+        assert_eq!(trace.cycle_id_pairs(), vec![(1, 0), (2, 0), (3, 0)]);
+    }
+
+    #[test]
+    fn dotstar_pattern() {
+        let nfa = compile_regex(".*ab", 0).unwrap();
+        let trace = run_trace(&nfa, b"zzabzab").unwrap();
+        assert_eq!(trace.cycle_id_pairs(), vec![(3, 0), (6, 0)]);
+    }
+
+    #[test]
+    fn alternation_and_classes() {
+        let nfa = compile_rule_set(&["ca[tp]", "dog"]).unwrap();
+        let trace = run_trace(&nfa, b"cat dog cap").unwrap();
+        assert_eq!(
+            trace.cycle_id_pairs(),
+            vec![(2, 0), (6, 1), (10, 0)]
+        );
+    }
+
+    #[test]
+    fn plus_loop() {
+        let nfa = compile_regex("x[0-9]+y", 0).unwrap();
+        let trace = run_trace(&nfa, b"x123y x9y xy").unwrap();
+        assert_eq!(trace.cycle_id_pairs(), vec![(4, 0), (8, 0)]);
+    }
+
+    #[test]
+    fn start_period_gates_all_input_starts() {
+        // One state matching symbol 1, AllInput, but period 2: it may only
+        // begin matching at even cycles.
+        let mut nfa = Nfa::new(4);
+        nfa.set_start_period(2);
+        nfa.add_state(
+            Ste::new(SymbolSet::singleton(4, 1))
+                .start(StartKind::AllInput)
+                .report(0),
+        );
+        let input = InputView::from_symbols(vec![1, 1, 1, 1], 1);
+        let mut sim = Simulator::new(&nfa);
+        let mut trace = TraceSink::new();
+        sim.run(&input, &mut trace);
+        assert_eq!(
+            trace.cycle_id_pairs(),
+            vec![(0, 0), (2, 0)],
+            "odd-cycle starts must be suppressed"
+        );
+    }
+
+    #[test]
+    fn empty_input_no_reports() {
+        let nfa = compile_regex("a", 0).unwrap();
+        let trace = run_trace(&nfa, b"").unwrap();
+        assert!(trace.events.is_empty());
+    }
+
+    #[test]
+    fn reset_restores_anchored_behavior() {
+        let nfa = compile_regex("^a", 0).unwrap();
+        let input = InputView::new(b"a", 8, 1).unwrap();
+        let mut sim = Simulator::new(&nfa);
+        let mut c1 = CountSink::new();
+        sim.run(&input, &mut c1);
+        assert_eq!(c1.reports, 1);
+        sim.reset();
+        let mut c2 = CountSink::new();
+        sim.run(&input, &mut c2);
+        assert_eq!(c2.reports, 1, "start-of-data must re-arm after reset");
+    }
+
+    #[test]
+    fn strided_state_report_offsets() {
+        // A stride-2 automaton over nibbles: state matches [1, *] and
+        // reports at offset 0.
+        let mut nfa = Nfa::with_stride(4, 2);
+        let s = nfa.add_state(
+            Ste::with_charsets(vec![SymbolSet::singleton(4, 1), SymbolSet::full(4)])
+                .start(StartKind::AllInput)
+                .report_at(7, 0),
+        );
+        nfa.add_edge(s, s);
+        let input = InputView::from_symbols(vec![1, 9, 1], 2);
+        let mut sim = Simulator::new(&nfa);
+        let mut trace = TraceSink::new();
+        sim.run(&input, &mut trace);
+        // Cycle 0 matches [1,9]; cycle 1 has [1,<pad>] with valid=1 and the
+        // don't-care second position, so it matches too.
+        assert_eq!(trace.position_id_pairs(2), vec![(0, 7), (2, 7)]);
+    }
+
+    #[test]
+    fn padding_report_suppression() {
+        // Report at offset 1 must NOT fire when only 1 symbol is valid.
+        let mut nfa = Nfa::with_stride(4, 2);
+        nfa.add_state(
+            Ste::with_charsets(vec![SymbolSet::full(4), SymbolSet::full(4)])
+                .start(StartKind::AllInput)
+                .report_at(0, 1),
+        );
+        let input = InputView::from_symbols(vec![5], 2);
+        let mut sim = Simulator::new(&nfa);
+        let mut trace = TraceSink::new();
+        sim.run(&input, &mut trace);
+        assert!(trace.events.is_empty());
+    }
+
+    #[test]
+    fn activity_callback_sees_active_counts() {
+        #[derive(Default)]
+        struct Activity(Vec<usize>);
+        impl ReportSink for Activity {
+            fn on_cycle_reports(&mut self, _: u64, _: &[ReportEvent]) {}
+            fn on_cycle_activity(&mut self, _: u64, n: usize) {
+                self.0.push(n);
+            }
+        }
+        let nfa = compile_regex("ab", 0).unwrap();
+        let input = InputView::new(b"ab", 8, 1).unwrap();
+        let mut sim = Simulator::new(&nfa);
+        let mut act = Activity::default();
+        sim.run(&input, &mut act);
+        assert_eq!(act.0, vec![1, 1]);
+    }
+}

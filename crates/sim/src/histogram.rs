@@ -1,0 +1,138 @@
+//! Report-burst histogram: the distribution behind Table 1's averages.
+//!
+//! `#Reports / #Report Cycles` is a mean; reporting-architecture behavior
+//! depends on the *distribution* (the AP offloads one vector per triggered
+//! region per cycle regardless of how many bits are set). This sink counts
+//! report cycles by burst size in power-of-two buckets.
+
+use crate::sink::{ReportEvent, ReportSink};
+
+/// Histogram of reports-per-report-cycle in power-of-two buckets:
+/// bucket `i` counts cycles with `2^i ..= 2^(i+1)-1` reports.
+#[derive(Debug, Clone, Default)]
+pub struct BurstHistogramSink {
+    buckets: Vec<u64>,
+    total_reports: u64,
+}
+
+impl BurstHistogramSink {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count of cycles in bucket `i` (burst sizes `2^i ..= 2^(i+1)-1`).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    /// Number of buckets with at least one cycle.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Total reports observed.
+    pub fn total_reports(&self) -> u64 {
+        self.total_reports
+    }
+
+    /// Total report cycles observed.
+    pub fn report_cycles(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The largest burst's bucket index, if any cycle reported.
+    pub fn max_bucket(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&c| c > 0)
+    }
+
+    /// Renders one line per non-empty bucket: `2^i..: count`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                out.push_str(&format!("{:>6}..{:<6} {}\n", 1u64 << i, (1u64 << (i + 1)) - 1, c));
+            }
+        }
+        out
+    }
+}
+
+impl ReportSink for BurstHistogramSink {
+    fn on_cycle_reports(&mut self, _cycle: u64, reports: &[ReportEvent]) {
+        self.total_reports += reports.len() as u64;
+        let bucket = usize::try_from(reports.len().ilog2()).expect("small index");
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunder_automata::{ReportInfo, StateId};
+
+    fn burst(n: usize) -> Vec<ReportEvent> {
+        (0..n)
+            .map(|i| ReportEvent {
+                cycle: 0,
+                state: StateId(i as u32),
+                info: ReportInfo::new(i as u32),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn buckets_are_power_of_two() {
+        let mut h = BurstHistogramSink::new();
+        h.on_cycle_reports(0, &burst(1));
+        h.on_cycle_reports(1, &burst(2));
+        h.on_cycle_reports(2, &burst(3));
+        h.on_cycle_reports(3, &burst(1000));
+        assert_eq!(h.bucket(0), 1); // size 1
+        assert_eq!(h.bucket(1), 2); // sizes 2..3
+        assert_eq!(h.bucket(9), 1); // 512..1023
+        assert_eq!(h.report_cycles(), 4);
+        assert_eq!(h.total_reports(), 1006);
+        assert_eq!(h.max_bucket(), Some(9));
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = BurstHistogramSink::new();
+        assert_eq!(h.report_cycles(), 0);
+        assert_eq!(h.max_bucket(), None);
+        assert!(h.render().is_empty());
+    }
+
+    #[test]
+    fn render_lists_ranges() {
+        let mut h = BurstHistogramSink::new();
+        h.on_cycle_reports(0, &burst(5));
+        let r = h.render();
+        assert!(r.contains("4"));
+        assert!(r.contains("7"));
+    }
+
+    #[test]
+    fn spm_style_distribution() {
+        // Drive from a real run: a trigger firing 20 states at once.
+        use sunder_automata::{Nfa, StartKind, Ste, SymbolSet};
+        let mut nfa = Nfa::new(8);
+        let t = nfa.add_state(
+            Ste::new(SymbolSet::singleton(8, 0xF0)).start(StartKind::AllInput),
+        );
+        for i in 0..20 {
+            let r = nfa.add_state(Ste::new(SymbolSet::full(8)).report(i));
+            nfa.add_edge(t, r);
+        }
+        let mut sim = crate::Simulator::new(&nfa);
+        let mut h = BurstHistogramSink::new();
+        let input = sunder_automata::InputView::new(&[0xF0, 0x00, 0xF0, 0x00], 8, 1).unwrap();
+        sim.run(&input, &mut h);
+        assert_eq!(h.report_cycles(), 2);
+        assert_eq!(h.bucket(4), 2); // bursts of 20 land in 16..31
+    }
+}

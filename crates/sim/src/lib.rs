@@ -1,0 +1,39 @@
+//! Functional automata simulator (the repository's VASim equivalent).
+//!
+//! The paper uses the Virtual Automata Simulator to (a) collect the
+//! reporting-behavior statistics of Table 1 and (b) produce the per-cycle
+//! report streams that drive the reporting-architecture models. This crate
+//! plays both roles: [`Simulator`] executes any [`sunder_automata::Nfa`]
+//! (any symbol width, any stride) cycle by cycle and streams report events
+//! into a pluggable [`ReportSink`].
+//!
+//! # Quick start
+//!
+//! ```
+//! use sunder_automata::regex::compile_rule_set;
+//! use sunder_automata::InputView;
+//! use sunder_sim::{DynamicStatsSink, Simulator};
+//!
+//! let nfa = compile_rule_set(&["GET /", "POST /"])?;
+//! let input = InputView::new(b"GET /index.html", 8, 1)?;
+//! let mut sim = Simulator::new(&nfa);
+//! let mut stats = DynamicStatsSink::new();
+//! sim.run(&input, &mut stats);
+//! assert_eq!(stats.finish().reports, 1);
+//! # Ok::<(), sunder_automata::AutomataError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod histogram;
+pub mod profile;
+pub mod sink;
+pub mod stats;
+
+pub use engine::{run_trace, Simulator};
+pub use histogram::BurstHistogramSink;
+pub use profile::{hybrid_split, ActivationProfileSink, HybridSplit};
+pub use sink::{CountSink, NullSink, ReportEvent, ReportSink, TraceSink};
+pub use stats::{DynamicStats, DynamicStatsSink};

@@ -1,0 +1,241 @@
+//! Activation profiling: which states actually run.
+//!
+//! Liu et al. (MICRO '18) observed that many NFA states are never enabled on real
+//! inputs, so large applications can be split between the accelerator (hot
+//! states) and the CPU (cold states), at the cost of extra *intermediate
+//! reports* at the cut boundary. [`ActivationProfileSink`] collects the
+//! per-state activation counts that drive such a split, and
+//! [`hybrid_split`] performs it — marking frontier states as intermediate
+//! reporters exactly as the hybrid scheme requires. The paper's claim that
+//! Sunder's reporting "is complementary to their technique" is evaluated
+//! on top of these (`hybrid` bench binary).
+
+use sunder_automata::{Nfa, ReportInfo, StateId};
+
+use crate::sink::{ReportEvent, ReportSink};
+
+/// Collects per-state activation counts over a run.
+#[derive(Debug, Clone)]
+pub struct ActivationProfileSink {
+    counts: Vec<u64>,
+    cycles: u64,
+}
+
+impl ActivationProfileSink {
+    /// Creates a profile for an automaton with `num_states` states.
+    pub fn new(num_states: usize) -> Self {
+        ActivationProfileSink {
+            counts: vec![0; num_states],
+            cycles: 0,
+        }
+    }
+
+    /// Activation count of one state.
+    pub fn count(&self, state: StateId) -> u64 {
+        self.counts[state.index()]
+    }
+
+    /// States never active during the profiled run.
+    pub fn never_active(&self) -> Vec<StateId> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == 0)
+            .map(|(i, _)| StateId(i as u32))
+            .collect()
+    }
+
+    /// Fraction of states that were active at least once.
+    pub fn active_fraction(&self) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        self.counts.iter().filter(|&&c| c > 0).count() as f64 / self.counts.len() as f64
+    }
+
+    /// The `k` most frequently active states, hottest first.
+    pub fn hottest(&self, k: usize) -> Vec<(StateId, u64)> {
+        let mut v: Vec<(StateId, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (StateId(i as u32), c))
+            .collect();
+        v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        v.truncate(k);
+        v
+    }
+
+    /// Cycles profiled.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+}
+
+impl ReportSink for ActivationProfileSink {
+    fn on_cycle_reports(&mut self, _cycle: u64, _reports: &[ReportEvent]) {}
+
+    fn on_cycle_activity(&mut self, _cycle: u64, _active: usize) {
+        self.cycles += 1;
+    }
+
+    fn wants_active_states(&self) -> bool {
+        true
+    }
+
+    fn on_active_states(&mut self, _cycle: u64, active: &[StateId]) {
+        for &s in active {
+            self.counts[s.index()] += 1;
+        }
+    }
+}
+
+/// Result of a hybrid accelerator/CPU split.
+#[derive(Debug, Clone)]
+pub struct HybridSplit {
+    /// The accelerator-resident automaton.
+    pub accelerator: Nfa,
+    /// States dropped to the CPU side.
+    pub cpu_states: usize,
+    /// Frontier states that gained an intermediate report.
+    pub frontier_states: usize,
+    /// Report id base used for intermediate reports.
+    pub intermediate_id_base: u32,
+}
+
+/// Splits an automaton per a profile: states never active in the training
+/// run move to the CPU; resident states whose successors were cut become
+/// *intermediate reporters* (the CPU must learn of their activation to
+/// continue matching in software).
+///
+/// Intermediate reports get ids starting at `intermediate_id_base` so they
+/// remain distinguishable from the application's real reports.
+pub fn hybrid_split(
+    nfa: &Nfa,
+    profile: &ActivationProfileSink,
+    intermediate_id_base: u32,
+) -> HybridSplit {
+    let n = nfa.num_states();
+    assert_eq!(profile.counts.len(), n, "profile size mismatch");
+    // Keep hot states plus every start state (cold starts may still fire
+    // on unseen inputs; the hybrid scheme keeps entry points resident).
+    let mut keep = vec![false; n];
+    for (i, &c) in profile.counts.iter().enumerate() {
+        keep[i] = c > 0;
+    }
+    for (id, ste) in nfa.states() {
+        if ste.start_kind().is_start() {
+            keep[id.index()] = true;
+        }
+    }
+
+    let mut accelerator = nfa.clone();
+    let mut frontier = 0usize;
+    let mut next_intermediate = intermediate_id_base;
+    for (id, _) in nfa.states() {
+        if !keep[id.index()] {
+            continue;
+        }
+        let cut = nfa
+            .successors(id)
+            .iter()
+            .any(|t| !keep[t.index()]);
+        if cut {
+            frontier += 1;
+            accelerator
+                .state_mut(id)
+                .add_report(ReportInfo::new(next_intermediate));
+            next_intermediate += 1;
+        }
+    }
+    let map = accelerator.retain_states(&keep);
+    debug_assert!(map.len() == n);
+    HybridSplit {
+        cpu_states: n - accelerator.num_states(),
+        frontier_states: frontier,
+        accelerator,
+        intermediate_id_base,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+    use sunder_automata::regex::compile_rule_set;
+    use sunder_automata::InputView;
+
+    fn profile_of(nfa: &Nfa, input: &[u8]) -> ActivationProfileSink {
+        let view = InputView::new(input, 8, 1).unwrap();
+        let mut sim = Simulator::new(nfa);
+        let mut p = ActivationProfileSink::new(nfa.num_states());
+        sim.run(&view, &mut p);
+        p
+    }
+
+    #[test]
+    fn profile_counts_activations() {
+        let nfa = compile_rule_set(&["ab", "zz"]).unwrap();
+        let p = profile_of(&nfa, b"ababab");
+        // 'a' (state 0) active 3×, 'b' (state 1) 3×, zz states never.
+        assert_eq!(p.count(StateId(0)), 3);
+        assert_eq!(p.count(StateId(1)), 3);
+        assert_eq!(p.never_active().len(), 2);
+        assert!((p.active_fraction() - 0.5).abs() < 1e-9);
+        assert_eq!(p.cycles(), 6);
+        assert_eq!(p.hottest(1)[0].1, 3);
+    }
+
+    #[test]
+    fn split_moves_cold_states_to_cpu() {
+        // "abcd": training input only ever reaches 'b', so c,d go to the
+        // CPU and 'b' becomes a frontier intermediate reporter.
+        let nfa = compile_rule_set(&["abcd"]).unwrap();
+        let p = profile_of(&nfa, b"ababab");
+        let split = hybrid_split(&nfa, &p, 1000);
+        assert_eq!(split.cpu_states, 2);
+        assert_eq!(split.frontier_states, 1);
+        assert_eq!(split.accelerator.num_states(), 2);
+        // The frontier state reports the intermediate id.
+        let reports: Vec<u32> = split
+            .accelerator
+            .report_states()
+            .iter()
+            .flat_map(|&s| split.accelerator.state(s).reports().iter().map(|r| r.id))
+            .collect();
+        assert_eq!(reports, vec![1000]);
+    }
+
+    #[test]
+    fn split_keeps_start_states_even_if_cold() {
+        let nfa = compile_rule_set(&["xy", "ab"]).unwrap();
+        let p = profile_of(&nfa, b"abab"); // xy never active
+        let split = hybrid_split(&nfa, &p, 500);
+        // 'x' stays (start), 'y' leaves; 'x' becomes frontier.
+        assert_eq!(split.cpu_states, 1);
+        assert!(split.frontier_states >= 1);
+    }
+
+    #[test]
+    fn intermediate_reports_fire_at_the_cut() {
+        let nfa = compile_rule_set(&["abcd"]).unwrap();
+        let p = profile_of(&nfa, b"abab");
+        let split = hybrid_split(&nfa, &p, 1000);
+        // Run the resident part on an input that WOULD have matched fully:
+        // the intermediate report at 'b' tells the CPU to take over.
+        let trace = crate::run_trace(&split.accelerator, b"abcd").unwrap();
+        let ids: Vec<u32> = trace.events.iter().map(|e| e.info.id).collect();
+        assert!(ids.contains(&1000));
+    }
+
+    #[test]
+    fn fully_hot_split_is_identity() {
+        let nfa = compile_rule_set(&["ab"]).unwrap();
+        let p = profile_of(&nfa, b"abab");
+        let split = hybrid_split(&nfa, &p, 99);
+        assert_eq!(split.cpu_states, 0);
+        assert_eq!(split.frontier_states, 0);
+        assert_eq!(split.accelerator.num_states(), 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! Dynamic (input-dependent) reporting statistics.
+//!
+//! These are the "Dynamic Behaviour" columns of the paper's Table 1:
+//! `#Reports`, `#Report Cycles`, `#Reports/Cycles`, `#Reports/Report
+//! Cycles`, and `#Report Cycles/#Cycles (%)`. The statistics drive the
+//! design of the reporting architecture (Section 3) and are collected by a
+//! [`ReportSink`] so they stream — no event buffering.
+
+use std::fmt;
+
+use crate::sink::{ReportEvent, ReportSink};
+
+/// Streaming collector for the Table 1 dynamic columns.
+#[derive(Debug, Default, Clone)]
+pub struct DynamicStatsSink {
+    reports: u64,
+    report_cycles: u64,
+    max_reports_per_cycle: usize,
+    total_cycles: u64,
+    active_state_sum: u64,
+    max_active_states: usize,
+}
+
+impl DynamicStatsSink {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finalizes into a [`DynamicStats`] summary.
+    pub fn finish(&self) -> DynamicStats {
+        DynamicStats {
+            reports: self.reports,
+            report_cycles: self.report_cycles,
+            cycles: self.total_cycles,
+            max_reports_per_cycle: self.max_reports_per_cycle,
+            mean_active_states: if self.total_cycles == 0 {
+                0.0
+            } else {
+                self.active_state_sum as f64 / self.total_cycles as f64
+            },
+            max_active_states: self.max_active_states,
+        }
+    }
+}
+
+impl ReportSink for DynamicStatsSink {
+    fn on_cycle_reports(&mut self, _cycle: u64, reports: &[ReportEvent]) {
+        self.reports += reports.len() as u64;
+        self.report_cycles += 1;
+        self.max_reports_per_cycle = self.max_reports_per_cycle.max(reports.len());
+    }
+
+    fn on_cycle_activity(&mut self, _cycle: u64, active_states: usize) {
+        self.total_cycles += 1;
+        self.active_state_sum += active_states as u64;
+        self.max_active_states = self.max_active_states.max(active_states);
+    }
+}
+
+/// Summary of a run's reporting behavior (Table 1, dynamic columns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicStats {
+    /// Total reports generated (`#Reports`).
+    pub reports: u64,
+    /// Cycles with at least one report (`#Report Cycles`).
+    pub report_cycles: u64,
+    /// Total cycles executed.
+    pub cycles: u64,
+    /// Peak reports in one cycle (SPM reaches 1394 in the paper).
+    pub max_reports_per_cycle: usize,
+    /// Mean number of active states per cycle (kernel load).
+    pub mean_active_states: f64,
+    /// Peak active states in one cycle.
+    pub max_active_states: usize,
+}
+
+impl DynamicStats {
+    /// `#Reports / #Cycles` (Table 1, column 7).
+    pub fn reports_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.reports as f64 / self.cycles as f64
+        }
+    }
+
+    /// `#Reports / #Report Cycles` (Table 1, column 8).
+    pub fn reports_per_report_cycle(&self) -> f64 {
+        if self.report_cycles == 0 {
+            0.0
+        } else {
+            self.reports as f64 / self.report_cycles as f64
+        }
+    }
+
+    /// `#Report Cycles / #Cycles` as a percentage (Table 1, last column).
+    pub fn report_cycle_percent(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            100.0 * self.report_cycles as f64 / self.cycles as f64
+        }
+    }
+}
+
+impl fmt::Display for DynamicStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} reports in {} report cycles / {} cycles ({:.2}% report cycles, {:.3} rep/cyc, {:.2} rep/rep-cyc)",
+            self.reports,
+            self.report_cycles,
+            self.cycles,
+            self.report_cycle_percent(),
+            self.reports_per_cycle(),
+            self.reports_per_report_cycle(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulator;
+    use sunder_automata::regex::compile_rule_set;
+    use sunder_automata::InputView;
+
+    #[test]
+    fn stats_from_run() {
+        let nfa = compile_rule_set(&["ab", "b"]).unwrap();
+        let input = InputView::new(b"abab", 8, 1).unwrap();
+        let mut sim = Simulator::new(&nfa);
+        let mut sink = DynamicStatsSink::new();
+        sim.run(&input, &mut sink);
+        let s = sink.finish();
+        // Cycle 1: "ab" and "b" both fire; cycle 3: both again.
+        assert_eq!(s.reports, 4);
+        assert_eq!(s.report_cycles, 2);
+        assert_eq!(s.cycles, 4);
+        assert_eq!(s.max_reports_per_cycle, 2);
+        assert!((s.reports_per_cycle() - 1.0).abs() < 1e-12);
+        assert!((s.reports_per_report_cycle() - 2.0).abs() < 1e-12);
+        assert!((s.report_cycle_percent() - 50.0).abs() < 1e-12);
+        assert!(s.mean_active_states > 0.0);
+    }
+
+    #[test]
+    fn empty_run_yields_zeroes() {
+        let s = DynamicStatsSink::new().finish();
+        assert_eq!(s.reports_per_cycle(), 0.0);
+        assert_eq!(s.reports_per_report_cycle(), 0.0);
+        assert_eq!(s.report_cycle_percent(), 0.0);
+        assert_eq!(s.mean_active_states, 0.0);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let s = DynamicStats {
+            reports: 5,
+            report_cycles: 2,
+            cycles: 10,
+            max_reports_per_cycle: 3,
+            mean_active_states: 1.0,
+            max_active_states: 2,
+        };
+        let text = s.to_string();
+        assert!(text.contains("5 reports"));
+        assert!(text.contains("20.00%"));
+    }
+}

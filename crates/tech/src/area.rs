@@ -1,0 +1,195 @@
+//! Area model (paper, Figure 9 and the Section 1 headline claims).
+//!
+//! Areas are composed per 256 STEs (one Sunder processing unit's worth of
+//! states) from the Table 2 subarray figures, then scaled to the 32K-STE
+//! comparison point of Figure 9.
+//!
+//! The Micron AP is DRAM-based and its implementation is not public; the
+//! paper itself relies on two published facts — the reporting architecture
+//! is ~40% of AP area (Gwennap, Microprocessor Report) and Sunder's overall
+//! area is ~2.1× smaller at the same technology node — so the AP entry here
+//! is *calibrated* to those two facts rather than composed bottom-up. The
+//! same AP-style reporting area is attached to CA and Impala, which
+//! "overlook the real cost of reporting" and are evaluated with an AP-style
+//! reporting architecture bolted on (Section 7.1).
+
+use std::fmt;
+
+use crate::params::{CA_MATCH, IMPALA_MATCH, STATES_PER_PU, SUNDER_8T};
+use crate::timing::Architecture;
+
+/// Sunder's extra reporting circuitry (decoder gating, OR-reduction of the
+/// report columns, local counter) as a fraction of the PU area: "less than
+/// 2% hardware overhead".
+pub const SUNDER_REPORTING_OVERHEAD: f64 = 0.02;
+
+/// Fraction of AP area consumed by its reporting architecture (Gwennap, Microprocessor Report).
+pub const AP_REPORTING_FRACTION: f64 = 0.40;
+
+/// Calibrated overall AP area ratio vs. Sunder at 14 nm (paper: 2.1×).
+pub const AP_TOTAL_VS_SUNDER: f64 = 2.1;
+
+/// Area decomposition for one architecture, per 256 STEs, in µm².
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBreakdown {
+    /// Which architecture.
+    pub architecture: Architecture,
+    /// State-matching array area.
+    pub matching_um2: f64,
+    /// Interconnect (local crossbar) area.
+    pub interconnect_um2: f64,
+    /// Reporting architecture area.
+    pub reporting_um2: f64,
+}
+
+impl AreaBreakdown {
+    /// Total area per 256 STEs.
+    pub fn total_um2(&self) -> f64 {
+        self.matching_um2 + self.interconnect_um2 + self.reporting_um2
+    }
+
+    /// Total area for `stes` STEs, in mm².
+    pub fn total_mm2_for(&self, stes: usize) -> f64 {
+        self.total_um2() * (stes as f64 / STATES_PER_PU as f64) / 1e6
+    }
+
+    /// Computes the per-256-STE decomposition for an architecture.
+    pub fn of(architecture: Architecture) -> Self {
+        let sunder = {
+            let arrays = SUNDER_8T.area_um2 * 2.0; // matching+reporting, interconnect
+            AreaBreakdown {
+                architecture: Architecture::Sunder,
+                matching_um2: SUNDER_8T.area_um2,
+                interconnect_um2: SUNDER_8T.area_um2,
+                reporting_um2: arrays * SUNDER_REPORTING_OVERHEAD,
+            }
+        };
+        match architecture {
+            Architecture::Sunder => sunder,
+            Architecture::CacheAutomaton => AreaBreakdown {
+                architecture,
+                matching_um2: CA_MATCH.area_um2,
+                interconnect_um2: SUNDER_8T.area_um2,
+                reporting_um2: ap_style_reporting_um2(),
+            },
+            Architecture::Impala => AreaBreakdown {
+                architecture,
+                // 4 nibble rows × 16 states per 16×16 subarray ⇒ 64 arrays
+                // cover 256 STEs at the 16-bit rate.
+                matching_um2: IMPALA_MATCH.area_um2 * 64.0,
+                interconnect_um2: SUNDER_8T.area_um2,
+                reporting_um2: ap_style_reporting_um2(),
+            },
+            Architecture::Ap50nm | Architecture::Ap14nm => {
+                let total = sunder.total_um2() * AP_TOTAL_VS_SUNDER;
+                let reporting = total * AP_REPORTING_FRACTION;
+                AreaBreakdown {
+                    architecture,
+                    // The paper gives no matching/routing split for the AP;
+                    // attribute the non-reporting remainder to matching.
+                    matching_um2: total - reporting,
+                    interconnect_um2: 0.0,
+                    reporting_um2: reporting,
+                }
+            }
+        }
+    }
+
+    /// The Figure 9 rows (Sunder, Impala, CA, AP at 14 nm).
+    pub fn figure9() -> Vec<AreaBreakdown> {
+        [
+            Architecture::Sunder,
+            Architecture::Impala,
+            Architecture::CacheAutomaton,
+            Architecture::Ap14nm,
+        ]
+        .iter()
+        .map(|&a| Self::of(a))
+        .collect()
+    }
+}
+
+impl fmt::Display for AreaBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: match {:.0} + interconnect {:.0} + reporting {:.0} = {:.0} um2 / 256 STEs",
+            self.architecture,
+            self.matching_um2,
+            self.interconnect_um2,
+            self.reporting_um2,
+            self.total_um2()
+        )
+    }
+}
+
+/// AP-style reporting area attached per 256 STEs (used for CA, Impala, and
+/// inside the calibrated AP total).
+pub fn ap_style_reporting_um2() -> f64 {
+    let sunder_total = AreaBreakdown::of(Architecture::Sunder).total_um2();
+    sunder_total * AP_TOTAL_VS_SUNDER * AP_REPORTING_FRACTION
+}
+
+/// Report-buffer capacity comparison (the Section 1 claim: "9× larger
+/// reporting buffer than the Micron AP for the same state density").
+///
+/// Both are measured in buffer bits per *reporting* STE:
+///
+/// * Sunder at the 16-bit rate keeps 192 of 256 rows for reports
+///   (192 × 256 bits) shared by the subarray's `m` reporting states;
+/// * one AP reporting region gives 481 Kb of L1 to 1024 reporting STEs.
+pub fn report_buffer_bits_per_report_ste(matching_rows: usize, report_states: usize) -> f64 {
+    let rows = 256 - matching_rows;
+    (rows * 256) as f64 / report_states as f64
+}
+
+/// The AP's L1 buffer bits per reporting STE (481 Kb per 1024 STEs).
+pub fn ap_buffer_bits_per_report_ste() -> f64 {
+    481.0 * 1024.0 / 1024.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sunder_reporting_is_two_percent() {
+        let s = AreaBreakdown::of(Architecture::Sunder);
+        let frac = s.reporting_um2 / s.total_um2();
+        assert!((0.019..0.020).contains(&frac), "{frac}");
+    }
+
+    #[test]
+    fn area_ordering_matches_paper() {
+        let sunder = AreaBreakdown::of(Architecture::Sunder).total_um2();
+        let ca = AreaBreakdown::of(Architecture::CacheAutomaton).total_um2();
+        let impala = AreaBreakdown::of(Architecture::Impala).total_um2();
+        let ap = AreaBreakdown::of(Architecture::Ap14nm).total_um2();
+        assert!(sunder < ca && ca < ap, "Sunder < CA < AP must hold");
+        assert!(sunder < impala && impala < ap);
+        // Paper ratios: AP 2.1×, CA 1.5×, Impala 1.6×.
+        assert!((ap / sunder - 2.1).abs() < 1e-9);
+        let ca_ratio = ca / sunder;
+        assert!((1.3..1.8).contains(&ca_ratio), "CA ratio {ca_ratio}");
+        let impala_ratio = impala / sunder;
+        assert!((1.5..2.2).contains(&impala_ratio), "Impala ratio {impala_ratio}");
+    }
+
+    #[test]
+    fn figure9_scales_to_32k() {
+        for row in AreaBreakdown::figure9() {
+            let mm2 = row.total_mm2_for(32 * 1024);
+            assert!(mm2 > 1.0 && mm2 < 25.0, "{row}: {mm2} mm2");
+        }
+    }
+
+    #[test]
+    fn buffer_capacity_claim() {
+        // 16-bit rate (64 matching rows), 12 reporting states per subarray
+        // (the paper's parameter selection): ≈ 9× the AP's per-STE buffer.
+        let sunder = report_buffer_bits_per_report_ste(64, 12);
+        let ap = ap_buffer_bits_per_report_ste();
+        let ratio = sunder / ap;
+        assert!((7.0..11.0).contains(&ratio), "buffer ratio {ratio}");
+    }
+}

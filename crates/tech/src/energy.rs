@@ -1,0 +1,70 @@
+//! Power and energy estimates derived from the Table 2 read-power figures.
+//!
+//! The paper does not tabulate end-to-end energy, but the subarray read
+//! powers it reports allow a first-order comparison of energy per processed
+//! byte; the examples and ablation benches use this model.
+
+use crate::params::{CA_MATCH, IMPALA_MATCH, SUNDER_8T};
+use crate::timing::{Architecture, PipelineTiming};
+
+/// Estimated active power (mW) per 256 STEs: matching + interconnect reads
+/// every cycle.
+pub fn active_power_mw_per_pu(architecture: Architecture) -> Option<f64> {
+    let interconnect = SUNDER_8T.read_power_mw;
+    match architecture {
+        Architecture::Sunder => Some(SUNDER_8T.read_power_mw + interconnect),
+        Architecture::CacheAutomaton => Some(CA_MATCH.read_power_mw + interconnect),
+        // 64 small arrays cover 256 STEs at the 16-bit rate.
+        Architecture::Impala => Some(IMPALA_MATCH.read_power_mw * 64.0 + interconnect),
+        // No public power data for the AP.
+        Architecture::Ap50nm | Architecture::Ap14nm => None,
+    }
+}
+
+/// Energy per input byte (pJ) per 256 STEs, at the architecture's operating
+/// point: `power / (frequency × bytes-per-cycle)`.
+pub fn energy_pj_per_byte_per_pu(architecture: Architecture) -> Option<f64> {
+    let power_mw = active_power_mw_per_pu(architecture)?;
+    let timing = PipelineTiming::of(architecture);
+    let bytes_per_cycle = f64::from(architecture.bits_per_cycle()) / 8.0;
+    let bytes_per_ns = timing.operating_freq_ghz * bytes_per_cycle;
+    // mW = pJ/ns.
+    Some(power_mw / bytes_per_ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sunder_power_is_two_8t_reads() {
+        let p = active_power_mw_per_pu(Architecture::Sunder).unwrap();
+        assert!((p - 12.14).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ap_power_unknown() {
+        assert!(active_power_mw_per_pu(Architecture::Ap50nm).is_none());
+        assert!(energy_pj_per_byte_per_pu(Architecture::Ap14nm).is_none());
+    }
+
+    #[test]
+    fn energy_per_byte_is_positive_and_finite() {
+        for arch in [
+            Architecture::Sunder,
+            Architecture::CacheAutomaton,
+            Architecture::Impala,
+        ] {
+            let e = energy_pj_per_byte_per_pu(arch).unwrap();
+            assert!(e > 0.0 && e.is_finite(), "{arch}: {e}");
+        }
+    }
+
+    #[test]
+    fn sunder_energy_beats_impala() {
+        // Impala's many small arrays burn more read power per byte.
+        let sunder = energy_pj_per_byte_per_pu(Architecture::Sunder).unwrap();
+        let impala = energy_pj_per_byte_per_pu(Architecture::Impala).unwrap();
+        assert!(sunder < impala);
+    }
+}

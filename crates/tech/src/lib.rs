@@ -1,0 +1,28 @@
+//! Technology model for the Sunder reproduction.
+//!
+//! Everything in this crate is analytic: the 14 nm subarray parameters the
+//! paper quotes from its (NDA'd) memory compiler ([`params`], Table 2), the
+//! pipeline-stage timing and operating frequencies ([`timing`], Table 5),
+//! the end-to-end throughput model ([`throughput`], Figure 8), the area
+//! model ([`area`], Figure 9), and a first-order energy model ([`energy`]).
+//!
+//! ```
+//! use sunder_tech::timing::{Architecture, PipelineTiming};
+//!
+//! let sunder = PipelineTiming::of(Architecture::Sunder);
+//! assert!((sunder.operating_freq_ghz - 3.6).abs() < 0.02);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod area;
+pub mod energy;
+pub mod params;
+pub mod throughput;
+pub mod timing;
+
+pub use area::AreaBreakdown;
+pub use params::{CellType, SubarrayParams};
+pub use throughput::Throughput;
+pub use timing::{Architecture, PipelineTiming};

@@ -1,0 +1,133 @@
+//! Technology parameters (paper, Table 2 and Section 7.4).
+//!
+//! The paper derives these from a 14 nm memory compiler under NDA and SPICE
+//! wire models; the numbers below are exactly the figures quoted in the
+//! paper and serve as this repository's technology model (see DESIGN.md,
+//! "Substitutions").
+
+/// SRAM cell flavor used by a subarray.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellType {
+    /// Classical 6-transistor cell: single port, densest.
+    T6,
+    /// 8-transistor dual-port cell: isolated read port (`Port 2`) enabling
+    /// simultaneous state matching and report access, wired-NOR multi-row
+    /// reads; wider transistors, so faster but larger.
+    T8,
+}
+
+/// One subarray configuration from Table 2 (peripheral overhead included).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubarrayParams {
+    /// Cell flavor.
+    pub cell: CellType,
+    /// Rows × columns.
+    pub rows: u32,
+    /// Columns.
+    pub cols: u32,
+    /// Read access delay in picoseconds.
+    pub delay_ps: f64,
+    /// Read power in milliwatts.
+    pub read_power_mw: f64,
+    /// Area in square micrometres.
+    pub area_um2: f64,
+}
+
+impl SubarrayParams {
+    /// Storage capacity in bits.
+    pub fn bits(&self) -> u64 {
+        u64::from(self.rows) * u64::from(self.cols)
+    }
+
+    /// Area per bit in µm².
+    pub fn area_per_bit(&self) -> f64 {
+        self.area_um2 / self.bits() as f64
+    }
+}
+
+/// Impala's state-matching subarray: 6T, 16×16 (one nibble alphabet by 16
+/// states).
+pub const IMPALA_MATCH: SubarrayParams = SubarrayParams {
+    cell: CellType::T6,
+    rows: 16,
+    cols: 16,
+    delay_ps: 180.0,
+    read_power_mw: 0.58,
+    area_um2: 453.0,
+};
+
+/// Cache Automaton's state-matching subarray: 6T, 256×256 (8-bit alphabet
+/// by 256 states).
+pub const CA_MATCH: SubarrayParams = SubarrayParams {
+    cell: CellType::T6,
+    rows: 256,
+    cols: 256,
+    delay_ps: 220.0,
+    read_power_mw: 5.52,
+    area_um2: 9394.0,
+};
+
+/// The 8T 256×256 subarray used for Sunder's combined state-matching +
+/// reporting array and for the full-crossbar interconnect of Sunder, CA,
+/// and Impala.
+pub const SUNDER_8T: SubarrayParams = SubarrayParams {
+    cell: CellType::T8,
+    rows: 256,
+    cols: 256,
+    delay_ps: 150.0,
+    read_power_mw: 6.07,
+    area_um2: 20102.0,
+};
+
+/// Wire delay from SPICE modeling (Section 7.4): 66 ps/mm.
+pub const WIRE_DELAY_PS_PER_MM: f64 = 66.0;
+
+/// SRAM slice dimensions assumed from Cache Automaton: 3.19 mm × 3 mm, so
+/// subarray-to-global-switch distance is 1.5 mm.
+pub const SLICE_WIDTH_MM: f64 = 3.19;
+/// See [`SLICE_WIDTH_MM`].
+pub const SLICE_HEIGHT_MM: f64 = 3.0;
+/// Distance from an SRAM array to the global switch.
+pub const GLOBAL_WIRE_MM: f64 = 1.5;
+/// Impala's subarrays are ~5× smaller; the paper assumes 20 ps wire delay.
+pub const IMPALA_GLOBAL_WIRE_PS: f64 = 20.0;
+
+/// Margin applied to the maximum frequency ("we assume the operating
+/// frequency to be 10% less than what we have calculated").
+pub const FREQUENCY_MARGIN: f64 = 0.90;
+
+/// The Automata Processor's clock in its native 50 nm DRAM process (GHz).
+pub const AP_FREQ_50NM_GHZ: f64 = 0.133;
+/// The paper's idealized projection of the AP clock to 14 nm (GHz).
+pub const AP_FREQ_14NM_GHZ: f64 = 1.69;
+
+/// States (columns) per Sunder processing unit.
+pub const STATES_PER_PU: usize = 256;
+/// Rows per state-matching/reporting subarray.
+pub const ROWS_PER_SUBARRAY: usize = 256;
+/// Processing units ganged by the global memory-mapped switches (an
+/// automaton component may span up to `4 × 256 = 1024` states).
+pub const PUS_PER_CLUSTER: usize = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values() {
+        assert_eq!(IMPALA_MATCH.bits(), 256);
+        assert_eq!(CA_MATCH.bits(), 65536);
+        assert_eq!(SUNDER_8T.bits(), 65536);
+        // 8T arrays are ~2.1× the 6T arrays of the same geometry.
+        let ratio = SUNDER_8T.area_um2 / CA_MATCH.area_um2;
+        assert!((2.0..2.3).contains(&ratio), "8T/6T ratio {ratio}");
+        // Small arrays pay a much larger per-bit peripheral overhead.
+        assert!(IMPALA_MATCH.area_per_bit() > 10.0 * CA_MATCH.area_per_bit());
+    }
+
+    #[test]
+    fn wire_delay_matches_paper() {
+        let global_ps = GLOBAL_WIRE_MM * WIRE_DELAY_PS_PER_MM;
+        assert!((global_ps - 99.0).abs() < 1e-9);
+    }
+}

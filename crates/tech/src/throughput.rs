@@ -1,0 +1,144 @@
+//! Throughput model (paper, Figure 8).
+//!
+//! Unlike prior work, which reports `frequency × bits/cycle` and overlooks
+//! reporting, the paper defines overall throughput as
+//!
+//! ```text
+//! throughput = frequency × bits-per-cycle / reporting-overhead
+//! ```
+//!
+//! The reporting overhead is the benchmark-average slowdown of the reporting
+//! architecture attached to each design (Table 4): Sunder's own in-place
+//! architecture for Sunder, the AP-style architecture (optionally with RAD)
+//! for CA, Impala, and the AP itself.
+
+use std::fmt;
+
+use crate::timing::{Architecture, PipelineTiming};
+
+/// Throughput of one architecture under one reporting scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Throughput {
+    /// The architecture.
+    pub architecture: Architecture,
+    /// Average reporting overhead divisor applied (≥ 1).
+    pub reporting_overhead: f64,
+    /// Resulting end-to-end throughput in Gbit/s.
+    pub gbps: f64,
+}
+
+impl Throughput {
+    /// Computes end-to-end throughput for `architecture` given the average
+    /// reporting overhead of its reporting architecture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reporting_overhead < 1` (an overhead is a slowdown
+    /// multiplier).
+    pub fn of(architecture: Architecture, reporting_overhead: f64) -> Self {
+        assert!(
+            reporting_overhead >= 1.0,
+            "reporting overhead is a slowdown multiplier, got {reporting_overhead}"
+        );
+        let timing = PipelineTiming::of(architecture);
+        let kernel = timing.operating_freq_ghz * f64::from(architecture.bits_per_cycle());
+        Throughput {
+            architecture,
+            reporting_overhead,
+            gbps: kernel / reporting_overhead,
+        }
+    }
+
+    /// Kernel-only throughput (`frequency × bits/cycle`), the quantity prior
+    /// work reported.
+    pub fn kernel_gbps(architecture: Architecture) -> f64 {
+        let timing = PipelineTiming::of(architecture);
+        timing.operating_freq_ghz * f64::from(architecture.bits_per_cycle())
+    }
+}
+
+impl fmt::Display for Throughput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.2} Gbps (overhead {:.2}x)",
+            self.architecture, self.gbps, self.reporting_overhead
+        )
+    }
+}
+
+/// The Figure 8 comparison: Sunder against every baseline under a given
+/// pair of average overheads.
+///
+/// `sunder_overhead` is Sunder's own average reporting overhead (≈ 1.0,
+/// Table 4), `baseline_overhead` the average overhead of the reporting
+/// scheme attached to the baselines (4.69 for AP-style, 2.23 for AP+RAD).
+pub fn figure8(sunder_overhead: f64, baseline_overhead: f64) -> Vec<Throughput> {
+    vec![
+        Throughput::of(Architecture::Sunder, sunder_overhead),
+        Throughput::of(Architecture::Impala, baseline_overhead),
+        Throughput::of(Architecture::CacheAutomaton, baseline_overhead),
+        Throughput::of(Architecture::Ap14nm, baseline_overhead),
+        Throughput::of(Architecture::Ap50nm, baseline_overhead),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The headline speedups of the paper's Figure 8 / contribution list,
+    /// computed from the paper's own average overheads (Table 4).
+    #[test]
+    fn headline_speedups_with_ap_reporting() {
+        let rows = figure8(1.0, 4.69);
+        let sunder = rows[0].gbps;
+        let speedup = |arch: Architecture| {
+            sunder
+                / rows
+                    .iter()
+                    .find(|r| r.architecture == arch)
+                    .unwrap()
+                    .gbps
+        };
+        // Paper: 280×, 22×, 10×, 4× vs AP(50nm), AP(14nm), CA, Impala.
+        let ap50 = speedup(Architecture::Ap50nm);
+        assert!((230.0..320.0).contains(&ap50), "AP50 speedup {ap50}");
+        let ap14 = speedup(Architecture::Ap14nm);
+        assert!((17.0..25.0).contains(&ap14), "AP14 speedup {ap14}");
+        let ca = speedup(Architecture::CacheAutomaton);
+        assert!((8.0..12.0).contains(&ca), "CA speedup {ca}");
+        let impala = speedup(Architecture::Impala);
+        assert!((3.0..5.0).contains(&impala), "Impala speedup {impala}");
+    }
+
+    #[test]
+    fn headline_speedups_with_rad_reporting() {
+        let rows = figure8(1.0, 2.23);
+        let sunder = rows[0].gbps;
+        let ap50 = sunder
+            / rows
+                .iter()
+                .find(|r| r.architecture == Architecture::Ap50nm)
+                .unwrap()
+                .gbps;
+        // Paper: 133× vs AP(50nm) under RAD.
+        assert!((110.0..155.0).contains(&ap50), "AP50+RAD speedup {ap50}");
+    }
+
+    #[test]
+    fn kernel_throughputs() {
+        // Sunder kernel: 3.6 GHz × 16 b = 57.6 Gbps.
+        let k = Throughput::kernel_gbps(Architecture::Sunder);
+        assert!((56.0..59.0).contains(&k), "{k}");
+        // Impala kernel is higher (5 GHz × 16 b = 80): reporting is what
+        // inverts the ranking.
+        assert!(Throughput::kernel_gbps(Architecture::Impala) > k);
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown multiplier")]
+    fn overhead_below_one_panics() {
+        let _ = Throughput::of(Architecture::Sunder, 0.5);
+    }
+}

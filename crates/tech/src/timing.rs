@@ -1,0 +1,182 @@
+//! Pipeline-stage delays and operating frequencies (paper, Table 5).
+//!
+//! The automata pipeline has three stages — state matching, local switch,
+//! global switch — evaluated in parallel per cycle; the clock is set by the
+//! slowest stage, derated by 10% for estimation error.
+
+use std::fmt;
+
+use crate::params::{
+    AP_FREQ_14NM_GHZ, AP_FREQ_50NM_GHZ, CA_MATCH, FREQUENCY_MARGIN, GLOBAL_WIRE_MM,
+    IMPALA_GLOBAL_WIRE_PS, IMPALA_MATCH, SUNDER_8T, WIRE_DELAY_PS_PER_MM,
+};
+
+/// The architectures compared throughout the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// This paper's design (14 nm, 8T subarrays, reconfigurable rate).
+    Sunder,
+    /// Impala (HPCA '20): 16×16 6T matching arrays, fixed 16-bit rate.
+    Impala,
+    /// Cache Automaton (MICRO '17): 256×256 6T matching, 8-bit rate.
+    CacheAutomaton,
+    /// Micron AP in its native 50 nm DRAM process.
+    Ap50nm,
+    /// Micron AP idealistically projected to 14 nm.
+    Ap14nm,
+}
+
+impl Architecture {
+    /// All architectures in the order of Table 5.
+    pub const ALL: [Architecture; 5] = [
+        Architecture::Sunder,
+        Architecture::Impala,
+        Architecture::CacheAutomaton,
+        Architecture::Ap50nm,
+        Architecture::Ap14nm,
+    ];
+
+    /// Input bits consumed per cycle at the architecture's evaluated rate
+    /// (Sunder and Impala run 16-bit; CA and the AP are fixed at 8-bit).
+    pub fn bits_per_cycle(self) -> u32 {
+        match self {
+            Architecture::Sunder | Architecture::Impala => 16,
+            Architecture::CacheAutomaton | Architecture::Ap50nm | Architecture::Ap14nm => 8,
+        }
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Architecture::Sunder => "Sunder (14nm)",
+            Architecture::Impala => "Impala (14nm)",
+            Architecture::CacheAutomaton => "CA (14nm)",
+            Architecture::Ap50nm => "AP (50nm)",
+            Architecture::Ap14nm => "AP (14nm)",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One row of Table 5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineTiming {
+    /// Which architecture the row describes.
+    pub architecture: Architecture,
+    /// State-matching stage delay (ps); `None` when not public (the AP).
+    pub state_matching_ps: Option<f64>,
+    /// Local-switch stage delay (ps).
+    pub local_switch_ps: Option<f64>,
+    /// Global-switch stage delay (ps): read access + global wire.
+    pub global_switch_ps: Option<f64>,
+    /// Maximum frequency (GHz) from the slowest stage.
+    pub max_freq_ghz: f64,
+    /// Operating frequency (GHz) after the 10% margin.
+    pub operating_freq_ghz: f64,
+}
+
+impl PipelineTiming {
+    /// Computes the Table 5 row for an architecture.
+    pub fn of(architecture: Architecture) -> Self {
+        let local_switch = SUNDER_8T.delay_ps; // 8T crossbar read
+        let global_wire = GLOBAL_WIRE_MM * WIRE_DELAY_PS_PER_MM;
+        match architecture {
+            Architecture::Sunder => {
+                let stages = [SUNDER_8T.delay_ps, local_switch, SUNDER_8T.delay_ps + global_wire];
+                Self::from_stages(architecture, stages)
+            }
+            Architecture::Impala => {
+                let stages = [
+                    IMPALA_MATCH.delay_ps,
+                    local_switch,
+                    SUNDER_8T.delay_ps + IMPALA_GLOBAL_WIRE_PS,
+                ];
+                Self::from_stages(architecture, stages)
+            }
+            Architecture::CacheAutomaton => {
+                let stages = [CA_MATCH.delay_ps, local_switch, SUNDER_8T.delay_ps + global_wire];
+                Self::from_stages(architecture, stages)
+            }
+            Architecture::Ap50nm => PipelineTiming {
+                architecture,
+                state_matching_ps: None,
+                local_switch_ps: None,
+                global_switch_ps: None,
+                max_freq_ghz: AP_FREQ_50NM_GHZ,
+                operating_freq_ghz: AP_FREQ_50NM_GHZ,
+            },
+            Architecture::Ap14nm => PipelineTiming {
+                architecture,
+                state_matching_ps: None,
+                local_switch_ps: None,
+                global_switch_ps: None,
+                max_freq_ghz: AP_FREQ_14NM_GHZ,
+                operating_freq_ghz: AP_FREQ_14NM_GHZ,
+            },
+        }
+    }
+
+    fn from_stages(architecture: Architecture, stages: [f64; 3]) -> Self {
+        let slowest = stages.iter().copied().fold(f64::MIN, f64::max);
+        let max_freq_ghz = 1000.0 / slowest; // ps → GHz
+        PipelineTiming {
+            architecture,
+            state_matching_ps: Some(stages[0]),
+            local_switch_ps: Some(stages[1]),
+            global_switch_ps: Some(stages[2]),
+            max_freq_ghz,
+            operating_freq_ghz: max_freq_ghz * FREQUENCY_MARGIN,
+        }
+    }
+
+    /// All rows of Table 5.
+    pub fn table5() -> Vec<PipelineTiming> {
+        Architecture::ALL.iter().map(|&a| Self::of(a)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sunder_row_matches_paper() {
+        let t = PipelineTiming::of(Architecture::Sunder);
+        assert_eq!(t.state_matching_ps, Some(150.0));
+        assert_eq!(t.global_switch_ps, Some(249.0));
+        assert!((t.max_freq_ghz - 4.01).abs() < 0.01, "{}", t.max_freq_ghz);
+        assert!((t.operating_freq_ghz - 3.6).abs() < 0.02);
+    }
+
+    #[test]
+    fn impala_row_matches_paper() {
+        let t = PipelineTiming::of(Architecture::Impala);
+        assert_eq!(t.global_switch_ps, Some(170.0));
+        assert!((t.max_freq_ghz - 5.55).abs() < 0.01);
+        assert!((t.operating_freq_ghz - 5.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn ca_row_matches_paper() {
+        let t = PipelineTiming::of(Architecture::CacheAutomaton);
+        assert_eq!(t.state_matching_ps, Some(220.0));
+        assert!((t.max_freq_ghz - 4.01).abs() < 0.01);
+        assert!((t.operating_freq_ghz - 3.6).abs() < 0.02);
+    }
+
+    #[test]
+    fn ap_rows() {
+        assert_eq!(PipelineTiming::of(Architecture::Ap50nm).operating_freq_ghz, 0.133);
+        assert_eq!(PipelineTiming::of(Architecture::Ap14nm).operating_freq_ghz, 1.69);
+        assert_eq!(PipelineTiming::of(Architecture::Ap50nm).state_matching_ps, None);
+    }
+
+    #[test]
+    fn table_has_all_architectures() {
+        let rows = PipelineTiming::table5();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(Architecture::Sunder.bits_per_cycle(), 16);
+        assert_eq!(Architecture::CacheAutomaton.bits_per_cycle(), 8);
+    }
+}

@@ -1,0 +1,308 @@
+//! FlexAmata-style bitwidth transformation: m-bit automata → 4-bit (nibble)
+//! automata.
+//!
+//! Each `m`-bit state is decomposed into a chain of `m/4` nibble states
+//! consuming the symbol most-significant-nibble first. Within one original
+//! state the decomposition is built as a hash-consed trie over the symbol
+//! set, so high nibbles leading to identical low-nibble behavior share one
+//! state (the paper's Figure 3 minimization: "the first 6 bits of symbols A
+//! and B can be merged"). Exits of a state's chain connect to the entries of
+//! every successor's chain; exits inherit the reports, entries inherit the
+//! start kind.
+//!
+//! The resulting automaton has `start period = m/4`: an unanchored pattern
+//! still begins only at original-symbol boundaries, so all-input start
+//! states are enabled every `m/4` nibble cycles (in hardware this is a
+//! phase counter on the start-enable vector).
+
+use std::collections::HashMap;
+
+use sunder_automata::{AutomataError, Nfa, ReportInfo, StateId, Ste, SymbolSet};
+
+/// Per-original-state chain: the nibble states that begin and end it.
+#[derive(Debug, Clone, Default)]
+struct Chain {
+    entries: Vec<StateId>,
+    exits: Vec<StateId>,
+}
+
+/// Transforms a stride-1 `m`-bit automaton into an equivalent stride-1
+/// 4-bit automaton (`m` divisible by 4).
+///
+/// A report of the original at symbol cycle `t` fires in the result at
+/// nibble cycle `(m/4)·t + (m/4 − 1)`, i.e. on the last nibble of the
+/// symbol — the property the equivalence tests check.
+///
+/// # Errors
+///
+/// Returns [`AutomataError::UnsupportedWidth`] if the width is not a
+/// multiple of 4, and [`AutomataError::StrideMismatch`] if the input is
+/// already strided (stride the nibble automaton afterwards instead).
+///
+/// # Examples
+///
+/// ```
+/// use sunder_automata::regex::compile_regex;
+/// use sunder_transform::nibble::to_nibble_automaton;
+///
+/// let byte_nfa = compile_regex("ab", 0)?;
+/// let nibble_nfa = to_nibble_automaton(&byte_nfa)?;
+/// assert_eq!(nibble_nfa.symbol_bits(), 4);
+/// assert_eq!(nibble_nfa.start_period(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn to_nibble_automaton(nfa: &Nfa) -> Result<Nfa, AutomataError> {
+    if nfa.stride() != 1 {
+        return Err(AutomataError::StrideMismatch {
+            expected: 1,
+            found: nfa.stride(),
+        });
+    }
+    let bits = nfa.symbol_bits();
+    if bits == 4 {
+        return Ok(nfa.clone());
+    }
+    if bits % 4 != 0 {
+        return Err(AutomataError::UnsupportedWidth(bits));
+    }
+    let depth = u32::from(bits / 4);
+
+    let mut out = Nfa::new(4);
+    out.set_start_period(nfa.start_period() * depth);
+
+    // Build every original state's chain.
+    let mut chains: Vec<Chain> = Vec::with_capacity(nfa.num_states());
+    for (_, ste) in nfa.states() {
+        let mut memo: HashMap<SymbolSet, Chain> = HashMap::new();
+        let mut chain = build_chain(&mut out, &mut memo, ste.charset());
+        chain.exits.sort_unstable();
+        chain.exits.dedup();
+        // Exits carry the original reports; entries carry the start kind.
+        for &x in &chain.exits {
+            for r in ste.reports() {
+                out.state_mut(x).add_report(ReportInfo::new(r.id));
+            }
+        }
+        for &e in &chain.entries {
+            out.state_mut(e).set_start_kind(ste.start_kind());
+        }
+        chains.push(chain);
+    }
+
+    // Wire exits → successor entries.
+    for (id, _) in nfa.states() {
+        for &t in nfa.successors(id) {
+            for &x in &chains[id.index()].exits {
+                for &e in &chains[t.index()].entries {
+                    out.add_edge(x, e);
+                }
+            }
+        }
+    }
+    debug_assert!(out.validate().is_ok());
+    Ok(out)
+}
+
+/// Recursively decomposes `cs` into nibble states, hash-consing identical
+/// sub-chains (within one original state).
+fn build_chain(out: &mut Nfa, memo: &mut HashMap<SymbolSet, Chain>, cs: &SymbolSet) -> Chain {
+    if cs.is_empty() {
+        return Chain::default();
+    }
+    if let Some(hit) = memo.get(cs) {
+        return hit.clone();
+    }
+    let chain = if cs.bits() == 4 {
+        let st = out.add_state(Ste::new(cs.clone()));
+        Chain {
+            entries: vec![st],
+            exits: vec![st],
+        }
+    } else {
+        // Partition by top nibble; group top nibbles with identical
+        // low-part behavior.
+        let mut groups: HashMap<SymbolSet, u16> = HashMap::new();
+        for nib in 0..16u16 {
+            let sub = cs.sub_set_for_top_nibble(nib);
+            if !sub.is_empty() {
+                *groups.entry(sub).or_insert(0) |= 1 << nib;
+            }
+        }
+        // Deterministic order (HashMap iteration is not).
+        let mut ordered: Vec<(SymbolSet, u16)> = groups.into_iter().collect();
+        ordered.sort_by_key(|(_, mask)| *mask);
+        let mut chain = Chain::default();
+        for (sub, mask) in ordered {
+            let sub_chain = build_chain(out, memo, &sub);
+            let hi = out.add_state(Ste::new(SymbolSet::from_nibble_mask(mask)));
+            for &e in &sub_chain.entries {
+                out.add_edge(hi, e);
+            }
+            chain.entries.push(hi);
+            chain.exits.extend(&sub_chain.exits);
+        }
+        chain
+    };
+    memo.insert(cs.clone(), chain.clone());
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunder_automata::regex::{compile_regex, compile_rule_set};
+    use sunder_automata::StartKind;
+
+    fn nibble_positions_to_byte(pairs: &[(u64, u32)]) -> Vec<(u64, u32)> {
+        pairs
+            .iter()
+            .map(|&(pos, id)| {
+                assert_eq!(pos % 2, 1, "nibble reports must land on low nibbles");
+                ((pos - 1) / 2, id)
+            })
+            .collect()
+    }
+
+    fn sunder_sim_run(nfa: &Nfa, bytes: &[u8]) -> Vec<(u64, u32)> {
+        sunder_sim::run_trace(nfa, bytes)
+            .unwrap()
+            .position_id_pairs(nfa.stride())
+    }
+
+    /// Run both automata over `input` and compare report positions.
+    fn assert_equivalent(pattern: &str, input: &[u8]) {
+        let byte_nfa = compile_regex(pattern, 0).unwrap();
+        let nib_nfa = to_nibble_automaton(&byte_nfa).unwrap();
+        let t8 = sunder_sim_run(&byte_nfa, input);
+        let t4 = sunder_sim_run(&nib_nfa, input);
+        assert_eq!(
+            nibble_positions_to_byte(&t4),
+            t8,
+            "pattern {pattern:?} diverged on input {input:?}"
+        );
+    }
+
+    #[test]
+    fn dot_state_becomes_two() {
+        let byte_nfa = compile_regex(".", 0).unwrap();
+        let nib = to_nibble_automaton(&byte_nfa).unwrap();
+        assert_eq!(nib.num_states(), 2);
+        assert_eq!(nib.num_transitions(), 1);
+        assert_eq!(nib.report_states().len(), 1);
+        assert_eq!(nib.start_states().len(), 1);
+    }
+
+    #[test]
+    fn figure3_prefix_sharing() {
+        // A = 0x41, B = 0x42 share the high nibble 0x4: the chain for [AB]
+        // needs one high state and one low state (low sets {1,2} merge).
+        let byte_nfa = compile_regex("[AB]", 0).unwrap();
+        let nib = to_nibble_automaton(&byte_nfa).unwrap();
+        assert_eq!(nib.num_states(), 2, "high-nibble sharing must merge");
+    }
+
+    #[test]
+    fn distinct_low_sets_split() {
+        // 0x41 and 0x52: different top nibbles with different low sets → 4
+        // states (two hi, two lo).
+        let byte_nfa = compile_regex("[A\\x52]", 0).unwrap();
+        let nib = to_nibble_automaton(&byte_nfa).unwrap();
+        assert_eq!(nib.num_states(), 4);
+    }
+
+    #[test]
+    fn same_low_sets_share_subchain() {
+        // 0x41 and 0x51 share the low set {1}: one low state, one hi state
+        // with mask {4,5} → 2 states.
+        let byte_nfa = compile_regex("[\\x41\\x51]", 0).unwrap();
+        let nib = to_nibble_automaton(&byte_nfa).unwrap();
+        assert_eq!(nib.num_states(), 2);
+        // The hi state accepts both nibbles 4 and 5.
+        let hi = nib
+            .states()
+            .find(|(_, s)| s.start_kind().is_start())
+            .unwrap()
+            .1;
+        assert_eq!(hi.charset().len(), 2);
+    }
+
+    #[test]
+    fn equivalence_on_literals() {
+        assert_equivalent("abc", b"xxabcabx abc");
+        assert_equivalent("a", b"aaa");
+        assert_equivalent("^ab", b"abab");
+    }
+
+    #[test]
+    fn equivalence_on_loops_and_classes() {
+        assert_equivalent("a[0-9]+b", b"a123b a9 b ab a5b");
+        assert_equivalent(".*zz", b"azzbzzz");
+        assert_equivalent("x.y", b"xay xxy x\xFFy");
+    }
+
+    #[test]
+    fn equivalence_on_overlapping_alternation() {
+        assert_equivalent("(ab|bc)+", b"ababcbcab");
+    }
+
+    #[test]
+    fn sixteen_bit_symbols_make_depth_four_chains() {
+        let mut nfa = Nfa::new(16);
+        nfa.add_state(
+            Ste::new(SymbolSet::singleton(16, 0xBEEF))
+                .start(StartKind::StartOfData)
+                .report(0),
+        );
+        let nib = to_nibble_automaton(&nfa).unwrap();
+        assert_eq!(nib.num_states(), 4);
+        assert_eq!(nib.num_transitions(), 3);
+        assert_eq!(nib.start_period(), 4);
+        // Simulate: 0xBEEF as nibbles B,E,E,F anchored.
+        let t = sunder_sim_run(&nib, &[0xBE, 0xEF]);
+        assert_eq!(t, vec![(3, 0)]);
+        assert!(sunder_sim_run(&nib, &[0xBE, 0xEE]).is_empty());
+    }
+
+    #[test]
+    fn rejects_strided_input() {
+        let mut nfa = Nfa::with_stride(8, 2);
+        nfa.add_state(Ste::with_charsets(vec![
+            SymbolSet::full(8),
+            SymbolSet::full(8),
+        ]));
+        assert!(to_nibble_automaton(&nfa).is_err());
+    }
+
+    #[test]
+    fn four_bit_input_is_identity() {
+        let mut nfa = Nfa::new(4);
+        nfa.add_state(Ste::new(SymbolSet::full(4)));
+        let out = to_nibble_automaton(&nfa).unwrap();
+        assert_eq!(out, nfa);
+    }
+
+    #[test]
+    fn empty_charset_state_disappears_from_chains() {
+        let mut nfa = Nfa::new(8);
+        let a = nfa.add_state(
+            Ste::new(SymbolSet::singleton(8, 1)).start(StartKind::AllInput),
+        );
+        let dead = nfa.add_state(Ste::new(SymbolSet::empty(8)).report(0));
+        nfa.add_edge(a, dead);
+        let nib = to_nibble_automaton(&nfa).unwrap();
+        // `a` contributes 2 states; the empty state contributes none.
+        assert_eq!(nib.num_states(), 2);
+        assert!(nib.report_states().is_empty());
+    }
+
+    #[test]
+    fn multi_pattern_equivalence() {
+        let rules = ["cat", "c[abc]t", "dog+", ".*fish"];
+        let byte_nfa = compile_rule_set(&rules).unwrap();
+        let nib = to_nibble_automaton(&byte_nfa).unwrap();
+        let input = b"catdogg catfish ct dooog";
+        let t8 = sunder_sim_run(&byte_nfa, input);
+        let t4 = sunder_sim_run(&nib, input);
+        assert_eq!(nibble_positions_to_byte(&t4), t8);
+    }
+}

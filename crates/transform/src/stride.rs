@@ -1,0 +1,290 @@
+//! Vectorized temporal striding (Impala-style).
+//!
+//! [`double_stride`] squares an automaton's input: the result consumes a
+//! vector of `2k` symbols per cycle where the input consumed `k`. States of
+//! the doubled automaton are *composites* over the original states:
+//!
+//! * **`Pair(p, q)`** for every transition `p → q`: the first `k` vector
+//!   positions carry `p`'s charsets, the last `k` carry `q`'s. It represents
+//!   "p matched, then q matched" within one wide cycle, and inherits `q`'s
+//!   reports shifted by `k`.
+//! * **`Tail(p)`** for every reporting `p`: `p`'s charsets followed by `k`
+//!   don't-care positions. Without it, `p`'s report would be lost whenever
+//!   the symbols *after* the match don't happen to extend it. `Tail`s have
+//!   no successors: they exist only to report.
+//! * **`Head(s)`** for every all-input start `s`, created only once the
+//!   start period has reached 1: `k` don't-care positions followed by `s`'s
+//!   charsets. It lets an unanchored pattern begin in the middle of a wide
+//!   vector. (While the period is still > 1 — e.g. a nibble automaton whose
+//!   patterns start only at byte boundaries — mid-vector starts cannot
+//!   happen and the period simply halves.)
+//!
+//! The successor relation factors through the second element: a composite
+//! ending in `q` connects to every composite beginning with some
+//! `q' ∈ succ(q)`. In hardware, each composite is one memory column whose
+//! charset vector occupies `2k` 16-row nibble groups, matched with
+//! multi-row activation (paper, Section 5.1.1).
+
+use std::collections::HashMap;
+
+use sunder_automata::{Nfa, ReportInfo, StartKind, StateId, Ste, SymbolSet};
+
+/// Composite-state key used for hash-consing during doubling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Key {
+    Pair(StateId, StateId),
+    Tail(StateId),
+    Head(StateId),
+}
+
+/// Doubles the stride of an automaton (symbol width unchanged).
+///
+/// The returned automaton consumes `2 × stride` symbols per cycle and
+/// reports at identical absolute symbol positions (see
+/// [`ReportInfo::offset`]). Start-of-data starts stay aligned; all-input
+/// starts follow the start-period rule described in the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use sunder_automata::regex::compile_regex;
+/// use sunder_transform::{nibble::to_nibble_automaton, stride::double_stride};
+///
+/// let nibble = to_nibble_automaton(&compile_regex("ab", 0)?)?;
+/// let two = double_stride(&nibble); // 2 nibbles / cycle = 8 bits / cycle
+/// assert_eq!(two.stride(), 2);
+/// assert_eq!(two.start_period(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn double_stride(nfa: &Nfa) -> Nfa {
+    let k = nfa.stride();
+    let bits = nfa.symbol_bits();
+    let mut out = Nfa::with_stride(bits, 2 * k);
+    let old_period = nfa.start_period();
+    let (new_period, make_heads) = if old_period > 1 {
+        (old_period / 2, false)
+    } else {
+        (1, true)
+    };
+    out.set_start_period(new_period.max(1));
+
+    let dont_care: Vec<SymbolSet> = vec![SymbolSet::full(bits); k];
+
+    // Pass 1: materialize all composite states.
+    let mut ids: HashMap<Key, StateId> = HashMap::new();
+    let mut keys: Vec<Key> = Vec::new();
+
+    let add = |key: Key, out: &mut Nfa, keys: &mut Vec<Key>, ids: &mut HashMap<Key, StateId>| {
+        if ids.contains_key(&key) {
+            return;
+        }
+        let ste = match key {
+            Key::Pair(p, q) => {
+                let sp = nfa.state(p);
+                let sq = nfa.state(q);
+                let mut charsets = sp.charsets().to_vec();
+                charsets.extend_from_slice(sq.charsets());
+                let mut ste = Ste::with_charsets(charsets).start(sp.start_kind());
+                for r in sq.reports() {
+                    ste.add_report(ReportInfo::at_offset(r.id, r.offset + k as u8));
+                }
+                ste
+            }
+            Key::Tail(p) => {
+                let sp = nfa.state(p);
+                let mut charsets = sp.charsets().to_vec();
+                charsets.extend_from_slice(&dont_care);
+                let mut ste = Ste::with_charsets(charsets).start(sp.start_kind());
+                for r in sp.reports() {
+                    ste.add_report(*r);
+                }
+                ste
+            }
+            Key::Head(s) => {
+                let ss = nfa.state(s);
+                let mut charsets = dont_care.clone();
+                charsets.extend_from_slice(ss.charsets());
+                // Heads are mid-vector entry points: always all-input.
+                let mut ste = Ste::with_charsets(charsets).start(StartKind::AllInput);
+                for r in ss.reports() {
+                    ste.add_report(ReportInfo::at_offset(r.id, r.offset + k as u8));
+                }
+                ste
+            }
+        };
+        let id = out.add_state(ste);
+        ids.insert(key, id);
+        keys.push(key);
+    };
+
+    for (p, sp) in nfa.states() {
+        for &q in nfa.successors(p) {
+            add(Key::Pair(p, q), &mut out, &mut keys, &mut ids);
+        }
+        if sp.is_reporting() {
+            add(Key::Tail(p), &mut out, &mut keys, &mut ids);
+        }
+        if make_heads && sp.start_kind() == StartKind::AllInput {
+            add(Key::Head(p), &mut out, &mut keys, &mut ids);
+        }
+    }
+
+    // Pass 2: edges. A composite ending in `x` connects to every composite
+    // whose first element is some `x' ∈ succ(x)`.
+    for key in &keys {
+        let (from, second) = match *key {
+            Key::Pair(_, q) => (ids[key], q),
+            Key::Head(s) => (ids[key], s),
+            Key::Tail(_) => continue,
+        };
+        for &next in nfa.successors(second) {
+            for &succ_next in nfa.successors(next) {
+                out.add_edge(from, ids[&Key::Pair(next, succ_next)]);
+            }
+            if nfa.state(next).is_reporting() {
+                out.add_edge(from, ids[&Key::Tail(next)]);
+            }
+        }
+    }
+    debug_assert!(out.validate().is_ok());
+    out
+}
+
+/// Doubles the stride `n` times.
+pub fn stride_times(nfa: &Nfa, doublings: u32) -> Nfa {
+    let mut out = nfa.clone();
+    for _ in 0..doublings {
+        out = double_stride(&out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nibble::to_nibble_automaton;
+    use sunder_automata::regex::{compile_regex, compile_rule_set};
+
+    fn positions(nfa: &Nfa, bytes: &[u8]) -> Vec<(u64, u32)> {
+        sunder_sim::run_trace(nfa, bytes)
+            .unwrap()
+            .position_id_pairs(nfa.stride())
+    }
+
+    /// Byte-position report set of the original 8-bit automaton.
+    fn byte_positions(pattern_set: &[&str], bytes: &[u8]) -> Vec<(u64, u32)> {
+        let nfa = compile_rule_set(pattern_set).unwrap();
+        positions(&nfa, bytes)
+    }
+
+    /// Nibble-position reports mapped back to byte positions.
+    fn to_byte(pairs: Vec<(u64, u32)>) -> Vec<(u64, u32)> {
+        pairs
+            .into_iter()
+            .map(|(pos, id)| {
+                assert_eq!(pos % 2, 1, "reports must land on low nibbles, got {pos}");
+                ((pos - 1) / 2, id)
+            })
+            .collect()
+    }
+
+    fn assert_equiv_at_strides(patterns: &[&str], bytes: &[u8]) {
+        let expected = byte_positions(patterns, bytes);
+        let nib = to_nibble_automaton(&compile_rule_set(patterns).unwrap()).unwrap();
+        for doublings in 1..=2 {
+            let strided = stride_times(&nib, doublings);
+            assert_eq!(strided.stride(), 1 << doublings);
+            let got = to_byte(positions(&strided, bytes));
+            assert_eq!(
+                got, expected,
+                "patterns {patterns:?} diverged at {doublings} doublings on {bytes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn double_nibble_periods() {
+        let nib = to_nibble_automaton(&compile_regex("ab", 0).unwrap()).unwrap();
+        assert_eq!(nib.start_period(), 2);
+        let two = double_stride(&nib);
+        assert_eq!(two.start_period(), 1);
+        assert_eq!(two.stride(), 2);
+        let four = double_stride(&two);
+        assert_eq!(four.start_period(), 1);
+        assert_eq!(four.stride(), 4);
+    }
+
+    #[test]
+    fn literal_equivalence() {
+        assert_equiv_at_strides(&["abc"], b"xxabcxabc");
+        assert_equiv_at_strides(&["abc"], b"abc");
+        // Matches at every byte offset relative to the vector.
+        assert_equiv_at_strides(&["zz"], b"azzbzzczzdzz");
+    }
+
+    #[test]
+    fn odd_alignment_matches_survive() {
+        // Pattern ends at byte 2 (an odd offset within a 2-byte vector).
+        assert_equiv_at_strides(&["bc"], b"abcd");
+        assert_equiv_at_strides(&["b"], b"ab");
+    }
+
+    #[test]
+    fn tail_composites_keep_mid_vector_reports() {
+        // "ab" ends at byte 1; at 4-nibble stride that's mid-vector, and
+        // whatever follows must not suppress the report.
+        assert_equiv_at_strides(&["ab"], b"ab\xFF\xFF");
+        assert_equiv_at_strides(&["ab"], b"abab");
+    }
+
+    #[test]
+    fn partial_final_vector() {
+        // Input lengths not divisible by the vector width.
+        assert_equiv_at_strides(&["abc"], b"abc");
+        assert_equiv_at_strides(&["c"], b"abc");
+        assert_equiv_at_strides(&["abcde"], b"abcde");
+    }
+
+    #[test]
+    fn anchored_patterns() {
+        assert_equiv_at_strides(&["^ab"], b"abab");
+        assert_equiv_at_strides(&["^a"], b"aa");
+    }
+
+    #[test]
+    fn loops_and_classes() {
+        assert_equiv_at_strides(&["a[0-9]+b"], b"a123b a1b ab");
+        assert_equiv_at_strides(&[".*xy"], b"qqxyqxy");
+        assert_equiv_at_strides(&["(ab|ba)+"], b"ababab");
+    }
+
+    #[test]
+    fn multi_pattern_sets() {
+        assert_equiv_at_strides(&["cat", "dog", "bird"], b"the cat ate the dog and the bird");
+    }
+
+    #[test]
+    fn single_state_pattern() {
+        // One reporting start state: covered purely by Tail + Head.
+        assert_equiv_at_strides(&["q"], b"qqaq");
+    }
+
+    #[test]
+    fn overlapping_self_loop() {
+        assert_equiv_at_strides(&["aa"], b"aaaaa");
+        assert_equiv_at_strides(&["aaa"], b"aaaaaa");
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_equiv_at_strides(&["ab"], b"");
+        assert_equiv_at_strides(&["ab"], b"a");
+        assert_equiv_at_strides(&["a"], b"a");
+    }
+
+    #[test]
+    fn stride_zero_is_identity() {
+        let nib = to_nibble_automaton(&compile_regex("ab", 0).unwrap()).unwrap();
+        assert_eq!(stride_times(&nib, 0), nib);
+    }
+}

@@ -1,0 +1,339 @@
+//! Workload construction machinery: pattern builders, plant scheduling, and
+//! input synthesis.
+//!
+//! Every synthetic benchmark is assembled from four byte-range *bands* so
+//! that only intended matches ever occur:
+//!
+//! * **filler** `0x20..=0x7E` — the random background stream;
+//! * **cold** `0x80..=0xDF` — bodies of never-matching filler patterns
+//!   (they model configured-but-quiet rules and never appear in the input);
+//! * **plant** `0xE0..=0xEF` — literals of planted patterns (appear in the
+//!   input only where a match is deliberately planted);
+//! * **trigger** `0xF0..=0xFF` — two-byte trigger tokens that fire report
+//!   groups (the mechanism behind dense-burst benchmarks like SPM).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sunder_automata::{Nfa, StartKind, Ste, SymbolSet};
+
+/// Background bytes: printable ASCII.
+pub const FILLER_LO: u8 = 0x20;
+/// See [`FILLER_LO`].
+pub const FILLER_HI: u8 = 0x7E;
+/// Cold pattern bodies (never present in inputs).
+pub const COLD_LO: u8 = 0x80;
+/// See [`COLD_LO`].
+pub const COLD_HI: u8 = 0xDF;
+/// Planted-literal alphabet.
+pub const PLANT_LO: u8 = 0xE0;
+/// See [`PLANT_LO`].
+pub const PLANT_HI: u8 = 0xEF;
+/// Trigger-token alphabet.
+pub const TRIGGER_LO: u8 = 0xF0;
+
+/// Number of distinct filler symbols.
+pub const FILLER_SPAN: usize = (FILLER_HI - FILLER_LO) as usize + 1;
+
+fn byte_set(b: u8) -> SymbolSet {
+    SymbolSet::singleton(8, u16::from(b))
+}
+
+/// One scheduled plant stream: `count` occurrences of `literals`
+/// (round-robin) spread evenly over the input.
+#[derive(Debug, Clone)]
+pub struct PlantStream {
+    /// Byte strings planted verbatim, used round-robin.
+    pub literals: Vec<Vec<u8>>,
+    /// Number of plants over the whole input.
+    pub count: u64,
+    /// Reports produced per plant (trigger-group size, or 1 for literals).
+    pub reports_per_plant: u64,
+}
+
+/// Accumulates an automaton plus its input-planting plan.
+#[derive(Debug)]
+pub struct WorkloadBuilder {
+    nfa: Nfa,
+    streams: Vec<PlantStream>,
+    next_report: u32,
+    rng: StdRng,
+}
+
+impl WorkloadBuilder {
+    /// Creates a builder with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        WorkloadBuilder {
+            nfa: Nfa::new(8),
+            streams: Vec::new(),
+            next_report: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The automaton built so far.
+    pub fn nfa(&self) -> &Nfa {
+        &self.nfa
+    }
+
+    /// Consumes the builder, returning the automaton and plant plan.
+    pub fn finish(self) -> (Nfa, Vec<PlantStream>) {
+        (self.nfa, self.streams)
+    }
+
+    /// Direct access to the underlying automaton (mesh builders).
+    pub fn nfa_mut(&mut self) -> &mut Nfa {
+        &mut self.nfa
+    }
+
+    /// Allocates the next report id.
+    pub fn alloc_report(&mut self) -> u32 {
+        let id = self.next_report;
+        self.next_report += 1;
+        id
+    }
+
+    /// Draws a random byte in `lo..=hi`.
+    pub fn random_byte(&mut self, lo: u8, hi: u8) -> u8 {
+        self.rng.random_range(lo..=hi)
+    }
+
+    /// Draws a random body of `len` bytes in `lo..=hi`.
+    pub fn random_body(&mut self, len: usize, lo: u8, hi: u8) -> Vec<u8> {
+        (0..len).map(|_| self.rng.random_range(lo..=hi)).collect()
+    }
+
+    /// Adds a literal chain pattern. Returns the canonical literal.
+    ///
+    /// * `dotstar` prepends a `.*` head (a self-looping full-charset state),
+    ///   the idiom of the Dotstar benchmarks.
+    /// * `range_halfwidth` widens every position into a `[b−w, b+w]` class
+    ///   (clipped to the body's band), the idiom of the Ranges benchmarks.
+    /// * `report`: whether the tail state reports (allocates an id).
+    pub fn add_chain(
+        &mut self,
+        body: &[u8],
+        dotstar: bool,
+        range_halfwidth: u8,
+        band: (u8, u8),
+        report: bool,
+    ) -> Vec<u8> {
+        assert!(!body.is_empty(), "chain body must be non-empty");
+        let mut prev: Option<sunder_automata::StateId> = None;
+        if dotstar {
+            let head = self
+                .nfa
+                .add_state(Ste::new(SymbolSet::full(8)).start(StartKind::AllInput));
+            self.nfa.add_edge(head, head);
+            prev = Some(head);
+        }
+        for (i, &b) in body.iter().enumerate() {
+            let cs = if range_halfwidth == 0 {
+                byte_set(b)
+            } else {
+                let lo = b.saturating_sub(range_halfwidth).max(band.0);
+                let hi = b.saturating_add(range_halfwidth).min(band.1);
+                SymbolSet::range(8, u16::from(lo), u16::from(hi))
+            };
+            let mut ste = Ste::new(cs);
+            if i == 0 {
+                // Unanchored: the first position is always a start, whether
+                // or not a dotstar head exists (Glushkov of `.*lit`).
+                ste = ste.start(StartKind::AllInput);
+            }
+            if report && i == body.len() - 1 {
+                let id = self.alloc_report();
+                ste = ste.report(id);
+            }
+            let st = self.nfa.add_state(ste);
+            if let Some(p) = prev {
+                self.nfa.add_edge(p, st);
+            }
+            prev = Some(st);
+        }
+        body.to_vec()
+    }
+
+    /// Adds a two-byte trigger token feeding `group` simultaneous report
+    /// states, plus a plant stream firing it `plants` times.
+    ///
+    /// The report states have full charsets: they fire on the byte after
+    /// the token, whatever it is, so a plant costs only two input bytes.
+    pub fn add_trigger_group(&mut self, token: [u8; 2], group: usize, plants: u64) {
+        let t0 = self
+            .nfa
+            .add_state(Ste::new(byte_set(token[0])).start(StartKind::AllInput));
+        let t1 = self.nfa.add_state(Ste::new(byte_set(token[1])));
+        self.nfa.add_edge(t0, t1);
+        for _ in 0..group {
+            let id = self.alloc_report();
+            let r = self.nfa.add_state(Ste::new(SymbolSet::full(8)).report(id));
+            self.nfa.add_edge(t1, r);
+        }
+        self.streams.push(PlantStream {
+            literals: vec![token.to_vec()],
+            count: plants,
+            reports_per_plant: group as u64,
+        });
+    }
+
+    /// Adds a single always-hot report state whose charset covers a
+    /// `density` fraction of the filler band (the Snort idiom: rules whose
+    /// tails are wide classes that match most traffic bytes).
+    pub fn add_hot_state(&mut self, density: f64) {
+        let count = ((FILLER_SPAN as f64) * density).round().max(1.0) as usize;
+        // A contiguous slice of the filler band starting at a random point.
+        let start = self.rng.random_range(0..FILLER_SPAN - count.min(FILLER_SPAN - 1));
+        let lo = FILLER_LO + start as u8;
+        let hi = lo + (count as u8 - 1).min(FILLER_HI - lo);
+        let id = self.alloc_report();
+        self.nfa.add_state(
+            Ste::new(SymbolSet::range(8, u16::from(lo), u16::from(hi)))
+                .start(StartKind::AllInput)
+                .report(id),
+        );
+    }
+
+    /// Registers a plant stream over previously-added chain literals.
+    pub fn add_plant_stream(&mut self, literals: Vec<Vec<u8>>, count: u64) {
+        if count == 0 || literals.is_empty() {
+            return;
+        }
+        self.streams.push(PlantStream {
+            literals,
+            count,
+            reports_per_plant: 1,
+        });
+    }
+
+    /// Synthesizes the input stream: random filler with every stream's
+    /// plants spread evenly (collisions resolved by shifting forward).
+    ///
+    /// Returns the input plus the realized `(reports, report_cycles)`
+    /// expectation from plants (hot states contribute separately).
+    pub fn build_input(&mut self, len: usize) -> (Vec<u8>, u64, u64) {
+        // Random filler everywhere first.
+        let mut input = vec![0u8; len];
+        for b in input.iter_mut() {
+            *b = self.rng.random_range(FILLER_LO..=FILLER_HI);
+        }
+
+        // Gather plant events: (position, stream index, literal index).
+        let mut events: Vec<(usize, usize, usize)> = Vec::new();
+        for (si, stream) in self.streams.iter().enumerate() {
+            for k in 0..stream.count {
+                let pos = ((k as f64 + 0.5 + 0.13 * si as f64) * len as f64
+                    / stream.count as f64) as usize;
+                let li = (k as usize) % stream.literals.len();
+                events.push((pos.min(len.saturating_sub(1)), si, li));
+            }
+        }
+        events.sort_unstable();
+
+        let mut planted_reports = 0u64;
+        let mut planted_cycles = 0u64;
+        let mut cursor = 0usize;
+        for (pos, si, li) in events {
+            let stream = &self.streams[si];
+            let lit = &stream.literals[li];
+            let at = cursor.max(pos);
+            // Trigger tokens report on the byte *after* the token, so they
+            // need one extra byte of room.
+            let room = lit.len() + 1;
+            if at + room > len {
+                break; // ran off the end; drop remaining plants
+            }
+            input[at..at + lit.len()].copy_from_slice(lit);
+            cursor = at + lit.len();
+            planted_reports += stream.reports_per_plant;
+            planted_cycles += 1;
+        }
+        (input, planted_reports, planted_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_shapes() {
+        let mut b = WorkloadBuilder::new(1);
+        b.add_chain(b"\xE1\xE2\xE3", false, 0, (PLANT_LO, PLANT_HI), true);
+        assert_eq!(b.nfa().num_states(), 3);
+        assert_eq!(b.nfa().num_transitions(), 2);
+        assert_eq!(b.nfa().report_states().len(), 1);
+        let mut b2 = WorkloadBuilder::new(1);
+        b2.add_chain(b"\xE1\xE2", true, 0, (PLANT_LO, PLANT_HI), true);
+        assert_eq!(b2.nfa().num_states(), 3); // dotstar head + 2
+        assert_eq!(b2.nfa().num_transitions(), 3); // self-loop + head→1 + 1→2
+    }
+
+    #[test]
+    fn ranged_chain_charsets() {
+        let mut b = WorkloadBuilder::new(1);
+        b.add_chain(&[0xE8], false, 2, (PLANT_LO, PLANT_HI), false);
+        let cs = b.nfa().state(sunder_automata::StateId(0)).charset();
+        assert_eq!(cs.len(), 5); // 0xE6..=0xEA
+        // Clipping at the band edge.
+        let mut b2 = WorkloadBuilder::new(1);
+        b2.add_chain(&[0xE0], false, 3, (PLANT_LO, PLANT_HI), false);
+        let cs2 = b2.nfa().state(sunder_automata::StateId(0)).charset();
+        assert_eq!(cs2.len(), 4); // 0xE0..=0xE3
+    }
+
+    #[test]
+    fn trigger_group_structure() {
+        let mut b = WorkloadBuilder::new(1);
+        b.add_trigger_group([0xF0, 0xF1], 5, 10);
+        assert_eq!(b.nfa().num_states(), 7);
+        assert_eq!(b.nfa().report_states().len(), 5);
+        let (_, streams) = b.finish();
+        assert_eq!(streams.len(), 1);
+        assert_eq!(streams[0].reports_per_plant, 5);
+    }
+
+    #[test]
+    fn hot_state_density() {
+        let mut b = WorkloadBuilder::new(7);
+        b.add_hot_state(0.5);
+        let cs = b.nfa().state(sunder_automata::StateId(0)).charset();
+        let d = cs.len() as f64 / FILLER_SPAN as f64;
+        assert!((0.45..0.55).contains(&d), "density {d}");
+        // All symbols must lie in the filler band.
+        for s in cs.iter() {
+            assert!((u16::from(FILLER_LO)..=u16::from(FILLER_HI)).contains(&s));
+        }
+    }
+
+    #[test]
+    fn input_contains_all_plants() {
+        let mut b = WorkloadBuilder::new(3);
+        b.add_trigger_group([0xF0, 0xF1], 2, 50);
+        let (input, reports, cycles) = b.build_input(10_000);
+        assert_eq!(cycles, 50);
+        assert_eq!(reports, 100);
+        let plants = input.windows(2).filter(|w| w == &[0xF0, 0xF1]).count();
+        assert_eq!(plants, 50);
+        // Filler never uses reserved bands.
+        assert!(input.iter().all(|&b| b <= FILLER_HI || b >= 0xF0));
+    }
+
+    #[test]
+    fn plants_dropped_when_input_too_small() {
+        let mut b = WorkloadBuilder::new(3);
+        b.add_trigger_group([0xF0, 0xF1], 1, 100);
+        let (_, reports, _) = b.build_input(50);
+        assert!(reports < 100);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let gen = |seed| {
+            let mut b = WorkloadBuilder::new(seed);
+            b.add_trigger_group([0xF0, 0xF1], 1, 5);
+            b.build_input(1000).0
+        };
+        assert_eq!(gen(42), gen(42));
+        assert_ne!(gen(42), gen(43));
+    }
+}

@@ -1,0 +1,29 @@
+//! Calibrated synthetic equivalents of the ANMLZoo and Regex benchmark
+//! suites.
+//!
+//! The paper evaluates on 19 benchmarks with their bundled 1 MB inputs;
+//! those artifacts are not redistributable, so this crate generates, for
+//! each benchmark, an automaton with approximately the paper's static
+//! profile and an input whose *reporting behavior* — total reports, report
+//! cycles, burst sizes — is calibrated to the paper's Table 1 (embedded in
+//! [`profiles::PAPER_TABLE1`]). Reporting behavior is the only property the
+//! evaluation depends on; see DESIGN.md for the substitution argument.
+//!
+//! ```
+//! use sunder_workloads::{Benchmark, Scale};
+//!
+//! let w = Benchmark::Bro217.build(Scale::tiny());
+//! assert!(w.nfa.num_states() > 0);
+//! assert_eq!(w.input.len(), 4000);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gen;
+pub mod mesh;
+pub mod profiles;
+pub mod suite;
+
+pub use profiles::{Family, PaperRow, PAPER_TABLE1};
+pub use suite::{Benchmark, Scale, Workload};

@@ -1,0 +1,284 @@
+//! Mesh-family automata: Hamming- and Levenshtein-distance lattices.
+//!
+//! These reproduce the structure of the ANMLZoo Mesh widgets: a 2-D lattice
+//! of states over (pattern position × error count). Because the homogeneous
+//! model attaches the charset to the *entered* state, match and mismatch
+//! outcomes need separate columns:
+//!
+//! * `M(i, e)` — position `i` matched `p[i]`, `e` errors so far
+//!   (charset `{p[i]}`);
+//! * `X(i, e)` — position `i` mismatched (charset `¬{p[i]}`), consuming one
+//!   error (substitution);
+//! * `I(i, e)` — Levenshtein only: an inserted symbol between positions
+//!   (charset `Σ`), consuming one error.
+//!
+//! States in the last column with `e ≤ k` report. Deletions are omitted
+//! (the synthetic benchmark only needs the mesh structure and its
+//! reporting profile; see DESIGN.md).
+
+use sunder_automata::{StartKind, StateId, Ste, SymbolSet};
+
+use crate::gen::WorkloadBuilder;
+
+fn eq_set(b: u8) -> SymbolSet {
+    SymbolSet::singleton(8, u16::from(b))
+}
+
+fn ne_set(b: u8) -> SymbolSet {
+    eq_set(b).complement()
+}
+
+/// Adds a Hamming-distance mesh for `pattern` tolerating up to `k`
+/// substitutions. Returns the number of states added.
+pub fn add_hamming_mesh(builder: &mut WorkloadBuilder, pattern: &[u8], k: usize) -> usize {
+    let len = pattern.len();
+    assert!(len >= 2, "mesh pattern must have at least 2 symbols");
+    let nfa = builder.nfa_mut();
+    let before = nfa.num_states();
+
+    // m[i][e], x[i][e] with e ≤ min(i, k); x needs e ≥ 1.
+    let mut m: Vec<Vec<Option<StateId>>> = vec![vec![None; k + 1]; len];
+    let mut x: Vec<Vec<Option<StateId>>> = vec![vec![None; k + 1]; len];
+    for i in 0..len {
+        for e in 0..=k.min(i + 1) {
+            let reporting = i == len - 1;
+            if e <= k.min(i) {
+                let mut ste = Ste::new(eq_set(pattern[i]));
+                if i == 0 && e == 0 {
+                    ste = ste.start(StartKind::AllInput);
+                }
+                if reporting {
+                    ste = ste.report(0); // ids reassigned below
+                }
+                m[i][e] = Some(nfa.add_state(ste));
+            }
+            if e >= 1 && e <= k.min(i + 1) {
+                let mut ste = Ste::new(ne_set(pattern[i]));
+                if i == 0 && e == 1 {
+                    ste = ste.start(StartKind::AllInput);
+                }
+                if reporting {
+                    ste = ste.report(0);
+                }
+                x[i][e] = Some(nfa.add_state(ste));
+            }
+        }
+    }
+    for i in 0..len - 1 {
+        for e in 0..=k {
+            let here: [Option<StateId>; 2] = [m[i][e], x[i][e]];
+            for src in here.into_iter().flatten() {
+                if let Some(t) = m[i + 1][e] {
+                    nfa.add_edge(src, t);
+                }
+                if e + 1 <= k {
+                    if let Some(t) = x[i + 1][e + 1] {
+                        nfa.add_edge(src, t);
+                    }
+                }
+            }
+        }
+    }
+    let added = nfa.num_states() - before;
+    reassign_report_ids(builder, before);
+    added
+}
+
+/// Adds a Levenshtein mesh (substitutions + insertions) for `pattern`
+/// tolerating up to `k` edits. Returns the number of states added.
+pub fn add_levenshtein_mesh(builder: &mut WorkloadBuilder, pattern: &[u8], k: usize) -> usize {
+    let len = pattern.len();
+    assert!(len >= 2, "mesh pattern must have at least 2 symbols");
+    let nfa = builder.nfa_mut();
+    let before = nfa.num_states();
+
+    let mut m: Vec<Vec<Option<StateId>>> = vec![vec![None; k + 1]; len];
+    let mut x: Vec<Vec<Option<StateId>>> = vec![vec![None; k + 1]; len];
+    let mut ins: Vec<Vec<Option<StateId>>> = vec![vec![None; k + 1]; len];
+    for i in 0..len {
+        for e in 0..=k {
+            let reporting = i == len - 1;
+            let mut ste = Ste::new(eq_set(pattern[i]));
+            if i == 0 && e == 0 {
+                ste = ste.start(StartKind::AllInput);
+            }
+            if reporting {
+                ste = ste.report(0);
+            }
+            m[i][e] = Some(nfa.add_state(ste));
+            if e >= 1 {
+                let mut sx = Ste::new(ne_set(pattern[i]));
+                if i == 0 && e == 1 {
+                    sx = sx.start(StartKind::AllInput);
+                }
+                if reporting {
+                    sx = sx.report(0);
+                }
+                x[i][e] = Some(nfa.add_state(sx));
+                let mut si = Ste::new(SymbolSet::full(8));
+                if reporting {
+                    si = si.report(0);
+                }
+                ins[i][e] = Some(nfa.add_state(si));
+            }
+        }
+    }
+    for i in 0..len {
+        for e in 0..=k {
+            let here: [Option<StateId>; 2] = [m[i][e], x[i][e]];
+            for src in here.into_iter().flatten() {
+                // Insertion after consuming position i.
+                if e + 1 <= k {
+                    if let Some(t) = ins[i][e + 1] {
+                        nfa.add_edge(src, t);
+                    }
+                }
+                if i + 1 < len {
+                    if let Some(t) = m[i + 1][e] {
+                        nfa.add_edge(src, t);
+                    }
+                    if e + 1 <= k {
+                        if let Some(t) = x[i + 1][e + 1] {
+                            nfa.add_edge(src, t);
+                        }
+                    }
+                }
+            }
+            // Insertion states continue the pattern or insert again.
+            if let Some(src) = ins[i][e] {
+                if e + 1 <= k {
+                    if let Some(t) = ins[i][e + 1] {
+                        nfa.add_edge(src, t);
+                    }
+                }
+                if i + 1 < len {
+                    if let Some(t) = m[i + 1][e] {
+                        nfa.add_edge(src, t);
+                    }
+                    if e + 1 <= k {
+                        if let Some(t) = x[i + 1][e + 1] {
+                            nfa.add_edge(src, t);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let added = nfa.num_states() - before;
+    reassign_report_ids(builder, before);
+    added
+}
+
+/// Gives every reporting state added since `from` a fresh report id.
+fn reassign_report_ids(builder: &mut WorkloadBuilder, from: usize) {
+    let n = builder.nfa().num_states();
+    for idx in from..n {
+        let id = StateId(idx as u32);
+        if builder.nfa().state(id).is_reporting() {
+            let fresh = builder.alloc_report();
+            let ste = builder.nfa_mut().state_mut(id);
+            ste.clear_reports();
+            ste.add_report(sunder_automata::ReportInfo::new(fresh));
+        }
+    }
+}
+
+/// States per Hamming pattern of length `len` with `k` errors (used by the
+/// sizing logic in the suite).
+pub fn hamming_states(len: usize, k: usize) -> usize {
+    // M columns: e ≤ min(i,k); X columns: 1 ≤ e ≤ min(i+1,k).
+    let mut n = 0;
+    for i in 0..len {
+        n += k.min(i) + 1;
+        n += k.min(i + 1);
+    }
+    n
+}
+
+/// States per Levenshtein pattern (M + X + I columns).
+pub fn levenshtein_states(len: usize, k: usize) -> usize {
+    len * ((k + 1) + k + k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::WorkloadBuilder;
+    use sunder_automata::InputView;
+
+    fn run(nfa: &sunder_automata::Nfa, input: &[u8]) -> Vec<(u64, u32)> {
+        let view = InputView::new(input, 8, 1).unwrap();
+        let mut sim = sunder_sim::Simulator::new(nfa);
+        let mut trace = sunder_sim::TraceSink::new();
+        sim.run(&view, &mut trace);
+        trace.cycle_id_pairs()
+    }
+
+    #[test]
+    fn hamming_exact_match_reports_once() {
+        let mut b = WorkloadBuilder::new(1);
+        add_hamming_mesh(&mut b, b"ABCDEFGH", 2);
+        let (nfa, _) = b.finish();
+        let hits = run(&nfa, b"xxABCDEFGHxx");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 9); // ends at byte 9
+    }
+
+    #[test]
+    fn hamming_tolerates_up_to_k_mismatches() {
+        let mut b = WorkloadBuilder::new(1);
+        add_hamming_mesh(&mut b, b"ABCDEFGH", 2);
+        let (nfa, _) = b.finish();
+        assert_eq!(run(&nfa, b"ABzDEFGH").len(), 1); // 1 sub
+        assert_eq!(run(&nfa, b"AzCDEzGH").len(), 1); // 2 subs
+        assert!(run(&nfa, b"AzCzEzGH").is_empty()); // 3 subs
+    }
+
+    #[test]
+    fn hamming_state_count_formula() {
+        let mut b = WorkloadBuilder::new(1);
+        let added = add_hamming_mesh(&mut b, b"ABCDEFGHIJ", 3);
+        assert_eq!(added, hamming_states(10, 3));
+    }
+
+    #[test]
+    fn levenshtein_exact_and_insertion() {
+        let mut b = WorkloadBuilder::new(1);
+        add_levenshtein_mesh(&mut b, b"ABCDEF", 2);
+        let (nfa, _) = b.finish();
+        assert!(!run(&nfa, b"ABCDEF").is_empty()); // exact
+        assert!(!run(&nfa, b"ABCxDEF").is_empty()); // 1 insertion
+        assert!(!run(&nfa, b"ABxCDyEF").is_empty()); // 2 insertions
+        assert!(!run(&nfa, b"AzCDEF").is_empty()); // 1 substitution
+    }
+
+    #[test]
+    fn levenshtein_rejects_too_many_edits() {
+        let mut b = WorkloadBuilder::new(1);
+        add_levenshtein_mesh(&mut b, b"QRSTUV", 1);
+        let (nfa, _) = b.finish();
+        assert!(run(&nfa, b"QxRySzTUV").is_empty());
+    }
+
+    #[test]
+    fn levenshtein_state_count_formula() {
+        let mut b = WorkloadBuilder::new(1);
+        let added = add_levenshtein_mesh(&mut b, b"ABCDEFGH", 3);
+        assert_eq!(added, levenshtein_states(8, 3));
+    }
+
+    #[test]
+    fn report_ids_are_distinct() {
+        let mut b = WorkloadBuilder::new(1);
+        add_hamming_mesh(&mut b, b"ABCDE", 1);
+        let (nfa, _) = b.finish();
+        let mut ids: Vec<u32> = nfa
+            .report_states()
+            .iter()
+            .map(|&s| nfa.state(s).reports()[0].id)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), nfa.report_states().len());
+    }
+}

@@ -1,0 +1,140 @@
+//! The paper's Table 1, embedded as reference data.
+//!
+//! Every synthetic benchmark is calibrated against its row: the generator
+//! targets the static profile (#states, #report states) and the dynamic
+//! behavior (#reports and #report cycles per 1 MB of input). The bench
+//! harness prints paper-vs-measured for each row.
+
+/// Benchmark family, as classified by ANMLZoo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Regular-expression rule sets (Snort, ClamAV, Brill, …).
+    Regex,
+    /// Mesh-structured automata (Hamming, Levenshtein).
+    Mesh,
+    /// Special-purpose generated automata (SPM, RandomForest, …).
+    Widget,
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Family::Regex => "Regex",
+            Family::Mesh => "Mesh",
+            Family::Widget => "Widget",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRow {
+    /// Benchmark name as printed in the paper.
+    pub name: &'static str,
+    /// ANMLZoo family.
+    pub family: Family,
+    /// `#States`.
+    pub states: usize,
+    /// `#Report States`.
+    pub report_states: usize,
+    /// `#Reports` over the 1 MB input.
+    pub reports: u64,
+    /// `#Report Cycles` over the 1 MB input.
+    pub report_cycles: u64,
+}
+
+impl PaperRow {
+    /// `#Reports / #Report Cycles` (mean burst size).
+    pub fn reports_per_report_cycle(&self) -> f64 {
+        if self.report_cycles == 0 {
+            0.0
+        } else {
+            self.reports as f64 / self.report_cycles as f64
+        }
+    }
+
+    /// `#Report Cycles / #Cycles` for the 1 MB (10⁶-cycle) input, as a
+    /// percentage.
+    pub fn report_cycle_percent(&self) -> f64 {
+        100.0 * self.report_cycles as f64 / 1_000_000.0
+    }
+
+    /// `#Report States / #States` as a percentage.
+    pub fn report_state_percent(&self) -> f64 {
+        100.0 * self.report_states as f64 / self.states as f64
+    }
+}
+
+/// The 19 rows of Table 1, in the paper's order.
+pub const PAPER_TABLE1: [PaperRow; 19] = [
+    row("Brill", Family::Regex, 42658, 1962, 1_092_388, 118_814),
+    row("Bro217", Family::Regex, 2312, 187, 17_219, 17_210),
+    row("Dotstar03", Family::Regex, 12144, 300, 1, 1),
+    row("Dotstar06", Family::Regex, 12640, 300, 2, 2),
+    row("Dotstar09", Family::Regex, 12431, 300, 2, 2),
+    row("ExactMatch", Family::Regex, 12439, 297, 35, 35),
+    row("PowerEN", Family::Regex, 40513, 3456, 4304, 4303),
+    row("Protomata", Family::Regex, 42009, 2365, 127_413, 105_722),
+    row("Ranges05", Family::Regex, 12621, 299, 39, 38),
+    row("Ranges1", Family::Regex, 12464, 297, 26, 26),
+    row("Snort", Family::Regex, 66466, 4166, 1_710_495, 995_011),
+    row("TCP", Family::Regex, 19704, 767, 103_415, 103_198),
+    row("ClamAV", Family::Regex, 49538, 515, 0, 0),
+    row("Hamming", Family::Mesh, 11346, 186, 2, 2),
+    row("Levenshtein", Family::Mesh, 2784, 96, 4, 4),
+    row("Fermi", Family::Widget, 40783, 2399, 96_127, 13_444),
+    row("RandomForest", Family::Widget, 33220, 1661, 21_310, 3_322),
+    row("SPM", Family::Widget, 100_500, 5025, 47_304_453, 33_933),
+    row("EntityResolution", Family::Widget, 95136, 1000, 37_628, 28_612),
+];
+
+const fn row(
+    name: &'static str,
+    family: Family,
+    states: usize,
+    report_states: usize,
+    reports: u64,
+    report_cycles: u64,
+) -> PaperRow {
+    PaperRow {
+        name,
+        family,
+        states,
+        report_states,
+        reports,
+        report_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_19_rows_with_sane_ratios() {
+        assert_eq!(PAPER_TABLE1.len(), 19);
+        for r in &PAPER_TABLE1 {
+            assert!(r.report_states <= r.states, "{}", r.name);
+            assert!(r.report_cycles <= r.reports || r.reports == 0, "{}", r.name);
+            let pct = r.report_state_percent();
+            assert!((0.9..=9.0).contains(&pct), "{}: {pct}%", r.name);
+        }
+    }
+
+    #[test]
+    fn spm_burst_size_matches_paper() {
+        let spm = PAPER_TABLE1.iter().find(|r| r.name == "SPM").unwrap();
+        let burst = spm.reports_per_report_cycle();
+        assert!((1393.0..1395.0).contains(&burst));
+    }
+
+    #[test]
+    fn snort_reports_nearly_every_cycle() {
+        // Note: the paper's Table 1 prints 94.89% for Snort, but its own
+        // absolute counts (995,011 report cycles per 10^6 cycles) give
+        // 99.5%. We calibrate to the absolute counts.
+        let snort = PAPER_TABLE1.iter().find(|r| r.name == "Snort").unwrap();
+        assert!((94.0..100.0).contains(&snort.report_cycle_percent()));
+    }
+}

@@ -1,0 +1,535 @@
+//! The 19 synthetic benchmarks, calibrated to the paper's Table 1.
+//!
+//! Each benchmark combines a *mechanism* (how reports are made to happen)
+//! with a *filler population* (cold patterns that model the configured but
+//! quiet majority of every real rule set):
+//!
+//! * **Planted literals** — low-frequency reporters (Dotstar, ExactMatch,
+//!   Ranges, PowerEN, ClamAV): one pattern per report state; occurrences
+//!   are planted verbatim, one report each.
+//! * **Trigger groups** — bursty reporters (Brill, SPM, Fermi, …): a
+//!   two-byte token fires a group of simultaneous report states; group
+//!   sizes and plant counts are solved from the paper's
+//!   `#Reports`/`#Report Cycles` pair.
+//! * **Hot classes** — near-continuous reporters (Snort): report states
+//!   whose charsets cover a calibrated fraction of the background traffic.
+//! * **Mesh** — Hamming/Levenshtein lattices with a handful of planted
+//!   occurrences.
+
+use sunder_automata::Nfa;
+
+use crate::gen::{WorkloadBuilder, COLD_HI, COLD_LO, FILLER_HI, FILLER_LO, FILLER_SPAN, PLANT_HI, PLANT_LO, TRIGGER_LO};
+use crate::mesh::{add_hamming_mesh, add_levenshtein_mesh, hamming_states, levenshtein_states};
+use crate::profiles::{PaperRow, PAPER_TABLE1};
+
+/// The 19 benchmarks of the evaluation, in Table 1 order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Benchmark {
+    Brill,
+    Bro217,
+    Dotstar03,
+    Dotstar06,
+    Dotstar09,
+    ExactMatch,
+    PowerEn,
+    Protomata,
+    Ranges05,
+    Ranges1,
+    Snort,
+    Tcp,
+    ClamAv,
+    Hamming,
+    Levenshtein,
+    Fermi,
+    RandomForest,
+    Spm,
+    EntityResolution,
+}
+
+impl Benchmark {
+    /// All benchmarks, in Table 1 order.
+    pub const ALL: [Benchmark; 19] = [
+        Benchmark::Brill,
+        Benchmark::Bro217,
+        Benchmark::Dotstar03,
+        Benchmark::Dotstar06,
+        Benchmark::Dotstar09,
+        Benchmark::ExactMatch,
+        Benchmark::PowerEn,
+        Benchmark::Protomata,
+        Benchmark::Ranges05,
+        Benchmark::Ranges1,
+        Benchmark::Snort,
+        Benchmark::Tcp,
+        Benchmark::ClamAv,
+        Benchmark::Hamming,
+        Benchmark::Levenshtein,
+        Benchmark::Fermi,
+        Benchmark::RandomForest,
+        Benchmark::Spm,
+        Benchmark::EntityResolution,
+    ];
+
+    fn index(self) -> usize {
+        Benchmark::ALL.iter().position(|&b| b == self).expect("listed")
+    }
+
+    /// The paper's Table 1 row for this benchmark.
+    pub fn paper(self) -> &'static PaperRow {
+        &PAPER_TABLE1[self.index()]
+    }
+
+    /// The benchmark name as the paper prints it.
+    pub fn name(self) -> &'static str {
+        self.paper().name
+    }
+
+    /// Builds the calibrated workload at the given scale.
+    pub fn build(self, scale: Scale) -> Workload {
+        build_workload(self, scale)
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Workload size control.
+///
+/// Dynamic behavior (reports per cycle) is scale-invariant: shrinking the
+/// input shrinks the absolute counts proportionally, so small scales are
+/// faithful for tests while [`Scale::paper`] reproduces Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Fraction of the paper's state count to build (0, 1].
+    pub state_fraction: f64,
+    /// Input length in bytes (the paper uses 1 MB = 10⁶).
+    pub input_len: usize,
+}
+
+impl Scale {
+    /// The paper's full scale: all states, 10⁶ input bytes.
+    pub fn paper() -> Self {
+        Scale {
+            state_fraction: 1.0,
+            input_len: 1_000_000,
+        }
+    }
+
+    /// A fast scale for integration tests (~3% of states, 30 KB input).
+    pub fn small() -> Self {
+        Scale {
+            state_fraction: 0.03,
+            input_len: 30_000,
+        }
+    }
+
+    /// A minimal scale for unit tests.
+    pub fn tiny() -> Self {
+        Scale {
+            state_fraction: 0.01,
+            input_len: 4_000,
+        }
+    }
+}
+
+/// A built benchmark: automaton, input stream, and the generator's own
+/// expectation of the dynamic behavior.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Which benchmark this is.
+    pub benchmark: Benchmark,
+    /// The 8-bit automaton.
+    pub nfa: Nfa,
+    /// The input stream.
+    pub input: Vec<u8>,
+    /// Reports the generator planted (exact) or expects (hot classes).
+    pub expected_reports: u64,
+    /// Report cycles planted/expected.
+    pub expected_report_cycles: u64,
+    /// `true` when the expectation is exact (plant-based), `false` when
+    /// statistical (hot classes).
+    pub exact_expectation: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mechanism {
+    /// One pattern per report state; plants = reports.
+    Planted { dotstar: bool, range_halfwidth: u8 },
+    /// Trigger tokens firing report groups solved from (reports, cycles);
+    /// cold chains use ranges of the given half-width (symbol density
+    /// drives the Table 3 transformation overhead).
+    Triggered { cold_halfwidth: u8 },
+    /// Always-hot report classes with the given filler-band densities.
+    Hot {
+        densities: &'static [f64],
+        cold_halfwidth: u8,
+    },
+    /// Hamming / Levenshtein lattices.
+    Mesh { levenshtein: bool },
+}
+
+fn mechanism(benchmark: Benchmark) -> Mechanism {
+    use Benchmark::*;
+    // Cold-chain range half-widths give the symbol-dense benchmarks
+    // (Brill, Protomata, RandomForest per the paper's Section 7.2) wider
+    // charsets. They are kept mild: non-product sets multiply under the
+    // nibble/striding decomposition, and the paper's own minimizer
+    // evidently recovers more of that redundancy than ours — see
+    // EXPERIMENTS.md, Table 3 discussion.
+    match benchmark {
+        Brill => Mechanism::Triggered { cold_halfwidth: 3 },
+        Protomata => Mechanism::Triggered { cold_halfwidth: 3 },
+        RandomForest => Mechanism::Triggered { cold_halfwidth: 3 },
+        Tcp => Mechanism::Triggered { cold_halfwidth: 1 },
+        Spm => Mechanism::Triggered { cold_halfwidth: 1 },
+        EntityResolution => Mechanism::Triggered { cold_halfwidth: 2 },
+        Fermi => Mechanism::Triggered { cold_halfwidth: 1 },
+        Bro217 => Mechanism::Triggered { cold_halfwidth: 1 },
+        Dotstar03 => Mechanism::Planted {
+            dotstar: true,
+            range_halfwidth: 1,
+        },
+        Dotstar06 => Mechanism::Planted {
+            dotstar: true,
+            range_halfwidth: 2,
+        },
+        Dotstar09 => Mechanism::Planted {
+            dotstar: true,
+            range_halfwidth: 3,
+        },
+        ExactMatch => Mechanism::Planted {
+            dotstar: false,
+            range_halfwidth: 0,
+        },
+        PowerEn | ClamAv => Mechanism::Planted {
+            dotstar: false,
+            range_halfwidth: 1,
+        },
+        Ranges05 => Mechanism::Planted {
+            dotstar: false,
+            range_halfwidth: 2,
+        },
+        Ranges1 => Mechanism::Planted {
+            dotstar: false,
+            range_halfwidth: 1,
+        },
+        // Calibrated so Σdᵢ ≈ 1.71 reports/cycle and
+        // 1 − Π(1−dᵢ) ≈ 99.4% report cycles (Table 1's Snort row:
+        // 1,710,495 reports in 995,011 report cycles per 10^6 cycles).
+        Snort => Mechanism::Hot {
+            densities: &[0.985, 0.5, 0.225],
+            cold_halfwidth: 2,
+        },
+        Hamming => Mechanism::Mesh { levenshtein: false },
+        Levenshtein => Mechanism::Mesh { levenshtein: true },
+    }
+}
+
+fn build_workload(benchmark: Benchmark, scale: Scale) -> Workload {
+    let paper = benchmark.paper();
+    let seed = 0x5EED_0000 + benchmark.index() as u64;
+    let mut b = WorkloadBuilder::new(seed);
+
+    let f = scale.state_fraction.clamp(0.0005, 1.0);
+    let target_states = ((paper.states as f64 * f).round() as usize).max(8);
+    let target_rs = ((paper.report_states as f64 * f).round() as usize)
+        .clamp(1, target_states);
+    let input_scale = scale.input_len as f64 / 1_000_000.0;
+    let target_reports = (paper.reports as f64 * input_scale).round() as u64;
+    let target_cycles = (paper.report_cycles as f64 * input_scale).round() as u64;
+
+    let mut exact = true;
+    let mut hot_densities: Vec<f64> = Vec::new();
+
+    match mechanism(benchmark) {
+        Mechanism::Planted {
+            dotstar,
+            range_halfwidth,
+        } => {
+            let n_patterns = target_rs;
+            let head = usize::from(dotstar);
+            let len = (target_states / n_patterns)
+                .saturating_sub(head)
+                .max(2);
+            let mut literals = Vec::with_capacity(n_patterns);
+            for _ in 0..n_patterns {
+                let body = b.random_body(len, PLANT_LO, PLANT_HI);
+                literals.push(b.add_chain(
+                    &body,
+                    dotstar,
+                    range_halfwidth,
+                    (PLANT_LO, PLANT_HI),
+                    true,
+                ));
+            }
+            b.add_plant_stream(literals, target_reports);
+        }
+        Mechanism::Triggered { cold_halfwidth } => {
+            // Solve group sizes from the (reports, cycles) pair, clamping
+            // the group so it fits the scaled report-state budget.
+            let (g, n_lo, n_hi) = solve_groups(target_reports, target_cycles, target_rs);
+            let mut trigger_rs = 0usize;
+            let mut trigger_states = 0usize;
+            if n_lo > 0 {
+                b.add_trigger_group([TRIGGER_LO, TRIGGER_LO + 1], g, n_lo);
+                trigger_rs += g;
+                trigger_states += g + 2;
+            }
+            if n_hi > 0 {
+                b.add_trigger_group([TRIGGER_LO + 2, TRIGGER_LO + 3], g + 1, n_hi);
+                trigger_rs += g + 1;
+                trigger_states += g + 3;
+            }
+            add_cold_patterns(
+                &mut b,
+                target_states.saturating_sub(trigger_states),
+                target_rs.saturating_sub(trigger_rs),
+                cold_halfwidth,
+            );
+        }
+        Mechanism::Hot {
+            densities,
+            cold_halfwidth,
+        } => {
+            exact = false;
+            for &d in densities {
+                b.add_hot_state(d);
+                hot_densities.push(d);
+            }
+            add_cold_patterns(
+                &mut b,
+                target_states.saturating_sub(densities.len()),
+                target_rs.saturating_sub(densities.len()),
+                cold_halfwidth,
+            );
+        }
+        Mechanism::Mesh { levenshtein } => {
+            let k = 3;
+            let per_rs = if levenshtein { 3 * k + 1 } else { 2 * k + 1 };
+            let n = (target_rs as f64 / per_rs as f64).round().max(1.0) as usize;
+            let len = best_mesh_len(target_states, n, k, levenshtein);
+            let mut literals = Vec::with_capacity(n);
+            for _ in 0..n {
+                let body = distinct_body(&mut b, len);
+                let literal = if levenshtein {
+                    // Plant at edit distance exactly k: an exact occurrence
+                    // would light up a cloud of nearby ≤k-edit alignments
+                    // (trailing insertions, shifted substitutions), whereas
+                    // a distance-k plant has a unique accepting path and
+                    // yields exactly one report.
+                    distort(&body, k)
+                } else {
+                    body.clone()
+                };
+                if levenshtein {
+                    add_levenshtein_mesh(&mut b, &body, k);
+                } else {
+                    add_hamming_mesh(&mut b, &body, k);
+                }
+                literals.push(literal);
+            }
+            b.add_plant_stream(literals, target_reports);
+        }
+    }
+
+    let (input, mut expected_reports, mut expected_report_cycles) =
+        b.build_input(scale.input_len);
+
+    if !hot_densities.is_empty() {
+        let n = scale.input_len as f64;
+        let e_reports: f64 = hot_densities.iter().sum::<f64>() * n;
+        let miss: f64 = hot_densities.iter().map(|d| 1.0 - d).product();
+        let e_cycles = (1.0 - miss) * n;
+        expected_reports += e_reports.round() as u64;
+        expected_report_cycles += e_cycles.round() as u64;
+    }
+
+    let (nfa, _) = b.finish();
+    Workload {
+        benchmark,
+        nfa,
+        input,
+        expected_reports,
+        expected_report_cycles,
+        exact_expectation: exact,
+    }
+}
+
+/// Splits `(reports, cycles)` into trigger groups of size `g` and `g+1`:
+/// `n_lo` plants of size `g` plus `n_hi` plants of size `g+1`, where
+/// `g = ⌊reports/cycles⌋` clamped to the report-state budget.
+fn solve_groups(reports: u64, cycles: u64, rs_budget: usize) -> (usize, u64, u64) {
+    if cycles == 0 || reports == 0 {
+        return (1, 0, 0);
+    }
+    let g_raw = (reports / cycles).max(1) as usize;
+    let g_max = (rs_budget.saturating_sub(1) / 2).max(1);
+    let g = g_raw.min(g_max);
+    if g < g_raw {
+        // Budget-clamped: keep the cycle count, lower the burst size.
+        return (g, cycles, 0);
+    }
+    let n_hi = reports - g as u64 * cycles;
+    let n_lo = cycles - n_hi;
+    (g, n_lo, n_hi)
+}
+
+/// Cold filler: `rs` reporting chains (and possibly extra reportless ones)
+/// over the cold band totalling about `states` states. These model the
+/// configured-but-quiet majority of a rule set; their bytes never occur in
+/// inputs, so they cost nothing at simulation time.
+fn add_cold_patterns(b: &mut WorkloadBuilder, states: usize, rs: usize, halfwidth: u8) {
+    if states == 0 {
+        return;
+    }
+    let n = rs.max(1);
+    let len = (states / n).clamp(2, 64);
+    for i in 0..n {
+        let body = b.random_body(len, COLD_LO, COLD_HI);
+        b.add_chain(&body, false, halfwidth, (COLD_LO, COLD_HI), i < rs);
+    }
+    // Top up the state count with reportless chains if the division left a
+    // large remainder.
+    let built = n * len;
+    if states > built + len {
+        let extra = (states - built) / len;
+        for _ in 0..extra {
+            let body = b.random_body(len, COLD_LO, COLD_HI);
+            b.add_chain(&body, false, halfwidth, (COLD_LO, COLD_HI), false);
+        }
+    }
+}
+
+/// Picks the mesh pattern length whose total state count lands closest to
+/// the target.
+fn best_mesh_len(target_states: usize, n: usize, k: usize, levenshtein: bool) -> usize {
+    let states_at = |len: usize| {
+        n * if levenshtein {
+            levenshtein_states(len, k)
+        } else {
+            hamming_states(len, k)
+        }
+    };
+    // Patterns shorter than ~16 symbols start matching random input within
+    // k = 3 edits; keep them long enough that only plants report.
+    let mut best = 16;
+    let mut best_err = usize::MAX;
+    for len in 16..=90 {
+        let err = states_at(len).abs_diff(target_states);
+        if err < best_err {
+            best_err = err;
+            best = len;
+        }
+    }
+    best
+}
+
+/// Substitutes `k` spread-out positions of `body` with filler characters
+/// that occur nowhere in it, producing a string at Hamming (and edit)
+/// distance exactly `k`.
+fn distort(body: &[u8], k: usize) -> Vec<u8> {
+    let mut out = body.to_vec();
+    let outside: Vec<u8> = (FILLER_LO..=FILLER_HI)
+        .filter(|c| !body.contains(c))
+        .take(k)
+        .collect();
+    assert_eq!(outside.len(), k, "filler band exhausted");
+    let len = body.len();
+    for (j, &c) in outside.iter().enumerate() {
+        let pos = (j * len) / k + len / (2 * k);
+        out[pos.min(len - 1)] = c;
+    }
+    out
+}
+
+/// A body of distinct filler-band characters (prevents insertion echoes in
+/// the Levenshtein mesh from double-reporting planted matches).
+fn distinct_body(b: &mut WorkloadBuilder, len: usize) -> Vec<u8> {
+    assert!(len <= FILLER_SPAN, "mesh pattern longer than the filler band");
+    let mut pool: Vec<u8> = (FILLER_LO..=FILLER_HI).collect();
+    // Fisher–Yates shuffle via the builder's RNG.
+    for i in (1..pool.len()).rev() {
+        let j = b.random_byte(0, i as u8) as usize % (i + 1);
+        pool.swap(i, j);
+    }
+    pool.truncate(len);
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_build_at_tiny_scale() {
+        for bench in Benchmark::ALL {
+            let w = bench.build(Scale::tiny());
+            assert!(w.nfa.validate().is_ok(), "{bench}");
+            assert!(w.nfa.num_states() > 0, "{bench}");
+            assert_eq!(w.input.len(), 4000, "{bench}");
+        }
+    }
+
+    #[test]
+    fn static_profile_tracks_paper_at_full_scale() {
+        // Only check the cheap-to-build benchmarks exhaustively here; the
+        // integration suite covers the rest.
+        for bench in [Benchmark::Bro217, Benchmark::Ranges1, Benchmark::Levenshtein] {
+            let w = bench.build(Scale::paper());
+            let paper = bench.paper();
+            let states = w.nfa.num_states() as f64;
+            let rs = w.nfa.report_states().len() as f64;
+            assert!(
+                (states / paper.states as f64 - 1.0).abs() < 0.10,
+                "{bench}: states {} vs paper {}",
+                states,
+                paper.states
+            );
+            assert!(
+                (rs / paper.report_states as f64 - 1.0).abs() < 0.12,
+                "{bench}: report states {} vs paper {}",
+                rs,
+                paper.report_states
+            );
+        }
+    }
+
+    #[test]
+    fn solve_groups_reconstructs_totals() {
+        let (g, n_lo, n_hi) = solve_groups(1_092_388, 118_814, 2000);
+        assert_eq!(g, 9);
+        assert_eq!(g as u64 * n_lo + (g as u64 + 1) * n_hi, 1_092_388);
+        assert_eq!(n_lo + n_hi, 118_814);
+    }
+
+    #[test]
+    fn solve_groups_clamps_to_budget() {
+        let (g, n_lo, n_hi) = solve_groups(1000, 10, 21);
+        assert_eq!(g, 10); // budget (21-1)/2
+        assert_eq!(n_lo, 10);
+        assert_eq!(n_hi, 0);
+    }
+
+    #[test]
+    fn solve_groups_zero_cases() {
+        assert_eq!(solve_groups(0, 0, 100), (1, 0, 0));
+    }
+
+    #[test]
+    fn paper_scale_is_one_megabyte() {
+        let s = Scale::paper();
+        assert_eq!(s.input_len, 1_000_000);
+        assert_eq!(s.state_fraction, 1.0);
+    }
+
+    #[test]
+    fn benchmark_names_match_table() {
+        assert_eq!(Benchmark::Spm.name(), "SPM");
+        assert_eq!(Benchmark::PowerEn.name(), "PowerEN");
+        assert_eq!(Benchmark::ALL.len(), 19);
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: compile a small rule set, run it on the Sunder machine
+//! model, and read results back through the in-place reporting interface.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use sunder::{Engine, Rate};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build an engine at the 16-bit (4-nibble) processing rate with
+    //    the FIFO reporting drain enabled.
+    let engine = Engine::builder().rate(Rate::Nibble4).fifo(true).build();
+
+    // 2. Compile a rule set. Rule i reports with id i.
+    let rules = [
+        r"GET /admin",        // 0: suspicious path
+        r"[0-9]{3}-[0-9]{4}", // 1: phone-number shaped
+        r".*password=",       // 2: credential in clear text
+    ];
+    let program = engine.compile_patterns(&rules)?;
+    println!(
+        "compiled {} byte states -> {} nibble states at {} ({}x state overhead)",
+        program.source_stats().states,
+        program.strided_stats().states,
+        program.rate(),
+        program.state_overhead(),
+    );
+
+    // 3. Load onto the machine and stream input through it.
+    let mut session = engine.load(&program)?;
+    let traffic = b"POST /login password=hunter2  GET /admin  call 555-1234 now";
+    let outcome = session.run(traffic)?;
+
+    println!(
+        "{} reports in {} cycles ({} stall cycles, overhead {:.3}x)",
+        outcome.reports,
+        outcome.stats.input_cycles,
+        outcome.stats.stall_cycles,
+        outcome.stats.reporting_overhead(),
+    );
+    for rule in &outcome.matched_rules {
+        println!("rule {} matched: {:?}", rule, rules[*rule as usize]);
+    }
+
+    // 4. The reports are still sitting in the matching subarrays; ask the
+    //    hardware to summarize them in place (column-wise NOR) instead of
+    //    streaming the full log to the host.
+    let summarized = session.summarize_matched_rules();
+    assert_eq!(summarized, outcome.matched_rules);
+    println!("in-place summarization agrees: {summarized:?}");
+    Ok(())
+}

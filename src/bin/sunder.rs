@@ -1,0 +1,251 @@
+//! `sunder` — command-line front end for the Sunder toolchain.
+//!
+//! ```text
+//! sunder compile --rules rules.txt --rate 16 -o program.saml
+//! sunder run     --rules rules.txt --input data.bin [--rate 16] [--fifo] [--summarize]
+//! sunder run     --program program.saml --input data.bin
+//! sunder stats   --rules rules.txt
+//! sunder bench   --benchmark Snort [--small]
+//! ```
+//!
+//! Rules files contain one regex per line (`#` comments allowed); compiled
+//! programs use the textual automaton format of `sunder_automata::anml`.
+
+use std::fs;
+use std::process::ExitCode;
+
+use sunder::automata::{anml, stats::StaticStats};
+use sunder::sim::ReportSink;
+use sunder::transform::TransformStats;
+use sunder::{Benchmark, Engine, Rate, Scale};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  sunder compile --rules <file> [--rate 4|8|16] [-o <out.saml>]
+  sunder run     (--rules <file> | --program <file.saml>) --input <file>
+                 [--rate 4|8|16] [--fifo] [--summarize] [--trace]
+  sunder stats   --rules <file>
+  sunder bench   --benchmark <name> [--small]";
+
+/// Minimal flag parser: `--key value` pairs plus boolean flags.
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn value(&self, key: &str) -> Option<&'a str> {
+        self.args
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.args.iter().any(|a| a == key)
+    }
+
+    fn required(&self, key: &str) -> Result<&'a str, String> {
+        self.value(key).ok_or_else(|| format!("missing {key}"))
+    }
+}
+
+fn parse_rate(flags: &Flags) -> Result<Rate, String> {
+    match flags.value("--rate") {
+        None | Some("16") => Ok(Rate::Nibble4),
+        Some("8") => Ok(Rate::Nibble2),
+        Some("4") => Ok(Rate::Nibble1),
+        Some(other) => Err(format!("unknown rate {other:?} (use 4, 8, or 16)")),
+    }
+}
+
+fn read_rules(path: &str) -> Result<Vec<String>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Ok(text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(String::from)
+        .collect())
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let rules = read_rules(flags.required("--rules")?)?;
+    let rate = parse_rate(&flags)?;
+    let engine = Engine::builder().rate(rate).build();
+    let program = engine
+        .compile_patterns(&rules)
+        .map_err(|e| e.to_string())?;
+    let text = anml::serialize(program.automaton());
+    match flags.value("-o") {
+        Some(path) => {
+            fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!(
+                "compiled {} rules: {} byte states -> {} nibble states at {} -> {}",
+                rules.len(),
+                program.source_stats().states,
+                program.strided_stats().states,
+                rate,
+                path,
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+/// Streams reports to stdout as `cycle<TAB>rule`.
+#[derive(Default)]
+struct PrintSink {
+    lines: u64,
+}
+
+impl ReportSink for PrintSink {
+    fn on_cycle_reports(&mut self, cycle: u64, reports: &[sunder::sim::ReportEvent]) {
+        for r in reports {
+            println!("{cycle}\t{}", r.info.id);
+            self.lines += 1;
+        }
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let rate = parse_rate(&flags)?;
+    let engine = Engine::builder()
+        .rate(rate)
+        .fifo(flags.flag("--fifo"))
+        .build();
+
+    let program = if let Some(path) = flags.value("--program") {
+        let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let nfa = anml::parse(&text).map_err(|e| e.to_string())?;
+        if nfa.symbol_bits() != 4 || nfa.stride() != rate.nibbles_per_cycle() {
+            return Err(format!(
+                "program is {}-bit stride {}, but the engine rate needs stride {} (recompile or pass --rate)",
+                nfa.symbol_bits(),
+                nfa.stride(),
+                rate.nibbles_per_cycle()
+            ));
+        }
+        // Wrap the precompiled automaton without re-transforming.
+        engine.compile_precompiled(nfa)
+    } else {
+        let rules = read_rules(flags.required("--rules")?)?;
+        engine
+            .compile_patterns(&rules)
+            .map_err(|e| e.to_string())?
+    };
+
+    let input = fs::read(flags.required("--input")?)
+        .map_err(|e| format!("input: {e}"))?;
+    let mut session = engine.load(&program).map_err(|e| e.to_string())?;
+
+    if flags.flag("--trace") {
+        let mut sink = PrintSink::default();
+        let stats = session
+            .run_with_sink(&input, &mut sink)
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "{} reports; {} cycles (+{} stalls), overhead {:.3}x",
+            sink.lines,
+            stats.input_cycles,
+            stats.stall_cycles,
+            stats.reporting_overhead()
+        );
+    } else {
+        let outcome = session.run(&input).map_err(|e| e.to_string())?;
+        println!("reports: {}", outcome.reports);
+        println!("report_cycles: {}", outcome.report_cycles);
+        println!("overhead: {:.4}", outcome.stats.reporting_overhead());
+        println!("flushes: {}", outcome.stats.flushes);
+        println!(
+            "matched_rules: {}",
+            outcome
+                .matched_rules
+                .iter()
+                .map(|r| r.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+    }
+    if flags.flag("--summarize") {
+        let rules = session.summarize_matched_rules();
+        println!(
+            "summarized_rules: {}",
+            rules
+                .iter()
+                .map(|r| r.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let rules = read_rules(flags.required("--rules")?)?;
+    let nfa = sunder::automata::regex::compile_rule_set(&rules).map_err(|e| e.to_string())?;
+    println!("static: {}", StaticStats::of(&nfa));
+    let t = TransformStats::measure(&nfa).map_err(|e| e.to_string())?;
+    println!("transform overheads: {t}");
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let name = flags.required("--benchmark")?;
+    let bench = Benchmark::ALL
+        .iter()
+        .find(|b| b.name().eq_ignore_ascii_case(name))
+        .copied()
+        .ok_or_else(|| {
+            format!(
+                "unknown benchmark {name:?}; choose from: {}",
+                Benchmark::ALL
+                    .iter()
+                    .map(|b| b.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })?;
+    let scale = if flags.flag("--small") {
+        Scale::small()
+    } else {
+        Scale::paper()
+    };
+    let w = bench.build(scale);
+    let view = sunder::InputView::new(&w.input, 8, 1).map_err(|e| e.to_string())?;
+    let mut sim = sunder::sim::Simulator::new(&w.nfa);
+    let mut sink = sunder::sim::DynamicStatsSink::new();
+    sim.run(&view, &mut sink);
+    let d = sink.finish();
+    println!("benchmark: {}", bench.name());
+    println!("paper: {:?}", bench.paper());
+    println!("states: {}", w.nfa.num_states());
+    println!("measured: {d}");
+    Ok(())
+}

@@ -1,0 +1,134 @@
+//! End-to-end tests of the `sunder` CLI binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sunder"))
+}
+
+fn write_temp(name: &str, contents: &[u8]) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("sunder-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{}-{name}", std::process::id()));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents).unwrap();
+    path
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = bin().arg("explode").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn run_reports_matches() {
+    let rules = write_temp("rules.txt", b"# comment line\ncat\ndog[0-9]\n");
+    let input = write_temp("input.bin", b"the cat met dog7 and another cat");
+    let out = bin()
+        .args(["run", "--rules"])
+        .arg(&rules)
+        .arg("--input")
+        .arg(&input)
+        .args(["--fifo", "--summarize"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("reports: 3"), "{stdout}");
+    assert!(stdout.contains("matched_rules: 0,1"), "{stdout}");
+    assert!(stdout.contains("summarized_rules: 0,1"), "{stdout}");
+    assert!(stdout.contains("overhead: 1.0000"), "{stdout}");
+}
+
+#[test]
+fn trace_mode_lists_cycle_rule_pairs() {
+    let rules = write_temp("trace-rules.txt", b"ab\n");
+    let input = write_temp("trace-input.bin", b"abab");
+    let out = bin()
+        .args(["run", "--rules"])
+        .arg(&rules)
+        .arg("--input")
+        .arg(&input)
+        .args(["--trace", "--rate", "8"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // 8-bit rate: one byte per cycle; matches end at cycles 1 and 3.
+    assert_eq!(stdout.trim().lines().collect::<Vec<_>>(), vec!["1\t0", "3\t0"]);
+}
+
+#[test]
+fn compile_then_run_precompiled_program() {
+    let rules = write_temp("c-rules.txt", b"net[0-9]+\n");
+    let program = write_temp("program.saml", b"");
+    let out = bin()
+        .args(["compile", "--rules"])
+        .arg(&rules)
+        .args(["--rate", "16", "-o"])
+        .arg(&program)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&program).unwrap();
+    assert!(text.starts_with("automaton bits=4 stride=4"));
+
+    let input = write_temp("c-input.bin", b"net42 online");
+    let out = bin()
+        .args(["run", "--program"])
+        .arg(&program)
+        .arg("--input")
+        .arg(&input)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("matched_rules: 0"), "{stdout}");
+}
+
+#[test]
+fn stats_prints_both_static_and_transform() {
+    let rules = write_temp("s-rules.txt", b"abc\nxyz\n");
+    let out = bin().args(["run", "--rules"]).output().unwrap();
+    assert!(!out.status.success()); // missing --input
+
+    let out = bin().args(["stats", "--rules"]).arg(&rules).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("static: 6 states"), "{stdout}");
+    assert!(stdout.contains("transform overheads:"), "{stdout}");
+}
+
+#[test]
+fn bench_command_reports_measured_stats() {
+    let out = bin()
+        .args(["bench", "--benchmark", "bro217", "--small"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("benchmark: Bro217"), "{stdout}");
+    assert!(stdout.contains("measured:"), "{stdout}");
+}
+
+#[test]
+fn bad_rate_is_rejected() {
+    let rules = write_temp("r-rules.txt", b"a\n");
+    let out = bin()
+        .args(["compile", "--rules"])
+        .arg(&rules)
+        .args(["--rate", "12"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown rate"));
+}

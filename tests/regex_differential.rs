@@ -1,0 +1,100 @@
+//! Differential testing of the regex compiler: pairs of syntactically
+//! different but semantically equivalent patterns must compile to automata
+//! with identical report behavior on arbitrary inputs.
+
+use proptest::prelude::*;
+
+use sunder::automata::regex::compile_regex;
+use sunder::sim::run_trace;
+
+/// Runs a pattern over an input and returns the match-end positions.
+fn ends(pattern: &str, input: &[u8]) -> Vec<u64> {
+    let nfa = compile_regex(pattern, 0).expect("pattern must compile");
+    let mut v: Vec<u64> = run_trace(&nfa, input)
+        .expect("run")
+        .cycle_id_pairs()
+        .into_iter()
+        .map(|(c, _)| c)
+        .collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn assert_equivalent(a: &str, b: &str, input: &[u8]) {
+    assert_eq!(
+        ends(a, input),
+        ends(b, input),
+        "{a:?} and {b:?} diverged on {input:?}"
+    );
+}
+
+/// Inputs over a tiny alphabet (plus the x/y delimiters some patterns
+/// use) so counted/alternation structure is actually exercised.
+fn abc_input() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(
+        prop::sample::select(vec![b'a', b'b', b'c', b'x', b'y']),
+        0..30,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn counted_equals_expanded(input in abc_input()) {
+        assert_equivalent("a{3}", "aaa", &input);
+        assert_equivalent("a{1,3}b", "(a|aa|aaa)b", &input);
+        assert_equivalent("a{2,}b", "aaa*b", &input);
+        assert_equivalent("(ab){2}", "abab", &input);
+    }
+
+    #[test]
+    fn plus_equals_self_star(input in abc_input()) {
+        assert_equivalent("a+", "aa*", &input);
+        assert_equivalent("(ab)+c", "ab(ab)*c", &input);
+    }
+
+    #[test]
+    fn optional_expansions(input in abc_input()) {
+        assert_equivalent("ab?c", "(abc|ac)", &input);
+        assert_equivalent("a(b|c)?a", "(aa|aba|aca)", &input);
+    }
+
+    #[test]
+    fn alternation_is_commutative_and_associative(input in abc_input()) {
+        assert_equivalent("ab|bc", "bc|ab", &input);
+        assert_equivalent("(a|b)|c", "a|(b|c)", &input);
+    }
+
+    #[test]
+    fn class_equals_alternation(input in abc_input()) {
+        assert_equivalent("[abc]", "a|b|c", &input);
+        assert_equivalent("x[ab]y", "(xay|xby)", &input);
+        assert_equivalent("[a-c]{2}", "[abc][abc]", &input);
+    }
+
+    #[test]
+    fn distribution_over_concatenation(input in abc_input()) {
+        assert_equivalent("a(b|c)", "ab|ac", &input);
+        assert_equivalent("(b|c)a", "ba|ca", &input);
+    }
+
+    #[test]
+    fn star_unrolling(input in abc_input()) {
+        assert_equivalent("ab*", "a|ab+", &input);
+        assert_equivalent("a(ba)*", "(ab)*a", &input);
+    }
+
+    #[test]
+    fn negated_class_complement(input in abc_input()) {
+        // Over the {a,b,c,x,y} input alphabet, [^a] behaves like [bcxy].
+        assert_equivalent("x[^a]y", "x[bcxy]y", &input);
+    }
+}
+
+#[test]
+fn anchored_vs_unanchored_differ() {
+    // Sanity that the harness would catch a difference.
+    assert_ne!(ends("ab", b"xab"), ends("^ab", b"xab"));
+}

@@ -1,0 +1,130 @@
+//! Calibration checks: every synthetic benchmark's measured dynamic
+//! behavior matches the generator's expectation, and the static profile
+//! tracks the paper's Table 1 at full state scale.
+
+use sunder::automata::stats::StaticStats;
+use sunder::sim::{DynamicStatsSink, Simulator};
+use sunder::{Benchmark, InputView, Scale};
+
+fn measure(bench: Benchmark, scale: Scale) -> (sunder::workloads::Workload, sunder::sim::DynamicStats) {
+    let w = bench.build(scale);
+    let view = InputView::new(&w.input, 8, 1).unwrap();
+    let mut sim = Simulator::new(&w.nfa);
+    let mut sink = DynamicStatsSink::new();
+    sim.run(&view, &mut sink);
+    let stats = sink.finish();
+    (w, stats)
+}
+
+#[test]
+fn plant_based_benchmarks_hit_expectations_exactly() {
+    let scale = Scale {
+        state_fraction: 0.02,
+        input_len: 20_000,
+    };
+    for bench in Benchmark::ALL {
+        let (w, stats) = measure(bench, scale);
+        if !w.exact_expectation {
+            continue; // hot-class benchmarks are statistical
+        }
+        assert_eq!(
+            stats.reports, w.expected_reports,
+            "{bench}: reports vs plants"
+        );
+        assert_eq!(
+            stats.report_cycles, w.expected_report_cycles,
+            "{bench}: report cycles vs plants"
+        );
+    }
+}
+
+#[test]
+fn hot_class_benchmarks_hit_expectations_statistically() {
+    let scale = Scale {
+        state_fraction: 0.02,
+        input_len: 50_000,
+    };
+    for bench in Benchmark::ALL {
+        let (w, stats) = measure(bench, scale);
+        if w.exact_expectation {
+            continue;
+        }
+        let rep_err = stats.reports as f64 / w.expected_reports as f64;
+        assert!(
+            (0.95..1.05).contains(&rep_err),
+            "{bench}: reports {} vs expected {}",
+            stats.reports,
+            w.expected_reports
+        );
+        let rc_err = stats.report_cycles as f64 / w.expected_report_cycles as f64;
+        assert!(
+            (0.95..1.05).contains(&rc_err),
+            "{bench}: report cycles {} vs expected {}",
+            stats.report_cycles,
+            w.expected_report_cycles
+        );
+    }
+}
+
+#[test]
+fn static_profiles_track_table1_at_full_state_scale() {
+    for bench in Benchmark::ALL {
+        // Full states, tiny input: the static profile is input-independent.
+        let w = bench.build(Scale {
+            state_fraction: 1.0,
+            input_len: 512,
+        });
+        let paper = bench.paper();
+        let s = StaticStats::of(&w.nfa);
+        let state_err = s.states as f64 / paper.states as f64;
+        assert!(
+            (0.93..1.07).contains(&state_err),
+            "{bench}: {} states vs paper {}",
+            s.states,
+            paper.states
+        );
+        let rs_err = s.report_states as f64 / paper.report_states as f64;
+        assert!(
+            (0.90..1.10).contains(&rs_err),
+            "{bench}: {} report states vs paper {}",
+            s.report_states,
+            paper.report_states
+        );
+    }
+}
+
+#[test]
+fn report_behavior_families_are_distinct() {
+    // The suite must cover the paper's behavioral taxonomy (Section 3):
+    // dense bursts (SPM), frequent sparse (Snort), infrequent (Dotstar).
+    let scale = Scale {
+        state_fraction: 0.02,
+        input_len: 50_000,
+    };
+    let (_, spm) = measure(Benchmark::Spm, scale);
+    let (_, snort) = measure(Benchmark::Snort, scale);
+    let (_, dotstar) = measure(Benchmark::Dotstar03, scale);
+
+    assert!(
+        spm.reports_per_report_cycle() > 20.0,
+        "SPM must burst ({} rep/rc)",
+        spm.reports_per_report_cycle()
+    );
+    assert!(
+        snort.report_cycle_percent() > 90.0,
+        "Snort must report nearly every cycle ({}%)",
+        snort.report_cycle_percent()
+    );
+    assert!(dotstar.reports <= 1, "Dotstar must stay quiet");
+}
+
+#[test]
+fn inputs_are_deterministic_per_benchmark() {
+    let scale = Scale::tiny();
+    let a = Benchmark::Fermi.build(scale);
+    let b = Benchmark::Fermi.build(scale);
+    assert_eq!(a.input, b.input);
+    assert_eq!(a.nfa, b.nfa);
+    let c = Benchmark::Tcp.build(scale);
+    assert_ne!(a.input, c.input);
+}
