@@ -171,9 +171,7 @@ mod tests {
         // Many report states force a split by the m = 12 budget even for a
         // small chain; the trigger fan-out becomes switch signals.
         let mut nfa = Nfa::new(4);
-        let t = nfa.add_state(
-            Ste::new(SymbolSet::singleton(4, 1)).start(StartKind::AllInput),
-        );
+        let t = nfa.add_state(Ste::new(SymbolSet::singleton(4, 1)).start(StartKind::AllInput));
         for i in 0..40 {
             let r = nfa.add_state(Ste::new(SymbolSet::full(4)).report(i));
             nfa.add_edge(t, r);

@@ -102,11 +102,7 @@ mod machine_tests {
     #[test]
     fn machine_equals_sim_classes_and_loops() {
         for rate in Rate::ALL {
-            assert_machine_matches_sim(
-                &["a[0-9]+b", ".*zz", "q"],
-                b"a12b zz aq3b zzz qq",
-                rate,
-            );
+            assert_machine_matches_sim(&["a[0-9]+b", ".*zz", "q"], b"a12b zz aq3b zzz qq", rate);
         }
     }
 
@@ -194,8 +190,7 @@ mod machine_tests {
     fn placement_summary_reports_pus() {
         let byte_nfa = compile_rule_set(&["one", "two"]).unwrap();
         let strided = transform_to_rate(&byte_nfa, Rate::Nibble2).unwrap();
-        let machine =
-            SunderMachine::new(&strided, SunderConfig::with_rate(Rate::Nibble2)).unwrap();
+        let machine = SunderMachine::new(&strided, SunderConfig::with_rate(Rate::Nibble2)).unwrap();
         let s = machine.placement_summary();
         assert_eq!(s.pus, 1);
         assert_eq!(s.pus, machine.num_pus());
@@ -205,8 +200,7 @@ mod machine_tests {
     fn report_column_states_maps_bits() {
         let byte_nfa = compile_rule_set(&["aa", "bb"]).unwrap();
         let strided = transform_to_rate(&byte_nfa, Rate::Nibble4).unwrap();
-        let machine =
-            SunderMachine::new(&strided, SunderConfig::with_rate(Rate::Nibble4)).unwrap();
+        let machine = SunderMachine::new(&strided, SunderConfig::with_rate(Rate::Nibble4)).unwrap();
         let cols = machine.report_column_states(0);
         assert!(!cols.is_empty());
         for (bit, state) in cols {

@@ -138,8 +138,9 @@ impl SunderMachine {
             })
             .collect();
 
-        let mut start_wake: Vec<[Vec<u32>; 16]> =
-            (0..stride).map(|_| std::array::from_fn(|_| Vec::new())).collect();
+        let mut start_wake: Vec<[Vec<u32>; 16]> = (0..stride)
+            .map(|_| std::array::from_fn(|_| Vec::new()))
+            .collect();
         let mut always_wake: Vec<u32> = Vec::new();
 
         for (pi, plan) in placement.pus.iter().enumerate() {
@@ -163,7 +164,10 @@ impl SunderMachine {
                     StartKind::None => {}
                 }
                 if ste.is_reporting() {
-                    debug_assert!(col_us >= ROW_BITS - m, "report state outside report columns");
+                    debug_assert!(
+                        col_us >= ROW_BITS - m,
+                        "report state outside report columns"
+                    );
                     rowops::set(&mut pu.report_mask, col_us);
                     pu.col_reports[col_us] = ste.reports().to_vec();
                 }
@@ -263,15 +267,25 @@ impl SunderMachine {
     /// The input view's stride must match the machine's rate.
     pub fn run<S: ReportSink>(&mut self, input: &InputView, sink: &mut S) -> RunStats {
         assert_eq!(input.stride(), self.stride, "input stride mismatch");
-        for v in input.iter() {
-            self.step(&v.symbols, v.valid, sink);
+        // Borrowing iteration: no per-cycle symbol-vector allocation.
+        for v in input.iter_ref() {
+            self.step(v.symbols, v.valid, sink);
         }
         self.stats
     }
 
     /// Executes one machine cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in all build profiles) if the vector length does not match
+    /// the machine's stride.
     pub fn step<S: ReportSink>(&mut self, vector: &[u16], valid: usize, sink: &mut S) {
-        debug_assert_eq!(vector.len(), self.stride);
+        assert_eq!(
+            vector.len(),
+            self.stride,
+            "symbol vector length must equal the machine stride"
+        );
         self.generation += 1;
         let gen = self.generation;
 
@@ -280,10 +294,10 @@ impl SunderMachine {
         for &pu in &candidates {
             self.stamp[pu as usize] = gen;
         }
-        let aligned = self.cycle % self.start_period == 0;
+        let aligned = self.cycle.is_multiple_of(self.start_period);
         if aligned || self.cycle == 0 {
-            for j in 0..valid.min(self.stride) {
-                for &pu in &self.start_wake[j][vector[j] as usize] {
+            for (j, &sym) in vector.iter().enumerate().take(valid.min(self.stride)) {
+                for &pu in &self.start_wake[j][sym as usize] {
                     if self.stamp[pu as usize] != gen {
                         self.stamp[pu as usize] = gen;
                         candidates.push(pu);
@@ -393,7 +407,11 @@ impl SunderMachine {
         drop(candidates);
 
         // FIFO drain tick.
-        if self.config.fifo && self.cycle % u64::from(self.config.drain_period_cycles) == 0 {
+        if self.config.fifo
+            && self
+                .cycle
+                .is_multiple_of(u64::from(self.config.drain_period_cycles))
+        {
             let dirty = std::mem::take(&mut self.fifo_dirty);
             for &pi in &dirty {
                 let pu = &mut self.pus[pi as usize];

@@ -136,9 +136,9 @@ pub fn place(nfa: &Nfa, config: &SunderConfig) -> Result<Placement, PlacementErr
             .filter(|&&s| nfa.state(s).is_reporting())
             .count();
         let plain = chunk.len() - reports;
-        let slot = bins.iter().position(|b| {
-            b.plain + plain <= plain_cap && b.reports + reports <= report_cap
-        });
+        let slot = bins
+            .iter()
+            .position(|b| b.plain + plain <= plain_cap && b.reports + reports <= report_cap);
         let bi = match slot {
             Some(bi) => bi,
             None => {
@@ -262,7 +262,9 @@ mod tests {
     #[test]
     fn report_capacity_forces_split() {
         // 30 single-state reporting patterns: m = 12 → at least 3 PUs.
-        let patterns: Vec<String> = (0..30).map(|i| format!("{}", (b'a' + i % 26) as char)).collect();
+        let patterns: Vec<String> = (0..30)
+            .map(|i| format!("{}", (b'a' + i % 26) as char))
+            .collect();
         let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
         let nfa = compile_rule_set(&refs).unwrap();
         let p = place(&nfa, &config()).unwrap();

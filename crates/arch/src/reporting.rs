@@ -106,12 +106,7 @@ impl ReportRegion {
     /// Attempts to store an entry. `report_mask` holds the fired report
     /// columns, `cycle` the global-counter value (truncated to `n` bits,
     /// as the hardware's counter would wrap).
-    pub fn write(
-        &mut self,
-        subarray: &mut Subarray,
-        report_mask: u32,
-        cycle: u64,
-    ) -> WriteOutcome {
+    pub fn write(&mut self, subarray: &mut Subarray, report_mask: u32, cycle: u64) -> WriteOutcome {
         if self.is_full() {
             self.fill_events += 1;
             return WriteOutcome::Full;
@@ -234,7 +229,11 @@ fn set_field(row: &mut Row, bit: usize, value: u64) {
 }
 
 fn clear_field(row: &mut Row, bit: usize, width: usize) {
-    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     let w = bit / 64;
     let off = bit % 64;
     row[w] &= !(mask << off);
@@ -244,7 +243,11 @@ fn clear_field(row: &mut Row, bit: usize, width: usize) {
 }
 
 fn get_field(row: &Row, bit: usize, width: usize) -> u64 {
-    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     let w = bit / 64;
     let off = bit % 64;
     let mut v = row[w] >> off;
@@ -269,7 +272,10 @@ mod tests {
     fn write_and_decode_round_trip() {
         let (_, mut sa, mut region) = setup();
         assert_eq!(region.write(&mut sa, 0b1010, 42), WriteOutcome::Stored);
-        assert_eq!(region.write(&mut sa, 0xFFF, 1_000_000), WriteOutcome::Stored);
+        assert_eq!(
+            region.write(&mut sa, 0xFFF, 1_000_000),
+            WriteOutcome::Stored
+        );
         let e0 = region.peek(&sa, 0).unwrap();
         assert_eq!(e0.report_mask, 0b1010);
         assert_eq!(e0.cycle, 42);

@@ -34,7 +34,10 @@ pub const SUMMARIZE_BATCH_STALL: u64 = 2;
 ///
 /// Panics if `fraction` is not in `(0, 1]`.
 pub fn slowdown(config: &SunderConfig, fraction: f64, summarize: bool) -> f64 {
-    assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0,1]");
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "fraction must be in (0,1]"
+    );
     let capacity = config.region_capacity() as f64;
     let fill_interval = capacity / fraction; // cycles between overflows
     let rows = config.report_rows() as u64;

@@ -155,8 +155,12 @@ pub fn parse(text: &str) -> Result<Nfa, AutomataError> {
                 let nfa = nfa
                     .as_mut()
                     .ok_or_else(|| err(lineno, "edge before automaton header"))?;
-                let a = words.next().ok_or_else(|| err(lineno, "edge needs two states"))?;
-                let b = words.next().ok_or_else(|| err(lineno, "edge needs two states"))?;
+                let a = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "edge needs two states"))?;
+                let b = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "edge needs two states"))?;
                 let fa = lookup(&names, a).ok_or_else(|| err(lineno, "unknown edge source"))?;
                 let fb = lookup(&names, b).ok_or_else(|| err(lineno, "unknown edge target"))?;
                 nfa.add_edge(fa, fb);

@@ -87,10 +87,10 @@ impl Dfa {
         let initial: Vec<u32> = vec![INITIAL_SENTINEL];
 
         let intern = |set: Vec<u32>,
-                          worklist: &mut Vec<Vec<u32>>,
-                          subsets: &mut HashMap<Vec<u32>, u32>,
-                          next: &mut Vec<u32>,
-                          reports: &mut Vec<Vec<u32>>|
+                      worklist: &mut Vec<Vec<u32>>,
+                      subsets: &mut HashMap<Vec<u32>, u32>,
+                      next: &mut Vec<u32>,
+                      reports: &mut Vec<Vec<u32>>|
          -> u32 {
             if let Some(&id) = subsets.get(&set) {
                 return id;
@@ -113,7 +113,13 @@ impl Dfa {
             reports.push(rs);
             id
         };
-        intern(initial, &mut worklist, &mut subsets, &mut next, &mut reports);
+        intern(
+            initial,
+            &mut worklist,
+            &mut subsets,
+            &mut next,
+            &mut reports,
+        );
 
         let mut cursor = 0usize;
         while cursor < worklist.len() {
@@ -147,13 +153,7 @@ impl Dfa {
                     .filter(|&s| nfa.state(StateId(s)).charset().contains(sym as u16))
                     .collect();
                 target.sort_unstable();
-                let tid = intern(
-                    target,
-                    &mut worklist,
-                    &mut subsets,
-                    &mut next,
-                    &mut reports,
-                );
+                let tid = intern(target, &mut worklist, &mut subsets, &mut next, &mut reports);
                 next[cursor * alphabet + sym] = tid;
             }
             cursor += 1;

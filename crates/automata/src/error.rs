@@ -57,13 +57,22 @@ impl fmt::Display for AutomataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AutomataError::WidthMismatch { expected, found } => {
-                write!(f, "symbol width mismatch: expected {expected} bits, found {found}")
+                write!(
+                    f,
+                    "symbol width mismatch: expected {expected} bits, found {found}"
+                )
             }
             AutomataError::InvalidState { index, len } => {
-                write!(f, "state index {index} out of bounds for automaton with {len} states")
+                write!(
+                    f,
+                    "state index {index} out of bounds for automaton with {len} states"
+                )
             }
             AutomataError::StrideMismatch { expected, found } => {
-                write!(f, "charset vector length {found} does not match stride {expected}")
+                write!(
+                    f,
+                    "charset vector length {found} does not match stride {expected}"
+                )
             }
             AutomataError::InvalidReportOffset { offset, stride } => {
                 write!(f, "report offset {offset} exceeds stride {stride}")

@@ -95,11 +95,7 @@ pub fn can_reach_report(nfa: &Nfa) -> Vec<bool> {
 pub fn prune_useless(nfa: &mut Nfa) -> usize {
     let reach = reachable_from_starts(nfa);
     let useful = can_reach_report(nfa);
-    let keep: Vec<bool> = reach
-        .iter()
-        .zip(&useful)
-        .map(|(&r, &u)| r && u)
-        .collect();
+    let keep: Vec<bool> = reach.iter().zip(&useful).map(|(&r, &u)| r && u).collect();
     let removed = keep.iter().filter(|&&k| !k).count();
     if removed > 0 {
         nfa.retain_states(&keep);

@@ -58,6 +58,11 @@ pub struct SymbolVector {
 pub struct InputView {
     symbols: Vec<u16>,
     stride: usize,
+    /// The final partial vector, pre-padded to `stride` symbols. Empty when
+    /// the stream divides evenly. Kept here so [`InputView::iter_ref`] can
+    /// hand out borrowed slices for every cycle, including the tail, without
+    /// any per-cycle allocation.
+    tail: Vec<u16>,
 }
 
 impl InputView {
@@ -86,13 +91,25 @@ impl InputView {
                 .collect(),
             other => return Err(AutomataError::UnsupportedWidth(other)),
         };
-        Ok(InputView { symbols, stride })
+        Ok(Self::from_symbols(symbols, stride))
     }
 
     /// Builds a view directly from pre-split symbols.
     pub fn from_symbols(symbols: Vec<u16>, stride: usize) -> Self {
         assert!(stride >= 1, "stride must be at least 1");
-        InputView { symbols, stride }
+        let rem = symbols.len() % stride;
+        let tail = if rem == 0 {
+            Vec::new()
+        } else {
+            let mut t = symbols[symbols.len() - rem..].to_vec();
+            t.resize(stride, 0);
+            t
+        };
+        InputView {
+            symbols,
+            stride,
+            tail,
+        }
     }
 
     /// Number of per-cycle vectors the stream yields.
@@ -116,11 +133,33 @@ impl InputView {
     }
 
     /// Iterates over the per-cycle symbol vectors.
+    ///
+    /// Each item owns its symbol buffer, costing one allocation per cycle.
+    /// Hot paths should prefer [`InputView::iter_ref`], which borrows.
     pub fn iter(&self) -> Vectors<'_> {
-        Vectors {
-            view: self,
-            pos: 0,
-        }
+        Vectors { view: self, pos: 0 }
+    }
+
+    /// Iterates over the per-cycle symbol vectors as borrowed slices.
+    ///
+    /// Unlike [`InputView::iter`], this performs no allocation: full
+    /// vectors borrow directly from the symbol stream and the final
+    /// partial vector borrows the view's pre-padded tail buffer. This is
+    /// what the simulator engines use, so steady-state execution is
+    /// allocation-free.
+    ///
+    /// ```
+    /// use sunder_automata::input::InputView;
+    ///
+    /// let view = InputView::new(&[0x12, 0x34, 0x56], 4, 4)?;
+    /// let cycles: Vec<_> = view.iter_ref().collect();
+    /// assert_eq!(cycles[0].symbols, &[0x1, 0x2, 0x3, 0x4]);
+    /// assert_eq!(cycles[1].symbols, &[0x5, 0x6, 0x0, 0x0]);
+    /// assert_eq!(cycles[1].valid, 2);
+    /// # Ok::<(), sunder_automata::AutomataError>(())
+    /// ```
+    pub fn iter_ref(&self) -> VectorRefs<'_> {
+        VectorRefs { view: self, pos: 0 }
     }
 }
 
@@ -169,6 +208,61 @@ impl Iterator for Vectors<'_> {
 }
 
 impl ExactSizeIterator for Vectors<'_> {}
+
+/// One borrowed per-cycle symbol vector: `stride` symbols, of which the
+/// first `valid` carry real input (the rest are end-of-stream padding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VectorRef<'a> {
+    /// The symbols for this cycle; length equals the stride.
+    pub symbols: &'a [u16],
+    /// Number of leading symbols that are real input.
+    pub valid: usize,
+}
+
+/// Zero-allocation iterator over the per-cycle vectors of an [`InputView`].
+#[derive(Debug, Clone)]
+pub struct VectorRefs<'a> {
+    view: &'a InputView,
+    pos: usize,
+}
+
+impl<'a> Iterator for VectorRefs<'a> {
+    type Item = VectorRef<'a>;
+
+    fn next(&mut self) -> Option<VectorRef<'a>> {
+        let len = self.view.symbols.len();
+        if self.pos >= len {
+            return None;
+        }
+        let stride = self.view.stride;
+        let remaining = len - self.pos;
+        let item = if remaining >= stride {
+            VectorRef {
+                symbols: &self.view.symbols[self.pos..self.pos + stride],
+                valid: stride,
+            }
+        } else {
+            VectorRef {
+                symbols: &self.view.tail,
+                valid: remaining,
+            }
+        };
+        self.pos += stride;
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self
+            .view
+            .symbols
+            .len()
+            .saturating_sub(self.pos)
+            .div_ceil(self.view.stride);
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for VectorRefs<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -228,5 +322,32 @@ mod tests {
         let v = InputView::new(&[], 8, 1).unwrap();
         assert_eq!(v.num_cycles(), 0);
         assert_eq!(v.iter().count(), 0);
+        assert_eq!(v.iter_ref().count(), 0);
+    }
+
+    #[test]
+    fn iter_ref_agrees_with_iter() {
+        for (bytes, bits, stride) in [
+            (vec![0x12u8, 0x34, 0x56], 4u8, 4usize),
+            (vec![1, 2, 3, 4, 5], 8, 2),
+            (vec![9; 7], 8, 3),
+            (vec![0xAB, 0xCD, 0xEF], 16, 2),
+            (vec![], 8, 1),
+        ] {
+            let v = InputView::new(&bytes, bits, stride).unwrap();
+            let owned: Vec<_> = v.iter().collect();
+            let borrowed: Vec<_> = v.iter_ref().collect();
+            assert_eq!(owned.len(), borrowed.len());
+            for (o, b) in owned.iter().zip(&borrowed) {
+                assert_eq!(o.symbols.as_slice(), b.symbols);
+                assert_eq!(o.valid, b.valid);
+            }
+        }
+    }
+
+    #[test]
+    fn iter_ref_exact_size() {
+        let v = InputView::new(&[1, 2, 3, 4, 5], 4, 4).unwrap();
+        assert_eq!(v.iter_ref().len(), 3);
     }
 }

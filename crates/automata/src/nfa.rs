@@ -184,8 +184,17 @@ impl Ste {
     /// Only the first `valid` positions carry real input; the remainder are
     /// end-of-stream padding and match only *don't care* (full) charsets.
     /// This mirrors the hardware masking used for the final partial vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in all build profiles) if the vector length does not match
+    /// this state's stride.
     pub fn matches(&self, vector: &[u16], valid: usize) -> bool {
-        debug_assert_eq!(vector.len(), self.charsets.len());
+        assert_eq!(
+            vector.len(),
+            self.charsets.len(),
+            "symbol vector length must equal the state's stride"
+        );
         for (i, cs) in self.charsets.iter().enumerate() {
             if i < valid {
                 if !cs.contains(vector[i]) {
@@ -242,7 +251,10 @@ impl Nfa {
 
     /// Creates an empty automaton consuming `stride` symbols per cycle.
     pub fn with_stride(symbol_bits: u8, stride: usize) -> Self {
-        assert!((1..=16).contains(&symbol_bits), "symbol width must be 1..=16");
+        assert!(
+            (1..=16).contains(&symbol_bits),
+            "symbol width must be 1..=16"
+        );
         assert!(stride >= 1, "stride must be at least 1");
         Nfa {
             symbol_bits,
@@ -312,7 +324,10 @@ impl Nfa {
             assert_eq!(cs.bits(), self.symbol_bits, "charset width mismatch");
         }
         for r in &ste.reports {
-            assert!((r.offset as usize) < self.stride, "report offset out of range");
+            assert!(
+                (r.offset as usize) < self.stride,
+                "report offset out of range"
+            );
         }
         let id = StateId(self.states.len() as u32);
         self.states.push(ste);
@@ -326,7 +341,10 @@ impl Nfa {
     ///
     /// Panics if either state id is out of bounds.
     pub fn add_edge(&mut self, from: StateId, to: StateId) {
-        assert!(from.index() < self.states.len(), "edge source out of bounds");
+        assert!(
+            from.index() < self.states.len(),
+            "edge source out of bounds"
+        );
         assert!(to.index() < self.states.len(), "edge target out of bounds");
         let list = &mut self.succ[from.index()];
         if !list.contains(&to) {
@@ -483,12 +501,7 @@ impl Nfa {
         for (i, &k) in keep.iter().enumerate() {
             if k {
                 states.push(self.states[i].clone());
-                succ.push(
-                    self.succ[i]
-                        .iter()
-                        .filter_map(|t| map[t.index()])
-                        .collect(),
-                );
+                succ.push(self.succ[i].iter().filter_map(|t| map[t.index()]).collect());
             }
         }
         self.states = states;

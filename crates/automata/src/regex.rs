@@ -407,10 +407,9 @@ impl<'a> Parser<'a> {
                 s.insert(u16::from(b'_'));
                 s
             }
-            b's' => SymbolSet::from_symbols(
-                8,
-                [b' ', b'\t', b'\r', b'\n', 0x0b, 0x0c].map(u16::from),
-            ),
+            b's' => {
+                SymbolSet::from_symbols(8, [b' ', b'\t', b'\r', b'\n', 0x0b, 0x0c].map(u16::from))
+            }
             b'x' => {
                 let hi = self.parse_hex_digit()?;
                 let lo = self.parse_hex_digit()?;
@@ -447,7 +446,9 @@ impl<'a> Parser<'a> {
             let lo_set = self.parse_class_item()?;
             // Range only when the item was a single literal byte and '-' is
             // followed by something other than ']'.
-            if lo_set.len() == 1 && self.peek() == Some(b'-') && self.bytes.get(self.pos + 1) != Some(&b']')
+            if lo_set.len() == 1
+                && self.peek() == Some(b'-')
+                && self.bytes.get(self.pos + 1) != Some(&b']')
             {
                 self.pos += 1; // consume '-'
                 let hi_set = self.parse_class_item()?;

@@ -39,11 +39,7 @@ impl StaticStats {
         let mut density_sum = 0.0;
         let mut max_fan_out = 0;
         for (id, ste) in nfa.states() {
-            let d: f64 = ste
-                .charsets()
-                .iter()
-                .map(|c| c.density())
-                .sum::<f64>()
+            let d: f64 = ste.charsets().iter().map(|c| c.density()).sum::<f64>()
                 / ste.charsets().len() as f64;
             density_sum += d;
             max_fan_out = max_fan_out.max(nfa.successors(id).len());

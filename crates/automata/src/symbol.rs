@@ -44,7 +44,7 @@ impl SymbolSet {
     /// Panics if `bits` is zero or greater than [`MAX_SYMBOL_BITS`].
     pub fn empty(bits: u8) -> Self {
         assert!(
-            bits >= 1 && bits <= MAX_SYMBOL_BITS,
+            (1..=MAX_SYMBOL_BITS).contains(&bits),
             "symbol width must be in 1..=16, got {bits}"
         );
         let words = 1usize.max((1usize << bits) / 64);
@@ -120,6 +120,32 @@ impl SymbolSet {
     /// Symbol width in bits.
     pub fn bits(&self) -> u8 {
         self.bits
+    }
+
+    /// The raw 64-bit membership words, least-significant symbol first.
+    ///
+    /// Word `i` holds symbols `64·i ..= 64·i + 63`, one bit per symbol.
+    /// This is the export used to build the dense engine's per-symbol
+    /// accept masks: each state's charset contributes one column bit per
+    /// symbol row, exactly the layout a memory subarray stores.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Calls `f(symbol)` for every member, in ascending order.
+    ///
+    /// Walks the membership words with `trailing_zeros`, so the cost is
+    /// proportional to the set size plus the word count — much cheaper
+    /// than [`SymbolSet::iter`] for sparse sets over wide alphabets.
+    pub fn for_each_symbol<F: FnMut(u16)>(&self, mut f: F) {
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let b = w.trailing_zeros();
+                f((wi * 64 + b as usize) as u16);
+                w &= w - 1;
+            }
+        }
     }
 
     /// Number of distinct symbols representable at this width.
@@ -210,7 +236,10 @@ impl SymbolSet {
 
     /// In-place intersection with another set of the same width.
     pub fn intersect_with(&mut self, other: &SymbolSet) {
-        assert_eq!(self.bits, other.bits, "symbol width mismatch in intersection");
+        assert_eq!(
+            self.bits, other.bits,
+            "symbol width mismatch in intersection"
+        );
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a &= b;
         }
@@ -237,10 +266,7 @@ impl SymbolSet {
 
     /// Iterates over the symbols in ascending order.
     pub fn iter(&self) -> Symbols<'_> {
-        Symbols {
-            set: self,
-            next: 0,
-        }
+        Symbols { set: self, next: 0 }
     }
 
     /// Extracts the sub-set of symbols whose top nibble equals `nibble`,
@@ -423,6 +449,27 @@ mod tests {
         assert_eq!(s.to_nibble_mask().unwrap(), 0b1010_0000_0000_0101);
         assert_eq!(s.len(), 4);
         assert!(SymbolSet::empty(8).to_nibble_mask().is_err());
+    }
+
+    #[test]
+    fn words_export_matches_membership() {
+        let s = SymbolSet::from_symbols(8, [0, 63, 64, 255]);
+        let w = s.words();
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[0], 1 | (1 << 63));
+        assert_eq!(w[1], 1);
+        assert_eq!(w[3], 1 << 63);
+        let mut seen = Vec::new();
+        s.for_each_symbol(|sym| seen.push(sym));
+        assert_eq!(seen, vec![0, 63, 64, 255]);
+    }
+
+    #[test]
+    fn for_each_symbol_agrees_with_iter() {
+        let s = SymbolSet::range(4, 3, 11);
+        let mut fast = Vec::new();
+        s.for_each_symbol(|sym| fast.push(sym));
+        assert_eq!(fast, s.iter().collect::<Vec<_>>());
     }
 
     #[test]

@@ -6,7 +6,9 @@ use sunder_automata::SymbolSet;
 fn set_of(bits: u8, symbols: &[u16]) -> SymbolSet {
     SymbolSet::from_symbols(
         bits,
-        symbols.iter().map(|&s| (u32::from(s) % (1u32 << bits)) as u16),
+        symbols
+            .iter()
+            .map(|&s| (u32::from(s) % (1u32 << bits)) as u16),
     )
 }
 
@@ -52,7 +54,7 @@ proptest! {
         prop_assert_eq!(u.len() + i.len(), a.len() + b.len());
         prop_assert!(u.len() >= a.len().max(b.len()));
         prop_assert!(i.len() <= a.len().min(b.len()));
-        prop_assert_eq!(a.intersects(&b), i.len() > 0);
+        prop_assert_eq!(a.intersects(&b), !i.is_empty());
     }
 
     #[test]

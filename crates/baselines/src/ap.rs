@@ -123,7 +123,10 @@ impl ApReportingModel {
     /// each reporting STE to one of its reporting regions.
     pub fn new(nfa: &Nfa, params: ApParams) -> Self {
         let report_states = nfa.report_states();
-        let regions = report_states.len().div_ceil(params.report_stes_per_region).max(1);
+        let regions = report_states
+            .len()
+            .div_ceil(params.report_stes_per_region)
+            .max(1);
         let report_index = report_states
             .iter()
             .enumerate()
@@ -180,7 +183,7 @@ impl ReportSink for ApReportingModel {
             };
             let region = idx % self.regions;
             let within = (idx / self.regions) as u64;
-            let chunk = if chunk_bits > 0 { within / chunk_bits } else { 0 };
+            let chunk = within.checked_div(chunk_bits).unwrap_or(0);
             self.scratch.push((region, chunk));
         }
         self.scratch.sort_unstable();
@@ -268,7 +271,10 @@ mod tests {
         assert_eq!(stats.pushes, 10_000);
         let expected_fills = (10_000 * 1088) / (481 * 1024);
         assert_eq!(stats.fills, expected_fills as u64);
-        assert!(stats.reporting_overhead() > 20.0, "AP melts under dense reporting");
+        assert!(
+            stats.reporting_overhead() > 20.0,
+            "AP melts under dense reporting"
+        );
     }
 
     #[test]
@@ -314,7 +320,7 @@ mod tests {
         refs[0] = "."; // state 0 fires every cycle
         refs[1] = "."; // state 1 fires every cycle (region 1 under rr)
         let nfa = compile_rule_set(&refs).unwrap();
-        let stats = evaluate(&nfa, &vec![b'a'; 100], ApParams::ap()).unwrap();
+        let stats = evaluate(&nfa, &[b'a'; 100], ApParams::ap()).unwrap();
         assert_eq!(stats.pushes, 200, "two regions per cycle");
     }
 }

@@ -5,10 +5,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 use sunder_arch::reporting::ReportRegion;
 use sunder_arch::{Subarray, SunderConfig};
+use sunder_automata::InputView;
 use sunder_baselines::ap::{ApParams, ApReportingModel};
 use sunder_sim::ReportSink;
 use sunder_sim::{ReportEvent, Simulator};
-use sunder_automata::InputView;
 use sunder_transform::Rate;
 use sunder_workloads::{Benchmark, Scale};
 
@@ -97,5 +97,10 @@ fn bench_sink_dispatch(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_region_ops, bench_ap_model, bench_sink_dispatch);
+criterion_group!(
+    benches,
+    bench_region_ops,
+    bench_ap_model,
+    bench_sink_dispatch
+);
 criterion_main!(benches);

@@ -4,9 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use sunder_transform::{
-    to_nibble_automaton, transform_to_rate_with, Rate, TransformOptions,
-};
+use sunder_transform::{to_nibble_automaton, transform_to_rate_with, Rate, TransformOptions};
 use sunder_workloads::{Benchmark, Scale};
 
 fn bench_nibble_transform(c: &mut Criterion) {

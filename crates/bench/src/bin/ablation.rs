@@ -15,10 +15,10 @@ use sunder_arch::{SunderConfig, SunderMachine};
 use sunder_automata::InputView;
 use sunder_bench::table::TextTable;
 use sunder_core::{DeviceModel, Engine};
+use sunder_llc::{HostBridge, SliceGeometry, SlicedLlc, WayPartition};
 use sunder_sim::NullSink;
 use sunder_tech::{Architecture, PipelineTiming};
 use sunder_transform::{transform_to_rate_with, Rate, TransformOptions};
-use sunder_llc::{HostBridge, SliceGeometry, SlicedLlc, WayPartition};
 use sunder_workloads::{Benchmark, Scale};
 
 fn main() {
@@ -72,7 +72,11 @@ fn rate_vs_capacity() {
                 Ok(plan) => {
                     let gbps =
                         sunder_freq_ghz() * rate.bits_per_cycle() as f64 / plan.rounds() as f64;
-                    rows.push((rate, program.strided_stats().states, Some((plan.rounds(), gbps))));
+                    rows.push((
+                        rate,
+                        program.strided_stats().states,
+                        Some((plan.rounds(), gbps)),
+                    ));
                     if best.map(|(_, b)| gbps > b).unwrap_or(true) {
                         best = Some((rate, gbps));
                     }
@@ -156,7 +160,12 @@ fn fifo_drain_period() {
     let strided = transform_to_rate_with(&w.nfa, Rate::Nibble4, TransformOptions::default())
         .expect("transform");
     let view = InputView::new(&w.input, 4, 4).expect("view");
-    let mut table = TextTable::new(["Drain period (cycles/row)", "Fills", "Stall cycles", "Overhead"]);
+    let mut table = TextTable::new([
+        "Drain period (cycles/row)",
+        "Fills",
+        "Stall cycles",
+        "Overhead",
+    ]);
     for period in [4u32, 8, 16, 32, 64] {
         let mut config = SunderConfig::with_rate(Rate::Nibble4).fifo(true);
         config.drain_period_cycles = period;

@@ -37,7 +37,9 @@ fn measured_slowdown(percent: u32, summarize_mode: bool) -> f64 {
     let mut x = 0x9E37_79B9u64;
     let input: Vec<u8> = (0..400_000)
         .map(|_| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (x >> 33) as u8
         })
         .collect();
@@ -48,8 +50,7 @@ fn measured_slowdown(percent: u32, summarize_mode: bool) -> f64 {
         // Summarization replaces the flush drain: per fill, 12 batches of
         // (2-cycle NOR + one summary-row transfer) instead of 192 rows.
         let per_fill_flush = config.flush_stall_cycles();
-        let per_fill_summarize =
-            12 * (2 + HOST_ROW_READ_CYCLES);
+        let per_fill_summarize = 12 * (2 + HOST_ROW_READ_CYCLES);
         let adjusted = stats.stall_cycles / per_fill_flush.max(1) * per_fill_summarize;
         (stats.input_cycles + adjusted) as f64 / stats.input_cycles as f64
     } else {
@@ -84,6 +85,8 @@ fn main() {
     println!("the machine consumes 2 bytes/cycle, so its per-cycle report");
     println!("fraction is 1-(1-p)^2 — the mid-range measured columns sit on the");
     println!("analytic curve evaluated at that fraction).");
-    println!("Paper anchors: negligible below 5%; worst case 7x without and 1.4x with summarization.");
+    println!(
+        "Paper anchors: negligible below 5%; worst case 7x without and 1.4x with summarization."
+    );
     println!("(AP-style reporting reaches 46x at just 3.24% report cycles — SPM in Table 1.)");
 }

@@ -28,7 +28,12 @@ fn main() {
         println!("-- {label} --");
         let rows = figure8(sunder_oh, baseline_oh);
         let sunder = rows[0].gbps;
-        let mut table = TextTable::new(["Architecture", "Kernel Gbps", "End-to-end Gbps", "Sunder speedup"]);
+        let mut table = TextTable::new([
+            "Architecture",
+            "Kernel Gbps",
+            "End-to-end Gbps",
+            "Sunder speedup",
+        ]);
         for t in &rows {
             table.row([
                 t.architecture.to_string(),
@@ -40,6 +45,8 @@ fn main() {
         print!("{}", table.render());
         println!();
     }
-    println!("Paper headline speedups (AP-style): 280x / 22x / 10x / 4x vs AP(50nm)/AP(14nm)/CA/Impala");
+    println!(
+        "Paper headline speedups (AP-style): 280x / 22x / 10x / 4x vs AP(50nm)/AP(14nm)/CA/Impala"
+    );
     println!("Paper headline speedups (AP+RAD):   133x / 10.4x / 4.8x / 1.9x");
 }

@@ -5,7 +5,7 @@
 
 use sunder_bench::table::TextTable;
 use sunder_tech::area::{ap_buffer_bits_per_report_ste, report_buffer_bits_per_report_ste};
-use sunder_tech::{AreaBreakdown, Architecture};
+use sunder_tech::{Architecture, AreaBreakdown};
 
 const STES: usize = 32 * 1024;
 

@@ -44,9 +44,8 @@ fn warm_workload(density: f64) -> (Nfa, Vec<u8>) {
     for p in 0..PATTERNS as u16 {
         // Stagger the class windows so patterns are not identical.
         let lo = 0x20 + (p * 3) % (95 - span);
-        let c0 = nfa.add_state(
-            Ste::new(SymbolSet::range(8, lo, lo + span - 1)).start(StartKind::AllInput),
-        );
+        let c0 = nfa
+            .add_state(Ste::new(SymbolSet::range(8, lo, lo + span - 1)).start(StartKind::AllInput));
         let c1 = nfa.add_state(Ste::new(SymbolSet::range(8, lo, lo + span - 1)));
         nfa.add_edge(c0, c1);
         let mut prev = c1;

@@ -62,7 +62,10 @@ fn main() {
                 let hits = dfa.scan(&w.input).expect("scan");
                 let el = t0.elapsed().as_secs_f64();
                 std::hint::black_box(hits.len());
-                (format!("{}", dfa.num_states()), format!("{:.0}", mbps(w.input.len(), el)))
+                (
+                    format!("{}", dfa.num_states()),
+                    format!("{:.0}", mbps(w.input.len(), el)),
+                )
             }
             Err(b) => (format!(">{} (blowup)", b.states_reached), "-".to_string()),
         };

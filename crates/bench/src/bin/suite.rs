@@ -1,0 +1,198 @@
+//! Engine comparison sweep: runs the full 19-benchmark suite on all three
+//! functional engines (sparse, dense bit-parallel, adaptive), verifies
+//! that every engine produces a byte-identical report trace, measures
+//! per-engine throughput, and writes a machine-readable summary to
+//! `BENCH_engine.json`.
+//!
+//! Usage: `cargo run -p sunder-bench --release --bin suite
+//! [--small | --paper] [--workers N] [--out PATH]`
+//!
+//! Default scale is `--small` (seconds, not minutes). Benchmarks fan out
+//! across worker threads via the deterministic parallel runner; the JSON
+//! and table are merged in benchmark order, identical for any worker
+//! count.
+
+use std::time::Instant;
+
+use sunder_automata::InputView;
+use sunder_bench::parallel::{run_indexed, workers_from_args};
+use sunder_bench::table::TextTable;
+use sunder_sim::{EngineKind, NullSink, TraceSink};
+use sunder_workloads::{Benchmark, Scale};
+
+struct SuiteRow {
+    name: &'static str,
+    states: usize,
+    input_bytes: usize,
+    reports: usize,
+    /// ns per run, indexed like [`EngineKind::ALL`].
+    ns: [u64; 3],
+    /// Mean active states per cycle (frontier density).
+    avg_active: f64,
+    traces_equal: bool,
+}
+
+/// Times `runs` full passes and returns the best-of ns (minimum wall
+/// clock, the standard noise-robust point estimate).
+fn time_engine(kind: EngineKind, nfa: &sunder_automata::Nfa, input: &InputView, runs: u32) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..runs {
+        let mut engine = kind.build(nfa);
+        let start = Instant::now();
+        engine.run(input, &mut NullSink);
+        best = best.min(start.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+fn run_benchmark(bench: &Benchmark, scale: Scale, runs: u32) -> SuiteRow {
+    let w = bench.build(scale);
+    let input = InputView::new(&w.input, 8, 1).expect("byte view");
+
+    // Correctness first: all three engines must emit identical traces.
+    let mut traces = Vec::new();
+    for kind in EngineKind::ALL {
+        let mut engine = kind.build(&w.nfa);
+        let mut sink = TraceSink::new();
+        engine.run(&input, &mut sink);
+        traces.push(sink.events);
+    }
+    let traces_equal = traces.windows(2).all(|w| w[0] == w[1]);
+
+    // Frontier density, for the table's context column.
+    struct Activity(u64, u64);
+    impl sunder_sim::ReportSink for Activity {
+        fn on_cycle_reports(&mut self, _cycle: u64, _reports: &[sunder_sim::ReportEvent]) {}
+
+        fn on_cycle_activity(&mut self, _cycle: u64, active: usize) {
+            self.0 += active as u64;
+            self.1 += 1;
+        }
+    }
+    let mut act = Activity(0, 0);
+    let mut sparse = sunder_sim::Simulator::new(&w.nfa);
+    sparse.run(&input, &mut act);
+    let avg_active = act.0 as f64 / act.1.max(1) as f64;
+
+    let ns = [
+        time_engine(EngineKind::Sparse, &w.nfa, &input, runs),
+        time_engine(EngineKind::Dense, &w.nfa, &input, runs),
+        time_engine(EngineKind::Adaptive, &w.nfa, &input, runs),
+    ];
+
+    SuiteRow {
+        name: bench.name(),
+        states: w.nfa.num_states(),
+        input_bytes: w.input.len(),
+        reports: traces[0].len(),
+        ns,
+        avg_active,
+        traces_equal,
+    }
+}
+
+fn write_json(path: &str, scale_name: &str, workers: usize, rows: &[SuiteRow]) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
+    out.push_str(&format!("  \"workers\": {workers},\n"));
+    out.push_str("  \"engines\": [\"sparse\", \"dense\", \"adaptive\"],\n");
+    out.push_str("  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let speedup_dense = r.ns[0] as f64 / r.ns[1].max(1) as f64;
+        let speedup_adaptive = r.ns[0] as f64 / r.ns[2].max(1) as f64;
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"states\": {}, \"input_bytes\": {}, \
+             \"reports\": {}, \"avg_active\": {:.2}, \"sparse_ns\": {}, \
+             \"dense_ns\": {}, \"adaptive_ns\": {}, \"speedup_dense\": {:.3}, \
+             \"speedup_adaptive\": {:.3}, \"traces_equal\": {}}}{}\n",
+            r.name,
+            r.states,
+            r.input_bytes,
+            r.reports,
+            r.avg_active,
+            r.ns[0],
+            r.ns[1],
+            r.ns[2],
+            speedup_dense,
+            speedup_adaptive,
+            r.traces_equal,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write JSON summary");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let paper = args.iter().any(|a| a == "--paper");
+    let workers = workers_from_args(&args);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_engine.json")
+        .to_string();
+    let (scale, scale_name, runs) = if paper {
+        (Scale::paper(), "paper", 1)
+    } else {
+        (Scale::small(), "small", 7)
+    };
+
+    println!("Engine suite: 19 benchmarks x 3 engines ({scale_name} scale, {workers} workers)\n");
+    let wall = Instant::now();
+    let rows = run_indexed(&Benchmark::ALL, workers, |_, bench| {
+        run_benchmark(bench, scale, runs)
+    });
+    let wall = wall.elapsed();
+
+    let mut table = TextTable::new([
+        "Benchmark",
+        "States",
+        "AvgActive",
+        "Sparse ms",
+        "Dense ms",
+        "Adaptive ms",
+        "Dense x",
+        "Adaptive x",
+        "TraceEq",
+    ]);
+    let mut all_equal = true;
+    for r in &rows {
+        all_equal &= r.traces_equal;
+        table.row([
+            r.name.to_string(),
+            format!("{}", r.states),
+            format!("{:.1}", r.avg_active),
+            format!("{:.2}", r.ns[0] as f64 / 1e6),
+            format!("{:.2}", r.ns[1] as f64 / 1e6),
+            format!("{:.2}", r.ns[2] as f64 / 1e6),
+            format!("{:.2}", r.ns[0] as f64 / r.ns[1].max(1) as f64),
+            format!("{:.2}", r.ns[0] as f64 / r.ns[2].max(1) as f64),
+            format!("{}", r.traces_equal),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let gmean_adaptive = rows
+        .iter()
+        .map(|r| (r.ns[0] as f64 / r.ns[2].max(1) as f64).ln())
+        .sum::<f64>()
+        / rows.len() as f64;
+    println!(
+        "\nAdaptive geomean speedup over sparse: {:.2}x; wall time {:.2}s on {} workers",
+        gmean_adaptive.exp(),
+        wall.as_secs_f64(),
+        workers
+    );
+
+    write_json(&out_path, scale_name, workers, &rows);
+    println!("Machine-readable summary written to {out_path}");
+
+    if !all_equal {
+        eprintln!("ERROR: engines disagreed on at least one report trace");
+        std::process::exit(1);
+    }
+}

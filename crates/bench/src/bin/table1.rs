@@ -4,17 +4,29 @@
 //! generated input and prints the static and dynamic reporting statistics
 //! next to the paper's values.
 //!
-//! Usage: `cargo run -p sunder-bench --release --bin table1 [--small]`
+//! Usage: `cargo run -p sunder-bench --release --bin table1 [--small]
+//! [--workers N]`
+//!
+//! Benchmarks run in parallel (one work item per benchmark, dynamically
+//! scheduled); the table is merged in benchmark order, so the output is
+//! identical for any worker count.
 
 use sunder_automata::stats::StaticStats;
 use sunder_automata::InputView;
+use sunder_bench::parallel::{run_indexed, workers_from_args};
 use sunder_bench::table::TextTable;
 use sunder_sim::{DynamicStatsSink, Simulator};
 use sunder_workloads::{Benchmark, Scale};
 
 fn main() {
-    let small = std::env::args().any(|a| a == "--small");
-    let scale = if small { Scale::small() } else { Scale::paper() };
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let workers = workers_from_args(&args);
+    let scale = if small {
+        Scale::small()
+    } else {
+        Scale::paper()
+    };
     println!(
         "Table 1: reporting behavior summary ({} scale: {} states fraction, {} input bytes)",
         if small { "small" } else { "paper" },
@@ -39,16 +51,18 @@ fn main() {
         "RepCyc%",
     ]);
 
-    for bench in Benchmark::ALL {
-        let paper = bench.paper();
+    let rows = run_indexed(&Benchmark::ALL, workers, |_, bench| {
         let w = bench.build(scale);
         let stats = StaticStats::of(&w.nfa);
         let input = InputView::new(&w.input, 8, 1).expect("byte view");
         let mut sim = Simulator::new(&w.nfa);
         let mut sink = DynamicStatsSink::new();
         sim.run(&input, &mut sink);
-        let d = sink.finish();
+        (stats, sink.finish())
+    });
 
+    for (bench, (stats, d)) in Benchmark::ALL.iter().zip(rows) {
+        let paper = bench.paper();
         let scale_note = |v: u64| -> String {
             if small {
                 format!("{v}*")
@@ -74,6 +88,8 @@ fn main() {
     }
     print!("{}", table.render());
     if small {
-        println!("\n(*) paper values are per 1 MB; small scale shrinks absolute counts proportionally.");
+        println!(
+            "\n(*) paper values are per 1 MB; small scale shrinks absolute counts proportionally."
+        );
     }
 }

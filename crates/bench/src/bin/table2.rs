@@ -27,7 +27,10 @@ fn main() {
     let rows: [(&str, SubarrayParams); 3] = [
         ("State-matching (Impala)", IMPALA_MATCH),
         ("State-matching (CA)", CA_MATCH),
-        ("Interconnect (CA, Impala, Sunder) / State-matching (Sunder)", SUNDER_8T),
+        (
+            "Interconnect (CA, Impala, Sunder) / State-matching (Sunder)",
+            SUNDER_8T,
+        ),
     ];
     for (usage, p) in rows {
         table.row([

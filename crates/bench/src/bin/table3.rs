@@ -21,7 +21,15 @@ const PAPER: [(&str, f64, f64, f64, f64, f64, f64); 19] = [
     ("Ranges1", 2.1, 1.0, 1.0, 2.2, 1.0, 1.0),
     ("Snort", 2.5, 1.0, 1.1, 3.8, 1.0, 1.4),
     ("TCP", 2.5, 1.0, 1.1, 3.9, 1.0, 1.3),
-    ("ClamAV", f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN),
+    (
+        "ClamAV",
+        f64::NAN,
+        f64::NAN,
+        f64::NAN,
+        f64::NAN,
+        f64::NAN,
+        f64::NAN,
+    ),
     ("Hamming", 6.5, 1.1, 1.3, 9.7, 1.1, 1.4),
     ("Levenshtein", 2.8, 1.1, 2.2, 1.9, 1.1, 3.5),
     ("Fermi", 2.2, 1.0, 1.0, 2.1, 1.0, 1.3),
@@ -57,8 +65,19 @@ fn main() {
     println!("(paper values in parentheses; ClamAV is absent from the paper's table)\n");
 
     let mut table = TextTable::new([
-        "Benchmark", "S 1-nib", "(p)", "S 2-nib", "(p)", "S 4-nib", "(p)", "T 1-nib", "(p)",
-        "T 2-nib", "(p)", "T 4-nib", "(p)",
+        "Benchmark",
+        "S 1-nib",
+        "(p)",
+        "S 2-nib",
+        "(p)",
+        "S 4-nib",
+        "(p)",
+        "T 1-nib",
+        "(p)",
+        "T 2-nib",
+        "(p)",
+        "T 4-nib",
+        "(p)",
     ]);
     let mut sums = [0.0f64; 6];
     let mut counted = 0usize;

@@ -1,9 +1,15 @@
 //! Regenerates the paper's Table 4: reporting overhead for 4-nibble
 //! processing across Sunder (with/without FIFO), the AP, and AP+RAD.
 //!
-//! Usage: `cargo run -p sunder-bench --release --bin table4 [--small]`
+//! Usage: `cargo run -p sunder-bench --release --bin table4 [--small]
+//! [--workers N]`
+//!
+//! Benchmarks run in parallel (one work item per benchmark, dynamically
+//! scheduled); rows merge in benchmark order, so the output is identical
+//! for any worker count.
 
 use sunder_bench::harness::run_table4;
+use sunder_bench::parallel::{run_indexed, workers_from_args};
 use sunder_bench::table::TextTable;
 use sunder_workloads::{Benchmark, Scale};
 
@@ -32,8 +38,14 @@ const PAPER: [(&str, u64, f64, u64, f64, f64, f64); 19] = [
 ];
 
 fn main() {
-    let small = std::env::args().any(|a| a == "--small");
-    let scale = if small { Scale::small() } else { Scale::paper() };
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let workers = workers_from_args(&args);
+    let scale = if small {
+        Scale::small()
+    } else {
+        Scale::paper()
+    };
     println!(
         "Table 4: reporting overhead for four-nibble processing ({} scale)",
         if small { "small" } else { "paper" }
@@ -56,10 +68,12 @@ fn main() {
         "(p)",
     ]);
 
+    let rows = run_indexed(&Benchmark::ALL, workers, |_, bench| {
+        run_table4(&bench.build(scale))
+    });
+
     let mut sums = [0.0f64; 4]; // sunder, fifo, ap, rad
-    for (bench, paper) in Benchmark::ALL.iter().zip(PAPER.iter()) {
-        let w = bench.build(scale);
-        let row = run_table4(&w);
+    for ((bench, paper), row) in Benchmark::ALL.iter().zip(PAPER.iter()).zip(rows) {
         sums[0] += row.sunder_overhead;
         sums[1] += row.fifo_overhead;
         sums[2] += row.ap_overhead;

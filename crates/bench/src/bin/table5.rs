@@ -7,7 +7,8 @@ use sunder_bench::table::TextTable;
 use sunder_tech::PipelineTiming;
 
 fn opt(v: Option<f64>) -> String {
-    v.map(|x| format!("{x:.0} ps")).unwrap_or_else(|| "-".into())
+    v.map(|x| format!("{x:.0} ps"))
+        .unwrap_or_else(|| "-".into())
 }
 
 fn main() {

@@ -90,7 +90,11 @@ mod tests {
         let row = run_table4(&w);
         assert!(row.sunder_overhead < row.ap_overhead);
         assert!(row.rad_overhead < row.ap_overhead);
-        assert!(row.ap_overhead > 5.0, "AP must melt on Snort: {}", row.ap_overhead);
+        assert!(
+            row.ap_overhead > 5.0,
+            "AP must melt on Snort: {}",
+            row.ap_overhead
+        );
         assert!(row.fifo_overhead <= row.sunder_overhead);
         assert_eq!(row.fifo_overhead, 1.0);
     }

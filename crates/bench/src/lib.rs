@@ -6,4 +6,5 @@
 #![forbid(unsafe_code)]
 
 pub mod harness;
+pub mod parallel;
 pub mod table;

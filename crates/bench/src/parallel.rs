@@ -1,0 +1,143 @@
+//! Deterministic parallel execution of independent benchmark work items.
+//!
+//! The table and suite binaries run the 19-benchmark suite; every
+//! benchmark is independent, so they fan out across scoped threads.
+//! Workers claim items from a shared atomic counter (dynamic load
+//! balancing — workload sizes vary by 50x), collect `(index, result)`
+//! pairs locally, and the merge step reassembles results **by item
+//! index**, so the output is byte-identical regardless of worker count or
+//! scheduling order.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker count to use by default: the machine's available parallelism,
+/// overridable with `--workers N` in the bench binaries.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Parses a `--workers N` override out of a raw argument list, falling
+/// back to [`default_workers`].
+pub fn workers_from_args<S: AsRef<str>>(args: &[S]) -> usize {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a.as_ref() == "--workers" {
+            if let Some(n) = it.next().and_then(|v| v.as_ref().parse::<usize>().ok()) {
+                return n.max(1);
+            }
+        }
+    }
+    default_workers()
+}
+
+/// Applies `f` to every item on up to `workers` scoped threads and
+/// returns the results in item order.
+///
+/// Scheduling is dynamic (atomic work claiming) but the merged output is
+/// deterministic: result `i` always corresponds to `items[i]`. With
+/// `workers == 1` everything runs on the calling thread with no thread
+/// spawned at all, so single-core runs pay no overhead.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker (the scope joins all threads
+/// first).
+pub fn run_indexed<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, f(i, item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("benchmark worker panicked"))
+            .collect()
+    });
+
+    // Merge by item index: order is independent of scheduling.
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for local in &mut collected {
+        for (i, r) in local.drain(..) {
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every item claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn results_are_in_item_order_for_any_worker_count() {
+        let items: Vec<u64> = (0..57).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let got = run_indexed(&items, workers, |_, &x| x * x);
+            assert_eq!(got, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counts: Vec<AtomicU32> = (0..23).map(|_| AtomicU32::new(0)).collect();
+        let items: Vec<usize> = (0..counts.len()).collect();
+        run_indexed(&items, 4, |i, _| counts[i].fetch_add(1, Ordering::Relaxed));
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "item {i}");
+        }
+    }
+
+    #[test]
+    fn index_matches_item() {
+        let items: Vec<usize> = (0..31).collect();
+        let got = run_indexed(&items, 5, |i, &x| (i, x));
+        for (i, &(gi, gx)) in got.iter().enumerate() {
+            assert_eq!((gi, gx), (i, i));
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_edge_cases() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(run_indexed(&empty, 8, |_, &x| x).is_empty());
+        assert_eq!(run_indexed(&[7u32], 8, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn workers_arg_parsing() {
+        assert_eq!(workers_from_args(&["--workers", "3"]), 3);
+        assert_eq!(workers_from_args(&["--small", "--workers", "2"]), 2);
+        assert_eq!(workers_from_args(&["--workers", "0"]), 1);
+        assert_eq!(workers_from_args(&["--workers"]), default_workers());
+        let none: [&str; 0] = [];
+        assert_eq!(workers_from_args(&none), default_workers());
+    }
+}

@@ -41,6 +41,21 @@ use sunder_automata::{AutomataError, Nfa};
 use sunder_sim::{ReportEvent, ReportSink};
 use sunder_transform::{transform_to_rate_with, Rate, TransformOptions};
 
+pub use sunder_sim::EngineKind;
+
+/// Which execution model a [`Session`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecBackend {
+    /// The cycle-level [`SunderMachine`]: placement, reporting regions,
+    /// stalls — the full architecture model. The default.
+    #[default]
+    CycleAccurate,
+    /// A functional engine from `sunder-sim` (sparse, dense bit-parallel,
+    /// or adaptive): same reports, no microarchitectural bookkeeping.
+    /// Orders of magnitude faster for report-trace collection.
+    Functional(EngineKind),
+}
+
 /// Errors from the end-to-end engine.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -102,6 +117,7 @@ impl From<PlacementError> for CoreError {
 pub struct EngineBuilder {
     config: SunderConfig,
     options: TransformOptions,
+    backend: ExecBackend,
 }
 
 impl EngineBuilder {
@@ -130,11 +146,20 @@ impl EngineBuilder {
         self
     }
 
+    /// Selects the execution backend (default: the cycle-accurate
+    /// machine). `ExecBackend::Functional(EngineKind::Adaptive)` runs the
+    /// density-adaptive functional engine instead.
+    pub fn backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Finalizes the engine.
     pub fn build(self) -> Engine {
         Engine {
             config: self.config,
             options: self.options,
+            backend: self.backend,
         }
     }
 }
@@ -144,6 +169,7 @@ impl EngineBuilder {
 pub struct Engine {
     config: SunderConfig,
     options: TransformOptions,
+    backend: ExecBackend,
 }
 
 impl Default for Engine {
@@ -158,7 +184,13 @@ impl Engine {
         EngineBuilder {
             config: SunderConfig::default(),
             options: TransformOptions::default(),
+            backend: ExecBackend::default(),
         }
+    }
+
+    /// The execution backend this engine's sessions use.
+    pub fn backend(&self) -> ExecBackend {
+        self.backend
     }
 
     /// The machine configuration this engine uses.
@@ -200,7 +232,11 @@ impl Engine {
     /// Panics if the automaton is not 4-bit or its stride does not match
     /// the engine's configured rate.
     pub fn compile_precompiled(&self, strided: Nfa) -> Program {
-        assert_eq!(strided.symbol_bits(), 4, "precompiled programs are nibble automata");
+        assert_eq!(
+            strided.symbol_bits(),
+            4,
+            "precompiled programs are nibble automata"
+        );
         assert_eq!(
             strided.stride(),
             self.config.rate.nibbles_per_cycle(),
@@ -225,6 +261,11 @@ impl Engine {
         Ok(Session {
             machine,
             rate: self.config.rate,
+            backend: self.backend,
+            strided: match self.backend {
+                ExecBackend::CycleAccurate => None,
+                ExecBackend::Functional(_) => Some(program.automaton().clone()),
+            },
         })
     }
 }
@@ -287,6 +328,10 @@ pub struct Outcome {
 pub struct Session {
     machine: SunderMachine,
     rate: Rate,
+    backend: ExecBackend,
+    /// Owned copy of the program automaton, held only when the functional
+    /// backend is selected (the functional engines borrow it per run).
+    strided: Option<Nfa>,
 }
 
 impl Session {
@@ -318,7 +363,28 @@ impl Session {
         sink: &mut S,
     ) -> Result<RunStats, CoreError> {
         let view = InputView::new(input, 4, self.rate.nibbles_per_cycle())?;
-        Ok(self.machine.run(&view, sink))
+        match self.backend {
+            ExecBackend::CycleAccurate => Ok(self.machine.run(&view, sink)),
+            ExecBackend::Functional(kind) => {
+                let nfa = self
+                    .strided
+                    .as_ref()
+                    .expect("functional sessions hold the program automaton");
+                let mut engine = kind.build(nfa);
+                let mut tee = CountingTee::new(sink);
+                engine.run(&view, &mut tee);
+                // Functional engines model no reporting architecture:
+                // kernel cycles only, zero stalls/flushes, and one region
+                // entry per reporting cycle is not simulated.
+                Ok(RunStats {
+                    input_cycles: view.num_cycles() as u64,
+                    reports: tee.reports,
+                    report_cycles: tee.report_cycles,
+                    active_state_cycles: tee.active_state_cycles,
+                    ..RunStats::default()
+                })
+            }
+        }
     }
 
     /// The underlying machine (host reporting interface: summarization,
@@ -333,6 +399,9 @@ impl Session {
     /// This is the paper's *report summarization*: the host learns "did
     /// rule X fire since the last flush" without streaming the
     /// cycle-accurate log out.
+    ///
+    /// Only the cycle-accurate backend fills reporting regions; under a
+    /// functional backend this returns the empty set.
     pub fn summarize_matched_rules(&mut self) -> BTreeSet<u32> {
         let mut rules = BTreeSet::new();
         for pu in 0..self.machine.num_pus() {
@@ -350,6 +419,47 @@ impl Session {
             }
         }
         rules
+    }
+}
+
+/// Forwards every sink callback unchanged while counting what the
+/// synthesized [`RunStats`] of a functional run needs.
+struct CountingTee<'s, S: ReportSink> {
+    inner: &'s mut S,
+    reports: u64,
+    report_cycles: u64,
+    active_state_cycles: u64,
+}
+
+impl<'s, S: ReportSink> CountingTee<'s, S> {
+    fn new(inner: &'s mut S) -> Self {
+        CountingTee {
+            inner,
+            reports: 0,
+            report_cycles: 0,
+            active_state_cycles: 0,
+        }
+    }
+}
+
+impl<S: ReportSink> ReportSink for CountingTee<'_, S> {
+    fn on_cycle_reports(&mut self, cycle: u64, reports: &[ReportEvent]) {
+        self.reports += reports.len() as u64;
+        self.report_cycles += 1;
+        self.inner.on_cycle_reports(cycle, reports);
+    }
+
+    fn on_cycle_activity(&mut self, cycle: u64, active_states: usize) {
+        self.active_state_cycles += active_states as u64;
+        self.inner.on_cycle_activity(cycle, active_states);
+    }
+
+    fn wants_active_states(&self) -> bool {
+        self.inner.wants_active_states()
+    }
+
+    fn on_active_states(&mut self, cycle: u64, active: &[sunder_automata::StateId]) {
+        self.inner.on_active_states(cycle, active);
     }
 }
 
@@ -420,6 +530,36 @@ mod tests {
         let rules = session.summarize_matched_rules();
         assert!(rules.contains(&0));
         assert!(!rules.contains(&1));
+    }
+
+    #[test]
+    fn functional_backends_agree_with_machine() {
+        let patterns = ["beta[0-9]?", "gamma", "a+b"];
+        let input = b"alpha beta 42 gamma beta7 aab";
+        let reference = {
+            let engine = Engine::builder().rate(Rate::Nibble2).build();
+            let program = engine.compile_patterns(&patterns).unwrap();
+            let mut session = engine.load(&program).unwrap();
+            session.run(input).unwrap()
+        };
+        for kind in EngineKind::ALL {
+            let engine = Engine::builder()
+                .rate(Rate::Nibble2)
+                .backend(ExecBackend::Functional(kind))
+                .build();
+            assert_eq!(engine.backend(), ExecBackend::Functional(kind));
+            let program = engine.compile_patterns(&patterns).unwrap();
+            let mut session = engine.load(&program).unwrap();
+            let outcome = session.run(input).unwrap();
+            assert_eq!(outcome.reports, reference.reports, "{kind}");
+            assert_eq!(outcome.report_cycles, reference.report_cycles, "{kind}");
+            assert_eq!(outcome.matched_rules, reference.matched_rules, "{kind}");
+            assert_eq!(
+                outcome.stats.input_cycles, reference.stats.input_cycles,
+                "{kind}"
+            );
+            assert_eq!(outcome.stats.stall_cycles, 0, "{kind}");
+        }
     }
 
     #[test]

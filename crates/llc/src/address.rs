@@ -133,7 +133,10 @@ mod tests {
         let mut distinct = s.clone();
         distinct.sort_unstable();
         distinct.dedup();
-        assert!(distinct.len() > 1, "hash must not map a whole page to one slice");
+        assert!(
+            distinct.len() > 1,
+            "hash must not map a whole page to one slice"
+        );
     }
 
     #[test]

@@ -144,9 +144,7 @@ impl HostBridge {
         let loc = self.pu_location(index);
         let first_line = config.matching_rows() / ROWS_PER_LINE;
         for line in first_line..LINES_PER_PU {
-            let data = self
-                .llc
-                .read_array_line(loc.slice, loc.way, loc.set + line);
+            let data = self.llc.read_array_line(loc.slice, loc.way, loc.set + line);
             self.dram_spill.push(data);
             self.traffic.lines_flushed += 1;
         }
@@ -158,9 +156,7 @@ impl HostBridge {
         let loc = self.pu_location(index);
         let mut out = Subarray::new();
         for line in 0..LINES_PER_PU {
-            let data = self
-                .llc
-                .read_array_line(loc.slice, loc.way, loc.set + line);
+            let data = self.llc.read_array_line(loc.slice, loc.way, loc.set + line);
             self.traffic.lines_loaded += 1;
             for r in 0..ROWS_PER_LINE {
                 let off = r * ROW_BYTES;

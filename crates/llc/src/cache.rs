@@ -97,7 +97,9 @@ impl SlicedLlc {
 
     /// Total automata-mode capacity in bytes.
     pub fn automata_bytes(&self) -> u64 {
-        self.partition.sunder.ways() as u64 * self.geometry.sets as u64 * LINE_BYTES
+        self.partition.sunder.ways() as u64
+            * self.geometry.sets as u64
+            * LINE_BYTES
             * self.slices.len() as u64
     }
 
@@ -230,10 +232,7 @@ mod tests {
     fn llc() -> SlicedLlc {
         SlicedLlc::new(
             4,
-            SliceGeometry {
-                sets: 64,
-                ways: 8,
-            },
+            SliceGeometry { sets: 64, ways: 8 },
             WayPartition::split(8, 4),
         )
     }

@@ -27,7 +27,7 @@ impl WayMask {
 
     /// The lowest `n` ways.
     pub fn low(n: u32) -> Self {
-        assert!(n >= 1 && n <= 32, "way count out of range");
+        assert!((1..=32).contains(&n), "way count out of range");
         WayMask(if n == 32 { u32::MAX } else { (1 << n) - 1 })
     }
 
@@ -35,7 +35,11 @@ impl WayMask {
     pub fn range(from: u32, to: u32) -> Self {
         assert!(from < to && to <= 32, "invalid way range");
         let width = to - from;
-        let bits = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+        let bits = if width == 32 {
+            u32::MAX
+        } else {
+            (1 << width) - 1
+        };
         WayMask(bits << from)
     }
 

@@ -1,0 +1,447 @@
+//! Runtime engine selection by frontier density.
+//!
+//! Neither execution strategy dominates: the sparse engine's cycle cost is
+//! proportional to the candidate count (frontier × fan-out plus starts),
+//! the dense engine's to the state-vector width in words. Cold rule sets
+//! (ExactMatch-style: everything anchored behind bytes that rarely occur)
+//! keep the frontier near zero and sparse wins; high-activity workloads
+//! (Snort's hot classes, the Hamming/Levenshtein meshes) keep a sizable
+//! fraction of the automaton lit and dense wins.
+//!
+//! [`AdaptiveEngine`] runs the sparse engine, samples the frontier size
+//! over a fixed window, and compares the two cost models; when the dense
+//! model is cheaper by a hysteresis margin it builds the dense twin
+//! (once, lazily), hands the live frontier across, and continues
+//! bit-parallel — and switches back the same way if the workload cools.
+
+use sunder_automata::input::InputView;
+use sunder_automata::{AutomataError, Nfa, StateId};
+
+use crate::dense::DenseEngine;
+use crate::engine::Simulator;
+use crate::exec::Engine;
+use crate::sink::ReportSink;
+
+/// Frontier-size samples per selection decision.
+const WINDOW: u32 = 64;
+
+/// Cost-model constants, in nanoseconds per cycle. Fitted to measured
+/// per-cycle times of both engines across the 19-benchmark suite
+/// (`suite --small`, see `BENCH_engine.json`): the dense engine costs a
+/// fixed base plus ~5 ns per state-vector word plus ~0.7 ns per
+/// word-sized OR of an active state's successor row; the sparse engine
+/// costs a base plus ~7 ns per candidate (frontier × fan-out, with a
+/// charset probe per stride position). Absolute values only matter
+/// relative to each other, so the fit transfers across similar hosts.
+const SPARSE_BASE_NS: f64 = 7.0;
+const SPARSE_CANDIDATE_NS: f64 = 6.0;
+const DENSE_BASE_NS: f64 = 2.0;
+const DENSE_WORD_NS: f64 = 3.0;
+const DENSE_ACTIVE_WORD_NS: f64 = 0.35;
+
+/// Switch-to-dense threshold: dense must model at least this much cheaper.
+const ENTER_DENSE: f64 = 0.7;
+
+/// Switch-to-sparse threshold: dense must model at least this much more
+/// expensive. The gap between the two is the hysteresis band that stops
+/// the selector from thrashing at the break-even point.
+const EXIT_DENSE: f64 = 1.3;
+
+/// Largest dense table the selector will build on its own (64 MiB).
+/// Explicitly constructing a [`DenseEngine`] bypasses the budget.
+const TABLE_BUDGET_BYTES: usize = 64 << 20;
+
+/// An engine that switches between sparse and dense execution per
+/// automaton, based on sampled frontier density.
+///
+/// Produces the same report traces as both underlying engines.
+///
+/// # Examples
+///
+/// ```
+/// use sunder_automata::regex::compile_regex;
+/// use sunder_automata::InputView;
+/// use sunder_sim::{AdaptiveEngine, TraceSink};
+///
+/// let nfa = compile_regex(".*ab", 0)?;
+/// let input = InputView::new(b"zzabzab", 8, 1)?;
+/// let mut engine = AdaptiveEngine::new(&nfa);
+/// let mut trace = TraceSink::new();
+/// engine.run(&input, &mut trace);
+/// assert_eq!(trace.cycle_id_pairs(), vec![(3, 0), (6, 0)]);
+/// # Ok::<(), sunder_automata::AutomataError>(())
+/// ```
+#[derive(Debug)]
+pub struct AdaptiveEngine<'a> {
+    nfa: &'a Nfa,
+    sparse: Simulator<'a>,
+    /// Built lazily on the first switch; kept for later re-entries.
+    dense: Option<DenseEngine<'a>>,
+    in_dense: bool,
+    /// Frontier sizes accumulated over the current window.
+    window_active: u64,
+    window_cycles: u32,
+    /// Average out-degree, for the sparse cost model.
+    fanout: f64,
+    /// State-vector width in words, for the dense cost model.
+    words: usize,
+    dense_affordable: bool,
+    switches: u32,
+    /// Scratch for frontier hand-over.
+    frontier: Vec<StateId>,
+}
+
+impl<'a> AdaptiveEngine<'a> {
+    /// Prepares an adaptive engine; only the sparse half is built up
+    /// front, so construction costs the same as [`Simulator::new`].
+    pub fn new(nfa: &'a Nfa) -> Self {
+        let n = nfa.num_states();
+        let fanout = if n == 0 {
+            0.0
+        } else {
+            nfa.num_transitions() as f64 / n as f64
+        };
+        AdaptiveEngine {
+            nfa,
+            sparse: Simulator::new(nfa),
+            dense: None,
+            in_dense: false,
+            window_active: 0,
+            window_cycles: 0,
+            fanout,
+            words: n.div_ceil(64),
+            dense_affordable: n > 0 && DenseEngine::table_bytes(nfa) <= TABLE_BUDGET_BYTES,
+            switches: 0,
+            frontier: Vec::new(),
+        }
+    }
+
+    /// The automaton being executed.
+    pub fn nfa(&self) -> &Nfa {
+        self.nfa
+    }
+
+    /// Cycles executed so far.
+    pub fn cycle(&self) -> u64 {
+        if self.in_dense {
+            self.dense.as_ref().expect("dense engine in use").cycle()
+        } else {
+            self.sparse.cycle()
+        }
+    }
+
+    /// Number of states active after the last step.
+    pub fn active_count(&self) -> usize {
+        if self.in_dense {
+            self.dense
+                .as_ref()
+                .expect("dense engine in use")
+                .active_count()
+        } else {
+            self.sparse.active_states().len()
+        }
+    }
+
+    /// `true` while the dense engine is driving.
+    pub fn is_dense(&self) -> bool {
+        self.in_dense
+    }
+
+    /// How many sparse↔dense hand-overs have happened so far.
+    pub fn switch_count(&self) -> u32 {
+        self.switches
+    }
+
+    /// Resets to the initial configuration (cycle 0, empty frontier,
+    /// sparse mode). The dense tables, if already built, are kept.
+    pub fn reset(&mut self) {
+        self.sparse.reset();
+        if let Some(d) = &mut self.dense {
+            d.reset();
+        }
+        self.in_dense = false;
+        self.window_active = 0;
+        self.window_cycles = 0;
+        self.switches = 0;
+    }
+
+    /// Modeled per-cycle costs `(sparse, dense)` in nanoseconds at the
+    /// given average frontier size.
+    fn modeled_costs(&self, avg_active: f64) -> (f64, f64) {
+        let stride = self.nfa.stride() as f64;
+        let sparse =
+            SPARSE_BASE_NS + avg_active * (1.0 + self.fanout) * SPARSE_CANDIDATE_NS * stride;
+        // Each extra stride position is one more accept-row AND pass.
+        let dense = DENSE_BASE_NS
+            + self.words as f64
+                * (DENSE_WORD_NS + (stride - 1.0) + DENSE_ACTIVE_WORD_NS * avg_active);
+        (sparse, dense)
+    }
+
+    /// End-of-window decision: switch representations when the other cost
+    /// model is decisively cheaper.
+    fn maybe_switch(&mut self) {
+        let avg_active = self.window_active as f64 / f64::from(self.window_cycles.max(1));
+        self.window_active = 0;
+        self.window_cycles = 0;
+        let (sparse_cost, dense_cost) = self.modeled_costs(avg_active);
+        if !self.in_dense {
+            if self.dense_affordable && dense_cost < ENTER_DENSE * sparse_cost {
+                let dense = self.dense.get_or_insert_with(|| DenseEngine::new(self.nfa));
+                dense.load_frontier(self.sparse.active_states(), self.sparse.cycle());
+                self.in_dense = true;
+                self.switches += 1;
+            }
+        } else if dense_cost > EXIT_DENSE * sparse_cost {
+            let dense = self.dense.as_mut().expect("dense engine in use");
+            self.frontier.clear();
+            dense.export_frontier(&mut self.frontier);
+            self.sparse.load_frontier(&self.frontier, dense.cycle());
+            self.in_dense = false;
+            self.switches += 1;
+        }
+    }
+
+    /// Executes one cycle on the currently selected engine.
+    ///
+    /// Returns the number of active states after the cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in all build profiles) if the vector length does not match
+    /// the automaton's stride.
+    pub fn step<S: ReportSink + ?Sized>(
+        &mut self,
+        vector: &[u16],
+        valid: usize,
+        sink: &mut S,
+    ) -> usize {
+        let count = if self.in_dense {
+            self.dense
+                .as_mut()
+                .expect("dense engine in use")
+                .step(vector, valid, sink)
+        } else {
+            self.sparse.step(vector, valid, sink)
+        };
+        self.window_active += count as u64;
+        self.window_cycles += 1;
+        if self.window_cycles >= WINDOW {
+            self.maybe_switch();
+        }
+        count
+    }
+
+    /// Runs the whole input stream, allocation-free in steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view's stride does not match the automaton's; see
+    /// [`AdaptiveEngine::try_run`] for the fallible form.
+    pub fn run<S: ReportSink + ?Sized>(&mut self, input: &InputView, sink: &mut S) {
+        self.try_run(input, sink)
+            .expect("input view stride must match the automaton stride");
+    }
+
+    /// Runs the whole input stream, reporting a stride mismatch as an
+    /// error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::StrideMismatch`] if the view was built for
+    /// a different stride than the automaton's.
+    pub fn try_run<S: ReportSink + ?Sized>(
+        &mut self,
+        input: &InputView,
+        sink: &mut S,
+    ) -> Result<(), AutomataError> {
+        if input.stride() != self.nfa.stride() {
+            return Err(AutomataError::StrideMismatch {
+                expected: self.nfa.stride(),
+                found: input.stride(),
+            });
+        }
+        // Drain each window in a loop specialized to the current mode:
+        // hoisting the mode branch out of the cycle loop keeps the
+        // selector's overhead off the per-cycle path, which matters when a
+        // cold sparse cycle is only a few nanoseconds.
+        let mut it = input.iter_ref();
+        loop {
+            let budget = WINDOW - self.window_cycles;
+            let mut done = 0u32;
+            let mut acc = 0u64;
+            if self.in_dense {
+                let dense = self.dense.as_mut().expect("dense engine in use");
+                while done < budget {
+                    let Some(v) = it.next() else { break };
+                    acc += dense.step(v.symbols, v.valid, sink) as u64;
+                    done += 1;
+                }
+            } else {
+                while done < budget {
+                    let Some(v) = it.next() else { break };
+                    acc += self.sparse.step(v.symbols, v.valid, sink) as u64;
+                    done += 1;
+                }
+            }
+            self.window_active += acc;
+            self.window_cycles += done;
+            if done < budget {
+                return Ok(()); // input exhausted mid-window
+            }
+            self.maybe_switch();
+        }
+    }
+}
+
+impl Engine for AdaptiveEngine<'_> {
+    fn nfa(&self) -> &Nfa {
+        AdaptiveEngine::nfa(self)
+    }
+
+    fn cycle(&self) -> u64 {
+        AdaptiveEngine::cycle(self)
+    }
+
+    fn active_count(&self) -> usize {
+        AdaptiveEngine::active_count(self)
+    }
+
+    fn reset(&mut self) {
+        AdaptiveEngine::reset(self);
+    }
+
+    fn step(&mut self, vector: &[u16], valid: usize, sink: &mut dyn ReportSink) -> usize {
+        AdaptiveEngine::step(self, vector, valid, sink)
+    }
+
+    // Statically dispatched loop: one virtual call per run, not per cycle.
+    fn run(&mut self, input: &InputView, sink: &mut dyn ReportSink) {
+        AdaptiveEngine::run(self, input, sink);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::TraceSink;
+    use sunder_automata::regex::compile_rule_set;
+    use sunder_automata::{StartKind, Ste, SymbolSet};
+
+    fn traces_agree(nfa: &Nfa, input: &InputView) {
+        let mut sparse = Simulator::new(nfa);
+        let mut ts = TraceSink::new();
+        sparse.run(input, &mut ts);
+        let mut adaptive = AdaptiveEngine::new(nfa);
+        let mut ta = TraceSink::new();
+        adaptive.run(input, &mut ta);
+        assert_eq!(ts.events, ta.events);
+    }
+
+    #[test]
+    fn agrees_with_sparse_on_rule_sets() {
+        let nfa = compile_rule_set(&["cat", "do[gt]", ".*zz"]).unwrap();
+        let input = InputView::new(b"the cat dozes; the dog had a pizza zz", 8, 1).unwrap();
+        traces_agree(&nfa, &input);
+    }
+
+    #[test]
+    fn switches_to_dense_on_hot_automata() {
+        // Every state matches every symbol: the whole automaton stays lit,
+        // so the dense model must win within a few windows.
+        let mut nfa = Nfa::new(4);
+        let mut ids = Vec::new();
+        for i in 0..128u32 {
+            let ste = Ste::new(SymbolSet::full(4)).start(StartKind::AllInput);
+            let ste = if i % 7 == 0 { ste.report(i) } else { ste };
+            ids.push(nfa.add_state(ste));
+        }
+        for w in ids.windows(2) {
+            nfa.add_edge(w[0], w[1]);
+        }
+        let input = InputView::from_symbols(vec![3; 1024], 1);
+        let mut adaptive = AdaptiveEngine::new(&nfa);
+        let mut trace = TraceSink::new();
+        adaptive.run(&input, &mut trace);
+        assert!(adaptive.is_dense(), "hot workload must go dense");
+        assert!(adaptive.switch_count() >= 1);
+        // And the trace still matches the sparse engine exactly.
+        let mut sparse = Simulator::new(&nfa);
+        let mut ts = TraceSink::new();
+        sparse.run(&input, &mut ts);
+        assert_eq!(ts.events, trace.events);
+    }
+
+    #[test]
+    fn stays_sparse_on_large_cold_automata() {
+        // A large automaton (many state-vector words) whose states match
+        // bytes that never occur: the frontier stays ~0, so the sparse
+        // model stays far below the dense per-cycle word cost. (Tiny cold
+        // automata may legitimately go dense — one word is cheap.)
+        let mut nfa = Nfa::new(8);
+        for _ in 0..2048 {
+            nfa.add_state(Ste::new(SymbolSet::singleton(8, 200)).start(StartKind::AllInput));
+        }
+        let input = InputView::new(&vec![b'a'; 4096], 8, 1).unwrap();
+        let mut adaptive = AdaptiveEngine::new(&nfa);
+        adaptive.run(&input, &mut crate::NullSink);
+        assert!(!adaptive.is_dense(), "cold workload must stay sparse");
+        assert_eq!(adaptive.switch_count(), 0);
+    }
+
+    #[test]
+    fn reset_returns_to_sparse() {
+        let mut nfa = Nfa::new(4);
+        for _ in 0..128 {
+            nfa.add_state(Ste::new(SymbolSet::full(4)).start(StartKind::AllInput));
+        }
+        let input = InputView::from_symbols(vec![1; 512], 1);
+        let mut adaptive = AdaptiveEngine::new(&nfa);
+        adaptive.run(&input, &mut crate::NullSink);
+        assert!(adaptive.is_dense());
+        adaptive.reset();
+        assert!(!adaptive.is_dense());
+        assert_eq!(adaptive.cycle(), 0);
+        assert_eq!(adaptive.active_count(), 0);
+    }
+
+    #[test]
+    fn mid_stream_switch_preserves_cross_boundary_matches() {
+        // A chain long enough that a match spans the switch window: the
+        // frontier hand-over must not lose partial progress. Hot starts
+        // force the switch while the chain is mid-match.
+        let mut nfa = Nfa::new(4);
+        for _ in 0..96 {
+            nfa.add_state(Ste::new(SymbolSet::full(4)).start(StartKind::AllInput));
+        }
+        // The chain: 70 singleton states for symbol 2, report at the end.
+        let mut prev = None;
+        for i in 0..70u32 {
+            let mut ste = Ste::new(SymbolSet::singleton(4, 2));
+            if i == 0 {
+                ste = ste.start(StartKind::AllInput);
+            }
+            if i == 69 {
+                ste = ste.report(99);
+            }
+            let id = nfa.add_state(ste);
+            if let Some(p) = prev {
+                nfa.add_edge(p, id);
+            }
+            prev = Some(id);
+        }
+        let input = InputView::from_symbols(vec![2; 300], 1);
+        traces_agree(&nfa, &input);
+    }
+
+    #[test]
+    fn empty_automaton() {
+        let nfa = Nfa::new(8);
+        let input = InputView::new(b"abc", 8, 1).unwrap();
+        let mut adaptive = AdaptiveEngine::new(&nfa);
+        let mut trace = TraceSink::new();
+        adaptive.run(&input, &mut trace);
+        assert!(trace.events.is_empty());
+        assert_eq!(adaptive.cycle(), 3);
+    }
+}

@@ -1,0 +1,646 @@
+//! The bit-parallel dense engine.
+//!
+//! Where [`Simulator`](crate::Simulator) walks a sparse frontier state by
+//! state, this engine keeps the whole state set as a bit vector of
+//! `ceil(n/64)` machine words and evaluates every state each cycle with a
+//! handful of word-wide operations — the software analogue of the Sunder
+//! subarray, which reads one full match-vector row per symbol and ANDs it
+//! with the active-successor vector (paper, Figure 1):
+//!
+//! * **Accept masks** — for each stride position `j` and symbol `s`, a
+//!   precomputed bit vector of the states whose charset at `j` contains
+//!   `s` (the subarray's stored row). Built once from each state's
+//!   [`SymbolSet`] membership words.
+//! * **Successor rows** — for each state, the bit vector of its successors
+//!   (the interconnect). The candidate set is the OR of the rows of the
+//!   active states, plus the start vectors on enabled cycles.
+//! * **One cycle** is then `active' = (succ(active) | starts) & accept[v₀]
+//!   & … & accept[vₖ₋₁]`, and reports are extracted from
+//!   `active' & report_mask` with `trailing_zeros` scans.
+//!
+//! Cost per cycle is `O(active·w + stride·w)` words (`w = ceil(n/64)`),
+//! independent of fan-out, candidate count, and charset shape — dense wins
+//! exactly when the frontier is a sizable fraction of the automaton, which
+//! is what the high-activity benchmarks (Snort's hot classes, the
+//! Hamming/Levenshtein meshes) look like.
+
+use sunder_automata::input::InputView;
+use sunder_automata::{AutomataError, Nfa, StartKind, StateId};
+
+use crate::exec::Engine;
+use crate::sink::{ReportEvent, ReportSink};
+
+/// Bit-parallel cycle-by-cycle executor for one automaton.
+///
+/// Produces byte-identical report traces to [`crate::Simulator`]: same
+/// cycles, same states, same in-cycle (state-ascending) order.
+///
+/// # Examples
+///
+/// ```
+/// use sunder_automata::regex::compile_regex;
+/// use sunder_automata::InputView;
+/// use sunder_sim::{DenseEngine, TraceSink};
+///
+/// let nfa = compile_regex("ab", 9)?;
+/// let input = InputView::new(b"xxabx", 8, 1)?;
+/// let mut engine = DenseEngine::new(&nfa);
+/// let mut trace = TraceSink::new();
+/// engine.run(&input, &mut trace);
+/// assert_eq!(trace.cycle_id_pairs(), vec![(3, 9)]);
+/// # Ok::<(), sunder_automata::AutomataError>(())
+/// ```
+#[derive(Debug)]
+pub struct DenseEngine<'a> {
+    nfa: &'a Nfa,
+    /// Words per state bit vector: `ceil(num_states / 64)`.
+    words: usize,
+    alphabet: usize,
+    /// Accept masks, `stride × alphabet` rows of `words` words each:
+    /// row `(j, s)` marks the states whose charset at position `j`
+    /// contains symbol `s`.
+    accept: Vec<u64>,
+    /// Per position `j`: the states whose charset at `j` is full (don't
+    /// care). Used in place of an accept row for end-of-stream padding.
+    pad_full: Vec<u64>,
+    /// Successor rows, one `words`-wide row per state.
+    succ: Vec<u64>,
+    /// States with at least one successor (skip mask for the OR loop).
+    has_succ: Vec<u64>,
+    start_allinput: Vec<u64>,
+    start_sod: Vec<u64>,
+    report_mask: Vec<u64>,
+    /// Cached `nfa.start_period()`, hoisted out of the cycle loop.
+    start_period: u64,
+    active: Vec<u64>,
+    /// Scratch: candidate vector for the current cycle.
+    next: Vec<u64>,
+    active_count: usize,
+    cycle: u64,
+    /// Scratch: reports for the current cycle.
+    reports: Vec<ReportEvent>,
+    /// Scratch: materialized frontier for sinks that want it.
+    active_list: Vec<StateId>,
+}
+
+impl<'a> DenseEngine<'a> {
+    /// Precomputes the accept masks and successor matrix for the automaton.
+    pub fn new(nfa: &'a Nfa) -> Self {
+        let n = nfa.num_states();
+        let words = n.div_ceil(64);
+        let alphabet = 1usize << nfa.symbol_bits();
+        let stride = nfa.stride();
+
+        let mut accept = vec![0u64; stride * alphabet * words];
+        let mut pad_full = vec![0u64; stride * words];
+        let mut succ = vec![0u64; n * words];
+        let mut has_succ = vec![0u64; words];
+        let mut start_allinput = vec![0u64; words];
+        let mut start_sod = vec![0u64; words];
+        let mut report_mask = vec![0u64; words];
+
+        for (id, ste) in nfa.states() {
+            let i = id.index();
+            let (word, bit) = (i / 64, 1u64 << (i % 64));
+            for (j, cs) in ste.charsets().iter().enumerate() {
+                // One column bit per member symbol, straight from the
+                // charset's membership words.
+                cs.for_each_symbol(|sym| {
+                    accept[(j * alphabet + sym as usize) * words + word] |= bit;
+                });
+                if cs.is_full() {
+                    pad_full[j * words + word] |= bit;
+                }
+            }
+            match ste.start_kind() {
+                StartKind::AllInput => start_allinput[word] |= bit,
+                StartKind::StartOfData => start_sod[word] |= bit,
+                StartKind::None => {}
+            }
+            if ste.is_reporting() {
+                report_mask[word] |= bit;
+            }
+            if !nfa.successors(id).is_empty() {
+                has_succ[word] |= bit;
+                let row = &mut succ[i * words..(i + 1) * words];
+                for t in nfa.successors(id) {
+                    row[t.index() / 64] |= 1u64 << (t.index() % 64);
+                }
+            }
+        }
+
+        DenseEngine {
+            nfa,
+            words,
+            alphabet,
+            accept,
+            pad_full,
+            succ,
+            has_succ,
+            start_allinput,
+            start_sod,
+            report_mask,
+            start_period: u64::from(nfa.start_period()),
+            active: vec![0u64; words],
+            next: vec![0u64; words],
+            active_count: 0,
+            cycle: 0,
+            reports: Vec::new(),
+            active_list: Vec::new(),
+        }
+    }
+
+    /// Estimated table footprint in bytes for an automaton, dominated by
+    /// the accept masks (`stride × 2^bits × ceil(n/64)` words). The
+    /// adaptive engine refuses to build a dense twin past a budget.
+    pub fn table_bytes(nfa: &Nfa) -> usize {
+        let words = nfa.num_states().div_ceil(64);
+        let alphabet = 1usize << nfa.symbol_bits();
+        let accept = nfa.stride() * alphabet * words;
+        let succ = nfa.num_states() * words;
+        (accept + succ) * 8
+    }
+
+    /// The automaton being executed.
+    pub fn nfa(&self) -> &Nfa {
+        self.nfa
+    }
+
+    /// Cycles executed so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Number of states active after the last step.
+    pub fn active_count(&self) -> usize {
+        self.active_count
+    }
+
+    /// Resets to the initial configuration (cycle 0, empty frontier).
+    pub fn reset(&mut self) {
+        self.active.iter_mut().for_each(|w| *w = 0);
+        self.active_count = 0;
+        self.cycle = 0;
+    }
+
+    /// Replaces the current frontier and cycle counter (engine-switch
+    /// support; see [`crate::AdaptiveEngine`]).
+    pub fn load_frontier(&mut self, states: &[StateId], cycle: u64) {
+        self.active.iter_mut().for_each(|w| *w = 0);
+        for s in states {
+            self.active[s.index() / 64] |= 1u64 << (s.index() % 64);
+        }
+        self.active_count = self.active.iter().map(|w| w.count_ones() as usize).sum();
+        self.cycle = cycle;
+    }
+
+    /// Appends the current frontier, in ascending state order, to `out`.
+    pub fn export_frontier(&self, out: &mut Vec<StateId>) {
+        for (wi, &word) in self.active.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                out.push(StateId((wi * 64) as u32 + w.trailing_zeros()));
+                w &= w - 1;
+            }
+        }
+    }
+
+    /// Executes one cycle on a symbol vector whose first `valid` entries
+    /// carry real input, delivering any reports to `sink`.
+    ///
+    /// Returns the number of active states after the cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in all build profiles) if the vector length does not match
+    /// the automaton's stride.
+    pub fn step<S: ReportSink + ?Sized>(
+        &mut self,
+        vector: &[u16],
+        valid: usize,
+        sink: &mut S,
+    ) -> usize {
+        // Monomorphized fast paths for small state vectors (the regime
+        // where dense beats sparse): with the word count a compile-time
+        // constant the OR/AND loops fully unroll and bounds checks vanish.
+        match self.words {
+            1 => self.step_w::<1, S>(vector, valid, sink),
+            2 => self.step_w::<2, S>(vector, valid, sink),
+            3 => self.step_w::<3, S>(vector, valid, sink),
+            4 => self.step_w::<4, S>(vector, valid, sink),
+            5 => self.step_w::<5, S>(vector, valid, sink),
+            6 => self.step_w::<6, S>(vector, valid, sink),
+            7 => self.step_w::<7, S>(vector, valid, sink),
+            8 => self.step_w::<8, S>(vector, valid, sink),
+            _ => self.step_dyn(vector, valid, sink),
+        }
+    }
+
+    /// [`DenseEngine::step`] specialized for a compile-time word count.
+    fn step_w<const W: usize, S: ReportSink + ?Sized>(
+        &mut self,
+        vector: &[u16],
+        valid: usize,
+        sink: &mut S,
+    ) -> usize {
+        let stride = self.nfa.stride();
+        assert_eq!(
+            vector.len(),
+            stride,
+            "symbol vector length must equal the automaton stride"
+        );
+        debug_assert_eq!(self.words, W);
+
+        let mut next = [0u64; W];
+
+        // Candidate phase: successors of the frontier, plus enabled starts.
+        {
+            let active: &[u64; W] = (&self.active[..]).try_into().expect("word count");
+            let has_succ: &[u64; W] = (&self.has_succ[..]).try_into().expect("word count");
+            for wi in 0..W {
+                let mut w = active[wi] & has_succ[wi];
+                while w != 0 {
+                    let s = wi * 64 + w.trailing_zeros() as usize;
+                    let row: &[u64; W] = (&self.succ[s * W..(s + 1) * W]).try_into().expect("row");
+                    for k in 0..W {
+                        next[k] |= row[k];
+                    }
+                    w &= w - 1;
+                }
+            }
+        }
+        if self.start_period == 1 || self.cycle.is_multiple_of(self.start_period) {
+            let starts: &[u64; W] = (&self.start_allinput[..]).try_into().expect("word count");
+            for k in 0..W {
+                next[k] |= starts[k];
+            }
+        }
+        if self.cycle == 0 {
+            let starts: &[u64; W] = (&self.start_sod[..]).try_into().expect("word count");
+            for k in 0..W {
+                next[k] |= starts[k];
+            }
+        }
+
+        // Match phase: AND one accept row per valid stride position, then
+        // the don't-care mask over the padding tail.
+        let mut dead = false;
+        for (j, &v) in vector.iter().enumerate().take(valid.min(stride)) {
+            let sym = v as usize;
+            if sym >= self.alphabet {
+                dead = true;
+                break;
+            }
+            let base = (j * self.alphabet + sym) * W;
+            let row: &[u64; W] = (&self.accept[base..base + W]).try_into().expect("row");
+            for k in 0..W {
+                next[k] &= row[k];
+            }
+        }
+        for j in valid.min(stride)..stride {
+            let row: &[u64; W] = (&self.pad_full[j * W..(j + 1) * W])
+                .try_into()
+                .expect("row");
+            for k in 0..W {
+                next[k] &= row[k];
+            }
+        }
+        if dead {
+            next = [0u64; W];
+        }
+
+        self.active.copy_from_slice(&next);
+        let mut count = 0usize;
+        for w in next {
+            count += w.count_ones() as usize;
+        }
+        self.active_count = count;
+        self.deliver(valid, count, sink)
+    }
+
+    /// [`DenseEngine::step`] for arbitrary word counts (slice loops).
+    fn step_dyn<S: ReportSink + ?Sized>(
+        &mut self,
+        vector: &[u16],
+        valid: usize,
+        sink: &mut S,
+    ) -> usize {
+        let stride = self.nfa.stride();
+        assert_eq!(
+            vector.len(),
+            stride,
+            "symbol vector length must equal the automaton stride"
+        );
+        let words = self.words;
+
+        // Candidate phase: successors of the frontier, plus enabled starts.
+        self.next.iter_mut().for_each(|w| *w = 0);
+        for wi in 0..words {
+            let mut w = self.active[wi] & self.has_succ[wi];
+            while w != 0 {
+                let s = wi * 64 + w.trailing_zeros() as usize;
+                let row = &self.succ[s * words..(s + 1) * words];
+                for (n, r) in self.next.iter_mut().zip(row) {
+                    *n |= r;
+                }
+                w &= w - 1;
+            }
+        }
+        if self.start_period == 1 || self.cycle.is_multiple_of(self.start_period) {
+            for (n, s) in self.next.iter_mut().zip(&self.start_allinput) {
+                *n |= s;
+            }
+        }
+        if self.cycle == 0 {
+            for (n, s) in self.next.iter_mut().zip(&self.start_sod) {
+                *n |= s;
+            }
+        }
+
+        // Match phase: AND one accept row per stride position (the padding
+        // region uses the don't-care mask instead). A symbol outside the
+        // alphabet matches no charset, full or not — same as the sparse
+        // engine's `contains` — so it annihilates the cycle.
+        let mut dead = false;
+        for (j, &v) in vector.iter().enumerate().take(valid.min(stride)) {
+            let sym = v as usize;
+            if sym >= self.alphabet {
+                dead = true;
+                break;
+            }
+            let row = &self.accept[(j * self.alphabet + sym) * words..][..words];
+            for (n, r) in self.next.iter_mut().zip(row) {
+                *n &= r;
+            }
+        }
+        for j in valid.min(stride)..stride {
+            let row = &self.pad_full[j * words..][..words];
+            for (n, r) in self.next.iter_mut().zip(row) {
+                *n &= r;
+            }
+        }
+        if dead {
+            self.next.iter_mut().for_each(|w| *w = 0);
+        }
+
+        std::mem::swap(&mut self.active, &mut self.next);
+        let mut count = 0usize;
+        for w in &self.active {
+            count += w.count_ones() as usize;
+        }
+        self.active_count = count;
+        self.deliver(valid, count, sink)
+    }
+
+    /// Shared per-cycle tail: report extraction and sink callbacks.
+    fn deliver<S: ReportSink + ?Sized>(
+        &mut self,
+        valid: usize,
+        count: usize,
+        sink: &mut S,
+    ) -> usize {
+        let words = self.words;
+        // Report extraction: trailing_zeros scan over the reporting members
+        // of the new frontier. Ascending state order by construction.
+        self.reports.clear();
+        for wi in 0..words {
+            let mut w = self.active[wi] & self.report_mask[wi];
+            while w != 0 {
+                let i = wi * 64 + w.trailing_zeros() as usize;
+                let id = StateId(i as u32);
+                for r in self.nfa.state(id).reports() {
+                    // Reports landing in the end-of-stream padding region
+                    // never fired in the unstrided automaton; drop them.
+                    if (r.offset as usize) < valid {
+                        self.reports.push(ReportEvent {
+                            cycle: self.cycle,
+                            state: id,
+                            info: *r,
+                        });
+                    }
+                }
+                w &= w - 1;
+            }
+        }
+
+        if !self.reports.is_empty() {
+            sink.on_cycle_reports(self.cycle, &self.reports);
+        }
+        sink.on_cycle_activity(self.cycle, count);
+        if sink.wants_active_states() {
+            self.active_list.clear();
+            for (wi, &word) in self.active.iter().enumerate() {
+                let mut w = word;
+                while w != 0 {
+                    self.active_list
+                        .push(StateId((wi * 64) as u32 + w.trailing_zeros()));
+                    w &= w - 1;
+                }
+            }
+            sink.on_active_states(self.cycle, &self.active_list);
+        }
+        self.cycle += 1;
+        count
+    }
+
+    /// Runs the whole input stream through the automaton, allocation-free
+    /// in steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view's stride does not match the automaton's; see
+    /// [`DenseEngine::try_run`] for the fallible form.
+    pub fn run<S: ReportSink + ?Sized>(&mut self, input: &InputView, sink: &mut S) {
+        self.try_run(input, sink)
+            .expect("input view stride must match the automaton stride");
+    }
+
+    /// Runs the whole input stream, reporting a stride mismatch as an
+    /// error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::StrideMismatch`] if the view was built for
+    /// a different stride than the automaton's.
+    pub fn try_run<S: ReportSink + ?Sized>(
+        &mut self,
+        input: &InputView,
+        sink: &mut S,
+    ) -> Result<(), AutomataError> {
+        if input.stride() != self.nfa.stride() {
+            return Err(AutomataError::StrideMismatch {
+                expected: self.nfa.stride(),
+                found: input.stride(),
+            });
+        }
+        for v in input.iter_ref() {
+            self.step(v.symbols, v.valid, sink);
+        }
+        Ok(())
+    }
+}
+
+impl Engine for DenseEngine<'_> {
+    fn nfa(&self) -> &Nfa {
+        DenseEngine::nfa(self)
+    }
+
+    fn cycle(&self) -> u64 {
+        DenseEngine::cycle(self)
+    }
+
+    fn active_count(&self) -> usize {
+        DenseEngine::active_count(self)
+    }
+
+    fn reset(&mut self) {
+        DenseEngine::reset(self);
+    }
+
+    fn step(&mut self, vector: &[u16], valid: usize, sink: &mut dyn ReportSink) -> usize {
+        DenseEngine::step(self, vector, valid, sink)
+    }
+
+    // Statically dispatched loop: one virtual call per run, not per cycle.
+    fn run(&mut self, input: &InputView, sink: &mut dyn ReportSink) {
+        DenseEngine::run(self, input, sink);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::TraceSink;
+    use crate::Simulator;
+    use sunder_automata::regex::{compile_regex, compile_rule_set};
+    use sunder_automata::{Ste, SymbolSet};
+
+    fn traces_agree(nfa: &Nfa, input: &InputView) {
+        let mut sparse = Simulator::new(nfa);
+        let mut ts = TraceSink::new();
+        sparse.run(input, &mut ts);
+        let mut dense = DenseEngine::new(nfa);
+        let mut td = TraceSink::new();
+        dense.run(input, &mut td);
+        assert_eq!(ts.events, td.events);
+    }
+
+    #[test]
+    fn agrees_on_literals_and_classes() {
+        let nfa = compile_rule_set(&["ca[tp]", "dog", ".*ab"]).unwrap();
+        let input = InputView::new(b"cat dog cap abba dog", 8, 1).unwrap();
+        traces_agree(&nfa, &input);
+    }
+
+    #[test]
+    fn agrees_on_anchored_patterns() {
+        let nfa = compile_regex("^ab", 0).unwrap();
+        traces_agree(&nfa, &InputView::new(b"abab", 8, 1).unwrap());
+        traces_agree(&nfa, &InputView::new(b"xab", 8, 1).unwrap());
+    }
+
+    #[test]
+    fn agrees_on_strided_automata_with_padding() {
+        let mut nfa = Nfa::with_stride(4, 2);
+        let s = nfa.add_state(
+            Ste::with_charsets(vec![SymbolSet::singleton(4, 1), SymbolSet::full(4)])
+                .start(StartKind::AllInput)
+                .report_at(7, 0),
+        );
+        nfa.add_edge(s, s);
+        let input = InputView::from_symbols(vec![1, 9, 1], 2);
+        traces_agree(&nfa, &input);
+    }
+
+    #[test]
+    fn agrees_on_start_periods() {
+        let mut nfa = Nfa::new(4);
+        nfa.set_start_period(2);
+        nfa.add_state(
+            Ste::new(SymbolSet::singleton(4, 1))
+                .start(StartKind::AllInput)
+                .report(0),
+        );
+        let input = InputView::from_symbols(vec![1, 1, 1, 1, 1], 1);
+        traces_agree(&nfa, &input);
+    }
+
+    #[test]
+    fn padding_report_suppressed() {
+        let mut nfa = Nfa::with_stride(4, 2);
+        nfa.add_state(
+            Ste::with_charsets(vec![SymbolSet::full(4), SymbolSet::full(4)])
+                .start(StartKind::AllInput)
+                .report_at(0, 1),
+        );
+        let input = InputView::from_symbols(vec![5], 2);
+        let mut dense = DenseEngine::new(&nfa);
+        let mut trace = TraceSink::new();
+        dense.run(&input, &mut trace);
+        assert!(trace.events.is_empty());
+    }
+
+    #[test]
+    fn reset_and_reuse() {
+        let nfa = compile_regex("^a", 0).unwrap();
+        let input = InputView::new(b"a", 8, 1).unwrap();
+        let mut dense = DenseEngine::new(&nfa);
+        let mut t1 = TraceSink::new();
+        dense.run(&input, &mut t1);
+        assert_eq!(t1.events.len(), 1);
+        dense.reset();
+        let mut t2 = TraceSink::new();
+        dense.run(&input, &mut t2);
+        assert_eq!(t2.events.len(), 1, "start-of-data must re-arm after reset");
+    }
+
+    #[test]
+    fn frontier_round_trip() {
+        let nfa = compile_rule_set(&["abc", "abd"]).unwrap();
+        let input = InputView::new(b"ab", 8, 1).unwrap();
+        let mut dense = DenseEngine::new(&nfa);
+        dense.run(&input, &mut crate::NullSink);
+        let mut frontier = Vec::new();
+        dense.export_frontier(&mut frontier);
+        assert!(!frontier.is_empty());
+        let mut other = DenseEngine::new(&nfa);
+        other.load_frontier(&frontier, dense.cycle());
+        assert_eq!(other.active_count(), frontier.len());
+        let mut out = Vec::new();
+        other.export_frontier(&mut out);
+        assert_eq!(out, frontier);
+    }
+
+    #[test]
+    fn more_than_64_states() {
+        // Spill into multiple words: 70 chained states.
+        let mut nfa = Nfa::new(8);
+        let mut prev = None;
+        for i in 0..70u32 {
+            let mut ste = Ste::new(SymbolSet::singleton(8, b'a' as u16));
+            if i == 0 {
+                ste = ste.start(StartKind::AllInput);
+            }
+            if i == 69 {
+                ste = ste.report(1);
+            }
+            let id = nfa.add_state(ste);
+            if let Some(p) = prev {
+                nfa.add_edge(p, id);
+            }
+            prev = Some(id);
+        }
+        let input = InputView::new(&[b'a'; 80], 8, 1).unwrap();
+        traces_agree(&nfa, &input);
+    }
+
+    #[test]
+    fn table_bytes_scales_with_alphabet() {
+        let mut nfa4 = Nfa::new(4);
+        nfa4.add_state(Ste::new(SymbolSet::full(4)));
+        let mut nfa8 = Nfa::new(8);
+        nfa8.add_state(Ste::new(SymbolSet::full(8)));
+        assert_eq!(DenseEngine::table_bytes(&nfa4), (16 + 1) * 8);
+        assert_eq!(DenseEngine::table_bytes(&nfa8), (256 + 1) * 8);
+    }
+}

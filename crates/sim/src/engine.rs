@@ -12,8 +12,9 @@
 //! generation stamps instead of clearing bitsets.
 
 use sunder_automata::input::InputView;
-use sunder_automata::{Nfa, StartKind, StateId};
+use sunder_automata::{AutomataError, Nfa, StartKind, StateId};
 
+use crate::exec::Engine;
 use crate::sink::{ReportEvent, ReportSink};
 
 /// Cycle-by-cycle executor for one automaton over one input stream.
@@ -126,12 +127,39 @@ impl<'a> Simulator<'a> {
         // Stamps stay monotone; no clearing needed.
     }
 
+    /// Replaces the current frontier and cycle counter.
+    ///
+    /// This is the engine-switch entry point: the adaptive engine uses it
+    /// to hand a mid-stream frontier over from the dense representation.
+    /// States must be valid ids of this automaton; duplicates are allowed
+    /// (deduplication happens on the next step).
+    pub fn load_frontier(&mut self, states: &[StateId], cycle: u64) {
+        self.active.clear();
+        self.active.extend_from_slice(states);
+        self.cycle = cycle;
+    }
+
     /// Executes one cycle on a symbol vector whose first `valid` entries
     /// carry real input, delivering any reports to `sink`.
     ///
     /// Returns the number of active states after the cycle.
-    pub fn step<S: ReportSink>(&mut self, vector: &[u16], valid: usize, sink: &mut S) -> usize {
-        debug_assert_eq!(vector.len(), self.nfa.stride());
+    ///
+    /// # Panics
+    ///
+    /// Panics (in all build profiles) if the vector length does not match
+    /// the automaton's stride: silently misreading a mismatched view would
+    /// corrupt every downstream statistic.
+    pub fn step<S: ReportSink + ?Sized>(
+        &mut self,
+        vector: &[u16],
+        valid: usize,
+        sink: &mut S,
+    ) -> usize {
+        assert_eq!(
+            vector.len(),
+            self.nfa.stride(),
+            "symbol vector length must equal the automaton stride"
+        );
         self.generation += 1;
         self.candidates.clear();
         let gen = self.generation;
@@ -154,7 +182,10 @@ impl<'a> Simulator<'a> {
         }
 
         // Start states, respecting the start period and cycle 0.
-        if self.cycle % u64::from(self.nfa.start_period()) == 0 {
+        if self
+            .cycle
+            .is_multiple_of(u64::from(self.nfa.start_period()))
+        {
             match &self.start_index {
                 StartIndex::Bucketed(buckets) => {
                     for &id in &buckets[vector[0] as usize] {
@@ -198,6 +229,11 @@ impl<'a> Simulator<'a> {
         }
         self.candidates = candidates;
 
+        // Candidate order depends on frontier history; deliver reports in
+        // state order so every engine produces byte-identical traces.
+        if self.reports.len() > 1 {
+            self.reports.sort_by_key(|e| e.state.index());
+        }
         if !self.reports.is_empty() {
             sink.on_cycle_reports(self.cycle, &self.reports);
         }
@@ -211,15 +247,67 @@ impl<'a> Simulator<'a> {
 
     /// Runs the whole input stream through the automaton.
     ///
+    /// Iteration borrows the view's symbol buffers directly, so steady-state
+    /// execution performs no allocation.
+    ///
     /// # Panics
     ///
-    /// Panics in debug builds if the view's stride does not match the
-    /// automaton's.
-    pub fn run<S: ReportSink>(&mut self, input: &InputView, sink: &mut S) {
-        debug_assert_eq!(input.stride(), self.nfa.stride());
-        for v in input.iter() {
-            self.step(&v.symbols, v.valid, sink);
+    /// Panics (in all build profiles) if the view's stride does not match
+    /// the automaton's; see [`Simulator::try_run`] for the fallible form.
+    pub fn run<S: ReportSink + ?Sized>(&mut self, input: &InputView, sink: &mut S) {
+        self.try_run(input, sink)
+            .expect("input view stride must match the automaton stride");
+    }
+
+    /// Runs the whole input stream, reporting a stride mismatch as an error
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::StrideMismatch`] if the view was built for
+    /// a different stride than the automaton's.
+    pub fn try_run<S: ReportSink + ?Sized>(
+        &mut self,
+        input: &InputView,
+        sink: &mut S,
+    ) -> Result<(), AutomataError> {
+        if input.stride() != self.nfa.stride() {
+            return Err(AutomataError::StrideMismatch {
+                expected: self.nfa.stride(),
+                found: input.stride(),
+            });
         }
+        for v in input.iter_ref() {
+            self.step(v.symbols, v.valid, sink);
+        }
+        Ok(())
+    }
+}
+
+impl Engine for Simulator<'_> {
+    fn nfa(&self) -> &Nfa {
+        Simulator::nfa(self)
+    }
+
+    fn cycle(&self) -> u64 {
+        Simulator::cycle(self)
+    }
+
+    fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    fn reset(&mut self) {
+        Simulator::reset(self);
+    }
+
+    fn step(&mut self, vector: &[u16], valid: usize, sink: &mut dyn ReportSink) -> usize {
+        Simulator::step(self, vector, valid, sink)
+    }
+
+    // Statically dispatched loop: one virtual call per run, not per cycle.
+    fn run(&mut self, input: &InputView, sink: &mut dyn ReportSink) {
+        Simulator::run(self, input, sink);
     }
 }
 
@@ -282,10 +370,7 @@ mod tests {
     fn alternation_and_classes() {
         let nfa = compile_rule_set(&["ca[tp]", "dog"]).unwrap();
         let trace = run_trace(&nfa, b"cat dog cap").unwrap();
-        assert_eq!(
-            trace.cycle_id_pairs(),
-            vec![(2, 0), (6, 1), (10, 0)]
-        );
+        assert_eq!(trace.cycle_id_pairs(), vec![(2, 0), (6, 1), (10, 0)]);
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! The engine abstraction: one automaton executor, many implementations.
+//!
+//! The repository ships three functional engines with identical observable
+//! behavior (byte-identical report traces for the same automaton/input):
+//!
+//! * [`Simulator`](crate::Simulator) — the *sparse* frontier engine: per
+//!   cycle cost proportional to the enabled candidate set. Wins when few
+//!   states are active (cold rule sets, anchored patterns).
+//! * [`DenseEngine`](crate::DenseEngine) — the *bit-parallel* engine: the
+//!   whole state set is a bit vector and one cycle is a handful of wide
+//!   word operations, mirroring the subarray's row-read/AND pipeline.
+//!   Wins when many states are active (meshes, hot classes).
+//! * [`AdaptiveEngine`](crate::AdaptiveEngine) — samples frontier density
+//!   at runtime and switches between the two.
+//!
+//! [`EngineKind`] names them for configuration surfaces (CLI flags,
+//! `sunder-core`'s builder) and [`EngineKind::build`] instantiates one.
+
+use sunder_automata::input::InputView;
+use sunder_automata::Nfa;
+
+use crate::sink::ReportSink;
+
+/// A cycle-by-cycle automaton executor.
+///
+/// All engines share the three-stage cycle model: candidates (successors of
+/// the frontier plus enabled starts) are intersected with the states whose
+/// charsets match the symbol vector; the result is the next frontier and
+/// its reporting members emit reports. Implementations must deliver
+/// per-cycle reports in ascending state order so traces are
+/// engine-independent.
+pub trait Engine {
+    /// The automaton being executed.
+    fn nfa(&self) -> &Nfa;
+
+    /// Cycles executed so far.
+    fn cycle(&self) -> u64;
+
+    /// Number of states active after the last step.
+    fn active_count(&self) -> usize;
+
+    /// Resets to the initial configuration (cycle 0, empty frontier).
+    fn reset(&mut self);
+
+    /// Executes one cycle on a symbol vector whose first `valid` entries
+    /// carry real input. Returns the number of active states after the
+    /// cycle.
+    fn step(&mut self, vector: &[u16], valid: usize, sink: &mut dyn ReportSink) -> usize;
+
+    /// Runs the whole input stream through the automaton.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view's stride does not match the automaton's.
+    fn run(&mut self, input: &InputView, sink: &mut dyn ReportSink) {
+        assert_eq!(
+            input.stride(),
+            self.nfa().stride(),
+            "input view stride must match the automaton stride"
+        );
+        for v in input.iter_ref() {
+            self.step(v.symbols, v.valid, sink);
+        }
+    }
+}
+
+/// Which functional engine to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineKind {
+    /// The frontier-based sparse engine ([`crate::Simulator`]).
+    Sparse,
+    /// The bit-parallel dense engine ([`crate::DenseEngine`]).
+    Dense,
+    /// Density-sampled switching between the two
+    /// ([`crate::AdaptiveEngine`]).
+    #[default]
+    Adaptive,
+}
+
+impl EngineKind {
+    /// Every engine kind, for sweeps and benches.
+    pub const ALL: [EngineKind; 3] = [EngineKind::Sparse, EngineKind::Dense, EngineKind::Adaptive];
+
+    /// A short stable name (`sparse`/`dense`/`adaptive`).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Sparse => "sparse",
+            EngineKind::Dense => "dense",
+            EngineKind::Adaptive => "adaptive",
+        }
+    }
+
+    /// Parses the name produced by [`EngineKind::name`].
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        match s {
+            "sparse" => Some(EngineKind::Sparse),
+            "dense" => Some(EngineKind::Dense),
+            "adaptive" => Some(EngineKind::Adaptive),
+            _ => None,
+        }
+    }
+
+    /// Instantiates an engine of this kind for the automaton.
+    pub fn build(self, nfa: &Nfa) -> Box<dyn Engine + '_> {
+        match self {
+            EngineKind::Sparse => Box::new(crate::Simulator::new(nfa)),
+            EngineKind::Dense => Box::new(crate::DenseEngine::new(nfa)),
+            EngineKind::Adaptive => Box::new(crate::AdaptiveEngine::new(nfa)),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceSink;
+    use sunder_automata::regex::compile_regex;
+
+    #[test]
+    fn kinds_round_trip_names() {
+        for kind in EngineKind::ALL {
+            assert_eq!(EngineKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(EngineKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn build_runs_any_kind() {
+        let nfa = compile_regex("ab", 3).unwrap();
+        let input = InputView::new(b"xxabab", 8, 1).unwrap();
+        for kind in EngineKind::ALL {
+            let mut engine = kind.build(&nfa);
+            let mut trace = TraceSink::new();
+            engine.run(&input, &mut trace);
+            assert_eq!(trace.cycle_id_pairs(), vec![(3, 3), (5, 3)], "{kind}");
+            assert_eq!(engine.cycle(), 6);
+        }
+    }
+}

@@ -51,7 +51,12 @@ impl BurstHistogramSink {
         let mut out = String::new();
         for (i, &c) in self.buckets.iter().enumerate() {
             if c > 0 {
-                out.push_str(&format!("{:>6}..{:<6} {}\n", 1u64 << i, (1u64 << (i + 1)) - 1, c));
+                out.push_str(&format!(
+                    "{:>6}..{:<6} {}\n",
+                    1u64 << i,
+                    (1u64 << (i + 1)) - 1,
+                    c
+                ));
             }
         }
         out
@@ -121,9 +126,7 @@ mod tests {
         // Drive from a real run: a trigger firing 20 states at once.
         use sunder_automata::{Nfa, StartKind, Ste, SymbolSet};
         let mut nfa = Nfa::new(8);
-        let t = nfa.add_state(
-            Ste::new(SymbolSet::singleton(8, 0xF0)).start(StartKind::AllInput),
-        );
+        let t = nfa.add_state(Ste::new(SymbolSet::singleton(8, 0xF0)).start(StartKind::AllInput));
         for i in 0..20 {
             let r = nfa.add_state(Ste::new(SymbolSet::full(8)).report(i));
             nfa.add_edge(t, r);

@@ -7,6 +7,13 @@
 //! (any symbol width, any stride) cycle by cycle and streams report events
 //! into a pluggable [`ReportSink`].
 //!
+//! Three engines share the [`Engine`] trait and produce byte-identical
+//! report traces: the sparse frontier [`Simulator`], the bit-parallel
+//! [`DenseEngine`] (one cycle = a few wide word operations over the whole
+//! state set, mirroring the subarray's row-read/AND pipeline), and the
+//! density-sampling [`AdaptiveEngine`] that switches between them at
+//! runtime. Pick one by name with [`EngineKind`].
+//!
 //! # Quick start
 //!
 //! ```
@@ -26,13 +33,19 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adaptive;
+pub mod dense;
 pub mod engine;
+pub mod exec;
 pub mod histogram;
 pub mod profile;
 pub mod sink;
 pub mod stats;
 
+pub use adaptive::AdaptiveEngine;
+pub use dense::DenseEngine;
 pub use engine::{run_trace, Simulator};
+pub use exec::{Engine, EngineKind};
 pub use histogram::BurstHistogramSink;
 pub use profile::{hybrid_split, ActivationProfileSink, HybridSplit};
 pub use sink::{CountSink, NullSink, ReportEvent, ReportSink, TraceSink};

@@ -137,10 +137,7 @@ pub fn hybrid_split(
         if !keep[id.index()] {
             continue;
         }
-        let cut = nfa
-            .successors(id)
-            .iter()
-            .any(|t| !keep[t.index()]);
+        let cut = nfa.successors(id).iter().any(|t| !keep[t.index()]);
         if cut {
             frontier += 1;
             accelerator

@@ -59,6 +59,24 @@ pub trait ReportSink {
     }
 }
 
+impl<S: ReportSink + ?Sized> ReportSink for &mut S {
+    fn on_cycle_reports(&mut self, cycle: u64, reports: &[ReportEvent]) {
+        (**self).on_cycle_reports(cycle, reports);
+    }
+
+    fn on_cycle_activity(&mut self, cycle: u64, active_states: usize) {
+        (**self).on_cycle_activity(cycle, active_states);
+    }
+
+    fn wants_active_states(&self) -> bool {
+        (**self).wants_active_states()
+    }
+
+    fn on_active_states(&mut self, cycle: u64, active: &[StateId]) {
+        (**self).on_active_states(cycle, active);
+    }
+}
+
 /// Discards everything. Useful for benchmarking the raw kernel.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NullSink;

@@ -172,7 +172,10 @@ mod tests {
         let ca_ratio = ca / sunder;
         assert!((1.3..1.8).contains(&ca_ratio), "CA ratio {ca_ratio}");
         let impala_ratio = impala / sunder;
-        assert!((1.5..2.2).contains(&impala_ratio), "Impala ratio {impala_ratio}");
+        assert!(
+            (1.5..2.2).contains(&impala_ratio),
+            "Impala ratio {impala_ratio}"
+        );
     }
 
     #[test]

@@ -94,12 +94,7 @@ mod tests {
         let rows = figure8(1.0, 4.69);
         let sunder = rows[0].gbps;
         let speedup = |arch: Architecture| {
-            sunder
-                / rows
-                    .iter()
-                    .find(|r| r.architecture == arch)
-                    .unwrap()
-                    .gbps
+            sunder / rows.iter().find(|r| r.architecture == arch).unwrap().gbps
         };
         // Paper: 280×, 22×, 10×, 4× vs AP(50nm), AP(14nm), CA, Impala.
         let ap50 = speedup(Architecture::Ap50nm);

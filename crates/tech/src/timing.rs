@@ -83,7 +83,11 @@ impl PipelineTiming {
         let global_wire = GLOBAL_WIRE_MM * WIRE_DELAY_PS_PER_MM;
         match architecture {
             Architecture::Sunder => {
-                let stages = [SUNDER_8T.delay_ps, local_switch, SUNDER_8T.delay_ps + global_wire];
+                let stages = [
+                    SUNDER_8T.delay_ps,
+                    local_switch,
+                    SUNDER_8T.delay_ps + global_wire,
+                ];
                 Self::from_stages(architecture, stages)
             }
             Architecture::Impala => {
@@ -95,7 +99,11 @@ impl PipelineTiming {
                 Self::from_stages(architecture, stages)
             }
             Architecture::CacheAutomaton => {
-                let stages = [CA_MATCH.delay_ps, local_switch, SUNDER_8T.delay_ps + global_wire];
+                let stages = [
+                    CA_MATCH.delay_ps,
+                    local_switch,
+                    SUNDER_8T.delay_ps + global_wire,
+                ];
                 Self::from_stages(architecture, stages)
             }
             Architecture::Ap50nm => PipelineTiming {
@@ -167,9 +175,18 @@ mod tests {
 
     #[test]
     fn ap_rows() {
-        assert_eq!(PipelineTiming::of(Architecture::Ap50nm).operating_freq_ghz, 0.133);
-        assert_eq!(PipelineTiming::of(Architecture::Ap14nm).operating_freq_ghz, 1.69);
-        assert_eq!(PipelineTiming::of(Architecture::Ap50nm).state_matching_ps, None);
+        assert_eq!(
+            PipelineTiming::of(Architecture::Ap50nm).operating_freq_ghz,
+            0.133
+        );
+        assert_eq!(
+            PipelineTiming::of(Architecture::Ap14nm).operating_freq_ghz,
+            1.69
+        );
+        assert_eq!(
+            PipelineTiming::of(Architecture::Ap50nm).state_matching_ps,
+            None
+        );
     }
 
     #[test]

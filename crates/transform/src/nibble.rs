@@ -62,7 +62,7 @@ pub fn to_nibble_automaton(nfa: &Nfa) -> Result<Nfa, AutomataError> {
     if bits == 4 {
         return Ok(nfa.clone());
     }
-    if bits % 4 != 0 {
+    if !bits.is_multiple_of(4) {
         return Err(AutomataError::UnsupportedWidth(bits));
     }
     let depth = u32::from(bits / 4);
@@ -284,9 +284,7 @@ mod tests {
     #[test]
     fn empty_charset_state_disappears_from_chains() {
         let mut nfa = Nfa::new(8);
-        let a = nfa.add_state(
-            Ste::new(SymbolSet::singleton(8, 1)).start(StartKind::AllInput),
-        );
+        let a = nfa.add_state(Ste::new(SymbolSet::singleton(8, 1)).start(StartKind::AllInput));
         let dead = nfa.add_state(Ste::new(SymbolSet::empty(8)).report(0));
         nfa.add_edge(a, dead);
         let nib = to_nibble_automaton(&nfa).unwrap();

@@ -182,7 +182,9 @@ impl WorkloadBuilder {
     pub fn add_hot_state(&mut self, density: f64) {
         let count = ((FILLER_SPAN as f64) * density).round().max(1.0) as usize;
         // A contiguous slice of the filler band starting at a random point.
-        let start = self.rng.random_range(0..FILLER_SPAN - count.min(FILLER_SPAN - 1));
+        let start = self
+            .rng
+            .random_range(0..FILLER_SPAN - count.min(FILLER_SPAN - 1));
         let lo = FILLER_LO + start as u8;
         let hi = lo + (count as u8 - 1).min(FILLER_HI - lo);
         let id = self.alloc_report();
@@ -221,8 +223,8 @@ impl WorkloadBuilder {
         let mut events: Vec<(usize, usize, usize)> = Vec::new();
         for (si, stream) in self.streams.iter().enumerate() {
             for k in 0..stream.count {
-                let pos = ((k as f64 + 0.5 + 0.13 * si as f64) * len as f64
-                    / stream.count as f64) as usize;
+                let pos = ((k as f64 + 0.5 + 0.13 * si as f64) * len as f64 / stream.count as f64)
+                    as usize;
                 let li = (k as usize) % stream.literals.len();
                 events.push((pos.min(len.saturating_sub(1)), si, li));
             }
@@ -274,7 +276,7 @@ mod tests {
         b.add_chain(&[0xE8], false, 2, (PLANT_LO, PLANT_HI), false);
         let cs = b.nfa().state(sunder_automata::StateId(0)).charset();
         assert_eq!(cs.len(), 5); // 0xE6..=0xEA
-        // Clipping at the band edge.
+                                 // Clipping at the band edge.
         let mut b2 = WorkloadBuilder::new(1);
         b2.add_chain(&[0xE0], false, 3, (PLANT_LO, PLANT_HI), false);
         let cs2 = b2.nfa().state(sunder_automata::StateId(0)).charset();

@@ -71,7 +71,7 @@ pub fn add_hamming_mesh(builder: &mut WorkloadBuilder, pattern: &[u8], k: usize)
                 if let Some(t) = m[i + 1][e] {
                     nfa.add_edge(src, t);
                 }
-                if e + 1 <= k {
+                if e < k {
                     if let Some(t) = x[i + 1][e + 1] {
                         nfa.add_edge(src, t);
                     }
@@ -128,7 +128,7 @@ pub fn add_levenshtein_mesh(builder: &mut WorkloadBuilder, pattern: &[u8], k: us
             let here: [Option<StateId>; 2] = [m[i][e], x[i][e]];
             for src in here.into_iter().flatten() {
                 // Insertion after consuming position i.
-                if e + 1 <= k {
+                if e < k {
                     if let Some(t) = ins[i][e + 1] {
                         nfa.add_edge(src, t);
                     }
@@ -137,7 +137,7 @@ pub fn add_levenshtein_mesh(builder: &mut WorkloadBuilder, pattern: &[u8], k: us
                     if let Some(t) = m[i + 1][e] {
                         nfa.add_edge(src, t);
                     }
-                    if e + 1 <= k {
+                    if e < k {
                         if let Some(t) = x[i + 1][e + 1] {
                             nfa.add_edge(src, t);
                         }
@@ -146,7 +146,7 @@ pub fn add_levenshtein_mesh(builder: &mut WorkloadBuilder, pattern: &[u8], k: us
             }
             // Insertion states continue the pattern or insert again.
             if let Some(src) = ins[i][e] {
-                if e + 1 <= k {
+                if e < k {
                     if let Some(t) = ins[i][e + 1] {
                         nfa.add_edge(src, t);
                     }
@@ -155,7 +155,7 @@ pub fn add_levenshtein_mesh(builder: &mut WorkloadBuilder, pattern: &[u8], k: us
                     if let Some(t) = m[i + 1][e] {
                         nfa.add_edge(src, t);
                     }
-                    if e + 1 <= k {
+                    if e < k {
                         if let Some(t) = x[i + 1][e + 1] {
                             nfa.add_edge(src, t);
                         }

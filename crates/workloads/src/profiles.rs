@@ -86,7 +86,14 @@ pub const PAPER_TABLE1: [PaperRow; 19] = [
     row("Fermi", Family::Widget, 40783, 2399, 96_127, 13_444),
     row("RandomForest", Family::Widget, 33220, 1661, 21_310, 3_322),
     row("SPM", Family::Widget, 100_500, 5025, 47_304_453, 33_933),
-    row("EntityResolution", Family::Widget, 95136, 1000, 37_628, 28_612),
+    row(
+        "EntityResolution",
+        Family::Widget,
+        95136,
+        1000,
+        37_628,
+        28_612,
+    ),
 ];
 
 const fn row(

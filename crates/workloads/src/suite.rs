@@ -18,7 +18,10 @@
 
 use sunder_automata::Nfa;
 
-use crate::gen::{WorkloadBuilder, COLD_HI, COLD_LO, FILLER_HI, FILLER_LO, FILLER_SPAN, PLANT_HI, PLANT_LO, TRIGGER_LO};
+use crate::gen::{
+    WorkloadBuilder, COLD_HI, COLD_LO, FILLER_HI, FILLER_LO, FILLER_SPAN, PLANT_HI, PLANT_LO,
+    TRIGGER_LO,
+};
 use crate::mesh::{add_hamming_mesh, add_levenshtein_mesh, hamming_states, levenshtein_states};
 use crate::profiles::{PaperRow, PAPER_TABLE1};
 
@@ -72,7 +75,10 @@ impl Benchmark {
     ];
 
     fn index(self) -> usize {
-        Benchmark::ALL.iter().position(|&b| b == self).expect("listed")
+        Benchmark::ALL
+            .iter()
+            .position(|&b| b == self)
+            .expect("listed")
     }
 
     /// The paper's Table 1 row for this benchmark.
@@ -236,8 +242,7 @@ fn build_workload(benchmark: Benchmark, scale: Scale) -> Workload {
 
     let f = scale.state_fraction.clamp(0.0005, 1.0);
     let target_states = ((paper.states as f64 * f).round() as usize).max(8);
-    let target_rs = ((paper.report_states as f64 * f).round() as usize)
-        .clamp(1, target_states);
+    let target_rs = ((paper.report_states as f64 * f).round() as usize).clamp(1, target_states);
     let input_scale = scale.input_len as f64 / 1_000_000.0;
     let target_reports = (paper.reports as f64 * input_scale).round() as u64;
     let target_cycles = (paper.report_cycles as f64 * input_scale).round() as u64;
@@ -252,9 +257,7 @@ fn build_workload(benchmark: Benchmark, scale: Scale) -> Workload {
         } => {
             let n_patterns = target_rs;
             let head = usize::from(dotstar);
-            let len = (target_states / n_patterns)
-                .saturating_sub(head)
-                .max(2);
+            let len = (target_states / n_patterns).saturating_sub(head).max(2);
             let mut literals = Vec::with_capacity(n_patterns);
             for _ in 0..n_patterns {
                 let body = b.random_body(len, PLANT_LO, PLANT_HI);
@@ -336,8 +339,7 @@ fn build_workload(benchmark: Benchmark, scale: Scale) -> Workload {
         }
     }
 
-    let (input, mut expected_reports, mut expected_report_cycles) =
-        b.build_input(scale.input_len);
+    let (input, mut expected_reports, mut expected_report_cycles) = b.build_input(scale.input_len);
 
     if !hot_densities.is_empty() {
         let n = scale.input_len as f64;
@@ -449,7 +451,10 @@ fn distort(body: &[u8], k: usize) -> Vec<u8> {
 /// A body of distinct filler-band characters (prevents insertion echoes in
 /// the Levenshtein mesh from double-reporting planted matches).
 fn distinct_body(b: &mut WorkloadBuilder, len: usize) -> Vec<u8> {
-    assert!(len <= FILLER_SPAN, "mesh pattern longer than the filler band");
+    assert!(
+        len <= FILLER_SPAN,
+        "mesh pattern longer than the filler band"
+    );
     let mut pool: Vec<u8> = (FILLER_LO..=FILLER_HI).collect();
     // Fisher–Yates shuffle via the builder's RNG.
     for i in (1..pool.len()).rev() {
@@ -478,7 +483,11 @@ mod tests {
     fn static_profile_tracks_paper_at_full_scale() {
         // Only check the cheap-to-build benchmarks exhaustively here; the
         // integration suite covers the rest.
-        for bench in [Benchmark::Bro217, Benchmark::Ranges1, Benchmark::Levenshtein] {
+        for bench in [
+            Benchmark::Bro217,
+            Benchmark::Ranges1,
+            Benchmark::Levenshtein,
+        ] {
             let w = bench.build(Scale::paper());
             let paper = bench.paper();
             let states = w.nfa.num_states() as f64;

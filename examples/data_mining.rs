@@ -32,14 +32,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plain_stats = plain.run(&view, &mut sink);
     println!(
         "\nSunder w/o FIFO: {} reports, {} flushes, overhead {:.3}x",
-        sink.reports, plain_stats.flushes, plain_stats.reporting_overhead(),
+        sink.reports,
+        plain_stats.flushes,
+        plain_stats.reporting_overhead(),
     );
 
     // With FIFO: the host drains continuously through Port 1.
-    let mut fifo = SunderMachine::new(
-        &strided,
-        SunderConfig::with_rate(Rate::Nibble4).fifo(true),
-    )?;
+    let mut fifo = SunderMachine::new(&strided, SunderConfig::with_rate(Rate::Nibble4).fifo(true))?;
     let fifo_stats = fifo.run(&view, &mut CountSink::new());
     println!(
         "Sunder w/ FIFO:  {} entries drained during execution, overhead {:.3}x",

@@ -95,9 +95,7 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     let rules = read_rules(flags.required("--rules")?)?;
     let rate = parse_rate(&flags)?;
     let engine = Engine::builder().rate(rate).build();
-    let program = engine
-        .compile_patterns(&rules)
-        .map_err(|e| e.to_string())?;
+    let program = engine.compile_patterns(&rules).map_err(|e| e.to_string())?;
     let text = anml::serialize(program.automaton());
     match flags.value("-o") {
         Some(path) => {
@@ -154,13 +152,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         engine.compile_precompiled(nfa)
     } else {
         let rules = read_rules(flags.required("--rules")?)?;
-        engine
-            .compile_patterns(&rules)
-            .map_err(|e| e.to_string())?
+        engine.compile_patterns(&rules).map_err(|e| e.to_string())?
     };
 
-    let input = fs::read(flags.required("--input")?)
-        .map_err(|e| format!("input: {e}"))?;
+    let input = fs::read(flags.required("--input")?).map_err(|e| format!("input: {e}"))?;
     let mut session = engine.load(&program).map_err(|e| e.to_string())?;
 
     if flags.flag("--trace") {

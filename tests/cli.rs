@@ -41,7 +41,11 @@ fn run_reports_matches() {
         .args(["--fifo", "--summarize"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("reports: 3"), "{stdout}");
     assert!(stdout.contains("matched_rules: 0,1"), "{stdout}");
@@ -64,7 +68,10 @@ fn trace_mode_lists_cycle_rule_pairs() {
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     // 8-bit rate: one byte per cycle; matches end at cycles 1 and 3.
-    assert_eq!(stdout.trim().lines().collect::<Vec<_>>(), vec!["1\t0", "3\t0"]);
+    assert_eq!(
+        stdout.trim().lines().collect::<Vec<_>>(),
+        vec!["1\t0", "3\t0"]
+    );
 }
 
 #[test]
@@ -78,7 +85,11 @@ fn compile_then_run_precompiled_program() {
         .arg(&program)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&program).unwrap();
     assert!(text.starts_with("automaton bits=4 stride=4"));
 
@@ -90,7 +101,11 @@ fn compile_then_run_precompiled_program() {
         .arg(&input)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("matched_rules: 0"), "{stdout}");
 }
@@ -101,7 +116,11 @@ fn stats_prints_both_static_and_transform() {
     let out = bin().args(["run", "--rules"]).output().unwrap();
     assert!(!out.status.success()); // missing --input
 
-    let out = bin().args(["stats", "--rules"]).arg(&rules).output().unwrap();
+    let out = bin()
+        .args(["stats", "--rules"])
+        .arg(&rules)
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("static: 6 states"), "{stdout}");
@@ -114,7 +133,11 @@ fn bench_command_reports_measured_stats() {
         .args(["bench", "--benchmark", "bro217", "--small"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("benchmark: Bro217"), "{stdout}");
     assert!(stdout.contains("measured:"), "{stdout}");

@@ -35,9 +35,18 @@ fn figure1_walkthrough() {
     // {STE0, STE1} (column ordering in the figure differs from state
     // numbering). End to end, the language is A+ then (C|T) then G.
     let nfa = figure1_homogeneous();
-    assert_eq!(run_trace(&nfa, b"ACG").unwrap().cycle_id_pairs(), vec![(2, 0)]);
-    assert_eq!(run_trace(&nfa, b"AATG").unwrap().cycle_id_pairs(), vec![(3, 0)]);
-    assert_eq!(run_trace(&nfa, b"AAACG").unwrap().cycle_id_pairs(), vec![(4, 0)]);
+    assert_eq!(
+        run_trace(&nfa, b"ACG").unwrap().cycle_id_pairs(),
+        vec![(2, 0)]
+    );
+    assert_eq!(
+        run_trace(&nfa, b"AATG").unwrap().cycle_id_pairs(),
+        vec![(3, 0)]
+    );
+    assert_eq!(
+        run_trace(&nfa, b"AAACG").unwrap().cycle_id_pairs(),
+        vec![(4, 0)]
+    );
     assert!(run_trace(&nfa, b"AG").unwrap().events.is_empty());
     assert!(run_trace(&nfa, b"CG").unwrap().events.is_empty());
     // Four symbols ⇒ only four one-hot rows would be needed on hardware;
@@ -73,9 +82,7 @@ fn figure1_classic_to_homogeneous() {
 /// Figure 3 (a): the 8-bit automaton accepting A|BC.
 fn figure3_original() -> Nfa {
     let mut nfa = Nfa::new(8);
-    let a = nfa.add_state(
-        Ste::new(sym(b'A')).start(StartKind::StartOfData).report(0),
-    );
+    let a = nfa.add_state(Ste::new(sym(b'A')).start(StartKind::StartOfData).report(0));
     let b = nfa.add_state(Ste::new(sym(b'B')).start(StartKind::StartOfData));
     let c = nfa.add_state(Ste::new(sym(b'C')).report(0));
     nfa.add_edge(b, c);
@@ -127,7 +134,9 @@ fn figure3_temporal_striding_to_16_bit() {
     assert_eq!(four.bits_per_cycle(), 16);
 
     let hits = |nfa: &Nfa, input: &[u8]| {
-        run_trace(nfa, input).unwrap().position_id_pairs(nfa.stride())
+        run_trace(nfa, input)
+            .unwrap()
+            .position_id_pairs(nfa.stride())
     };
     // "BC" completes at nibble position 3 (cycle 0 of the 16-bit machine).
     assert_eq!(hits(&four, b"BC"), vec![(3, 0)]);

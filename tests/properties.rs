@@ -51,13 +51,24 @@ fn build_nfa(spec: &NfaSpec) -> Nfa {
         });
     }
     for &(a, b) in &spec.edges {
-        nfa.add_edge(StateId(u32::from(a) % n as u32), StateId(u32::from(b) % n as u32));
+        nfa.add_edge(
+            StateId(u32::from(a) % n as u32),
+            StateId(u32::from(b) % n as u32),
+        );
     }
     nfa
 }
 
 fn nfa_spec() -> impl Strategy<Value = NfaSpec> {
-    let states = prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), prop::bool::weighted(0.35)), 1..10);
+    let states = prop::collection::vec(
+        (
+            any::<u8>(),
+            any::<u8>(),
+            any::<u8>(),
+            prop::bool::weighted(0.35),
+        ),
+        1..10,
+    );
     let starts = prop::collection::vec((any::<u8>(), prop::bool::weighted(0.2)), 1..4);
     let edges = prop::collection::vec((any::<u8>(), any::<u8>()), 0..18);
     (states, starts, edges).prop_map(|(states, starts, edges)| NfaSpec {

@@ -84,7 +84,10 @@ fn nibble_transform_of_16_bit_is_equivalent() {
     let nib = to_nibble_automaton(&nfa).unwrap();
     assert_eq!(nib.symbol_bits(), 4);
     assert_eq!(nib.start_period(), 4, "16-bit symbols = 4 nibbles");
-    assert_eq!(item_positions(&nib, &stream()), item_positions(&nfa, &stream()));
+    assert_eq!(
+        item_positions(&nib, &stream()),
+        item_positions(&nfa, &stream())
+    );
     // Each 16-bit state needs ≤4 nibble states; shared item prefixes
     // (0xBEEF appears in two rules) keep it under the naive 4×.
     assert!(nib.num_states() <= 4 * nfa.num_states());
@@ -111,8 +114,7 @@ fn machine_executes_16_bit_itemsets() {
     let nfa = itemset_nfa(&ITEMS);
     let nib = to_nibble_automaton(&nfa).unwrap();
     let strided = stride_times(&nib, 2); // 4 nibbles/cycle = one item/cycle
-    let mut machine =
-        SunderMachine::new(&strided, SunderConfig::with_rate(Rate::Nibble4)).unwrap();
+    let mut machine = SunderMachine::new(&strided, SunderConfig::with_rate(Rate::Nibble4)).unwrap();
     let bytes = stream();
     let view = InputView::new(&bytes, 4, 4).unwrap();
     let mut trace = TraceSink::new();

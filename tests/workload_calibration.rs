@@ -6,7 +6,10 @@ use sunder::automata::stats::StaticStats;
 use sunder::sim::{DynamicStatsSink, Simulator};
 use sunder::{Benchmark, InputView, Scale};
 
-fn measure(bench: Benchmark, scale: Scale) -> (sunder::workloads::Workload, sunder::sim::DynamicStats) {
+fn measure(
+    bench: Benchmark,
+    scale: Scale,
+) -> (sunder::workloads::Workload, sunder::sim::DynamicStats) {
     let w = bench.build(scale);
     let view = InputView::new(&w.input, 8, 1).unwrap();
     let mut sim = Simulator::new(&w.nfa);

@@ -1,0 +1,313 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the surface its benches use: [`Criterion::benchmark_group`], groups
+//! with `sample_size`/`throughput`/`bench_function`/`bench_with_input`,
+//! [`Bencher::iter`], [`BenchmarkId`], [`Throughput`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is a plain wall-clock sampler: each benchmark is warmed up,
+//! then timed over `sample_size` samples whose iteration counts are
+//! calibrated to a small per-sample budget; the mean and min ns/iter (and
+//! derived throughput) are printed. No statistics machinery, no plots.
+//! When invoked with `--test` (as `cargo test --benches` does), each
+//! benchmark body runs exactly once, untimed.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-sample measurement budget. Small so full `cargo bench` runs stay
+/// in seconds; raise `sample_size` for steadier numbers.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(10);
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// A benchmark name with an attached parameter, e.g. `snort/8`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl From<BenchmarkId> for BenchmarkId1 {
+    fn from(id: BenchmarkId) -> Self {
+        BenchmarkId1(id)
+    }
+}
+
+/// Internal newtype so `bench_function` can take `&str` or `BenchmarkId`.
+#[doc(hidden)]
+pub struct BenchmarkId1(BenchmarkId);
+
+impl From<&str> for BenchmarkId1 {
+    fn from(s: &str) -> Self {
+        BenchmarkId1(s.into())
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    /// Mean ns/iter and min ns/iter from the last `iter` call.
+    result: Option<(f64, f64)>,
+}
+
+enum Mode {
+    /// Calibrate and measure.
+    Measure { sample_size: usize },
+    /// Run the body once (test mode).
+    Test,
+}
+
+impl Bencher {
+    /// Times the closure, storing mean/min ns-per-iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Test => {
+                std::hint::black_box(f());
+            }
+            Mode::Measure { sample_size } => {
+                // Warm-up and calibration: find an iteration count that
+                // fills the per-sample budget.
+                let mut iters: u64 = 1;
+                loop {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        std::hint::black_box(f());
+                    }
+                    let elapsed = start.elapsed();
+                    if elapsed >= SAMPLE_BUDGET || iters >= 1 << 20 {
+                        break;
+                    }
+                    // Aim directly for the budget, growing at least 2x.
+                    let scale = SAMPLE_BUDGET.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+                    iters = (iters.saturating_mul(2)).max((iters as f64 * scale) as u64 + 1);
+                }
+
+                let mut total = Duration::ZERO;
+                let mut min = f64::INFINITY;
+                for _ in 0..sample_size.max(1) {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        std::hint::black_box(f());
+                    }
+                    let elapsed = start.elapsed();
+                    total += elapsed;
+                    min = min.min(elapsed.as_nanos() as f64 / iters as f64);
+                }
+                let mean = total.as_nanos() as f64 / (sample_size.max(1) as u64 * iters) as f64;
+                self.result = Some((mean, min));
+            }
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares how much work one iteration performs, enabling derived
+    /// throughput output.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId1>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let BenchmarkId1(id) = id.into();
+        self.run(&id.id, &mut |b| f(b));
+        self
+    }
+
+    /// Benchmarks a closure against a borrowed input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId1>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let BenchmarkId1(id) = id.into();
+        self.run(&id.id, &mut |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, id);
+        let mut bencher = Bencher {
+            mode: if self.criterion.test_mode {
+                Mode::Test
+            } else {
+                Mode::Measure {
+                    sample_size: self.sample_size,
+                }
+            },
+            result: None,
+        };
+        f(&mut bencher);
+        if self.criterion.test_mode {
+            println!("{label}: ok (test mode)");
+            return;
+        }
+        match bencher.result {
+            Some((mean, min)) => {
+                let thr = match self.throughput {
+                    Some(Throughput::Bytes(bytes)) => {
+                        let gib = bytes as f64 / mean * 1e9 / (1u64 << 30) as f64;
+                        format!("  {gib:.3} GiB/s")
+                    }
+                    Some(Throughput::Elements(n)) => {
+                        let meps = n as f64 / mean * 1e9 / 1e6;
+                        format!("  {meps:.3} Melem/s")
+                    }
+                    None => String::new(),
+                };
+                println!("{label}: mean {mean:.1} ns/iter (min {min:.1}){thr}");
+            }
+            None => println!("{label}: no measurement (b.iter never called)"),
+        }
+    }
+
+    /// Ends the group (output already printed per benchmark).
+    pub fn finish(self) {}
+}
+
+/// The benchmark manager handed to `criterion_group!` targets.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` runs harness = false benches with
+        // `--test`; `cargo bench` passes `--bench`. Run bodies once,
+        // untimed, in test mode.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId1>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("criterion");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// Declares a group function that runs each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_times_a_closure() {
+        let mut c = Criterion { test_mode: false };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.throughput(Throughput::Bytes(1024));
+        let mut ran = false;
+        group.bench_function("accumulate", |b| {
+            ran = true;
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        let mut count = 0u32;
+        group.bench_function(BenchmarkId::new("f", 1), |b| b.iter(|| count += 1));
+        group.finish();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("snort", 8).id, "snort/8");
+    }
+}

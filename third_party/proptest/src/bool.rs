@@ -1,0 +1,48 @@
+//! Boolean strategies (`prop::bool::weighted`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`weighted`].
+pub struct Weighted {
+    probability: f64,
+}
+
+impl Strategy for Weighted {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.unit_f64() < self.probability
+    }
+}
+
+/// `true` with the given probability (clamped to `[0, 1]`).
+pub fn weighted(probability: f64) -> Weighted {
+    Weighted {
+        probability: probability.clamp(0.0, 1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extremes_are_constant() {
+        let mut rng = TestRng::from_seed(8);
+        let always = weighted(1.0);
+        let never = weighted(0.0);
+        for _ in 0..100 {
+            assert!(always.generate(&mut rng));
+            assert!(!never.generate(&mut rng));
+        }
+    }
+
+    #[test]
+    fn mid_probability_mixes() {
+        let mut rng = TestRng::from_seed(9);
+        let s = weighted(0.35);
+        let trues = (0..1000).filter(|_| s.generate(&mut rng)).count();
+        assert!((150..550).contains(&trues), "trues = {trues}");
+    }
+}

@@ -1,0 +1,167 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal property-testing engine with the same surface the repository's
+//! tests use: the [`proptest!`] macro (with `proptest_config`), the
+//! [`Strategy`](strategy::Strategy) trait with `prop_map`, `any::<T>()`,
+//! `prop::collection::vec`, `prop::sample::select`, `prop::bool::weighted`,
+//! [`prop_oneof!`], and the `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Differences from upstream: case generation is deterministic (seeded from
+//! the test name, so failures reproduce exactly) and there is no shrinking —
+//! a failing case reports the full generated inputs instead.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod bool;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror so `prop::collection::vec(..)` etc. resolve the way
+/// upstream's prelude exposes them.
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// The glob-import surface test files rely on.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests.
+///
+/// Supports the upstream form used in this repository: an optional
+/// `#![proptest_config(...)]` header followed by `#[test] fn name(arg in
+/// strategy, ...) { body }` items. Each test draws `cases` inputs from its
+/// strategies and runs the body; `prop_assert*` failures panic with the
+/// generated inputs attached.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut __accepted: u32 = 0;
+                let mut __attempts: u32 = 0;
+                while __accepted < __config.cases {
+                    __attempts += 1;
+                    if __attempts > __config.cases.saturating_mul(16).max(1024) {
+                        panic!(
+                            "proptest {}: too many rejected cases ({} accepted of {} wanted)",
+                            stringify!($name), __accepted, __config.cases
+                        );
+                    }
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    let __inputs: ::std::string::String =
+                        [$(format!("{} = {:?}", stringify!($arg), &$arg)),+].join(", ");
+                    let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || { $body ::core::result::Result::Ok(()) })();
+                    match __result {
+                        ::core::result::Result::Ok(()) => __accepted += 1,
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                            panic!(
+                                "proptest case {} failed: {}\n  inputs: {}",
+                                stringify!($name), __msg, __inputs
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that fails the current property case (with formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current property case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` == `{:?}`", __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}: `{:?}` != `{:?}`", format!($($fmt)+), __l, __r
+        );
+    }};
+}
+
+/// `assert_ne!` that fails the current property case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l != *__r, "assertion failed: `{:?}` != `{:?}`", __l, __r);
+    }};
+}
+
+/// Discards the current case (does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Weighted (or unweighted) union of strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $( (($weight) as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+}

@@ -1,0 +1,188 @@
+//! Offline drop-in subset of the `rand` 0.9 API.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the minimal surface it actually uses: [`rngs::StdRng`] seeded through
+//! [`SeedableRng::seed_from_u64`], and [`Rng::random_range`] /
+//! [`Rng::random`] over the primitive integer types. The generator is
+//! xoshiro256** seeded via SplitMix64 — deterministic for a given seed,
+//! which is all the workload generators require.
+
+#![forbid(unsafe_code)]
+
+/// A random number generator: a source of uniformly distributed `u64`s
+/// plus convenience samplers layered on top.
+pub trait Rng {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Samples a value from the standard distribution of `T` (uniform for
+    /// integers, fair coin for `bool`).
+    fn random<T>(&mut self) -> T
+    where
+        T: Standard,
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+}
+
+/// Types an RNG can be reproducibly constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (SplitMix64 key expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Types with a standard (uniform) distribution for [`Rng::random`].
+pub trait Standard: Sized {
+    /// Draws one value from the standard distribution.
+    fn sample_standard<R: Rng>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_uint_sampling {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end - self.start) as u128;
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = (hi - lo) as u128 + 1;
+                lo + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+
+        impl Standard for $t {
+            fn sample_standard<R: Rng>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+impl_uint_sampling!(u8, u16, u32, u64, usize);
+
+impl Standard for bool {
+    fn sample_standard<R: Rng>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256** with SplitMix64
+    /// key expansion. Statistically solid and fast; NOT cryptographic.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut key = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut key);
+            }
+            // An all-zero state would be a fixed point; SplitMix64 cannot
+            // produce four zero outputs in a row, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn range_sampling_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: u8 = rng.random_range(10..=20);
+            assert!((10..=20).contains(&x));
+            let y: usize = rng.random_range(0..3);
+            assert!(y < 3);
+        }
+    }
+
+    #[test]
+    fn range_sampling_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[rng.random_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bool_standard_is_not_constant() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let draws: Vec<bool> = (0..64).map(|_| rng.random()).collect();
+        assert!(draws.contains(&true) && draws.contains(&false));
+    }
+}
