@@ -534,3 +534,149 @@ impl SunderMachine {
             .collect()
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunder_automata::{Ste, SymbolSet};
+    use sunder_sim::TraceSink;
+    use sunder_transform::Rate;
+
+    /// A maximally hot automaton at the 8-bit rate: one all-input,
+    /// all-don't-care state reporting on the last nibble of every byte.
+    /// Every cycle does work, reports, and writes one region entry —
+    /// which makes the stall/flush arithmetic below exact.
+    fn hot_nfa() -> Nfa {
+        let mut nfa = Nfa::with_stride(4, 2);
+        let s = nfa.add_state(
+            Ste::with_charsets(vec![SymbolSet::full(4), SymbolSet::full(4)])
+                .start(StartKind::AllInput)
+                .report_at(0, 1),
+        );
+        nfa.add_edge(s, s);
+        nfa
+    }
+
+    fn hot_machine(fifo: bool) -> SunderMachine {
+        let config = SunderConfig::with_rate(Rate::Nibble2).fifo(fifo);
+        SunderMachine::new(&hot_nfa(), config).expect("one state always places")
+    }
+
+    /// 4000 bytes at the 8-bit rate = 4000 machine cycles.
+    fn run_hot(machine: &mut SunderMachine, bytes: usize) -> RunStats {
+        let input = InputView::new(&vec![0u8; bytes], 4, 2).unwrap();
+        let mut sink = sunder_sim::NullSink;
+        machine.run(&input, &mut sink)
+    }
+
+    #[test]
+    fn flush_stall_accounting_is_exact() {
+        // Nibble2 geometry: 224 report rows × 8 entries/row = 1792-entry
+        // capacity, 224 stall cycles per flush. 4000 entries overflow the
+        // region exactly twice (at entries 1793 and 3585).
+        let mut machine = hot_machine(false);
+        let stats = run_hot(&mut machine, 4000);
+        assert_eq!(stats.input_cycles, 4000);
+        assert_eq!(stats.pu_work_cycles, 4000);
+        assert_eq!(stats.active_state_cycles, 4000);
+        assert_eq!(stats.reports, 4000);
+        assert_eq!(stats.report_cycles, 4000);
+        assert_eq!(stats.report_entries, 4000);
+        assert_eq!(stats.flushes, 2);
+        assert_eq!(stats.stall_cycles, 2 * 224);
+        assert_eq!(stats.total_cycles(), 4000 + 448);
+        // 4000 − 2·1792 entries remain buffered.
+        assert_eq!(machine.region_len(0), 416);
+    }
+
+    #[test]
+    fn region_readback_after_flushes() {
+        let mut machine = hot_machine(false);
+        run_hot(&mut machine, 4000);
+        let columns = machine.report_column_states(0);
+        assert_eq!(columns.len(), 1, "one report state, one report column");
+        let bit = columns[0].0;
+        assert_eq!(machine.report_rule_ids(0, bit), vec![0]);
+
+        // Oldest surviving entry was written at cycle 3584 (right after
+        // the second flush); peek must not consume it.
+        let oldest = machine.peek_report(0, 0).expect("region is not empty");
+        assert_eq!(oldest.cycle, 3584);
+        assert_eq!(oldest.report_mask, 1 << bit);
+        assert_eq!(machine.region_len(0), 416);
+
+        let drained = machine.flush_pu(0);
+        assert_eq!(drained.len(), 416);
+        assert_eq!(drained[0], oldest);
+        assert_eq!(drained[415].cycle, 3999);
+        assert_eq!(machine.region_len(0), 0);
+        assert!(machine.peek_report(0, 0).is_none());
+    }
+
+    #[test]
+    fn fifo_drain_keeps_pace_without_stalls() {
+        // Default drain period 8 reads one 8-entry row per tick — exactly
+        // the hot automaton's fill rate, so the region never overflows.
+        let mut machine = hot_machine(true);
+        let stats = run_hot(&mut machine, 4000);
+        assert_eq!(stats.flushes, 0);
+        assert_eq!(stats.stall_cycles, 0);
+        // Every entry is either already drained or still buffered.
+        assert_eq!(stats.fifo_drained_entries + machine.region_len(0), 4000);
+        assert!(stats.fifo_drained_entries > 0);
+    }
+
+    #[test]
+    fn fifo_slow_drain_stalls_on_overflow() {
+        let mut config = SunderConfig::with_rate(Rate::Nibble2).fifo(true);
+        config.drain_period_cycles = 64; // 8 entries per 64 cycles: too slow
+        let mut machine = SunderMachine::new(&hot_nfa(), config).unwrap();
+        let stats = run_hot(&mut machine, 4000);
+        assert!(stats.flushes > 0, "region must overflow under a slow drain");
+        // Each overflow waits one drain period, then drains a single row.
+        assert_eq!(stats.stall_cycles, stats.flushes * 64);
+        assert_eq!(stats.fifo_drained_entries + machine.region_len(0), 4000);
+    }
+
+    #[test]
+    fn padding_suppresses_mid_vector_report_offsets() {
+        // Three nibbles at stride 2: the second vector carries one valid
+        // symbol. The state still matches (don't-care charsets), and the
+        // hardware still writes a region entry, but the report at offset 1
+        // lands in the padding and must not reach the sink.
+        let mut machine = hot_machine(false);
+        let input = InputView::from_symbols(vec![0, 0, 0], 2);
+        let mut sink = TraceSink::new();
+        let stats = machine.run(&input, &mut sink);
+        assert_eq!(stats.input_cycles, 2);
+        assert_eq!(stats.pu_work_cycles, 2);
+        assert_eq!(stats.reports, 1);
+        assert_eq!(stats.report_cycles, 1);
+        assert_eq!(stats.report_entries, 2);
+        assert_eq!(sink.cycle_id_pairs(), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn summarize_charges_port2_batch_stalls() {
+        let mut machine = hot_machine(false);
+        run_hot(&mut machine, 20);
+        let columns = machine.report_column_states(0);
+        let mask = machine.summarize_pu(0);
+        assert_eq!(mask, 1 << columns[0].0);
+        // Nibble2: 224 report rows = 14 batches of 16 rows, 2 cycles each.
+        assert_eq!(machine.stats().summarize_stall_cycles, 2 * 14);
+        // Summarization is non-destructive.
+        assert_eq!(machine.region_len(0), 20);
+    }
+
+    #[test]
+    fn single_state_placement_summary() {
+        let machine = hot_machine(false);
+        assert_eq!(machine.num_pus(), 1);
+        let summary = machine.placement_summary();
+        assert_eq!(summary.pus, 1);
+        assert_eq!(summary.cross_pu_edges, 0);
+        assert_eq!(summary.max_pus_per_component, 1);
+        assert_eq!(machine.config().rate, Rate::Nibble2);
+    }
+}

@@ -102,7 +102,19 @@ pub fn parse(text: &str) -> Result<Nfa, AutomataError> {
                         return Err(err(lineno, "unknown automaton attribute"));
                     }
                 }
-                let bits = bits.ok_or_else(|| err(lineno, "missing bits= in header"))?;
+                let bits: u8 = bits.ok_or_else(|| err(lineno, "missing bits= in header"))?;
+                // Validate here rather than letting the Nfa constructors
+                // assert: malformed *input* must surface as a parse error,
+                // never a panic.
+                if bits == 0 || bits > 16 {
+                    return Err(err(lineno, "bits must be between 1 and 16"));
+                }
+                if stride == 0 {
+                    return Err(err(lineno, "stride must be at least 1"));
+                }
+                if period == 0 {
+                    return Err(err(lineno, "period must be at least 1"));
+                }
                 let mut a = Nfa::with_stride(bits, stride);
                 a.set_start_period(period);
                 nfa = Some(a);
@@ -144,8 +156,14 @@ pub fn parse(text: &str) -> Result<Nfa, AutomataError> {
                 if charsets.len() != nfa.stride() {
                     return Err(err(lineno, "charset count does not match stride"));
                 }
+                if names.contains(&name) {
+                    return Err(err(lineno, "duplicate state name"));
+                }
                 let mut ste = Ste::with_charsets(charsets).start(start);
                 for r in reports {
+                    if usize::from(r.offset) >= nfa.stride() {
+                        return Err(err(lineno, "report offset exceeds stride"));
+                    }
                     ste.add_report(r);
                 }
                 nfa.add_state(ste);
@@ -294,6 +312,47 @@ mod tests {
         assert!(parse("automaton bits=8\nste s [0x1] [0x2]").is_err()); // stride 1, two sets
         assert!(parse("automaton bits=4\nste s [0x1f]").is_err()); // out of range
         assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn malformed_headers_error_instead_of_panicking() {
+        // Each of these previously tripped an assert inside the Nfa
+        // constructors; the parser must reject them itself.
+        for (bad, what) in [
+            ("automaton bits=0", "zero bits"),
+            ("automaton bits=17", "too many bits"),
+            ("automaton bits=8 stride=0", "zero stride"),
+            ("automaton bits=8 period=0", "zero period"),
+        ] {
+            match parse(bad) {
+                Err(AutomataError::Parse { line, .. }) => assert_eq!(line, 1, "{what}"),
+                other => panic!("{what}: expected a parse error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn report_offset_beyond_stride_is_a_parse_error() {
+        let bad = "automaton bits=4 stride=2\nste s [0x1] [0x2] report=3@2\n";
+        match parse(bad) {
+            Err(AutomataError::Parse { line, message }) => {
+                assert_eq!(line, 2);
+                assert!(message.contains("offset"));
+            }
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_state_names_rejected() {
+        let bad = "automaton bits=8\nste s [0x1]\nste s [0x2]\n";
+        match parse(bad) {
+            Err(AutomataError::Parse { line, message }) => {
+                assert_eq!(line, 3);
+                assert!(message.contains("duplicate"));
+            }
+            other => panic!("expected a parse error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Property tests for the ANML-inspired exchange format: for any valid
+//! automaton — any width, stride, start period, charset shape, start
+//! kind, report set, and edge list — `parse(serialize(nfa))` must
+//! reproduce the automaton exactly.
+
+use proptest::prelude::*;
+use sunder_automata::{anml, Nfa, ReportInfo, StartKind, StateId, Ste, SymbolSet};
+
+/// Declarative description of one state, turned into an [`Ste`] once the
+/// automaton's width and stride are fixed.
+#[derive(Debug, Clone)]
+struct StateSpec {
+    /// Per-position charset selector: 0 empty, 1 full, 2 singleton,
+    /// 3 range, 4 small set (the value doubles as the seed symbol).
+    charsets: Vec<(u8, u16)>,
+    start: u8,
+    /// `(id, offset-seed)` pairs; offsets are reduced modulo the stride.
+    reports: Vec<(u32, u8)>,
+}
+
+fn charset_from(bits: u8, kind: u8, seed: u16) -> SymbolSet {
+    let max = 1u32 << bits;
+    let sym = (u32::from(seed) % max) as u16;
+    match kind % 5 {
+        0 => SymbolSet::empty(bits),
+        1 => SymbolSet::full(bits),
+        2 => SymbolSet::singleton(bits, sym),
+        3 => {
+            let hi = (u32::from(sym) + 5).min(max - 1) as u16;
+            SymbolSet::range(bits, sym, hi)
+        }
+        _ => SymbolSet::from_symbols(bits, [sym, sym / 2, (u32::from(sym) * 3 % max) as u16]),
+    }
+}
+
+fn build_nfa(
+    bits: u8,
+    stride: usize,
+    period: u32,
+    specs: &[StateSpec],
+    edges: &[(usize, usize)],
+) -> Nfa {
+    let mut nfa = Nfa::with_stride(bits, stride);
+    nfa.set_start_period(period);
+    let n = specs.len();
+    for spec in specs {
+        let charsets: Vec<SymbolSet> = (0..stride)
+            .map(|j| {
+                let (kind, seed) = spec.charsets[j % spec.charsets.len()];
+                charset_from(bits, kind, seed)
+            })
+            .collect();
+        let mut ste = Ste::with_charsets(charsets).start(match spec.start % 3 {
+            0 => StartKind::None,
+            1 => StartKind::StartOfData,
+            _ => StartKind::AllInput,
+        });
+        for &(id, offset) in &spec.reports {
+            ste.add_report(ReportInfo::at_offset(id, offset % stride as u8));
+        }
+        nfa.add_state(ste);
+    }
+    for &(a, b) in edges {
+        nfa.add_edge(StateId((a % n) as u32), StateId((b % n) as u32));
+    }
+    nfa
+}
+
+fn state_specs() -> impl Strategy<Value = Vec<StateSpec>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec((any::<u8>(), any::<u16>()), 1..5),
+            any::<u8>(),
+            prop::collection::vec((0u32..1000, any::<u8>()), 0..3),
+        )
+            .prop_map(|(charsets, start, reports)| StateSpec {
+                charsets,
+                start,
+                reports,
+            }),
+        1..8,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn serialize_parse_round_trips(
+        bits in prop::sample::select(vec![4u8, 8, 16]),
+        stride in 1usize..=4,
+        period in 1u32..=4,
+        specs in state_specs(),
+        edges in prop::collection::vec((0usize..8, 0usize..8), 0..12),
+    ) {
+        let nfa = build_nfa(bits, stride, period, &specs, &edges);
+        prop_assert!(nfa.validate().is_ok());
+        let text = anml::serialize(&nfa);
+        let back = anml::parse(&text);
+        prop_assert!(back.is_ok(), "serialized form failed to parse: {:?}\n{text}", back.err());
+        prop_assert_eq!(back.unwrap(), nfa, "round trip changed the automaton:\n{}", text);
+    }
+
+    #[test]
+    fn parse_never_panics_on_arbitrary_ascii(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        // Malformed input must produce Err, never a panic — this is the
+        // guarantee behind accepting reproducer files from disk. Map the
+        // bytes onto printable ASCII + newline so lines actually form.
+        let text: String = bytes
+            .iter()
+            .map(|&b| if b % 12 == 0 { '\n' } else { (b' ' + b % 95) as char })
+            .collect();
+        let _ = anml::parse(&text);
+    }
+
+    #[test]
+    fn parse_never_panics_on_header_like_input(
+        bits in any::<u8>(),
+        stride in any::<u8>(),
+        period in any::<u8>(),
+    ) {
+        let text = format!("automaton bits={bits} stride={stride} period={period}\n");
+        let _ = anml::parse(&text);
+    }
+}

@@ -1,0 +1,279 @@
+//! Implementation of the `conformance` binary.
+//!
+//! ```text
+//! cargo run --release --bin conformance -- --seed 42 --cases 500
+//! ```
+//!
+//! The run has three stages, each independently capable of failing the
+//! process: replay of the historical proptest regression corpus, a sweep
+//! of every suite benchmark through the full configuration matrix, and
+//! the seeded structured fuzzer. Any divergence is shrunk, written as a
+//! reproducer file under `--out`, and turns the exit status nonzero —
+//! which is how CI gates on it.
+
+use std::path::{Path, PathBuf};
+
+use sunder_workloads::Scale;
+
+use crate::check::check_pipelines;
+use crate::check::check_suite;
+use crate::fuzz::{parse_reproducer, render_reproducer, run_fuzz, Failure, FuzzOptions};
+use crate::seeds::replay_corpus;
+
+/// Which suite scale the conformance sweep uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SuiteChoice {
+    Off,
+    Tiny,
+    Small,
+}
+
+#[derive(Debug)]
+struct Options {
+    fuzz: FuzzOptions,
+    out: PathBuf,
+    suite: SuiteChoice,
+    replay: Option<PathBuf>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            fuzz: FuzzOptions::default(),
+            out: PathBuf::from("conformance-failures"),
+            suite: SuiteChoice::Tiny,
+            replay: None,
+        }
+    }
+}
+
+const USAGE: &str = "usage: conformance [--seed N] [--cases M] [--out DIR] \
+                     [--suite tiny|small|off] [--replay FILE] \
+                     [--max-states N] [--max-input N]";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} requires a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--seed" => {
+                options.fuzz.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?;
+            }
+            "--cases" => {
+                options.fuzz.cases = value("--cases")?
+                    .parse()
+                    .map_err(|_| "--cases expects an integer".to_string())?;
+            }
+            "--max-states" => {
+                options.fuzz.max_states = value("--max-states")?
+                    .parse()
+                    .map_err(|_| "--max-states expects an integer".to_string())?;
+            }
+            "--max-input" => {
+                options.fuzz.max_input_len = value("--max-input")?
+                    .parse()
+                    .map_err(|_| "--max-input expects an integer".to_string())?;
+            }
+            "--out" => options.out = PathBuf::from(value("--out")?),
+            "--replay" => options.replay = Some(PathBuf::from(value("--replay")?)),
+            "--suite" => {
+                options.suite = match value("--suite")? {
+                    "off" => SuiteChoice::Off,
+                    "tiny" => SuiteChoice::Tiny,
+                    "small" => SuiteChoice::Small,
+                    other => return Err(format!("unknown suite scale {other:?}\n{USAGE}")),
+                };
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(options)
+}
+
+fn write_reproducer(dir: &Path, name: &str, failure: &Failure) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.anml"));
+    std::fs::write(&path, render_reproducer(failure))?;
+    Ok(path)
+}
+
+fn report_failure(options: &Options, name: &str, failure: &Failure) {
+    eprintln!("FAIL {name}: {}", failure.divergence);
+    match write_reproducer(&options.out, name, failure) {
+        Ok(path) => eprintln!("     reproducer: {}", path.display()),
+        Err(e) => eprintln!("     (could not write reproducer: {e})"),
+    }
+}
+
+/// Runs the conformance suite with CLI-style `args` (flags only, no
+/// program name). Returns the process exit code: 0 on full conformance,
+/// 1 on any divergence, 2 on usage errors.
+pub fn run(args: &[String]) -> i32 {
+    let options = match parse_args(args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return 2;
+        }
+    };
+    let mut divergences = 0usize;
+
+    // Stage 0: explicit reproducer replay, if requested.
+    if let Some(path) = &options.replay {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                return 2;
+            }
+        };
+        let (nfa, input) = match parse_reproducer(&text) {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("cannot parse {}: {e}", path.display());
+                return 2;
+            }
+        };
+        match check_pipelines(&nfa, &input) {
+            Ok(()) => println!("replay {}: conforms", path.display()),
+            Err(d) => {
+                eprintln!("replay {}: still diverges: {d}", path.display());
+                divergences += 1;
+            }
+        }
+    }
+
+    // Stage 1: historical regression corpus across all configurations.
+    let (corpus_checks, corpus_failures) = replay_corpus();
+    println!(
+        "corpus: {corpus_checks} pattern×input checks, {} divergences",
+        corpus_failures.len()
+    );
+    for (i, f) in corpus_failures.iter().enumerate() {
+        let failure = Failure {
+            case: i as u64,
+            nfa: f.nfa.clone(),
+            input: f.input.clone(),
+            divergence: f.divergence.clone(),
+        };
+        report_failure(
+            &options,
+            &format!("corpus-{i}-{}", sanitize(f.pattern)),
+            &failure,
+        );
+        divergences += 1;
+    }
+
+    // Stage 2: the calibrated benchmark suite through the full matrix.
+    if options.suite != SuiteChoice::Off {
+        let scale = match options.suite {
+            SuiteChoice::Tiny => Scale::tiny(),
+            SuiteChoice::Small => Scale::small(),
+            SuiteChoice::Off => unreachable!(),
+        };
+        let failures = check_suite(scale);
+        println!("suite: 19 benchmarks, {} divergences", failures.len());
+        for (bench, d) in &failures {
+            eprintln!("FAIL suite benchmark {bench}: {d}");
+            divergences += 1;
+        }
+    } else {
+        println!("suite: skipped (--suite off)");
+    }
+
+    // Stage 3: the structured fuzzer.
+    let outcome = run_fuzz(&options.fuzz);
+    println!(
+        "fuzz: seed {} over {} cases, {} divergences",
+        options.fuzz.seed,
+        outcome.cases,
+        outcome.failures.len()
+    );
+    for f in &outcome.failures {
+        report_failure(
+            &options,
+            &format!("fuzz-seed{}-case{}", options.fuzz.seed, f.case),
+            f,
+        );
+        divergences += 1;
+    }
+
+    if divergences == 0 {
+        println!("conformance: PASS");
+        0
+    } else {
+        eprintln!("conformance: FAIL ({divergences} divergences)");
+        1
+    }
+}
+
+/// Makes a pattern safe for use in a file name.
+fn sanitize(pattern: &str) -> String {
+    pattern
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let o = parse_args(&args(&[
+            "--seed",
+            "7",
+            "--cases",
+            "3",
+            "--out",
+            "/tmp/x",
+            "--suite",
+            "off",
+            "--max-states",
+            "5",
+            "--max-input",
+            "9",
+        ]))
+        .unwrap();
+        assert_eq!(o.fuzz.seed, 7);
+        assert_eq!(o.fuzz.cases, 3);
+        assert_eq!(o.fuzz.max_states, 5);
+        assert_eq!(o.fuzz.max_input_len, 9);
+        assert_eq!(o.out, PathBuf::from("/tmp/x"));
+        assert_eq!(o.suite, SuiteChoice::Off);
+    }
+
+    #[test]
+    fn rejects_bad_usage() {
+        assert!(parse_args(&args(&["--seed"])).is_err());
+        assert!(parse_args(&args(&["--seed", "x"])).is_err());
+        assert!(parse_args(&args(&["--suite", "huge"])).is_err());
+        assert!(parse_args(&args(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn defaults_match_ci_job() {
+        let o = parse_args(&[]).unwrap();
+        assert_eq!(o.fuzz.seed, 42);
+        assert_eq!(o.fuzz.cases, 200);
+        assert_eq!(o.suite, SuiteChoice::Tiny);
+    }
+
+    #[test]
+    fn sanitize_makes_filenames() {
+        assert_eq!(sanitize("a(b|c)?a"), "a_b_c__a");
+    }
+}

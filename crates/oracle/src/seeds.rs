@@ -1,0 +1,128 @@
+//! Replaying the historical proptest regression corpus through the full
+//! pipeline matrix.
+//!
+//! `tests/regex_differential.proptest-regressions` accumulates every input
+//! that ever falsified the engine-differential property tests (proptest
+//! appends one `cc` line per shrunk counterexample). Those inputs are the
+//! hardest-won test vectors the repository owns, so the conformance run
+//! replays each of them against every pattern family the differential
+//! tests draw from — through all pipeline configurations and engines, not
+//! just the engine-vs-engine comparison that originally caught them.
+
+use sunder_automata::regex::compile_regex;
+use sunder_automata::Nfa;
+
+use crate::check::{check_pipelines, Divergence};
+
+/// The checked-in proptest regression corpus, embedded at compile time so
+/// the conformance binary needs no filesystem access to find it.
+pub const CORPUS: &str = include_str!("../../../tests/regex_differential.proptest-regressions");
+
+/// The pattern families the regex-differential property tests generate
+/// from (kept in sync with `tests/regex_differential.rs`).
+pub const PATTERNS: &[&str] = &[
+    "a{3}", "a{1,3}b", "a{2,}b", "(ab){2}", "a+", "(ab)+c", "ab?c", "a(b|c)?a", "ab|bc", "(a|b)|c",
+    "[abc]", "x[ab]y", "[a-c]{2}", "a(b|c)", "(b|c)a", "ab*", "a(ba)*", "x[^a]y",
+];
+
+/// A corpus input that diverged under some pattern.
+#[derive(Debug, Clone)]
+pub struct CorpusFailure {
+    /// The pattern that diverged.
+    pub pattern: &'static str,
+    /// The compiled automaton (for reproducer rendering).
+    pub nfa: Nfa,
+    /// The historical input.
+    pub input: Vec<u8>,
+    /// The divergence observed.
+    pub divergence: Box<Divergence>,
+}
+
+/// Extracts the shrunk byte inputs recorded in a proptest regression file.
+///
+/// Proptest writes lines of the form
+/// `cc <hash> # shrinks to input = [120, 120, 121]`; anything else
+/// (comments, blank lines) is ignored, as are list entries that are not
+/// bytes.
+pub fn parse_proptest_regressions(text: &str) -> Vec<Vec<u8>> {
+    let mut inputs = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with("cc ") {
+            continue;
+        }
+        let Some(start) = line.find('[') else {
+            continue;
+        };
+        let Some(end) = line[start..].find(']') else {
+            continue;
+        };
+        let body = &line[start + 1..start + end];
+        let bytes: Vec<u8> = body
+            .split(',')
+            .filter_map(|tok| tok.trim().parse::<u8>().ok())
+            .collect();
+        inputs.push(bytes);
+    }
+    inputs
+}
+
+/// Replays the embedded corpus: every historical input × every pattern
+/// family, through the full configuration matrix. Returns the number of
+/// `(pattern, input)` checks run and all divergences found.
+pub fn replay_corpus() -> (usize, Vec<CorpusFailure>) {
+    let inputs = parse_proptest_regressions(CORPUS);
+    let mut checks = 0;
+    let mut failures = Vec::new();
+    for pattern in PATTERNS {
+        let nfa = compile_regex(pattern, 0).expect("corpus patterns must compile");
+        for input in &inputs {
+            checks += 1;
+            if let Err(divergence) = check_pipelines(&nfa, input) {
+                failures.push(CorpusFailure {
+                    pattern,
+                    nfa: nfa.clone(),
+                    input: input.clone(),
+                    divergence,
+                });
+            }
+        }
+    }
+    (checks, failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_checked_in_corpus() {
+        let inputs = parse_proptest_regressions(CORPUS);
+        assert!(!inputs.is_empty(), "corpus must contain at least one seed");
+        assert!(inputs.contains(&vec![120, 120, 121]));
+    }
+
+    #[test]
+    fn parser_ignores_junk_lines() {
+        let text = "# comment\n\ncc deadbeef # shrinks to input = [1, 2]\nxx [9]\n";
+        assert_eq!(parse_proptest_regressions(text), vec![vec![1, 2]]);
+    }
+
+    #[test]
+    fn all_patterns_compile() {
+        for pattern in PATTERNS {
+            compile_regex(pattern, 0).unwrap();
+        }
+    }
+
+    #[test]
+    fn corpus_replay_is_clean() {
+        let (checks, failures) = replay_corpus();
+        assert!(checks >= PATTERNS.len());
+        assert!(
+            failures.is_empty(),
+            "corpus divergence: {}",
+            failures[0].divergence
+        );
+    }
+}

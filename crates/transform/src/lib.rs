@@ -15,9 +15,11 @@
 //!   and mid-vector start states.
 //!
 //! [`rate::transform_to_rate`] chains both into the pipeline that prepares
-//! an automaton for any of Sunder's three processing rates, and
+//! an automaton for any of Sunder's three processing rates,
 //! [`stats::TransformStats`] measures the state/transition overheads the
-//! paper reports in Table 3.
+//! paper reports in Table 3, and [`map::PositionMap`] folds transformed
+//! report positions back into original-symbol coordinates — the contract
+//! the `sunder-oracle` conformance layer checks.
 //!
 //! ```
 //! use sunder_automata::regex::compile_rule_set;
@@ -32,11 +34,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod map;
 pub mod nibble;
 pub mod rate;
 pub mod stats;
 pub mod stride;
 
+pub use map::{MisalignedReport, PositionMap};
 pub use nibble::to_nibble_automaton;
 pub use rate::{transform_to_rate, transform_to_rate_with, Rate, TransformOptions};
 pub use stats::TransformStats;

@@ -1,0 +1,185 @@
+//! Mapping transformed-automaton report positions back to the original
+//! symbol stream.
+//!
+//! Every transformation in this crate is *language-preserving* in a precise
+//! positional sense: a report the original `m`-bit automaton emits after
+//! consuming symbol `t` fires in the transformed automaton after consuming
+//! nibble `d·t + (d − 1)` of the nibble stream, where `d = m/4` is the
+//! decomposition depth. Temporal striding regroups nibbles into vectors but
+//! does not renumber them ([`ReportEvent::symbol_position`] already folds
+//! the intra-vector offset back into a flat nibble position), so one small
+//! arithmetic object — [`PositionMap`] — covers the whole pipeline.
+//!
+//! The conformance oracle (`sunder-oracle`) uses this to fold every
+//! pipeline configuration's trace into original-symbol coordinates before
+//! comparing against the reference executor; the equivalence tests in
+//! [`crate::nibble`] and [`crate::stride`] use it the same way.
+//!
+//! [`ReportEvent::symbol_position`]: https://docs.rs/sunder-sim
+
+use sunder_automata::AutomataError;
+
+/// Maps positions in a transformed automaton's symbol stream back to
+/// positions in the original automaton's symbol stream.
+///
+/// # Examples
+///
+/// ```
+/// use sunder_transform::PositionMap;
+///
+/// // Byte automaton decomposed to nibbles: 2 nibbles per original symbol.
+/// let map = PositionMap::nibble_of(8).unwrap();
+/// assert_eq!(map.to_original(1), Ok(0));
+/// assert_eq!(map.to_original(7), Ok(3));
+/// // A report on a high nibble never corresponds to a completed original
+/// // symbol — the transform must not produce one.
+/// assert!(map.to_original(2).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PositionMap {
+    /// Transformed symbols consumed per original symbol (the nibble
+    /// decomposition depth; 1 for the identity map).
+    per_original: u64,
+}
+
+/// A transformed-automaton report position that does not correspond to any
+/// completed original symbol — evidence of a transformation bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MisalignedReport {
+    /// The offending transformed-stream position.
+    pub position: u64,
+    /// Transformed symbols per original symbol.
+    pub per_original: u64,
+}
+
+impl std::fmt::Display for MisalignedReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "report at transformed position {} does not end an original symbol \
+             (expected position ≡ {} mod {})",
+            self.position,
+            self.per_original - 1,
+            self.per_original
+        )
+    }
+}
+
+impl std::error::Error for MisalignedReport {}
+
+impl PositionMap {
+    /// The identity map: the automaton was not re-encoded (striding alone
+    /// never changes symbol numbering).
+    pub fn identity() -> Self {
+        PositionMap { per_original: 1 }
+    }
+
+    /// The map for an `original_bits`-wide automaton decomposed to 4-bit
+    /// nibbles ([`crate::nibble::to_nibble_automaton`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::UnsupportedWidth`] if `original_bits` is
+    /// not a positive multiple of 4 (the transformation itself would have
+    /// rejected such an automaton).
+    pub fn nibble_of(original_bits: u8) -> Result<Self, AutomataError> {
+        if original_bits == 0 || !original_bits.is_multiple_of(4) {
+            return Err(AutomataError::UnsupportedWidth(original_bits));
+        }
+        Ok(PositionMap {
+            per_original: u64::from(original_bits / 4),
+        })
+    }
+
+    /// Transformed symbols consumed per original symbol.
+    pub fn per_original(&self) -> u64 {
+        self.per_original
+    }
+
+    /// Maps a transformed-stream position to the original-symbol position
+    /// whose consumption it completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MisalignedReport`] if the position does not fall on the
+    /// last transformed symbol of an original symbol. A correct transform
+    /// pipeline never reports at such positions, so the conformance
+    /// checker treats this error as a divergence in its own right.
+    pub fn to_original(&self, position: u64) -> Result<u64, MisalignedReport> {
+        if position % self.per_original != self.per_original - 1 {
+            return Err(MisalignedReport {
+                position,
+                per_original: self.per_original,
+            });
+        }
+        Ok(position / self.per_original)
+    }
+
+    /// Maps a whole `(position, report id)` trace back to original-symbol
+    /// coordinates, preserving order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`MisalignedReport`] encountered.
+    pub fn trace_to_original(
+        &self,
+        trace: &[(u64, u32)],
+    ) -> Result<Vec<(u64, u32)>, MisalignedReport> {
+        trace
+            .iter()
+            .map(|&(pos, id)| self.to_original(pos).map(|p| (p, id)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_transparent() {
+        let m = PositionMap::identity();
+        for p in [0u64, 1, 17, u64::MAX - 1] {
+            assert_eq!(m.to_original(p), Ok(p));
+        }
+        assert_eq!(m.per_original(), 1);
+    }
+
+    #[test]
+    fn byte_to_nibble_positions() {
+        let m = PositionMap::nibble_of(8).unwrap();
+        assert_eq!(m.per_original(), 2);
+        assert_eq!(m.to_original(1), Ok(0));
+        assert_eq!(m.to_original(3), Ok(1));
+        let e = m.to_original(4).unwrap_err();
+        assert_eq!(e.position, 4);
+        assert!(e.to_string().contains("mod 2"));
+    }
+
+    #[test]
+    fn sixteen_bit_depth_four() {
+        let m = PositionMap::nibble_of(16).unwrap();
+        assert_eq!(m.to_original(3), Ok(0));
+        assert_eq!(m.to_original(7), Ok(1));
+        assert!(m.to_original(6).is_err());
+    }
+
+    #[test]
+    fn four_bit_is_identity() {
+        assert_eq!(PositionMap::nibble_of(4).unwrap(), PositionMap::identity());
+    }
+
+    #[test]
+    fn rejects_unsupported_widths() {
+        assert!(PositionMap::nibble_of(0).is_err());
+        assert!(PositionMap::nibble_of(7).is_err());
+    }
+
+    #[test]
+    fn trace_mapping_preserves_order_and_ids() {
+        let m = PositionMap::nibble_of(8).unwrap();
+        let mapped = m.trace_to_original(&[(1, 7), (5, 3), (5, 9)]).unwrap();
+        assert_eq!(mapped, vec![(0, 7), (2, 3), (2, 9)]);
+        assert!(m.trace_to_original(&[(1, 0), (2, 0)]).is_err());
+    }
+}

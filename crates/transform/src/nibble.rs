@@ -154,13 +154,10 @@ mod tests {
     use sunder_automata::StartKind;
 
     fn nibble_positions_to_byte(pairs: &[(u64, u32)]) -> Vec<(u64, u32)> {
-        pairs
-            .iter()
-            .map(|&(pos, id)| {
-                assert_eq!(pos % 2, 1, "nibble reports must land on low nibbles");
-                ((pos - 1) / 2, id)
-            })
-            .collect()
+        crate::PositionMap::nibble_of(8)
+            .unwrap()
+            .trace_to_original(pairs)
+            .expect("nibble reports must land on low nibbles")
     }
 
     fn sunder_sim_run(nfa: &Nfa, bytes: &[u8]) -> Vec<(u64, u32)> {

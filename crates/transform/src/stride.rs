@@ -179,13 +179,10 @@ mod tests {
 
     /// Nibble-position reports mapped back to byte positions.
     fn to_byte(pairs: Vec<(u64, u32)>) -> Vec<(u64, u32)> {
-        pairs
-            .into_iter()
-            .map(|(pos, id)| {
-                assert_eq!(pos % 2, 1, "reports must land on low nibbles, got {pos}");
-                ((pos - 1) / 2, id)
-            })
-            .collect()
+        crate::PositionMap::nibble_of(8)
+            .unwrap()
+            .trace_to_original(&pairs)
+            .expect("reports must land on low nibbles")
     }
 
     fn assert_equiv_at_strides(patterns: &[&str], bytes: &[u8]) {
@@ -286,5 +283,66 @@ mod tests {
     fn stride_zero_is_identity() {
         let nib = to_nibble_automaton(&compile_regex("ab", 0).unwrap()).unwrap();
         assert_eq!(stride_times(&nib, 0), nib);
+    }
+
+    #[test]
+    fn stride_zero_identity_preserves_reports_exactly() {
+        // `doublings = 0` must be byte-for-byte the input automaton: same
+        // trace, same stride, same period — pinned on an input whose
+        // length is odd in nibbles-per-vector terms.
+        let nib = to_nibble_automaton(&compile_regex("ab?c", 0).unwrap()).unwrap();
+        let same = stride_times(&nib, 0);
+        assert_eq!(same.stride(), 1);
+        assert_eq!(same.start_period(), nib.start_period());
+        let input = b"abcac";
+        assert_eq!(positions(&same, input), positions(&nib, input));
+    }
+
+    #[test]
+    fn non_multiple_input_length_pads_with_dont_care() {
+        // At 2 doublings a vector is 4 nibbles = 2 bytes. A 3-byte input
+        // leaves a half-filled final vector: the match ending at byte 2
+        // lands in the padding-adjacent region and must still fire, at the
+        // pinned byte offset.
+        let nib = to_nibble_automaton(&compile_regex("c", 7).unwrap()).unwrap();
+        for doublings in 1..=2u32 {
+            let strided = stride_times(&nib, doublings);
+            let got = to_byte(positions(&strided, b"abc"));
+            assert_eq!(got, vec![(2, 7)], "doublings {doublings}");
+        }
+    }
+
+    #[test]
+    fn padding_region_reports_stay_suppressed() {
+        // One byte of input at a 2-byte vector: only nibble positions 0-1
+        // are valid. A pattern that cannot have completed ("ab" needs two
+        // bytes) must stay silent, and the single-byte match must report
+        // at byte 0 exactly.
+        let nib2 = to_nibble_automaton(&compile_regex("ab", 0).unwrap()).unwrap();
+        assert!(to_byte(positions(&stride_times(&nib2, 2), b"a")).is_empty());
+        let nib1 = to_nibble_automaton(&compile_regex("a", 9).unwrap()).unwrap();
+        assert_eq!(
+            to_byte(positions(&stride_times(&nib1, 2), b"a")),
+            vec![(0, 9)]
+        );
+    }
+
+    #[test]
+    fn every_tail_alignment_pins_offsets() {
+        // Sweep input lengths 1..=8 over a 4-nibble (2-byte) vector so the
+        // final vector takes every possible fill level; the report offsets
+        // must equal the unstrided automaton's at each length.
+        let nib = to_nibble_automaton(&compile_regex("zz", 3).unwrap()).unwrap();
+        let strided = stride_times(&nib, 2);
+        let stream = b"zzzzzzzz";
+        for len in 1..=stream.len() {
+            let input = &stream[..len];
+            let expected = to_byte(positions(&nib, input));
+            let got = to_byte(positions(&strided, input));
+            assert_eq!(got, expected, "input length {len}");
+            // Overlapping matches end at every byte from 1 onward.
+            let pinned: Vec<(u64, u32)> = (1..len as u64).map(|p| (p, 3)).collect();
+            assert_eq!(got, pinned, "input length {len}");
+        }
     }
 }

@@ -1,0 +1,15 @@
+//! The cross-layer conformance gate.
+//!
+//! Replays the historical regression corpus, sweeps the benchmark suite,
+//! and fuzzes random automata — all through every pipeline configuration
+//! (identity, nibble, stride×2, stride×4) × every engine — against the
+//! independent reference oracle. Exits nonzero on any divergence.
+//!
+//! ```text
+//! cargo run --release --bin conformance -- --seed 42 --cases 500
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(sunder::oracle::cli::run(&args));
+}

@@ -16,7 +16,10 @@
 //! * [`llc`] — Section 6's system integration: sliced-LLC addressing,
 //!   CAT way isolation, host configuration/readout traffic;
 //! * [`workloads`] — calibrated synthetic ANMLZoo/Regex benchmarks;
-//! * [`core`] — the end-to-end [`Engine`] most users want.
+//! * [`core`] — the end-to-end [`Engine`] most users want;
+//! * [`oracle`] — the cross-layer conformance oracle: a reference
+//!   executor independent of the simulator, pipeline equivalence
+//!   checking, and the structured fuzzer behind the `conformance` binary.
 //!
 //! ```
 //! use sunder::Engine;
@@ -37,6 +40,7 @@ pub use sunder_automata as automata;
 pub use sunder_baselines as baselines;
 pub use sunder_core as core;
 pub use sunder_llc as llc;
+pub use sunder_oracle as oracle;
 pub use sunder_sim as sim;
 pub use sunder_tech as tech;
 pub use sunder_transform as transform;
