@@ -52,7 +52,7 @@ pub mod subarray;
 pub use config::SunderConfig;
 pub use energy::EnergyEstimate;
 pub use interconnect::InterconnectUsage;
-pub use machine::{PlacementSummary, SunderMachine};
+pub use machine::{MachineFault, PlacementSummary, SunderMachine};
 pub use placement::{place, Placement, PlacementError};
 pub use reporting::{ReportEntry, ReportRegion};
 pub use stats::RunStats;

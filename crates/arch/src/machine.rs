@@ -81,6 +81,35 @@ pub struct SunderMachine {
     report_batch: Vec<ReportEvent>,
     cross_buf: Vec<(u32, u8)>,
     fifo_dirty: Vec<u32>,
+    /// Injected overflow-storm windows: `(from, until)` half-open cycles.
+    storm_windows: Vec<(u64, u64)>,
+    /// Per PU: report rows stuck (FIFO drain disabled).
+    stuck: Vec<bool>,
+}
+
+/// An injectable cycle-model fault (deterministic fault-injection hooks
+/// for the resilience harness; see `sunder-resilience`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineFault {
+    /// Every report write in cycles `[from_cycle, from_cycle + cycles)` is
+    /// forced down the region-full path, as if the region had overflowed —
+    /// an overflow storm. Stall accounting stays exact: each forced write
+    /// charges the same flush/drain-wait stall a real overflow would.
+    FifoOverflowStorm {
+        /// First storm cycle.
+        from_cycle: u64,
+        /// Storm length in cycles.
+        cycles: u64,
+    },
+    /// The given PU's report rows stop draining: FIFO drains (periodic
+    /// ticks and overflow-wait drains) return nothing. The machine
+    /// recovers from the resulting wedged overflow with a full flush,
+    /// counted in [`RunStats::stuck_row_recoveries`]. No effect in flush
+    /// (non-FIFO) mode, which never drains row-by-row.
+    StuckReportRow {
+        /// Index of the stuck processing unit.
+        pu: usize,
+    },
 }
 
 /// Summary of how the automaton was placed.
@@ -244,7 +273,33 @@ impl SunderMachine {
             report_batch: Vec::new(),
             cross_buf: Vec::new(),
             fifo_dirty: Vec::new(),
+            storm_windows: Vec::new(),
+            stuck: vec![false; n_pus],
         }
+    }
+
+    /// Arms a deterministic cycle-model fault. Multiple faults compose;
+    /// a [`MachineFault::StuckReportRow`] naming a nonexistent PU is
+    /// ignored (the plan may be written for a larger placement).
+    pub fn inject_fault(&mut self, fault: MachineFault) {
+        match fault {
+            MachineFault::FifoOverflowStorm { from_cycle, cycles } => {
+                self.storm_windows
+                    .push((from_cycle, from_cycle.saturating_add(cycles)));
+            }
+            MachineFault::StuckReportRow { pu } => {
+                if let Some(s) = self.stuck.get_mut(pu) {
+                    *s = true;
+                }
+            }
+        }
+    }
+
+    /// `true` while an injected overflow storm covers the current cycle.
+    fn storm_active(&self) -> bool {
+        self.storm_windows
+            .iter()
+            .any(|&(from, until)| self.cycle >= from && self.cycle < until)
     }
 
     /// The machine configuration.
@@ -414,6 +469,12 @@ impl SunderMachine {
         {
             let dirty = std::mem::take(&mut self.fifo_dirty);
             for &pi in &dirty {
+                if self.stuck[pi as usize] {
+                    // Stuck report rows: the drain reads nothing; the PU
+                    // stays dirty so a later recovery can resume it.
+                    self.fifo_dirty.push(pi);
+                    continue;
+                }
                 let pu = &mut self.pus[pi as usize];
                 let drained = pu.region.drain_row(&pu.subarray);
                 self.stats.fifo_drained_entries += drained.len() as u64;
@@ -439,9 +500,20 @@ impl SunderMachine {
     /// behavior on overflow.
     fn write_report_entry(&mut self, pi: u32, mask: u32) {
         let config = self.config;
-        let pu = &mut self.pus[pi as usize];
         self.stats.report_entries += 1;
-        match pu.region.write(&mut pu.subarray, mask, self.cycle) {
+        let storm = self.storm_active();
+        let stuck = self.stuck[pi as usize];
+        let pu = &mut self.pus[pi as usize];
+        let first = if storm {
+            // Injected overflow storm: the write is forced down the full
+            // path without touching the region, so stall accounting is
+            // charged exactly as a real overflow would charge it.
+            self.stats.forced_overflows += 1;
+            WriteOutcome::Full
+        } else {
+            pu.region.write(&mut pu.subarray, mask, self.cycle)
+        };
+        match first {
             WriteOutcome::Stored => {
                 if config.fifo && pu.region.len() == 1 {
                     self.fifo_dirty.push(pi);
@@ -452,8 +524,10 @@ impl SunderMachine {
                 if config.fifo {
                     // Wait for the next drain tick, drain one row, retry.
                     self.stats.stall_cycles += u64::from(config.drain_period_cycles);
-                    let drained = pu.region.drain_row(&pu.subarray);
-                    self.stats.fifo_drained_entries += drained.len() as u64;
+                    if !stuck {
+                        let drained = pu.region.drain_row(&pu.subarray);
+                        self.stats.fifo_drained_entries += drained.len() as u64;
+                    }
                 } else {
                     // Flush: the whole device stalls while the region
                     // bursts out through Port 1. Regions filling in the
@@ -464,8 +538,25 @@ impl SunderMachine {
                     }
                     let _ = pu.region.flush(&mut pu.subarray);
                 }
-                let retry = pu.region.write(&mut pu.subarray, mask, self.cycle);
-                debug_assert_eq!(retry, WriteOutcome::Stored);
+                let mut retry = pu.region.write(&mut pu.subarray, mask, self.cycle);
+                if retry != WriteOutcome::Stored {
+                    // Graceful fallback: a stuck row blocks the FIFO drain,
+                    // so instead of wedging, the machine falls back to a
+                    // full flush (which power-cycles the row) and records
+                    // the recovery.
+                    self.stats.stuck_row_recoveries += 1;
+                    if self.last_flush_cycle != Some(self.cycle) {
+                        self.stats.stall_cycles += config.flush_stall_cycles();
+                        self.last_flush_cycle = Some(self.cycle);
+                    }
+                    let _ = pu.region.flush(&mut pu.subarray);
+                    retry = pu.region.write(&mut pu.subarray, mask, self.cycle);
+                    assert_eq!(
+                        retry,
+                        WriteOutcome::Stored,
+                        "write must succeed after a full flush"
+                    );
+                }
                 if config.fifo && !pu.region.is_empty() && pu.region.len() == 1 {
                     self.fifo_dirty.push(pi);
                 }
@@ -667,6 +758,87 @@ mod tests {
         assert_eq!(machine.stats().summarize_stall_cycles, 2 * 14);
         // Summarization is non-destructive.
         assert_eq!(machine.region_len(0), 20);
+    }
+
+    #[test]
+    fn overflow_storm_accounting_is_exact_without_fifo() {
+        // Storm cycles 10..15: five forced overflows, each its own flush
+        // episode (one per cycle), each charging the full 224-cycle stall.
+        let mut machine = hot_machine(false);
+        machine.inject_fault(MachineFault::FifoOverflowStorm {
+            from_cycle: 10,
+            cycles: 5,
+        });
+        let stats = run_hot(&mut machine, 100);
+        assert_eq!(stats.forced_overflows, 5);
+        assert_eq!(stats.flushes, 5);
+        assert_eq!(stats.stall_cycles, 5 * 224);
+        assert_eq!(stats.report_entries, 100);
+        // Each forced flush empties the region and stores one entry, so
+        // the survivors are the storm's last write plus everything after.
+        assert_eq!(machine.region_len(0), 86);
+        assert_eq!(stats.stuck_row_recoveries, 0);
+    }
+
+    #[test]
+    fn overflow_storm_in_fifo_mode_charges_drain_waits() {
+        let mut machine = hot_machine(true);
+        machine.inject_fault(MachineFault::FifoOverflowStorm {
+            from_cycle: 10,
+            cycles: 3,
+        });
+        let stats = run_hot(&mut machine, 100);
+        assert_eq!(stats.forced_overflows, 3);
+        assert_eq!(stats.flushes, 3);
+        // Each forced overflow waits one default drain period (8 cycles).
+        assert_eq!(stats.stall_cycles, 3 * 8);
+        // Entry conservation: every entry is drained or still buffered.
+        assert_eq!(stats.fifo_drained_entries + machine.region_len(0), 100);
+    }
+
+    #[test]
+    fn stuck_row_wedges_fifo_and_recovers_with_full_flush() {
+        // Slow drain (64 cycles/row) would already overflow; a stuck row
+        // additionally blocks both the ticks and the overflow-wait drain,
+        // so every overflow wedges and recovers via full flush.
+        let mut config = SunderConfig::with_rate(Rate::Nibble2).fifo(true);
+        config.drain_period_cycles = 64;
+        let mut machine = SunderMachine::new(&hot_nfa(), config).unwrap();
+        machine.inject_fault(MachineFault::StuckReportRow { pu: 0 });
+        let stats = run_hot(&mut machine, 4000);
+        // Region capacity 1792: overflow at entries 1793 and 3585.
+        assert_eq!(stats.flushes, 2);
+        assert_eq!(stats.stuck_row_recoveries, 2);
+        // Each episode: one drain-period wait + one full-flush stall.
+        assert_eq!(stats.stall_cycles, 2 * (64 + 224));
+        // Nothing ever drains through the stuck row.
+        assert_eq!(stats.fifo_drained_entries, 0);
+        // Survivors: 1 after each recovery + the tail after the second.
+        assert_eq!(machine.region_len(0), 416);
+    }
+
+    #[test]
+    fn stuck_row_on_nonexistent_pu_is_ignored() {
+        let mut machine = hot_machine(true);
+        machine.inject_fault(MachineFault::StuckReportRow { pu: 99 });
+        let stats = run_hot(&mut machine, 4000);
+        assert_eq!(stats.stuck_row_recoveries, 0);
+        assert_eq!(stats.stall_cycles, 0);
+        assert_eq!(stats.fifo_drained_entries + machine.region_len(0), 4000);
+    }
+
+    #[test]
+    fn storm_outside_input_changes_nothing() {
+        let mut clean = hot_machine(false);
+        let clean_stats = run_hot(&mut clean, 100);
+        let mut armed = hot_machine(false);
+        armed.inject_fault(MachineFault::FifoOverflowStorm {
+            from_cycle: 10_000,
+            cycles: 50,
+        });
+        let armed_stats = run_hot(&mut armed, 100);
+        assert_eq!(armed_stats, clean_stats);
+        assert_eq!(armed_stats.forced_overflows, 0);
     }
 
     #[test]

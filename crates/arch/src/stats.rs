@@ -24,6 +24,12 @@ pub struct RunStats {
     pub summarize_stall_cycles: u64,
     /// Entries drained to the host by the FIFO strategy during execution.
     pub fifo_drained_entries: u64,
+    /// Report writes forced down the overflow path by an injected
+    /// overflow storm (fault injection; zero in clean runs).
+    pub forced_overflows: u64,
+    /// Wedged overflows (FIFO drain blocked by a stuck report row)
+    /// recovered via a full flush (fault injection; zero in clean runs).
+    pub stuck_row_recoveries: u64,
 }
 
 impl RunStats {

@@ -5,9 +5,12 @@
 //!
 //! Usage: `cargo run -p sunder-bench --bin fig10`
 
+use std::process::ExitCode;
+
 use sunder_arch::sensitivity::{figure10, HOST_ROW_READ_CYCLES};
 use sunder_arch::{SunderConfig, SunderMachine};
 use sunder_automata::{InputView, Nfa, StartKind, Ste, SymbolSet};
+use sunder_bench::error::{bench_main, BenchError, Context};
 use sunder_bench::table::TextTable;
 use sunder_sim::NullSink;
 use sunder_transform::{transform_to_rate, Rate};
@@ -28,9 +31,10 @@ fn hot_automaton(percent: u32) -> Nfa {
 
 /// Runs the machine on uniform-random bytes and returns the measured
 /// slowdown, with the host drain cost matched to the analytic model.
-fn measured_slowdown(percent: u32, summarize_mode: bool) -> f64 {
+fn measured_slowdown(percent: u32, summarize_mode: bool) -> Result<f64, BenchError> {
     let nfa = hot_automaton(percent);
-    let strided = transform_to_rate(&nfa, Rate::Nibble4).expect("transform");
+    let strided = transform_to_rate(&nfa, Rate::Nibble4)
+        .with_context(|| format!("nibble transform for {percent}% hot automaton"))?;
     let mut config = SunderConfig::with_rate(Rate::Nibble4);
     config.flush_cycles_per_row = HOST_ROW_READ_CYCLES as u32;
     // Uniform bytes via a fixed multiplicative generator.
@@ -43,10 +47,11 @@ fn measured_slowdown(percent: u32, summarize_mode: bool) -> f64 {
             (x >> 33) as u8
         })
         .collect();
-    let view = InputView::new(&input, 4, 4).expect("view");
-    let mut machine = SunderMachine::new(&strided, config).expect("place");
+    let view = InputView::new(&input, 4, 4).context("build 4-nibble input view")?;
+    let mut machine = SunderMachine::new(&strided, config)
+        .with_context(|| format!("place {percent}% hot automaton"))?;
     let stats = machine.run(&view, &mut NullSink);
-    if summarize_mode {
+    Ok(if summarize_mode {
         // Summarization replaces the flush drain: per fill, 12 batches of
         // (2-cycle NOR + one summary-row transfer) instead of 192 rows.
         let per_fill_flush = config.flush_stall_cycles();
@@ -55,10 +60,10 @@ fn measured_slowdown(percent: u32, summarize_mode: bool) -> f64 {
         (stats.input_cycles + adjusted) as f64 / stats.input_cycles as f64
     } else {
         stats.reporting_overhead()
-    }
+    })
 }
 
-fn main() {
+fn run() -> Result<u8, BenchError> {
     println!("Figure 10: slowdown vs. reporting-cycle percentage\n");
     let config = SunderConfig::with_rate(Rate::Nibble4);
     let percents = [1, 2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
@@ -74,9 +79,9 @@ fn main() {
         table.row([
             format!("{p}%"),
             format!("{plain:.2}x"),
-            format!("{:.2}x", measured_slowdown(p, false)),
+            format!("{:.2}x", measured_slowdown(p, false)?),
             format!("{summarized:.2}x"),
-            format!("{:.2}x", measured_slowdown(p, true)),
+            format!("{:.2}x", measured_slowdown(p, true)?),
         ]);
     }
     print!("{}", table.render());
@@ -89,4 +94,9 @@ fn main() {
         "Paper anchors: negligible below 5%; worst case 7x without and 1.4x with summarization."
     );
     println!("(AP-style reporting reaches 46x at just 3.24% report cycles — SPM in Table 1.)");
+    Ok(0)
+}
+
+fn main() -> ExitCode {
+    bench_main(run)
 }

@@ -1,198 +1,112 @@
 //! Engine comparison sweep: runs the full 19-benchmark suite on all three
-//! functional engines (sparse, dense bit-parallel, adaptive), verifies
-//! that every engine produces a byte-identical report trace, measures
-//! per-engine throughput, and writes a machine-readable summary to
-//! `BENCH_engine.json`.
+//! functional engines (sparse, dense bit-parallel, adaptive) under the
+//! panic-isolating supervisor, verifies that every engine produces a
+//! byte-identical report trace, measures per-engine throughput, and
+//! writes a machine-readable summary to `BENCH_engine.json`.
 //!
 //! Usage: `cargo run -p sunder-bench --release --bin suite
-//! [--small | --paper] [--workers N] [--out PATH]`
+//! [--small | --paper] [--workers N] [--out PATH] [--runs N]
+//! [--deadline-ms N] [--fault-plan FILE]`
 //!
 //! Default scale is `--small` (seconds, not minutes). Benchmarks fan out
-//! across worker threads via the deterministic parallel runner; the JSON
-//! and table are merged in benchmark order, identical for any worker
-//! count.
+//! across supervised worker threads; a benchmark that panics, times out,
+//! or fails is reported by name while the rest of the suite completes.
+//! The JSON and table are merged in benchmark order, identical for any
+//! worker count.
+//!
+//! Exit codes: 0 all ok, 1 engines disagreed on a report trace, 2 usage
+//! or I/O error, 3 suite completed with failed jobs (partial results).
 
-use std::time::Instant;
+use std::process::ExitCode;
+use std::time::Duration;
 
-use sunder_automata::InputView;
-use sunder_bench::parallel::{run_indexed, workers_from_args};
-use sunder_bench::table::TextTable;
-use sunder_sim::{EngineKind, NullSink, TraceSink};
-use sunder_workloads::{Benchmark, Scale};
+use sunder_bench::error::{bench_main, BenchError, Context};
+use sunder_bench::parallel::workers_from_args;
+use sunder_bench::suite::{render_json, render_table, run_suite, SuiteOptions};
+use sunder_resilience::FaultPlan;
+use sunder_workloads::Scale;
 
-struct SuiteRow {
-    name: &'static str,
-    states: usize,
-    input_bytes: usize,
-    reports: usize,
-    /// ns per run, indexed like [`EngineKind::ALL`].
-    ns: [u64; 3],
-    /// Mean active states per cycle (frontier density).
-    avg_active: f64,
-    traces_equal: bool,
-}
-
-/// Times `runs` full passes and returns the best-of ns (minimum wall
-/// clock, the standard noise-robust point estimate).
-fn time_engine(kind: EngineKind, nfa: &sunder_automata::Nfa, input: &InputView, runs: u32) -> u64 {
-    let mut best = u64::MAX;
-    for _ in 0..runs {
-        let mut engine = kind.build(nfa);
-        let start = Instant::now();
-        engine.run(input, &mut NullSink);
-        best = best.min(start.elapsed().as_nanos() as u64);
-    }
-    best
-}
-
-fn run_benchmark(bench: &Benchmark, scale: Scale, runs: u32) -> SuiteRow {
-    let w = bench.build(scale);
-    let input = InputView::new(&w.input, 8, 1).expect("byte view");
-
-    // Correctness first: all three engines must emit identical traces.
-    let mut traces = Vec::new();
-    for kind in EngineKind::ALL {
-        let mut engine = kind.build(&w.nfa);
-        let mut sink = TraceSink::new();
-        engine.run(&input, &mut sink);
-        traces.push(sink.events);
-    }
-    let traces_equal = traces.windows(2).all(|w| w[0] == w[1]);
-
-    // Frontier density, for the table's context column.
-    struct Activity(u64, u64);
-    impl sunder_sim::ReportSink for Activity {
-        fn on_cycle_reports(&mut self, _cycle: u64, _reports: &[sunder_sim::ReportEvent]) {}
-
-        fn on_cycle_activity(&mut self, _cycle: u64, active: usize) {
-            self.0 += active as u64;
-            self.1 += 1;
-        }
-    }
-    let mut act = Activity(0, 0);
-    let mut sparse = sunder_sim::Simulator::new(&w.nfa);
-    sparse.run(&input, &mut act);
-    let avg_active = act.0 as f64 / act.1.max(1) as f64;
-
-    let ns = [
-        time_engine(EngineKind::Sparse, &w.nfa, &input, runs),
-        time_engine(EngineKind::Dense, &w.nfa, &input, runs),
-        time_engine(EngineKind::Adaptive, &w.nfa, &input, runs),
-    ];
-
-    SuiteRow {
-        name: bench.name(),
-        states: w.nfa.num_states(),
-        input_bytes: w.input.len(),
-        reports: traces[0].len(),
-        ns,
-        avg_active,
-        traces_equal,
+/// Parses `--flag VALUE` out of the raw argument list.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, BenchError> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .map(|v| Some(v.as_str()))
+            .with_context(|| format!("{flag} requires a value")),
     }
 }
 
-fn write_json(path: &str, scale_name: &str, workers: usize, rows: &[SuiteRow]) {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
-    out.push_str(&format!("  \"workers\": {workers},\n"));
-    out.push_str("  \"engines\": [\"sparse\", \"dense\", \"adaptive\"],\n");
-    out.push_str("  \"benchmarks\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let speedup_dense = r.ns[0] as f64 / r.ns[1].max(1) as f64;
-        let speedup_adaptive = r.ns[0] as f64 / r.ns[2].max(1) as f64;
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"states\": {}, \"input_bytes\": {}, \
-             \"reports\": {}, \"avg_active\": {:.2}, \"sparse_ns\": {}, \
-             \"dense_ns\": {}, \"adaptive_ns\": {}, \"speedup_dense\": {:.3}, \
-             \"speedup_adaptive\": {:.3}, \"traces_equal\": {}}}{}\n",
-            r.name,
-            r.states,
-            r.input_bytes,
-            r.reports,
-            r.avg_active,
-            r.ns[0],
-            r.ns[1],
-            r.ns[2],
-            speedup_dense,
-            speedup_adaptive,
-            r.traces_equal,
-            if i + 1 < rows.len() { "," } else { "" },
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    std::fs::write(path, out).expect("write JSON summary");
-}
-
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
+fn run() -> Result<u8, BenchError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let paper = args.iter().any(|a| a == "--paper");
-    let workers = workers_from_args(&args);
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
-        .unwrap_or("BENCH_engine.json")
-        .to_string();
-    let (scale, scale_name, runs) = if paper {
+    let workers = workers_from_args(&args).map_err(BenchError::msg)?;
+    let out_path = flag_value(&args, "--out")?.unwrap_or("BENCH_engine.json");
+
+    let (scale, scale_name, default_runs) = if paper {
         (Scale::paper(), "paper", 1)
     } else {
         (Scale::small(), "small", 7)
     };
+    let runs = match flag_value(&args, "--runs")? {
+        None => default_runs,
+        Some(v) => v
+            .parse::<u32>()
+            .with_context(|| format!("invalid --runs value {v:?}: expected an integer"))?,
+    };
+    let deadline = flag_value(&args, "--deadline-ms")?
+        .map(|v| {
+            v.parse::<u64>()
+                .map(Duration::from_millis)
+                .with_context(|| {
+                    format!("invalid --deadline-ms value {v:?}: expected milliseconds")
+                })
+        })
+        .transpose()?;
+    let plan = match flag_value(&args, "--fault-plan")? {
+        None => FaultPlan::none(),
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .with_context(|| format!("read fault plan {path:?}"))?;
+            FaultPlan::from_text(&text)
+                .map_err(BenchError::msg)
+                .with_context(|| format!("parse fault plan {path:?}"))?
+        }
+    };
 
-    println!("Engine suite: 19 benchmarks x 3 engines ({scale_name} scale, {workers} workers)\n");
-    let wall = Instant::now();
-    let rows = run_indexed(&Benchmark::ALL, workers, |_, bench| {
-        run_benchmark(bench, scale, runs)
-    });
-    let wall = wall.elapsed();
+    let opts = SuiteOptions {
+        scale,
+        scale_name: scale_name.to_string(),
+        runs,
+        workers,
+        deadline,
+        plan,
+    };
 
-    let mut table = TextTable::new([
-        "Benchmark",
-        "States",
-        "AvgActive",
-        "Sparse ms",
-        "Dense ms",
-        "Adaptive ms",
-        "Dense x",
-        "Adaptive x",
-        "TraceEq",
-    ]);
-    let mut all_equal = true;
-    for r in &rows {
-        all_equal &= r.traces_equal;
-        table.row([
-            r.name.to_string(),
-            format!("{}", r.states),
-            format!("{:.1}", r.avg_active),
-            format!("{:.2}", r.ns[0] as f64 / 1e6),
-            format!("{:.2}", r.ns[1] as f64 / 1e6),
-            format!("{:.2}", r.ns[2] as f64 / 1e6),
-            format!("{:.2}", r.ns[0] as f64 / r.ns[1].max(1) as f64),
-            format!("{:.2}", r.ns[0] as f64 / r.ns[2].max(1) as f64),
-            format!("{}", r.traces_equal),
-        ]);
-    }
-    print!("{}", table.render());
-
-    let gmean_adaptive = rows
-        .iter()
-        .map(|r| (r.ns[0] as f64 / r.ns[2].max(1) as f64).ln())
-        .sum::<f64>()
-        / rows.len() as f64;
     println!(
-        "\nAdaptive geomean speedup over sparse: {:.2}x; wall time {:.2}s on {} workers",
-        gmean_adaptive.exp(),
-        wall.as_secs_f64(),
-        workers
+        "Engine suite: 19 benchmarks x 3 engines ({scale_name} scale, {workers} workers{})\n",
+        if opts.plan.is_empty() {
+            String::new()
+        } else {
+            format!(", {} injected faults", opts.plan.faults.len())
+        }
     );
+    let report = run_suite(&opts);
 
-    write_json(&out_path, scale_name, workers, &rows);
+    print!("{}", render_table(&report));
+    std::fs::write(out_path, render_json(&report))
+        .with_context(|| format!("write JSON summary {out_path:?}"))?;
     println!("Machine-readable summary written to {out_path}");
 
-    if !all_equal {
+    if !report.traces_all_equal() {
         eprintln!("ERROR: engines disagreed on at least one report trace");
-        std::process::exit(1);
     }
+    if !report.summary.no_failures() {
+        eprintln!("WARNING: suite completed with failures: {}", report.summary);
+    }
+    Ok(report.exit_code())
+}
+
+fn main() -> ExitCode {
+    bench_main(run)
 }

@@ -11,17 +11,20 @@
 //! scheduled); the table is merged in benchmark order, so the output is
 //! identical for any worker count.
 
+use std::process::ExitCode;
+
 use sunder_automata::stats::StaticStats;
 use sunder_automata::InputView;
+use sunder_bench::error::{bench_main, BenchError};
 use sunder_bench::parallel::{run_indexed, workers_from_args};
 use sunder_bench::table::TextTable;
 use sunder_sim::{DynamicStatsSink, Simulator};
 use sunder_workloads::{Benchmark, Scale};
 
-fn main() {
+fn run() -> Result<u8, BenchError> {
     let args: Vec<String> = std::env::args().collect();
     let small = args.iter().any(|a| a == "--small");
-    let workers = workers_from_args(&args);
+    let workers = workers_from_args(&args).map_err(BenchError::msg)?;
     let scale = if small {
         Scale::small()
     } else {
@@ -92,4 +95,9 @@ fn main() {
             "\n(*) paper values are per 1 MB; small scale shrinks absolute counts proportionally."
         );
     }
+    Ok(0)
+}
+
+fn main() -> ExitCode {
+    bench_main(run)
 }

@@ -3,6 +3,9 @@
 //!
 //! Usage: `cargo run -p sunder-bench --release --bin table3 [--small]`
 
+use std::process::ExitCode;
+
+use sunder_bench::error::{bench_main, BenchError, Context};
 use sunder_bench::table::TextTable;
 use sunder_transform::{Rate, TransformStats};
 use sunder_workloads::{Benchmark, Scale};
@@ -46,7 +49,7 @@ fn fmt_paper(v: f64) -> String {
     }
 }
 
-fn main() {
+fn run() -> Result<u8, BenchError> {
     let small = std::env::args().any(|a| a == "--small");
     let scale = if small {
         Scale::small()
@@ -83,7 +86,8 @@ fn main() {
     let mut counted = 0usize;
     for (bench, paper) in Benchmark::ALL.iter().zip(PAPER.iter()) {
         let w = bench.build(scale);
-        let stats = TransformStats::measure(&w.nfa).expect("transform");
+        let stats = TransformStats::measure(&w.nfa)
+            .with_context(|| format!("measure nibble transforms for {}", bench.name()))?;
         let vals = [
             stats.state_ratio(Rate::Nibble1),
             stats.state_ratio(Rate::Nibble2),
@@ -129,4 +133,9 @@ fn main() {
         "1.8x".to_string(),
     ]);
     print!("{}", table.render());
+    Ok(0)
+}
+
+fn main() -> ExitCode {
+    bench_main(run)
 }

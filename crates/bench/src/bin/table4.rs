@@ -8,6 +8,9 @@
 //! scheduled); rows merge in benchmark order, so the output is identical
 //! for any worker count.
 
+use std::process::ExitCode;
+
+use sunder_bench::error::{bench_main, BenchError};
 use sunder_bench::harness::run_table4;
 use sunder_bench::parallel::{run_indexed, workers_from_args};
 use sunder_bench::table::TextTable;
@@ -37,10 +40,10 @@ const PAPER: [(&str, u64, f64, u64, f64, f64, f64); 19] = [
     ("EntityResolution", 0, 1.0, 0, 1.0, 2.25, 1.8),
 ];
 
-fn main() {
+fn run() -> Result<u8, BenchError> {
     let args: Vec<String> = std::env::args().collect();
     let small = args.iter().any(|a| a == "--small");
-    let workers = workers_from_args(&args);
+    let workers = workers_from_args(&args).map_err(BenchError::msg)?;
     let scale = if small {
         Scale::small()
     } else {
@@ -117,4 +120,9 @@ fn main() {
         sums[2] / n,
         sums[3] / n
     );
+    Ok(0)
+}
+
+fn main() -> ExitCode {
+    bench_main(run)
 }

@@ -1,0 +1,189 @@
+//! A minimal `anyhow`-style error path for the bench binaries.
+//!
+//! The bench binaries talk to the filesystem and parse arguments; both
+//! can fail in ways a user can fix, so they must exit with a message and
+//! a nonzero code — not a panic backtrace. [`BenchError`] is a plain
+//! message-with-context chain, the [`Context`] extension adds context to
+//! any `Result`, and [`bench_main`] is the shared `main` wrapper that
+//! prints the chain and converts it to an exit code.
+//!
+//! ```
+//! use sunder_bench::error::{bail, BenchError, Context};
+//!
+//! fn parse(n: &str) -> Result<u32, BenchError> {
+//!     if n.is_empty() {
+//!         bail!("empty argument");
+//!     }
+//!     n.parse().with_context(|| format!("invalid number {n:?}"))
+//! }
+//! assert!(parse("12").is_ok());
+//! assert!(parse("x").unwrap_err().to_string().contains("invalid number"));
+//! ```
+
+use std::process::ExitCode;
+
+/// A contextual error: a message plus the chain of causes below it.
+#[derive(Debug)]
+pub struct BenchError {
+    message: String,
+    source: Option<Box<BenchError>>,
+}
+
+impl BenchError {
+    /// An error with a bare message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        BenchError {
+            message: message.into(),
+            source: None,
+        }
+    }
+
+    /// Wraps this error under a higher-level context message.
+    pub fn context(self, message: impl Into<String>) -> Self {
+        BenchError {
+            message: message.into(),
+            source: Some(Box::new(self)),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)?;
+        let mut cause = self.source.as_deref();
+        while let Some(c) = cause {
+            write!(f, ": {}", c.message)?;
+            cause = c.source.as_deref();
+        }
+        Ok(())
+    }
+}
+
+// NOTE: `BenchError` deliberately does NOT implement `std::error::Error`.
+// Like `anyhow::Error`, that is what makes the blanket `From<E: Error>`
+// below coherent (the reflexive `From<BenchError> for BenchError` would
+// otherwise collide with it).
+impl<E: std::error::Error> From<E> for BenchError {
+    fn from(e: E) -> Self {
+        // Fold std error sources into the chain so `Display` shows them.
+        let mut chain = Vec::new();
+        chain.push(e.to_string());
+        let mut src = e.source();
+        while let Some(s) = src {
+            chain.push(s.to_string());
+            src = s.source();
+        }
+        let mut it = chain.into_iter().rev();
+        let mut err = BenchError::msg(it.next().unwrap_or_default());
+        for message in it {
+            err = err.context(message);
+        }
+        err
+    }
+}
+
+/// Constructs a `BenchError` from a format string (like `anyhow::anyhow!`).
+#[macro_export]
+macro_rules! bench_err {
+    ($($arg:tt)*) => {
+        $crate::error::BenchError::msg(format!($($arg)*))
+    };
+}
+
+/// Returns early with a `BenchError` (like `anyhow::bail!`).
+#[macro_export]
+macro_rules! bail {
+    ($($arg:tt)*) => {
+        return Err($crate::bench_err!($($arg)*).into())
+    };
+}
+
+pub use crate::{bail, bench_err};
+
+/// Extension adding context to fallible operations.
+pub trait Context<T> {
+    /// Wraps the error with `message`.
+    fn context(self, message: impl Into<String>) -> Result<T, BenchError>;
+
+    /// Wraps the error with a lazily built message.
+    fn with_context<S: Into<String>>(self, f: impl FnOnce() -> S) -> Result<T, BenchError>;
+}
+
+impl<T, E: Into<BenchError>> Context<T> for Result<T, E> {
+    fn context(self, message: impl Into<String>) -> Result<T, BenchError> {
+        self.map_err(|e| e.into().context(message))
+    }
+
+    fn with_context<S: Into<String>>(self, f: impl FnOnce() -> S) -> Result<T, BenchError> {
+        self.map_err(|e| e.into().context(f()))
+    }
+}
+
+impl<T> Context<T> for Option<T> {
+    fn context(self, message: impl Into<String>) -> Result<T, BenchError> {
+        self.ok_or_else(|| BenchError::msg(message))
+    }
+
+    fn with_context<S: Into<String>>(self, f: impl FnOnce() -> S) -> Result<T, BenchError> {
+        self.ok_or_else(|| BenchError::msg(f()))
+    }
+}
+
+/// Shared `main` wrapper: runs `run`, printing the error chain to stderr
+/// and exiting 2 (usage/environment error) on failure. `run` returns the
+/// process exit code on success so binaries can signal partial failure
+/// (e.g. the suite's "completed with failed jobs" code).
+pub fn bench_main(run: impl FnOnce() -> Result<u8, BenchError>) -> ExitCode {
+    match run() {
+        Ok(code) => ExitCode::from(code),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_the_context_chain() {
+        let e = BenchError::msg("root cause")
+            .context("middle")
+            .context("top");
+        assert_eq!(e.to_string(), "top: middle: root cause");
+    }
+
+    #[test]
+    fn result_context_wraps_io_errors() {
+        let r: Result<String, _> = std::fs::read_to_string("/definitely/not/here");
+        let e = r.context("read config").unwrap_err();
+        let s = e.to_string();
+        assert!(s.starts_with("read config: "), "{s}");
+    }
+
+    #[test]
+    fn option_context_becomes_error() {
+        let v: Option<u32> = None;
+        let e = v.with_context(|| "missing value").unwrap_err();
+        assert_eq!(e.to_string(), "missing value");
+        assert_eq!(Some(3).context("unused").unwrap(), 3);
+    }
+
+    #[test]
+    fn macros_build_errors() {
+        fn fails() -> Result<(), BenchError> {
+            bail!("bad {}", 7);
+        }
+        assert_eq!(fails().unwrap_err().to_string(), "bad 7");
+        assert_eq!(bench_err!("x{}", 1).to_string(), "x1");
+    }
+
+    #[test]
+    fn std_error_sources_fold_into_chain() {
+        let parse_err = "abc".parse::<u32>().unwrap_err();
+        let e: BenchError = parse_err.into();
+        assert!(e.to_string().contains("invalid digit"), "{e}");
+    }
+}

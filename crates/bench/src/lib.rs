@@ -5,6 +5,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod error;
 pub mod harness;
 pub mod parallel;
+pub mod suite;
 pub mod table;

@@ -20,17 +20,32 @@ pub fn default_workers() -> usize {
 }
 
 /// Parses a `--workers N` override out of a raw argument list, falling
-/// back to [`default_workers`].
-pub fn workers_from_args<S: AsRef<str>>(args: &[S]) -> usize {
+/// back to [`default_workers`] when the flag is absent.
+///
+/// # Errors
+///
+/// An invalid value (`--workers abc`, `--workers 0`, or a trailing
+/// `--workers` with no value) is a hard error — silently falling back to
+/// the default would hide the typo and run with an unintended worker
+/// count.
+pub fn workers_from_args<S: AsRef<str>>(args: &[S]) -> Result<usize, String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a.as_ref() == "--workers" {
-            if let Some(n) = it.next().and_then(|v| v.as_ref().parse::<usize>().ok()) {
-                return n.max(1);
-            }
+            let Some(value) = it.next() else {
+                return Err("--workers requires a value (e.g. --workers 4)".to_string());
+            };
+            let value = value.as_ref();
+            return match value.parse::<usize>() {
+                Ok(0) => Err("--workers must be at least 1, got 0".to_string()),
+                Ok(n) => Ok(n),
+                Err(_) => Err(format!(
+                    "invalid --workers value {value:?}: expected a positive integer"
+                )),
+            };
         }
     }
-    default_workers()
+    Ok(default_workers())
 }
 
 /// Applies `f` to every item on up to `workers` scoped threads and
@@ -43,51 +58,83 @@ pub fn workers_from_args<S: AsRef<str>>(args: &[S]) -> usize {
 ///
 /// # Panics
 ///
-/// Propagates a panic from any worker (the scope joins all threads
-/// first).
+/// Propagates the first (lowest-index) panicking work item, labelled with
+/// the item index and the panic message — never a bare worker-thread
+/// re-panic. For supervised execution that *survives* item panics, use
+/// `sunder_resilience::supervise` instead (the suite harness does).
 pub fn run_indexed<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let workers = workers.max(1).min(items.len().max(1));
-    if workers <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
+    run_indexed_named(items, workers, |i, _| format!("item {i}"), f)
+}
 
-    let next = AtomicUsize::new(0);
-    let mut collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(i) else { break };
-                        local.push((i, f(i, item)));
-                    }
-                    local
+/// [`run_indexed`] with a naming function so a propagated work-item panic
+/// carries the item's display name (e.g. the benchmark name) alongside
+/// its index.
+///
+/// # Panics
+///
+/// See [`run_indexed`].
+pub fn run_indexed_named<T, R, N, F>(items: &[T], workers: usize, name: N, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    N: Fn(usize, &T) -> String + Sync,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let run_caught = |i: usize, item: &T| -> Result<R, String> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, item)))
+            .map_err(|payload| sunder_resilience::panic_message(payload.as_ref()))
+    };
+
+    let workers = workers.max(1).min(items.len().max(1));
+    let mut collected: Vec<Vec<(usize, Result<R, String>)>> = if workers <= 1 {
+        vec![items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i, run_caught(i, t)))
+            .collect()]
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(item) = items.get(i) else { break };
+                            local.push((i, run_caught(i, item)));
+                        }
+                        local
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("benchmark worker panicked"))
-            .collect()
-    });
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panics are caught per item"))
+                .collect()
+        })
+    };
 
     // Merge by item index: order is independent of scheduling.
-    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let mut slots: Vec<Option<Result<R, String>>> = (0..items.len()).map(|_| None).collect();
     for local in &mut collected {
         for (i, r) in local.drain(..) {
             slots[i] = Some(r);
         }
     }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every item claimed exactly once"))
-        .collect()
+    let mut out = Vec::with_capacity(items.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot.expect("every item claimed exactly once") {
+            Ok(r) => out.push(r),
+            Err(message) => panic!("work item {i} ({}) panicked: {message}", name(i, &items[i])),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -133,11 +180,63 @@ mod tests {
 
     #[test]
     fn workers_arg_parsing() {
-        assert_eq!(workers_from_args(&["--workers", "3"]), 3);
-        assert_eq!(workers_from_args(&["--small", "--workers", "2"]), 2);
-        assert_eq!(workers_from_args(&["--workers", "0"]), 1);
-        assert_eq!(workers_from_args(&["--workers"]), default_workers());
+        assert_eq!(workers_from_args(&["--workers", "3"]), Ok(3));
+        assert_eq!(workers_from_args(&["--small", "--workers", "2"]), Ok(2));
         let none: [&str; 0] = [];
-        assert_eq!(workers_from_args(&none), default_workers());
+        assert_eq!(workers_from_args(&none), Ok(default_workers()));
+    }
+
+    #[test]
+    fn invalid_workers_values_are_hard_errors() {
+        let zero = workers_from_args(&["--workers", "0"]).unwrap_err();
+        assert!(zero.contains("at least 1"), "{zero}");
+        let abc = workers_from_args(&["--workers", "abc"]).unwrap_err();
+        assert!(abc.contains("\"abc\""), "{abc}");
+        let missing = workers_from_args(&["--workers"]).unwrap_err();
+        assert!(missing.contains("requires a value"), "{missing}");
+        let negative = workers_from_args(&["--workers", "-2"]).unwrap_err();
+        assert!(negative.contains("positive integer"), "{negative}");
+    }
+
+    #[test]
+    fn propagated_panic_is_labelled_with_index_and_name() {
+        let items: Vec<u32> = (0..8).collect();
+        for workers in [1, 4] {
+            let err = std::panic::catch_unwind(|| {
+                run_indexed_named(
+                    &items,
+                    workers,
+                    |i, _| format!("bench-{i}"),
+                    |i, &x| {
+                        if i == 5 {
+                            panic!("injected");
+                        }
+                        x
+                    },
+                )
+            })
+            .unwrap_err();
+            let message = sunder_resilience::panic_message(err.as_ref());
+            assert_eq!(
+                message, "work item 5 (bench-5) panicked: injected",
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn lowest_index_panic_wins_when_several_items_panic() {
+        let items: Vec<u32> = (0..16).collect();
+        let err = std::panic::catch_unwind(|| {
+            run_indexed(&items, 4, |i, &x| {
+                if i == 11 || i == 3 {
+                    panic!("boom {i}");
+                }
+                x
+            })
+        })
+        .unwrap_err();
+        let message = sunder_resilience::panic_message(err.as_ref());
+        assert_eq!(message, "work item 3 (item 3) panicked: boom 3");
     }
 }

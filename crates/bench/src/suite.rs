@@ -1,0 +1,511 @@
+//! The supervised engine-comparison suite (library form of the `suite`
+//! binary).
+//!
+//! Runs every benchmark of the 19-benchmark suite on all three functional
+//! engines, verifies trace equality, measures throughput, and — unlike a
+//! plain parallel map — runs every benchmark under the
+//! `sunder-resilience` supervisor: a panicking, stalling, or failing
+//! benchmark becomes a structured row in the report (with attribution)
+//! while the rest of the suite completes. A deterministic
+//! [`FaultPlan`] can inject failures for testing and CI smoke runs.
+//!
+//! Determinism: with `runs == 0` timing is skipped entirely (`ns` stays
+//! zero) and every surviving row is byte-identical across runs, worker
+//! counts, and fault plans — the property the resilience tests pin.
+
+use std::time::{Duration, Instant};
+
+use sunder_automata::InputView;
+use sunder_resilience::{
+    corrupt, supervise, FaultKind, FaultPlan, JobContext, JobError, JobOutcome, JobReport,
+    JobValue, SupervisorPolicy, SupervisorSummary,
+};
+use sunder_sim::{
+    AdaptiveEngine, AdaptiveLimits, Engine, EngineKind, NullSink, RunOutcome, TraceSink,
+};
+use sunder_workloads::{Benchmark, Scale};
+
+use crate::table::TextTable;
+
+/// One benchmark's results across the three engines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Automaton size.
+    pub states: usize,
+    /// Input length in bytes.
+    pub input_bytes: usize,
+    /// Reports emitted (identical across engines when `traces_equal`).
+    pub reports: usize,
+    /// Best-of-runs ns per engine, indexed like [`EngineKind::ALL`].
+    /// All zero when timing was skipped (`runs == 0`).
+    pub ns: [u64; 3],
+    /// Mean active states per cycle (frontier density).
+    pub avg_active: f64,
+    /// Whether all three engines produced byte-identical traces.
+    pub traces_equal: bool,
+}
+
+/// Suite configuration.
+#[derive(Debug, Clone)]
+pub struct SuiteOptions {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Scale name recorded in the JSON output.
+    pub scale_name: String,
+    /// Timing passes per engine; `0` skips timing for deterministic rows.
+    pub runs: u32,
+    /// Worker threads.
+    pub workers: usize,
+    /// Per-benchmark wall-clock deadline.
+    pub deadline: Option<Duration>,
+    /// Injected faults (empty = clean run).
+    pub plan: FaultPlan,
+}
+
+impl SuiteOptions {
+    /// Small-scale options with no faults and no deadline.
+    pub fn small(workers: usize) -> Self {
+        SuiteOptions {
+            scale: Scale::small(),
+            scale_name: "small".to_string(),
+            runs: 7,
+            workers,
+            deadline: None,
+            plan: FaultPlan::none(),
+        }
+    }
+}
+
+/// The full suite outcome: one supervised report per benchmark.
+#[derive(Debug)]
+pub struct SuiteReport {
+    /// Per-benchmark reports, in benchmark order.
+    pub jobs: Vec<JobReport<SuiteRow>>,
+    /// Outcome tallies.
+    pub summary: SupervisorSummary,
+    /// Wall-clock time of the whole suite.
+    pub wall: Duration,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Scale name (for rendering).
+    pub scale_name: String,
+}
+
+impl SuiteReport {
+    /// `true` when every surviving row's traces were engine-identical.
+    pub fn traces_all_equal(&self) -> bool {
+        self.jobs
+            .iter()
+            .filter_map(|j| j.outcome.value())
+            .all(|r| r.traces_equal)
+    }
+
+    /// The process exit code the suite binary should use: `0` all ok,
+    /// `1` trace mismatch, `3` completed with failed/timed-out/panicked
+    /// jobs (partial results).
+    pub fn exit_code(&self) -> u8 {
+        if !self.traces_all_equal() {
+            1
+        } else if !self.summary.no_failures() {
+            3
+        } else {
+            0
+        }
+    }
+}
+
+/// Runs one benchmark through all three engines under `ctx`'s budget,
+/// acting out any faults the plan assigns to this item.
+fn run_benchmark(
+    bench: &Benchmark,
+    opts: &SuiteOptions,
+    index: usize,
+    ctx: &JobContext,
+) -> Result<JobValue<SuiteRow>, JobError> {
+    // Decode this item's faults up front.
+    let mut stall: Option<u64> = None;
+    let mut transient_failures = 0u32;
+    let mut corrupt_seed: Option<u64> = None;
+    let mut fail_dense_build = false;
+    for kind in opts.plan.faults_for(index) {
+        match kind {
+            FaultKind::Panic => panic!("injected panic: benchmark {}", bench.name()),
+            FaultKind::Stall { millis } => stall = Some(*millis),
+            FaultKind::TransientError { failures } => transient_failures = *failures,
+            FaultKind::CorruptInput { seed } => corrupt_seed = Some(*seed),
+            FaultKind::DenseBuildFailure => fail_dense_build = true,
+            // Cycle-model faults target `sunder_arch::SunderMachine`, not
+            // the functional engines this suite runs; see the arch tests.
+            FaultKind::FifoOverflowStorm { .. } | FaultKind::StuckReportRow { .. } => {}
+        }
+    }
+    if ctx.attempt < transient_failures {
+        return Err(JobError::Transient(format!(
+            "injected transient failure {} of {transient_failures}",
+            ctx.attempt + 1
+        )));
+    }
+    if let Some(millis) = stall {
+        std::thread::sleep(Duration::from_millis(millis));
+    }
+
+    let mut w = bench.build(opts.scale);
+    if let Some(seed) = corrupt_seed {
+        corrupt(&mut w.input, seed);
+    }
+    let input = InputView::new(&w.input, 8, 1)
+        .map_err(|e| JobError::Fatal(format!("build byte view: {e}")))?;
+
+    // Correctness first: all three engines must emit identical traces.
+    // The injected dense-build failure degrades the adaptive engine to
+    // sparse execution — the trace must STILL be identical.
+    let mut traces = Vec::new();
+    let mut degrade_note: Option<String> = None;
+    for kind in EngineKind::ALL {
+        let mut sink = TraceSink::new();
+        let outcome = if kind == EngineKind::Adaptive && fail_dense_build {
+            let limits = AdaptiveLimits {
+                fail_dense_build: true,
+                ..AdaptiveLimits::default()
+            };
+            let mut engine = AdaptiveEngine::with_limits(&w.nfa, limits);
+            let outcome = Engine::run_budgeted(&mut engine, &input, &mut sink, &ctx.budget);
+            degrade_note = engine.degrade_reason().map(|r| r.to_string());
+            outcome
+        } else {
+            let mut engine = kind.build(&w.nfa);
+            engine.run_budgeted(&input, &mut sink, &ctx.budget)
+        };
+        if let RunOutcome::Interrupted { reason, .. } = outcome {
+            return match reason {
+                sunder_sim::StopReason::DeadlineExpired => Err(JobError::TimedOut),
+                sunder_sim::StopReason::Cancelled => {
+                    Err(JobError::Fatal("cancelled mid-run".to_string()))
+                }
+            };
+        }
+        traces.push(sink.events);
+    }
+    let traces_equal = traces.windows(2).all(|w| w[0] == w[1]);
+
+    // Frontier density, for the table's context column.
+    struct Activity(u64, u64);
+    impl sunder_sim::ReportSink for Activity {
+        fn on_cycle_reports(&mut self, _cycle: u64, _reports: &[sunder_sim::ReportEvent]) {}
+
+        fn on_cycle_activity(&mut self, _cycle: u64, active: usize) {
+            self.0 += active as u64;
+            self.1 += 1;
+        }
+    }
+    let mut act = Activity(0, 0);
+    let mut sparse = sunder_sim::Simulator::new(&w.nfa);
+    sparse.run(&input, &mut act);
+    let avg_active = act.0 as f64 / act.1.max(1) as f64;
+
+    let time_engine = |kind: EngineKind| -> u64 {
+        let mut best = u64::MAX;
+        for _ in 0..opts.runs {
+            let mut engine = kind.build(&w.nfa);
+            let start = Instant::now();
+            engine.run(&input, &mut NullSink);
+            best = best.min(start.elapsed().as_nanos() as u64);
+        }
+        best
+    };
+    let ns = if opts.runs == 0 {
+        [0; 3]
+    } else {
+        [
+            time_engine(EngineKind::Sparse),
+            time_engine(EngineKind::Dense),
+            time_engine(EngineKind::Adaptive),
+        ]
+    };
+
+    let row = SuiteRow {
+        name: bench.name(),
+        states: w.nfa.num_states(),
+        input_bytes: w.input.len(),
+        reports: traces[0].len(),
+        ns,
+        avg_active,
+        traces_equal,
+    };
+    match degrade_note {
+        Some(reason) => Ok(JobValue::Degraded { value: row, reason }),
+        None => Ok(JobValue::Ok(row)),
+    }
+}
+
+/// Runs the whole suite under supervision.
+pub fn run_suite(opts: &SuiteOptions) -> SuiteReport {
+    let policy = SupervisorPolicy {
+        deadline: opts.deadline,
+        retries: 2,
+        backoff: Duration::from_millis(10),
+        ..SupervisorPolicy::default()
+    };
+    let wall = Instant::now();
+    let jobs = supervise(
+        &Benchmark::ALL,
+        opts.workers,
+        &policy,
+        |_, bench| bench.name().to_string(),
+        |i, bench, ctx| run_benchmark(bench, opts, i, ctx),
+    );
+    let summary = SupervisorSummary::of(&jobs);
+    SuiteReport {
+        jobs,
+        summary,
+        wall: wall.elapsed(),
+        workers: opts.workers,
+        scale_name: opts.scale_name.clone(),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// One benchmark's JSON object. Surviving rows render their full metrics;
+/// failed rows render name, status, and the failure detail — so partial
+/// results are machine-readable with exact attribution.
+fn render_job_json(job: &JobReport<SuiteRow>) -> String {
+    let status = job.outcome.status();
+    match &job.outcome {
+        JobOutcome::Ok(r) | JobOutcome::Degraded { value: r, .. } => {
+            let detail = match &job.outcome {
+                JobOutcome::Degraded { reason, .. } => {
+                    format!(", \"detail\": \"{}\"", json_escape(reason))
+                }
+                _ => String::new(),
+            };
+            let speedup_dense = r.ns[0] as f64 / r.ns[1].max(1) as f64;
+            let speedup_adaptive = r.ns[0] as f64 / r.ns[2].max(1) as f64;
+            format!(
+                "{{\"name\": \"{}\", \"status\": \"{status}\", \"states\": {}, \
+                 \"input_bytes\": {}, \"reports\": {}, \"avg_active\": {:.2}, \
+                 \"sparse_ns\": {}, \"dense_ns\": {}, \"adaptive_ns\": {}, \
+                 \"speedup_dense\": {:.3}, \"speedup_adaptive\": {:.3}, \
+                 \"traces_equal\": {}{detail}}}",
+                r.name,
+                r.states,
+                r.input_bytes,
+                r.reports,
+                r.avg_active,
+                r.ns[0],
+                r.ns[1],
+                r.ns[2],
+                speedup_dense,
+                speedup_adaptive,
+                r.traces_equal,
+            )
+        }
+        JobOutcome::Panicked { message } => format!(
+            "{{\"name\": \"{}\", \"status\": \"{status}\", \"detail\": \"{}\"}}",
+            job.name,
+            json_escape(message)
+        ),
+        JobOutcome::TimedOut { elapsed } => format!(
+            "{{\"name\": \"{}\", \"status\": \"{status}\", \"detail\": \"exceeded deadline after {} ms\"}}",
+            job.name,
+            elapsed.as_millis()
+        ),
+        JobOutcome::Failed { error } => format!(
+            "{{\"name\": \"{}\", \"status\": \"{status}\", \"detail\": \"{}\"}}",
+            job.name,
+            json_escape(error)
+        ),
+        JobOutcome::Cancelled => format!(
+            "{{\"name\": \"{}\", \"status\": \"{status}\"}}",
+            job.name
+        ),
+    }
+}
+
+/// Renders the machine-readable summary (the `BENCH_engine.json` payload).
+pub fn render_json(report: &SuiteReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"scale\": \"{}\",\n", report.scale_name));
+    out.push_str(&format!("  \"workers\": {},\n", report.workers));
+    out.push_str("  \"engines\": [\"sparse\", \"dense\", \"adaptive\"],\n");
+    let s = report.summary;
+    out.push_str(&format!(
+        "  \"summary\": {{\"ok\": {}, \"degraded\": {}, \"panicked\": {}, \
+         \"timed_out\": {}, \"failed\": {}, \"cancelled\": {}}},\n",
+        s.ok, s.degraded, s.panicked, s.timed_out, s.failed, s.cancelled
+    ));
+    out.push_str("  \"benchmarks\": [\n");
+    for (i, job) in report.jobs.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&render_job_json(job));
+        out.push_str(if i + 1 < report.jobs.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the human-readable table plus the summary line.
+pub fn render_table(report: &SuiteReport) -> String {
+    let mut table = TextTable::new([
+        "Benchmark",
+        "Status",
+        "States",
+        "AvgActive",
+        "Sparse ms",
+        "Dense ms",
+        "Adaptive ms",
+        "Dense x",
+        "Adaptive x",
+        "TraceEq",
+    ]);
+    for job in &report.jobs {
+        match job.outcome.value() {
+            Some(r) => table.row([
+                r.name.to_string(),
+                job.outcome.status().to_string(),
+                format!("{}", r.states),
+                format!("{:.1}", r.avg_active),
+                format!("{:.2}", r.ns[0] as f64 / 1e6),
+                format!("{:.2}", r.ns[1] as f64 / 1e6),
+                format!("{:.2}", r.ns[2] as f64 / 1e6),
+                format!("{:.2}", r.ns[0] as f64 / r.ns[1].max(1) as f64),
+                format!("{:.2}", r.ns[0] as f64 / r.ns[2].max(1) as f64),
+                format!("{}", r.traces_equal),
+            ]),
+            None => table.row([
+                job.name.clone(),
+                job.outcome.status().to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ]),
+        }
+    }
+    let mut out = table.render();
+    let survivors: Vec<&SuiteRow> = report
+        .jobs
+        .iter()
+        .filter_map(|j| j.outcome.value())
+        .collect();
+    if !survivors.is_empty() && survivors.iter().all(|r| r.ns[0] > 0) {
+        let gmean = survivors
+            .iter()
+            .map(|r| (r.ns[0] as f64 / r.ns[2].max(1) as f64).ln())
+            .sum::<f64>()
+            / survivors.len() as f64;
+        out.push_str(&format!(
+            "\nAdaptive geomean speedup over sparse: {:.2}x ({} benchmarks)",
+            gmean.exp(),
+            survivors.len()
+        ));
+    }
+    out.push_str(&format!(
+        "\nSuite: {}; wall time {:.2}s on {} workers\n",
+        report.summary,
+        report.wall.as_secs_f64(),
+        report.workers
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> SuiteOptions {
+        SuiteOptions {
+            scale: Scale::tiny(),
+            scale_name: "tiny".to_string(),
+            runs: 0, // deterministic rows
+            workers: 4,
+            deadline: None,
+            plan: FaultPlan::none(),
+        }
+    }
+
+    #[test]
+    fn clean_tiny_suite_is_all_ok_and_exits_zero() {
+        let report = run_suite(&tiny_opts());
+        assert_eq!(report.jobs.len(), Benchmark::ALL.len());
+        assert!(report.summary.all_ok(), "{}", report.summary);
+        assert!(report.traces_all_equal());
+        assert_eq!(report.exit_code(), 0);
+        // Deterministic rows: ns stays zero with runs == 0.
+        for job in &report.jobs {
+            let row = job.outcome.value().expect("all ok");
+            assert_eq!(row.ns, [0; 3]);
+        }
+    }
+
+    #[test]
+    fn json_rows_are_deterministic_across_worker_counts() {
+        let mut opts = tiny_opts();
+        let a = render_json(&run_suite(&opts));
+        opts.workers = 1;
+        let b = render_json(&run_suite(&opts));
+        // The `workers` header differs; every benchmark row must not.
+        let rows = |s: &str| {
+            s.lines()
+                .filter(|l| l.contains("\"name\""))
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(rows(&a), rows(&b));
+        assert_eq!(rows(&a).len(), Benchmark::ALL.len());
+    }
+
+    #[test]
+    fn injected_transient_error_retries_to_success() {
+        let mut opts = tiny_opts();
+        opts.plan = FaultPlan::new(
+            0,
+            vec![sunder_resilience::Fault {
+                item: 2,
+                kind: FaultKind::TransientError { failures: 1 },
+            }],
+        );
+        let report = run_suite(&opts);
+        assert!(report.summary.all_ok());
+        assert_eq!(report.jobs[2].attempts, 2);
+        assert_eq!(report.exit_code(), 0);
+    }
+
+    #[test]
+    fn corrupt_input_still_yields_equal_traces() {
+        // Bit-flipped input changes WHAT matches, never whether the three
+        // engines agree — conformance must hold on corrupted bytes too.
+        let mut opts = tiny_opts();
+        opts.plan = FaultPlan::new(
+            0,
+            vec![sunder_resilience::Fault {
+                item: 0,
+                kind: FaultKind::CorruptInput { seed: 77 },
+            }],
+        );
+        let report = run_suite(&opts);
+        assert!(report.summary.all_ok());
+        assert!(report.traces_all_equal());
+    }
+}

@@ -1,0 +1,143 @@
+//! Acceptance test for the resilient suite harness (the ISSUE's headline
+//! criterion): a `FaultPlan` injecting a panic, a timeout, and a
+//! dense-build failure into a full 19-benchmark suite run must
+//!
+//! * complete every remaining benchmark,
+//! * report the three failures/degradations with correct attribution in
+//!   the JSON output,
+//! * exit nonzero, and
+//! * leave the surviving rows byte-identical to a fault-free run.
+
+use std::time::Duration;
+
+use sunder_bench::suite::{render_json, run_suite, SuiteOptions};
+use sunder_resilience::{Fault, FaultKind, FaultPlan};
+use sunder_workloads::{Benchmark, Scale};
+
+const PANIC_AT: usize = 3;
+const STALL_AT: usize = 10;
+const DEGRADE_AT: usize = 14;
+
+fn tiny_opts() -> SuiteOptions {
+    SuiteOptions {
+        scale: Scale::tiny(),
+        scale_name: "tiny".to_string(),
+        runs: 0, // skip timing: surviving rows are byte-deterministic
+        workers: 4,
+        deadline: Some(Duration::from_millis(4_000)),
+        plan: FaultPlan::none(),
+    }
+}
+
+fn faulted_opts() -> SuiteOptions {
+    let mut opts = tiny_opts();
+    // The stall must comfortably exceed the deadline; everything else at
+    // tiny scale finishes in milliseconds.
+    opts.deadline = Some(Duration::from_millis(1_000));
+    opts.plan = FaultPlan::new(
+        42,
+        vec![
+            Fault {
+                item: PANIC_AT,
+                kind: FaultKind::Panic,
+            },
+            Fault {
+                item: STALL_AT,
+                kind: FaultKind::Stall { millis: 3_000 },
+            },
+            Fault {
+                item: DEGRADE_AT,
+                kind: FaultKind::DenseBuildFailure,
+            },
+        ],
+    );
+    opts
+}
+
+/// The JSON benchmark rows, keyed by line content (one object per line).
+fn json_rows(json: &str) -> Vec<String> {
+    json.lines()
+        .filter(|l| l.contains("\"name\""))
+        .map(|l| l.trim_end_matches(',').trim().to_string())
+        .collect()
+}
+
+#[test]
+fn panic_timeout_and_degradation_yield_partial_results_with_attribution() {
+    let clean = run_suite(&tiny_opts());
+    assert!(clean.summary.all_ok(), "clean run: {}", clean.summary);
+    assert_eq!(clean.exit_code(), 0);
+
+    let report = run_suite(&faulted_opts());
+
+    // Every benchmark is accounted for, in order.
+    assert_eq!(report.jobs.len(), Benchmark::ALL.len());
+    for (i, job) in report.jobs.iter().enumerate() {
+        assert_eq!(job.index, i);
+        assert_eq!(job.name, Benchmark::ALL[i].name());
+    }
+
+    // Exact attribution of the three injected faults.
+    assert_eq!(report.jobs[PANIC_AT].outcome.status(), "panicked");
+    assert_eq!(report.jobs[STALL_AT].outcome.status(), "timed_out");
+    assert_eq!(report.jobs[DEGRADE_AT].outcome.status(), "degraded");
+    let summary = report.summary;
+    assert_eq!(
+        (summary.panicked, summary.timed_out, summary.degraded),
+        (1, 1, 1),
+        "{summary}"
+    );
+    assert_eq!(summary.ok, Benchmark::ALL.len() - 3);
+
+    // The run completes with partial results and a nonzero exit.
+    assert_ne!(report.exit_code(), 0);
+    assert_eq!(report.exit_code(), 3);
+
+    // The degraded benchmark still ran to completion on the sparse
+    // fallback with engine-identical traces.
+    let degraded = report.jobs[DEGRADE_AT]
+        .outcome
+        .value()
+        .expect("degraded rows keep their value");
+    assert!(degraded.traces_equal);
+
+    // JSON attribution: each faulted row carries its name, status, and a
+    // detail string.
+    let json = render_json(&report);
+    let rows = json_rows(&json);
+    assert_eq!(rows.len(), Benchmark::ALL.len());
+    let panic_name = Benchmark::ALL[PANIC_AT].name();
+    let stall_name = Benchmark::ALL[STALL_AT].name();
+    let degrade_name = Benchmark::ALL[DEGRADE_AT].name();
+    assert!(rows[PANIC_AT].contains(&format!("\"name\": \"{panic_name}\"")));
+    assert!(rows[PANIC_AT].contains("\"status\": \"panicked\""));
+    assert!(rows[PANIC_AT].contains("injected panic"));
+    assert!(rows[STALL_AT].contains(&format!("\"name\": \"{stall_name}\"")));
+    assert!(rows[STALL_AT].contains("\"status\": \"timed_out\""));
+    assert!(rows[STALL_AT].contains("deadline"));
+    assert!(rows[DEGRADE_AT].contains(&format!("\"name\": \"{degrade_name}\"")));
+    assert!(rows[DEGRADE_AT].contains("\"status\": \"degraded\""));
+    assert!(rows[DEGRADE_AT].contains("\"detail\""));
+
+    // Surviving rows are byte-identical to the fault-free run's rows.
+    let clean_rows = json_rows(&render_json(&clean));
+    for (i, (clean_row, faulted_row)) in clean_rows.iter().zip(&rows).enumerate() {
+        if i == PANIC_AT || i == STALL_AT || i == DEGRADE_AT {
+            continue;
+        }
+        assert_eq!(
+            clean_row,
+            faulted_row,
+            "benchmark {} drifted under fault injection",
+            Benchmark::ALL[i].name()
+        );
+    }
+}
+
+#[test]
+fn fault_plan_round_trips_through_its_text_format() {
+    let plan = faulted_opts().plan;
+    let text = plan.to_text();
+    let back = FaultPlan::from_text(&text).expect("well-formed plan text");
+    assert_eq!(back, plan);
+}

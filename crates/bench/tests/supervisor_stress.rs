@@ -1,0 +1,170 @@
+//! Stress matrix for the supervised parallel runner: worker counts ×
+//! seeded panic/timeout positions. Two properties are pinned across the
+//! whole matrix:
+//!
+//! 1. **Byte-identical ordering of surviving results** — report `i`
+//!    always corresponds to item `i`, with the surviving values equal to
+//!    the fault-free run's values, regardless of worker count or where
+//!    the faults land.
+//! 2. **Exact failure attribution** — every injected fault surfaces as
+//!    exactly one structured outcome on exactly the faulted item, with
+//!    the item's name in the report.
+
+use std::time::Duration;
+
+use sunder_resilience::{
+    supervise, JobOutcome, JobValue, SplitMix64, SupervisorPolicy, SupervisorSummary,
+};
+
+const ITEMS: usize = 24;
+
+/// Deterministically picks `count` distinct positions in `0..ITEMS`.
+fn positions(seed: u64, count: usize) -> Vec<usize> {
+    let mut rng = SplitMix64::new(seed);
+    let mut picked = Vec::new();
+    while picked.len() < count {
+        let p = (rng.next() % ITEMS as u64) as usize;
+        if !picked.contains(&p) {
+            picked.push(p);
+        }
+    }
+    picked
+}
+
+#[test]
+fn surviving_results_are_identical_across_workers_and_fault_positions() {
+    let items: Vec<u64> = (0..ITEMS as u64).collect();
+    // Fault-free reference: what every surviving slot must still hold.
+    let reference: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+
+    for seed in [1u64, 7, 42] {
+        let panics = positions(seed, 3);
+        let stalls = positions(seed ^ 0xDEAD_BEEF, 2);
+        for workers in [1usize, 2, 4, 8] {
+            let policy = SupervisorPolicy {
+                deadline: Some(Duration::from_millis(40)),
+                ..SupervisorPolicy::default()
+            };
+            let reports = supervise(
+                &items,
+                workers,
+                &policy,
+                |i, _| format!("item-{i}"),
+                |i, &x, _ctx| {
+                    if panics.contains(&i) {
+                        panic!("injected panic at {i}");
+                    }
+                    if stalls.contains(&i) {
+                        // Sleep well past the deadline; classified
+                        // post-hoc as TimedOut by the supervisor.
+                        std::thread::sleep(Duration::from_millis(120));
+                    }
+                    Ok(JobValue::Ok(x * x + 1))
+                },
+            );
+
+            // Property 1: order and surviving values.
+            assert_eq!(reports.len(), ITEMS);
+            for (i, report) in reports.iter().enumerate() {
+                assert_eq!(report.index, i, "seed {seed} workers {workers}");
+                assert_eq!(report.name, format!("item-{i}"));
+                if let Some(&v) = report.outcome.value() {
+                    assert_eq!(
+                        v, reference[i],
+                        "seed {seed} workers {workers} item {i}: surviving value drifted"
+                    );
+                }
+            }
+
+            // Property 2: exact attribution, fault by fault. A stall
+            // position that also panics is counted as a panic (the panic
+            // fires first), so partition accordingly.
+            for (i, report) in reports.iter().enumerate() {
+                if panics.contains(&i) {
+                    match &report.outcome {
+                        JobOutcome::Panicked { message } => {
+                            assert_eq!(message, &format!("injected panic at {i}"))
+                        }
+                        other => panic!("item {i}: expected panic, got {}", other.status()),
+                    }
+                } else if stalls.contains(&i) {
+                    assert!(
+                        matches!(report.outcome, JobOutcome::TimedOut { elapsed } if elapsed >= Duration::from_millis(40)),
+                        "item {i}: expected timeout, got {}",
+                        report.outcome.status()
+                    );
+                } else {
+                    assert!(
+                        matches!(report.outcome, JobOutcome::Ok(_)),
+                        "item {i}: expected ok, got {}",
+                        report.outcome.status()
+                    );
+                }
+            }
+
+            // Summary arithmetic is exact.
+            let stall_only = stalls.iter().filter(|p| !panics.contains(p)).count();
+            let summary = SupervisorSummary::of(&reports);
+            assert_eq!(summary.panicked, panics.len());
+            assert_eq!(summary.timed_out, stall_only);
+            assert_eq!(summary.ok, ITEMS - panics.len() - stall_only);
+            assert_eq!(summary.total(), ITEMS);
+            assert!(!summary.no_failures());
+        }
+    }
+}
+
+#[test]
+fn fault_free_matrix_is_all_ok_for_every_worker_count() {
+    let items: Vec<u64> = (0..ITEMS as u64).collect();
+    let mut renders: Vec<String> = Vec::new();
+    for workers in [1usize, 2, 3, 8, 64] {
+        let reports = supervise(
+            &items,
+            workers,
+            &SupervisorPolicy::default(),
+            |i, _| format!("item-{i}"),
+            |_, &x, _| Ok(JobValue::Ok(x * 3)),
+        );
+        let summary = SupervisorSummary::of(&reports);
+        assert!(summary.all_ok(), "workers {workers}: {summary}");
+        // Byte-identical rendering of the ordered (index, name, value)
+        // triples across worker counts.
+        renders.push(
+            reports
+                .iter()
+                .map(|r| format!("{}:{}:{:?}\n", r.index, r.name, r.outcome.value()))
+                .collect(),
+        );
+    }
+    assert!(renders.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn every_position_can_fail_without_disturbing_neighbors() {
+    // Sweep the single-panic position across all items (cheap jobs, one
+    // worker count) — no position leaks into a neighbor's outcome.
+    let items: Vec<u64> = (0..ITEMS as u64).collect();
+    for bad in 0..ITEMS {
+        let reports = supervise(
+            &items,
+            4,
+            &SupervisorPolicy::default(),
+            |i, _| format!("item-{i}"),
+            move |i, &x, _| {
+                if i == bad {
+                    panic!("boom {i}");
+                }
+                Ok(JobValue::Ok(x))
+            },
+        );
+        let summary = SupervisorSummary::of(&reports);
+        assert_eq!((summary.ok, summary.panicked), (ITEMS - 1, 1), "bad {bad}");
+        assert_eq!(reports[bad].outcome.status(), "panicked");
+        for (i, r) in reports.iter().enumerate() {
+            if i != bad {
+                assert_eq!(r.outcome.value(), Some(&items[i]));
+            }
+        }
+    }
+}

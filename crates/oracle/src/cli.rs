@@ -13,11 +13,14 @@
 
 use std::path::{Path, PathBuf};
 
+use sunder_resilience::FaultPlan;
 use sunder_workloads::Scale;
 
 use crate::check::check_pipelines;
 use crate::check::check_suite;
-use crate::fuzz::{parse_reproducer, render_reproducer, run_fuzz, Failure, FuzzOptions};
+use crate::fuzz::{
+    corruption_plan, parse_reproducer, render_reproducer, run_fuzz_with_plan, Failure, FuzzOptions,
+};
 use crate::seeds::replay_corpus;
 
 /// Which suite scale the conformance sweep uses.
@@ -28,12 +31,24 @@ enum SuiteChoice {
     Small,
 }
 
+/// Where the fuzz stage's input-corruption faults come from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum FaultSource {
+    /// No fault injection (the default).
+    Off,
+    /// Derive a corruption-only plan from this seed.
+    Seed(u64),
+    /// Replay a serialized [`FaultPlan`] file.
+    PlanFile(PathBuf),
+}
+
 #[derive(Debug)]
 struct Options {
     fuzz: FuzzOptions,
     out: PathBuf,
     suite: SuiteChoice,
     replay: Option<PathBuf>,
+    faults: FaultSource,
 }
 
 impl Default for Options {
@@ -43,13 +58,15 @@ impl Default for Options {
             out: PathBuf::from("conformance-failures"),
             suite: SuiteChoice::Tiny,
             replay: None,
+            faults: FaultSource::Off,
         }
     }
 }
 
 const USAGE: &str = "usage: conformance [--seed N] [--cases M] [--out DIR] \
                      [--suite tiny|small|off] [--replay FILE] \
-                     [--max-states N] [--max-input N]";
+                     [--max-states N] [--max-input N] \
+                     [--fault-seed N | --fault-plan FILE]";
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut options = Options::default();
@@ -83,6 +100,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--out" => options.out = PathBuf::from(value("--out")?),
             "--replay" => options.replay = Some(PathBuf::from(value("--replay")?)),
+            "--fault-seed" => {
+                options.faults = FaultSource::Seed(
+                    value("--fault-seed")?
+                        .parse()
+                        .map_err(|_| "--fault-seed expects an integer".to_string())?,
+                );
+            }
+            "--fault-plan" => {
+                options.faults = FaultSource::PlanFile(PathBuf::from(value("--fault-plan")?));
+            }
             "--suite" => {
                 options.suite = match value("--suite")? {
                     "off" => SuiteChoice::Off,
@@ -189,12 +216,33 @@ pub fn run(args: &[String]) -> i32 {
         println!("suite: skipped (--suite off)");
     }
 
-    // Stage 3: the structured fuzzer.
-    let outcome = run_fuzz(&options.fuzz);
+    // Stage 3: the structured fuzzer, optionally under fault-plan replay.
+    let plan = match &options.faults {
+        FaultSource::Off => FaultPlan::none(),
+        FaultSource::Seed(seed) => corruption_plan(*seed, options.fuzz.cases),
+        FaultSource::PlanFile(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read fault plan {}: {e}", path.display());
+                    return 2;
+                }
+            };
+            match FaultPlan::from_text(&text) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("cannot parse fault plan {}: {e}", path.display());
+                    return 2;
+                }
+            }
+        }
+    };
+    let outcome = run_fuzz_with_plan(&options.fuzz, &plan);
     println!(
-        "fuzz: seed {} over {} cases, {} divergences",
+        "fuzz: seed {} over {} cases ({} injected input corruptions), {} divergences",
         options.fuzz.seed,
         outcome.cases,
+        plan.faults.len(),
         outcome.failures.len()
     );
     for f in &outcome.failures {
@@ -262,6 +310,17 @@ mod tests {
         assert!(parse_args(&args(&["--seed", "x"])).is_err());
         assert!(parse_args(&args(&["--suite", "huge"])).is_err());
         assert!(parse_args(&args(&["--bogus"])).is_err());
+        assert!(parse_args(&args(&["--fault-seed", "x"])).is_err());
+        assert!(parse_args(&args(&["--fault-plan"])).is_err());
+    }
+
+    #[test]
+    fn parses_fault_sources() {
+        let o = parse_args(&args(&["--fault-seed", "11"])).unwrap();
+        assert_eq!(o.faults, FaultSource::Seed(11));
+        let o = parse_args(&args(&["--fault-plan", "plan.txt"])).unwrap();
+        assert_eq!(o.faults, FaultSource::PlanFile(PathBuf::from("plan.txt")));
+        assert_eq!(parse_args(&[]).unwrap().faults, FaultSource::Off);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sunder_automata::{anml, AutomataError, Nfa, StartKind, Ste, SymbolSet};
+use sunder_resilience::{corrupt, Fault, FaultKind, FaultPlan, SplitMix64};
 
 use crate::check::{check_pipelines, Divergence};
 
@@ -69,12 +70,47 @@ pub struct FuzzOutcome {
 
 /// Runs the fuzzer. Deterministic in `options.seed`.
 pub fn run_fuzz(options: &FuzzOptions) -> FuzzOutcome {
+    run_fuzz_with_plan(options, &FaultPlan::none())
+}
+
+/// Builds a corruption-only [`FaultPlan`] for a fuzz run: roughly one
+/// case in four gets its generated input bytes deterministically
+/// bit-flipped before the pipeline check. Corruption never changes what
+/// *correct* engines should compute — every configuration still sees the
+/// same (corrupted) bytes — so the oracle must stay green; what it adds
+/// is coverage of adversarial inputs outside the alphabet-biased
+/// generator's distribution.
+pub fn corruption_plan(seed: u64, cases: u64) -> FaultPlan {
+    let mut rng = SplitMix64::new(seed);
+    let mut faults = Vec::new();
+    for case in 0..cases {
+        if rng.next().is_multiple_of(4) {
+            faults.push(Fault {
+                item: case as usize,
+                kind: FaultKind::CorruptInput { seed: rng.next() },
+            });
+        }
+    }
+    FaultPlan::new(seed, faults)
+}
+
+/// [`run_fuzz`] replaying a [`FaultPlan`]: any `corrupt-input` fault whose
+/// item index matches a case number corrupts that case's generated input
+/// before conformance checking. Other fault kinds target the supervised
+/// suite runner, not the oracle, and are ignored here. Deterministic in
+/// `(options.seed, plan)`.
+pub fn run_fuzz_with_plan(options: &FuzzOptions, plan: &FaultPlan) -> FuzzOutcome {
     let mut outcome = FuzzOutcome {
         cases: options.cases,
         ..FuzzOutcome::default()
     };
     for case in 0..options.cases {
-        let (nfa, input) = generate_case(options, case);
+        let (nfa, mut input) = generate_case(options, case);
+        for kind in plan.faults_for(case as usize) {
+            if let FaultKind::CorruptInput { seed } = kind {
+                corrupt(&mut input, *seed);
+            }
+        }
         if let Err(first) = check_pipelines(&nfa, &input) {
             let (nfa, input) = shrink(nfa, input, |n, i| check_pipelines(n, i).is_err());
             let divergence = check_pipelines(&nfa, &input).err().unwrap_or(first);
@@ -425,6 +461,58 @@ mod tests {
             "unexpected divergence: {}",
             outcome.failures[0].divergence
         );
+    }
+
+    #[test]
+    fn corruption_plan_is_deterministic_and_corrupt_only() {
+        let a = corruption_plan(7, 40);
+        let b = corruption_plan(7, 40);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "seed 7 over 40 cases must fault something");
+        assert!(a
+            .faults
+            .iter()
+            .all(|f| matches!(f.kind, FaultKind::CorruptInput { .. })));
+        // Round-trips through the serialized plan format.
+        let back = FaultPlan::from_text(&a.to_text()).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn fuzz_under_corruption_plan_stays_clean() {
+        // Corruption changes the input, never the expected behavior: all
+        // configurations see the same corrupted bytes, so conformance
+        // must hold. This is the fault-plan replay mode CI exercises.
+        let options = FuzzOptions {
+            cases: 12,
+            ..FuzzOptions::default()
+        };
+        let plan = corruption_plan(9, options.cases);
+        let outcome = run_fuzz_with_plan(&options, &plan);
+        assert_eq!(outcome.cases, 12);
+        assert!(
+            outcome.failures.is_empty(),
+            "corrupted-input divergence: {}",
+            outcome.failures[0].divergence
+        );
+    }
+
+    #[test]
+    fn corrupt_input_fault_actually_mutates_the_case() {
+        let options = FuzzOptions::default();
+        // Find a planned case whose generated input is non-empty.
+        let plan = corruption_plan(3, 64);
+        let fault = plan
+            .faults
+            .iter()
+            .find(|f| !generate_case(&options, f.item as u64).1.is_empty())
+            .expect("some faulted case has input");
+        let (_, clean) = generate_case(&options, fault.item as u64);
+        let mut corrupted = clean.clone();
+        if let FaultKind::CorruptInput { seed } = fault.kind {
+            corrupt(&mut corrupted, seed);
+        }
+        assert_ne!(clean, corrupted);
     }
 
     #[test]

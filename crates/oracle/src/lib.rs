@@ -33,5 +33,5 @@ pub mod reference;
 pub mod seeds;
 
 pub use check::{check_pipelines, check_suite, compare_transformed, Divergence, PipelineConfig};
-pub use fuzz::{run_fuzz, Failure, FuzzOptions, FuzzOutcome};
+pub use fuzz::{corruption_plan, run_fuzz, run_fuzz_with_plan, Failure, FuzzOptions, FuzzOutcome};
 pub use reference::{oracle_trace, OracleTrace, ReferenceOracle};

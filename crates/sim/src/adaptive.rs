@@ -51,6 +51,58 @@ const EXIT_DENSE: f64 = 1.3;
 /// Explicitly constructing a [`DenseEngine`] bypasses the budget.
 const TABLE_BUDGET_BYTES: usize = 64 << 20;
 
+/// Resource limits for the adaptive selector (the degradation ladder's
+/// configuration surface).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveLimits {
+    /// Largest dense table the selector may build. Exceeding it degrades
+    /// to sparse execution (recorded, not fatal).
+    pub table_budget_bytes: usize,
+    /// Fault-injection hook: treat every dense build as if allocation
+    /// were denied. The engine keeps running sparse and records
+    /// [`DegradeReason::DenseBuildFailed`].
+    pub fail_dense_build: bool,
+}
+
+impl Default for AdaptiveLimits {
+    fn default() -> Self {
+        AdaptiveLimits {
+            table_budget_bytes: TABLE_BUDGET_BYTES,
+            fail_dense_build: false,
+        }
+    }
+}
+
+/// Why the adaptive engine is running degraded (sparse-only despite the
+/// cost model preferring dense).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The dense tables would exceed the configured budget.
+    DenseBudgetExceeded {
+        /// Bytes the dense tables would need.
+        needed: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+    /// The dense build failed (today only via
+    /// [`AdaptiveLimits::fail_dense_build`] fault injection).
+    DenseBuildFailed,
+}
+
+impl std::fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradeReason::DenseBudgetExceeded { needed, budget } => write!(
+                f,
+                "dense table budget exceeded ({needed} bytes needed, {budget} allowed); running sparse"
+            ),
+            DegradeReason::DenseBuildFailed => {
+                f.write_str("dense build failed; running sparse")
+            }
+        }
+    }
+}
+
 /// An engine that switches between sparse and dense execution per
 /// automaton, based on sampled frontier density.
 ///
@@ -87,6 +139,9 @@ pub struct AdaptiveEngine<'a> {
     words: usize,
     dense_affordable: bool,
     switches: u32,
+    limits: AdaptiveLimits,
+    /// First degradation observed (set at most once per run).
+    degrade: Option<DegradeReason>,
     /// Scratch for frontier hand-over.
     frontier: Vec<StateId>,
 }
@@ -95,6 +150,11 @@ impl<'a> AdaptiveEngine<'a> {
     /// Prepares an adaptive engine; only the sparse half is built up
     /// front, so construction costs the same as [`Simulator::new`].
     pub fn new(nfa: &'a Nfa) -> Self {
+        Self::with_limits(nfa, AdaptiveLimits::default())
+    }
+
+    /// Like [`AdaptiveEngine::new`], with explicit resource limits.
+    pub fn with_limits(nfa: &'a Nfa, limits: AdaptiveLimits) -> Self {
         let n = nfa.num_states();
         let fanout = if n == 0 {
             0.0
@@ -110,8 +170,10 @@ impl<'a> AdaptiveEngine<'a> {
             window_cycles: 0,
             fanout,
             words: n.div_ceil(64),
-            dense_affordable: n > 0 && DenseEngine::table_bytes(nfa) <= TABLE_BUDGET_BYTES,
+            dense_affordable: n > 0 && DenseEngine::table_bytes(nfa) <= limits.table_budget_bytes,
             switches: 0,
+            limits,
+            degrade: None,
             frontier: Vec::new(),
         }
     }
@@ -152,6 +214,12 @@ impl<'a> AdaptiveEngine<'a> {
         self.switches
     }
 
+    /// Why this run is degraded (sparse-only despite the cost model
+    /// wanting dense), if it is. Cleared by [`AdaptiveEngine::reset`].
+    pub fn degrade_reason(&self) -> Option<&DegradeReason> {
+        self.degrade.as_ref()
+    }
+
     /// Resets to the initial configuration (cycle 0, empty frontier,
     /// sparse mode). The dense tables, if already built, are kept.
     pub fn reset(&mut self) {
@@ -163,6 +231,7 @@ impl<'a> AdaptiveEngine<'a> {
         self.window_active = 0;
         self.window_cycles = 0;
         self.switches = 0;
+        self.degrade = None;
     }
 
     /// Modeled per-cycle costs `(sparse, dense)` in nanoseconds at the
@@ -186,11 +255,28 @@ impl<'a> AdaptiveEngine<'a> {
         self.window_cycles = 0;
         let (sparse_cost, dense_cost) = self.modeled_costs(avg_active);
         if !self.in_dense {
-            if self.dense_affordable && dense_cost < ENTER_DENSE * sparse_cost {
-                let dense = self.dense.get_or_insert_with(|| DenseEngine::new(self.nfa));
-                dense.load_frontier(self.sparse.active_states(), self.sparse.cycle());
-                self.in_dense = true;
-                self.switches += 1;
+            if dense_cost < ENTER_DENSE * sparse_cost {
+                // Degradation ladder: the model wants dense, but the build
+                // may be refused (budget) or fail (injected allocation
+                // denial). Either way execution continues sparse and the
+                // first reason is recorded for the harness to report.
+                if !self.dense_affordable {
+                    if self.degrade.is_none() {
+                        self.degrade = Some(DegradeReason::DenseBudgetExceeded {
+                            needed: DenseEngine::table_bytes(self.nfa),
+                            budget: self.limits.table_budget_bytes,
+                        });
+                    }
+                } else if self.limits.fail_dense_build && self.dense.is_none() {
+                    if self.degrade.is_none() {
+                        self.degrade = Some(DegradeReason::DenseBuildFailed);
+                    }
+                } else {
+                    let dense = self.dense.get_or_insert_with(|| DenseEngine::new(self.nfa));
+                    dense.load_frontier(self.sparse.active_states(), self.sparse.cycle());
+                    self.in_dense = true;
+                    self.switches += 1;
+                }
             }
         } else if dense_cost > EXIT_DENSE * sparse_cost {
             let dense = self.dense.as_mut().expect("dense engine in use");
@@ -432,6 +518,89 @@ mod tests {
         }
         let input = InputView::from_symbols(vec![2; 300], 1);
         traces_agree(&nfa, &input);
+    }
+
+    fn hot_nfa(states: u32) -> Nfa {
+        // Every state matches every symbol and starts everywhere: the
+        // whole automaton stays lit, so the selector always wants dense.
+        let mut nfa = Nfa::new(4);
+        for _ in 0..states {
+            nfa.add_state(Ste::new(SymbolSet::full(4)).start(StartKind::AllInput));
+        }
+        nfa
+    }
+
+    #[test]
+    fn injected_dense_build_failure_degrades_to_sparse() {
+        let nfa = hot_nfa(128);
+        let input = InputView::from_symbols(vec![3; 1024], 1);
+        let limits = AdaptiveLimits {
+            fail_dense_build: true,
+            ..AdaptiveLimits::default()
+        };
+        let mut engine = AdaptiveEngine::with_limits(&nfa, limits);
+        let mut trace = TraceSink::new();
+        engine.run(&input, &mut trace);
+        assert!(
+            !engine.is_dense(),
+            "failed build must keep the engine sparse"
+        );
+        assert_eq!(engine.switch_count(), 0);
+        assert_eq!(
+            engine.degrade_reason(),
+            Some(&DegradeReason::DenseBuildFailed)
+        );
+        // Degraded execution is still correct: the trace matches a plain run.
+        let mut reference = AdaptiveEngine::new(&nfa);
+        let mut expected = TraceSink::new();
+        reference.run(&input, &mut expected);
+        assert_eq!(trace.events, expected.events);
+    }
+
+    #[test]
+    fn table_budget_exceeded_degrades_with_sizes() {
+        let nfa = hot_nfa(128);
+        let input = InputView::from_symbols(vec![3; 512], 1);
+        let limits = AdaptiveLimits {
+            table_budget_bytes: 16, // far below any real table
+            ..AdaptiveLimits::default()
+        };
+        let mut engine = AdaptiveEngine::with_limits(&nfa, limits);
+        engine.run(&input, &mut crate::NullSink);
+        assert!(!engine.is_dense());
+        match engine.degrade_reason() {
+            Some(&DegradeReason::DenseBudgetExceeded { needed, budget }) => {
+                assert_eq!(budget, 16);
+                assert_eq!(needed, DenseEngine::table_bytes(&nfa));
+                assert!(needed > budget);
+            }
+            other => panic!("expected budget degradation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reset_clears_degradation() {
+        let nfa = hot_nfa(128);
+        let input = InputView::from_symbols(vec![3; 512], 1);
+        let limits = AdaptiveLimits {
+            fail_dense_build: true,
+            ..AdaptiveLimits::default()
+        };
+        let mut engine = AdaptiveEngine::with_limits(&nfa, limits);
+        engine.run(&input, &mut crate::NullSink);
+        assert!(engine.degrade_reason().is_some());
+        engine.reset();
+        assert_eq!(engine.degrade_reason(), None);
+    }
+
+    #[test]
+    fn default_limits_do_not_degrade_hot_workloads() {
+        let nfa = hot_nfa(128);
+        let input = InputView::from_symbols(vec![3; 1024], 1);
+        let mut engine = AdaptiveEngine::new(&nfa);
+        engine.run(&input, &mut crate::NullSink);
+        assert!(engine.is_dense());
+        assert_eq!(engine.degrade_reason(), None);
     }
 
     #[test]

@@ -83,7 +83,51 @@ pub struct DenseEngine<'a> {
     active_list: Vec<StateId>,
 }
 
+/// Why a budget-checked dense build was refused.
+///
+/// Today the only variant is the table budget; the type exists so the
+/// adaptive engine and suite harness report *why* they degraded to sparse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DenseBuildError {
+    /// Bytes the dense tables would need ([`DenseEngine::table_bytes`]).
+    pub needed: usize,
+    /// The budget that refused them.
+    pub budget: usize,
+}
+
+impl std::fmt::Display for DenseBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dense tables need {} bytes, budget is {} bytes",
+            self.needed, self.budget
+        )
+    }
+}
+
+impl std::error::Error for DenseBuildError {}
+
 impl<'a> DenseEngine<'a> {
+    /// Budget-checked constructor: refuses to build when the precomputed
+    /// tables would exceed `budget_bytes`, modelling an allocation-denied
+    /// environment. The check runs *before* any allocation, so a refusal
+    /// is free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DenseBuildError`] when
+    /// [`DenseEngine::table_bytes`]` > budget_bytes`.
+    pub fn try_new(nfa: &'a Nfa, budget_bytes: usize) -> Result<Self, DenseBuildError> {
+        let needed = Self::table_bytes(nfa);
+        if needed > budget_bytes {
+            return Err(DenseBuildError {
+                needed,
+                budget: budget_bytes,
+            });
+        }
+        Ok(Self::new(nfa))
+    }
+
     /// Precomputes the accept masks and successor matrix for the automaton.
     pub fn new(nfa: &'a Nfa) -> Self {
         let n = nfa.num_states();

@@ -18,6 +18,7 @@
 
 use sunder_automata::input::InputView;
 use sunder_automata::Nfa;
+use sunder_resilience::{Budget, RunOutcome};
 
 use crate::sink::ReportSink;
 
@@ -61,6 +62,51 @@ pub trait Engine {
         for v in input.iter_ref() {
             self.step(v.symbols, v.valid, sink);
         }
+    }
+
+    /// Runs the input stream under a cooperative [`Budget`].
+    ///
+    /// An unlimited budget delegates straight to [`Engine::run`] — one
+    /// branch per run, so an unset budget costs nothing on the hot cycle
+    /// loop. Otherwise the loop polls [`Budget::exceeded`] every
+    /// [`Budget::poll_interval`] cycles and stops early with
+    /// [`RunOutcome::Interrupted`] when the deadline passes or the cancel
+    /// token trips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view's stride does not match the automaton's.
+    fn run_budgeted(
+        &mut self,
+        input: &InputView,
+        sink: &mut dyn ReportSink,
+        budget: &Budget,
+    ) -> RunOutcome {
+        if budget.is_unlimited() {
+            self.run(input, sink);
+            return RunOutcome::Completed;
+        }
+        assert_eq!(
+            input.stride(),
+            self.nfa().stride(),
+            "input view stride must match the automaton stride"
+        );
+        let poll_every = u64::from(budget.poll_interval());
+        let mut since_poll = 0u64;
+        for v in input.iter_ref() {
+            self.step(v.symbols, v.valid, sink);
+            since_poll += 1;
+            if since_poll >= poll_every {
+                since_poll = 0;
+                if let Some(reason) = budget.exceeded() {
+                    return RunOutcome::Interrupted {
+                        at_cycle: self.cycle(),
+                        reason,
+                    };
+                }
+            }
+        }
+        RunOutcome::Completed
     }
 }
 
@@ -141,5 +187,71 @@ mod tests {
             assert_eq!(trace.cycle_id_pairs(), vec![(3, 3), (5, 3)], "{kind}");
             assert_eq!(engine.cycle(), 6);
         }
+    }
+
+    #[test]
+    fn unlimited_budget_runs_to_completion() {
+        let nfa = compile_regex("ab", 3).unwrap();
+        let input = InputView::new(b"xxabab", 8, 1).unwrap();
+        for kind in EngineKind::ALL {
+            let mut engine = kind.build(&nfa);
+            let mut trace = TraceSink::new();
+            let outcome = engine.run_budgeted(&input, &mut trace, &Budget::unlimited());
+            assert_eq!(outcome, RunOutcome::Completed, "{kind}");
+            assert_eq!(trace.cycle_id_pairs(), vec![(3, 3), (5, 3)], "{kind}");
+        }
+    }
+
+    #[test]
+    fn cancelled_budget_interrupts_every_engine() {
+        use sunder_resilience::{CancelToken, StopReason};
+        let nfa = compile_regex("ab", 3).unwrap();
+        let input = InputView::new(&[b'x'; 4096], 8, 1).unwrap();
+        for kind in EngineKind::ALL {
+            let token = CancelToken::new();
+            token.cancel();
+            let budget = Budget::with_cancel(token).check_every(64);
+            let mut engine = kind.build(&nfa);
+            let outcome = engine.run_budgeted(&input, &mut crate::NullSink, &budget);
+            match outcome {
+                RunOutcome::Interrupted { at_cycle, reason } => {
+                    assert_eq!(reason, StopReason::Cancelled, "{kind}");
+                    // Stopped at the first poll, not at the end.
+                    assert_eq!(at_cycle, 64, "{kind}");
+                }
+                RunOutcome::Completed => panic!("{kind}: cancelled run completed"),
+            }
+        }
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_at_first_poll() {
+        use std::time::Duration;
+        use sunder_resilience::StopReason;
+        let nfa = compile_regex("ab", 3).unwrap();
+        let input = InputView::new(&[b'x'; 1024], 8, 1).unwrap();
+        let budget = Budget::with_deadline(Duration::ZERO).check_every(16);
+        let mut engine = EngineKind::Sparse.build(&nfa);
+        let outcome = engine.run_budgeted(&input, &mut crate::NullSink, &budget);
+        assert_eq!(
+            outcome,
+            RunOutcome::Interrupted {
+                at_cycle: 16,
+                reason: StopReason::DeadlineExpired
+            }
+        );
+    }
+
+    #[test]
+    fn budgeted_run_that_finishes_reports_completed() {
+        use std::time::Duration;
+        let nfa = compile_regex("ab", 3).unwrap();
+        let input = InputView::new(b"xxabab", 8, 1).unwrap();
+        let budget = Budget::with_deadline(Duration::from_secs(3600));
+        let mut engine = EngineKind::Adaptive.build(&nfa);
+        let mut trace = TraceSink::new();
+        let outcome = engine.run_budgeted(&input, &mut trace, &budget);
+        assert_eq!(outcome, RunOutcome::Completed);
+        assert_eq!(trace.cycle_id_pairs(), vec![(3, 3), (5, 3)]);
     }
 }

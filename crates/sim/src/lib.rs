@@ -42,11 +42,14 @@ pub mod profile;
 pub mod sink;
 pub mod stats;
 
-pub use adaptive::AdaptiveEngine;
-pub use dense::DenseEngine;
+pub use adaptive::{AdaptiveEngine, AdaptiveLimits, DegradeReason};
+pub use dense::{DenseBuildError, DenseEngine};
 pub use engine::{run_trace, Simulator};
 pub use exec::{Engine, EngineKind};
 pub use histogram::BurstHistogramSink;
 pub use profile::{hybrid_split, ActivationProfileSink, HybridSplit};
-pub use sink::{CountSink, NullSink, ReportEvent, ReportSink, TraceSink};
+pub use sink::{BoundedTraceSink, CountSink, NullSink, ReportEvent, ReportSink, TraceSink};
 pub use stats::{DynamicStats, DynamicStatsSink};
+// Budget types are re-exported so engine callers need not depend on
+// sunder-resilience directly.
+pub use sunder_resilience::{Budget, CancelToken, RunOutcome, StopReason};

@@ -149,6 +149,60 @@ impl ReportSink for TraceSink {
     }
 }
 
+/// A trace sink with a hard capacity: stores the first `capacity` events
+/// and counts (rather than stores) the rest, with an explicit truncation
+/// flag. This is the resilient form of [`TraceSink`] for report-storm
+/// workloads (SPM emits 47M reports per MB of input — paper, Table 1)
+/// where an unbounded trace is itself a failure mode.
+#[derive(Debug, Default, Clone)]
+pub struct BoundedTraceSink {
+    /// The first `capacity` events, in cycle order.
+    pub events: Vec<ReportEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl BoundedTraceSink {
+    /// An empty trace keeping at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        BoundedTraceSink {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events that arrived after the trace was full (counted, not stored).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// `true` when at least one event was dropped. Consumers must check
+    /// this before treating [`BoundedTraceSink::events`] as complete.
+    pub fn truncated(&self) -> bool {
+        self.dropped > 0
+    }
+
+    /// Total events observed, stored or not.
+    pub fn total(&self) -> u64 {
+        self.events.len() as u64 + self.dropped
+    }
+}
+
+impl ReportSink for BoundedTraceSink {
+    fn on_cycle_reports(&mut self, _cycle: u64, reports: &[ReportEvent]) {
+        let room = self.capacity.saturating_sub(self.events.len());
+        let take = room.min(reports.len());
+        self.events.extend_from_slice(&reports[..take]);
+        self.dropped += (reports.len() - take) as u64;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +230,35 @@ mod tests {
         let e = ev(10, 0, 3);
         assert_eq!(e.symbol_position(4), 43);
         assert_eq!(ev(10, 0, 0).symbol_position(1), 10);
+    }
+
+    #[test]
+    fn bounded_trace_truncates_with_exact_accounting() {
+        let mut s = BoundedTraceSink::new(3);
+        s.on_cycle_reports(0, &[ev(0, 1, 0), ev(0, 2, 0)]);
+        assert!(!s.truncated());
+        // This batch straddles the capacity: one stored, one dropped.
+        s.on_cycle_reports(1, &[ev(1, 3, 0), ev(1, 4, 0)]);
+        s.on_cycle_reports(2, &[ev(2, 5, 0)]);
+        assert_eq!(s.events.len(), 3);
+        assert_eq!(s.dropped(), 2);
+        assert!(s.truncated());
+        assert_eq!(s.total(), 5);
+        assert_eq!(s.capacity(), 3);
+        // The stored prefix is exactly the first three events.
+        assert_eq!(
+            s.events.iter().map(|e| e.info.id).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn bounded_trace_with_zero_capacity_only_counts() {
+        let mut s = BoundedTraceSink::new(0);
+        s.on_cycle_reports(0, &[ev(0, 1, 0)]);
+        assert!(s.events.is_empty());
+        assert_eq!(s.total(), 1);
+        assert!(s.truncated());
     }
 
     #[test]

@@ -81,7 +81,7 @@ fn parse_rate(flags: &Flags) -> Result<Rate, String> {
 }
 
 fn read_rules(path: &str) -> Result<Vec<String>, String> {
-    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let text = fs::read_to_string(path).map_err(|e| format!("read rules file {path}: {e}"))?;
     Ok(text
         .lines()
         .map(str::trim)
@@ -99,7 +99,7 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     let text = anml::serialize(program.automaton());
     match flags.value("-o") {
         Some(path) => {
-            fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?;
+            fs::write(path, &text).map_err(|e| format!("write compiled program {path}: {e}"))?;
             eprintln!(
                 "compiled {} rules: {} byte states -> {} nibble states at {} -> {}",
                 rules.len(),
@@ -138,7 +138,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .build();
 
     let program = if let Some(path) = flags.value("--program") {
-        let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let text = fs::read_to_string(path).map_err(|e| format!("read program {path}: {e}"))?;
         let nfa = anml::parse(&text).map_err(|e| e.to_string())?;
         if nfa.symbol_bits() != 4 || nfa.stride() != rate.nibbles_per_cycle() {
             return Err(format!(
@@ -155,7 +155,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         engine.compile_patterns(&rules).map_err(|e| e.to_string())?
     };
 
-    let input = fs::read(flags.required("--input")?).map_err(|e| format!("input: {e}"))?;
+    let input_path = flags.required("--input")?;
+    let input = fs::read(input_path).map_err(|e| format!("read input {input_path}: {e}"))?;
     let mut session = engine.load(&program).map_err(|e| e.to_string())?;
 
     if flags.flag("--trace") {
