@@ -55,7 +55,7 @@ pub use interconnect::InterconnectUsage;
 pub use machine::{MachineFault, PlacementSummary, SunderMachine};
 pub use placement::{place, Placement, PlacementError};
 pub use reporting::{ReportEntry, ReportRegion};
-pub use stats::RunStats;
+pub use stats::{RunStats, StallAttribution, StallCause};
 pub use subarray::Subarray;
 
 #[cfg(test)]

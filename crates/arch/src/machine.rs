@@ -29,7 +29,7 @@ use sunder_sim::{ReportEvent, ReportSink};
 use crate::config::{SunderConfig, ROW_BITS};
 use crate::placement::{place, Placement, PlacementError};
 use crate::reporting::{ReportEntry, ReportRegion, WriteOutcome};
-use crate::stats::RunStats;
+use crate::stats::{RunStats, StallAttribution, StallCause};
 use crate::subarray::{rowops, Row, Subarray, ZERO_ROW};
 
 /// One processing unit: subarray + interconnect + reporting region.
@@ -77,6 +77,9 @@ pub struct SunderMachine {
     /// simultaneous fills share a single stall.
     last_flush_cycle: Option<u64>,
     stats: RunStats,
+    /// Per-cause breakdown of the stall counters in `stats`; charged at
+    /// the same sites under the same same-cycle deduplication.
+    stalls: StallAttribution,
     placement_summary: PlacementSummary,
     report_batch: Vec<ReportEvent>,
     cross_buf: Vec<(u32, u8)>,
@@ -104,7 +107,9 @@ pub enum MachineFault {
     /// The given PU's report rows stop draining: FIFO drains (periodic
     /// ticks and overflow-wait drains) return nothing. The machine
     /// recovers from the resulting wedged overflow with a full flush,
-    /// counted in [`RunStats::stuck_row_recoveries`]. No effect in flush
+    /// counted in [`RunStats::stuck_row_recoveries`]; overflows forced by
+    /// a concurrent [`MachineFault::FifoOverflowStorm`] wedge the same
+    /// way. No effect in flush
     /// (non-FIFO) mode, which never drains row-by-row.
     StuckReportRow {
         /// Index of the stuck processing unit.
@@ -265,6 +270,7 @@ impl SunderMachine {
             cycle: 0,
             last_flush_cycle: None,
             stats: RunStats::default(),
+            stalls: StallAttribution::default(),
             placement_summary: PlacementSummary {
                 pus: n_pus,
                 cross_pu_edges: placement.cross_pu_edges,
@@ -315,6 +321,44 @@ impl SunderMachine {
     /// Statistics so far.
     pub fn stats(&self) -> &RunStats {
         &self.stats
+    }
+
+    /// Per-cause stall attribution so far. Invariants (by construction):
+    /// the execution causes sum to [`RunStats::stall_cycles`] and the
+    /// summarize cause equals [`RunStats::summarize_stall_cycles`].
+    pub fn stall_attribution(&self) -> &StallAttribution {
+        &self.stalls
+    }
+
+    /// Exports this run's counters and stall attribution into the
+    /// telemetry registry under the given `bench` label. No-op when
+    /// telemetry is disabled.
+    pub fn export_telemetry(&self, bench: &str) {
+        if !sunder_telemetry::enabled() {
+            return;
+        }
+        let labels = [("bench", bench)];
+        let s = &self.stats;
+        sunder_telemetry::counter_add("machine_input_cycles_total", &labels, s.input_cycles);
+        sunder_telemetry::counter_add("machine_reports_total", &labels, s.reports);
+        sunder_telemetry::counter_add("machine_report_entries_total", &labels, s.report_entries);
+        sunder_telemetry::counter_add("machine_flushes_total", &labels, s.flushes);
+        sunder_telemetry::counter_add(
+            "machine_fifo_drained_entries_total",
+            &labels,
+            s.fifo_drained_entries,
+        );
+        sunder_telemetry::counter_add(
+            "machine_forced_overflows_total",
+            &labels,
+            s.forced_overflows,
+        );
+        sunder_telemetry::counter_add(
+            "machine_stuck_row_recoveries_total",
+            &labels,
+            s.stuck_row_recoveries,
+        );
+        self.stalls.export_metrics(bench);
     }
 
     /// Runs a whole input stream, delivering reports to `sink`.
@@ -524,6 +568,10 @@ impl SunderMachine {
                 if config.fifo {
                     // Wait for the next drain tick, drain one row, retry.
                     self.stats.stall_cycles += u64::from(config.drain_period_cycles);
+                    self.stalls.charge(
+                        StallCause::FifoDrainWait,
+                        u64::from(config.drain_period_cycles),
+                    );
                     if !stuck {
                         let drained = pu.region.drain_row(&pu.subarray);
                         self.stats.fifo_drained_entries += drained.len() as u64;
@@ -534,11 +582,20 @@ impl SunderMachine {
                     // same cycle drain in parallel (one stall episode).
                     if self.last_flush_cycle != Some(self.cycle) {
                         self.stats.stall_cycles += config.flush_stall_cycles();
+                        self.stalls
+                            .charge(StallCause::FlushDrain, config.flush_stall_cycles());
                         self.last_flush_cycle = Some(self.cycle);
                     }
                     let _ = pu.region.flush(&mut pu.subarray);
                 }
-                let mut retry = pu.region.write(&mut pu.subarray, mask, self.cycle);
+                let mut retry = if storm && config.fifo && stuck {
+                    // The overflow wait drained nothing through the stuck
+                    // row, so the forced overflow stands: wedge and take
+                    // the recovery path below.
+                    WriteOutcome::Full
+                } else {
+                    pu.region.write(&mut pu.subarray, mask, self.cycle)
+                };
                 if retry != WriteOutcome::Stored {
                     // Graceful fallback: a stuck row blocks the FIFO drain,
                     // so instead of wedging, the machine falls back to a
@@ -547,6 +604,8 @@ impl SunderMachine {
                     self.stats.stuck_row_recoveries += 1;
                     if self.last_flush_cycle != Some(self.cycle) {
                         self.stats.stall_cycles += config.flush_stall_cycles();
+                        self.stalls
+                            .charge(StallCause::StuckRowRecovery, config.flush_stall_cycles());
                         self.last_flush_cycle = Some(self.cycle);
                     }
                     let _ = pu.region.flush(&mut pu.subarray);
@@ -570,7 +629,9 @@ impl SunderMachine {
     pub fn summarize_pu(&mut self, pu: usize) -> u32 {
         let p = &self.pus[pu];
         let mask = p.region.summarize(&p.subarray);
-        self.stats.summarize_stall_cycles += 2 * p.region.summarize_batches();
+        let stall = 2 * p.region.summarize_batches();
+        self.stats.summarize_stall_cycles += stall;
+        self.stalls.charge(StallCause::Summarize, stall);
         mask
     }
 
@@ -797,6 +858,29 @@ mod tests {
     }
 
     #[test]
+    fn overflow_storm_through_stuck_row_wedges_every_forced_overflow() {
+        // A stuck row blocks the overflow-wait drain, so each storm-forced
+        // overflow wedges: one drain wait plus one recovery flush apiece.
+        let mut machine = hot_machine(true);
+        machine.inject_fault(MachineFault::FifoOverflowStorm {
+            from_cycle: 10,
+            cycles: 3,
+        });
+        machine.inject_fault(MachineFault::StuckReportRow { pu: 0 });
+        let stats = run_hot(&mut machine, 100);
+        assert_eq!(stats.forced_overflows, 3);
+        assert_eq!(stats.stuck_row_recoveries, 3);
+        assert_eq!(stats.stall_cycles, 3 * (8 + 224));
+        let att = machine.stall_attribution();
+        assert_eq!(att.cycles(StallCause::FifoDrainWait), 3 * 8);
+        assert_eq!(att.cycles(StallCause::StuckRowRecovery), 3 * 224);
+        // Nothing drains through the stuck row; recovery flushes empty the
+        // region, so only the post-storm tail survives.
+        assert_eq!(stats.fifo_drained_entries, 0);
+        assert_eq!(att.stall_cycles(), stats.stall_cycles);
+    }
+
+    #[test]
     fn stuck_row_wedges_fifo_and_recovers_with_full_flush() {
         // Slow drain (64 cycles/row) would already overflow; a stuck row
         // additionally blocks both the ticks and the overflow-wait drain,
@@ -839,6 +923,120 @@ mod tests {
         let armed_stats = run_hot(&mut armed, 100);
         assert_eq!(armed_stats, clean_stats);
         assert_eq!(armed_stats.forced_overflows, 0);
+    }
+
+    #[test]
+    fn storm_stalls_attributed_to_flush_drain_exactly() {
+        // Non-FIFO storm (cycles 10..15): five forced overflows, five
+        // flush episodes of exactly 224 cycles each.
+        let mut machine = hot_machine(false);
+        machine.inject_fault(MachineFault::FifoOverflowStorm {
+            from_cycle: 10,
+            cycles: 5,
+        });
+        let stats = run_hot(&mut machine, 100);
+        let att = machine.stall_attribution();
+        assert_eq!(att.count(StallCause::FlushDrain), 5);
+        assert_eq!(att.cycles(StallCause::FlushDrain), 5 * 224);
+        // All five episodes land in the 128..=255 bucket.
+        assert_eq!(att.episodes(StallCause::FlushDrain).bucket(7), 5);
+        assert_eq!(att.cycles(StallCause::FifoDrainWait), 0);
+        assert_eq!(att.cycles(StallCause::StuckRowRecovery), 0);
+        assert_eq!(att.stall_cycles(), stats.stall_cycles);
+    }
+
+    #[test]
+    fn fifo_storm_stalls_attributed_to_drain_waits_exactly() {
+        // FIFO storm (cycles 10..13): three drain-period waits of 8
+        // cycles each.
+        let mut machine = hot_machine(true);
+        machine.inject_fault(MachineFault::FifoOverflowStorm {
+            from_cycle: 10,
+            cycles: 3,
+        });
+        let stats = run_hot(&mut machine, 100);
+        let att = machine.stall_attribution();
+        assert_eq!(att.count(StallCause::FifoDrainWait), 3);
+        assert_eq!(att.cycles(StallCause::FifoDrainWait), 3 * 8);
+        // 8-cycle episodes land in bucket 3 (8..=15).
+        assert_eq!(att.episodes(StallCause::FifoDrainWait).bucket(3), 3);
+        assert_eq!(att.cycles(StallCause::FlushDrain), 0);
+        assert_eq!(att.stall_cycles(), stats.stall_cycles);
+    }
+
+    #[test]
+    fn stuck_row_stalls_split_between_wait_and_recovery() {
+        // Stuck row under a slow drain: two wedged overflows, each one
+        // 64-cycle drain wait plus one 224-cycle recovery flush.
+        let mut config = SunderConfig::with_rate(Rate::Nibble2).fifo(true);
+        config.drain_period_cycles = 64;
+        let mut machine = SunderMachine::new(&hot_nfa(), config).unwrap();
+        machine.inject_fault(MachineFault::StuckReportRow { pu: 0 });
+        let stats = run_hot(&mut machine, 4000);
+        let att = machine.stall_attribution();
+        assert_eq!(att.count(StallCause::FifoDrainWait), 2);
+        assert_eq!(att.cycles(StallCause::FifoDrainWait), 2 * 64);
+        assert_eq!(att.count(StallCause::StuckRowRecovery), 2);
+        assert_eq!(att.cycles(StallCause::StuckRowRecovery), 2 * 224);
+        assert_eq!(att.stall_cycles(), stats.stall_cycles);
+        assert_eq!(stats.stall_cycles, 2 * (64 + 224));
+    }
+
+    #[test]
+    fn attribution_invariants_hold_on_clean_and_summarized_runs() {
+        let mut machine = hot_machine(false);
+        let stats = run_hot(&mut machine, 4000);
+        machine.summarize_pu(0);
+        let att = machine.stall_attribution();
+        assert_eq!(att.stall_cycles(), stats.stall_cycles);
+        assert_eq!(
+            att.cycles(StallCause::Summarize),
+            machine.stats().summarize_stall_cycles
+        );
+        assert_eq!(att.count(StallCause::FlushDrain), stats.flushes);
+    }
+
+    /// The acceptance tie between the telemetry artifact and the cycle
+    /// model: exported per-cause stall counters must exactly equal the
+    /// `RunStats` aggregates for the same run. This is the only arch
+    /// test that touches the process-global telemetry registry.
+    #[test]
+    fn exported_stall_metrics_equal_run_stats() {
+        let mut machine = hot_machine(true);
+        machine.inject_fault(MachineFault::FifoOverflowStorm {
+            from_cycle: 10,
+            cycles: 3,
+        });
+        let stats = run_hot(&mut machine, 100);
+        sunder_telemetry::init(sunder_telemetry::Config::metrics());
+        machine.export_telemetry("hot");
+        let dump = sunder_telemetry::finish().unwrap();
+        assert_eq!(
+            dump.metrics
+                .counter("machine_input_cycles_total", &[("bench", "hot")]),
+            Some(stats.input_cycles)
+        );
+        assert_eq!(
+            dump.metrics.counter(
+                "machine_stall_cycles_total",
+                &[("bench", "hot"), ("cause", "fifo_drain_wait")]
+            ),
+            Some(stats.stall_cycles)
+        );
+        assert_eq!(
+            dump.metrics
+                .counter("machine_forced_overflows_total", &[("bench", "hot")]),
+            Some(3)
+        );
+        let h = dump
+            .metrics
+            .histogram(
+                "machine_stall_episode_cycles",
+                &[("bench", "hot"), ("cause", "fifo_drain_wait")],
+            )
+            .unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.total(), stats.stall_cycles);
     }
 
     #[test]

@@ -1,4 +1,8 @@
-//! Execution statistics of a Sunder run (feeds Table 4).
+//! Execution statistics of a Sunder run (feeds Table 4), plus the
+//! cycle-level stall attribution that breaks the aggregate stall
+//! counters down by cause.
+
+use sunder_telemetry::Pow2Histogram;
 
 /// Counters collected by a [`crate::machine::SunderMachine`] run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -48,6 +52,135 @@ impl RunStats {
     }
 }
 
+/// Why the machine stalled. Every cycle in [`RunStats::stall_cycles`]
+/// and [`RunStats::summarize_stall_cycles`] is attributable to exactly
+/// one cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallCause {
+    /// FIFO mode: a region overflowed and the write waited one drain
+    /// period for a row to free up.
+    FifoDrainWait,
+    /// Flush mode: a region filled and the whole device stalled while it
+    /// burst out through Port 1.
+    FlushDrain,
+    /// FIFO mode, wedged: a stuck report row blocked the drain, and the
+    /// machine recovered with a full flush.
+    StuckRowRecovery,
+    /// Host-requested summarization (Port 2 multi-row activation
+    /// batches). Accounted separately from execution stalls, mirroring
+    /// [`RunStats::summarize_stall_cycles`].
+    Summarize,
+}
+
+impl StallCause {
+    /// Every cause, in display order.
+    pub const ALL: [StallCause; 4] = [
+        StallCause::FifoDrainWait,
+        StallCause::FlushDrain,
+        StallCause::StuckRowRecovery,
+        StallCause::Summarize,
+    ];
+
+    /// Stable snake_case name (the `cause` label in telemetry metrics).
+    pub fn name(self) -> &'static str {
+        match self {
+            StallCause::FifoDrainWait => "fifo_drain_wait",
+            StallCause::FlushDrain => "flush_drain",
+            StallCause::StuckRowRecovery => "stuck_row_recovery",
+            StallCause::Summarize => "summarize",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            StallCause::FifoDrainWait => 0,
+            StallCause::FlushDrain => 1,
+            StallCause::StuckRowRecovery => 2,
+            StallCause::Summarize => 3,
+        }
+    }
+}
+
+/// Per-cause stall accounting: total cycles and an episode-length
+/// histogram for each [`StallCause`].
+///
+/// Charged at exactly the same sites (and under the same same-cycle
+/// deduplication) as the aggregate [`RunStats`] stall counters, so the
+/// invariant holds by construction:
+/// execution-cause totals sum to [`RunStats::stall_cycles`] and the
+/// summarize total equals [`RunStats::summarize_stall_cycles`]. Lives
+/// outside `RunStats` to keep that struct `Copy` (runs are compared
+/// with `==` across the workspace).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StallAttribution {
+    episodes: [Pow2Histogram; 4],
+}
+
+impl StallAttribution {
+    /// Records one stall episode of `cycles` cycles.
+    pub fn charge(&mut self, cause: StallCause, cycles: u64) {
+        self.episodes[cause.index()].record(cycles);
+        if sunder_telemetry::spans_enabled() {
+            sunder_telemetry::instant(
+                "machine.stall",
+                &[
+                    ("cause", sunder_telemetry::Value::from(cause.name())),
+                    ("cycles", sunder_telemetry::Value::from(cycles)),
+                ],
+            );
+        }
+    }
+
+    /// Total stall cycles attributed to `cause`.
+    pub fn cycles(&self, cause: StallCause) -> u64 {
+        self.episodes[cause.index()].total()
+    }
+
+    /// Stall episodes attributed to `cause`.
+    pub fn count(&self, cause: StallCause) -> u64 {
+        self.episodes[cause.index()].count()
+    }
+
+    /// Episode-length histogram for `cause`.
+    pub fn episodes(&self, cause: StallCause) -> &Pow2Histogram {
+        &self.episodes[cause.index()]
+    }
+
+    /// Execution stall cycles across causes — equals
+    /// [`RunStats::stall_cycles`] for the same run.
+    pub fn stall_cycles(&self) -> u64 {
+        StallCause::ALL
+            .iter()
+            .filter(|c| !matches!(c, StallCause::Summarize))
+            .map(|&c| self.cycles(c))
+            .sum()
+    }
+
+    /// Exports per-cause counters and episode histograms into the
+    /// telemetry registry under the given `bench` label. No-op when
+    /// telemetry is disabled.
+    pub fn export_metrics(&self, bench: &str) {
+        if !sunder_telemetry::enabled() {
+            return;
+        }
+        for cause in StallCause::ALL {
+            if self.count(cause) == 0 {
+                continue;
+            }
+            sunder_telemetry::counter_add(
+                "machine_stall_cycles_total",
+                &[("bench", bench), ("cause", cause.name())],
+                self.cycles(cause),
+            );
+            sunder_telemetry::histogram_merge(
+                "machine_stall_episode_cycles",
+                &[("bench", bench), ("cause", cause.name())],
+                self.episodes(cause),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,5 +200,37 @@ mod tests {
     #[test]
     fn empty_run_has_unit_overhead() {
         assert_eq!(RunStats::default().reporting_overhead(), 1.0);
+    }
+
+    #[test]
+    fn attribution_partitions_by_cause() {
+        let mut att = StallAttribution::default();
+        att.charge(StallCause::FlushDrain, 224);
+        att.charge(StallCause::FlushDrain, 224);
+        att.charge(StallCause::FifoDrainWait, 8);
+        att.charge(StallCause::Summarize, 28);
+        assert_eq!(att.cycles(StallCause::FlushDrain), 448);
+        assert_eq!(att.count(StallCause::FlushDrain), 2);
+        assert_eq!(att.cycles(StallCause::FifoDrainWait), 8);
+        assert_eq!(att.cycles(StallCause::StuckRowRecovery), 0);
+        // Summarize is host-side and excluded from execution stalls.
+        assert_eq!(att.stall_cycles(), 456);
+        assert_eq!(att.cycles(StallCause::Summarize), 28);
+        // 224-cycle episodes land in bucket 7 (128..=255).
+        assert_eq!(att.episodes(StallCause::FlushDrain).bucket(7), 2);
+    }
+
+    #[test]
+    fn cause_names_are_stable() {
+        let names: Vec<&str> = StallCause::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "fifo_drain_wait",
+                "flush_drain",
+                "stuck_row_recovery",
+                "summarize"
+            ]
+        );
     }
 }

@@ -1,0 +1,299 @@
+//! Shared command-line parsing for the bench binaries.
+//!
+//! Every table/figure binary used to hand-roll its own `--flag value`
+//! scanning; this module hoists one parser so `--workers`, `--telemetry`,
+//! and `--quiet` mean the same thing everywhere. Unrecognized arguments
+//! are collected in [`BenchArgs::rest`] for binaries with positional
+//! inputs (e.g. `fig8`'s override ratios).
+//!
+//! Telemetry lifecycle: [`BenchArgs::init_telemetry`] right after parsing,
+//! [`BenchArgs::finish_telemetry`] right before exiting. `--telemetry
+//! PATH` (or the `SUNDER_TELEMETRY` environment variable, which the flag
+//! overrides) enables span + metric recording and writes the JSON-lines
+//! artifact to `PATH`; without it both calls are no-ops beyond honoring
+//! `--quiet`.
+
+use std::time::Duration;
+
+use sunder_resilience::FaultPlan;
+use sunder_workloads::Scale;
+
+use crate::error::{BenchError, Context};
+use crate::parallel::{default_workers, workers_from_args};
+
+/// The flag set shared by the bench binaries. Individual binaries ignore
+/// the fields they have no use for (e.g. the static table generators
+/// never look at `workers`).
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// `--small`: force the small workload scale.
+    pub small: bool,
+    /// `--paper`: force the full paper workload scale.
+    pub paper: bool,
+    /// `--workers N` (default: available parallelism).
+    pub workers: usize,
+    /// `--runs N`: timing passes; binaries pick their own default.
+    pub runs: Option<u32>,
+    /// `--out PATH`: machine-readable output path.
+    pub out: Option<String>,
+    /// `--deadline-ms N`: per-job wall-clock deadline.
+    pub deadline: Option<Duration>,
+    /// `--fault-plan FILE`: injected faults (parsed at startup so a bad
+    /// plan fails before any benchmark runs).
+    pub plan: FaultPlan,
+    /// `--telemetry PATH` or `SUNDER_TELEMETRY`: JSON-lines artifact path.
+    pub telemetry: Option<String>,
+    /// `--quiet`: suppress progress chatter on stderr.
+    pub quiet: bool,
+    /// `--only A,B,...`: benchmark name filter (case-insensitive).
+    pub only: Vec<String>,
+    /// Arguments the shared parser did not recognize, in order.
+    pub rest: Vec<String>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            small: false,
+            paper: false,
+            workers: default_workers(),
+            runs: None,
+            out: None,
+            deadline: None,
+            plan: FaultPlan::none(),
+            telemetry: None,
+            quiet: false,
+            only: Vec::new(),
+            rest: Vec::new(),
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parses the process arguments plus the `SUNDER_TELEMETRY`
+    /// environment fallback.
+    pub fn from_env() -> Result<BenchArgs, BenchError> {
+        let raw: Vec<String> = std::env::args().skip(1).collect();
+        let env = std::env::var("SUNDER_TELEMETRY").ok();
+        BenchArgs::parse(&raw, env.as_deref())
+    }
+
+    /// Parses an explicit argument list; `env_telemetry` is the
+    /// `SUNDER_TELEMETRY` value, used only when `--telemetry` is absent.
+    pub fn parse(args: &[String], env_telemetry: Option<&str>) -> Result<BenchArgs, BenchError> {
+        let mut out = BenchArgs::default();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            match flag {
+                "--small" => out.small = true,
+                "--paper" => out.paper = true,
+                "--quiet" => out.quiet = true,
+                "--workers" | "--runs" | "--out" | "--deadline-ms" | "--fault-plan"
+                | "--telemetry" | "--only" => {
+                    let value = args
+                        .get(i + 1)
+                        .with_context(|| format!("{flag} requires a value"))?
+                        .clone();
+                    i += 1;
+                    match flag {
+                        "--workers" => {
+                            out.workers = workers_from_args(&[flag, value.as_str()])
+                                .map_err(BenchError::msg)?;
+                        }
+                        "--runs" => {
+                            out.runs = Some(value.parse::<u32>().with_context(|| {
+                                format!("invalid --runs value {value:?}: expected an integer")
+                            })?);
+                        }
+                        "--out" => out.out = Some(value),
+                        "--deadline-ms" => {
+                            out.deadline = Some(
+                                value
+                                    .parse::<u64>()
+                                    .map(Duration::from_millis)
+                                    .with_context(|| {
+                                        format!(
+                                            "invalid --deadline-ms value {value:?}: \
+                                             expected milliseconds"
+                                        )
+                                    })?,
+                            );
+                        }
+                        "--fault-plan" => {
+                            let text = std::fs::read_to_string(&value)
+                                .with_context(|| format!("read fault plan {value:?}"))?;
+                            out.plan = FaultPlan::from_text(&text)
+                                .map_err(BenchError::msg)
+                                .with_context(|| format!("parse fault plan {value:?}"))?;
+                        }
+                        "--telemetry" => out.telemetry = Some(value),
+                        "--only" => out.only.extend(
+                            value
+                                .split(',')
+                                .map(str::trim)
+                                .filter(|s| !s.is_empty())
+                                .map(String::from),
+                        ),
+                        _ => unreachable!(),
+                    }
+                }
+                other => out.rest.push(other.to_string()),
+            }
+            i += 1;
+        }
+        if out.telemetry.is_none() {
+            if let Some(path) = env_telemetry.filter(|p| !p.is_empty()) {
+                out.telemetry = Some(path.to_string());
+            }
+        }
+        Ok(out)
+    }
+
+    /// The workload scale for binaries that default to `--small`
+    /// (`--paper` opts up). Returns the scale and its name.
+    pub fn scale_small_default(&self) -> (Scale, &'static str) {
+        if self.paper {
+            (Scale::paper(), "paper")
+        } else {
+            (Scale::small(), "small")
+        }
+    }
+
+    /// The workload scale for binaries that default to `--paper`
+    /// (`--small` opts down). Returns the scale and its name.
+    pub fn scale_paper_default(&self) -> (Scale, &'static str) {
+        if self.small {
+            (Scale::small(), "small")
+        } else {
+            (Scale::paper(), "paper")
+        }
+    }
+
+    /// Starts telemetry recording when `--telemetry`/`SUNDER_TELEMETRY`
+    /// asked for it, and applies `--quiet` either way.
+    pub fn init_telemetry(&self) {
+        sunder_telemetry::set_quiet(self.quiet);
+        if self.telemetry.is_some() {
+            sunder_telemetry::init(sunder_telemetry::Config::spans());
+        }
+    }
+
+    /// Stops recording and writes the JSON-lines artifact, if a session
+    /// is active. Safe to call when telemetry was never enabled.
+    pub fn finish_telemetry(&self) -> Result<(), BenchError> {
+        let Some(dump) = sunder_telemetry::finish() else {
+            return Ok(());
+        };
+        if let Some(path) = &self.telemetry {
+            dump.write_jsonl(std::path::Path::new(path))
+                .with_context(|| format!("write telemetry artifact {path:?}"))?;
+            sunder_telemetry::progress(&format!(
+                "telemetry: {} events ({} dropped), {} metrics -> {path}",
+                dump.events.len(),
+                dump.dropped,
+                dump.metrics.entries.len(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_are_empty() {
+        let a = BenchArgs::parse(&[], None).unwrap();
+        assert!(!a.small && !a.paper && !a.quiet);
+        assert_eq!(a.workers, default_workers());
+        assert_eq!(a.runs, None);
+        assert!(a.plan.is_empty());
+        assert!(a.telemetry.is_none());
+        assert!(a.only.is_empty() && a.rest.is_empty());
+    }
+
+    #[test]
+    fn parses_the_full_shared_flag_set() {
+        let a = BenchArgs::parse(
+            &argv(&[
+                "--paper",
+                "--workers",
+                "3",
+                "--runs",
+                "2",
+                "--out",
+                "x.json",
+                "--deadline-ms",
+                "1500",
+                "--telemetry",
+                "t.jsonl",
+                "--quiet",
+                "--only",
+                "Snort, Brill",
+                "--only",
+                "SPM",
+            ]),
+            None,
+        )
+        .unwrap();
+        assert!(a.paper && a.quiet);
+        assert_eq!(a.workers, 3);
+        assert_eq!(a.runs, Some(2));
+        assert_eq!(a.out.as_deref(), Some("x.json"));
+        assert_eq!(a.deadline, Some(Duration::from_millis(1500)));
+        assert_eq!(a.telemetry.as_deref(), Some("t.jsonl"));
+        assert_eq!(a.only, ["Snort", "Brill", "SPM"]);
+    }
+
+    #[test]
+    fn env_telemetry_is_a_fallback_the_flag_overrides() {
+        let a = BenchArgs::parse(&[], Some("env.jsonl")).unwrap();
+        assert_eq!(a.telemetry.as_deref(), Some("env.jsonl"));
+        let a = BenchArgs::parse(&argv(&["--telemetry", "flag.jsonl"]), Some("env.jsonl")).unwrap();
+        assert_eq!(a.telemetry.as_deref(), Some("flag.jsonl"));
+        let a = BenchArgs::parse(&[], Some("")).unwrap();
+        assert!(a.telemetry.is_none(), "empty env value means off");
+    }
+
+    #[test]
+    fn unknown_arguments_pass_through_in_order() {
+        let a = BenchArgs::parse(&argv(&["0.5", "--small", "--weird", "2.2"]), None).unwrap();
+        assert!(a.small);
+        assert_eq!(a.rest, ["0.5", "--weird", "2.2"]);
+    }
+
+    #[test]
+    fn value_flags_without_values_are_hard_errors() {
+        for flag in [
+            "--workers",
+            "--runs",
+            "--deadline-ms",
+            "--telemetry",
+            "--only",
+        ] {
+            let e = BenchArgs::parse(&argv(&[flag]), None).unwrap_err();
+            assert!(e.to_string().contains("requires a value"), "{flag}: {e}");
+        }
+        let e = BenchArgs::parse(&argv(&["--runs", "x"]), None).unwrap_err();
+        assert!(e.to_string().contains("invalid --runs"), "{e}");
+        let e = BenchArgs::parse(&argv(&["--workers", "0"]), None).unwrap_err();
+        assert!(e.to_string().contains("at least 1"), "{e}");
+    }
+
+    #[test]
+    fn scale_defaults_follow_the_binary_convention() {
+        let a = BenchArgs::parse(&[], None).unwrap();
+        assert_eq!(a.scale_small_default().1, "small");
+        assert_eq!(a.scale_paper_default().1, "paper");
+        let a = BenchArgs::parse(&argv(&["--paper"]), None).unwrap();
+        assert_eq!(a.scale_small_default().1, "paper");
+        let a = BenchArgs::parse(&argv(&["--small"]), None).unwrap();
+        assert_eq!(a.scale_paper_default().1, "small");
+    }
+}

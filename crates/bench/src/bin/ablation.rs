@@ -9,10 +9,15 @@
 //! 4. **Report columns (m)** — the capacity/geometry trade-off of the
 //!    reporting region.
 //!
-//! Usage: `cargo run -p sunder-bench --release --bin ablation`
+//! Usage: `cargo run -p sunder-bench --release --bin ablation
+//! [--telemetry PATH] [--quiet]`
+
+use std::process::ExitCode;
 
 use sunder_arch::{SunderConfig, SunderMachine};
 use sunder_automata::InputView;
+use sunder_bench::args::BenchArgs;
+use sunder_bench::error::{bench_main, BenchError};
 use sunder_bench::table::TextTable;
 use sunder_core::{DeviceModel, Engine};
 use sunder_llc::{HostBridge, SliceGeometry, SlicedLlc, WayPartition};
@@ -21,12 +26,25 @@ use sunder_tech::{Architecture, PipelineTiming};
 use sunder_transform::{transform_to_rate_with, Rate, TransformOptions};
 use sunder_workloads::{Benchmark, Scale};
 
-fn main() {
-    rate_vs_capacity();
-    minimization();
-    fifo_drain_period();
-    report_columns();
-    host_traffic();
+fn run() -> Result<u8, BenchError> {
+    let args = BenchArgs::from_env()?;
+    args.init_telemetry();
+    for (name, study) in [
+        ("rate_vs_capacity", rate_vs_capacity as fn()),
+        ("minimization", minimization),
+        ("fifo_drain_period", fifo_drain_period),
+        ("report_columns", report_columns),
+        ("host_traffic", host_traffic),
+    ] {
+        let _span = sunder_telemetry::span("ablation.study").field("study", name);
+        study();
+    }
+    args.finish_telemetry()?;
+    Ok(0)
+}
+
+fn main() -> ExitCode {
+    bench_main(run)
 }
 
 /// Per-rate operating frequency: the matching array timing does not
@@ -171,6 +189,9 @@ fn fifo_drain_period() {
         config.drain_period_cycles = period;
         let mut machine = SunderMachine::new(&strided, config).expect("place");
         let stats = machine.run(&view, &mut NullSink);
+        if sunder_telemetry::enabled() {
+            machine.export_telemetry(&format!("ablation/drain{period}"));
+        }
         table.row([
             format!("{period}"),
             format!("{}", stats.flushes),

@@ -3,13 +3,15 @@
 //! summarization, for a subarray with 12 reporting states at the 16-bit
 //! rate.
 //!
-//! Usage: `cargo run -p sunder-bench --bin fig10`
+//! Usage: `cargo run -p sunder-bench --bin fig10 [--telemetry PATH]
+//! [--quiet]`
 
 use std::process::ExitCode;
 
 use sunder_arch::sensitivity::{figure10, HOST_ROW_READ_CYCLES};
 use sunder_arch::{SunderConfig, SunderMachine};
 use sunder_automata::{InputView, Nfa, StartKind, Ste, SymbolSet};
+use sunder_bench::args::BenchArgs;
 use sunder_bench::error::{bench_main, BenchError, Context};
 use sunder_bench::table::TextTable;
 use sunder_sim::NullSink;
@@ -51,6 +53,10 @@ fn measured_slowdown(percent: u32, summarize_mode: bool) -> Result<f64, BenchErr
     let mut machine = SunderMachine::new(&strided, config)
         .with_context(|| format!("place {percent}% hot automaton"))?;
     let stats = machine.run(&view, &mut NullSink);
+    if sunder_telemetry::enabled() {
+        let mode = if summarize_mode { "sum" } else { "flush" };
+        machine.export_telemetry(&format!("fig10/{percent}pct/{mode}"));
+    }
     Ok(if summarize_mode {
         // Summarization replaces the flush drain: per fill, 12 batches of
         // (2-cycle NOR + one summary-row transfer) instead of 192 rows.
@@ -64,6 +70,8 @@ fn measured_slowdown(percent: u32, summarize_mode: bool) -> Result<f64, BenchErr
 }
 
 fn run() -> Result<u8, BenchError> {
+    let args = BenchArgs::from_env()?;
+    args.init_telemetry();
     println!("Figure 10: slowdown vs. reporting-cycle percentage\n");
     let config = SunderConfig::with_rate(Rate::Nibble4);
     let percents = [1, 2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
@@ -94,6 +102,7 @@ fn run() -> Result<u8, BenchError> {
         "Paper anchors: negligible below 5%; worst case 7x without and 1.4x with summarization."
     );
     println!("(AP-style reporting reaches 46x at just 3.24% report cycles — SPM in Table 1.)");
+    args.finish_telemetry()?;
     Ok(0)
 }
 

@@ -6,17 +6,21 @@
 //! 1.0×, AP-style 4.69×, RAD 2.23×). Pass the averages printed by the
 //! `table4` binary to use measured values:
 //!
-//! `cargo run -p sunder-bench --release --bin fig8 [sunder ap rad]`
+//! `cargo run -p sunder-bench --release --bin fig8 [sunder ap rad]
+//! [--telemetry PATH] [--quiet]`
 
+use std::process::ExitCode;
+
+use sunder_bench::args::BenchArgs;
+use sunder_bench::error::{bench_main, BenchError};
 use sunder_bench::table::TextTable;
 use sunder_tech::throughput::{figure8, Throughput};
 
-fn main() {
-    let args: Vec<f64> = std::env::args()
-        .skip(1)
-        .filter_map(|a| a.parse().ok())
-        .collect();
-    let (sunder_oh, ap_oh, rad_oh) = match args.as_slice() {
+fn run() -> Result<u8, BenchError> {
+    let args = BenchArgs::from_env()?;
+    args.init_telemetry();
+    let overheads: Vec<f64> = args.rest.iter().filter_map(|a| a.parse().ok()).collect();
+    let (sunder_oh, ap_oh, rad_oh) = match overheads.as_slice() {
         [s, a, r] => (*s, *a, *r),
         _ => (1.0, 4.69, 2.23),
     };
@@ -25,6 +29,7 @@ fn main() {
     );
 
     for (label, baseline_oh) in [("AP-style reporting", ap_oh), ("AP+RAD reporting", rad_oh)] {
+        let _span = sunder_telemetry::span("fig8.reporting_model").field("model", label);
         println!("-- {label} --");
         let rows = figure8(sunder_oh, baseline_oh);
         let sunder = rows[0].gbps;
@@ -49,4 +54,10 @@ fn main() {
         "Paper headline speedups (AP-style): 280x / 22x / 10x / 4x vs AP(50nm)/AP(14nm)/CA/Impala"
     );
     println!("Paper headline speedups (AP+RAD):   133x / 10.4x / 4.8x / 1.9x");
+    args.finish_telemetry()?;
+    Ok(0)
+}
+
+fn main() -> ExitCode {
+    bench_main(run)
 }

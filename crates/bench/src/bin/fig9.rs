@@ -1,15 +1,23 @@
 //! Regenerates the paper's Figure 9: area for 32K STEs, decomposed into
 //! state matching, interconnect, and reporting.
 //!
-//! Usage: `cargo run -p sunder-bench --bin fig9`
+//! Usage: `cargo run -p sunder-bench --bin fig9 [--telemetry PATH]
+//! [--quiet]`
 
+use std::process::ExitCode;
+
+use sunder_bench::args::BenchArgs;
+use sunder_bench::error::{bench_main, BenchError};
 use sunder_bench::table::TextTable;
 use sunder_tech::area::{ap_buffer_bits_per_report_ste, report_buffer_bits_per_report_ste};
 use sunder_tech::{Architecture, AreaBreakdown};
 
 const STES: usize = 32 * 1024;
 
-fn main() {
+fn run() -> Result<u8, BenchError> {
+    let args = BenchArgs::from_env()?;
+    args.init_telemetry();
+    let span = sunder_telemetry::span("fig9.render");
     println!("Figure 9: area overhead for 32K STEs (mm^2)\n");
     let mut table = TextTable::new([
         "Architecture",
@@ -44,4 +52,11 @@ fn main() {
         ap_bits,
         sunder_bits / ap_bits
     );
+    drop(span);
+    args.finish_telemetry()?;
+    Ok(0)
+}
+
+fn main() -> ExitCode {
+    bench_main(run)
 }

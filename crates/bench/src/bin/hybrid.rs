@@ -12,11 +12,16 @@
 //! reporting (the AP) melts under that load; Sunder's in-place regions
 //! absorb it.
 //!
-//! Usage: `cargo run -p sunder-bench --release --bin hybrid`
+//! Usage: `cargo run -p sunder-bench --release --bin hybrid
+//! [--telemetry PATH] [--quiet]`
+
+use std::process::ExitCode;
 
 use sunder_arch::{SunderConfig, SunderMachine};
 use sunder_automata::{InputView, Nfa, StartKind, Ste, SymbolSet};
 use sunder_baselines::ap::{ApParams, ApReportingModel};
+use sunder_bench::args::BenchArgs;
+use sunder_bench::error::{bench_main, BenchError};
 use sunder_bench::table::TextTable;
 use sunder_sim::{hybrid_split, ActivationProfileSink, CountSink, NullSink, Simulator};
 use sunder_transform::{transform_to_rate, Rate};
@@ -74,7 +79,9 @@ fn warm_workload(density: f64) -> (Nfa, Vec<u8>) {
     (nfa, input)
 }
 
-fn main() {
+fn run() -> Result<u8, BenchError> {
+    let args = BenchArgs::from_env()?;
+    args.init_telemetry();
     println!("Hybrid (Liu et al.) split: intermediate reporting pressure\n");
     let mut table = TextTable::new([
         "Prefix density",
@@ -90,6 +97,8 @@ fn main() {
     ]);
 
     for density in [0.05, 0.15, 0.30] {
+        let _span =
+            sunder_telemetry::span("hybrid.density").field("density", format!("{density:.2}"));
         let (nfa, input) = warm_workload(density);
 
         // Profile on the training prefix (no tail ever completes there).
@@ -116,12 +125,16 @@ fn main() {
             sim.run(&InputView::new(&input, 8, 1).expect("view"), &mut model);
             model.stats().reporting_overhead()
         };
-        let sunder_overhead = |nfa: &Nfa| {
+        let sunder_overhead = |nfa: &Nfa, label: &str| {
             let strided = transform_to_rate(nfa, Rate::Nibble4).expect("transform");
             let config = SunderConfig::with_rate(Rate::Nibble4).fifo(true);
             let mut machine = SunderMachine::new(&strided, config).expect("place");
             let view = InputView::new(&input, 4, 4).expect("view");
-            machine.run(&view, &mut NullSink).reporting_overhead()
+            let stats = machine.run(&view, &mut NullSink);
+            if sunder_telemetry::enabled() {
+                machine.export_telemetry(&format!("hybrid/{:.0}pct/{label}", density * 100.0));
+            }
+            stats.reporting_overhead()
         };
 
         table.row([
@@ -133,8 +146,8 @@ fn main() {
             format!("{}", hybrid_counts.reports),
             format!("{:.2}x", ap_overhead(&nfa)),
             format!("{:.2}x", ap_overhead(&split.accelerator)),
-            format!("{:.3}x", sunder_overhead(&nfa)),
-            format!("{:.3}x", sunder_overhead(&split.accelerator)),
+            format!("{:.3}x", sunder_overhead(&nfa, "base")),
+            format!("{:.3}x", sunder_overhead(&split.accelerator, "split")),
         ]);
     }
     print!("{}", table.render());
@@ -143,4 +156,10 @@ fn main() {
     println!("orders of magnitude beyond the application's own matches. The AP's");
     println!("buffers pay for every vector; Sunder's in-place regions absorb it —");
     println!("the complementarity claimed in the paper's Section 1.");
+    args.finish_telemetry()?;
+    Ok(0)
+}
+
+fn main() -> ExitCode {
+    bench_main(run)
 }

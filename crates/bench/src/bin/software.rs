@@ -7,12 +7,16 @@
 //!   host;
 //! * Sunder's modeled line-rate for contrast.
 //!
-//! Usage: `cargo run -p sunder-bench --release --bin software`
+//! Usage: `cargo run -p sunder-bench --release --bin software
+//! [--telemetry PATH] [--quiet]`
 
+use std::process::ExitCode;
 use std::time::Instant;
 
 use sunder_automata::dfa::Dfa;
 use sunder_automata::InputView;
+use sunder_bench::args::BenchArgs;
+use sunder_bench::error::{bench_main, BenchError};
 use sunder_bench::table::TextTable;
 use sunder_sim::{NullSink, Simulator};
 use sunder_tech::{Architecture, Throughput};
@@ -22,7 +26,9 @@ fn mbps(bytes: usize, secs: f64) -> f64 {
     bytes as f64 / 1e6 / secs
 }
 
-fn main() {
+fn run() -> Result<u8, BenchError> {
+    let args = BenchArgs::from_env()?;
+    args.init_telemetry();
     println!("Software baseline: DFA blowup and scan throughput\n");
     let scale = Scale {
         state_fraction: 0.02,
@@ -46,6 +52,7 @@ fn main() {
         Benchmark::Snort,
         Benchmark::Brill,
     ] {
+        let _span = sunder_telemetry::span("software.benchmark").field("bench", bench.name());
         let w = bench.build(scale);
 
         // NFA software throughput.
@@ -87,4 +94,10 @@ fn main() {
     println!("sets (Snort, Brill); the in-memory design keeps NFA compactness at");
     println!("deterministic line rate (prior work: the AP beats CPUs/GPUs by >10x,");
     println!("and CA beats the AP by another order of magnitude — Section 8).");
+    args.finish_telemetry()?;
+    Ok(0)
+}
+
+fn main() -> ExitCode {
+    bench_main(run)
 }

@@ -6,97 +6,60 @@
 //!
 //! Usage: `cargo run -p sunder-bench --release --bin suite
 //! [--small | --paper] [--workers N] [--out PATH] [--runs N]
-//! [--deadline-ms N] [--fault-plan FILE]`
+//! [--deadline-ms N] [--fault-plan FILE] [--only A,B,...]
+//! [--telemetry PATH] [--quiet]`
 //!
 //! Default scale is `--small` (seconds, not minutes). Benchmarks fan out
 //! across supervised worker threads; a benchmark that panics, times out,
 //! or fails is reported by name while the rest of the suite completes.
 //! The JSON and table are merged in benchmark order, identical for any
-//! worker count.
+//! worker count. With `--telemetry PATH` (or `SUNDER_TELEMETRY`) the run
+//! also records spans, metrics, and cycle-model stall attribution to a
+//! JSON-lines artifact — render it with `sunder telemetry-report`.
 //!
 //! Exit codes: 0 all ok, 1 engines disagreed on a report trace, 2 usage
 //! or I/O error, 3 suite completed with failed jobs (partial results).
 
 use std::process::ExitCode;
-use std::time::Duration;
 
+use sunder_bench::args::BenchArgs;
 use sunder_bench::error::{bench_main, BenchError, Context};
-use sunder_bench::parallel::workers_from_args;
-use sunder_bench::suite::{render_json, render_table, run_suite, SuiteOptions};
-use sunder_resilience::FaultPlan;
-use sunder_workloads::Scale;
-
-/// Parses `--flag VALUE` out of the raw argument list.
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, BenchError> {
-    match args.iter().position(|a| a == flag) {
-        None => Ok(None),
-        Some(i) => args
-            .get(i + 1)
-            .map(|v| Some(v.as_str()))
-            .with_context(|| format!("{flag} requires a value")),
-    }
-}
+use sunder_bench::suite::{render_json, render_table, run_suite, select_benchmarks, SuiteOptions};
+use sunder_telemetry::progress;
 
 fn run() -> Result<u8, BenchError> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let paper = args.iter().any(|a| a == "--paper");
-    let workers = workers_from_args(&args).map_err(BenchError::msg)?;
-    let out_path = flag_value(&args, "--out")?.unwrap_or("BENCH_engine.json");
-
-    let (scale, scale_name, default_runs) = if paper {
-        (Scale::paper(), "paper", 1)
-    } else {
-        (Scale::small(), "small", 7)
-    };
-    let runs = match flag_value(&args, "--runs")? {
-        None => default_runs,
-        Some(v) => v
-            .parse::<u32>()
-            .with_context(|| format!("invalid --runs value {v:?}: expected an integer"))?,
-    };
-    let deadline = flag_value(&args, "--deadline-ms")?
-        .map(|v| {
-            v.parse::<u64>()
-                .map(Duration::from_millis)
-                .with_context(|| {
-                    format!("invalid --deadline-ms value {v:?}: expected milliseconds")
-                })
-        })
-        .transpose()?;
-    let plan = match flag_value(&args, "--fault-plan")? {
-        None => FaultPlan::none(),
-        Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .with_context(|| format!("read fault plan {path:?}"))?;
-            FaultPlan::from_text(&text)
-                .map_err(BenchError::msg)
-                .with_context(|| format!("parse fault plan {path:?}"))?
-        }
-    };
+    let args = BenchArgs::from_env()?;
+    args.init_telemetry();
+    let (scale, scale_name) = args.scale_small_default();
+    let benches = select_benchmarks(&args.only).map_err(BenchError::msg)?;
+    let out_path = args.out.as_deref().unwrap_or("BENCH_engine.json");
 
     let opts = SuiteOptions {
         scale,
         scale_name: scale_name.to_string(),
-        runs,
-        workers,
-        deadline,
-        plan,
+        runs: args.runs.unwrap_or(if args.paper { 1 } else { 7 }),
+        workers: args.workers,
+        deadline: args.deadline,
+        plan: args.plan.clone(),
+        only: args.only.clone(),
     };
 
-    println!(
-        "Engine suite: 19 benchmarks x 3 engines ({scale_name} scale, {workers} workers{})\n",
+    progress(&format!(
+        "Engine suite: {} benchmarks x 3 engines ({scale_name} scale, {} workers{})",
+        benches.len(),
+        opts.workers,
         if opts.plan.is_empty() {
             String::new()
         } else {
             format!(", {} injected faults", opts.plan.faults.len())
         }
-    );
+    ));
     let report = run_suite(&opts);
 
     print!("{}", render_table(&report));
     std::fs::write(out_path, render_json(&report))
         .with_context(|| format!("write JSON summary {out_path:?}"))?;
-    println!("Machine-readable summary written to {out_path}");
+    progress(&format!("Machine-readable summary written to {out_path}"));
 
     if !report.traces_all_equal() {
         eprintln!("ERROR: engines disagreed on at least one report trace");
@@ -104,6 +67,7 @@ fn run() -> Result<u8, BenchError> {
     if !report.summary.no_failures() {
         eprintln!("WARNING: suite completed with failures: {}", report.summary);
     }
+    args.finish_telemetry()?;
     Ok(report.exit_code())
 }
 

@@ -15,21 +15,19 @@ use std::process::ExitCode;
 
 use sunder_automata::stats::StaticStats;
 use sunder_automata::InputView;
+use sunder_bench::args::BenchArgs;
 use sunder_bench::error::{bench_main, BenchError};
-use sunder_bench::parallel::{run_indexed, workers_from_args};
+use sunder_bench::parallel::run_indexed;
 use sunder_bench::table::TextTable;
 use sunder_sim::{DynamicStatsSink, Simulator};
-use sunder_workloads::{Benchmark, Scale};
+use sunder_workloads::Benchmark;
 
 fn run() -> Result<u8, BenchError> {
-    let args: Vec<String> = std::env::args().collect();
-    let small = args.iter().any(|a| a == "--small");
-    let workers = workers_from_args(&args).map_err(BenchError::msg)?;
-    let scale = if small {
-        Scale::small()
-    } else {
-        Scale::paper()
-    };
+    let args = BenchArgs::from_env()?;
+    args.init_telemetry();
+    let (scale, scale_name) = args.scale_paper_default();
+    let small = scale_name == "small";
+    let workers = args.workers;
     println!(
         "Table 1: reporting behavior summary ({} scale: {} states fraction, {} input bytes)",
         if small { "small" } else { "paper" },
@@ -55,6 +53,7 @@ fn run() -> Result<u8, BenchError> {
     ]);
 
     let rows = run_indexed(&Benchmark::ALL, workers, |_, bench| {
+        let _span = sunder_telemetry::span("table1.benchmark").field("bench", bench.name());
         let w = bench.build(scale);
         let stats = StaticStats::of(&w.nfa);
         let input = InputView::new(&w.input, 8, 1).expect("byte view");
@@ -95,6 +94,7 @@ fn run() -> Result<u8, BenchError> {
             "\n(*) paper values are per 1 MB; small scale shrinks absolute counts proportionally."
         );
     }
+    args.finish_telemetry()?;
     Ok(0)
 }
 

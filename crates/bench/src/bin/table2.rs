@@ -1,8 +1,13 @@
 //! Prints the paper's Table 2: subarray parameters of the technology
 //! model (14 nm memory-compiler figures quoted by the paper).
 //!
-//! Usage: `cargo run -p sunder-bench --bin table2`
+//! Usage: `cargo run -p sunder-bench --bin table2 [--telemetry PATH]
+//! [--quiet]`
 
+use std::process::ExitCode;
+
+use sunder_bench::args::BenchArgs;
+use sunder_bench::error::{bench_main, BenchError};
 use sunder_bench::table::TextTable;
 use sunder_tech::params::{CA_MATCH, IMPALA_MATCH, SUNDER_8T};
 use sunder_tech::{CellType, SubarrayParams};
@@ -14,7 +19,10 @@ fn cell_name(c: CellType) -> &'static str {
     }
 }
 
-fn main() {
+fn run() -> Result<u8, BenchError> {
+    let args = BenchArgs::from_env()?;
+    args.init_telemetry();
+    let _span = sunder_telemetry::span("table2.render");
     println!("Table 2: subarray parameters (14 nm, peripheral overhead included)\n");
     let mut table = TextTable::new([
         "Usage",
@@ -47,4 +55,11 @@ fn main() {
         "\n8T/6T area ratio at 256x256: {:.2}x (the paper notes ~2.1x)",
         SUNDER_8T.area_um2 / CA_MATCH.area_um2
     );
+    drop(_span);
+    args.finish_telemetry()?;
+    Ok(0)
+}
+
+fn main() -> ExitCode {
+    bench_main(run)
 }

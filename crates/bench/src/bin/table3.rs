@@ -5,6 +5,7 @@
 
 use std::process::ExitCode;
 
+use sunder_bench::args::BenchArgs;
 use sunder_bench::error::{bench_main, BenchError, Context};
 use sunder_bench::table::TextTable;
 use sunder_transform::{Rate, TransformStats};
@@ -50,7 +51,9 @@ fn fmt_paper(v: f64) -> String {
 }
 
 fn run() -> Result<u8, BenchError> {
-    let small = std::env::args().any(|a| a == "--small");
+    let args = BenchArgs::from_env()?;
+    args.init_telemetry();
+    let small = args.small;
     let scale = if small {
         Scale::small()
     } else {
@@ -85,6 +88,7 @@ fn run() -> Result<u8, BenchError> {
     let mut sums = [0.0f64; 6];
     let mut counted = 0usize;
     for (bench, paper) in Benchmark::ALL.iter().zip(PAPER.iter()) {
+        let _span = sunder_telemetry::span("table3.benchmark").field("bench", bench.name());
         let w = bench.build(scale);
         let stats = TransformStats::measure(&w.nfa)
             .with_context(|| format!("measure nibble transforms for {}", bench.name()))?;
@@ -133,6 +137,7 @@ fn run() -> Result<u8, BenchError> {
         "1.8x".to_string(),
     ]);
     print!("{}", table.render());
+    args.finish_telemetry()?;
     Ok(0)
 }
 

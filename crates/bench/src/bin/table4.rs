@@ -10,11 +10,12 @@
 
 use std::process::ExitCode;
 
+use sunder_bench::args::BenchArgs;
 use sunder_bench::error::{bench_main, BenchError};
 use sunder_bench::harness::run_table4;
-use sunder_bench::parallel::{run_indexed, workers_from_args};
+use sunder_bench::parallel::run_indexed;
 use sunder_bench::table::TextTable;
-use sunder_workloads::{Benchmark, Scale};
+use sunder_workloads::Benchmark;
 
 /// The paper's Table 4 reference values: (benchmark, Sunder w/o FIFO
 /// flushes, Sunder overhead, FIFO flushes, FIFO overhead, AP, AP+RAD).
@@ -41,18 +42,11 @@ const PAPER: [(&str, u64, f64, u64, f64, f64, f64); 19] = [
 ];
 
 fn run() -> Result<u8, BenchError> {
-    let args: Vec<String> = std::env::args().collect();
-    let small = args.iter().any(|a| a == "--small");
-    let workers = workers_from_args(&args).map_err(BenchError::msg)?;
-    let scale = if small {
-        Scale::small()
-    } else {
-        Scale::paper()
-    };
-    println!(
-        "Table 4: reporting overhead for four-nibble processing ({} scale)",
-        if small { "small" } else { "paper" }
-    );
+    let args = BenchArgs::from_env()?;
+    args.init_telemetry();
+    let (scale, scale_name) = args.scale_paper_default();
+    let workers = args.workers;
+    println!("Table 4: reporting overhead for four-nibble processing ({scale_name} scale)");
     println!("(paper values in parentheses)\n");
 
     let mut table = TextTable::new([
@@ -72,6 +66,7 @@ fn run() -> Result<u8, BenchError> {
     ]);
 
     let rows = run_indexed(&Benchmark::ALL, workers, |_, bench| {
+        let _span = sunder_telemetry::span("table4.benchmark").field("bench", bench.name());
         run_table4(&bench.build(scale))
     });
 
@@ -120,6 +115,7 @@ fn run() -> Result<u8, BenchError> {
         sums[2] / n,
         sums[3] / n
     );
+    args.finish_telemetry()?;
     Ok(0)
 }
 

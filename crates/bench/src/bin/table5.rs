@@ -1,8 +1,13 @@
 //! Regenerates the paper's Table 5: pipeline-stage delays and operating
 //! frequencies.
 //!
-//! Usage: `cargo run -p sunder-bench --bin table5`
+//! Usage: `cargo run -p sunder-bench --bin table5 [--telemetry PATH]
+//! [--quiet]`
 
+use std::process::ExitCode;
+
+use sunder_bench::args::BenchArgs;
+use sunder_bench::error::{bench_main, BenchError};
 use sunder_bench::table::TextTable;
 use sunder_tech::PipelineTiming;
 
@@ -11,7 +16,10 @@ fn opt(v: Option<f64>) -> String {
         .unwrap_or_else(|| "-".into())
 }
 
-fn main() {
+fn run() -> Result<u8, BenchError> {
+    let args = BenchArgs::from_env()?;
+    args.init_telemetry();
+    let span = sunder_telemetry::span("table5.render");
     println!("Table 5: delays and operating frequency in pipeline stages\n");
     let mut table = TextTable::new([
         "Architecture",
@@ -33,4 +41,11 @@ fn main() {
     }
     print!("{}", table.render());
     println!("\nPaper: Sunder 4.01/3.6, Impala 5.55/5.0, CA 4.01/3.6, AP 0.133, AP@14nm 1.69");
+    drop(span);
+    args.finish_telemetry()?;
+    Ok(0)
+}
+
+fn main() -> ExitCode {
+    bench_main(run)
 }

@@ -44,7 +44,14 @@ pub fn run_table4(workload: &Workload) -> Table4Row {
     let run_sunder = |fifo: bool| {
         let config = SunderConfig::with_rate(Rate::Nibble4).fifo(fifo);
         let mut machine = SunderMachine::new(&strided, config).expect("place");
-        machine.run(&view4, &mut NullSink)
+        let stats = machine.run(&view4, &mut NullSink);
+        // Two configs per benchmark: label them as separate dimensions so
+        // stall attribution stays per-config in the artifact.
+        if sunder_telemetry::enabled() {
+            let suffix = if fifo { "fifo" } else { "flush" };
+            machine.export_telemetry(&format!("{}/{suffix}", workload.benchmark.name()));
+        }
+        stats
     };
     let plain = run_sunder(false);
     let fifo = run_sunder(true);

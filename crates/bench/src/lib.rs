@@ -5,6 +5,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod args;
 pub mod error;
 pub mod harness;
 pub mod parallel;

@@ -12,9 +12,18 @@
 //! Determinism: with `runs == 0` timing is skipped entirely (`ns` stays
 //! zero) and every surviving row is byte-identical across runs, worker
 //! counts, and fault plans — the property the resilience tests pin.
+//!
+//! Telemetry: with recording enabled (`--telemetry`), each benchmark runs
+//! under a `suite.benchmark` span, exports `suite_reports_total` /
+//! `suite_cycles_total` counters, and additionally drives the cycle-level
+//! [`SunderMachine`] (16-bit rate, FIFO strategy) so the artifact carries
+//! exact per-cause stall attribution. The machine pass is extra work the
+//! plain suite never does — the cost of `--telemetry` is that pass, not
+//! the instrumentation, which stays on one atomic load when disabled.
 
 use std::time::{Duration, Instant};
 
+use sunder_arch::{MachineFault, SunderConfig, SunderMachine};
 use sunder_automata::InputView;
 use sunder_resilience::{
     corrupt, supervise, FaultKind, FaultPlan, JobContext, JobError, JobOutcome, JobReport,
@@ -23,7 +32,8 @@ use sunder_resilience::{
 use sunder_sim::{
     AdaptiveEngine, AdaptiveLimits, Engine, EngineKind, NullSink, RunOutcome, TraceSink,
 };
-use sunder_workloads::{Benchmark, Scale};
+use sunder_transform::{transform_to_rate, Rate};
+use sunder_workloads::{Benchmark, Scale, Workload};
 
 use crate::table::TextTable;
 
@@ -62,6 +72,8 @@ pub struct SuiteOptions {
     pub deadline: Option<Duration>,
     /// Injected faults (empty = clean run).
     pub plan: FaultPlan,
+    /// Benchmark name filter (case-insensitive); empty runs everything.
+    pub only: Vec<String>,
 }
 
 impl SuiteOptions {
@@ -74,8 +86,43 @@ impl SuiteOptions {
             workers,
             deadline: None,
             plan: FaultPlan::none(),
+            only: Vec::new(),
         }
     }
+}
+
+/// Resolves an `--only` name list against the benchmark suite, in list
+/// order and deduplicated. An empty list selects the whole suite.
+///
+/// # Errors
+///
+/// Names that match no benchmark are a hard error — running a silently
+/// empty suite would hide the typo.
+pub fn select_benchmarks(only: &[String]) -> Result<Vec<Benchmark>, String> {
+    if only.is_empty() {
+        return Ok(Benchmark::ALL.to_vec());
+    }
+    let mut out = Vec::new();
+    for name in only {
+        let bench = Benchmark::ALL
+            .iter()
+            .find(|b| b.name().eq_ignore_ascii_case(name))
+            .copied()
+            .ok_or_else(|| {
+                format!(
+                    "unknown benchmark {name:?}; choose from: {}",
+                    Benchmark::ALL
+                        .iter()
+                        .map(|b| b.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })?;
+        if !out.contains(&bench) {
+            out.push(bench);
+        }
+    }
+    Ok(out)
 }
 
 /// The full suite outcome: one supervised report per benchmark.
@@ -114,6 +161,56 @@ impl SuiteReport {
             0
         }
     }
+}
+
+/// Builds the cycle-model machine the telemetry stage runs: the 16-bit
+/// rate with the FIFO drain strategy, with any cycle-model faults from
+/// the plan armed. Returns `None` when the workload cannot be
+/// transformed or placed (cannot happen for the bundled benchmarks).
+pub fn cycle_model_machine<'p>(
+    workload: &Workload,
+    faults: impl IntoIterator<Item = &'p FaultKind>,
+) -> Option<SunderMachine> {
+    let strided = transform_to_rate(&workload.nfa, Rate::Nibble4).ok()?;
+    let config = SunderConfig::with_rate(Rate::Nibble4).fifo(true);
+    let mut machine = SunderMachine::new(&strided, config).ok()?;
+    for kind in faults {
+        match kind {
+            FaultKind::FifoOverflowStorm { from_cycle, cycles } => {
+                machine.inject_fault(MachineFault::FifoOverflowStorm {
+                    from_cycle: *from_cycle,
+                    cycles: *cycles,
+                });
+            }
+            FaultKind::StuckReportRow { pu } => {
+                machine.inject_fault(MachineFault::StuckReportRow { pu: *pu });
+            }
+            _ => {}
+        }
+    }
+    Some(machine)
+}
+
+/// The telemetry-only cycle-model pass: runs the [`SunderMachine`] on the
+/// workload and exports its counters and per-cause stall histograms
+/// labeled with the benchmark name. Only called when recording is on.
+fn machine_telemetry_stage(
+    bench: &Benchmark,
+    workload: &Workload,
+    opts: &SuiteOptions,
+    index: usize,
+) {
+    let Some(mut machine) = cycle_model_machine(workload, opts.plan.faults_for(index)) else {
+        return;
+    };
+    let Ok(view) = InputView::new(&workload.input, 4, 4) else {
+        return;
+    };
+    let mut span = sunder_telemetry::span("machine.run");
+    span.add_field("bench", bench.name());
+    machine.run(&view, &mut NullSink);
+    drop(span);
+    machine.export_telemetry(bench.name());
 }
 
 /// Runs one benchmark through all three engines under `ctx`'s budget,
@@ -234,28 +331,53 @@ fn run_benchmark(
         avg_active,
         traces_equal,
     };
+    if sunder_telemetry::enabled() {
+        let labels = [("bench", bench.name())];
+        sunder_telemetry::counter_add("suite_reports_total", &labels, row.reports as u64);
+        // Functional engines consume one byte per cycle.
+        sunder_telemetry::counter_add("suite_cycles_total", &labels, row.input_bytes as u64);
+        machine_telemetry_stage(bench, &w, opts, index);
+    }
     match degrade_note {
         Some(reason) => Ok(JobValue::Degraded { value: row, reason }),
         None => Ok(JobValue::Ok(row)),
     }
 }
 
-/// Runs the whole suite under supervision.
+/// Runs the whole suite under supervision. Unknown `only` names simply
+/// select nothing here; the suite binary validates them up front with
+/// [`select_benchmarks`].
 pub fn run_suite(opts: &SuiteOptions) -> SuiteReport {
+    let benches: Vec<Benchmark> = Benchmark::ALL
+        .iter()
+        .filter(|b| {
+            opts.only.is_empty() || opts.only.iter().any(|n| n.eq_ignore_ascii_case(b.name()))
+        })
+        .copied()
+        .collect();
     let policy = SupervisorPolicy {
         deadline: opts.deadline,
         retries: 2,
         backoff: Duration::from_millis(10),
         ..SupervisorPolicy::default()
     };
+    let mut run_span = sunder_telemetry::span("suite.run");
+    run_span.add_field("scale", opts.scale_name.as_str());
+    run_span.add_field("workers", opts.workers);
+    run_span.add_field("benchmarks", benches.len());
     let wall = Instant::now();
     let jobs = supervise(
-        &Benchmark::ALL,
+        &benches,
         opts.workers,
         &policy,
         |_, bench| bench.name().to_string(),
-        |i, bench, ctx| run_benchmark(bench, opts, i, ctx),
+        |i, bench, ctx| {
+            let mut span = sunder_telemetry::span("suite.benchmark");
+            span.add_field("bench", bench.name());
+            run_benchmark(bench, opts, i, ctx)
+        },
     );
+    drop(run_span);
     let summary = SupervisorSummary::of(&jobs);
     SuiteReport {
         jobs,
@@ -442,6 +564,7 @@ mod tests {
             workers: 4,
             deadline: None,
             plan: FaultPlan::none(),
+            only: Vec::new(),
         }
     }
 
@@ -490,6 +613,135 @@ mod tests {
         assert!(report.summary.all_ok());
         assert_eq!(report.jobs[2].attempts, 2);
         assert_eq!(report.exit_code(), 0);
+    }
+
+    #[test]
+    fn only_filter_selects_a_subset_in_suite_order() {
+        let mut opts = tiny_opts();
+        opts.only = vec!["snort".to_string(), "Brill".to_string()];
+        let report = run_suite(&opts);
+        let names: Vec<&str> = report.jobs.iter().map(|j| j.name.as_str()).collect();
+        // Suite order, not filter order.
+        assert_eq!(names, ["Brill", "Snort"]);
+        assert!(report.summary.all_ok());
+    }
+
+    #[test]
+    fn select_benchmarks_validates_names() {
+        assert_eq!(select_benchmarks(&[]).unwrap(), Benchmark::ALL.to_vec());
+        let picked =
+            select_benchmarks(&["spm".to_string(), "SPM".to_string(), "Snort".to_string()])
+                .unwrap();
+        assert_eq!(picked.len(), 2, "case-insensitive and deduplicated");
+        let err = select_benchmarks(&["NotABench".to_string()]).unwrap_err();
+        assert!(
+            err.contains("NotABench") && err.contains("choose from"),
+            "{err}"
+        );
+    }
+
+    /// The acceptance tie at suite level: a `--telemetry` run's artifact
+    /// must carry per-benchmark, per-cause stall-cycle totals exactly
+    /// equal to the `RunStats` of an identically configured cycle-model
+    /// run — including under injected cycle-model faults. This is the
+    /// only bench test that touches the process-global telemetry state.
+    #[test]
+    fn telemetry_artifact_ties_stall_cycles_to_run_stats() {
+        use sunder_arch::StallCause;
+        use sunder_resilience::Fault;
+        use sunder_sim::NullSink;
+
+        let mut opts = tiny_opts();
+        opts.only = vec!["Brill".to_string(), "Snort".to_string()];
+        // Report states land on placement-dependent PUs, so stick every
+        // Snort PU: any storm-forced overflow then wedges and recovers.
+        let snort_pus = {
+            let w = Benchmark::Snort.build(Scale::tiny());
+            cycle_model_machine(&w, std::iter::empty::<&FaultKind>())
+                .expect("placeable")
+                .num_pus()
+        };
+        let mut faults = vec![
+            // Item 0 (Brill): an overflow storm under the FIFO drain.
+            Fault {
+                item: 0,
+                kind: FaultKind::FifoOverflowStorm {
+                    from_cycle: 10,
+                    cycles: 5,
+                },
+            },
+            // Item 1 (Snort): a storm on top of stuck report rows,
+            // wedging the FIFO so every overflow recovers via flush.
+            Fault {
+                item: 1,
+                kind: FaultKind::FifoOverflowStorm {
+                    from_cycle: 10,
+                    cycles: 3,
+                },
+            },
+        ];
+        faults.extend((0..snort_pus).map(|pu| Fault {
+            item: 1,
+            kind: FaultKind::StuckReportRow { pu },
+        }));
+        opts.plan = FaultPlan::new(0, faults);
+
+        sunder_telemetry::init(sunder_telemetry::Config::spans());
+        let report = run_suite(&opts);
+        let dump = sunder_telemetry::finish().unwrap();
+        assert!(report.summary.all_ok(), "{}", report.summary);
+
+        // The artifact validates and converts to a Chrome trace.
+        let jsonl = dump.to_jsonl();
+        let parsed = sunder_telemetry::Report::from_jsonl(&jsonl).unwrap();
+        sunder_telemetry::json::parse(&dump.to_chrome_trace()).unwrap();
+        assert!(parsed.spans >= 2, "one suite.benchmark span per job");
+
+        // Reference runs: the same machine, same faults, outside telemetry.
+        for (index, bench) in [Benchmark::Brill, Benchmark::Snort].iter().enumerate() {
+            let w = bench.build(Scale::tiny());
+            let mut machine =
+                cycle_model_machine(&w, opts.plan.faults_for(index)).expect("placeable");
+            let stats = machine.run(&InputView::new(&w.input, 4, 4).unwrap(), &mut NullSink);
+            let att = machine.stall_attribution();
+            assert!(stats.stall_cycles > 0, "{}: fault must stall", bench.name());
+
+            let b = parsed
+                .benches
+                .iter()
+                .find(|b| b.bench == bench.name())
+                .expect("bench present in artifact");
+            assert_eq!(b.input_cycles, Some(stats.input_cycles), "{}", bench.name());
+            assert_eq!(b.stall_cycles(), stats.stall_cycles, "{}", bench.name());
+            for cause in StallCause::ALL {
+                let artifact_cycles = b
+                    .stall_by_cause
+                    .iter()
+                    .find(|(c, _)| c == cause.name())
+                    .map_or(0, |(_, cycles)| *cycles);
+                assert_eq!(
+                    artifact_cycles,
+                    att.cycles(cause),
+                    "{}: cause {}",
+                    bench.name(),
+                    cause.name()
+                );
+            }
+            // Suite-level counters match the functional row.
+            let row = report.jobs[index].outcome.value().expect("all ok");
+            assert_eq!(b.reports, Some(row.reports as u64), "{}", bench.name());
+            assert_eq!(b.cycles, Some(row.input_bytes as u64), "{}", bench.name());
+        }
+        // The stuck row actually exercised the recovery path on Snort.
+        let snort = parsed.benches.iter().find(|b| b.bench == "Snort").unwrap();
+        assert!(
+            snort
+                .stall_by_cause
+                .iter()
+                .any(|(c, cycles)| c == "stuck_row_recovery" && *cycles > 0),
+            "stuck-report-row must surface as recovery stalls: {:?}",
+            snort.stall_by_cause
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@ fn tiny_opts() -> SuiteOptions {
         workers: 4,
         deadline: Some(Duration::from_millis(4_000)),
         plan: FaultPlan::none(),
+        only: Vec::new(),
     }
 }
 

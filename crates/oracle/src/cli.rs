@@ -49,6 +49,7 @@ struct Options {
     suite: SuiteChoice,
     replay: Option<PathBuf>,
     faults: FaultSource,
+    quiet: bool,
 }
 
 impl Default for Options {
@@ -59,6 +60,7 @@ impl Default for Options {
             suite: SuiteChoice::Tiny,
             replay: None,
             faults: FaultSource::Off,
+            quiet: false,
         }
     }
 }
@@ -66,7 +68,7 @@ impl Default for Options {
 const USAGE: &str = "usage: conformance [--seed N] [--cases M] [--out DIR] \
                      [--suite tiny|small|off] [--replay FILE] \
                      [--max-states N] [--max-input N] \
-                     [--fault-seed N | --fault-plan FILE]";
+                     [--fault-seed N | --fault-plan FILE] [--quiet]";
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut options = Options::default();
@@ -118,6 +120,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     other => return Err(format!("unknown suite scale {other:?}\n{USAGE}")),
                 };
             }
+            "--quiet" => options.quiet = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
@@ -151,6 +154,7 @@ pub fn run(args: &[String]) -> i32 {
             return 2;
         }
     };
+    sunder_telemetry::set_quiet(options.quiet);
     let mut divergences = 0usize;
 
     // Stage 0: explicit reproducer replay, if requested.
@@ -169,8 +173,9 @@ pub fn run(args: &[String]) -> i32 {
                 return 2;
             }
         };
+        let _span = sunder_telemetry::span("oracle.stage").field("stage", "replay");
         match check_pipelines(&nfa, &input) {
-            Ok(()) => println!("replay {}: conforms", path.display()),
+            Ok(()) => sunder_telemetry::progress(&format!("replay {}: conforms", path.display())),
             Err(d) => {
                 eprintln!("replay {}: still diverges: {d}", path.display());
                 divergences += 1;
@@ -179,11 +184,13 @@ pub fn run(args: &[String]) -> i32 {
     }
 
     // Stage 1: historical regression corpus across all configurations.
+    let corpus_span = sunder_telemetry::span("oracle.stage").field("stage", "corpus");
     let (corpus_checks, corpus_failures) = replay_corpus();
-    println!(
+    drop(corpus_span);
+    sunder_telemetry::progress(&format!(
         "corpus: {corpus_checks} pattern×input checks, {} divergences",
         corpus_failures.len()
-    );
+    ));
     for (i, f) in corpus_failures.iter().enumerate() {
         let failure = Failure {
             case: i as u64,
@@ -206,14 +213,19 @@ pub fn run(args: &[String]) -> i32 {
             SuiteChoice::Small => Scale::small(),
             SuiteChoice::Off => unreachable!(),
         };
+        let suite_span = sunder_telemetry::span("oracle.stage").field("stage", "suite");
         let failures = check_suite(scale);
-        println!("suite: 19 benchmarks, {} divergences", failures.len());
+        drop(suite_span);
+        sunder_telemetry::progress(&format!(
+            "suite: 19 benchmarks, {} divergences",
+            failures.len()
+        ));
         for (bench, d) in &failures {
             eprintln!("FAIL suite benchmark {bench}: {d}");
             divergences += 1;
         }
     } else {
-        println!("suite: skipped (--suite off)");
+        sunder_telemetry::progress("suite: skipped (--suite off)");
     }
 
     // Stage 3: the structured fuzzer, optionally under fault-plan replay.
@@ -237,14 +249,16 @@ pub fn run(args: &[String]) -> i32 {
             }
         }
     };
+    let fuzz_span = sunder_telemetry::span("oracle.stage").field("stage", "fuzz");
     let outcome = run_fuzz_with_plan(&options.fuzz, &plan);
-    println!(
+    drop(fuzz_span);
+    sunder_telemetry::progress(&format!(
         "fuzz: seed {} over {} cases ({} injected input corruptions), {} divergences",
         options.fuzz.seed,
         outcome.cases,
         plan.faults.len(),
         outcome.failures.len()
-    );
+    ));
     for f in &outcome.failures {
         report_failure(
             &options,
@@ -312,6 +326,12 @@ mod tests {
         assert!(parse_args(&args(&["--bogus"])).is_err());
         assert!(parse_args(&args(&["--fault-seed", "x"])).is_err());
         assert!(parse_args(&args(&["--fault-plan"])).is_err());
+    }
+
+    #[test]
+    fn parses_quiet() {
+        assert!(parse_args(&args(&["--quiet"])).unwrap().quiet);
+        assert!(!parse_args(&[]).unwrap().quiet);
     }
 
     #[test]

@@ -269,15 +269,32 @@ where
     };
 
     let run_one = |i: usize, item: &T| -> JobReport<R> {
+        let job_name = name(i, item);
         if cancelled(policy) {
+            sunder_telemetry::counter_add("supervisor_jobs_total", &[("status", "cancelled")], 1);
             return JobReport {
                 index: i,
-                name: name(i, item),
+                name: job_name,
                 outcome: JobOutcome::Cancelled,
                 attempts: 0,
                 elapsed: Duration::ZERO,
             };
         }
+        // Lifecycle span: one per job, closed when the report is built,
+        // carrying the item name and final status.
+        let mut job_span = sunder_telemetry::span("supervisor.job");
+        job_span.add_field("job", job_name.clone());
+        let trace_instant = |event: &'static str, attempt: u32| {
+            if sunder_telemetry::spans_enabled() {
+                sunder_telemetry::instant(
+                    event,
+                    &[
+                        ("job", sunder_telemetry::Value::from(job_name.as_str())),
+                        ("attempt", sunder_telemetry::Value::from(attempt)),
+                    ],
+                );
+            }
+        };
         let started = Instant::now();
         let mut attempt = 0u32;
         let outcome = loop {
@@ -294,12 +311,19 @@ where
             let over_deadline = policy.deadline.is_some_and(|d| elapsed > d);
             match result {
                 Err(payload) => {
+                    trace_instant("job.panic", attempt);
                     break JobOutcome::Panicked {
                         message: panic_message(payload.as_ref()),
                     };
                 }
-                Ok(_) if over_deadline => break JobOutcome::TimedOut { elapsed },
-                Ok(Err(JobError::TimedOut)) => break JobOutcome::TimedOut { elapsed },
+                Ok(_) if over_deadline => {
+                    trace_instant("job.timeout", attempt);
+                    break JobOutcome::TimedOut { elapsed };
+                }
+                Ok(Err(JobError::TimedOut)) => {
+                    trace_instant("job.timeout", attempt);
+                    break JobOutcome::TimedOut { elapsed };
+                }
                 Ok(Ok(JobValue::Ok(v))) => break JobOutcome::Ok(v),
                 Ok(Ok(JobValue::Degraded { value, reason })) => {
                     break JobOutcome::Degraded { value, reason };
@@ -309,6 +333,7 @@ where
                     if attempt >= policy.retries || cancelled(policy) {
                         break JobOutcome::Failed { error: e };
                     }
+                    trace_instant("job.retry", attempt);
                     if policy.backoff > Duration::ZERO {
                         let factor = 1u32 << attempt.min(10);
                         let sleep = (policy.backoff * factor).min(Duration::from_secs(1));
@@ -321,9 +346,13 @@ where
         if policy.fail_fast && !outcome.is_success() {
             fail_fast_trip.cancel();
         }
+        sunder_telemetry::counter_add("supervisor_jobs_total", &[("status", outcome.status())], 1);
+        job_span.add_field("status", outcome.status());
+        job_span.add_field("attempts", attempt + 1);
+        drop(job_span);
         JobReport {
             index: i,
-            name: name(i, item),
+            name: job_name,
             outcome,
             attempts: attempt + 1,
             elapsed: started.elapsed(),
@@ -575,6 +604,70 @@ mod tests {
         for r in &reports[..2] {
             assert!(r.outcome.is_success());
         }
+    }
+
+    /// The only resilience test touching the process-global telemetry
+    /// state: each job gets one `supervisor.job` span with its final
+    /// status, and retries/panics/timeouts surface as instants.
+    #[test]
+    fn job_lifecycle_emits_spans_and_instants() {
+        let items: Vec<u32> = (0..4).collect();
+        let policy = SupervisorPolicy {
+            retries: 2,
+            ..SupervisorPolicy::default()
+        };
+        sunder_telemetry::init(sunder_telemetry::Config::spans());
+        let reports = supervise(&items, 1, &policy, idx_name, |i, &x, ctx| match i {
+            1 => panic!("boom"),
+            2 if ctx.attempt < 1 => Err(JobError::Transient("flake".into())),
+            _ => Ok(JobValue::Ok(x)),
+        });
+        let dump = sunder_telemetry::finish().unwrap();
+        assert_eq!(SupervisorSummary::of(&reports).successes(), 3);
+
+        let spans: Vec<_> = dump
+            .events
+            .iter()
+            .filter(|e| e.name == "supervisor.job")
+            .collect();
+        assert_eq!(spans.len(), 4, "one lifecycle span per job");
+        let status_of = |job: &str| {
+            spans
+                .iter()
+                .find(|s| {
+                    s.fields.iter().any(|f| {
+                        f.key == "job" && f.value == sunder_telemetry::Value::Str(job.to_string())
+                    })
+                })
+                .and_then(|s| s.fields.iter().find(|f| f.key == "status"))
+                .map(|f| f.value.clone())
+        };
+        assert_eq!(
+            status_of("item-1"),
+            Some(sunder_telemetry::Value::Str("panicked".into()))
+        );
+        assert_eq!(
+            status_of("item-2"),
+            Some(sunder_telemetry::Value::Str("ok".into()))
+        );
+        assert_eq!(
+            dump.events.iter().filter(|e| e.name == "job.panic").count(),
+            1
+        );
+        assert_eq!(
+            dump.events.iter().filter(|e| e.name == "job.retry").count(),
+            1
+        );
+        assert_eq!(
+            dump.metrics
+                .counter("supervisor_jobs_total", &[("status", "ok")]),
+            Some(3)
+        );
+        assert_eq!(
+            dump.metrics
+                .counter("supervisor_jobs_total", &[("status", "panicked")]),
+            Some(1)
+        );
     }
 
     #[test]

@@ -247,6 +247,44 @@ impl<'a> AdaptiveEngine<'a> {
         (sparse, dense)
     }
 
+    /// Emits the `engine.switch` instant with the fitted cost-model
+    /// inputs that drove the decision. Only called after a switch, so
+    /// the field construction never runs on the steady-state path.
+    fn trace_switch(&self, direction: &str, avg_active: f64, sparse_cost: f64, dense_cost: f64) {
+        sunder_telemetry::counter_add("engine_switches_total", &[("direction", direction)], 1);
+        if sunder_telemetry::spans_enabled() {
+            sunder_telemetry::instant(
+                "engine.switch",
+                &[
+                    ("direction", sunder_telemetry::Value::from(direction)),
+                    ("cycle", sunder_telemetry::Value::from(self.cycle())),
+                    ("avg_active", sunder_telemetry::Value::from(avg_active)),
+                    ("sparse_cost_ns", sunder_telemetry::Value::from(sparse_cost)),
+                    ("dense_cost_ns", sunder_telemetry::Value::from(dense_cost)),
+                ],
+            );
+        }
+    }
+
+    /// Records the first degradation and emits its `engine.degrade`
+    /// instant.
+    fn record_degrade(&mut self, reason: DegradeReason) {
+        if self.degrade.is_some() {
+            return;
+        }
+        sunder_telemetry::counter_add("engine_degrades_total", &[], 1);
+        if sunder_telemetry::spans_enabled() {
+            sunder_telemetry::instant(
+                "engine.degrade",
+                &[
+                    ("reason", sunder_telemetry::Value::from(reason.to_string())),
+                    ("cycle", sunder_telemetry::Value::from(self.cycle())),
+                ],
+            );
+        }
+        self.degrade = Some(reason);
+    }
+
     /// End-of-window decision: switch representations when the other cost
     /// model is decisively cheaper.
     fn maybe_switch(&mut self) {
@@ -261,21 +299,24 @@ impl<'a> AdaptiveEngine<'a> {
                 // denial). Either way execution continues sparse and the
                 // first reason is recorded for the harness to report.
                 if !self.dense_affordable {
-                    if self.degrade.is_none() {
-                        self.degrade = Some(DegradeReason::DenseBudgetExceeded {
-                            needed: DenseEngine::table_bytes(self.nfa),
-                            budget: self.limits.table_budget_bytes,
-                        });
-                    }
+                    self.record_degrade(DegradeReason::DenseBudgetExceeded {
+                        needed: DenseEngine::table_bytes(self.nfa),
+                        budget: self.limits.table_budget_bytes,
+                    });
                 } else if self.limits.fail_dense_build && self.dense.is_none() {
-                    if self.degrade.is_none() {
-                        self.degrade = Some(DegradeReason::DenseBuildFailed);
-                    }
+                    self.record_degrade(DegradeReason::DenseBuildFailed);
                 } else {
-                    let dense = self.dense.get_or_insert_with(|| DenseEngine::new(self.nfa));
+                    let nfa = self.nfa;
+                    let dense = self.dense.get_or_insert_with(|| {
+                        let _build = sunder_telemetry::span("engine.dense_build")
+                            .field("states", nfa.num_states())
+                            .field("table_bytes", DenseEngine::table_bytes(nfa));
+                        DenseEngine::new(nfa)
+                    });
                     dense.load_frontier(self.sparse.active_states(), self.sparse.cycle());
                     self.in_dense = true;
                     self.switches += 1;
+                    self.trace_switch("dense", avg_active, sparse_cost, dense_cost);
                 }
             }
         } else if dense_cost > EXIT_DENSE * sparse_cost {
@@ -285,6 +326,7 @@ impl<'a> AdaptiveEngine<'a> {
             self.sparse.load_frontier(&self.frontier, dense.cycle());
             self.in_dense = false;
             self.switches += 1;
+            self.trace_switch("sparse", avg_active, sparse_cost, dense_cost);
         }
     }
 
@@ -601,6 +643,64 @@ mod tests {
         engine.run(&input, &mut crate::NullSink);
         assert!(engine.is_dense());
         assert_eq!(engine.degrade_reason(), None);
+    }
+
+    /// The only sim test touching the process-global telemetry state:
+    /// switch decisions surface as `engine.switch` instants carrying the
+    /// fitted cost-model inputs, and degradations as `engine.degrade`.
+    #[test]
+    fn switch_decisions_emit_telemetry_with_cost_model_inputs() {
+        let nfa = hot_nfa(128);
+        let input = InputView::from_symbols(vec![3; 256], 1);
+        sunder_telemetry::init(sunder_telemetry::Config::spans());
+        let mut engine = AdaptiveEngine::new(&nfa);
+        engine.run(&input, &mut crate::NullSink);
+        let switches = engine.switch_count();
+        assert!(switches >= 1);
+        let dump = sunder_telemetry::finish().unwrap();
+        let switch_events: Vec<_> = dump
+            .events
+            .iter()
+            .filter(|e| e.name == "engine.switch")
+            .collect();
+        assert_eq!(switch_events.len() as u32, switches);
+        let first = switch_events[0];
+        let field = |k: &str| first.fields.iter().find(|f| f.key == k).unwrap();
+        assert_eq!(
+            field("direction").value,
+            sunder_telemetry::Value::Str("dense".to_string())
+        );
+        // The decision inputs ride along: a hot 128-state automaton has
+        // avg_active = 128 and a dense model decisively under the sparse.
+        let cost = |k: &str| match field(k).value {
+            sunder_telemetry::Value::F64(v) => v,
+            ref other => panic!("{k} should be f64, got {other:?}"),
+        };
+        assert_eq!(cost("avg_active"), 128.0);
+        assert!(cost("dense_cost_ns") < 0.7 * cost("sparse_cost_ns"));
+        assert!(dump.events.iter().any(|e| e.name == "engine.dense_build"));
+        assert_eq!(
+            dump.metrics
+                .counter("engine_switches_total", &[("direction", "dense")]),
+            Some(u64::from(switches))
+        );
+
+        // Degradation: a refused build emits engine.degrade instead.
+        sunder_telemetry::init(sunder_telemetry::Config::spans());
+        let limits = AdaptiveLimits {
+            fail_dense_build: true,
+            ..AdaptiveLimits::default()
+        };
+        let mut degraded = AdaptiveEngine::with_limits(&nfa, limits);
+        degraded.run(&input, &mut crate::NullSink);
+        let dump = sunder_telemetry::finish().unwrap();
+        let degrades: Vec<_> = dump
+            .events
+            .iter()
+            .filter(|e| e.name == "engine.degrade")
+            .collect();
+        assert_eq!(degrades.len(), 1, "first degradation only");
+        assert_eq!(dump.metrics.counter("engine_degrades_total", &[]), Some(1));
     }
 
     #[test]

@@ -4,6 +4,12 @@
 //! depends on the *distribution* (the AP offloads one vector per triggered
 //! region per cycle regardless of how many bits are set). This sink counts
 //! report cycles by burst size in power-of-two buckets.
+//!
+//! The bucketing itself is [`Pow2Histogram`], shared with the telemetry
+//! metrics registry, so a burst distribution can be merged straight into
+//! a labeled telemetry histogram.
+
+use sunder_telemetry::Pow2Histogram;
 
 use crate::sink::{ReportEvent, ReportSink};
 
@@ -11,8 +17,7 @@ use crate::sink::{ReportEvent, ReportSink};
 /// bucket `i` counts cycles with `2^i ..= 2^(i+1)-1` reports.
 #[derive(Debug, Clone, Default)]
 pub struct BurstHistogramSink {
-    buckets: Vec<u64>,
-    total_reports: u64,
+    hist: Pow2Histogram,
 }
 
 impl BurstHistogramSink {
@@ -23,54 +28,46 @@ impl BurstHistogramSink {
 
     /// Count of cycles in bucket `i` (burst sizes `2^i ..= 2^(i+1)-1`).
     pub fn bucket(&self, i: usize) -> u64 {
-        self.buckets.get(i).copied().unwrap_or(0)
+        self.hist.bucket(i)
     }
 
     /// Number of buckets with at least one cycle.
     pub fn buckets(&self) -> &[u64] {
-        &self.buckets
+        self.hist.buckets()
     }
 
     /// Total reports observed.
     pub fn total_reports(&self) -> u64 {
-        self.total_reports
+        self.hist.total()
     }
 
     /// Total report cycles observed.
     pub fn report_cycles(&self) -> u64 {
-        self.buckets.iter().sum()
+        self.hist.count()
     }
 
     /// The largest burst's bucket index, if any cycle reported.
     pub fn max_bucket(&self) -> Option<usize> {
-        self.buckets.iter().rposition(|&c| c > 0)
+        self.hist.max_bucket()
+    }
+
+    /// The underlying histogram (e.g. for
+    /// [`sunder_telemetry::histogram_merge`]).
+    pub fn histogram(&self) -> &Pow2Histogram {
+        &self.hist
     }
 
     /// Renders one line per non-empty bucket: `2^i..: count`.
     pub fn render(&self) -> String {
-        let mut out = String::new();
-        for (i, &c) in self.buckets.iter().enumerate() {
-            if c > 0 {
-                out.push_str(&format!(
-                    "{:>6}..{:<6} {}\n",
-                    1u64 << i,
-                    (1u64 << (i + 1)) - 1,
-                    c
-                ));
-            }
-        }
-        out
+        self.hist.render()
     }
 }
 
 impl ReportSink for BurstHistogramSink {
     fn on_cycle_reports(&mut self, _cycle: u64, reports: &[ReportEvent]) {
-        self.total_reports += reports.len() as u64;
-        let bucket = usize::try_from(reports.len().ilog2()).expect("small index");
-        if self.buckets.len() <= bucket {
-            self.buckets.resize(bucket + 1, 0);
-        }
-        self.buckets[bucket] += 1;
+        // Sinks are only called with non-empty batches, so the zero
+        // bucket stays empty and `count` is exactly the report cycles.
+        self.hist.record(reports.len() as u64);
     }
 }
 
@@ -119,6 +116,17 @@ mod tests {
         let r = h.render();
         assert!(r.contains("4"));
         assert!(r.contains("7"));
+    }
+
+    #[test]
+    fn exposes_mergeable_histogram() {
+        let mut h = BurstHistogramSink::new();
+        h.on_cycle_reports(0, &burst(5));
+        h.on_cycle_reports(1, &burst(1));
+        let inner = h.histogram();
+        assert_eq!(inner.count(), 2);
+        assert_eq!(inner.total(), 6);
+        assert_eq!(inner.zeros(), 0);
     }
 
     #[test]

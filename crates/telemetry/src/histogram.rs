@@ -1,0 +1,188 @@
+//! Fixed-bucket power-of-two histogram.
+//!
+//! Hoisted from `sunder-sim`'s report-burst histogram so the same bucket
+//! scheme serves the metrics registry (stall-episode lengths, burst
+//! sizes, span durations). Bucket `i` counts samples in
+//! `2^i ..= 2^(i+1)-1`; zero-valued samples get their own counter so the
+//! buckets keep their exact power-of-two meaning.
+
+/// Power-of-two bucketed histogram over `u64` samples.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Pow2Histogram {
+    buckets: Vec<u64>,
+    zeros: u64,
+    count: u64,
+    total: u64,
+}
+
+impl Pow2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.total += value;
+        if value == 0 {
+            self.zeros += 1;
+            return;
+        }
+        let bucket = value.ilog2() as usize;
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+    }
+
+    /// Records `n` identical samples (bulk form for episode replay).
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.count += n;
+        self.total += value * n;
+        if value == 0 {
+            self.zeros += n;
+            return;
+        }
+        let bucket = value.ilog2() as usize;
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += n;
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Pow2Histogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &c) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += c;
+        }
+        self.zeros += other.zeros;
+        self.count += other.count;
+        self.total += other.total;
+    }
+
+    /// Samples in bucket `i` (values `2^i ..= 2^(i+1)-1`).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    /// The raw bucket counts (zero samples not included; see
+    /// [`Pow2Histogram::zeros`]).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Samples with value zero.
+    pub fn zeros(&self) -> u64 {
+        self.zeros
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean sample value (zero when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// The highest non-empty bucket index, if any nonzero sample exists.
+    pub fn max_bucket(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&c| c > 0)
+    }
+
+    /// Renders one `lo..hi count` line per non-empty bucket (plus a
+    /// leading `0 count` line when zero samples were recorded).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.zeros > 0 {
+            out.push_str(&format!("{:>6}..{:<6} {}\n", 0, 0, self.zeros));
+        }
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                out.push_str(&format!(
+                    "{:>6}..{:<6} {}\n",
+                    1u64 << i,
+                    (1u64 << (i + 1)) - 1,
+                    c
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_power_of_two() {
+        let mut h = Pow2Histogram::new();
+        for v in [1, 2, 3, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(1), 2);
+        assert_eq!(h.bucket(9), 1);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.total(), 1006);
+        assert_eq!(h.max_bucket(), Some(9));
+    }
+
+    #[test]
+    fn zeros_are_tracked_separately() {
+        let mut h = Pow2Histogram::new();
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.zeros(), 1);
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.total(), 1);
+        assert!(h.render().starts_with("     0..0"));
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = Pow2Histogram::new();
+        a.record(4);
+        a.record(0);
+        let mut b = Pow2Histogram::new();
+        b.record(4);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.total(), 108);
+        assert_eq!(a.bucket(2), 2);
+        assert_eq!(a.bucket(6), 1);
+        assert_eq!(a.zeros(), 1);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = Pow2Histogram::new();
+        a.record_n(224, 5);
+        let mut b = Pow2Histogram::new();
+        for _ in 0..5 {
+            b.record(224);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.mean(), 224.0);
+    }
+}

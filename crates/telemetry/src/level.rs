@@ -1,0 +1,93 @@
+//! The global telemetry level and its one-atomic-load fast path.
+//!
+//! Every instrumentation site in the workspace guards itself with
+//! [`enabled`] (or [`spans_enabled`]): a single relaxed atomic load and a
+//! compare against zero. When telemetry is off — the default — that load
+//! is the *entire* cost of the instrumentation, which is what lets the
+//! hot paths keep their hooks compiled in unconditionally.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How much the telemetry layer records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+#[repr(u8)]
+pub enum Level {
+    /// Nothing is recorded; every instrumentation site costs one relaxed
+    /// atomic load. The default.
+    #[default]
+    Off = 0,
+    /// Metrics (counters, gauges, histograms) only; spans and events are
+    /// skipped.
+    Metrics = 1,
+    /// Metrics plus spans and instant events.
+    Spans = 2,
+}
+
+impl Level {
+    /// Parses `off`/`metrics`/`spans`.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s {
+            "off" => Some(Level::Off),
+            "metrics" => Some(Level::Metrics),
+            "spans" => Some(Level::Spans),
+            _ => None,
+        }
+    }
+
+    /// The stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Metrics => "metrics",
+            Level::Spans => "spans",
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Off as u8);
+
+/// `true` when any telemetry (metrics or spans) is being recorded.
+///
+/// This is the disabled-path fast check: a single `Relaxed` atomic load.
+/// Instrumentation sites call it before doing *any* other work, so a
+/// disabled run pays one load per site visit and nothing else.
+#[inline(always)]
+pub fn enabled() -> bool {
+    LEVEL.load(Ordering::Relaxed) != Level::Off as u8
+}
+
+/// `true` when spans and instant events are being recorded.
+#[inline(always)]
+pub fn spans_enabled() -> bool {
+    LEVEL.load(Ordering::Relaxed) >= Level::Spans as u8
+}
+
+/// The current level.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Off,
+        1 => Level::Metrics,
+        _ => Level::Spans,
+    }
+}
+
+/// Sets the global level. Takes effect on the next fast-path check of
+/// every thread (relaxed ordering: sites may observe the change a few
+/// instructions late, which is harmless — events race with the switch
+/// anyway).
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for l in [Level::Off, Level::Metrics, Level::Spans] {
+            assert_eq!(Level::parse(l.name()), Some(l));
+        }
+        assert_eq!(Level::parse("bogus"), None);
+    }
+}

@@ -1,0 +1,285 @@
+//! The labeled metrics registry.
+//!
+//! Counters, gauges, and power-of-two histograms, keyed by metric name
+//! plus a sorted label set (`benchmark=Snort, engine=adaptive`). The
+//! registry is a process-wide map behind a mutex; recording sites fire
+//! per run, per window decision, or per stall episode — never per cycle —
+//! so contention is negligible, and every recording call is gated on the
+//! one-atomic-load level check.
+//!
+//! Snapshots render deterministically (BTreeMap order) as a text table or
+//! JSON-lines records, which is what the suite's `--telemetry` artifact
+//! and the `sunder telemetry-report` breakdown consume.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::histogram::Pow2Histogram;
+use crate::level::enabled;
+
+/// A label set: sorted `key=value` dimensions.
+pub type Labels = Vec<(&'static str, String)>;
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    name: &'static str,
+    labels: Vec<(&'static str, String)>,
+}
+
+/// One metric's current value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotone counter.
+    Counter(u64),
+    /// Last-write-wins gauge.
+    Gauge(f64),
+    /// Power-of-two histogram.
+    Histogram(Pow2Histogram),
+}
+
+/// One snapshot entry: name, sorted labels, value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricEntry {
+    /// Metric name.
+    pub name: &'static str,
+    /// Sorted label dimensions.
+    pub labels: Vec<(&'static str, String)>,
+    /// The value at snapshot time.
+    pub value: MetricValue,
+}
+
+static REGISTRY: Mutex<BTreeMap<Key, MetricValue>> = Mutex::new(BTreeMap::new());
+
+fn key(name: &'static str, labels: &[(&'static str, &str)]) -> Key {
+    let mut labels: Vec<(&'static str, String)> =
+        labels.iter().map(|&(k, v)| (k, v.to_string())).collect();
+    labels.sort_unstable();
+    Key { name, labels }
+}
+
+/// Adds to a counter (creating it at zero first). No-op when telemetry
+/// is disabled.
+pub fn counter_add(name: &'static str, labels: &[(&'static str, &str)], delta: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = REGISTRY.lock().expect("metrics registry poisoned");
+    match reg
+        .entry(key(name, labels))
+        .or_insert(MetricValue::Counter(0))
+    {
+        MetricValue::Counter(c) => *c += delta,
+        other => panic!("metric {name} is not a counter: {other:?}"),
+    }
+}
+
+/// Sets a gauge. No-op when telemetry is disabled.
+pub fn gauge_set(name: &'static str, labels: &[(&'static str, &str)], value: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = REGISTRY.lock().expect("metrics registry poisoned");
+    reg.insert(key(name, labels), MetricValue::Gauge(value));
+}
+
+/// Records one sample into a histogram. No-op when telemetry is disabled.
+pub fn histogram_record(name: &'static str, labels: &[(&'static str, &str)], value: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = REGISTRY.lock().expect("metrics registry poisoned");
+    match reg
+        .entry(key(name, labels))
+        .or_insert_with(|| MetricValue::Histogram(Pow2Histogram::new()))
+    {
+        MetricValue::Histogram(h) => h.record(value),
+        other => panic!("metric {name} is not a histogram: {other:?}"),
+    }
+}
+
+/// Merges a locally accumulated histogram into the registry (the pattern
+/// for hot loops: accumulate lock-free, merge once per run). No-op when
+/// telemetry is disabled.
+pub fn histogram_merge(name: &'static str, labels: &[(&'static str, &str)], h: &Pow2Histogram) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = REGISTRY.lock().expect("metrics registry poisoned");
+    match reg
+        .entry(key(name, labels))
+        .or_insert_with(|| MetricValue::Histogram(Pow2Histogram::new()))
+    {
+        MetricValue::Histogram(existing) => existing.merge(h),
+        other => panic!("metric {name} is not a histogram: {other:?}"),
+    }
+}
+
+/// A deterministic copy of every registered metric.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Entries in (name, labels) order.
+    pub entries: Vec<MetricEntry>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter's value.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.find(name, labels).and_then(|e| match &e.value {
+            MetricValue::Counter(c) => Some(*c),
+            _ => None,
+        })
+    }
+
+    /// Looks up a gauge's value.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.find(name, labels).and_then(|e| match &e.value {
+            MetricValue::Gauge(g) => Some(*g),
+            _ => None,
+        })
+    }
+
+    /// Looks up a histogram.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Pow2Histogram> {
+        self.find(name, labels).and_then(|e| match &e.value {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        })
+    }
+
+    fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricEntry> {
+        let mut want: Vec<(&str, &str)> = labels.to_vec();
+        want.sort_unstable();
+        self.entries.iter().find(|e| {
+            e.name == name
+                && e.labels.len() == want.len()
+                && e.labels
+                    .iter()
+                    .zip(want.iter())
+                    .all(|((k1, v1), (k2, v2))| k1 == k2 && v1 == v2)
+        })
+    }
+
+    /// Renders a fixed-width text dump (one metric per line; histograms
+    /// as `count/total/mean` plus indented bucket lines).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            let labels = e
+                .labels
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            let head = if labels.is_empty() {
+                e.name.to_string()
+            } else {
+                format!("{}{{{labels}}}", e.name)
+            };
+            match &e.value {
+                MetricValue::Counter(c) => out.push_str(&format!("{head} {c}\n")),
+                MetricValue::Gauge(g) => out.push_str(&format!("{head} {g}\n")),
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{head} count={} total={} mean={:.2}\n",
+                        h.count(),
+                        h.total(),
+                        h.mean()
+                    ));
+                    for line in h.render().lines() {
+                        out.push_str(&format!("    {line}\n"));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Takes a deterministic snapshot of the registry.
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = REGISTRY.lock().expect("metrics registry poisoned");
+    MetricsSnapshot {
+        entries: reg
+            .iter()
+            .map(|(k, v)| MetricEntry {
+                name: k.name,
+                labels: k.labels.clone(),
+                value: v.clone(),
+            })
+            .collect(),
+    }
+}
+
+/// Clears the registry (between runs / tests).
+pub fn reset() {
+    REGISTRY.lock().expect("metrics registry poisoned").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::{set_level, Level};
+
+    #[test]
+    fn counters_gauges_histograms_round_trip() {
+        let _lock = crate::test_lock();
+        reset();
+        set_level(Level::Metrics);
+        counter_add("reports_total", &[("bench", "Snort")], 3);
+        counter_add("reports_total", &[("bench", "Snort")], 4);
+        gauge_set("overhead", &[("bench", "Snort")], 1.25);
+        histogram_record("stall_cycles", &[("cause", "flush")], 224);
+        histogram_record("stall_cycles", &[("cause", "flush")], 224);
+        set_level(Level::Off);
+        let snap = snapshot();
+        assert_eq!(
+            snap.counter("reports_total", &[("bench", "Snort")]),
+            Some(7)
+        );
+        assert_eq!(snap.gauge("overhead", &[("bench", "Snort")]), Some(1.25));
+        let h = snap
+            .histogram("stall_cycles", &[("cause", "flush")])
+            .unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.total(), 448);
+        reset();
+    }
+
+    #[test]
+    fn disabled_level_records_nothing() {
+        let _lock = crate::test_lock();
+        reset();
+        set_level(Level::Off);
+        counter_add("ghost", &[], 1);
+        gauge_set("ghost_g", &[], 1.0);
+        histogram_record("ghost_h", &[], 1);
+        assert!(snapshot().entries.is_empty());
+    }
+
+    #[test]
+    fn labels_are_order_insensitive() {
+        let _lock = crate::test_lock();
+        reset();
+        set_level(Level::Metrics);
+        counter_add("m", &[("a", "1"), ("b", "2")], 1);
+        counter_add("m", &[("b", "2"), ("a", "1")], 1);
+        set_level(Level::Off);
+        let snap = snapshot();
+        assert_eq!(snap.entries.len(), 1);
+        assert_eq!(snap.counter("m", &[("b", "2"), ("a", "1")]), Some(2));
+        reset();
+    }
+
+    #[test]
+    fn text_render_is_stable() {
+        let _lock = crate::test_lock();
+        reset();
+        set_level(Level::Metrics);
+        counter_add("b_metric", &[], 1);
+        counter_add("a_metric", &[("x", "y")], 2);
+        set_level(Level::Off);
+        let text = snapshot().render_text();
+        assert_eq!(text, "a_metric{x=y} 2\nb_metric 1\n");
+        reset();
+    }
+}

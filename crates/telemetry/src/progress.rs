@@ -1,0 +1,76 @@
+//! Progress reporting: the one sanctioned channel for human-facing
+//! status lines.
+//!
+//! Binaries used to `eprintln!` ad-hoc progress; routing them through
+//! [`progress`] gives every binary a uniform `--quiet` switch and, when
+//! spans are enabled, mirrors each line into the event stream as a
+//! `progress` instant so a trace shows *what the tool said* alongside
+//! *what it did*.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::event::Value;
+use crate::level::spans_enabled;
+use crate::span::instant;
+
+static QUIET: AtomicBool = AtomicBool::new(false);
+
+/// Suppresses (or restores) stderr progress lines. Event mirroring is
+/// unaffected — a quiet run with `--telemetry` still captures progress
+/// in the artifact.
+pub fn set_quiet(quiet: bool) {
+    QUIET.store(quiet, Ordering::Relaxed);
+}
+
+/// `true` when stderr progress is suppressed.
+pub fn quiet() -> bool {
+    QUIET.load(Ordering::Relaxed)
+}
+
+/// Emits one progress line: to stderr unless quiet, and into the event
+/// stream as a `progress` instant when spans are enabled.
+pub fn progress(msg: &str) {
+    if !quiet() {
+        eprintln!("{msg}");
+    }
+    if spans_enabled() {
+        instant("progress", &[("msg", Value::from(msg))]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::{set_level, Level};
+    use crate::recorder::{install, uninstall};
+
+    #[test]
+    fn progress_mirrors_into_events_when_spans_on() {
+        let _lock = crate::test_lock();
+        install(16);
+        set_level(Level::Spans);
+        set_quiet(true); // keep test output clean
+        progress("building dense engine");
+        set_level(Level::Off);
+        set_quiet(false);
+        let (events, _) = uninstall();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "progress");
+        assert_eq!(
+            events[0].fields[0].value,
+            Value::Str("building dense engine".to_string())
+        );
+    }
+
+    #[test]
+    fn progress_is_silent_in_event_stream_when_disabled() {
+        let _lock = crate::test_lock();
+        install(16);
+        set_level(Level::Off);
+        set_quiet(true);
+        progress("invisible");
+        set_quiet(false);
+        let (events, _) = uninstall();
+        assert!(events.is_empty());
+    }
+}

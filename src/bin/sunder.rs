@@ -6,6 +6,7 @@
 //! sunder run     --program program.saml --input data.bin
 //! sunder stats   --rules rules.txt
 //! sunder bench   --benchmark Snort [--small]
+//! sunder telemetry-report --input trace.jsonl [--validate] [--chrome out.json]
 //! ```
 //!
 //! Rules files contain one regex per line (`#` comments allowed); compiled
@@ -26,6 +27,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("telemetry-report") => cmd_telemetry_report(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -46,7 +48,8 @@ const USAGE: &str = "usage:
   sunder run     (--rules <file> | --program <file.saml>) --input <file>
                  [--rate 4|8|16] [--fifo] [--summarize] [--trace]
   sunder stats   --rules <file>
-  sunder bench   --benchmark <name> [--small]";
+  sunder bench   --benchmark <name> [--small]
+  sunder telemetry-report --input <trace.jsonl> [--validate] [--chrome <out.json>]";
 
 /// Minimal flag parser: `--key value` pairs plus boolean flags.
 struct Flags<'a> {
@@ -197,6 +200,33 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 .collect::<Vec<_>>()
                 .join(",")
         );
+    }
+    Ok(())
+}
+
+/// Renders a `--telemetry` JSON-lines artifact: per-benchmark breakdown
+/// by default, schema validation with `--validate`, Chrome `trace_event`
+/// conversion with `--chrome OUT` (loadable in Perfetto).
+fn cmd_telemetry_report(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let path = flags.required("--input")?;
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("read telemetry artifact {path}: {e}"))?;
+    if flags.flag("--validate") {
+        let v = sunder::telemetry::validate_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "{path}: valid ({} lines: {} spans, {} instants, {} metrics, {} dropped)",
+            v.lines, v.spans, v.instants, v.metrics, v.dropped
+        );
+    }
+    if let Some(out) = flags.value("--chrome") {
+        let doc = sunder::telemetry::chrome_trace_from_jsonl(&text)?;
+        fs::write(out, doc).map_err(|e| format!("write Chrome trace {out}: {e}"))?;
+        eprintln!("Chrome trace written to {out} (open in chrome://tracing or Perfetto)");
+    }
+    if !flags.flag("--validate") && flags.value("--chrome").is_none() {
+        let report = sunder::telemetry::Report::from_jsonl(&text)?;
+        print!("{}", report.render_text());
     }
     Ok(())
 }

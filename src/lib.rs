@@ -43,6 +43,7 @@ pub use sunder_llc as llc;
 pub use sunder_oracle as oracle;
 pub use sunder_sim as sim;
 pub use sunder_tech as tech;
+pub use sunder_telemetry as telemetry;
 pub use sunder_transform as transform;
 pub use sunder_workloads as workloads;
 
