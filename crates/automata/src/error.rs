@@ -51,6 +51,13 @@ pub enum AutomataError {
     },
     /// The symbol width requested is unsupported.
     UnsupportedWidth(u8),
+    /// A placement unit (connected component) exceeded a capacity budget.
+    Capacity {
+        /// STEs the component needs.
+        needed: usize,
+        /// STEs the budget allows.
+        budget: usize,
+    },
 }
 
 impl fmt::Display for AutomataError {
@@ -85,6 +92,13 @@ impl fmt::Display for AutomataError {
             }
             AutomataError::UnsupportedWidth(bits) => {
                 write!(f, "unsupported symbol width: {bits} bits")
+            }
+            AutomataError::Capacity { needed, budget } => {
+                write!(
+                    f,
+                    "connected component needs {needed} STEs but the shard budget is {budget} \
+                     (components are never split across shards)"
+                )
             }
         }
     }

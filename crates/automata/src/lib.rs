@@ -44,6 +44,7 @@ pub mod graph;
 pub mod input;
 pub mod minimize;
 pub mod nfa;
+pub mod partition;
 pub mod regex;
 pub mod stats;
 pub mod symbol;

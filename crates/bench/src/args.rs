@@ -21,6 +21,91 @@ use sunder_workloads::Scale;
 use crate::error::{BenchError, Context};
 use crate::parallel::{default_workers, workers_from_args};
 
+/// One `--only` selector. The flag has two modes:
+///
+/// * **exact** — `--only NAME[,NAME...]` or the inline `--only=NAME`:
+///   case-insensitive full benchmark names;
+/// * **substring** — `--only~=SUB[,SUB...]`: selects every benchmark
+///   whose name contains `SUB`, case-insensitively (`--only~=dotstar`
+///   picks all three Dotstar variants).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OnlyFilter {
+    /// Case-insensitive exact benchmark name.
+    Exact(String),
+    /// Case-insensitive substring of a benchmark name.
+    Substring(String),
+}
+
+impl OnlyFilter {
+    /// An exact-name selector.
+    pub fn exact(name: impl Into<String>) -> OnlyFilter {
+        OnlyFilter::Exact(name.into())
+    }
+
+    /// A substring selector.
+    pub fn substring(sub: impl Into<String>) -> OnlyFilter {
+        OnlyFilter::Substring(sub.into())
+    }
+
+    /// Whether this selector picks the benchmark called `name`.
+    pub fn matches(&self, name: &str) -> bool {
+        match self {
+            OnlyFilter::Exact(want) => name.eq_ignore_ascii_case(want),
+            OnlyFilter::Substring(sub) => name
+                .to_ascii_lowercase()
+                .contains(&sub.to_ascii_lowercase()),
+        }
+    }
+
+    /// Parses a comma-separated flag value into selectors of one mode.
+    fn extend_parsed(list: &mut Vec<OnlyFilter>, value: &str, substring: bool) {
+        list.extend(
+            value
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    if substring {
+                        OnlyFilter::substring(s)
+                    } else {
+                        OnlyFilter::exact(s)
+                    }
+                }),
+        );
+    }
+}
+
+impl std::fmt::Display for OnlyFilter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OnlyFilter::Exact(name) => write!(f, "{name}"),
+            OnlyFilter::Substring(sub) => write!(f, "~{sub}"),
+        }
+    }
+}
+
+/// The shared `--help` text: one summary line from the binary followed by
+/// the flag set every bench binary understands.
+pub fn usage(bin: &str, summary: &str) -> String {
+    format!(
+        "{summary}\n\n\
+         Usage: cargo run -p sunder-bench --release --bin {bin} -- [FLAGS]\n\n\
+         Shared flags (binaries ignore the ones they have no use for):\n\
+           --small | --paper   workload scale (each binary picks its default)\n\
+           --workers N         worker threads (default: available parallelism)\n\
+           --runs N            timing passes\n\
+           --out PATH          machine-readable output path\n\
+           --deadline-ms N     per-job wall-clock deadline\n\
+           --fault-plan FILE   inject the faults described in FILE\n\
+           --telemetry PATH    JSON-lines telemetry artifact (or SUNDER_TELEMETRY)\n\
+           --only NAMES        exact benchmark names, comma-separated,\n\
+                               case-insensitive (inline form: --only=NAME)\n\
+           --only~=SUB         every benchmark whose name contains SUB\n\
+           --quiet             suppress progress chatter on stderr\n\
+           --help, -h          print this help and exit\n"
+    )
+}
+
 /// The flag set shared by the bench binaries. Individual binaries ignore
 /// the fields they have no use for (e.g. the static table generators
 /// never look at `workers`).
@@ -45,8 +130,10 @@ pub struct BenchArgs {
     pub telemetry: Option<String>,
     /// `--quiet`: suppress progress chatter on stderr.
     pub quiet: bool,
-    /// `--only A,B,...`: benchmark name filter (case-insensitive).
-    pub only: Vec<String>,
+    /// `--help`/`-h`: the binary should print [`usage`] and exit 0.
+    pub help: bool,
+    /// `--only NAMES` / `--only=NAME` / `--only~=SUB`: benchmark filter.
+    pub only: Vec<OnlyFilter>,
     /// Arguments the shared parser did not recognize, in order.
     pub rest: Vec<String>,
 }
@@ -63,6 +150,7 @@ impl Default for BenchArgs {
             plan: FaultPlan::none(),
             telemetry: None,
             quiet: false,
+            help: false,
             only: Vec::new(),
             rest: Vec::new(),
         }
@@ -89,6 +177,7 @@ impl BenchArgs {
                 "--small" => out.small = true,
                 "--paper" => out.paper = true,
                 "--quiet" => out.quiet = true,
+                "--help" | "-h" => out.help = true,
                 "--workers" | "--runs" | "--out" | "--deadline-ms" | "--fault-plan"
                 | "--telemetry" | "--only" => {
                     let value = args
@@ -128,17 +217,19 @@ impl BenchArgs {
                                 .with_context(|| format!("parse fault plan {value:?}"))?;
                         }
                         "--telemetry" => out.telemetry = Some(value),
-                        "--only" => out.only.extend(
-                            value
-                                .split(',')
-                                .map(str::trim)
-                                .filter(|s| !s.is_empty())
-                                .map(String::from),
-                        ),
+                        "--only" => OnlyFilter::extend_parsed(&mut out.only, &value, false),
                         _ => unreachable!(),
                     }
                 }
-                other => out.rest.push(other.to_string()),
+                other => {
+                    if let Some(v) = other.strip_prefix("--only~=") {
+                        OnlyFilter::extend_parsed(&mut out.only, v, true);
+                    } else if let Some(v) = other.strip_prefix("--only=") {
+                        OnlyFilter::extend_parsed(&mut out.only, v, false);
+                    } else {
+                        out.rest.push(other.to_string());
+                    }
+                }
             }
             i += 1;
         }
@@ -168,6 +259,16 @@ impl BenchArgs {
         } else {
             (Scale::paper(), "paper")
         }
+    }
+
+    /// If `--help`/`-h` was passed, prints the shared [`usage`] text
+    /// (with the binary's one-line summary) and returns `true`; the
+    /// binary should then exit 0 without running anything.
+    pub fn print_help(&self, bin: &str, summary: &str) -> bool {
+        if self.help {
+            print!("{}", usage(bin, summary));
+        }
+        self.help
     }
 
     /// Starts telemetry recording when `--telemetry`/`SUNDER_TELEMETRY`
@@ -248,7 +349,60 @@ mod tests {
         assert_eq!(a.out.as_deref(), Some("x.json"));
         assert_eq!(a.deadline, Some(Duration::from_millis(1500)));
         assert_eq!(a.telemetry.as_deref(), Some("t.jsonl"));
-        assert_eq!(a.only, ["Snort", "Brill", "SPM"]);
+        assert_eq!(
+            a.only,
+            [
+                OnlyFilter::exact("Snort"),
+                OnlyFilter::exact("Brill"),
+                OnlyFilter::exact("SPM"),
+            ]
+        );
+    }
+
+    #[test]
+    fn only_supports_exact_inline_and_substring_modes() {
+        let a = BenchArgs::parse(
+            &argv(&[
+                "--only=Snort,Brill",
+                "--only~=dotstar, ranges",
+                "--only",
+                "TCP",
+            ]),
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            a.only,
+            [
+                OnlyFilter::exact("Snort"),
+                OnlyFilter::exact("Brill"),
+                OnlyFilter::substring("dotstar"),
+                OnlyFilter::substring("ranges"),
+                OnlyFilter::exact("TCP"),
+            ]
+        );
+        assert!(
+            a.rest.is_empty(),
+            "inline --only forms must not leak into rest"
+        );
+
+        // Matching semantics: exact is whole-name, substring is contains,
+        // both case-insensitive.
+        assert!(OnlyFilter::exact("snort").matches("Snort"));
+        assert!(!OnlyFilter::exact("Snort").matches("Snort2"));
+        assert!(OnlyFilter::substring("OTSTAR").matches("Dotstar03"));
+        assert!(!OnlyFilter::substring("xyz").matches("Dotstar03"));
+    }
+
+    #[test]
+    fn help_flag_is_recognized_in_both_spellings() {
+        assert!(BenchArgs::parse(&argv(&["--help"]), None).unwrap().help);
+        assert!(BenchArgs::parse(&argv(&["-h"]), None).unwrap().help);
+        let a = BenchArgs::parse(&[], None).unwrap();
+        assert!(!a.help && !a.print_help("suite", "x"));
+        let text = usage("throughput", "Sharded multi-stream throughput sweep.");
+        assert!(text.contains("--bin throughput"), "{text}");
+        assert!(text.contains("--only~=SUB"), "{text}");
     }
 
     #[test]

@@ -28,6 +28,12 @@ use sunder_workloads::{Benchmark, Scale};
 
 fn run() -> Result<u8, BenchError> {
     let args = BenchArgs::from_env()?;
+    if args.print_help(
+        "ablation",
+        "Ablation studies for the design choices DESIGN.md calls out.",
+    ) {
+        return Ok(0);
+    }
     args.init_telemetry();
     for (name, study) in [
         ("rate_vs_capacity", rate_vs_capacity as fn()),

@@ -71,6 +71,12 @@ fn measured_slowdown(percent: u32, summarize_mode: bool) -> Result<f64, BenchErr
 
 fn run() -> Result<u8, BenchError> {
     let args = BenchArgs::from_env()?;
+    if args.print_help(
+        "fig10",
+        "Regenerates Figure 10: slowdown vs. reporting-cycle percentage.",
+    ) {
+        return Ok(0);
+    }
     args.init_telemetry();
     println!("Figure 10: slowdown vs. reporting-cycle percentage\n");
     let config = SunderConfig::with_rate(Rate::Nibble4);

@@ -18,6 +18,12 @@ use sunder_tech::throughput::{figure8, Throughput};
 
 fn run() -> Result<u8, BenchError> {
     let args = BenchArgs::from_env()?;
+    if args.print_help(
+        "fig8",
+        "Regenerates Figure 8: end-to-end throughput vs. prior accelerators.",
+    ) {
+        return Ok(0);
+    }
     args.init_telemetry();
     let overheads: Vec<f64> = args.rest.iter().filter_map(|a| a.parse().ok()).collect();
     let (sunder_oh, ap_oh, rad_oh) = match overheads.as_slice() {

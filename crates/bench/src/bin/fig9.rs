@@ -16,6 +16,12 @@ const STES: usize = 32 * 1024;
 
 fn run() -> Result<u8, BenchError> {
     let args = BenchArgs::from_env()?;
+    if args.print_help(
+        "fig9",
+        "Regenerates Figure 9: area decomposition for 32K STEs.",
+    ) {
+        return Ok(0);
+    }
     args.init_telemetry();
     let span = sunder_telemetry::span("fig9.render");
     println!("Figure 9: area overhead for 32K STEs (mm^2)\n");

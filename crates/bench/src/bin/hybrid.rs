@@ -81,6 +81,9 @@ fn warm_workload(density: f64) -> (Nfa, Vec<u8>) {
 
 fn run() -> Result<u8, BenchError> {
     let args = BenchArgs::from_env()?;
+    if args.print_help("hybrid", "Hybrid accelerator/CPU processing comparison.") {
+        return Ok(0);
+    }
     args.init_telemetry();
     println!("Hybrid (Liu et al.) split: intermediate reporting pressure\n");
     let mut table = TextTable::new([

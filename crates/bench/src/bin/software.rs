@@ -28,6 +28,12 @@ fn mbps(bytes: usize, secs: f64) -> f64 {
 
 fn run() -> Result<u8, BenchError> {
     let args = BenchArgs::from_env()?;
+    if args.print_help(
+        "software",
+        "Software baseline: memory-bound pattern matching on a CPU.",
+    ) {
+        return Ok(0);
+    }
     args.init_telemetry();
     println!("Software baseline: DFA blowup and scan throughput\n");
     let scale = Scale {

@@ -6,8 +6,9 @@
 //!
 //! Usage: `cargo run -p sunder-bench --release --bin suite
 //! [--small | --paper] [--workers N] [--out PATH] [--runs N]
-//! [--deadline-ms N] [--fault-plan FILE] [--only A,B,...]
-//! [--telemetry PATH] [--quiet]`
+//! [--deadline-ms N] [--fault-plan FILE] [--only A,B,...] [--only~=SUB]
+//! [--telemetry PATH] [--quiet]` (`--only` matches exact names,
+//! `--only~=` matches substrings; see `--help`)
 //!
 //! Default scale is `--small` (seconds, not minutes). Benchmarks fan out
 //! across supervised worker threads; a benchmark that panics, times out,
@@ -29,6 +30,12 @@ use sunder_telemetry::progress;
 
 fn run() -> Result<u8, BenchError> {
     let args = BenchArgs::from_env()?;
+    if args.print_help(
+        "suite",
+        "Engine comparison sweep across the full benchmark suite.",
+    ) {
+        return Ok(0);
+    }
     args.init_telemetry();
     let (scale, scale_name) = args.scale_small_default();
     let benches = select_benchmarks(&args.only).map_err(BenchError::msg)?;

@@ -24,6 +24,9 @@ use sunder_workloads::Benchmark;
 
 fn run() -> Result<u8, BenchError> {
     let args = BenchArgs::from_env()?;
+    if args.print_help("table1", "Regenerates Table 1: reporting behavior summary.") {
+        return Ok(0);
+    }
     args.init_telemetry();
     let (scale, scale_name) = args.scale_paper_default();
     let small = scale_name == "small";

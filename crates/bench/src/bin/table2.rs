@@ -21,6 +21,12 @@ fn cell_name(c: CellType) -> &'static str {
 
 fn run() -> Result<u8, BenchError> {
     let args = BenchArgs::from_env()?;
+    if args.print_help(
+        "table2",
+        "Prints Table 2: subarray parameters of the technology model.",
+    ) {
+        return Ok(0);
+    }
     args.init_telemetry();
     let _span = sunder_telemetry::span("table2.render");
     println!("Table 2: subarray parameters (14 nm, peripheral overhead included)\n");

@@ -52,6 +52,12 @@ fn fmt_paper(v: f64) -> String {
 
 fn run() -> Result<u8, BenchError> {
     let args = BenchArgs::from_env()?;
+    if args.print_help(
+        "table3",
+        "Regenerates Table 3: states and transitions of the nibble designs.",
+    ) {
+        return Ok(0);
+    }
     args.init_telemetry();
     let small = args.small;
     let scale = if small {

@@ -43,6 +43,12 @@ const PAPER: [(&str, u64, f64, u64, f64, f64, f64); 19] = [
 
 fn run() -> Result<u8, BenchError> {
     let args = BenchArgs::from_env()?;
+    if args.print_help(
+        "table4",
+        "Regenerates Table 4: reporting overhead for 4-nibble processing.",
+    ) {
+        return Ok(0);
+    }
     args.init_telemetry();
     let (scale, scale_name) = args.scale_paper_default();
     let workers = args.workers;

@@ -18,6 +18,12 @@ fn opt(v: Option<f64>) -> String {
 
 fn run() -> Result<u8, BenchError> {
     let args = BenchArgs::from_env()?;
+    if args.print_help(
+        "table5",
+        "Regenerates Table 5: pipeline-stage delays and frequencies.",
+    ) {
+        return Ok(0);
+    }
     args.init_telemetry();
     let span = sunder_telemetry::span("table5.render");
     println!("Table 5: delays and operating frequency in pipeline stages\n");

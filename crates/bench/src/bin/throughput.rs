@@ -1,0 +1,126 @@
+//! Sharded multi-stream throughput sweep: splits each suite workload
+//! into N independent streams, runs them through the `sunder-shard`
+//! batch service across a shards × workers grid, verifies every point
+//! against the monolithic trace (the sharded-vs-monolithic equality
+//! gate), and writes `BENCH_throughput.json`.
+//!
+//! Usage: `cargo run -p sunder-bench --release --bin throughput --
+//! [--small | --paper] [--streams N] [--shards A,B,...]
+//! [--sweep-workers A,B,...] [--config NAME] [--runs N] [--out PATH]
+//! [--only NAMES | --only~=SUB] [--telemetry PATH] [--quiet]`
+//!
+//! Defaults: small scale, 8 streams, shards 1,4,8, workers 1,2,4,8,
+//! nibble pipeline, adaptive engine. The headline `mbps_modeled` figures
+//! come from measured per-stream costs list-scheduled over W workers
+//! (see `bench::throughput` docs — the CI container is single-core);
+//! `mbps_wall` sits next to them for multi-core hosts.
+//!
+//! Exit codes: 0 all gates passed, 1 a trace-equality gate failed,
+//! 2 usage or I/O error.
+
+use std::process::ExitCode;
+
+use sunder_bench::args::BenchArgs;
+use sunder_bench::error::{bench_main, BenchError, Context};
+use sunder_bench::throughput::{render_json, render_table, run_throughput, ThroughputOptions};
+use sunder_oracle::PipelineConfig;
+use sunder_telemetry::progress;
+
+fn parse_usize_list(value: &str, flag: &str) -> Result<Vec<usize>, BenchError> {
+    let list: Result<Vec<usize>, _> = value
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::parse::<usize>)
+        .collect();
+    let list =
+        list.with_context(|| format!("invalid {flag} value {value:?}: expected integers"))?;
+    if list.is_empty() {
+        return Err(BenchError::msg(format!(
+            "{flag} requires at least one value"
+        )));
+    }
+    Ok(list)
+}
+
+fn parse_config(name: &str) -> Result<PipelineConfig, BenchError> {
+    PipelineConfig::ALL
+        .into_iter()
+        .find(|c| c.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            BenchError::msg(format!(
+                "unknown --config {name:?}: expected identity, nibble, stride2, or stride4"
+            ))
+        })
+}
+
+fn run() -> Result<u8, BenchError> {
+    let args = BenchArgs::from_env()?;
+    if args.print_help(
+        "throughput",
+        "Sharded multi-stream throughput sweep with a trace-equality gate.\n\
+         Extra flags: --streams N, --shards A,B,..., --sweep-workers A,B,...,\n\
+         --config identity|nibble|stride2|stride4.",
+    ) {
+        return Ok(0);
+    }
+    args.init_telemetry();
+    let (scale, scale_name) = args.scale_small_default();
+
+    let mut opts = ThroughputOptions {
+        scale,
+        scale_name: scale_name.to_string(),
+        runs: args.runs.unwrap_or(1),
+        only: args.only.clone(),
+        ..ThroughputOptions::default()
+    };
+    let mut rest = args.rest.iter();
+    while let Some(flag) = rest.next() {
+        let mut value = |flag: &str| {
+            rest.next()
+                .cloned()
+                .with_context(|| format!("{flag} requires a value"))
+        };
+        match flag.as_str() {
+            "--streams" => {
+                let v = value("--streams")?;
+                opts.streams = v
+                    .parse()
+                    .with_context(|| format!("invalid --streams value {v:?}"))?;
+            }
+            "--shards" => opts.shard_counts = parse_usize_list(&value("--shards")?, "--shards")?,
+            "--sweep-workers" => {
+                opts.worker_counts =
+                    parse_usize_list(&value("--sweep-workers")?, "--sweep-workers")?;
+            }
+            "--config" => opts.config = parse_config(&value("--config")?)?,
+            other => {
+                return Err(BenchError::msg(format!(
+                    "unknown argument {other:?} (see --help)"
+                )));
+            }
+        }
+    }
+
+    let out_path = args.out.as_deref().unwrap_or("BENCH_throughput.json");
+    progress(&format!(
+        "Throughput sweep: {} streams x shards {:?} x workers {:?} ({} pipeline, {scale_name} scale)",
+        opts.streams, opts.shard_counts, opts.worker_counts, opts.config.name(),
+    ));
+
+    let report = run_throughput(&opts).map_err(BenchError::msg)?;
+    print!("{}", render_table(&report));
+    std::fs::write(out_path, render_json(&report))
+        .with_context(|| format!("write JSON summary {out_path:?}"))?;
+    progress(&format!("Machine-readable summary written to {out_path}"));
+
+    if !report.all_traces_equal() {
+        eprintln!("ERROR: a sharded run diverged from its monolithic trace");
+    }
+    args.finish_telemetry()?;
+    Ok(report.exit_code())
+}
+
+fn main() -> ExitCode {
+    bench_main(run)
+}

@@ -11,3 +11,4 @@ pub mod harness;
 pub mod parallel;
 pub mod suite;
 pub mod table;
+pub mod throughput;

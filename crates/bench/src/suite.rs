@@ -35,6 +35,7 @@ use sunder_sim::{
 use sunder_transform::{transform_to_rate, Rate};
 use sunder_workloads::{Benchmark, Scale, Workload};
 
+use crate::args::OnlyFilter;
 use crate::table::TextTable;
 
 /// One benchmark's results across the three engines.
@@ -72,8 +73,9 @@ pub struct SuiteOptions {
     pub deadline: Option<Duration>,
     /// Injected faults (empty = clean run).
     pub plan: FaultPlan,
-    /// Benchmark name filter (case-insensitive); empty runs everything.
-    pub only: Vec<String>,
+    /// Benchmark filter (exact or substring selectors); empty runs
+    /// everything.
+    pub only: Vec<OnlyFilter>,
 }
 
 impl SuiteOptions {
@@ -91,35 +93,49 @@ impl SuiteOptions {
     }
 }
 
-/// Resolves an `--only` name list against the benchmark suite, in list
-/// order and deduplicated. An empty list selects the whole suite.
+/// Resolves an `--only` selector list against the benchmark suite, in
+/// list order and deduplicated. Exact selectors pick one benchmark;
+/// substring selectors pick every benchmark whose name contains the text
+/// (suite order within one selector). An empty list selects the whole
+/// suite.
 ///
 /// # Errors
 ///
-/// Names that match no benchmark are a hard error — running a silently
-/// empty suite would hide the typo.
-pub fn select_benchmarks(only: &[String]) -> Result<Vec<Benchmark>, String> {
+/// A selector that matches no benchmark is a hard error — running a
+/// silently empty suite would hide the typo.
+pub fn select_benchmarks(only: &[OnlyFilter]) -> Result<Vec<Benchmark>, String> {
     if only.is_empty() {
         return Ok(Benchmark::ALL.to_vec());
     }
-    let mut out = Vec::new();
-    for name in only {
-        let bench = Benchmark::ALL
+    let all_names = || {
+        Benchmark::ALL
             .iter()
-            .find(|b| b.name().eq_ignore_ascii_case(name))
+            .map(|b| b.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut out = Vec::new();
+    for filter in only {
+        let matched: Vec<Benchmark> = Benchmark::ALL
+            .iter()
+            .filter(|b| filter.matches(b.name()))
             .copied()
-            .ok_or_else(|| {
-                format!(
-                    "unknown benchmark {name:?}; choose from: {}",
-                    Benchmark::ALL
-                        .iter()
-                        .map(|b| b.name())
-                        .collect::<Vec<_>>()
-                        .join(", ")
-                )
-            })?;
-        if !out.contains(&bench) {
-            out.push(bench);
+            .collect();
+        if matched.is_empty() {
+            return Err(match filter {
+                OnlyFilter::Exact(name) => {
+                    format!("unknown benchmark {name:?}; choose from: {}", all_names())
+                }
+                OnlyFilter::Substring(sub) => format!(
+                    "no benchmark name contains {sub:?}; choose from: {}",
+                    all_names()
+                ),
+            });
+        }
+        for bench in matched {
+            if !out.contains(&bench) {
+                out.push(bench);
+            }
         }
     }
     Ok(out)
@@ -350,9 +366,7 @@ fn run_benchmark(
 pub fn run_suite(opts: &SuiteOptions) -> SuiteReport {
     let benches: Vec<Benchmark> = Benchmark::ALL
         .iter()
-        .filter(|b| {
-            opts.only.is_empty() || opts.only.iter().any(|n| n.eq_ignore_ascii_case(b.name()))
-        })
+        .filter(|b| opts.only.is_empty() || opts.only.iter().any(|f| f.matches(b.name())))
         .copied()
         .collect();
     let policy = SupervisorPolicy {
@@ -618,7 +632,7 @@ mod tests {
     #[test]
     fn only_filter_selects_a_subset_in_suite_order() {
         let mut opts = tiny_opts();
-        opts.only = vec!["snort".to_string(), "Brill".to_string()];
+        opts.only = vec![OnlyFilter::exact("snort"), OnlyFilter::exact("Brill")];
         let report = run_suite(&opts);
         let names: Vec<&str> = report.jobs.iter().map(|j| j.name.as_str()).collect();
         // Suite order, not filter order.
@@ -627,17 +641,47 @@ mod tests {
     }
 
     #[test]
+    fn substring_filter_selects_a_family_in_suite() {
+        let mut opts = tiny_opts();
+        opts.only = vec![OnlyFilter::substring("ranges")];
+        let report = run_suite(&opts);
+        let names: Vec<&str> = report.jobs.iter().map(|j| j.name.as_str()).collect();
+        assert_eq!(names, ["Ranges05", "Ranges1"]);
+        assert!(report.summary.all_ok());
+    }
+
+    #[test]
     fn select_benchmarks_validates_names() {
         assert_eq!(select_benchmarks(&[]).unwrap(), Benchmark::ALL.to_vec());
-        let picked =
-            select_benchmarks(&["spm".to_string(), "SPM".to_string(), "Snort".to_string()])
-                .unwrap();
+        let picked = select_benchmarks(&[
+            OnlyFilter::exact("spm"),
+            OnlyFilter::exact("SPM"),
+            OnlyFilter::exact("Snort"),
+        ])
+        .unwrap();
         assert_eq!(picked.len(), 2, "case-insensitive and deduplicated");
-        let err = select_benchmarks(&["NotABench".to_string()]).unwrap_err();
+        let err = select_benchmarks(&[OnlyFilter::exact("NotABench")]).unwrap_err();
         assert!(
             err.contains("NotABench") && err.contains("choose from"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn select_benchmarks_substring_mode_expands_and_validates() {
+        let picked = select_benchmarks(&[OnlyFilter::substring("dotstar")]).unwrap();
+        let names: Vec<&str> = picked.iter().map(|b| b.name()).collect();
+        assert_eq!(names, ["Dotstar03", "Dotstar06", "Dotstar09"]);
+        // Overlapping selectors stay deduplicated.
+        let picked = select_benchmarks(&[
+            OnlyFilter::exact("Dotstar06"),
+            OnlyFilter::substring("dotstar"),
+        ])
+        .unwrap();
+        assert_eq!(picked.len(), 3);
+        assert_eq!(picked[0].name(), "Dotstar06", "list order wins");
+        let err = select_benchmarks(&[OnlyFilter::substring("zzz")]).unwrap_err();
+        assert!(err.contains("no benchmark name contains"), "{err}");
     }
 
     /// The acceptance tie at suite level: a `--telemetry` run's artifact
@@ -652,7 +696,7 @@ mod tests {
         use sunder_sim::NullSink;
 
         let mut opts = tiny_opts();
-        opts.only = vec!["Brill".to_string(), "Snort".to_string()];
+        opts.only = vec![OnlyFilter::exact("Brill"), OnlyFilter::exact("Snort")];
         // Report states land on placement-dependent PUs, so stick every
         // Snort PU: any storm-forced overflow then wedges and recovers.
         let snort_pus = {

@@ -18,6 +18,10 @@
 //!   regexes/automata and inputs, shrinking any divergence to a minimal
 //!   `(automaton, input)` pair and rendering it as a self-contained
 //!   reproducer file.
+//! * [`shard`] — the sharding equivalence suite: sharded execution
+//!   ([`sunder_sim::ShardedEngine`]) must be report-trace-identical to
+//!   monolithic execution *and* agree with the oracle, for every
+//!   configuration × engine × shard count.
 //! * [`seeds`] — replays the historical proptest regression corpus
 //!   through the full pipeline matrix.
 //! * [`cli`] — the `conformance` binary's implementation
@@ -31,7 +35,9 @@ pub mod cli;
 pub mod fuzz;
 pub mod reference;
 pub mod seeds;
+pub mod shard;
 
 pub use check::{check_pipelines, check_suite, compare_transformed, Divergence, PipelineConfig};
 pub use fuzz::{corruption_plan, run_fuzz, run_fuzz_with_plan, Failure, FuzzOptions, FuzzOutcome};
 pub use reference::{oracle_trace, OracleTrace, ReferenceOracle};
+pub use shard::{check_sharded_pipelines, check_sharded_suite, DEFAULT_SHARD_COUNTS};

@@ -1,0 +1,317 @@
+//! Content-addressed cache of compiled execution pipelines.
+//!
+//! Compiling a pipeline — FlexAmata nibble decomposition, temporal
+//! striding, partitioning into shards — dominates the setup cost of a
+//! batch submission and depends only on the automaton and the pipeline
+//! configuration, never on the input streams. The cache keys a compiled
+//! artifact by a 64-bit FNV-1a hash over the canonical textual (ANML)
+//! serialization of the source automaton, the configuration name, and
+//! the sharding spec, so repeated stream submissions against the same
+//! rule set skip re-transformation entirely.
+//!
+//! The canonical serialization makes the key *content*-addressed: two
+//! structurally identical automata hash identically no matter how they
+//! were built. Hits and misses are exported as the
+//! `pipeline_cache_hits_total` / `pipeline_cache_misses_total` telemetry
+//! counters.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use sunder_automata::partition::{partition, partition_into, PartitionOptions, ShardPlan};
+use sunder_automata::{anml, AutomataError, Nfa};
+use sunder_oracle::PipelineConfig;
+use sunder_sim::{EngineKind, ShardedEngine};
+use sunder_transform::PositionMap;
+
+/// How a cached pipeline is sharded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardSpec {
+    /// Balance into at most this many shards
+    /// ([`sunder_automata::partition::partition_into`]).
+    MaxShards(usize),
+    /// Pack toward a per-shard STE budget
+    /// ([`sunder_automata::partition::partition`]).
+    Budget(PartitionOptions),
+}
+
+impl ShardSpec {
+    fn apply(self, nfa: &Nfa) -> Result<ShardPlan, AutomataError> {
+        match self {
+            ShardSpec::MaxShards(k) => partition_into(nfa, k),
+            ShardSpec::Budget(opts) => partition(nfa, &opts),
+        }
+    }
+
+    /// Stable text folded into the cache key.
+    fn key_text(self) -> String {
+        match self {
+            ShardSpec::MaxShards(k) => format!("max-shards={k}"),
+            ShardSpec::Budget(o) => format!("budget={} policy={:?}", o.ste_budget, o.oversize),
+        }
+    }
+}
+
+/// A 64-bit content hash identifying one compiled pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PipelineKey(pub u64);
+
+impl std::fmt::Display for PipelineKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(parts: &[&str]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for part in parts {
+        for &b in part.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        // Separator byte so ("ab","c") and ("a","bc") differ.
+        h ^= 0xff;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Computes the content-addressed key for (automaton, config, sharding,
+/// engine). Exposed so artifacts can be correlated across processes.
+pub fn pipeline_key(
+    nfa: &Nfa,
+    config: PipelineConfig,
+    spec: ShardSpec,
+    engine: EngineKind,
+) -> PipelineKey {
+    PipelineKey(fnv1a(&[
+        config.name(),
+        &spec.key_text(),
+        engine.name(),
+        &anml::serialize(nfa),
+    ]))
+}
+
+/// One compiled pipeline: the transformed automaton, the position map
+/// folding its reports back to original-symbol coordinates, and the
+/// sharded engine ready to execute it.
+#[derive(Debug, Clone)]
+pub struct CompiledPipeline {
+    /// The content hash this artifact is cached under.
+    pub key: PipelineKey,
+    /// The configuration that produced it.
+    pub config: PipelineConfig,
+    /// The transformed (executable) automaton.
+    pub nfa: Nfa,
+    /// Folds transformed report positions to original-symbol coordinates.
+    pub map: PositionMap,
+    /// Sharded execution over the transformed automaton.
+    pub sharded: ShardedEngine,
+}
+
+impl CompiledPipeline {
+    /// Compiles `nfa` under `config`, shards per `spec`, without caching.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transformation and partitioning failures.
+    pub fn compile(
+        nfa: &Nfa,
+        config: PipelineConfig,
+        spec: ShardSpec,
+        engine: EngineKind,
+    ) -> Result<CompiledPipeline, AutomataError> {
+        let key = pipeline_key(nfa, config, spec, engine);
+        let (transformed, map) = config.apply(nfa)?;
+        let plan = spec.apply(&transformed)?;
+        let sharded = ShardedEngine::from_plan(&transformed, plan, engine);
+        Ok(CompiledPipeline {
+            key,
+            config,
+            nfa: transformed,
+            map,
+            sharded,
+        })
+    }
+
+    /// Number of shards in the compiled plan.
+    pub fn num_shards(&self) -> usize {
+        self.sharded.num_shards()
+    }
+}
+
+/// Thread-safe content-addressed cache of [`CompiledPipeline`]s.
+#[derive(Debug)]
+pub struct PipelineCache {
+    spec: ShardSpec,
+    engine: EngineKind,
+    entries: Mutex<HashMap<u64, Arc<CompiledPipeline>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PipelineCache {
+    /// An empty cache compiling with the given sharding spec and
+    /// per-shard engine kind.
+    pub fn new(spec: ShardSpec, engine: EngineKind) -> PipelineCache {
+        PipelineCache {
+            spec,
+            engine,
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The sharding spec used for compilation.
+    pub fn spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// The per-shard engine kind used for compilation.
+    pub fn engine(&self) -> EngineKind {
+        self.engine
+    }
+
+    /// Returns the cached pipeline for (automaton, config), compiling
+    /// and inserting it on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation failures (nothing is cached on error).
+    pub fn get_or_compile(
+        &self,
+        nfa: &Nfa,
+        config: PipelineConfig,
+    ) -> Result<Arc<CompiledPipeline>, AutomataError> {
+        let key = pipeline_key(nfa, config, self.spec, self.engine);
+        if let Some(hit) = self.entries.lock().unwrap().get(&key.0) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            sunder_telemetry::counter_add(
+                "pipeline_cache_hits_total",
+                &[("config", config.name())],
+                1,
+            );
+            return Ok(Arc::clone(hit));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        sunder_telemetry::counter_add(
+            "pipeline_cache_misses_total",
+            &[("config", config.name())],
+            1,
+        );
+        let compiled = Arc::new(CompiledPipeline::compile(
+            nfa,
+            config,
+            self.spec,
+            self.engine,
+        )?);
+        debug_assert_eq!(compiled.key, key);
+        // Two racing compilers produce identical artifacts (compilation
+        // is deterministic), so last-insert-wins is safe.
+        self.entries
+            .lock()
+            .unwrap()
+            .insert(key.0, Arc::clone(&compiled));
+        Ok(compiled)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (= compilations) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached pipelines.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// `true` when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunder_automata::regex::compile_rule_set;
+
+    fn cache() -> PipelineCache {
+        PipelineCache::new(ShardSpec::MaxShards(4), EngineKind::Adaptive)
+    }
+
+    #[test]
+    fn repeated_submissions_hit_the_cache() {
+        let nfa = compile_rule_set(&["abc", "de+f"]).unwrap();
+        let c = cache();
+        let a = c.get_or_compile(&nfa, PipelineConfig::Nibble).unwrap();
+        let b = c.get_or_compile(&nfa, PipelineConfig::Nibble).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must not recompile");
+        assert_eq!((c.hits(), c.misses(), c.len()), (1, 1, 1));
+    }
+
+    #[test]
+    fn key_is_content_addressed_not_identity_addressed() {
+        // Build the same automaton twice through different calls: the
+        // canonical serialization makes the keys collide (that's the point).
+        let a = compile_rule_set(&["xy", "z{2}"]).unwrap();
+        let b = compile_rule_set(&["xy", "z{2}"]).unwrap();
+        let spec = ShardSpec::MaxShards(2);
+        assert_eq!(
+            pipeline_key(&a, PipelineConfig::Stride2, spec, EngineKind::Dense),
+            pipeline_key(&b, PipelineConfig::Stride2, spec, EngineKind::Dense),
+        );
+    }
+
+    #[test]
+    fn distinct_configs_get_distinct_artifacts() {
+        let nfa = compile_rule_set(&["abc"]).unwrap();
+        let c = cache();
+        for config in PipelineConfig::ALL {
+            c.get_or_compile(&nfa, config).unwrap();
+        }
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.misses(), 4);
+        let keys: std::collections::HashSet<u64> = PipelineConfig::ALL
+            .iter()
+            .map(|&cfg| pipeline_key(&nfa, cfg, ShardSpec::MaxShards(4), EngineKind::Adaptive).0)
+            .collect();
+        assert_eq!(keys.len(), 4, "keys must not collide across configs");
+    }
+
+    #[test]
+    fn spec_and_engine_are_part_of_the_key() {
+        let nfa = compile_rule_set(&["abc"]).unwrap();
+        let k1 = pipeline_key(
+            &nfa,
+            PipelineConfig::Identity,
+            ShardSpec::MaxShards(2),
+            EngineKind::Sparse,
+        );
+        let k2 = pipeline_key(
+            &nfa,
+            PipelineConfig::Identity,
+            ShardSpec::MaxShards(4),
+            EngineKind::Sparse,
+        );
+        let k3 = pipeline_key(
+            &nfa,
+            PipelineConfig::Identity,
+            ShardSpec::MaxShards(2),
+            EngineKind::Dense,
+        );
+        assert_ne!(k1, k2);
+        assert_ne!(k1, k3);
+        assert_eq!(k1.to_string().len(), 16, "zero-padded hex rendering");
+    }
+}

@@ -1,0 +1,165 @@
+//! `sunder-shard`: the sharded multi-stream execution service.
+//!
+//! The paper's scalability claim is spatial: throughput grows with
+//! subarray count because the automaton is partitioned across them and
+//! reporting never round-trips to the host. This crate is the software
+//! analogue of that axis, built from three pieces:
+//!
+//! * a **compiled-pipeline cache** ([`PipelineCache`]) — content-addressed
+//!   by a hash of the automaton, the pipeline configuration, and the
+//!   sharding spec, so repeated stream submissions skip the FlexAmata /
+//!   striding / partitioning work entirely;
+//! * a **work-stealing stream scheduler** ([`run_batch`]) — N independent
+//!   input streams across M worker threads, per-shard panic isolation
+//!   into [`sunder_resilience::JobOutcome`], fault injection via
+//!   [`sunder_resilience::FaultPlan`] keyed by
+//!   `stream × num_shards + shard`;
+//! * the **equivalence gate** ([`verify_stream`]) — sharded execution
+//!   must be report-trace-identical to monolithic execution; the
+//!   throughput bench refuses to report a point that fails it.
+//!
+//! [`BatchService`] ties them together:
+//!
+//! ```
+//! use sunder_automata::regex::compile_rule_set;
+//! use sunder_oracle::PipelineConfig;
+//! use sunder_shard::{BatchOptions, BatchService, ShardSpec};
+//! use sunder_sim::EngineKind;
+//!
+//! let service = BatchService::new(ShardSpec::MaxShards(4), EngineKind::Adaptive);
+//! let nfa = compile_rule_set(&["ab+c", "[0-9]{3}"])?;
+//! let streams = vec![b"zabbc 007".to_vec(), b"123 abc".to_vec()];
+//! let report = service.submit(
+//!     &nfa,
+//!     PipelineConfig::Nibble,
+//!     &streams,
+//!     &BatchOptions::with_workers(2),
+//! )?;
+//! assert_eq!(report.ok_count(), 2);
+//! assert_eq!(service.cache().misses(), 1); // next submit will hit
+//! # Ok::<(), sunder_automata::AutomataError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod scheduler;
+
+pub use cache::{pipeline_key, CompiledPipeline, PipelineCache, PipelineKey, ShardSpec};
+pub use scheduler::{run_batch, BatchOptions, BatchReport, ShardRun, StreamResult};
+
+use sunder_automata::input::InputView;
+use sunder_automata::{AutomataError, Nfa};
+use sunder_oracle::PipelineConfig;
+use sunder_sim::{EngineKind, ReportEvent, TraceSink};
+
+/// A long-lived batch service: one pipeline cache, many submissions.
+#[derive(Debug)]
+pub struct BatchService {
+    cache: PipelineCache,
+}
+
+impl BatchService {
+    /// A service compiling pipelines with the given sharding spec and
+    /// per-shard engine kind.
+    pub fn new(spec: ShardSpec, engine: EngineKind) -> BatchService {
+        BatchService {
+            cache: PipelineCache::new(spec, engine),
+        }
+    }
+
+    /// The underlying cache (hit/miss counters, size).
+    pub fn cache(&self) -> &PipelineCache {
+        &self.cache
+    }
+
+    /// Compiles (or fetches) the pipeline for `nfa` under `config` and
+    /// runs `streams` through it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline compilation failures; per-stream execution
+    /// failures are captured inside the [`BatchReport`] instead.
+    pub fn submit(
+        &self,
+        nfa: &Nfa,
+        config: PipelineConfig,
+        streams: &[Vec<u8>],
+        opts: &BatchOptions,
+    ) -> Result<BatchReport, AutomataError> {
+        let pipeline = self.cache.get_or_compile(nfa, config)?;
+        Ok(run_batch(&pipeline, streams, opts))
+    }
+}
+
+/// Runs `input` through the pipeline's transformed automaton on a single
+/// monolithic engine, returning the reference trace sharded execution
+/// must reproduce byte-identically.
+///
+/// # Errors
+///
+/// Returns input framing errors.
+pub fn monolithic_trace(
+    pipeline: &CompiledPipeline,
+    kind: EngineKind,
+    input: &[u8],
+) -> Result<Vec<ReportEvent>, AutomataError> {
+    let view = InputView::new(input, pipeline.nfa.symbol_bits(), pipeline.nfa.stride())?;
+    let mut engine = kind.build(&pipeline.nfa);
+    let mut trace = TraceSink::new();
+    engine.run(&view, &mut trace);
+    Ok(trace.events)
+}
+
+/// The sharded-vs-monolithic trace-equality gate for one stream: `true`
+/// iff the stream completed and its merged trace is byte-identical to a
+/// monolithic run of the same transformed automaton.
+///
+/// # Errors
+///
+/// Returns input framing errors from the monolithic run.
+pub fn verify_stream(
+    pipeline: &CompiledPipeline,
+    result: &StreamResult,
+    input: &[u8],
+) -> Result<bool, AutomataError> {
+    let Some(merged) = &result.merged else {
+        return Ok(false);
+    };
+    let expected = monolithic_trace(pipeline, pipeline.sharded.kind(), input)?;
+    Ok(*merged == expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sunder_automata::regex::compile_rule_set;
+
+    #[test]
+    fn service_caches_across_submissions_and_verifies() {
+        let service = BatchService::new(ShardSpec::MaxShards(3), EngineKind::Adaptive);
+        let nfa = compile_rule_set(&["ab", ".*xy", "[0-9]{2}"]).unwrap();
+        let streams = vec![b"ab 12 xy".to_vec(), b"zzabzz".to_vec()];
+        for round in 0..3 {
+            let report = service
+                .submit(
+                    &nfa,
+                    PipelineConfig::Stride2,
+                    &streams,
+                    &BatchOptions::with_workers(2),
+                )
+                .unwrap();
+            assert_eq!(report.ok_count(), 2, "round {round}");
+            let pipeline = service
+                .cache()
+                .get_or_compile(&nfa, PipelineConfig::Stride2)
+                .unwrap();
+            for s in &report.streams {
+                assert!(verify_stream(&pipeline, s, &streams[s.stream]).unwrap());
+            }
+        }
+        assert_eq!(service.cache().misses(), 1);
+        assert!(service.cache().hits() >= 2);
+    }
+}

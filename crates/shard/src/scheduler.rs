@@ -1,0 +1,452 @@
+//! Work-stealing multi-stream scheduler over a compiled pipeline.
+//!
+//! A batch is N independent input streams matched against one compiled
+//! pipeline. Streams are dealt round-robin onto M per-worker queues; a
+//! worker drains its own queue from the front and, when empty, steals
+//! from the *back* of a victim's queue (classic deque discipline: owner
+//! and thief touch opposite ends, so streams migrate in whole units and
+//! the steal count measures actual imbalance).
+//!
+//! Within a stream, each shard executes under its own panic isolation
+//! boundary: a panicking shard is captured as
+//! [`JobOutcome::Panicked`] *attributed to that shard* while every other
+//! shard — and every other stream — completes normally. Fault injection
+//! plugs in through [`sunder_resilience::FaultPlan`] with the flat item
+//! index `stream × num_shards + shard`.
+//!
+//! Telemetry: `scheduler_steals_total{worker}` counters,
+//! `scheduler_queue_depth{worker}` gauges (sampled at each dequeue), and
+//! the per-shard `shard_symbols_total` counters from
+//! [`ShardedEngine::run_shard`].
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use sunder_automata::input::InputView;
+use sunder_resilience::{corrupt, panic_message, Budget, FaultKind, FaultPlan, JobOutcome};
+use sunder_sim::{ReportEvent, RunOutcome, ShardedEngine};
+
+use crate::cache::CompiledPipeline;
+
+/// Scheduling options for one batch.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOptions {
+    /// Worker threads (0 is treated as 1).
+    pub workers: usize,
+    /// Injected faults, keyed by `stream × num_shards + shard`.
+    pub plan: FaultPlan,
+    /// Per-shard wall-clock deadline.
+    pub deadline: Option<Duration>,
+}
+
+impl BatchOptions {
+    /// Options running `workers` threads with no faults or deadline.
+    pub fn with_workers(workers: usize) -> BatchOptions {
+        BatchOptions {
+            workers,
+            ..BatchOptions::default()
+        }
+    }
+}
+
+/// One shard's execution within one stream.
+#[derive(Debug)]
+pub struct ShardRun {
+    /// Shard index within the pipeline's plan.
+    pub shard: usize,
+    /// What happened; `Ok` carries the shard's report events remapped to
+    /// the transformed automaton's state ids.
+    pub outcome: JobOutcome<Vec<ReportEvent>>,
+    /// Busy time this shard consumed.
+    pub elapsed: Duration,
+}
+
+/// One stream's result within a batch.
+#[derive(Debug)]
+pub struct StreamResult {
+    /// Stream index in submission order.
+    pub stream: usize,
+    /// Worker that executed the stream.
+    pub worker: usize,
+    /// `true` when the stream was stolen from another worker's queue.
+    pub stolen: bool,
+    /// Per-shard outcomes, in shard order.
+    pub shard_runs: Vec<ShardRun>,
+    /// The merged, position-stable report trace (transformed-automaton
+    /// coordinates) — `Some` only when *every* shard completed.
+    pub merged: Option<Vec<ReportEvent>>,
+    /// Busy time across all shards plus the merge.
+    pub elapsed: Duration,
+}
+
+impl StreamResult {
+    /// `true` when every shard completed and the merge was produced.
+    pub fn ok(&self) -> bool {
+        self.merged.is_some()
+    }
+
+    /// The shards that did not complete, with their outcome status.
+    pub fn failed_shards(&self) -> Vec<(usize, &'static str)> {
+        self.shard_runs
+            .iter()
+            .filter(|r| r.outcome.value().is_none())
+            .map(|r| (r.shard, r.outcome.status()))
+            .collect()
+    }
+}
+
+/// Everything one batch produced.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-stream results, indexed by stream.
+    pub streams: Vec<StreamResult>,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Shards per stream.
+    pub shards: usize,
+    /// Streams executed off a victim's queue.
+    pub steals: u64,
+    /// Wall-clock time for the whole batch.
+    pub wall: Duration,
+}
+
+impl BatchReport {
+    /// Streams whose merge completed.
+    pub fn ok_count(&self) -> usize {
+        self.streams.iter().filter(|s| s.ok()).count()
+    }
+
+    /// Total busy time across all streams (the sequential-cost model).
+    pub fn busy(&self) -> Duration {
+        self.streams.iter().map(|s| s.elapsed).sum()
+    }
+}
+
+/// Executes one shard of one stream under panic isolation and fault
+/// injection.
+fn run_shard_isolated(
+    sharded: &ShardedEngine,
+    shard: usize,
+    stream_idx: usize,
+    bytes: &[u8],
+    faults: &[FaultKind],
+    deadline: Option<Duration>,
+) -> ShardRun {
+    let start = Instant::now();
+    let mut input = std::borrow::Cow::Borrowed(bytes);
+    let mut transient: Option<u32> = None;
+    for fault in faults {
+        match fault {
+            FaultKind::Stall { millis } => std::thread::sleep(Duration::from_millis(*millis)),
+            FaultKind::CorruptInput { seed } => corrupt(input.to_mut(), *seed),
+            FaultKind::TransientError { failures } => transient = Some(*failures),
+            // Panic is raised inside the isolation boundary below;
+            // engine- and cycle-model-level faults have no hook here.
+            _ => {}
+        }
+    }
+    let inject_panic = faults.iter().any(|f| matches!(f, FaultKind::Panic));
+    let budget = match deadline {
+        Some(d) => Budget::with_deadline(d),
+        None => Budget::unlimited(),
+    };
+
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if inject_panic {
+            panic!("injected panic (stream {stream_idx}, shard {shard})");
+        }
+        if let Some(failures) = transient {
+            if failures > 0 {
+                // The scheduler runs each shard exactly once — a
+                // transient fault therefore surfaces as a hard failure.
+                return Err(format!(
+                    "injected transient fault ({failures} failures requested)"
+                ));
+            }
+        }
+        let view = InputView::new(&input, sharded.symbol_bits(), sharded.stride())
+            .map_err(|e| format!("input framing: {e}"))?;
+        Ok(sharded.run_shard(shard, &view, &budget))
+    }));
+
+    let elapsed = start.elapsed();
+    let outcome = match result {
+        Ok(Ok((events, RunOutcome::Completed))) => JobOutcome::Ok(events),
+        Ok(Ok((_, RunOutcome::Interrupted { .. }))) => JobOutcome::TimedOut { elapsed },
+        Ok(Err(error)) => JobOutcome::Failed { error },
+        Err(payload) => {
+            let message = panic_message(payload.as_ref());
+            sunder_telemetry::counter_add("scheduler_shard_panics_total", &[], 1);
+            JobOutcome::Panicked { message }
+        }
+    };
+    ShardRun {
+        shard,
+        outcome,
+        elapsed,
+    }
+}
+
+/// Runs one whole stream: every shard isolated, then the merge.
+fn run_stream(
+    pipeline: &CompiledPipeline,
+    stream_idx: usize,
+    bytes: &[u8],
+    opts: &BatchOptions,
+    worker: usize,
+    stolen: bool,
+) -> StreamResult {
+    let start = Instant::now();
+    let num_shards = pipeline.num_shards();
+    let mut shard_runs = Vec::with_capacity(num_shards);
+    for shard in 0..num_shards {
+        let flat = stream_idx * num_shards + shard;
+        let faults: Vec<FaultKind> = opts.plan.faults_for(flat).cloned().collect();
+        shard_runs.push(run_shard_isolated(
+            &pipeline.sharded,
+            shard,
+            stream_idx,
+            bytes,
+            &faults,
+            opts.deadline,
+        ));
+    }
+    let merged = if shard_runs.iter().all(|r| r.outcome.value().is_some()) {
+        let traces: Vec<Vec<ReportEvent>> = shard_runs
+            .iter()
+            .map(|r| r.outcome.value().cloned().unwrap_or_default())
+            .collect();
+        Some(ShardedEngine::merge(traces))
+    } else {
+        None
+    };
+    StreamResult {
+        stream: stream_idx,
+        worker,
+        stolen,
+        shard_runs,
+        merged,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Runs `streams` against `pipeline` across `opts.workers` work-stealing
+/// worker threads. Results come back indexed by stream, so the report is
+/// deterministic for any worker count (modulo the `worker`/`stolen`
+/// bookkeeping fields, which record the actual schedule).
+pub fn run_batch(
+    pipeline: &CompiledPipeline,
+    streams: &[Vec<u8>],
+    opts: &BatchOptions,
+) -> BatchReport {
+    let started = Instant::now();
+    let workers = opts.workers.max(1).min(streams.len().max(1));
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| {
+            // Round-robin deal: stream i goes to worker i mod M.
+            Mutex::new((w..streams.len()).step_by(workers).collect())
+        })
+        .collect();
+    let steals = AtomicU64::new(0);
+    let results: Vec<Mutex<Option<StreamResult>>> =
+        streams.iter().map(|_| Mutex::new(None)).collect();
+
+    let run_worker = |w: usize| {
+        let labels_value = w.to_string();
+        let labels: [(&'static str, &str); 1] = [("worker", labels_value.as_str())];
+        loop {
+            // Own queue first (front), then steal (back).
+            let mut claimed: Option<(usize, bool)> = None;
+            {
+                let mut own = queues[w].lock().unwrap();
+                if let Some(s) = own.pop_front() {
+                    claimed = Some((s, false));
+                }
+                sunder_telemetry::gauge_set("scheduler_queue_depth", &labels, own.len() as f64);
+            }
+            if claimed.is_none() {
+                for step in 1..workers {
+                    let victim = (w + step) % workers;
+                    if let Some(s) = queues[victim].lock().unwrap().pop_back() {
+                        steals.fetch_add(1, Ordering::Relaxed);
+                        sunder_telemetry::counter_add("scheduler_steals_total", &labels, 1);
+                        claimed = Some((s, true));
+                        break;
+                    }
+                }
+            }
+            let Some((stream_idx, stolen)) = claimed else {
+                break;
+            };
+            let result = run_stream(pipeline, stream_idx, &streams[stream_idx], opts, w, stolen);
+            *results[stream_idx].lock().unwrap() = Some(result);
+        }
+    };
+
+    if workers <= 1 {
+        run_worker(0);
+    } else {
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                scope.spawn(move || run_worker(w));
+            }
+        });
+    }
+
+    let streams_out: Vec<StreamResult> = results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every queued stream must have been executed")
+        })
+        .collect();
+    BatchReport {
+        streams: streams_out,
+        workers,
+        shards: pipeline.num_shards(),
+        steals: steals.load(Ordering::Relaxed),
+        wall: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{CompiledPipeline, ShardSpec};
+    use sunder_automata::regex::compile_rule_set;
+    use sunder_oracle::PipelineConfig;
+    use sunder_resilience::Fault;
+    use sunder_sim::EngineKind;
+
+    fn pipeline(config: PipelineConfig, shards: usize) -> CompiledPipeline {
+        let nfa = compile_rule_set(&["ab+c", ".*net", "[0-9]{3}", "xy"]).unwrap();
+        CompiledPipeline::compile(
+            &nfa,
+            config,
+            ShardSpec::MaxShards(shards),
+            EngineKind::Adaptive,
+        )
+        .unwrap()
+    }
+
+    fn streams(n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| format!("s{i} ab{}c 123net xy {i}", "b".repeat(i % 5)).into_bytes())
+            .collect()
+    }
+
+    #[test]
+    fn batch_results_are_schedule_independent() {
+        let p = pipeline(PipelineConfig::Identity, 3);
+        let inputs = streams(9);
+        let one = run_batch(&p, &inputs, &BatchOptions::with_workers(1));
+        let four = run_batch(&p, &inputs, &BatchOptions::with_workers(4));
+        assert_eq!(one.ok_count(), 9);
+        assert_eq!(four.ok_count(), 9);
+        for (a, b) in one.streams.iter().zip(&four.streams) {
+            assert_eq!(a.stream, b.stream);
+            assert_eq!(a.merged, b.merged, "stream {}", a.stream);
+        }
+    }
+
+    #[test]
+    fn merged_matches_monolithic_per_stream() {
+        use sunder_automata::input::InputView;
+        use sunder_sim::TraceSink;
+        let p = pipeline(PipelineConfig::Stride2, 4);
+        let inputs = streams(4);
+        let report = run_batch(&p, &inputs, &BatchOptions::with_workers(2));
+        for s in &report.streams {
+            let view =
+                InputView::new(&inputs[s.stream], p.nfa.symbol_bits(), p.nfa.stride()).unwrap();
+            let mut engine = EngineKind::Adaptive.build(&p.nfa);
+            let mut trace = TraceSink::new();
+            engine.run(&view, &mut trace);
+            assert_eq!(
+                s.merged.as_ref().unwrap(),
+                &trace.events,
+                "stream {}",
+                s.stream
+            );
+        }
+    }
+
+    #[test]
+    fn panicking_shard_is_attributed_and_isolated() {
+        let p = pipeline(PipelineConfig::Identity, 4);
+        let shards = p.num_shards();
+        assert!(shards >= 2);
+        let inputs = streams(6);
+        // Stream 2, shard 1 panics; everything else must be clean.
+        let victim_flat = 2 * shards + 1;
+        let opts = BatchOptions {
+            workers: 3,
+            plan: FaultPlan::new(
+                7,
+                vec![Fault {
+                    item: victim_flat,
+                    kind: FaultKind::Panic,
+                }],
+            ),
+            deadline: None,
+        };
+        let clean = run_batch(&p, &inputs, &BatchOptions::with_workers(3));
+        let faulty = run_batch(&p, &inputs, &opts);
+        let victim = &faulty.streams[2];
+        assert!(!victim.ok());
+        assert_eq!(victim.failed_shards(), vec![(1, "panicked")]);
+        match &victim.shard_runs[1].outcome {
+            JobOutcome::Panicked { message } => {
+                assert!(message.contains("stream 2, shard 1"), "{message}");
+            }
+            other => panic!("expected panic, got {}", other.status()),
+        }
+        for (c, f) in clean.streams.iter().zip(&faulty.streams) {
+            if f.stream != 2 {
+                assert_eq!(c.merged, f.merged, "surviving stream {}", f.stream);
+            }
+        }
+    }
+
+    #[test]
+    fn stall_and_transient_faults_are_observable() {
+        let p = pipeline(PipelineConfig::Identity, 2);
+        let inputs = streams(2);
+        let shards = p.num_shards();
+        let opts = BatchOptions {
+            workers: 1,
+            plan: FaultPlan::new(
+                1,
+                vec![
+                    Fault {
+                        item: 0, // stream 0, shard 0
+                        kind: FaultKind::TransientError { failures: 2 },
+                    },
+                    Fault {
+                        item: shards, // stream 1, shard 0
+                        kind: FaultKind::Stall { millis: 5 },
+                    },
+                ],
+            ),
+            deadline: None,
+        };
+        let report = run_batch(&p, &inputs, &opts);
+        assert_eq!(report.streams[0].failed_shards(), vec![(0, "failed")]);
+        assert!(report.streams[1].ok());
+        assert!(report.streams[1].shard_runs[0].elapsed >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn single_worker_never_steals_and_empty_batch_is_fine() {
+        let p = pipeline(PipelineConfig::Identity, 2);
+        let report = run_batch(&p, &streams(5), &BatchOptions::with_workers(1));
+        assert_eq!(report.steals, 0);
+        assert_eq!(report.workers, 1);
+        let empty = run_batch(&p, &[], &BatchOptions::with_workers(4));
+        assert!(empty.streams.is_empty());
+    }
+}

@@ -1,0 +1,131 @@
+//! Concurrency stress for the work-stealing stream scheduler: a seeded
+//! 64-stream × 8-worker batch with a fault plan panicking exactly one
+//! shard of one stream. The panic must be attributed to that shard in
+//! its `JobOutcome`, and every surviving stream's merged trace must be
+//! byte-identical to a clean run of the same batch.
+
+use sunder_automata::regex::compile_rule_set;
+use sunder_oracle::PipelineConfig;
+use sunder_resilience::{Fault, FaultKind, FaultPlan, JobOutcome};
+use sunder_shard::{run_batch, BatchOptions, CompiledPipeline, ShardSpec};
+use sunder_sim::EngineKind;
+
+const STREAMS: usize = 64;
+const WORKERS: usize = 8;
+const VICTIM_STREAM: usize = 17;
+
+fn pipeline() -> CompiledPipeline {
+    // Six independent rule components so the partitioner has real
+    // packing work and the victim shard holds only part of the automaton.
+    let nfa = compile_rule_set(&[
+        "ab+c",
+        ".*net",
+        "[0-9]{3}",
+        "xy+z",
+        "GET /[a-z]+",
+        "err(or)?",
+    ])
+    .unwrap();
+    CompiledPipeline::compile(
+        &nfa,
+        PipelineConfig::Nibble,
+        ShardSpec::MaxShards(4),
+        EngineKind::Adaptive,
+    )
+    .unwrap()
+}
+
+fn streams() -> Vec<Vec<u8>> {
+    (0..STREAMS)
+        .map(|i| {
+            format!(
+                "s{i}: GET /index abbbc {i:03} xyyyz error 555net {}",
+                "ab".repeat(i % 7)
+            )
+            .into_bytes()
+        })
+        .collect()
+}
+
+#[test]
+fn panicking_shard_is_attributed_and_survivors_match_clean_run() {
+    let p = pipeline();
+    let shards = p.num_shards();
+    assert!(shards >= 2, "need a multi-shard plan, got {shards}");
+    let victim_shard = 1;
+    let inputs = streams();
+
+    let clean = run_batch(&p, &inputs, &BatchOptions::with_workers(WORKERS));
+    assert_eq!(clean.ok_count(), STREAMS, "clean run must fully complete");
+
+    let faulty_opts = BatchOptions {
+        workers: WORKERS,
+        plan: FaultPlan::new(
+            0xC0FFEE,
+            vec![Fault {
+                item: VICTIM_STREAM * shards + victim_shard,
+                kind: FaultKind::Panic,
+            }],
+        ),
+        deadline: None,
+    };
+    let faulty = run_batch(&p, &inputs, &faulty_opts);
+
+    // Exactly one stream lost, with the panic attributed to the right
+    // shard and carrying the scheduler's (stream, shard) context.
+    assert_eq!(faulty.ok_count(), STREAMS - 1);
+    let victim = &faulty.streams[VICTIM_STREAM];
+    assert!(!victim.ok(), "victim stream must not produce a merge");
+    assert_eq!(victim.failed_shards(), vec![(victim_shard, "panicked")]);
+    match &victim.shard_runs[victim_shard].outcome {
+        JobOutcome::Panicked { message } => {
+            assert!(
+                message.contains(&format!("stream {VICTIM_STREAM}, shard {victim_shard}")),
+                "panic message must attribute the fault site: {message}"
+            );
+        }
+        other => panic!("expected Panicked, got {}", other.status()),
+    }
+    // The victim's other shards still completed under isolation.
+    for run in &victim.shard_runs {
+        if run.shard != victim_shard {
+            assert!(
+                run.outcome.value().is_some(),
+                "shard {} of the victim stream must survive the panic",
+                run.shard
+            );
+        }
+    }
+
+    // Byte-identical survivors: the panic must not perturb any other
+    // stream, regardless of how the steal schedule shifted around it.
+    for (c, f) in clean.streams.iter().zip(&faulty.streams) {
+        assert_eq!(c.stream, f.stream);
+        if f.stream != VICTIM_STREAM {
+            assert_eq!(
+                c.merged, f.merged,
+                "surviving stream {} diverged from the clean run",
+                f.stream
+            );
+        }
+    }
+}
+
+#[test]
+fn results_are_schedule_independent_across_worker_counts() {
+    let p = pipeline();
+    let inputs = streams();
+    let sequential = run_batch(&p, &inputs, &BatchOptions::with_workers(1));
+    assert_eq!(sequential.steals, 0, "a single worker has nobody to rob");
+    for workers in [2, 4, 8] {
+        let parallel = run_batch(&p, &inputs, &BatchOptions::with_workers(workers));
+        assert_eq!(parallel.ok_count(), STREAMS);
+        for (a, b) in sequential.streams.iter().zip(&parallel.streams) {
+            assert_eq!(
+                a.merged, b.merged,
+                "stream {} differs between 1 and {workers} workers",
+                a.stream
+            );
+        }
+    }
+}

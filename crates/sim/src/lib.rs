@@ -39,6 +39,7 @@ pub mod engine;
 pub mod exec;
 pub mod histogram;
 pub mod profile;
+pub mod sharded;
 pub mod sink;
 pub mod stats;
 
@@ -48,6 +49,7 @@ pub use engine::{run_trace, Simulator};
 pub use exec::{Engine, EngineKind};
 pub use histogram::BurstHistogramSink;
 pub use profile::{hybrid_split, ActivationProfileSink, HybridSplit};
+pub use sharded::ShardedEngine;
 pub use sink::{BoundedTraceSink, CountSink, NullSink, ReportEvent, ReportSink, TraceSink};
 pub use stats::{DynamicStats, DynamicStatsSink};
 // Budget types are re-exported so engine callers need not depend on

@@ -1,0 +1,313 @@
+//! Sharded execution: run a partitioned automaton shard by shard and
+//! merge the report traces back into the monolithic order.
+//!
+//! The hardware scales by placing connected components across subarrays
+//! that all observe the same symbol stream; reports are tagged with the
+//! originating STE, so the aggregate report stream is independent of the
+//! placement. [`ShardedEngine`] is the software analogue: each shard of a
+//! [`ShardPlan`] (whole connected components — see
+//! `sunder_automata::partition`) executes on its own engine over the same
+//! input, shard-local report events are remapped to original state ids,
+//! and [`ShardedEngine::merge`] restores the exact per-cycle,
+//! ascending-state-order delivery the monolithic engines guarantee.
+//!
+//! The equivalence is structural, not approximate: states in different
+//! weakly-connected components can never influence each other, so the
+//! union of shard frontiers equals the monolithic frontier at every
+//! cycle, and the merged trace is byte-identical to a monolithic run.
+//! The conformance oracle locks this down (`sunder-oracle`'s sharded
+//! checks and the `sunder-shard` property tests).
+
+use sunder_automata::input::InputView;
+use sunder_automata::partition::{partition, partition_into, PartitionOptions, ShardPlan};
+use sunder_automata::{AutomataError, Nfa};
+use sunder_resilience::{Budget, RunOutcome};
+
+use crate::exec::EngineKind;
+use crate::sink::{ReportEvent, ReportSink, TraceSink};
+
+/// Executes a [`ShardPlan`] and merges per-shard report traces into a
+/// position-stable aggregate identical to monolithic execution.
+#[derive(Debug, Clone)]
+pub struct ShardedEngine {
+    plan: ShardPlan,
+    kind: EngineKind,
+    symbol_bits: u8,
+    stride: usize,
+}
+
+impl ShardedEngine {
+    /// Partitions `nfa` under `opts` and prepares sharded execution with
+    /// engine `kind` per shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioning failures ([`AutomataError::Capacity`]).
+    pub fn new(
+        nfa: &Nfa,
+        opts: &PartitionOptions,
+        kind: EngineKind,
+    ) -> Result<ShardedEngine, AutomataError> {
+        Ok(ShardedEngine::from_plan(nfa, partition(nfa, opts)?, kind))
+    }
+
+    /// Partitions `nfa` into at most `max_shards` balanced shards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioning failures (zero shards for a non-empty
+    /// automaton).
+    pub fn with_shard_count(
+        nfa: &Nfa,
+        max_shards: usize,
+        kind: EngineKind,
+    ) -> Result<ShardedEngine, AutomataError> {
+        Ok(ShardedEngine::from_plan(
+            nfa,
+            partition_into(nfa, max_shards)?,
+            kind,
+        ))
+    }
+
+    /// Wraps an existing plan for `nfa` (the plan must have been built
+    /// from this automaton; only its width and stride are read here).
+    pub fn from_plan(nfa: &Nfa, plan: ShardPlan, kind: EngineKind) -> ShardedEngine {
+        ShardedEngine {
+            plan,
+            kind,
+            symbol_bits: nfa.symbol_bits(),
+            stride: nfa.stride(),
+        }
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.plan.num_shards()
+    }
+
+    /// The per-shard engine kind.
+    pub fn kind(&self) -> EngineKind {
+        self.kind
+    }
+
+    /// Stride of the automaton (and so of every shard).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Symbol width of the automaton.
+    pub fn symbol_bits(&self) -> u8 {
+        self.symbol_bits
+    }
+
+    /// Runs one shard over the whole input under `budget`, returning its
+    /// report events **remapped to original state ids** plus the run
+    /// outcome. Shards are independent, so callers may fan these out
+    /// across threads and [`ShardedEngine::merge`] the results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range or the view's stride mismatches.
+    pub fn run_shard(
+        &self,
+        shard: usize,
+        input: &InputView,
+        budget: &Budget,
+    ) -> (Vec<ReportEvent>, RunOutcome) {
+        let s = &self.plan.shards[shard];
+        let mut engine = self.kind.build(&s.nfa);
+        let mut trace = TraceSink::new();
+        let outcome = engine.run_budgeted(input, &mut trace, budget);
+        if sunder_telemetry::enabled() {
+            let label = shard.to_string();
+            sunder_telemetry::counter_add(
+                "shard_symbols_total",
+                &[("shard", label.as_str())],
+                input.num_symbols() as u64,
+            );
+        }
+        let mut events = trace.events;
+        for e in &mut events {
+            e.state = s.to_original(e.state);
+        }
+        (events, outcome)
+    }
+
+    /// Merges per-shard traces (in original state ids) into the
+    /// monolithic delivery order: ascending cycle, then ascending state.
+    ///
+    /// The sort is stable, so multiple reports from one state keep the
+    /// order its shard produced them in — exactly what a monolithic
+    /// engine does, since every state lives in exactly one shard.
+    pub fn merge(traces: Vec<Vec<ReportEvent>>) -> Vec<ReportEvent> {
+        let mut all: Vec<ReportEvent> = traces.into_iter().flatten().collect();
+        all.sort_by_key(|e| (e.cycle, e.state.index()));
+        all
+    }
+
+    /// Runs every shard over `input` and streams the merged trace into
+    /// `sink`, batched per cycle like a monolithic engine.
+    ///
+    /// Per-cycle activity callbacks are **not** forwarded: activity is a
+    /// per-engine execution detail, while the report stream is the
+    /// observable the equivalence suite locks down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view's stride does not match the automaton's.
+    pub fn run(&self, input: &InputView, sink: &mut dyn ReportSink) {
+        let _ = self.run_budgeted(input, sink, &Budget::unlimited());
+    }
+
+    /// [`ShardedEngine::run`] under a cooperative budget. Shards execute
+    /// sequentially; the first interrupted shard aborts the run and
+    /// nothing is delivered to `sink` (a partially-sharded trace would
+    /// be silently missing whole components, which is worse than
+    /// nothing).
+    pub fn run_budgeted(
+        &self,
+        input: &InputView,
+        sink: &mut dyn ReportSink,
+        budget: &Budget,
+    ) -> RunOutcome {
+        assert_eq!(
+            input.stride(),
+            self.stride,
+            "input view stride must match the automaton stride"
+        );
+        let mut traces = Vec::with_capacity(self.num_shards());
+        for shard in 0..self.num_shards() {
+            let (events, outcome) = self.run_shard(shard, input, budget);
+            if let RunOutcome::Interrupted { .. } = outcome {
+                return outcome;
+            }
+            traces.push(events);
+        }
+        deliver(Self::merge(traces), sink);
+        RunOutcome::Completed
+    }
+
+    /// Convenience: frames `input` for this automaton, runs all shards,
+    /// and returns the merged trace (original state ids).
+    ///
+    /// # Errors
+    ///
+    /// Returns input framing errors.
+    pub fn run_trace(&self, input: &[u8]) -> Result<Vec<ReportEvent>, AutomataError> {
+        let view = InputView::new(input, self.symbol_bits, self.stride)?;
+        let mut sink = TraceSink::new();
+        self.run(&view, &mut sink);
+        Ok(sink.events)
+    }
+}
+
+/// Streams a merged trace into a sink, one batch per report cycle.
+fn deliver(merged: Vec<ReportEvent>, sink: &mut dyn ReportSink) {
+    let mut rest = merged.as_slice();
+    while let Some(first) = rest.first() {
+        let n = rest.partition_point(|e| e.cycle == first.cycle);
+        sink.on_cycle_reports(first.cycle, &rest[..n]);
+        rest = &rest[n..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::CountSink;
+    use crate::Simulator;
+    use sunder_automata::regex::compile_rule_set;
+    use sunder_resilience::{CancelToken, StopReason};
+
+    fn monolithic(nfa: &Nfa, input: &[u8]) -> Vec<ReportEvent> {
+        let view = InputView::new(input, nfa.symbol_bits(), nfa.stride()).unwrap();
+        let mut sim = Simulator::new(nfa);
+        let mut trace = TraceSink::new();
+        sim.run(&view, &mut trace);
+        trace.events
+    }
+
+    fn rules() -> Nfa {
+        compile_rule_set(&["ab+c", ".*net", "[0-9]{3}", "xy", "q"]).unwrap()
+    }
+
+    #[test]
+    fn merged_trace_is_byte_identical_to_monolithic() {
+        let nfa = rules();
+        let input = b"zab-bc 192net abbbc 007xyq".as_slice();
+        let expected = monolithic(&nfa, input);
+        assert!(!expected.is_empty());
+        for k in 1..=8 {
+            let engine = ShardedEngine::with_shard_count(&nfa, k, EngineKind::Adaptive).unwrap();
+            assert_eq!(engine.run_trace(input).unwrap(), expected, "shards={k}");
+        }
+    }
+
+    #[test]
+    fn sink_sees_per_cycle_batches() {
+        let nfa = rules();
+        let input = b"xyxy 123net".as_slice();
+        let engine = ShardedEngine::with_shard_count(&nfa, 3, EngineKind::Sparse).unwrap();
+        let view = InputView::new(input, 8, 1).unwrap();
+        let mut count = CountSink::new();
+        engine.run(&view, &mut count);
+
+        let mut mono = CountSink::new();
+        let mut sim = Simulator::new(&nfa);
+        sim.run(&view, &mut mono);
+        assert_eq!(count.reports, mono.reports);
+        assert_eq!(count.report_cycles, mono.report_cycles);
+        assert_eq!(count.max_reports_per_cycle, mono.max_reports_per_cycle);
+    }
+
+    #[test]
+    fn empty_automaton_runs_to_completion() {
+        let nfa = Nfa::new(8);
+        let engine =
+            ShardedEngine::new(&nfa, &PartitionOptions::default(), EngineKind::Dense).unwrap();
+        assert_eq!(engine.num_shards(), 0);
+        assert_eq!(engine.run_trace(b"anything").unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn cancelled_budget_interrupts_without_partial_delivery() {
+        let nfa = rules();
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = Budget::with_cancel(token).check_every(1);
+        let engine = ShardedEngine::with_shard_count(&nfa, 2, EngineKind::Sparse).unwrap();
+        let view = InputView::new(&[b'x'; 64], 8, 1).unwrap();
+        let mut trace = TraceSink::new();
+        let outcome = engine.run_budgeted(&view, &mut trace, &budget);
+        match outcome {
+            RunOutcome::Interrupted { reason, .. } => {
+                assert_eq!(reason, StopReason::Cancelled)
+            }
+            RunOutcome::Completed => panic!("cancelled run completed"),
+        }
+        assert!(trace.events.is_empty(), "no partial trace delivered");
+    }
+
+    #[test]
+    fn merge_restores_monolithic_order() {
+        use sunder_automata::{ReportInfo, StateId};
+        let ev = |cycle: u64, state: u32, id: u32| ReportEvent {
+            cycle,
+            state: StateId(state),
+            info: ReportInfo::new(id),
+        };
+        let merged = ShardedEngine::merge(vec![
+            vec![ev(0, 5, 1), ev(2, 5, 2)],
+            vec![ev(0, 1, 3), ev(1, 9, 4)],
+        ]);
+        assert_eq!(
+            merged,
+            vec![ev(0, 1, 3), ev(0, 5, 1), ev(1, 9, 4), ev(2, 5, 2)]
+        );
+    }
+}

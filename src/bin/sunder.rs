@@ -7,6 +7,7 @@
 //! sunder stats   --rules rules.txt
 //! sunder bench   --benchmark Snort [--small]
 //! sunder telemetry-report --input trace.jsonl [--validate] [--chrome out.json]
+//! sunder serve-batch --rules rules.txt --inputs a.bin,b.bin [--shards 4] [--workers 2]
 //! ```
 //!
 //! Rules files contain one regex per line (`#` comments allowed); compiled
@@ -28,6 +29,7 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("telemetry-report") => cmd_telemetry_report(&args[1..]),
+        Some("serve-batch") => cmd_serve_batch(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -49,7 +51,10 @@ const USAGE: &str = "usage:
                  [--rate 4|8|16] [--fifo] [--summarize] [--trace]
   sunder stats   --rules <file>
   sunder bench   --benchmark <name> [--small]
-  sunder telemetry-report --input <trace.jsonl> [--validate] [--chrome <out.json>]";
+  sunder telemetry-report --input <trace.jsonl> [--validate] [--chrome <out.json>]
+  sunder serve-batch (--rules <file> | --program <file.saml>) --inputs <f1,f2,...>
+                 [--shards <n>] [--workers <n>] [--config identity|nibble|stride2|stride4]
+                 [--engine sparse|dense|adaptive] [--verify]";
 
 /// Minimal flag parser: `--key value` pairs plus boolean flags.
 struct Flags<'a> {
@@ -227,6 +232,125 @@ fn cmd_telemetry_report(args: &[String]) -> Result<(), String> {
     if !flags.flag("--validate") && flags.value("--chrome").is_none() {
         let report = sunder::telemetry::Report::from_jsonl(&text)?;
         print!("{}", report.render_text());
+    }
+    Ok(())
+}
+
+/// Batches many independent input streams against one rule set through
+/// the sharded execution service: the automaton is partitioned into
+/// connected-component shards, streams fan out across work-stealing
+/// workers, and per-shard failures are attributed without aborting the
+/// batch. `--verify` additionally holds every stream's merged trace
+/// against a monolithic run (the sharding equivalence gate).
+fn cmd_serve_batch(args: &[String]) -> Result<(), String> {
+    use sunder::oracle::PipelineConfig;
+    use sunder::shard::{verify_stream, BatchOptions, BatchService, ShardSpec};
+    use sunder::sim::EngineKind;
+
+    let flags = Flags { args };
+    let nfa = if let Some(path) = flags.value("--program") {
+        let text = fs::read_to_string(path).map_err(|e| format!("read program {path}: {e}"))?;
+        anml::parse(&text).map_err(|e| e.to_string())?
+    } else {
+        let rules = read_rules(flags.required("--rules")?)?;
+        sunder::automata::regex::compile_rule_set(&rules).map_err(|e| e.to_string())?
+    };
+
+    let inputs_arg = flags.required("--inputs")?;
+    let paths: Vec<&str> = inputs_arg
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if paths.is_empty() {
+        return Err("--inputs requires at least one file".to_string());
+    }
+    let mut streams = Vec::with_capacity(paths.len());
+    for path in &paths {
+        streams.push(fs::read(path).map_err(|e| format!("read input {path}: {e}"))?);
+    }
+
+    let shards: usize = match flags.value("--shards") {
+        Some(v) => v
+            .parse()
+            .map_err(|e| format!("invalid --shards {v:?}: {e}"))?,
+        None => 4,
+    };
+    let workers: usize = match flags.value("--workers") {
+        Some(v) => v
+            .parse()
+            .map_err(|e| format!("invalid --workers {v:?}: {e}"))?,
+        None => std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+    };
+    let config = match flags.value("--config") {
+        None => PipelineConfig::Identity,
+        Some(name) => PipelineConfig::ALL
+            .into_iter()
+            .find(|c| c.name().eq_ignore_ascii_case(name))
+            .ok_or_else(|| {
+                format!("unknown config {name:?} (use identity, nibble, stride2, or stride4)")
+            })?,
+    };
+    let engine = match flags.value("--engine") {
+        None => EngineKind::Adaptive,
+        Some(name) => EngineKind::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(name))
+            .ok_or_else(|| format!("unknown engine {name:?} (use sparse, dense, or adaptive)"))?,
+    };
+
+    let service = BatchService::new(ShardSpec::MaxShards(shards), engine);
+    let report = service
+        .submit(&nfa, config, &streams, &BatchOptions::with_workers(workers))
+        .map_err(|e| e.to_string())?;
+    let pipeline = service
+        .cache()
+        .get_or_compile(&nfa, config)
+        .map_err(|e| e.to_string())?;
+
+    let mut failures = 0usize;
+    for s in &report.streams {
+        let path = paths[s.stream];
+        match &s.merged {
+            Some(events) => {
+                let verified = if flags.flag("--verify") {
+                    match verify_stream(&pipeline, s, &streams[s.stream]) {
+                        Ok(true) => "\tverified",
+                        Ok(false) => {
+                            failures += 1;
+                            "\tTRACE MISMATCH"
+                        }
+                        Err(e) => return Err(format!("verify {path}: {e}")),
+                    }
+                } else {
+                    ""
+                };
+                println!("{path}\tok\treports: {}{verified}", events.len());
+            }
+            None => {
+                failures += 1;
+                let detail: Vec<String> = s
+                    .failed_shards()
+                    .iter()
+                    .map(|(shard, status)| format!("shard {shard} {status}"))
+                    .collect();
+                println!("{path}\tFAILED\t{}", detail.join(", "));
+            }
+        }
+    }
+    eprintln!(
+        "batch: {} streams over {} shards x {} workers ({} pipeline, {} engine); \
+         {} steals, {:.1} ms",
+        report.streams.len(),
+        report.shards,
+        report.workers,
+        config.name(),
+        engine.name(),
+        report.steals,
+        report.wall.as_secs_f64() * 1e3,
+    );
+    if failures > 0 {
+        return Err(format!("{failures} stream(s) failed"));
     }
     Ok(())
 }

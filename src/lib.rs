@@ -19,7 +19,10 @@
 //! * [`core`] — the end-to-end [`Engine`] most users want;
 //! * [`oracle`] — the cross-layer conformance oracle: a reference
 //!   executor independent of the simulator, pipeline equivalence
-//!   checking, and the structured fuzzer behind the `conformance` binary.
+//!   checking, and the structured fuzzer behind the `conformance` binary;
+//! * [`shard`] — the sharded multi-stream execution service: automaton
+//!   partitioning into per-subarray shards, a work-stealing stream
+//!   scheduler, and a content-addressed compiled-pipeline cache.
 //!
 //! ```
 //! use sunder::Engine;
@@ -41,6 +44,7 @@ pub use sunder_baselines as baselines;
 pub use sunder_core as core;
 pub use sunder_llc as llc;
 pub use sunder_oracle as oracle;
+pub use sunder_shard as shard;
 pub use sunder_sim as sim;
 pub use sunder_tech as tech;
 pub use sunder_telemetry as telemetry;
