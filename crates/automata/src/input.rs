@@ -226,6 +226,18 @@ pub struct VectorRefs<'a> {
     pos: usize,
 }
 
+impl VectorRefs<'_> {
+    /// Skips the next `cycles` vectors without yielding them. Used by the
+    /// engines' prefilter to jump over cycles proven to produce an empty
+    /// frontier. Skipping past the end is allowed and simply exhausts the
+    /// iterator.
+    pub fn advance_cycles(&mut self, cycles: usize) {
+        self.pos = self
+            .pos
+            .saturating_add(cycles.saturating_mul(self.view.stride));
+    }
+}
+
 impl<'a> Iterator for VectorRefs<'a> {
     type Item = VectorRef<'a>;
 
@@ -343,6 +355,17 @@ mod tests {
                 assert_eq!(o.valid, b.valid);
             }
         }
+    }
+
+    #[test]
+    fn advance_cycles_skips_whole_vectors() {
+        let v = InputView::new(&[1, 2, 3, 4, 5, 6, 7], 8, 2).unwrap();
+        let mut it = v.iter_ref();
+        it.advance_cycles(2);
+        let next = it.next().unwrap();
+        assert_eq!(next.symbols, &[5, 6]);
+        it.advance_cycles(100);
+        assert!(it.next().is_none(), "skipping past the end exhausts");
     }
 
     #[test]

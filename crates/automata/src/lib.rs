@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 
 pub mod anml;
+pub mod classes;
 pub mod classic;
 pub mod dfa;
 pub mod error;
@@ -49,6 +50,7 @@ pub mod regex;
 pub mod stats;
 pub mod symbol;
 
+pub use classes::ByteClasses;
 pub use classic::ClassicNfa;
 pub use dfa::{Dfa, DfaBlowup};
 pub use error::AutomataError;

@@ -6,17 +6,22 @@
 //!
 //! Usage: `cargo run -p sunder-bench --release --bin throughput --
 //! [--small | --paper] [--streams N] [--shards A,B,...]
-//! [--sweep-workers A,B,...] [--config NAME] [--runs N] [--out PATH]
-//! [--only NAMES | --only~=SUB] [--telemetry PATH] [--quiet]`
+//! [--sweep-workers A,B,...] [--config NAME] [--wall-floor X|off]
+//! [--runs N] [--out PATH] [--only NAMES | --only~=SUB]
+//! [--telemetry PATH] [--quiet]`
 //!
 //! Defaults: small scale, 8 streams, shards 1,4,8, workers 1,2,4,8,
-//! nibble pipeline, adaptive engine. The headline `mbps_modeled` figures
-//! come from measured per-stream costs list-scheduled over W workers
-//! (see `bench::throughput` docs — the CI container is single-core);
-//! `mbps_wall` sits next to them for multi-core hosts.
+//! nibble pipeline, adaptive engine, wall floor 0.85.
 //!
-//! Exit codes: 0 all gates passed, 1 a trace-equality gate failed,
-//! 2 usage or I/O error.
+//! The gated metric is `mbps_wall`: per benchmark, the observed
+//! wall-clock speedup of the widest point (max workers) over the
+//! 1-worker point must be at least the floor. On single-core hosts this
+//! defends against scheduling-overhead regressions; `--wall-floor off`
+//! disables the gate. `mbps_modeled` (measured per-stream costs
+//! list-scheduled over W workers) is reported for reference only.
+//!
+//! Exit codes: 0 all gates passed, 1 a trace-equality or wall-clock
+//! gate failed, 2 usage or I/O error.
 
 use std::process::ExitCode;
 
@@ -58,9 +63,10 @@ fn run() -> Result<u8, BenchError> {
     let args = BenchArgs::from_env()?;
     if args.print_help(
         "throughput",
-        "Sharded multi-stream throughput sweep with a trace-equality gate.\n\
-         Extra flags: --streams N, --shards A,B,..., --sweep-workers A,B,...,\n\
-         --config identity|nibble|stride2|stride4.",
+        "Sharded multi-stream throughput sweep gated on trace equality and\n\
+         wall-clock speedup. Extra flags: --streams N, --shards A,B,...,\n\
+         --sweep-workers A,B,..., --config identity|nibble|stride2|stride4,\n\
+         --wall-floor X|off (default 0.85).",
     ) {
         return Ok(0);
     }
@@ -72,6 +78,7 @@ fn run() -> Result<u8, BenchError> {
         scale_name: scale_name.to_string(),
         runs: args.runs.unwrap_or(1),
         only: args.only.clone(),
+        wall_floor: Some(0.85),
         ..ThroughputOptions::default()
     };
     let mut rest = args.rest.iter();
@@ -94,6 +101,17 @@ fn run() -> Result<u8, BenchError> {
                     parse_usize_list(&value("--sweep-workers")?, "--sweep-workers")?;
             }
             "--config" => opts.config = parse_config(&value("--config")?)?,
+            "--wall-floor" => {
+                let v = value("--wall-floor")?;
+                opts.wall_floor = if v.eq_ignore_ascii_case("off") {
+                    None
+                } else {
+                    Some(
+                        v.parse()
+                            .with_context(|| format!("invalid --wall-floor value {v:?}"))?,
+                    )
+                };
+            }
             other => {
                 return Err(BenchError::msg(format!(
                     "unknown argument {other:?} (see --help)"
@@ -116,6 +134,13 @@ fn run() -> Result<u8, BenchError> {
 
     if !report.all_traces_equal() {
         eprintln!("ERROR: a sharded run diverged from its monolithic trace");
+    }
+    if !report.wall_gate_ok() {
+        eprintln!(
+            "ERROR: wall-clock speedup {:?} fell below the floor {:?}",
+            report.min_speedup_wall(),
+            report.wall_floor
+        );
     }
     args.finish_telemetry()?;
     Ok(report.exit_code())

@@ -10,19 +10,23 @@
 //! check ([`sunder_shard::verify_stream`]): a point that fails the gate
 //! is recorded as such and fails the whole run.
 //!
-//! ## Throughput model
+//! ## Wall clock is the gated truth
 //!
-//! The container this repository is developed and CI-tested in may have a
-//! single CPU core, so parallel wall-clock speedup is not observable
-//! there. The headline `mbps_modeled` figure therefore comes from a
-//! deterministic cost model consistent with the repo's cycle-model
-//! approach: per-stream busy costs are *measured* on a sequential
-//! (1-worker) run, then list-scheduled greedily (each stream, in
-//! submission order, onto the least-loaded worker) to obtain the modeled
-//! makespan for W workers. `mbps_wall` reports the actually observed
-//! wall-clock rate next to it so the two can be compared on multi-core
-//! hosts, where they converge.
+//! `mbps_wall` — observed aggregate wall-clock throughput — is the
+//! metric the sweep gates on: with a `wall_floor` set, the worst
+//! per-benchmark wall-clock speedup (max workers vs 1 worker at the
+//! widest shard count) must stay at or above the floor, or the run
+//! fails. On a single-core host parallel speedup is not achievable, so
+//! the floor defends against *regressions* (per-batch scheduling
+//! overhead growing with worker count) rather than demanding scaling.
+//!
+//! `mbps_modeled` is still reported alongside: per-stream busy costs are
+//! measured on a sequential (1-worker) run, then list-scheduled greedily
+//! (each stream, in submission order, onto the least-loaded worker) to
+//! obtain the modeled makespan for W workers — the figure a W-core host
+//! would converge to. It no longer gates anything.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sunder_oracle::PipelineConfig;
@@ -60,6 +64,9 @@ pub struct ThroughputOptions {
     pub runs: u32,
     /// Benchmark filter; empty runs the whole suite.
     pub only: Vec<OnlyFilter>,
+    /// Wall-clock gate: minimum acceptable per-benchmark wall speedup
+    /// (max workers vs 1 worker). `None` disables the gate.
+    pub wall_floor: Option<f64>,
 }
 
 impl Default for ThroughputOptions {
@@ -74,6 +81,7 @@ impl Default for ThroughputOptions {
             engine: EngineKind::Adaptive,
             runs: 1,
             only: Vec::new(),
+            wall_floor: None,
         }
     }
 }
@@ -127,26 +135,40 @@ pub struct BenchThroughput {
 }
 
 impl BenchThroughput {
-    /// Modeled speedup of the widest point (max shards, max workers)
-    /// over the 1-worker point at the same shard count; `None` when the
-    /// sweep has a single worker count.
-    pub fn speedup_modeled(&self) -> Option<f64> {
+    /// The widest point (max shards, max workers) and the 1-worker point
+    /// at the same shard count; `None` when the sweep has a single
+    /// worker count.
+    fn wide_and_base(&self) -> Option<(&ThroughputPoint, &ThroughputPoint)> {
         let max_shards = self.points.iter().map(|p| p.shards_requested).max()?;
-        let at = |workers: usize| {
-            self.points
-                .iter()
-                .find(|p| p.shards_requested == max_shards && p.workers == workers)
-        };
         let wide = self
             .points
             .iter()
             .filter(|p| p.shards_requested == max_shards)
             .max_by_key(|p| p.workers)?;
-        let base = at(1)?;
+        let base = self
+            .points
+            .iter()
+            .find(|p| p.shards_requested == max_shards && p.workers == 1)?;
         if wide.workers == 1 {
             return None;
         }
+        Some((wide, base))
+    }
+
+    /// Modeled speedup of the widest point (max shards, max workers)
+    /// over the 1-worker point at the same shard count; `None` when the
+    /// sweep has a single worker count.
+    pub fn speedup_modeled(&self) -> Option<f64> {
+        let (wide, base) = self.wide_and_base()?;
         Some(base.makespan.as_secs_f64() / wide.makespan.as_secs_f64().max(1e-12))
+    }
+
+    /// Observed wall-clock speedup of the widest point over the 1-worker
+    /// point at the same shard count — the gated metric. `None` when the
+    /// sweep has a single worker count.
+    pub fn speedup_wall(&self) -> Option<f64> {
+        let (wide, base) = self.wide_and_base()?;
+        Some(base.wall.as_secs_f64() / wide.wall.as_secs_f64().max(1e-12))
     }
 }
 
@@ -165,6 +187,8 @@ pub struct ThroughputReport {
     pub rows: Vec<BenchThroughput>,
     /// Wall clock for the whole sweep.
     pub wall: Duration,
+    /// The wall-clock gate this sweep ran under (from the options).
+    pub wall_floor: Option<f64>,
 }
 
 impl ThroughputReport {
@@ -184,9 +208,30 @@ impl ThroughputReport {
             .min_by(|a, b| a.total_cmp(b))
     }
 
-    /// Exit code: 0 all gates passed, 1 a trace-equality gate failed.
+    /// The smallest per-benchmark observed wall-clock speedup (max
+    /// workers vs 1 worker) — the gated metric — or `None` when the
+    /// sweep has no multi-worker points.
+    pub fn min_speedup_wall(&self) -> Option<f64> {
+        self.rows
+            .iter()
+            .filter_map(BenchThroughput::speedup_wall)
+            .min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// The wall-clock gate: `true` when no floor is set, the sweep has
+    /// no multi-worker points, or every benchmark's wall speedup meets
+    /// the floor.
+    pub fn wall_gate_ok(&self) -> bool {
+        match (self.wall_floor, self.min_speedup_wall()) {
+            (Some(floor), Some(min)) => min >= floor,
+            _ => true,
+        }
+    }
+
+    /// Exit code: 0 all gates passed, 1 a trace-equality or wall-clock
+    /// gate failed.
     pub fn exit_code(&self) -> u8 {
-        u8::from(!self.all_traces_equal())
+        u8::from(!self.all_traces_equal() || !self.wall_gate_ok())
     }
 }
 
@@ -241,14 +286,21 @@ pub fn run_throughput(opts: &ThroughputOptions) -> Result<ThroughputReport, Stri
     for bench in benches {
         let _span = sunder_telemetry::span("throughput.benchmark").field("bench", bench.name());
         let w = bench.build(opts.scale);
-        let streams = split_streams(&w.input, opts.streams);
+        let streams = Arc::new(split_streams(&w.input, opts.streams));
         let total_bytes: usize = streams.iter().map(Vec::len).sum();
         let mut points = Vec::new();
         let mut states = 0;
         let (mut cache_hits, mut cache_misses) = (0, 0);
+        // One persistent helper pool sized for the widest worker count:
+        // batches reuse parked threads instead of spawning per batch.
+        let max_workers = opts.worker_counts.iter().copied().max().unwrap_or(1);
 
         for &shards in &opts.shard_counts {
-            let service = BatchService::new(ShardSpec::MaxShards(shards), opts.engine);
+            let service = BatchService::with_pool(
+                ShardSpec::MaxShards(shards),
+                opts.engine,
+                max_workers.saturating_sub(1),
+            );
             // Sequential per-stream costs: the cost model every worker
             // count of this shard count is scheduled from.
             let mut seq_costs: Vec<Duration> = Vec::new();
@@ -257,7 +309,7 @@ pub fn run_throughput(opts: &ThroughputOptions) -> Result<ThroughputReport, Stri
                 let mut best: Option<(Duration, sunder_shard::BatchReport)> = None;
                 for _ in 0..runs {
                     let report = service
-                        .submit(&w.nfa, opts.config, &streams, &batch_opts)
+                        .submit_arc(&w.nfa, opts.config, &streams, &batch_opts)
                         .map_err(|e| format!("{}: pipeline compilation: {e}", bench.name()))?;
                     let wall = report.wall;
                     if best.as_ref().is_none_or(|(b, _)| wall < *b) {
@@ -320,6 +372,7 @@ pub fn run_throughput(opts: &ThroughputOptions) -> Result<ThroughputReport, Stri
         streams: opts.streams,
         rows,
         wall: started.elapsed(),
+        wall_floor: opts.wall_floor,
     })
 }
 
@@ -328,7 +381,7 @@ pub fn run_throughput(opts: &ThroughputOptions) -> Result<ThroughputReport, Stri
 pub fn render_json(report: &ThroughputReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"sunder-throughput-v1\",\n");
+    out.push_str("  \"schema\": \"sunder-throughput-v2\",\n");
     out.push_str(&format!("  \"scale\": \"{}\",\n", report.scale_name));
     out.push_str(&format!("  \"config\": \"{}\",\n", report.config));
     out.push_str(&format!("  \"engine\": \"{}\",\n", report.engine));
@@ -337,6 +390,16 @@ pub fn render_json(report: &ThroughputReport) -> String {
         "  \"all_traces_equal\": {},\n",
         report.all_traces_equal()
     ));
+    // Wall clock is the gated truth; the modeled figure is advisory.
+    match report.min_speedup_wall() {
+        Some(s) => out.push_str(&format!("  \"min_speedup_wall\": {s:.3},\n")),
+        None => out.push_str("  \"min_speedup_wall\": null,\n"),
+    }
+    match report.wall_floor {
+        Some(f) => out.push_str(&format!("  \"wall_floor\": {f:.3},\n")),
+        None => out.push_str("  \"wall_floor\": null,\n"),
+    }
+    out.push_str(&format!("  \"wall_gate_ok\": {},\n", report.wall_gate_ok()));
     match report.min_speedup_modeled() {
         Some(s) => out.push_str(&format!("  \"min_speedup_modeled\": {s:.3},\n")),
         None => out.push_str("  \"min_speedup_modeled\": null,\n"),
@@ -348,6 +411,10 @@ pub fn render_json(report: &ThroughputReport) -> String {
              \"states\": {}, \"cache_hits\": {}, \"cache_misses\": {},\n",
             row.name, row.total_bytes, row.streams, row.states, row.cache_hits, row.cache_misses,
         ));
+        match row.speedup_wall() {
+            Some(s) => out.push_str(&format!("     \"speedup_wall\": {s:.3},\n")),
+            None => out.push_str("     \"speedup_wall\": null,\n"),
+        }
         match row.speedup_modeled() {
             Some(s) => out.push_str(&format!("     \"speedup_modeled\": {s:.3},\n")),
             None => out.push_str("     \"speedup_modeled\": null,\n"),
@@ -413,10 +480,22 @@ pub fn render_table(report: &ThroughputReport) -> String {
         }
     }
     let mut out = table.render();
+    if let Some(s) = report.min_speedup_wall() {
+        out.push_str(&format!(
+            "\nmin wall-clock speedup (max workers vs 1, gated): {s:.2}x across {} benchmarks",
+            report.rows.len()
+        ));
+        match report.wall_floor {
+            Some(floor) => out.push_str(&format!(
+                " — floor {floor:.2}x: {}\n",
+                if report.wall_gate_ok() { "OK" } else { "FAIL" }
+            )),
+            None => out.push('\n'),
+        }
+    }
     if let Some(s) = report.min_speedup_modeled() {
         out.push_str(&format!(
-            "\nmin modeled speedup (max workers vs 1): {s:.2}x across {} benchmarks\n",
-            report.rows.len()
+            "min modeled speedup (max workers vs 1, advisory): {s:.2}x\n"
         ));
     }
     out
@@ -468,12 +547,40 @@ mod tests {
         assert_eq!(row.cache_misses, 2);
         assert!(row.cache_hits >= 2);
         let json = render_json(&report);
-        assert!(json.contains("\"schema\": \"sunder-throughput-v1\""));
+        assert!(json.contains("\"schema\": \"sunder-throughput-v2\""));
         assert!(json.contains("\"trace_equal\": true"));
+        assert!(json.contains("\"min_speedup_wall\""));
+        assert!(json.contains("\"speedup_wall\""));
         let speedup = row.speedup_modeled().expect("multi-worker sweep");
         assert!(
             speedup >= 1.0,
             "modeled speedup must not regress: {speedup}"
         );
+        row.speedup_wall().expect("wall speedup must be measured");
+    }
+
+    #[test]
+    fn wall_floor_gates_the_exit_code() {
+        let opts = ThroughputOptions {
+            shard_counts: vec![1],
+            worker_counts: vec![1, 2],
+            only: vec![OnlyFilter::exact("ExactMatch")],
+            // An unreachable floor must fail the gate...
+            wall_floor: Some(1e9),
+            ..ThroughputOptions::default()
+        };
+        let report = run_throughput(&opts).unwrap();
+        assert!(report.all_traces_equal());
+        assert!(!report.wall_gate_ok());
+        assert_eq!(report.exit_code(), 1);
+        let json = render_json(&report);
+        assert!(json.contains("\"wall_gate_ok\": false"));
+        // ...and a trivially low floor must pass it.
+        let passing = ThroughputReport {
+            wall_floor: Some(1e-9),
+            ..report
+        };
+        assert!(passing.wall_gate_ok());
+        assert_eq!(passing.exit_code(), 0);
     }
 }

@@ -454,6 +454,13 @@ impl<S: ReportSink> ReportSink for CountingTee<'_, S> {
         self.inner.on_cycle_activity(cycle, active_states);
     }
 
+    // `active_state_cycles` is a sum and prefilter-skipped cycles are
+    // provably empty (contribute zero), so the tee only needs activity
+    // callbacks when the wrapped sink does.
+    fn wants_cycle_activity(&self) -> bool {
+        self.inner.wants_cycle_activity()
+    }
+
     fn wants_active_states(&self) -> bool {
         self.inner.wants_active_states()
     }
@@ -478,6 +485,11 @@ impl ReportSink for RuleCollector {
         for ev in reports {
             self.rules.insert(ev.info.id);
         }
+    }
+
+    // Report-only: lets the engines prefilter past provably idle cycles.
+    fn wants_cycle_activity(&self) -> bool {
+        false
     }
 }
 

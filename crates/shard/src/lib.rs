@@ -47,7 +47,12 @@ pub mod cache;
 pub mod scheduler;
 
 pub use cache::{pipeline_key, CompiledPipeline, PipelineCache, PipelineKey, ShardSpec};
-pub use scheduler::{run_batch, BatchOptions, BatchReport, ShardRun, StreamResult};
+pub use scheduler::{
+    run_batch, run_batch_pooled, BatchOptions, BatchReport, ShardRun, StreamResult, WorkerPool,
+    SERIAL_CUTOFF_BYTES,
+};
+
+use std::sync::Arc;
 
 use sunder_automata::input::InputView;
 use sunder_automata::{AutomataError, Nfa};
@@ -55,9 +60,14 @@ use sunder_oracle::PipelineConfig;
 use sunder_sim::{EngineKind, ReportEvent, TraceSink};
 
 /// A long-lived batch service: one pipeline cache, many submissions.
+///
+/// With [`BatchService::with_pool`] the service also owns a persistent
+/// [`WorkerPool`], so repeated submissions reuse parked helper threads
+/// instead of spawning and joining `workers - 1` threads per batch.
 #[derive(Debug)]
 pub struct BatchService {
     cache: PipelineCache,
+    pool: Option<WorkerPool>,
 }
 
 impl BatchService {
@@ -66,12 +76,28 @@ impl BatchService {
     pub fn new(spec: ShardSpec, engine: EngineKind) -> BatchService {
         BatchService {
             cache: PipelineCache::new(spec, engine),
+            pool: None,
+        }
+    }
+
+    /// Like [`BatchService::new`], plus a persistent pool of `helpers`
+    /// worker threads shared by all submissions (the submitting thread
+    /// itself is always worker 0, so up to `helpers + 1` workers run).
+    pub fn with_pool(spec: ShardSpec, engine: EngineKind, helpers: usize) -> BatchService {
+        BatchService {
+            cache: PipelineCache::new(spec, engine),
+            pool: Some(WorkerPool::new(helpers)),
         }
     }
 
     /// The underlying cache (hit/miss counters, size).
     pub fn cache(&self) -> &PipelineCache {
         &self.cache
+    }
+
+    /// The persistent worker pool, when this service owns one.
+    pub fn pool(&self) -> Option<&WorkerPool> {
+        self.pool.as_ref()
     }
 
     /// Compiles (or fetches) the pipeline for `nfa` under `config` and
@@ -89,7 +115,35 @@ impl BatchService {
         opts: &BatchOptions,
     ) -> Result<BatchReport, AutomataError> {
         let pipeline = self.cache.get_or_compile(nfa, config)?;
-        Ok(run_batch(&pipeline, streams, opts))
+        match &self.pool {
+            Some(pool) if opts.workers > 1 => {
+                let streams = Arc::new(streams.to_vec());
+                Ok(run_batch_pooled(pool, &pipeline, &streams, opts))
+            }
+            _ => Ok(run_batch(&pipeline, streams, opts)),
+        }
+    }
+
+    /// [`BatchService::submit`] without copying the stream bytes: the
+    /// shared `streams` are handed to the pool (or borrowed by the
+    /// scoped-thread path) as-is. This is the hot path for callers that
+    /// submit the same streams repeatedly, like the throughput bench.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline compilation failures.
+    pub fn submit_arc(
+        &self,
+        nfa: &Nfa,
+        config: PipelineConfig,
+        streams: &Arc<Vec<Vec<u8>>>,
+        opts: &BatchOptions,
+    ) -> Result<BatchReport, AutomataError> {
+        let pipeline = self.cache.get_or_compile(nfa, config)?;
+        match &self.pool {
+            Some(pool) if opts.workers > 1 => Ok(run_batch_pooled(pool, &pipeline, streams, opts)),
+            _ => Ok(run_batch(&pipeline, streams, opts)),
+        }
     }
 }
 

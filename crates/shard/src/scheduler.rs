@@ -22,7 +22,7 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use sunder_automata::input::InputView;
@@ -31,8 +31,20 @@ use sunder_sim::{ReportEvent, RunOutcome, ShardedEngine};
 
 use crate::cache::CompiledPipeline;
 
+/// Default [`BatchOptions::serial_cutoff`]: batches whose total input is
+/// smaller than this run on one worker no matter how many were asked
+/// for.
+///
+/// Waking a parked helper (or spawning a scoped thread) costs on the
+/// order of tens of microseconds of context switching; after the
+/// single-stream fast path an engine chews through input at GB/s, so a
+/// batch this small is *finished* in roughly the time fan-out spends
+/// waking threads. Below the cutoff, parallelism can only lose — on any
+/// host — and the scheduler runs the batch inline instead.
+pub const SERIAL_CUTOFF_BYTES: usize = 256 * 1024;
+
 /// Scheduling options for one batch.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct BatchOptions {
     /// Worker threads (0 is treated as 1).
     pub workers: usize,
@@ -40,6 +52,21 @@ pub struct BatchOptions {
     pub plan: FaultPlan,
     /// Per-shard wall-clock deadline.
     pub deadline: Option<Duration>,
+    /// Batches with fewer total input bytes than this run on a single
+    /// worker regardless of [`workers`](Self::workers). Defaults to
+    /// [`SERIAL_CUTOFF_BYTES`]; `0` disables the cutoff.
+    pub serial_cutoff: usize,
+}
+
+impl Default for BatchOptions {
+    fn default() -> BatchOptions {
+        BatchOptions {
+            workers: 0,
+            plan: FaultPlan::default(),
+            deadline: None,
+            serial_cutoff: SERIAL_CUTOFF_BYTES,
+        }
+    }
 }
 
 impl BatchOptions {
@@ -50,6 +77,29 @@ impl BatchOptions {
             ..BatchOptions::default()
         }
     }
+
+    /// Disables the small-batch serial cutoff, forcing the requested
+    /// worker count even on tiny batches. Meant for tests that exercise
+    /// the parallel scheduler on deliberately small inputs.
+    #[must_use]
+    pub fn without_serial_cutoff(mut self) -> BatchOptions {
+        self.serial_cutoff = 0;
+        self
+    }
+}
+
+/// Worker count a batch actually runs with: the request, clamped to the
+/// stream count, collapsed to 1 when the whole batch is smaller than the
+/// serial cutoff.
+fn effective_workers(opts: &BatchOptions, streams: &[Vec<u8>]) -> usize {
+    let requested = opts.workers.max(1).min(streams.len().max(1));
+    if requested > 1 && opts.serial_cutoff > 0 {
+        let total: usize = streams.iter().map(Vec::len).sum();
+        if total < opts.serial_cutoff {
+            return 1;
+        }
+    }
+    requested
 }
 
 /// One shard's execution within one stream.
@@ -127,11 +177,15 @@ impl BatchReport {
 
 /// Executes one shard of one stream under panic isolation and fault
 /// injection.
+///
+/// `shared_view` is the stream's input, framed once by [`run_stream`];
+/// only a shard whose faults corrupt the bytes re-frames privately.
 fn run_shard_isolated(
     sharded: &ShardedEngine,
     shard: usize,
     stream_idx: usize,
     bytes: &[u8],
+    shared_view: &Result<InputView, String>,
     faults: &[FaultKind],
     deadline: Option<Duration>,
 ) -> ShardRun {
@@ -167,9 +221,19 @@ fn run_shard_isolated(
                 ));
             }
         }
-        let view = InputView::new(&input, sharded.symbol_bits(), sharded.stride())
-            .map_err(|e| format!("input framing: {e}"))?;
-        Ok(sharded.run_shard(shard, &view, &budget))
+        match &input {
+            std::borrow::Cow::Borrowed(_) => {
+                let view = shared_view.as_ref().map_err(String::clone)?;
+                Ok(sharded.run_shard(shard, view, &budget))
+            }
+            // Corrupted bytes diverge from the shared framing; build a
+            // private view so the fault stays confined to this shard.
+            std::borrow::Cow::Owned(corrupted) => {
+                let view = InputView::new(corrupted, sharded.symbol_bits(), sharded.stride())
+                    .map_err(|e| format!("input framing: {e}"))?;
+                Ok(sharded.run_shard(shard, &view, &budget))
+            }
+        }
     }));
 
     let elapsed = start.elapsed();
@@ -200,16 +264,36 @@ fn run_stream(
     stolen: bool,
 ) -> StreamResult {
     let start = Instant::now();
+    let _job = sunder_telemetry::span("scheduler.job")
+        .field("stream", stream_idx as u64)
+        .field("worker", worker as u64)
+        .field("stolen", u64::from(stolen));
     let num_shards = pipeline.num_shards();
+    // Frame the symbols once per stream, not once per shard: every shard
+    // reads the same view, so re-unpacking per shard is pure overhead.
+    let shared_view = InputView::new(
+        bytes,
+        pipeline.sharded.symbol_bits(),
+        pipeline.sharded.stride(),
+    )
+    .map_err(|e| format!("input framing: {e}"));
+    let plan_empty = opts.plan.is_empty();
     let mut shard_runs = Vec::with_capacity(num_shards);
     for shard in 0..num_shards {
         let flat = stream_idx * num_shards + shard;
-        let faults: Vec<FaultKind> = opts.plan.faults_for(flat).cloned().collect();
+        // `Vec::new()` does not allocate: the common fault-free batch
+        // stays allocation-free here.
+        let faults: Vec<FaultKind> = if plan_empty {
+            Vec::new()
+        } else {
+            opts.plan.faults_for(flat).cloned().collect()
+        };
         shard_runs.push(run_shard_isolated(
             &pipeline.sharded,
             shard,
             stream_idx,
             bytes,
+            &shared_view,
             &faults,
             opts.deadline,
         ));
@@ -233,6 +317,74 @@ fn run_stream(
     }
 }
 
+/// Round-robin deal of `streams` stream indices onto `workers` queues
+/// (stream `i` goes to worker `i mod workers`).
+fn deal_queues(streams: usize, workers: usize) -> Vec<Mutex<VecDeque<usize>>> {
+    (0..workers)
+        .map(|w| Mutex::new((w..streams).step_by(workers).collect()))
+        .collect()
+}
+
+/// One worker's drain loop: own queue first (front), then steal from a
+/// victim's back. Shared verbatim by the scoped-thread and pooled paths
+/// so both schedules stay observably identical.
+#[allow(clippy::too_many_arguments)]
+fn drain_worker(
+    w: usize,
+    workers: usize,
+    pipeline: &CompiledPipeline,
+    streams: &[Vec<u8>],
+    opts: &BatchOptions,
+    queues: &[Mutex<VecDeque<usize>>],
+    steals: &AtomicU64,
+    results: &[Mutex<Option<StreamResult>>],
+) {
+    let telemetry = sunder_telemetry::enabled();
+    let labels_value = w.to_string();
+    let labels: [(&'static str, &str); 1] = [("worker", labels_value.as_str())];
+    loop {
+        let mut claimed: Option<(usize, bool)> = None;
+        {
+            let mut own = queues[w].lock().unwrap();
+            if let Some(s) = own.pop_front() {
+                claimed = Some((s, false));
+            }
+            if telemetry {
+                sunder_telemetry::gauge_set("scheduler_queue_depth", &labels, own.len() as f64);
+            }
+        }
+        if claimed.is_none() {
+            for step in 1..workers {
+                let victim = (w + step) % workers;
+                if let Some(s) = queues[victim].lock().unwrap().pop_back() {
+                    steals.fetch_add(1, Ordering::Relaxed);
+                    sunder_telemetry::counter_add("scheduler_steals_total", &labels, 1);
+                    claimed = Some((s, true));
+                    break;
+                }
+            }
+        }
+        let Some((stream_idx, stolen)) = claimed else {
+            break;
+        };
+        let result = run_stream(pipeline, stream_idx, &streams[stream_idx], opts, w, stolen);
+        *results[stream_idx].lock().unwrap() = Some(result);
+    }
+}
+
+/// Drains the filled result slots into submission order.
+fn collect_results(results: &[Mutex<Option<StreamResult>>]) -> Vec<StreamResult> {
+    results
+        .iter()
+        .map(|slot| {
+            slot.lock()
+                .unwrap()
+                .take()
+                .expect("every queued stream must have been executed")
+        })
+        .collect()
+}
+
 /// Runs `streams` against `pipeline` across `opts.workers` work-stealing
 /// worker threads. Results come back indexed by stream, so the report is
 /// deterministic for any worker count (modulo the `worker`/`stolen`
@@ -243,72 +395,226 @@ pub fn run_batch(
     opts: &BatchOptions,
 ) -> BatchReport {
     let started = Instant::now();
-    let workers = opts.workers.max(1).min(streams.len().max(1));
-    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
-        .map(|w| {
-            // Round-robin deal: stream i goes to worker i mod M.
-            Mutex::new((w..streams.len()).step_by(workers).collect())
-        })
-        .collect();
+    let workers = effective_workers(opts, streams);
+    let queues = deal_queues(streams.len(), workers);
     let steals = AtomicU64::new(0);
     let results: Vec<Mutex<Option<StreamResult>>> =
         streams.iter().map(|_| Mutex::new(None)).collect();
 
-    let run_worker = |w: usize| {
-        let labels_value = w.to_string();
-        let labels: [(&'static str, &str); 1] = [("worker", labels_value.as_str())];
-        loop {
-            // Own queue first (front), then steal (back).
-            let mut claimed: Option<(usize, bool)> = None;
-            {
-                let mut own = queues[w].lock().unwrap();
-                if let Some(s) = own.pop_front() {
-                    claimed = Some((s, false));
-                }
-                sunder_telemetry::gauge_set("scheduler_queue_depth", &labels, own.len() as f64);
-            }
-            if claimed.is_none() {
-                for step in 1..workers {
-                    let victim = (w + step) % workers;
-                    if let Some(s) = queues[victim].lock().unwrap().pop_back() {
-                        steals.fetch_add(1, Ordering::Relaxed);
-                        sunder_telemetry::counter_add("scheduler_steals_total", &labels, 1);
-                        claimed = Some((s, true));
-                        break;
-                    }
-                }
-            }
-            let Some((stream_idx, stolen)) = claimed else {
-                break;
-            };
-            let result = run_stream(pipeline, stream_idx, &streams[stream_idx], opts, w, stolen);
-            *results[stream_idx].lock().unwrap() = Some(result);
-        }
-    };
-
     if workers <= 1 {
-        run_worker(0);
+        drain_worker(
+            0, workers, pipeline, streams, opts, &queues, &steals, &results,
+        );
     } else {
         std::thread::scope(|scope| {
             for w in 0..workers {
-                scope.spawn(move || run_worker(w));
+                let (queues, steals, results) = (&queues, &steals, &results);
+                scope.spawn(move || {
+                    drain_worker(w, workers, pipeline, streams, opts, queues, steals, results);
+                });
             }
         });
     }
 
-    let streams_out: Vec<StreamResult> = results
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .unwrap()
-                .expect("every queued stream must have been executed")
-        })
-        .collect();
     BatchReport {
-        streams: streams_out,
+        streams: collect_results(&results),
         workers,
         shards: pipeline.num_shards(),
         steals: steals.load(Ordering::Relaxed),
+        wall: started.elapsed(),
+    }
+}
+
+/// One published batch: everything a pool helper needs, behind `Arc` so
+/// helpers outlive the caller's stack frame without borrowing it.
+#[derive(Debug)]
+struct PoolJob {
+    pipeline: Arc<CompiledPipeline>,
+    streams: Arc<Vec<Vec<u8>>>,
+    opts: BatchOptions,
+    workers: usize,
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    steals: AtomicU64,
+    results: Vec<Mutex<Option<StreamResult>>>,
+}
+
+#[derive(Debug)]
+struct PoolState {
+    /// Bumped once per published batch; helpers run a job at most once.
+    epoch: u64,
+    job: Option<Arc<PoolJob>>,
+    /// Helpers currently draining the published job.
+    active: usize,
+    shutdown: bool,
+}
+
+#[derive(Debug)]
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work: Condvar,
+    done: Condvar,
+}
+
+/// A persistent team of helper threads for [`run_batch_pooled`].
+///
+/// `run_batch` spawns and joins `workers - 1` threads per batch; at
+/// multi-stream service rates that spawn/join tax dominates short
+/// batches. The pool keeps helpers parked on a condvar instead: a batch
+/// is published as an epoch bump, the caller participates as worker 0,
+/// and helpers go back to sleep when the queues drain. Batches are
+/// serialized — the pool runs one at a time.
+#[derive(Debug)]
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    /// Serializes concurrent `run_batch_pooled` callers.
+    batch: Mutex<()>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `helpers` parked helper threads (worker indices `1..=helpers`;
+    /// the submitting thread is always worker 0).
+    pub fn new(helpers: usize) -> WorkerPool {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                active: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let threads = (0..helpers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || pool_helper(&shared, i + 1))
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            batch: Mutex::new(()),
+            threads,
+        }
+    }
+
+    /// Helper threads in the pool (max workers per batch is this + 1).
+    pub fn helpers(&self) -> usize {
+        self.threads.len()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Helper thread body: wait for an epoch bump, join the drain as worker
+/// `index`, report completion, park again.
+fn pool_helper(shared: &PoolShared, index: usize) {
+    let mut last_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != last_epoch {
+                    last_epoch = st.epoch;
+                    // A batch may want fewer workers than the pool has;
+                    // surplus helpers skip this epoch entirely.
+                    let claimed = match &st.job {
+                        Some(job) if index < job.workers => Some(Arc::clone(job)),
+                        _ => None,
+                    };
+                    if claimed.is_some() {
+                        st.active += 1;
+                    }
+                    break claimed;
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        };
+        let Some(job) = job else { continue };
+        drain_worker(
+            index,
+            job.workers,
+            &job.pipeline,
+            &job.streams,
+            &job.opts,
+            &job.queues,
+            &job.steals,
+            &job.results,
+        );
+        let mut st = shared.state.lock().unwrap();
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// [`run_batch`] over a persistent [`WorkerPool`]: identical scheduling
+/// discipline and an identical report, but no thread spawn/join per
+/// batch. The calling thread always participates as worker 0; at most
+/// `pool.helpers()` helpers join it.
+pub fn run_batch_pooled(
+    pool: &WorkerPool,
+    pipeline: &Arc<CompiledPipeline>,
+    streams: &Arc<Vec<Vec<u8>>>,
+    opts: &BatchOptions,
+) -> BatchReport {
+    let _serial = pool.batch.lock().unwrap();
+    let started = Instant::now();
+    let workers = effective_workers(opts, streams).min(pool.helpers() + 1);
+    let job = Arc::new(PoolJob {
+        pipeline: Arc::clone(pipeline),
+        streams: Arc::clone(streams),
+        opts: opts.clone(),
+        workers,
+        queues: deal_queues(streams.len(), workers),
+        steals: AtomicU64::new(0),
+        results: streams.iter().map(|_| Mutex::new(None)).collect(),
+    });
+    if workers > 1 {
+        let mut st = pool.shared.state.lock().unwrap();
+        st.epoch += 1;
+        st.job = Some(Arc::clone(&job));
+        drop(st);
+        pool.shared.work.notify_all();
+    }
+    drain_worker(
+        0,
+        workers,
+        &job.pipeline,
+        &job.streams,
+        &job.opts,
+        &job.queues,
+        &job.steals,
+        &job.results,
+    );
+    if workers > 1 {
+        let mut st = pool.shared.state.lock().unwrap();
+        while st.active > 0 {
+            st = pool.shared.done.wait(st).unwrap();
+        }
+        // Unpublish so a helper waking late (next epoch) can't rerun it.
+        st.job = None;
+    }
+    BatchReport {
+        streams: collect_results(&job.results),
+        workers,
+        shards: job.pipeline.num_shards(),
+        steals: job.steals.load(Ordering::Relaxed),
         wall: started.elapsed(),
     }
 }
@@ -344,7 +650,11 @@ mod tests {
         let p = pipeline(PipelineConfig::Identity, 3);
         let inputs = streams(9);
         let one = run_batch(&p, &inputs, &BatchOptions::with_workers(1));
-        let four = run_batch(&p, &inputs, &BatchOptions::with_workers(4));
+        let four = run_batch(
+            &p,
+            &inputs,
+            &BatchOptions::with_workers(4).without_serial_cutoff(),
+        );
         assert_eq!(one.ok_count(), 9);
         assert_eq!(four.ok_count(), 9);
         for (a, b) in one.streams.iter().zip(&four.streams) {
@@ -359,7 +669,11 @@ mod tests {
         use sunder_sim::TraceSink;
         let p = pipeline(PipelineConfig::Stride2, 4);
         let inputs = streams(4);
-        let report = run_batch(&p, &inputs, &BatchOptions::with_workers(2));
+        let report = run_batch(
+            &p,
+            &inputs,
+            &BatchOptions::with_workers(2).without_serial_cutoff(),
+        );
         for s in &report.streams {
             let view =
                 InputView::new(&inputs[s.stream], p.nfa.symbol_bits(), p.nfa.stride()).unwrap();
@@ -393,8 +707,13 @@ mod tests {
                 }],
             ),
             deadline: None,
+            serial_cutoff: 0,
         };
-        let clean = run_batch(&p, &inputs, &BatchOptions::with_workers(3));
+        let clean = run_batch(
+            &p,
+            &inputs,
+            &BatchOptions::with_workers(3).without_serial_cutoff(),
+        );
         let faulty = run_batch(&p, &inputs, &opts);
         let victim = &faulty.streams[2];
         assert!(!victim.ok());
@@ -432,12 +751,112 @@ mod tests {
                     },
                 ],
             ),
-            deadline: None,
+            ..BatchOptions::default()
         };
         let report = run_batch(&p, &inputs, &opts);
         assert_eq!(report.streams[0].failed_shards(), vec![(0, "failed")]);
         assert!(report.streams[1].ok());
         assert!(report.streams[1].shard_runs[0].elapsed >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn pooled_batches_match_scoped_batches() {
+        let p = Arc::new(pipeline(PipelineConfig::Identity, 3));
+        let inputs = Arc::new(streams(9));
+        let pool = WorkerPool::new(3);
+        let opts = BatchOptions::with_workers(4).without_serial_cutoff();
+        let scoped = run_batch(&p, &inputs, &opts);
+        for round in 0..3 {
+            let pooled = run_batch_pooled(&pool, &p, &inputs, &opts);
+            assert_eq!(pooled.workers, 4, "round {round}");
+            assert_eq!(pooled.ok_count(), 9, "round {round}");
+            for (a, b) in scoped.streams.iter().zip(&pooled.streams) {
+                assert_eq!(a.stream, b.stream);
+                assert_eq!(a.merged, b.merged, "round {round} stream {}", a.stream);
+            }
+        }
+    }
+
+    #[test]
+    fn pool_caps_workers_and_isolates_panics() {
+        let p = Arc::new(pipeline(PipelineConfig::Identity, 4));
+        let shards = p.num_shards();
+        let inputs = Arc::new(streams(6));
+        let pool = WorkerPool::new(1); // at most 2 workers, whatever is asked
+        let opts = BatchOptions {
+            workers: 8,
+            plan: FaultPlan::new(
+                7,
+                vec![Fault {
+                    item: shards + 2, // stream 1, shard 2
+                    kind: FaultKind::Panic,
+                }],
+            ),
+            deadline: None,
+            serial_cutoff: 0,
+        };
+        let report = run_batch_pooled(&pool, &p, &inputs, &opts);
+        assert_eq!(report.workers, 2);
+        assert_eq!(report.ok_count(), 5);
+        assert_eq!(report.streams[1].failed_shards(), vec![(2, "panicked")]);
+    }
+
+    #[test]
+    fn corrupt_input_is_confined_to_the_faulted_shard() {
+        let p = pipeline(PipelineConfig::Identity, 4);
+        let shards = p.num_shards();
+        assert!(shards >= 2);
+        let inputs = streams(2);
+        let opts = BatchOptions {
+            workers: 1,
+            plan: FaultPlan::new(
+                3,
+                vec![Fault {
+                    item: shards, // stream 1, shard 0
+                    kind: FaultKind::CorruptInput { seed: 99 },
+                }],
+            ),
+            ..BatchOptions::default()
+        };
+        let clean = run_batch(&p, &inputs, &BatchOptions::with_workers(1));
+        let faulty = run_batch(&p, &inputs, &opts);
+        // Stream 0 and the unfaulted shards of stream 1 see pristine bytes.
+        assert_eq!(clean.streams[0].merged, faulty.streams[0].merged);
+        for shard in 1..shards {
+            let c = clean.streams[1].shard_runs[shard].outcome.value();
+            let f = faulty.streams[1].shard_runs[shard].outcome.value();
+            assert_eq!(c, f, "shard {shard} must be unaffected");
+        }
+    }
+
+    #[test]
+    fn small_batches_collapse_to_one_worker() {
+        let p = pipeline(PipelineConfig::Identity, 2);
+        let inputs = streams(5); // a few hundred bytes, far below the cutoff
+        let report = run_batch(&p, &inputs, &BatchOptions::with_workers(4));
+        assert_eq!(report.workers, 1, "tiny batch must not fan out");
+        assert_eq!(report.steals, 0);
+
+        let pool = WorkerPool::new(3);
+        let pooled = run_batch_pooled(
+            &pool,
+            &Arc::new(pipeline(PipelineConfig::Identity, 2)),
+            &Arc::new(inputs.clone()),
+            &BatchOptions::with_workers(4),
+        );
+        assert_eq!(pooled.workers, 1, "pooled tiny batch must not fan out");
+
+        // The cutoff is a scheduling decision only: results match a
+        // forced-parallel run byte for byte.
+        let forced = run_batch(
+            &p,
+            &inputs,
+            &BatchOptions::with_workers(4).without_serial_cutoff(),
+        );
+        assert_eq!(forced.workers, 4);
+        for (a, b) in report.streams.iter().zip(&forced.streams) {
+            assert_eq!(a.merged, b.merged, "stream {}", a.stream);
+        }
     }
 
     #[test]

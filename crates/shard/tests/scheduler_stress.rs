@@ -55,7 +55,11 @@ fn panicking_shard_is_attributed_and_survivors_match_clean_run() {
     let victim_shard = 1;
     let inputs = streams();
 
-    let clean = run_batch(&p, &inputs, &BatchOptions::with_workers(WORKERS));
+    let clean = run_batch(
+        &p,
+        &inputs,
+        &BatchOptions::with_workers(WORKERS).without_serial_cutoff(),
+    );
     assert_eq!(clean.ok_count(), STREAMS, "clean run must fully complete");
 
     let faulty_opts = BatchOptions {
@@ -68,6 +72,7 @@ fn panicking_shard_is_attributed_and_survivors_match_clean_run() {
             }],
         ),
         deadline: None,
+        serial_cutoff: 0,
     };
     let faulty = run_batch(&p, &inputs, &faulty_opts);
 
@@ -118,7 +123,11 @@ fn results_are_schedule_independent_across_worker_counts() {
     let sequential = run_batch(&p, &inputs, &BatchOptions::with_workers(1));
     assert_eq!(sequential.steals, 0, "a single worker has nobody to rob");
     for workers in [2, 4, 8] {
-        let parallel = run_batch(&p, &inputs, &BatchOptions::with_workers(workers));
+        let parallel = run_batch(
+            &p,
+            &inputs,
+            &BatchOptions::with_workers(workers).without_serial_cutoff(),
+        );
         assert_eq!(parallel.ok_count(), STREAMS);
         for (a, b) in sequential.streams.iter().zip(&parallel.streams) {
             assert_eq!(

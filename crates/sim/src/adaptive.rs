@@ -14,12 +14,15 @@
 //! (once, lazily), hands the live frontier across, and continues
 //! bit-parallel — and switches back the same way if the workload cools.
 
+use std::sync::{Arc, OnceLock};
+
 use sunder_automata::input::InputView;
 use sunder_automata::{AutomataError, Nfa, StateId};
 
-use crate::dense::DenseEngine;
+use crate::dense::{DenseEngine, DenseTables};
 use crate::engine::Simulator;
 use crate::exec::Engine;
+use crate::fastpath::SparseTables;
 use crate::sink::ReportSink;
 
 /// Frontier-size samples per selection decision.
@@ -27,16 +30,17 @@ const WINDOW: u32 = 64;
 
 /// Cost-model constants, in nanoseconds per cycle. Fitted to measured
 /// per-cycle times of both engines across the 19-benchmark suite
-/// (`suite --small`, see `BENCH_engine.json`): the dense engine costs a
-/// fixed base plus ~5 ns per state-vector word plus ~0.7 ns per
-/// word-sized OR of an active state's successor row; the sparse engine
-/// costs a base plus ~7 ns per candidate (frontier × fan-out, with a
-/// charset probe per stride position). Absolute values only matter
-/// relative to each other, so the fit transfers across similar hosts.
-const SPARSE_BASE_NS: f64 = 7.0;
-const SPARSE_CANDIDATE_NS: f64 = 6.0;
+/// (`suite --small`, see `BENCH_engine.json`), after the single-stream
+/// fast path roughly halved sparse per-cycle cost: the dense engine
+/// costs a fixed base plus ~2.6 ns per state-vector word plus a small
+/// per-word activity term; the sparse engine costs a base plus ~3 ns
+/// per candidate (frontier × fan-out, with a charset probe per stride
+/// position). Absolute values only matter relative to each other, so
+/// the fit transfers across similar hosts.
+const SPARSE_BASE_NS: f64 = 3.5;
+const SPARSE_CANDIDATE_NS: f64 = 3.0;
 const DENSE_BASE_NS: f64 = 2.0;
-const DENSE_WORD_NS: f64 = 3.0;
+const DENSE_WORD_NS: f64 = 2.6;
 const DENSE_ACTIVE_WORD_NS: f64 = 0.35;
 
 /// Switch-to-dense threshold: dense must model at least this much cheaper.
@@ -138,12 +142,18 @@ pub struct AdaptiveEngine<'a> {
     /// State-vector width in words, for the dense cost model.
     words: usize,
     dense_affordable: bool,
+    /// Cached exact (byte-classed) dense footprint, computed at most once
+    /// when the conservative estimate exceeds the budget.
+    classed_bytes: Option<usize>,
     switches: u32,
     limits: AdaptiveLimits,
     /// First degradation observed (set at most once per run).
     degrade: Option<DegradeReason>,
     /// Scratch for frontier hand-over.
     frontier: Vec<StateId>,
+    /// Pipeline-shared dense tables (sharded execution): built at most
+    /// once across every engine instance of the same compiled shard.
+    shared_dense: Option<Arc<OnceLock<Arc<DenseTables>>>>,
 }
 
 impl<'a> AdaptiveEngine<'a> {
@@ -155,6 +165,33 @@ impl<'a> AdaptiveEngine<'a> {
 
     /// Like [`AdaptiveEngine::new`], with explicit resource limits.
     pub fn with_limits(nfa: &'a Nfa, limits: AdaptiveLimits) -> Self {
+        Self::with_shared_parts(nfa, Simulator::new(nfa), None, limits)
+    }
+
+    /// Builds an adaptive engine around pipeline-shared compiled tables:
+    /// the sparse tables are reused immediately and the dense tables cell
+    /// is filled at most once across every sibling engine (the sharded
+    /// scheduler's per-job constructor).
+    pub(crate) fn with_shared(
+        nfa: &'a Nfa,
+        sparse_tables: Arc<SparseTables>,
+        dense_cell: Arc<OnceLock<Arc<DenseTables>>>,
+        limits: AdaptiveLimits,
+    ) -> Self {
+        Self::with_shared_parts(
+            nfa,
+            Simulator::with_tables(nfa, sparse_tables),
+            Some(dense_cell),
+            limits,
+        )
+    }
+
+    fn with_shared_parts(
+        nfa: &'a Nfa,
+        sparse: Simulator<'a>,
+        shared_dense: Option<Arc<OnceLock<Arc<DenseTables>>>>,
+        limits: AdaptiveLimits,
+    ) -> Self {
         let n = nfa.num_states();
         let fanout = if n == 0 {
             0.0
@@ -163,18 +200,23 @@ impl<'a> AdaptiveEngine<'a> {
         };
         AdaptiveEngine {
             nfa,
-            sparse: Simulator::new(nfa),
+            sparse,
             dense: None,
             in_dense: false,
             window_active: 0,
             window_cycles: 0,
             fanout,
             words: n.div_ceil(64),
+            // Conservative (unclassed) estimate; when it exceeds the
+            // budget, the first switch attempt rechecks the exact
+            // byte-classed footprint before degrading.
             dense_affordable: n > 0 && DenseEngine::table_bytes(nfa) <= limits.table_budget_bytes,
+            classed_bytes: None,
             switches: 0,
             limits,
             degrade: None,
             frontier: Vec::new(),
+            shared_dense,
         }
     }
 
@@ -247,6 +289,27 @@ impl<'a> AdaptiveEngine<'a> {
         (sparse, dense)
     }
 
+    /// Whether the dense twin fits the table budget, rechecking with the
+    /// exact byte-classed footprint when the conservative estimate says
+    /// no. The classed size is computed at most once per engine (it walks
+    /// every charset) and cached in `classed_bytes`.
+    fn affordable_after_classing(&mut self) -> bool {
+        if self.dense_affordable {
+            return true;
+        }
+        if self.nfa.num_states() == 0 {
+            self.classed_bytes = Some(DenseEngine::classed_table_bytes(self.nfa));
+            return false;
+        }
+        let classed = *self
+            .classed_bytes
+            .get_or_insert_with(|| DenseEngine::classed_table_bytes(self.nfa));
+        if classed <= self.limits.table_budget_bytes {
+            self.dense_affordable = true;
+        }
+        self.dense_affordable
+    }
+
     /// Emits the `engine.switch` instant with the fitted cost-model
     /// inputs that drove the decision. Only called after a switch, so
     /// the field construction never runs on the steady-state path.
@@ -298,20 +361,28 @@ impl<'a> AdaptiveEngine<'a> {
                 // may be refused (budget) or fail (injected allocation
                 // denial). Either way execution continues sparse and the
                 // first reason is recorded for the harness to report.
-                if !self.dense_affordable {
+                if !self.affordable_after_classing() {
+                    let needed = self.classed_bytes.expect("recheck caches the size");
                     self.record_degrade(DegradeReason::DenseBudgetExceeded {
-                        needed: DenseEngine::table_bytes(self.nfa),
+                        needed,
                         budget: self.limits.table_budget_bytes,
                     });
                 } else if self.limits.fail_dense_build && self.dense.is_none() {
                     self.record_degrade(DegradeReason::DenseBuildFailed);
                 } else {
                     let nfa = self.nfa;
+                    let shared = self.shared_dense.clone();
                     let dense = self.dense.get_or_insert_with(|| {
                         let _build = sunder_telemetry::span("engine.dense_build")
                             .field("states", nfa.num_states())
                             .field("table_bytes", DenseEngine::table_bytes(nfa));
-                        DenseEngine::new(nfa)
+                        let tables = match &shared {
+                            Some(cell) => {
+                                Arc::clone(cell.get_or_init(|| Arc::new(DenseTables::build(nfa))))
+                            }
+                            None => Arc::new(DenseTables::build(nfa)),
+                        };
+                        DenseEngine::with_tables(nfa, tables)
                     });
                     dense.load_frontier(self.sparse.active_states(), self.sparse.cycle());
                     self.in_dense = true;
@@ -393,31 +464,85 @@ impl<'a> AdaptiveEngine<'a> {
         // hoisting the mode branch out of the cycle loop keeps the
         // selector's overhead off the per-cycle path, which matters when a
         // cold sparse cycle is only a few nanoseconds.
+        //
+        // Report-only sinks additionally license the sparse-mode rare-byte
+        // prefilter: while the frontier is empty, whole stretches of input
+        // whose leading symbols can start nothing are skipped without
+        // stepping. Skipped cycles still count toward the sampling window
+        // (as zero-active cycles), so the cost model sees the idleness.
+        let fast = !(sink.wants_cycle_activity() || sink.wants_active_states());
+        let total = input.num_cycles() as u64;
+        let mut pos = 0u64; // cycles of `input` consumed so far
         let mut it = input.iter_ref();
         loop {
+            if fast && !self.in_dense {
+                let skip = self.sparse.prefilter_scan(input, pos);
+                if skip > 0 {
+                    self.sparse.skip_cycles(skip);
+                    it.advance_cycles(skip as usize);
+                    pos += skip;
+                    let wc = u64::from(self.window_cycles) + skip;
+                    if wc >= u64::from(WINDOW) {
+                        self.window_cycles = WINDOW;
+                        self.maybe_switch();
+                    } else {
+                        self.window_cycles = wc as u32;
+                    }
+                    if pos >= total {
+                        return Ok(());
+                    }
+                }
+            }
             let budget = WINDOW - self.window_cycles;
             let mut done = 0u32;
             let mut acc = 0u64;
+            let mut exhausted = false;
             if self.in_dense {
                 let dense = self.dense.as_mut().expect("dense engine in use");
                 while done < budget {
-                    let Some(v) = it.next() else { break };
-                    acc += dense.step(v.symbols, v.valid, sink) as u64;
+                    let Some(v) = it.next() else {
+                        exhausted = true;
+                        break;
+                    };
+                    // `fast` certifies the sink wants no activity
+                    // callbacks, licensing the quiet step.
+                    acc += if fast {
+                        dense.step_quiet(v.symbols, v.valid, sink)
+                    } else {
+                        dense.step(v.symbols, v.valid, sink)
+                    } as u64;
                     done += 1;
                 }
             } else {
                 while done < budget {
-                    let Some(v) = it.next() else { break };
-                    acc += self.sparse.step(v.symbols, v.valid, sink) as u64;
+                    let Some(v) = it.next() else {
+                        exhausted = true;
+                        break;
+                    };
+                    let c = if fast {
+                        self.sparse.step_quiet(v.symbols, v.valid, sink)
+                    } else {
+                        self.sparse.step(v.symbols, v.valid, sink)
+                    };
+                    acc += c as u64;
                     done += 1;
+                    // Hand control back to the prefilter as soon as the
+                    // frontier dies so it can skip the rest of an idle
+                    // stretch instead of stepping through it.
+                    if fast && c == 0 {
+                        break;
+                    }
                 }
             }
+            pos += u64::from(done);
             self.window_active += acc;
             self.window_cycles += done;
-            if done < budget {
+            if exhausted {
                 return Ok(()); // input exhausted mid-window
             }
-            self.maybe_switch();
+            if self.window_cycles >= WINDOW {
+                self.maybe_switch();
+            }
         }
     }
 }
@@ -613,7 +738,9 @@ mod tests {
         match engine.degrade_reason() {
             Some(&DegradeReason::DenseBudgetExceeded { needed, budget }) => {
                 assert_eq!(budget, 16);
-                assert_eq!(needed, DenseEngine::table_bytes(&nfa));
+                // The recheck reports the exact byte-classed footprint,
+                // not the conservative 256-column estimate.
+                assert_eq!(needed, DenseEngine::classed_table_bytes(&nfa));
                 assert!(needed > budget);
             }
             other => panic!("expected budget degradation, got {other:?}"),

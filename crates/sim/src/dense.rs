@@ -7,28 +7,160 @@
 //! subarray, which reads one full match-vector row per symbol and ANDs it
 //! with the active-successor vector (paper, Figure 1):
 //!
-//! * **Accept masks** — for each stride position `j` and symbol `s`, a
-//!   precomputed bit vector of the states whose charset at `j` contains
-//!   `s` (the subarray's stored row). Built once from each state's
-//!   [`SymbolSet`] membership words.
+//! * **Accept masks** — one bit vector per stride position and *symbol
+//!   class*: symbols the automaton cannot distinguish (see
+//!   [`ByteClasses`]) share a row, shrinking the table from
+//!   `stride × alphabet` rows to the distinct-class count (a dictionary
+//!   workload collapses 256 byte columns to a few dozen). A per-position
+//!   symbol→class map adds one extra load on the lookup path.
 //! * **Successor rows** — for each state, the bit vector of its successors
 //!   (the interconnect). The candidate set is the OR of the rows of the
 //!   active states, plus the start vectors on enabled cycles.
-//! * **One cycle** is then `active' = (succ(active) | starts) & accept[v₀]
-//!   & … & accept[vₖ₋₁]`, and reports are extracted from
-//!   `active' & report_mask` with `trailing_zeros` scans.
+//! * **One cycle** is then `active' = (succ(active) | starts) &
+//!   accept[class(v₀)] & … & accept[class(vₖ₋₁)]`, and reports are
+//!   extracted from `active' & report_mask` with `trailing_zeros` scans.
+//!   The word loops run through [`crate::simd`]'s chunked helpers.
 //!
 //! Cost per cycle is `O(active·w + stride·w)` words (`w = ceil(n/64)`),
 //! independent of fan-out, candidate count, and charset shape — dense wins
 //! exactly when the frontier is a sizable fraction of the automaton, which
 //! is what the high-activity benchmarks (Snort's hot classes, the
 //! Hamming/Levenshtein meshes) look like.
+//!
+//! All precomputed tables live in an `Arc`-shared [`DenseTables`], so the
+//! sharded scheduler compiles them once per pipeline rather than once per
+//! job.
+
+use std::sync::Arc;
 
 use sunder_automata::input::InputView;
-use sunder_automata::{AutomataError, Nfa, StartKind, StateId};
+use sunder_automata::{AutomataError, ByteClasses, Nfa, StartKind, StateId};
 
 use crate::exec::Engine;
+use crate::simd;
 use crate::sink::{ReportEvent, ReportSink};
+
+/// Precomputed, automaton-derived tables for the dense engine: byte-classed
+/// accept masks, the successor matrix, start/report vectors. Shareable
+/// across engine instances of the same automaton.
+#[derive(Debug)]
+pub(crate) struct DenseTables {
+    /// Words per state bit vector: `ceil(num_states / 64)`.
+    pub(crate) words: usize,
+    alphabet: usize,
+    stride: usize,
+    /// Per position, the symbol→class map (`stride × alphabet`, row-major).
+    class_of: Vec<u16>,
+    /// Accept-row offset of each position's class 0, in row units
+    /// (`stride + 1` entries; the last is the total row count).
+    class_off: Vec<u32>,
+    /// Accept masks, one `words`-wide row per (position, class).
+    accept: Vec<u64>,
+    /// Per position `j`: the states whose charset at `j` is full (don't
+    /// care). Used in place of an accept row for end-of-stream padding.
+    pad_full: Vec<u64>,
+    /// Successor rows, one `words`-wide row per state.
+    succ: Vec<u64>,
+    /// States with at least one successor (skip mask for the OR loop).
+    has_succ: Vec<u64>,
+    start_allinput: Vec<u64>,
+    start_sod: Vec<u64>,
+    report_mask: Vec<u64>,
+    /// Cached `nfa.start_period()`, hoisted out of the cycle loop.
+    start_period: u64,
+}
+
+impl DenseTables {
+    /// Builds the tables for `nfa`, computing the symbol equivalence
+    /// classes first so the accept table holds one row per class.
+    pub(crate) fn build(nfa: &Nfa) -> DenseTables {
+        let n = nfa.num_states();
+        let words = n.div_ceil(64);
+        let alphabet = 1usize << nfa.symbol_bits();
+        let stride = nfa.stride();
+        let classes = ByteClasses::of(nfa);
+
+        let mut class_off = Vec::with_capacity(stride + 1);
+        class_off.push(0u32);
+        for j in 0..stride {
+            class_off.push(class_off[j] + classes.count(j) as u32);
+        }
+        let total_rows = class_off[stride] as usize;
+
+        let mut class_of = Vec::with_capacity(stride * alphabet);
+        for j in 0..stride {
+            class_of.extend_from_slice(classes.row(j));
+        }
+
+        let mut accept = vec![0u64; total_rows * words];
+        let mut pad_full = vec![0u64; stride * words];
+        let mut succ = vec![0u64; n * words];
+        let mut has_succ = vec![0u64; words];
+        let mut start_allinput = vec![0u64; words];
+        let mut start_sod = vec![0u64; words];
+        let mut report_mask = vec![0u64; words];
+
+        for (id, ste) in nfa.states() {
+            let i = id.index();
+            let (word, bit) = (i / 64, 1u64 << (i % 64));
+            for (j, cs) in ste.charsets().iter().enumerate() {
+                // One column bit per member symbol; symbols of the same
+                // class write the same row, by definition of the classes.
+                cs.for_each_symbol(|sym| {
+                    let row = class_off[j] as usize + usize::from(classes.class_of(j, sym));
+                    accept[row * words + word] |= bit;
+                });
+                if cs.is_full() {
+                    pad_full[j * words + word] |= bit;
+                }
+            }
+            match ste.start_kind() {
+                StartKind::AllInput => start_allinput[word] |= bit,
+                StartKind::StartOfData => start_sod[word] |= bit,
+                StartKind::None => {}
+            }
+            if ste.is_reporting() {
+                report_mask[word] |= bit;
+            }
+            if !nfa.successors(id).is_empty() {
+                has_succ[word] |= bit;
+                let row = &mut succ[i * words..(i + 1) * words];
+                for t in nfa.successors(id) {
+                    row[t.index() / 64] |= 1u64 << (t.index() % 64);
+                }
+            }
+        }
+
+        DenseTables {
+            words,
+            alphabet,
+            stride,
+            class_of,
+            class_off,
+            accept,
+            pad_full,
+            succ,
+            has_succ,
+            start_allinput,
+            start_sod,
+            report_mask,
+            start_period: u64::from(nfa.start_period()),
+        }
+    }
+
+    /// Actual footprint of the variable-size tables in bytes (accept +
+    /// successor matrices — the byte-classed analogue of
+    /// [`DenseEngine::table_bytes`]).
+    #[cfg(test)]
+    pub(crate) fn bytes(&self) -> usize {
+        (self.accept.len() + self.succ.len()) * 8
+    }
+
+    /// Accept rows at position `pos` (= distinct symbol classes there).
+    pub(crate) fn class_count(&self, pos: usize) -> usize {
+        (self.class_off[pos + 1] - self.class_off[pos]) as usize
+    }
+}
 
 /// Bit-parallel cycle-by-cycle executor for one automaton.
 ///
@@ -53,25 +185,8 @@ use crate::sink::{ReportEvent, ReportSink};
 #[derive(Debug)]
 pub struct DenseEngine<'a> {
     nfa: &'a Nfa,
-    /// Words per state bit vector: `ceil(num_states / 64)`.
-    words: usize,
-    alphabet: usize,
-    /// Accept masks, `stride × alphabet` rows of `words` words each:
-    /// row `(j, s)` marks the states whose charset at position `j`
-    /// contains symbol `s`.
-    accept: Vec<u64>,
-    /// Per position `j`: the states whose charset at `j` is full (don't
-    /// care). Used in place of an accept row for end-of-stream padding.
-    pad_full: Vec<u64>,
-    /// Successor rows, one `words`-wide row per state.
-    succ: Vec<u64>,
-    /// States with at least one successor (skip mask for the OR loop).
-    has_succ: Vec<u64>,
-    start_allinput: Vec<u64>,
-    start_sod: Vec<u64>,
-    report_mask: Vec<u64>,
-    /// Cached `nfa.start_period()`, hoisted out of the cycle loop.
-    start_period: u64,
+    /// Precomputed tables, shareable across engines of this automaton.
+    tables: Arc<DenseTables>,
     active: Vec<u64>,
     /// Scratch: candidate vector for the current cycle.
     next: Vec<u64>,
@@ -110,81 +225,42 @@ impl std::error::Error for DenseBuildError {}
 impl<'a> DenseEngine<'a> {
     /// Budget-checked constructor: refuses to build when the precomputed
     /// tables would exceed `budget_bytes`, modelling an allocation-denied
-    /// environment. The check runs *before* any allocation, so a refusal
-    /// is free.
+    /// environment. The size check uses the byte-classed footprint
+    /// ([`DenseEngine::classed_table_bytes`]) and runs *before* the big
+    /// allocations, so a refusal costs only the class computation.
     ///
     /// # Errors
     ///
     /// Returns [`DenseBuildError`] when
-    /// [`DenseEngine::table_bytes`]` > budget_bytes`.
+    /// [`DenseEngine::classed_table_bytes`]` > budget_bytes`.
     pub fn try_new(nfa: &'a Nfa, budget_bytes: usize) -> Result<Self, DenseBuildError> {
-        let needed = Self::table_bytes(nfa);
-        if needed > budget_bytes {
-            return Err(DenseBuildError {
-                needed,
-                budget: budget_bytes,
-            });
+        // Cheap upper bound first: if even the unclassed size fits, skip
+        // the class computation.
+        if Self::table_bytes(nfa) > budget_bytes {
+            let needed = Self::classed_table_bytes(nfa);
+            if needed > budget_bytes {
+                return Err(DenseBuildError {
+                    needed,
+                    budget: budget_bytes,
+                });
+            }
         }
         Ok(Self::new(nfa))
     }
 
     /// Precomputes the accept masks and successor matrix for the automaton.
     pub fn new(nfa: &'a Nfa) -> Self {
-        let n = nfa.num_states();
-        let words = n.div_ceil(64);
-        let alphabet = 1usize << nfa.symbol_bits();
-        let stride = nfa.stride();
+        Self::with_tables(nfa, Arc::new(DenseTables::build(nfa)))
+    }
 
-        let mut accept = vec![0u64; stride * alphabet * words];
-        let mut pad_full = vec![0u64; stride * words];
-        let mut succ = vec![0u64; n * words];
-        let mut has_succ = vec![0u64; words];
-        let mut start_allinput = vec![0u64; words];
-        let mut start_sod = vec![0u64; words];
-        let mut report_mask = vec![0u64; words];
-
-        for (id, ste) in nfa.states() {
-            let i = id.index();
-            let (word, bit) = (i / 64, 1u64 << (i % 64));
-            for (j, cs) in ste.charsets().iter().enumerate() {
-                // One column bit per member symbol, straight from the
-                // charset's membership words.
-                cs.for_each_symbol(|sym| {
-                    accept[(j * alphabet + sym as usize) * words + word] |= bit;
-                });
-                if cs.is_full() {
-                    pad_full[j * words + word] |= bit;
-                }
-            }
-            match ste.start_kind() {
-                StartKind::AllInput => start_allinput[word] |= bit,
-                StartKind::StartOfData => start_sod[word] |= bit,
-                StartKind::None => {}
-            }
-            if ste.is_reporting() {
-                report_mask[word] |= bit;
-            }
-            if !nfa.successors(id).is_empty() {
-                has_succ[word] |= bit;
-                let row = &mut succ[i * words..(i + 1) * words];
-                for t in nfa.successors(id) {
-                    row[t.index() / 64] |= 1u64 << (t.index() % 64);
-                }
-            }
-        }
-
+    /// Wraps precompiled tables, skipping the per-automaton build. The
+    /// tables must have been built from `nfa`.
+    pub(crate) fn with_tables(nfa: &'a Nfa, tables: Arc<DenseTables>) -> Self {
+        debug_assert_eq!(tables.stride, nfa.stride());
+        let words = tables.words;
         DenseEngine {
             nfa,
-            words,
-            alphabet,
-            accept,
-            pad_full,
-            succ,
-            has_succ,
-            start_allinput,
-            start_sod,
-            report_mask,
-            start_period: u64::from(nfa.start_period()),
+            tables,
             active: vec![0u64; words],
             next: vec![0u64; words],
             active_count: 0,
@@ -194,15 +270,32 @@ impl<'a> DenseEngine<'a> {
         }
     }
 
-    /// Estimated table footprint in bytes for an automaton, dominated by
-    /// the accept masks (`stride × 2^bits × ceil(n/64)` words). The
-    /// adaptive engine refuses to build a dense twin past a budget.
+    /// The compiled tables, for inspection by the engine tests.
+    #[cfg(test)]
+    pub(crate) fn tables(&self) -> &Arc<DenseTables> {
+        &self.tables
+    }
+
+    /// Conservative table footprint upper bound in bytes, assuming one
+    /// accept row per symbol (`stride × 2^bits × ceil(n/64)` words). Cheap
+    /// — no automaton scan — so budget checks run it first; the actual
+    /// byte-classed footprint ([`DenseEngine::classed_table_bytes`]) is
+    /// usually far smaller.
     pub fn table_bytes(nfa: &Nfa) -> usize {
         let words = nfa.num_states().div_ceil(64);
         let alphabet = 1usize << nfa.symbol_bits();
         let accept = nfa.stride() * alphabet * words;
         let succ = nfa.num_states() * words;
         (accept + succ) * 8
+    }
+
+    /// Exact table footprint in bytes after byte-class reduction: one
+    /// accept row per distinct symbol class instead of one per symbol.
+    /// Costs a `ByteClasses` computation (`O(states × alphabet)`).
+    pub fn classed_table_bytes(nfa: &Nfa) -> usize {
+        let classes = ByteClasses::of(nfa);
+        let words = nfa.num_states().div_ceil(64);
+        (classes.total() * words + nfa.num_states() * words) * 8
     }
 
     /// The automaton being executed.
@@ -220,9 +313,15 @@ impl<'a> DenseEngine<'a> {
         self.active_count
     }
 
+    /// Accept rows stored for stride position `pos` — the number of
+    /// distinct symbol classes there (≤ the alphabet size).
+    pub fn class_count(&self, pos: usize) -> usize {
+        self.tables.class_count(pos)
+    }
+
     /// Resets to the initial configuration (cycle 0, empty frontier).
     pub fn reset(&mut self) {
-        self.active.iter_mut().for_each(|w| *w = 0);
+        simd::clear(&mut self.active);
         self.active_count = 0;
         self.cycle = 0;
     }
@@ -230,11 +329,11 @@ impl<'a> DenseEngine<'a> {
     /// Replaces the current frontier and cycle counter (engine-switch
     /// support; see [`crate::AdaptiveEngine`]).
     pub fn load_frontier(&mut self, states: &[StateId], cycle: u64) {
-        self.active.iter_mut().for_each(|w| *w = 0);
+        simd::clear(&mut self.active);
         for s in states {
             self.active[s.index() / 64] |= 1u64 << (s.index() % 64);
         }
-        self.active_count = self.active.iter().map(|w| w.count_ones() as usize).sum();
+        self.active_count = simd::count_ones(&self.active);
         self.cycle = cycle;
     }
 
@@ -264,48 +363,72 @@ impl<'a> DenseEngine<'a> {
         valid: usize,
         sink: &mut S,
     ) -> usize {
-        // Monomorphized fast paths for small state vectors (the regime
-        // where dense beats sparse): with the word count a compile-time
-        // constant the OR/AND loops fully unroll and bounds checks vanish.
-        match self.words {
-            1 => self.step_w::<1, S>(vector, valid, sink),
-            2 => self.step_w::<2, S>(vector, valid, sink),
-            3 => self.step_w::<3, S>(vector, valid, sink),
-            4 => self.step_w::<4, S>(vector, valid, sink),
-            5 => self.step_w::<5, S>(vector, valid, sink),
-            6 => self.step_w::<6, S>(vector, valid, sink),
-            7 => self.step_w::<7, S>(vector, valid, sink),
-            8 => self.step_w::<8, S>(vector, valid, sink),
-            _ => self.step_dyn(vector, valid, sink),
-        }
+        self.step_impl::<S, false>(vector, valid, sink)
     }
 
-    /// [`DenseEngine::step`] specialized for a compile-time word count.
-    fn step_w<const W: usize, S: ReportSink + ?Sized>(
+    /// [`DenseEngine::step`] minus the per-cycle activity callbacks. Legal
+    /// only for sinks whose `wants_cycle_activity` and
+    /// `wants_active_states` both return `false` (see
+    /// [`crate::sink::ReportSink::wants_cycle_activity`]); reports are
+    /// still delivered identically.
+    pub(crate) fn step_quiet<S: ReportSink + ?Sized>(
         &mut self,
         vector: &[u16],
         valid: usize,
         sink: &mut S,
     ) -> usize {
-        let stride = self.nfa.stride();
+        self.step_impl::<S, true>(vector, valid, sink)
+    }
+
+    fn step_impl<S: ReportSink + ?Sized, const QUIET: bool>(
+        &mut self,
+        vector: &[u16],
+        valid: usize,
+        sink: &mut S,
+    ) -> usize {
+        // Monomorphized fast paths for small state vectors (the regime
+        // where dense beats sparse): with the word count a compile-time
+        // constant the OR/AND loops fully unroll and bounds checks vanish.
+        match self.tables.words {
+            1 => self.step_w::<1, S, QUIET>(vector, valid, sink),
+            2 => self.step_w::<2, S, QUIET>(vector, valid, sink),
+            3 => self.step_w::<3, S, QUIET>(vector, valid, sink),
+            4 => self.step_w::<4, S, QUIET>(vector, valid, sink),
+            5 => self.step_w::<5, S, QUIET>(vector, valid, sink),
+            6 => self.step_w::<6, S, QUIET>(vector, valid, sink),
+            7 => self.step_w::<7, S, QUIET>(vector, valid, sink),
+            8 => self.step_w::<8, S, QUIET>(vector, valid, sink),
+            _ => self.step_dyn::<S, QUIET>(vector, valid, sink),
+        }
+    }
+
+    /// [`DenseEngine::step`] specialized for a compile-time word count.
+    fn step_w<const W: usize, S: ReportSink + ?Sized, const QUIET: bool>(
+        &mut self,
+        vector: &[u16],
+        valid: usize,
+        sink: &mut S,
+    ) -> usize {
+        let t = &*self.tables;
+        let stride = t.stride;
         assert_eq!(
             vector.len(),
             stride,
             "symbol vector length must equal the automaton stride"
         );
-        debug_assert_eq!(self.words, W);
+        debug_assert_eq!(t.words, W);
 
         let mut next = [0u64; W];
 
         // Candidate phase: successors of the frontier, plus enabled starts.
         {
             let active: &[u64; W] = (&self.active[..]).try_into().expect("word count");
-            let has_succ: &[u64; W] = (&self.has_succ[..]).try_into().expect("word count");
+            let has_succ: &[u64; W] = (&t.has_succ[..]).try_into().expect("word count");
             for wi in 0..W {
                 let mut w = active[wi] & has_succ[wi];
                 while w != 0 {
                     let s = wi * 64 + w.trailing_zeros() as usize;
-                    let row: &[u64; W] = (&self.succ[s * W..(s + 1) * W]).try_into().expect("row");
+                    let row: &[u64; W] = (&t.succ[s * W..(s + 1) * W]).try_into().expect("row");
                     for k in 0..W {
                         next[k] |= row[k];
                     }
@@ -313,38 +436,37 @@ impl<'a> DenseEngine<'a> {
                 }
             }
         }
-        if self.start_period == 1 || self.cycle.is_multiple_of(self.start_period) {
-            let starts: &[u64; W] = (&self.start_allinput[..]).try_into().expect("word count");
+        if t.start_period == 1 || self.cycle.is_multiple_of(t.start_period) {
+            let starts: &[u64; W] = (&t.start_allinput[..]).try_into().expect("word count");
             for k in 0..W {
                 next[k] |= starts[k];
             }
         }
         if self.cycle == 0 {
-            let starts: &[u64; W] = (&self.start_sod[..]).try_into().expect("word count");
+            let starts: &[u64; W] = (&t.start_sod[..]).try_into().expect("word count");
             for k in 0..W {
                 next[k] |= starts[k];
             }
         }
 
-        // Match phase: AND one accept row per valid stride position, then
-        // the don't-care mask over the padding tail.
+        // Match phase: AND one accept row per valid stride position (by
+        // symbol class), then the don't-care mask over the padding tail.
         let mut dead = false;
         for (j, &v) in vector.iter().enumerate().take(valid.min(stride)) {
             let sym = v as usize;
-            if sym >= self.alphabet {
+            if sym >= t.alphabet {
                 dead = true;
                 break;
             }
-            let base = (j * self.alphabet + sym) * W;
-            let row: &[u64; W] = (&self.accept[base..base + W]).try_into().expect("row");
+            let cls = usize::from(t.class_of[j * t.alphabet + sym]);
+            let base = (t.class_off[j] as usize + cls) * W;
+            let row: &[u64; W] = (&t.accept[base..base + W]).try_into().expect("row");
             for k in 0..W {
                 next[k] &= row[k];
             }
         }
         for j in valid.min(stride)..stride {
-            let row: &[u64; W] = (&self.pad_full[j * W..(j + 1) * W])
-                .try_into()
-                .expect("row");
+            let row: &[u64; W] = (&t.pad_full[j * W..(j + 1) * W]).try_into().expect("row");
             for k in 0..W {
                 next[k] &= row[k];
             }
@@ -359,96 +481,106 @@ impl<'a> DenseEngine<'a> {
             count += w.count_ones() as usize;
         }
         self.active_count = count;
-        self.deliver(valid, count, sink)
+        self.deliver::<S, QUIET>(valid, count, sink)
     }
 
-    /// [`DenseEngine::step`] for arbitrary word counts (slice loops).
-    fn step_dyn<S: ReportSink + ?Sized>(
+    /// [`DenseEngine::step`] for arbitrary word counts, built on the
+    /// chunked word helpers in [`crate::simd`].
+    fn step_dyn<S: ReportSink + ?Sized, const QUIET: bool>(
         &mut self,
         vector: &[u16],
         valid: usize,
         sink: &mut S,
     ) -> usize {
-        let stride = self.nfa.stride();
+        let t = &*self.tables;
+        let stride = t.stride;
         assert_eq!(
             vector.len(),
             stride,
             "symbol vector length must equal the automaton stride"
         );
-        let words = self.words;
+        let words = t.words;
 
         // Candidate phase: successors of the frontier, plus enabled starts.
-        self.next.iter_mut().for_each(|w| *w = 0);
+        simd::clear(&mut self.next);
         for wi in 0..words {
-            let mut w = self.active[wi] & self.has_succ[wi];
+            let mut w = self.active[wi] & t.has_succ[wi];
             while w != 0 {
                 let s = wi * 64 + w.trailing_zeros() as usize;
-                let row = &self.succ[s * words..(s + 1) * words];
-                for (n, r) in self.next.iter_mut().zip(row) {
-                    *n |= r;
-                }
+                simd::or_into(&mut self.next, &t.succ[s * words..(s + 1) * words]);
                 w &= w - 1;
             }
         }
-        if self.start_period == 1 || self.cycle.is_multiple_of(self.start_period) {
-            for (n, s) in self.next.iter_mut().zip(&self.start_allinput) {
-                *n |= s;
-            }
+        if t.start_period == 1 || self.cycle.is_multiple_of(t.start_period) {
+            simd::or_into(&mut self.next, &t.start_allinput);
         }
         if self.cycle == 0 {
-            for (n, s) in self.next.iter_mut().zip(&self.start_sod) {
-                *n |= s;
-            }
+            simd::or_into(&mut self.next, &t.start_sod);
         }
 
-        // Match phase: AND one accept row per stride position (the padding
-        // region uses the don't-care mask instead). A symbol outside the
-        // alphabet matches no charset, full or not — same as the sparse
-        // engine's `contains` — so it annihilates the cycle.
+        // Match phase: AND one accept row per stride position, selected by
+        // symbol class (the padding region uses the don't-care mask
+        // instead). A symbol outside the alphabet matches no charset, full
+        // or not — same as the sparse engine's `contains` — so it
+        // annihilates the cycle. The final AND fuses with the popcount.
         let mut dead = false;
-        for (j, &v) in vector.iter().enumerate().take(valid.min(stride)) {
+        let mut count = 0usize;
+        let live = valid.min(stride);
+        let rows = stride; // total AND passes (live + padding)
+        let mut pass = 0usize;
+        for (j, &v) in vector.iter().enumerate().take(live) {
             let sym = v as usize;
-            if sym >= self.alphabet {
+            if sym >= t.alphabet {
                 dead = true;
                 break;
             }
-            let row = &self.accept[(j * self.alphabet + sym) * words..][..words];
-            for (n, r) in self.next.iter_mut().zip(row) {
-                *n &= r;
+            let cls = usize::from(t.class_of[j * t.alphabet + sym]);
+            let row = &t.accept[(t.class_off[j] as usize + cls) * words..][..words];
+            pass += 1;
+            if pass == rows {
+                count = simd::and_into_count(&mut self.next, row);
+            } else {
+                simd::and_into(&mut self.next, row);
             }
         }
-        for j in valid.min(stride)..stride {
-            let row = &self.pad_full[j * words..][..words];
-            for (n, r) in self.next.iter_mut().zip(row) {
-                *n &= r;
+        if !dead {
+            for j in live..stride {
+                let row = &t.pad_full[j * words..][..words];
+                pass += 1;
+                if pass == rows {
+                    count = simd::and_into_count(&mut self.next, row);
+                } else {
+                    simd::and_into(&mut self.next, row);
+                }
             }
         }
         if dead {
-            self.next.iter_mut().for_each(|w| *w = 0);
+            simd::clear(&mut self.next);
+            count = 0;
+        } else if rows == 0 {
+            // Stride-0 is impossible, but keep the count honest if no AND
+            // pass ran (e.g. all-padding vectors on stride 0).
+            count = simd::count_ones(&self.next);
         }
 
         std::mem::swap(&mut self.active, &mut self.next);
-        let mut count = 0usize;
-        for w in &self.active {
-            count += w.count_ones() as usize;
-        }
         self.active_count = count;
-        self.deliver(valid, count, sink)
+        self.deliver::<S, QUIET>(valid, count, sink)
     }
 
     /// Shared per-cycle tail: report extraction and sink callbacks.
-    fn deliver<S: ReportSink + ?Sized>(
+    fn deliver<S: ReportSink + ?Sized, const QUIET: bool>(
         &mut self,
         valid: usize,
         count: usize,
         sink: &mut S,
     ) -> usize {
-        let words = self.words;
+        let words = self.tables.words;
         // Report extraction: trailing_zeros scan over the reporting members
         // of the new frontier. Ascending state order by construction.
         self.reports.clear();
         for wi in 0..words {
-            let mut w = self.active[wi] & self.report_mask[wi];
+            let mut w = self.active[wi] & self.tables.report_mask[wi];
             while w != 0 {
                 let i = wi * 64 + w.trailing_zeros() as usize;
                 let id = StateId(i as u32);
@@ -470,18 +602,20 @@ impl<'a> DenseEngine<'a> {
         if !self.reports.is_empty() {
             sink.on_cycle_reports(self.cycle, &self.reports);
         }
-        sink.on_cycle_activity(self.cycle, count);
-        if sink.wants_active_states() {
-            self.active_list.clear();
-            for (wi, &word) in self.active.iter().enumerate() {
-                let mut w = word;
-                while w != 0 {
-                    self.active_list
-                        .push(StateId((wi * 64) as u32 + w.trailing_zeros()));
-                    w &= w - 1;
+        if !QUIET {
+            sink.on_cycle_activity(self.cycle, count);
+            if sink.wants_active_states() {
+                self.active_list.clear();
+                for (wi, &word) in self.active.iter().enumerate() {
+                    let mut w = word;
+                    while w != 0 {
+                        self.active_list
+                            .push(StateId((wi * 64) as u32 + w.trailing_zeros()));
+                        w &= w - 1;
+                    }
                 }
+                sink.on_active_states(self.cycle, &self.active_list);
             }
-            sink.on_active_states(self.cycle, &self.active_list);
         }
         self.cycle += 1;
         count
@@ -517,8 +651,16 @@ impl<'a> DenseEngine<'a> {
                 found: input.stride(),
             });
         }
-        for v in input.iter_ref() {
-            self.step(v.symbols, v.valid, sink);
+        if sink.wants_cycle_activity() || sink.wants_active_states() {
+            for v in input.iter_ref() {
+                self.step(v.symbols, v.valid, sink);
+            }
+        } else {
+            // The sink declared no interest in per-cycle activity, so the
+            // quiet step legally drops those callbacks.
+            for v in input.iter_ref() {
+                self.step_quiet(v.symbols, v.valid, sink);
+            }
         }
         Ok(())
     }
@@ -679,6 +821,37 @@ mod tests {
     }
 
     #[test]
+    fn many_words_exercise_the_simd_path() {
+        // 600 states = 10 words, past every monomorphized step_w arm, so
+        // step_dyn (the chunked-word path) runs — including a remainder
+        // chunk (10 % 4 != 0). Two chains so the frontier spans words.
+        let mut nfa = Nfa::new(8);
+        for start_sym in [b'a', b'q'] {
+            let mut prev = None;
+            for i in 0..300u32 {
+                let sym = if i == 0 { start_sym } else { b'a' };
+                let mut ste = Ste::new(SymbolSet::singleton(8, sym as u16));
+                if i == 0 {
+                    ste = ste.start(StartKind::AllInput);
+                }
+                if i % 37 == 0 {
+                    ste = ste.report(i);
+                }
+                let id = nfa.add_state(ste);
+                if let Some(p) = prev {
+                    nfa.add_edge(p, id);
+                }
+                prev = Some(id);
+            }
+        }
+        assert!(nfa.num_states() > 8 * 64, "must exceed the step_w arms");
+        let mut input = vec![b'a'; 120];
+        input[60] = b'q';
+        let input = InputView::new(&input, 8, 1).unwrap();
+        traces_agree(&nfa, &input);
+    }
+
+    #[test]
     fn table_bytes_scales_with_alphabet() {
         let mut nfa4 = Nfa::new(4);
         nfa4.add_state(Ste::new(SymbolSet::full(4)));
@@ -686,5 +859,34 @@ mod tests {
         nfa8.add_state(Ste::new(SymbolSet::full(8)));
         assert_eq!(DenseEngine::table_bytes(&nfa4), (16 + 1) * 8);
         assert_eq!(DenseEngine::table_bytes(&nfa8), (256 + 1) * 8);
+    }
+
+    #[test]
+    fn byte_classes_shrink_the_accept_table() {
+        // "ab" distinguishes 3 symbol classes; the accept table holds 3
+        // rows instead of 256.
+        let nfa = compile_regex("ab", 0).unwrap();
+        let dense = DenseEngine::new(&nfa);
+        assert_eq!(dense.class_count(0), 3);
+        assert_eq!(
+            dense.tables().bytes(),
+            DenseEngine::classed_table_bytes(&nfa)
+        );
+        assert!(DenseEngine::classed_table_bytes(&nfa) < DenseEngine::table_bytes(&nfa));
+    }
+
+    #[test]
+    fn classed_budget_admits_small_classed_tables() {
+        // Conservative estimate exceeds the budget but the classed tables
+        // fit: the build must succeed.
+        let nfa = compile_regex("ab", 0).unwrap();
+        let classed = DenseEngine::classed_table_bytes(&nfa);
+        assert!(classed < DenseEngine::table_bytes(&nfa));
+        let engine = DenseEngine::try_new(&nfa, classed).expect("classed size fits");
+        assert_eq!(engine.class_count(0), 3);
+        // And below the classed size it must still refuse, reporting the
+        // classed footprint.
+        let err = DenseEngine::try_new(&nfa, classed - 1).unwrap_err();
+        assert_eq!(err.needed, classed);
     }
 }

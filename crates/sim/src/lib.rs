@@ -37,9 +37,11 @@ pub mod adaptive;
 pub mod dense;
 pub mod engine;
 pub mod exec;
+pub(crate) mod fastpath;
 pub mod histogram;
 pub mod profile;
 pub mod sharded;
+pub mod simd;
 pub mod sink;
 pub mod stats;
 

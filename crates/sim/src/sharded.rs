@@ -18,13 +18,29 @@
 //! The conformance oracle locks this down (`sunder-oracle`'s sharded
 //! checks and the `sunder-shard` property tests).
 
+use std::sync::{Arc, OnceLock};
+
 use sunder_automata::input::InputView;
 use sunder_automata::partition::{partition, partition_into, PartitionOptions, ShardPlan};
 use sunder_automata::{AutomataError, Nfa};
 use sunder_resilience::{Budget, RunOutcome};
 
-use crate::exec::EngineKind;
+use crate::adaptive::{AdaptiveEngine, AdaptiveLimits};
+use crate::dense::DenseTables;
+use crate::exec::{Engine, EngineKind};
+use crate::fastpath::SparseTables;
 use crate::sink::{ReportEvent, ReportSink, TraceSink};
+
+/// Compiled per-shard tables, shared across every run (and every clone of
+/// the engine handed to worker threads). The sparse tables are built
+/// eagerly at plan time — they are linear in the shard — while the dense
+/// tables are built at most once per shard, on first demand, no matter
+/// how many streams execute the shard concurrently.
+#[derive(Debug, Clone)]
+struct ShardTables {
+    sparse: Arc<SparseTables>,
+    dense: Arc<OnceLock<Arc<DenseTables>>>,
+}
 
 /// Executes a [`ShardPlan`] and merges per-shard report traces into a
 /// position-stable aggregate identical to monolithic execution.
@@ -34,6 +50,7 @@ pub struct ShardedEngine {
     kind: EngineKind,
     symbol_bits: u8,
     stride: usize,
+    tables: Vec<ShardTables>,
 }
 
 impl ShardedEngine {
@@ -72,11 +89,20 @@ impl ShardedEngine {
     /// Wraps an existing plan for `nfa` (the plan must have been built
     /// from this automaton; only its width and stride are read here).
     pub fn from_plan(nfa: &Nfa, plan: ShardPlan, kind: EngineKind) -> ShardedEngine {
+        let tables = plan
+            .shards
+            .iter()
+            .map(|s| ShardTables {
+                sparse: Arc::new(SparseTables::build(&s.nfa)),
+                dense: Arc::new(OnceLock::new()),
+            })
+            .collect();
         ShardedEngine {
             plan,
             kind,
             symbol_bits: nfa.symbol_bits(),
             stride: nfa.stride(),
+            tables,
         }
     }
 
@@ -105,6 +131,30 @@ impl ShardedEngine {
         self.symbol_bits
     }
 
+    /// Instantiates the engine for one shard from the precompiled shared
+    /// tables: no per-run successor/encoding rebuild, and the dense
+    /// tables — when the kind wants them — are built once per shard and
+    /// then shared by every stream and clone.
+    fn build_shard_engine(&self, shard: usize) -> Box<dyn Engine + '_> {
+        let nfa = &self.plan.shards[shard].nfa;
+        let t = &self.tables[shard];
+        match self.kind {
+            EngineKind::Sparse => {
+                Box::new(crate::Simulator::with_tables(nfa, Arc::clone(&t.sparse)))
+            }
+            EngineKind::Dense => {
+                let tables = Arc::clone(t.dense.get_or_init(|| Arc::new(DenseTables::build(nfa))));
+                Box::new(crate::DenseEngine::with_tables(nfa, tables))
+            }
+            EngineKind::Adaptive => Box::new(AdaptiveEngine::with_shared(
+                nfa,
+                Arc::clone(&t.sparse),
+                Arc::clone(&t.dense),
+                AdaptiveLimits::default(),
+            )),
+        }
+    }
+
     /// Runs one shard over the whole input under `budget`, returning its
     /// report events **remapped to original state ids** plus the run
     /// outcome. Shards are independent, so callers may fan these out
@@ -120,7 +170,7 @@ impl ShardedEngine {
         budget: &Budget,
     ) -> (Vec<ReportEvent>, RunOutcome) {
         let s = &self.plan.shards[shard];
-        let mut engine = self.kind.build(&s.nfa);
+        let mut engine = self.build_shard_engine(shard);
         let mut trace = TraceSink::new();
         let outcome = engine.run_budgeted(input, &mut trace, budget);
         if sunder_telemetry::enabled() {

@@ -1,0 +1,192 @@
+//! Chunked word operations for frontier masks.
+//!
+//! The dense engine's per-cycle work is a handful of OR/AND passes over
+//! `ceil(n/64)`-word bit vectors. For automata past the monomorphized
+//! small-word fast paths these loops run over slices; processing them in
+//! `u64x4`-shaped chunks (four words at a time, with a scalar remainder)
+//! gives the compiler straight-line, bounds-check-free bodies it reliably
+//! autovectorizes — no `unsafe`, no portable-SIMD dependency, identical
+//! results to the scalar loops (proven by the tests below and the
+//! cross-engine trace oracle).
+
+/// Word chunk width. Four `u64`s is one AVX2 register / two NEON
+/// registers; the remainder loop handles non-multiple-of-4 word counts.
+const LANES: usize = 4;
+
+/// `dst[i] |= src[i]` for all words.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn or_into(dst: &mut [u64], src: &[u64]) {
+    assert_eq!(dst.len(), src.len(), "word counts must match");
+    let mut d = dst.chunks_exact_mut(LANES);
+    let mut s = src.chunks_exact(LANES);
+    for (dc, sc) in d.by_ref().zip(s.by_ref()) {
+        for k in 0..LANES {
+            dc[k] |= sc[k];
+        }
+    }
+    for (dw, sw) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *dw |= sw;
+    }
+}
+
+/// `dst[i] &= src[i]` for all words.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn and_into(dst: &mut [u64], src: &[u64]) {
+    assert_eq!(dst.len(), src.len(), "word counts must match");
+    let mut d = dst.chunks_exact_mut(LANES);
+    let mut s = src.chunks_exact(LANES);
+    for (dc, sc) in d.by_ref().zip(s.by_ref()) {
+        for k in 0..LANES {
+            dc[k] &= sc[k];
+        }
+    }
+    for (dw, sw) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *dw &= sw;
+    }
+}
+
+/// `dst[i] &= src[i]`, returning the total population count of `dst`
+/// afterwards. Fusing the AND with the popcount saves one full pass over
+/// the frontier mask on the dense engine's match phase.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn and_into_count(dst: &mut [u64], src: &[u64]) -> usize {
+    assert_eq!(dst.len(), src.len(), "word counts must match");
+    let mut count = 0usize;
+    let mut d = dst.chunks_exact_mut(LANES);
+    let mut s = src.chunks_exact(LANES);
+    for (dc, sc) in d.by_ref().zip(s.by_ref()) {
+        for k in 0..LANES {
+            dc[k] &= sc[k];
+            count += dc[k].count_ones() as usize;
+        }
+    }
+    for (dw, sw) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *dw &= sw;
+        count += dw.count_ones() as usize;
+    }
+    count
+}
+
+/// Total population count of `words`.
+pub fn count_ones(words: &[u64]) -> usize {
+    let mut count = 0usize;
+    let mut c = words.chunks_exact(LANES);
+    for chunk in c.by_ref() {
+        for w in chunk {
+            count += w.count_ones() as usize;
+        }
+    }
+    for w in c.remainder() {
+        count += w.count_ones() as usize;
+    }
+    count
+}
+
+/// Sets every word to zero.
+pub fn clear(words: &mut [u64]) {
+    words.iter_mut().for_each(|w| *w = 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift64* stream, so the randomized parity sweeps
+    /// need no external dependency.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+
+        fn mask(&mut self, words: usize) -> Vec<u64> {
+            (0..words).map(|_| self.next()).collect()
+        }
+    }
+
+    /// Word counts covering every chunk/remainder shape, including
+    /// non-multiple-of-4 counts and the empty mask.
+    const WORD_COUNTS: [usize; 10] = [0, 1, 2, 3, 4, 5, 7, 8, 9, 33];
+
+    #[test]
+    fn or_matches_scalar_on_random_masks() {
+        let mut rng = Rng(0x9E3779B97F4A7C15);
+        for words in WORD_COUNTS {
+            for _ in 0..8 {
+                let src = rng.mask(words);
+                let mut got = rng.mask(words);
+                let expect: Vec<u64> = got.iter().zip(&src).map(|(a, b)| a | b).collect();
+                or_into(&mut got, &src);
+                assert_eq!(got, expect, "{words} words");
+            }
+        }
+    }
+
+    #[test]
+    fn and_matches_scalar_on_random_masks() {
+        let mut rng = Rng(0xDEADBEEFCAFEF00D);
+        for words in WORD_COUNTS {
+            for _ in 0..8 {
+                let src = rng.mask(words);
+                let mut got = rng.mask(words);
+                let expect: Vec<u64> = got.iter().zip(&src).map(|(a, b)| a & b).collect();
+                and_into(&mut got, &src);
+                assert_eq!(got, expect, "{words} words");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_and_count_matches_two_pass() {
+        let mut rng = Rng(0x1234_5678_9ABC_DEF1);
+        for words in WORD_COUNTS {
+            for _ in 0..8 {
+                let src = rng.mask(words);
+                let mut fused = rng.mask(words);
+                let mut two_pass = fused.clone();
+                let n = and_into_count(&mut fused, &src);
+                and_into(&mut two_pass, &src);
+                assert_eq!(fused, two_pass, "{words} words");
+                assert_eq!(n, count_ones(&two_pass), "{words} words");
+            }
+        }
+    }
+
+    #[test]
+    fn count_ones_matches_scalar() {
+        let mut rng = Rng(42);
+        for words in WORD_COUNTS {
+            let mask = rng.mask(words);
+            let expect: usize = mask.iter().map(|w| w.count_ones() as usize).sum();
+            assert_eq!(count_ones(&mask), expect, "{words} words");
+        }
+    }
+
+    #[test]
+    fn clear_zeroes_every_word() {
+        let mut mask = vec![u64::MAX; 7];
+        clear(&mut mask);
+        assert!(mask.iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "word counts must match")]
+    fn mismatched_lengths_panic() {
+        or_into(&mut [0u64; 2], &[0u64; 3]);
+    }
+}

@@ -45,6 +45,20 @@ pub trait ReportSink {
         let _ = (cycle, active_states);
     }
 
+    /// Whether this sink observes [`ReportSink::on_cycle_activity`].
+    ///
+    /// Defaults to `true` — any sink overriding the callback keeps exact
+    /// per-cycle delivery without further changes. Sinks that ignore
+    /// activity (the built-in report-only sinks) return `false`, which
+    /// (together with `wants_active_states` returning `false`) licenses
+    /// the engines to omit *all* activity callbacks — stepped cycles take
+    /// a quiet path that delivers only reports, and the rare-byte
+    /// prefilter may *skip* cycles that provably produce no frontier and
+    /// no report entirely: skipped cycles get no callbacks at all.
+    fn wants_cycle_activity(&self) -> bool {
+        true
+    }
+
     /// Whether this sink wants the full active-state list each cycle
     /// (via [`ReportSink::on_active_states`]). Defaults to `false` so the
     /// common case pays nothing.
@@ -68,6 +82,10 @@ impl<S: ReportSink + ?Sized> ReportSink for &mut S {
         (**self).on_cycle_activity(cycle, active_states);
     }
 
+    fn wants_cycle_activity(&self) -> bool {
+        (**self).wants_cycle_activity()
+    }
+
     fn wants_active_states(&self) -> bool {
         (**self).wants_active_states()
     }
@@ -83,6 +101,10 @@ pub struct NullSink;
 
 impl ReportSink for NullSink {
     fn on_cycle_reports(&mut self, _cycle: u64, _reports: &[ReportEvent]) {}
+
+    fn wants_cycle_activity(&self) -> bool {
+        false
+    }
 }
 
 /// Counts reports and report cycles without storing events.
@@ -108,6 +130,10 @@ impl ReportSink for CountSink {
         self.reports += reports.len() as u64;
         self.report_cycles += 1;
         self.max_reports_per_cycle = self.max_reports_per_cycle.max(reports.len());
+    }
+
+    fn wants_cycle_activity(&self) -> bool {
+        false
     }
 }
 
@@ -146,6 +172,10 @@ impl TraceSink {
 impl ReportSink for TraceSink {
     fn on_cycle_reports(&mut self, _cycle: u64, reports: &[ReportEvent]) {
         self.events.extend_from_slice(reports);
+    }
+
+    fn wants_cycle_activity(&self) -> bool {
+        false
     }
 }
 
@@ -200,6 +230,10 @@ impl ReportSink for BoundedTraceSink {
         let take = room.min(reports.len());
         self.events.extend_from_slice(&reports[..take]);
         self.dropped += (reports.len() - take) as u64;
+    }
+
+    fn wants_cycle_activity(&self) -> bool {
+        false
     }
 }
 
