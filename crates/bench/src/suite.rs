@@ -252,6 +252,12 @@ fn run_benchmark(
             // Cycle-model faults target `sunder_arch::SunderMachine`, not
             // the functional engines this suite runs; see the arch tests.
             FaultKind::FifoOverflowStorm { .. } | FaultKind::StuckReportRow { .. } => {}
+            // Connection-level faults are acted out by the streaming
+            // chaos client (`sunder serve-chaos`), not this worker pool.
+            FaultKind::Disconnect { .. }
+            | FaultKind::SlowDrip { .. }
+            | FaultKind::MalformedFrame { .. }
+            | FaultKind::ReloadDuringBurst { .. } => {}
         }
     }
     if ctx.attempt < transient_failures {

@@ -20,7 +20,15 @@
 //! transient 4 2
 //! fifo-overflow-storm 1 100 50
 //! stuck-report-row 6 0
+//! disconnect 7 3
+//! slow-drip 8 16 25
+//! malformed-frame 10 2
+//! reload-burst 11 2
 //! ```
+//!
+//! The last four directives target the streaming service's connection
+//! layer (see `sunder serve-chaos`): the chaos client acts them out on
+//! the wire instead of the worker pool acting them out in-process.
 
 /// A single injected fault, targeting one work item.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,6 +78,37 @@ pub enum FaultKind {
         /// Index of the stuck processing unit.
         pu: usize,
     },
+    /// Streaming service: the client drops the connection mid-stream —
+    /// after sending `after_chunks` complete chunks it sends a partial
+    /// frame header and closes the socket without `Finish`.
+    Disconnect {
+        /// Complete chunks delivered before the drop.
+        after_chunks: u64,
+    },
+    /// Streaming service: the client trickles its input in tiny chunks
+    /// with a pause between each, exercising per-chunk deadlines and the
+    /// session queue's idle behavior.
+    SlowDrip {
+        /// Bytes per trickled chunk.
+        chunk_bytes: u64,
+        /// Pause between chunks, in milliseconds.
+        delay_millis: u64,
+    },
+    /// Streaming service: the client sends a malformed frame. `mode`
+    /// selects the corruption (0 = zero-length frame, 1 = oversized
+    /// declared length, 2 = unknown opcode, 3 = truncated body,
+    /// 4 = unknown protocol version in Hello).
+    MalformedFrame {
+        /// Corruption selector (see variant docs).
+        mode: u64,
+    },
+    /// Streaming service: the client triggers a pattern-DB hot reload
+    /// after sending `after_chunks` chunks, mid-burst, so the session
+    /// must finish on its pinned pre-reload pipeline epoch.
+    ReloadDuringBurst {
+        /// Chunks delivered before the reload request.
+        after_chunks: u64,
+    },
 }
 
 impl FaultKind {
@@ -83,7 +122,23 @@ impl FaultKind {
             FaultKind::TransientError { .. } => "transient",
             FaultKind::FifoOverflowStorm { .. } => "fifo-overflow-storm",
             FaultKind::StuckReportRow { .. } => "stuck-report-row",
+            FaultKind::Disconnect { .. } => "disconnect",
+            FaultKind::SlowDrip { .. } => "slow-drip",
+            FaultKind::MalformedFrame { .. } => "malformed-frame",
+            FaultKind::ReloadDuringBurst { .. } => "reload-burst",
         }
+    }
+
+    /// `true` for faults acted out by the streaming client/connection
+    /// layer (as opposed to the worker or cycle-model layers).
+    pub fn is_connection_fault(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::Disconnect { .. }
+                | FaultKind::SlowDrip { .. }
+                | FaultKind::MalformedFrame { .. }
+                | FaultKind::ReloadDuringBurst { .. }
+        )
     }
 }
 
@@ -176,6 +231,24 @@ impl FaultPlan {
                 }
                 FaultKind::StuckReportRow { pu } => {
                     out.push_str(&format!("stuck-report-row {} {}\n", f.item, pu));
+                }
+                FaultKind::Disconnect { after_chunks } => {
+                    out.push_str(&format!("disconnect {} {}\n", f.item, after_chunks));
+                }
+                FaultKind::SlowDrip {
+                    chunk_bytes,
+                    delay_millis,
+                } => {
+                    out.push_str(&format!(
+                        "slow-drip {} {} {}\n",
+                        f.item, chunk_bytes, delay_millis
+                    ));
+                }
+                FaultKind::MalformedFrame { mode } => {
+                    out.push_str(&format!("malformed-frame {} {}\n", f.item, mode));
+                }
+                FaultKind::ReloadDuringBurst { after_chunks } => {
+                    out.push_str(&format!("reload-burst {} {}\n", f.item, after_chunks));
                 }
             }
         }
@@ -273,6 +346,43 @@ impl FaultPlan {
                         },
                     );
                 }
+                "disconnect" => {
+                    arity(2)?;
+                    plan.push(
+                        num(fields[0], "item")? as usize,
+                        FaultKind::Disconnect {
+                            after_chunks: num(fields[1], "after_chunks")?,
+                        },
+                    );
+                }
+                "slow-drip" => {
+                    arity(3)?;
+                    plan.push(
+                        num(fields[0], "item")? as usize,
+                        FaultKind::SlowDrip {
+                            chunk_bytes: num(fields[1], "chunk_bytes")?,
+                            delay_millis: num(fields[2], "delay_millis")?,
+                        },
+                    );
+                }
+                "malformed-frame" => {
+                    arity(2)?;
+                    plan.push(
+                        num(fields[0], "item")? as usize,
+                        FaultKind::MalformedFrame {
+                            mode: num(fields[1], "mode")?,
+                        },
+                    );
+                }
+                "reload-burst" => {
+                    arity(2)?;
+                    plan.push(
+                        num(fields[0], "item")? as usize,
+                        FaultKind::ReloadDuringBurst {
+                            after_chunks: num(fields[1], "after_chunks")?,
+                        },
+                    );
+                }
                 other => return Err(ctx(&format!("unknown directive {other:?}"))),
             }
         }
@@ -364,6 +474,25 @@ mod tests {
                     item: 6,
                     kind: FaultKind::StuckReportRow { pu: 0 },
                 },
+                Fault {
+                    item: 7,
+                    kind: FaultKind::Disconnect { after_chunks: 3 },
+                },
+                Fault {
+                    item: 8,
+                    kind: FaultKind::SlowDrip {
+                        chunk_bytes: 16,
+                        delay_millis: 25,
+                    },
+                },
+                Fault {
+                    item: 10,
+                    kind: FaultKind::MalformedFrame { mode: 2 },
+                },
+                Fault {
+                    item: 11,
+                    kind: FaultKind::ReloadDuringBurst { after_chunks: 2 },
+                },
             ],
         );
         let text = plan.to_text();
@@ -393,6 +522,10 @@ mod tests {
             "frobnicate 1",       // unknown directive
             "seed 1 2",           // wrong arity
             "stuck-report-row 1", // wrong arity
+            "disconnect 1",       // wrong arity
+            "slow-drip 1 16",     // wrong arity
+            "malformed-frame 1",  // wrong arity
+            "reload-burst 1 x",   // non-numeric
         ] {
             let err = FaultPlan::from_text(bad).unwrap_err();
             assert!(err.contains("fault plan line 1"), "{err}");

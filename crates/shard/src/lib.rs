@@ -44,13 +44,21 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod chaos;
+pub mod frame;
 pub mod scheduler;
+pub mod server;
+pub mod session;
 
 pub use cache::{pipeline_key, CompiledPipeline, PipelineCache, PipelineKey, ShardSpec};
+pub use chaos::{run_chaos, ChaosOptions, SessionOutcome};
+pub use frame::{ClientFrame, FrameError, ServerFrame, PROTOCOL_VERSION};
 pub use scheduler::{
     run_batch, run_batch_pooled, BatchOptions, BatchReport, ShardRun, StreamResult, WorkerPool,
     SERIAL_CUTOFF_BYTES,
 };
+pub use server::{DrainReport, MatchServer, ServerConfig};
+pub use session::{expected_reports, SessionError, SessionSummary, StreamSession, SymbolFramer};
 
 use std::sync::Arc;
 

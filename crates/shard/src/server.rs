@@ -1,0 +1,798 @@
+//! The `sunder serve` daemon: a resilient streaming match service.
+//!
+//! One [`MatchServer`] owns a TCP listener, a [`PipelineCache`], and the
+//! current pattern-DB epoch. Each accepted connection becomes one
+//! [`StreamSession`] driven by two threads:
+//!
+//! * a **reader** that parses length-prefixed frames off the socket and
+//!   pushes them into a *bounded* work queue — when the session's worker
+//!   falls behind, the push blocks, which stops the reader, which fills
+//!   the kernel socket buffer, which stalls the sender: end-to-end
+//!   backpressure with no unbounded buffering anywhere
+//!   (`serve_backpressure_stalls_total` counts the stalls);
+//! * a **worker** that pops work items, feeds the session (each chunk
+//!   under its own deadline [`Budget`] wired to the session's
+//!   [`CancelToken`]), and writes replies. Every chunk runs inside
+//!   `catch_unwind`, so a panicking automaton (or an injected
+//!   [`FaultKind::Panic`]) poisons exactly one session: the client gets
+//!   an `Error` frame, the fault is attributed in telemetry, and every
+//!   other session keeps streaming.
+//!
+//! **Admission control** happens in two steps: a global session cap at
+//! accept time (`ERR_BUSY`) and a per-tenant quota at `Hello`
+//! (`ERR_QUOTA`). **Hot reload** swaps the epoch atomically: new
+//! sessions pin the new pipeline; in-flight sessions finish on the
+//! `Arc` they pinned at open. **Graceful drain** stops accepting,
+//! waits for in-flight sessions up to a hard deadline, then cancels
+//! their budgets and shuts their sockets down.
+//!
+//! Server-side fault injection reuses [`FaultPlan`]: worker-level
+//! directives (`panic ITEM`, `stall ITEM MS`) are matched against the
+//! trailing integer of the *tenant name* (`tenant "s7"` → plan item 7),
+//! so injection is deterministic no matter the order connections land.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sunder_automata::{anml, AutomataError, Nfa};
+use sunder_oracle::PipelineConfig;
+use sunder_resilience::{Budget, CancelToken, FaultKind, FaultPlan};
+use sunder_sim::EngineKind;
+
+use crate::cache::{PipelineCache, ShardSpec};
+use crate::frame::{
+    decode_client, read_raw, ClientFrame, FrameError, ServerFrame, DEFAULT_MAX_FRAME_BYTES,
+    ERR_BUSY, ERR_DEADLINE, ERR_INTERNAL, ERR_PANIC, ERR_PROTOCOL, ERR_QUOTA, ERR_RELOAD,
+    ERR_SHUTDOWN, ERR_VERSION, PROTOCOL_VERSION,
+};
+use crate::session::{SessionError, StreamSession};
+
+/// Tuning and robustness knobs for a [`MatchServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Pipeline configuration compiled for every pattern DB.
+    pub config: PipelineConfig,
+    /// Sharding spec for compiled pipelines.
+    pub spec: ShardSpec,
+    /// Per-shard engine kind.
+    pub engine: EngineKind,
+    /// Global cap on concurrently open sessions (`ERR_BUSY` beyond it).
+    pub max_sessions: usize,
+    /// Per-tenant cap on concurrently open sessions (`ERR_QUOTA`).
+    pub per_tenant_sessions: usize,
+    /// Bounded work-queue depth per session (backpressure threshold).
+    pub queue_depth: usize,
+    /// Cap on a frame's declared length.
+    pub max_frame_bytes: u32,
+    /// Per-chunk execution deadline (`ERR_DEADLINE` when tripped).
+    pub chunk_deadline: Option<Duration>,
+    /// Hard deadline for [`MatchServer::drain`].
+    pub drain_deadline: Duration,
+    /// Server-side injected faults, keyed by tenant trailing integer.
+    pub fault_plan: FaultPlan,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            config: PipelineConfig::Identity,
+            spec: ShardSpec::MaxShards(4),
+            engine: EngineKind::Adaptive,
+            max_sessions: 256,
+            per_tenant_sessions: 64,
+            queue_depth: 8,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            chunk_deadline: None,
+            drain_deadline: Duration::from_secs(5),
+            fault_plan: FaultPlan::none(),
+        }
+    }
+}
+
+/// One hot-reload generation of the pattern DB.
+#[derive(Debug)]
+pub struct LoadedDb {
+    /// Monotonic reload generation (first load is epoch 1).
+    pub epoch: u64,
+    /// The compiled pipeline sessions of this epoch pin.
+    pub pipeline: Arc<crate::cache::CompiledPipeline>,
+}
+
+/// What [`MatchServer::drain`] observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Sessions that finished on their own within the deadline.
+    pub drained: usize,
+    /// Sessions forcibly cancelled at the deadline.
+    pub forced: usize,
+    /// Wall-clock time the drain took.
+    pub duration: Duration,
+}
+
+/// Items flowing from a session's reader to its worker.
+enum Work {
+    Frame(ClientFrame),
+    /// Reader-side failure (frame error); worker reports and closes.
+    Bad(FrameError),
+    /// Socket EOF or transport error: no more input ever.
+    Eof,
+}
+
+/// The bounded reader→worker queue. Pushing past `depth` blocks the
+/// reader (that *is* the backpressure) and counts a stall.
+struct WorkQueue {
+    items: Mutex<VecDeque<Work>>,
+    depth: usize,
+    cv: Condvar,
+}
+
+impl WorkQueue {
+    fn new(depth: usize) -> WorkQueue {
+        WorkQueue {
+            items: Mutex::new(VecDeque::new()),
+            depth: depth.max(1),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, item: Work) {
+        let mut q = self.items.lock().unwrap();
+        if q.len() >= self.depth {
+            sunder_telemetry::counter_add("serve_backpressure_stalls_total", &[], 1);
+            while q.len() >= self.depth {
+                q = self.cv.wait(q).unwrap();
+            }
+        }
+        q.push_back(item);
+        self.cv.notify_all();
+    }
+
+    fn pop(&self) -> Work {
+        let mut q = self.items.lock().unwrap();
+        loop {
+            if let Some(item) = q.pop_front() {
+                self.cv.notify_all();
+                return item;
+            }
+            q = self.cv.wait(q).unwrap();
+        }
+    }
+}
+
+/// Per-connection registry entry so drain can reach into live sessions.
+struct ConnHandle {
+    cancel: CancelToken,
+    sock: TcpStream,
+}
+
+struct ServerInner {
+    cfg: ServerConfig,
+    cache: PipelineCache,
+    db: Mutex<Arc<LoadedDb>>,
+    next_epoch: AtomicU64,
+    draining: std::sync::atomic::AtomicBool,
+    active: AtomicUsize,
+    tenants: Mutex<HashMap<String, usize>>,
+    conns: Mutex<HashMap<u64, ConnHandle>>,
+    next_conn: AtomicU64,
+}
+
+impl ServerInner {
+    fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+}
+
+/// A running streaming match server. Dropping it drains with the
+/// configured deadline.
+pub struct MatchServer {
+    inner: Arc<ServerInner>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+    drained: bool,
+}
+
+impl std::fmt::Debug for MatchServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MatchServer")
+            .field("addr", &self.addr)
+            .field("active", &self.inner.active.load(Ordering::Relaxed))
+            .field("epoch", &self.epoch())
+            .finish()
+    }
+}
+
+impl MatchServer {
+    /// Compiles `nfa` as epoch 1 and starts listening on `addr`
+    /// (use port 0 to let the OS pick; see [`MatchServer::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Compilation failures and socket errors, as strings (the caller is
+    /// the CLI).
+    pub fn start(addr: &str, nfa: &Nfa, cfg: ServerConfig) -> Result<MatchServer, String> {
+        let cache = PipelineCache::new(cfg.spec, cfg.engine);
+        let pipeline = cache
+            .get_or_compile(nfa, cfg.config)
+            .map_err(|e| format!("compile pattern DB: {e}"))?;
+        let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("set nonblocking: {e}"))?;
+        let local = listener.local_addr().map_err(|e| e.to_string())?;
+        let inner = Arc::new(ServerInner {
+            cfg,
+            cache,
+            db: Mutex::new(Arc::new(LoadedDb { epoch: 1, pipeline })),
+            next_epoch: AtomicU64::new(2),
+            draining: std::sync::atomic::AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            tenants: Mutex::new(HashMap::new()),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept = std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || accept_loop(&accept_inner, &listener))
+            .map_err(|e| format!("spawn accept loop: {e}"))?;
+        Ok(MatchServer {
+            inner,
+            addr: local,
+            accept: Some(accept),
+            drained: false,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The current pattern-DB epoch.
+    pub fn epoch(&self) -> u64 {
+        self.inner.db.lock().unwrap().epoch
+    }
+
+    /// Sessions currently open.
+    pub fn active_sessions(&self) -> usize {
+        self.inner.active.load(Ordering::Relaxed)
+    }
+
+    /// The pipeline cache (hit/miss counters survive reloads).
+    pub fn cache(&self) -> &PipelineCache {
+        &self.inner.cache
+    }
+
+    /// Hot-reloads the pattern DB from `nfa`, returning the new epoch.
+    /// In-flight sessions finish on the pipeline they pinned at open.
+    ///
+    /// # Errors
+    ///
+    /// Compilation failures; the current epoch stays live on error.
+    pub fn reload(&self, nfa: &Nfa) -> Result<u64, AutomataError> {
+        reload_db(&self.inner, nfa)
+    }
+
+    /// Stops accepting, waits for in-flight sessions up to the
+    /// configured drain deadline, then cancels the stragglers' budgets
+    /// and shuts their sockets down. Idempotent.
+    pub fn drain(&mut self) -> DrainReport {
+        let started = Instant::now();
+        let _span = sunder_telemetry::span("serve.drain");
+        self.inner.draining.store(true, Ordering::Release);
+        let deadline = started + self.inner.cfg.drain_deadline;
+        let at_start = self.inner.active.load(Ordering::Acquire);
+        while self.inner.active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stragglers = self.inner.active.load(Ordering::Acquire);
+        if stragglers > 0 {
+            // Hard deadline: cancel in-flight chunk budgets and yank the
+            // sockets so blocked reads/writes unblock immediately.
+            for conn in self.inner.conns.lock().unwrap().values() {
+                conn.cancel.cancel();
+                let _ = conn.sock.shutdown(Shutdown::Both);
+            }
+        }
+        let mut workers = Vec::new();
+        if let Some(accept) = self.accept.take() {
+            workers = accept.join().unwrap_or_default();
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        self.drained = true;
+        let duration = started.elapsed();
+        sunder_telemetry::instant(
+            "serve.drained",
+            &[
+                ("sessions_at_start", (at_start as u64).into()),
+                ("forced", (stragglers as u64).into()),
+                ("duration_us", (duration.as_micros() as u64).into()),
+            ],
+        );
+        DrainReport {
+            drained: at_start.saturating_sub(stragglers),
+            forced: stragglers,
+            duration,
+        }
+    }
+}
+
+impl Drop for MatchServer {
+    fn drop(&mut self) {
+        if !self.drained {
+            self.drain();
+        }
+    }
+}
+
+fn reload_db(inner: &ServerInner, nfa: &Nfa) -> Result<u64, AutomataError> {
+    let pipeline = inner.cache.get_or_compile(nfa, inner.cfg.config)?;
+    let epoch = inner.next_epoch.fetch_add(1, Ordering::Relaxed);
+    *inner.db.lock().unwrap() = Arc::new(LoadedDb { epoch, pipeline });
+    sunder_telemetry::counter_add("serve_reloads_total", &[], 1);
+    sunder_telemetry::instant("serve.reloaded", &[("epoch", epoch.into())]);
+    Ok(epoch)
+}
+
+/// Accepts until drain; returns the connection thread handles so drain
+/// can join them.
+fn accept_loop(inner: &Arc<ServerInner>, listener: &TcpListener) -> Vec<JoinHandle<()>> {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !inner.is_draining() {
+        match listener.accept() {
+            Ok((sock, _peer)) => {
+                if inner.is_draining() {
+                    refuse(&sock, ERR_SHUTDOWN, "server is draining");
+                    continue;
+                }
+                if inner.active.load(Ordering::Acquire) >= inner.cfg.max_sessions {
+                    sunder_telemetry::counter_add("serve_rejected_total", &[("reason", "busy")], 1);
+                    refuse(&sock, ERR_BUSY, "session cap reached");
+                    continue;
+                }
+                inner.active.fetch_add(1, Ordering::AcqRel);
+                let conn_inner = Arc::clone(inner);
+                let handle = std::thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move || serve_connection(&conn_inner, sock))
+                    .expect("spawn connection thread");
+                conns.push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    conns
+}
+
+fn refuse(sock: &TcpStream, code: u16, message: &str) {
+    let mut w = BufWriter::new(sock);
+    let _ = ServerFrame::Error {
+        code,
+        message: message.to_string(),
+    }
+    .write_to(&mut w);
+    let _ = w.flush();
+    let _ = sock.shutdown(Shutdown::Both);
+}
+
+/// The trailing integer of a tenant name (`"s17"` → 17), used to key
+/// server-side fault-plan items deterministically under concurrent
+/// accepts.
+fn tenant_item(tenant: &str) -> Option<usize> {
+    let digits: String = tenant
+        .chars()
+        .rev()
+        .take_while(char::is_ascii_digit)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    digits.parse().ok()
+}
+
+/// Worker-level faults the server acts out on a session's first chunk.
+#[derive(Default)]
+struct InjectedFaults {
+    panic: bool,
+    stall: Option<u64>,
+}
+
+fn injected_for(plan: &FaultPlan, tenant: &str) -> InjectedFaults {
+    let mut out = InjectedFaults::default();
+    let Some(item) = tenant_item(tenant) else {
+        return out;
+    };
+    for kind in plan.faults_for(item) {
+        match kind {
+            FaultKind::Panic => out.panic = true,
+            FaultKind::Stall { millis } => out.stall = Some(*millis),
+            // Connection-level faults are the *client's* to act out.
+            _ => {}
+        }
+    }
+    out
+}
+
+fn session_fault(tenant: &str, kind: &str) {
+    sunder_telemetry::counter_add("serve_session_faults_total", &[("kind", kind)], 1);
+    sunder_telemetry::instant(
+        "serve.session_fault",
+        &[("tenant", tenant.into()), ("kind", kind.into())],
+    );
+}
+
+/// Runs one connection to completion: handshake, reader-thread spawn,
+/// worker loop. Always decrements the active count and deregisters on
+/// the way out.
+fn serve_connection(inner: &Arc<ServerInner>, sock: TcpStream) {
+    let conn_id = inner.next_conn.fetch_add(1, Ordering::Relaxed);
+    let cancel = CancelToken::new();
+    if let Ok(clone) = sock.try_clone() {
+        inner.conns.lock().unwrap().insert(
+            conn_id,
+            ConnHandle {
+                cancel: cancel.clone(),
+                sock: clone,
+            },
+        );
+    }
+    sunder_telemetry::counter_add("serve_sessions_total", &[], 1);
+    let tenant = run_session(inner, &sock, &cancel);
+    if let Some(tenant) = tenant {
+        let mut tenants = inner.tenants.lock().unwrap();
+        if let Some(n) = tenants.get_mut(&tenant) {
+            *n -= 1;
+            if *n == 0 {
+                tenants.remove(&tenant);
+            }
+        }
+    }
+    inner.conns.lock().unwrap().remove(&conn_id);
+    let _ = sock.shutdown(Shutdown::Both);
+    inner.active.fetch_sub(1, Ordering::AcqRel);
+}
+
+/// The session proper. Returns the tenant name once admitted (so the
+/// caller can release the quota), `None` if admission failed.
+fn run_session(inner: &Arc<ServerInner>, sock: &TcpStream, cancel: &CancelToken) -> Option<String> {
+    let mut reader = BufReader::new(sock.try_clone().ok()?);
+    let writer = Arc::new(Mutex::new(BufWriter::new(sock.try_clone().ok()?)));
+    let max_frame = inner.cfg.max_frame_bytes;
+
+    let send = |frame: &ServerFrame| -> bool {
+        let mut w = writer.lock().unwrap();
+        frame.write_to(&mut *w).and_then(|()| w.flush()).is_ok()
+    };
+
+    // Handshake: the first frame must be a well-formed Hello.
+    let tenant = match read_raw(&mut reader, max_frame) {
+        Ok(Some(body)) => match decode_client(&body) {
+            Ok(ClientFrame::Hello { tenant, .. }) => tenant,
+            Ok(_) => {
+                send(&ServerFrame::Error {
+                    code: ERR_PROTOCOL,
+                    message: "expected Hello".into(),
+                });
+                return None;
+            }
+            Err(e @ FrameError::UnknownVersion(_)) => {
+                send(&ServerFrame::Error {
+                    code: ERR_VERSION,
+                    message: e.to_string(),
+                });
+                return None;
+            }
+            Err(e) => {
+                send(&ServerFrame::Error {
+                    code: ERR_PROTOCOL,
+                    message: e.to_string(),
+                });
+                return None;
+            }
+        },
+        Ok(None) => return None,
+        Err(e) => {
+            send(&ServerFrame::Error {
+                code: ERR_PROTOCOL,
+                message: e.to_string(),
+            });
+            return None;
+        }
+    };
+
+    // Tenant quota.
+    {
+        let mut tenants = inner.tenants.lock().unwrap();
+        let n = tenants.entry(tenant.clone()).or_insert(0);
+        if *n >= inner.cfg.per_tenant_sessions {
+            drop(tenants);
+            sunder_telemetry::counter_add("serve_rejected_total", &[("reason", "quota")], 1);
+            send(&ServerFrame::Error {
+                code: ERR_QUOTA,
+                message: format!("tenant {tenant:?} is at its session quota"),
+            });
+            return None;
+        }
+        *n += 1;
+    }
+
+    // Pin the current epoch for the whole session.
+    let db = Arc::clone(&inner.db.lock().unwrap());
+    let mut session = StreamSession::new(Arc::clone(&db.pipeline), db.epoch);
+    if !send(&ServerFrame::HelloAck {
+        version: PROTOCOL_VERSION,
+        epoch: db.epoch,
+    }) {
+        return Some(tenant);
+    }
+    sunder_telemetry::instant(
+        "serve.session_open",
+        &[
+            ("tenant", tenant.as_str().into()),
+            ("epoch", db.epoch.into()),
+        ],
+    );
+
+    let faults = injected_for(&inner.cfg.fault_plan, &tenant);
+
+    // Reader thread: socket → bounded queue. Scoped so a dead worker
+    // path can't leak it past the connection.
+    let queue = Arc::new(WorkQueue::new(inner.cfg.queue_depth));
+    std::thread::scope(|scope| {
+        let reader_queue = Arc::clone(&queue);
+        scope.spawn(move || {
+            loop {
+                match read_raw(&mut reader, max_frame) {
+                    Ok(Some(body)) => match decode_client(&body) {
+                        Ok(frame) => {
+                            let finish = matches!(frame, ClientFrame::Finish);
+                            reader_queue.push(Work::Frame(frame));
+                            if finish {
+                                break; // protocol: nothing follows Finish
+                            }
+                        }
+                        Err(e) => {
+                            reader_queue.push(Work::Bad(e));
+                            break;
+                        }
+                    },
+                    Ok(None) => {
+                        reader_queue.push(Work::Eof);
+                        break;
+                    }
+                    Err(e) => {
+                        reader_queue.push(Work::Bad(e));
+                        break;
+                    }
+                }
+            }
+        });
+
+        // Worker loop: queue → session → socket.
+        worker_loop(inner, &mut session, &tenant, &faults, &queue, cancel, &send);
+        // Unblock the socket so the reader thread (possibly mid-read)
+        // exits before the scope joins it.
+        let _ = sock.shutdown(Shutdown::Read);
+    });
+    Some(tenant)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    inner: &Arc<ServerInner>,
+    session: &mut StreamSession,
+    tenant: &str,
+    faults: &InjectedFaults,
+    queue: &WorkQueue,
+    cancel: &CancelToken,
+    send: &dyn Fn(&ServerFrame) -> bool,
+) {
+    let mut first_chunk = true;
+    loop {
+        match queue.pop() {
+            Work::Frame(ClientFrame::Chunk(bytes)) => {
+                if first_chunk {
+                    first_chunk = false;
+                    if let Some(millis) = faults.stall {
+                        std::thread::sleep(Duration::from_millis(millis));
+                    }
+                }
+                let mut budget = Budget::with_cancel(cancel.clone()).check_every(64);
+                if let Some(limit) = inner.cfg.chunk_deadline {
+                    budget = budget.deadline(limit);
+                }
+                let inject_panic = faults.panic && session.chunks() == 0;
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    if inject_panic {
+                        panic!("injected panic: tenant {tenant}");
+                    }
+                    session.feed(&bytes, &budget)
+                }));
+                sunder_telemetry::counter_add("serve_chunks_total", &[], 1);
+                sunder_telemetry::counter_add("serve_bytes_total", &[], bytes.len() as u64);
+                match result {
+                    Ok(Ok(reports)) => {
+                        sunder_telemetry::counter_add(
+                            "serve_reports_total",
+                            &[],
+                            reports.len() as u64,
+                        );
+                        if !send(&ServerFrame::Reports(reports)) {
+                            return;
+                        }
+                    }
+                    Ok(Err(e)) => {
+                        let (code, kind) = match &e {
+                            SessionError::Interrupted(_) => (ERR_DEADLINE, "deadline"),
+                            _ => (ERR_INTERNAL, "internal"),
+                        };
+                        session_fault(tenant, kind);
+                        send(&ServerFrame::Error {
+                            code,
+                            message: e.to_string(),
+                        });
+                        return;
+                    }
+                    Err(_) => {
+                        session_fault(tenant, "panic");
+                        send(&ServerFrame::Error {
+                            code: ERR_PANIC,
+                            message: "session worker panicked (isolated)".into(),
+                        });
+                        return;
+                    }
+                }
+            }
+            Work::Frame(ClientFrame::Finish) => {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    let mut budget = Budget::with_cancel(cancel.clone()).check_every(64);
+                    if let Some(limit) = inner.cfg.chunk_deadline {
+                        budget = budget.deadline(limit);
+                    }
+                    session.finish(&budget)
+                })) {
+                    Ok(Ok((tail, summary))) => {
+                        sunder_telemetry::counter_add(
+                            "serve_reports_total",
+                            &[],
+                            tail.len() as u64,
+                        );
+                        if send(&ServerFrame::Reports(tail)) {
+                            send(&ServerFrame::Done {
+                                chunks: summary.chunks,
+                                bytes: summary.bytes,
+                                reports: summary.reports,
+                                epoch: summary.epoch,
+                            });
+                        }
+                    }
+                    Ok(Err(e)) => {
+                        let (code, kind) = match &e {
+                            SessionError::Interrupted(_) => (ERR_DEADLINE, "deadline"),
+                            _ => (ERR_INTERNAL, "internal"),
+                        };
+                        session_fault(tenant, kind);
+                        send(&ServerFrame::Error {
+                            code,
+                            message: e.to_string(),
+                        });
+                    }
+                    Err(_) => {
+                        session_fault(tenant, "panic");
+                        send(&ServerFrame::Error {
+                            code: ERR_PANIC,
+                            message: "session worker panicked (isolated)".into(),
+                        });
+                    }
+                }
+                return;
+            }
+            Work::Frame(ClientFrame::Reload(text)) => match anml::parse(&text) {
+                Ok(nfa) => match reload_db(inner, &nfa) {
+                    Ok(epoch) => {
+                        if !send(&ServerFrame::Reloaded { epoch }) {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        send(&ServerFrame::Error {
+                            code: ERR_RELOAD,
+                            message: format!("reload failed: {e}"),
+                        });
+                        return;
+                    }
+                },
+                Err(e) => {
+                    send(&ServerFrame::Error {
+                        code: ERR_RELOAD,
+                        message: format!("reload failed: {e}"),
+                    });
+                    return;
+                }
+            },
+            Work::Frame(ClientFrame::Hello { .. }) => {
+                send(&ServerFrame::Error {
+                    code: ERR_PROTOCOL,
+                    message: "duplicate Hello".into(),
+                });
+                return;
+            }
+            Work::Bad(e) => {
+                // A truncated frame IS a mid-frame hangup — on the wire
+                // it is indistinguishable from a deliberate disconnect,
+                // so it shares the disconnect attribution.
+                let kind = match e {
+                    FrameError::Truncated => "disconnect",
+                    _ => "protocol",
+                };
+                session_fault(tenant, kind);
+                let code = match e {
+                    FrameError::UnknownVersion(_) => ERR_VERSION,
+                    _ => ERR_PROTOCOL,
+                };
+                send(&ServerFrame::Error {
+                    code,
+                    message: e.to_string(),
+                });
+                return;
+            }
+            Work::Eof => {
+                // Client hung up without Finish: a mid-stream disconnect.
+                if !session.is_finished() {
+                    session_fault(tenant, "disconnect");
+                }
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_item_parses_trailing_integer() {
+        assert_eq!(tenant_item("s17"), Some(17));
+        assert_eq!(tenant_item("7"), Some(7));
+        assert_eq!(tenant_item("tenant-003"), Some(3));
+        assert_eq!(tenant_item("alpha"), None);
+        assert_eq!(tenant_item(""), None);
+    }
+
+    #[test]
+    fn work_queue_blocks_at_depth_and_drains_in_order() {
+        let q = Arc::new(WorkQueue::new(2));
+        let producer = Arc::clone(&q);
+        let handle = std::thread::spawn(move || {
+            for i in 0..8u64 {
+                producer.push(Work::Frame(ClientFrame::Chunk(vec![i as u8])));
+            }
+            producer.push(Work::Eof);
+        });
+        let mut got = Vec::new();
+        loop {
+            match q.pop() {
+                Work::Frame(ClientFrame::Chunk(b)) => got.push(b[0]),
+                Work::Eof => break,
+                _ => unreachable!(),
+            }
+            // Slow consumer: the producer must block, not drop or grow.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        handle.join().unwrap();
+        assert_eq!(got, (0..8).collect::<Vec<u8>>());
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests (oracle-backed) for chunked streaming execution: a
+//! suspended/resumed `StreamSession` must be report-identical to a
+//! whole-input run for *random* automata under *random* chunk
+//! boundaries — including boundaries that split stride vectors and
+//! nibble pairs mid-symbol.
+//!
+//! Random cases come from the conformance fuzzer's generator
+//! (`sunder_oracle::fuzz::generate_case`), the same structural variety
+//! the fuzz corpus exercises. A divergence writes a self-contained
+//! `.anml` reproducer (the PR 2 fuzzer format, re-parsable with
+//! `sunder_oracle::fuzz::parse_reproducer`) before failing, so the case
+//! survives the test run.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use sunder_automata::Nfa;
+use sunder_oracle::check::Divergence;
+use sunder_oracle::fuzz::{generate_case, render_reproducer, Failure, FuzzOptions};
+use sunder_oracle::PipelineConfig;
+use sunder_resilience::{Budget, SplitMix64};
+use sunder_shard::{expected_reports, CompiledPipeline, ShardSpec, StreamSession};
+use sunder_sim::EngineKind;
+
+/// Writes a failing case as a reproducer file under the test temp dir
+/// and returns its path.
+fn emit_reproducer(
+    case: u64,
+    nfa: &Nfa,
+    input: &[u8],
+    config: &'static str,
+    engine: &'static str,
+    detail: String,
+) -> PathBuf {
+    let failure = Failure {
+        case,
+        nfa: nfa.clone(),
+        input: input.to_vec(),
+        divergence: Box::new(Divergence {
+            config,
+            engine,
+            detail,
+            missing: Vec::new(),
+            spurious: Vec::new(),
+        }),
+    };
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).expect("create reproducer dir");
+    let path = dir.join(format!("streaming-repro-case{case}-{config}-{engine}.anml"));
+    std::fs::write(&path, render_reproducer(&failure)).expect("write reproducer");
+    path
+}
+
+/// Splits `input` at boundaries drawn from `seed` — mostly tiny chunks
+/// (1..=5 bytes) so mid-stride and mid-nibble splits dominate, with the
+/// occasional larger run.
+fn random_chunks(input: &[u8], seed: u64) -> Vec<&[u8]> {
+    let mut rng = SplitMix64::new(seed);
+    let mut chunks = Vec::new();
+    let mut pos = 0;
+    while pos < input.len() {
+        let size = if rng.next().is_multiple_of(5) {
+            1 + (rng.next() % 32) as usize
+        } else {
+            1 + (rng.next() % 5) as usize
+        };
+        let end = (pos + size).min(input.len());
+        chunks.push(&input[pos..end]);
+        pos = end;
+    }
+    chunks
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random automaton × random chunk boundaries × every engine ×
+    /// every pipeline configuration × shard counts {1, 4}: the chunked
+    /// session reproduces the whole-input reports byte-identically.
+    #[test]
+    fn chunked_sessions_reproduce_whole_runs(
+        case in 0u64..4096,
+        chunk_seed in 0u64..u64::MAX,
+    ) {
+        let options = FuzzOptions::default();
+        let (nfa, input) = generate_case(&options, case);
+        for config in PipelineConfig::ALL {
+            for engine in EngineKind::ALL {
+                for shards in [1usize, 4] {
+                    let pipeline = Arc::new(
+                        CompiledPipeline::compile(
+                            &nfa,
+                            config,
+                            ShardSpec::MaxShards(shards),
+                            engine,
+                        )
+                        .expect("compile"),
+                    );
+                    let expected = expected_reports(&pipeline, &input).expect("reference");
+                    let mut session = StreamSession::new(Arc::clone(&pipeline), 1);
+                    let mut got = Vec::new();
+                    for chunk in random_chunks(&input, chunk_seed ^ shards as u64) {
+                        got.extend(
+                            session.feed(chunk, &Budget::unlimited()).expect("feed"),
+                        );
+                    }
+                    let (tail, _) = session.finish(&Budget::unlimited()).expect("finish");
+                    got.extend(tail);
+                    if got != expected {
+                        let path = emit_reproducer(
+                            case,
+                            &nfa,
+                            &input,
+                            config.name(),
+                            engine.name(),
+                            format!(
+                                "chunked stream (seed {chunk_seed:#x}, {shards} shards) \
+                                 produced {} reports, whole run {}",
+                                got.len(),
+                                expected.len(),
+                            ),
+                        );
+                        prop_assert!(
+                            false,
+                            "case {case}: chunked/{} shards diverged under {} / {}; \
+                             reproducer written to {}",
+                            shards,
+                            config.name(),
+                            engine.name(),
+                            path.display(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -276,6 +276,37 @@ impl<'a> AdaptiveEngine<'a> {
         self.degrade = None;
     }
 
+    /// Captures the current execution state from whichever engine is
+    /// live; see [`crate::exec::Engine::suspend`]. The snapshot is
+    /// representation-independent, so a stream suspended in dense mode
+    /// resumes correctly anywhere.
+    pub fn suspend(&self, out: &mut crate::exec::EngineState) {
+        if self.in_dense {
+            self.dense
+                .as_ref()
+                .expect("dense engine in use")
+                .suspend(out);
+        } else {
+            self.sparse.suspend(out);
+        }
+    }
+
+    /// Restores a suspended execution state; see
+    /// [`crate::exec::Engine::resume`]. Resumption always re-enters
+    /// through the sparse engine with a fresh sampling window — the
+    /// density sampler re-derives the representation choice from the
+    /// resumed stream, and the report trace is engine-independent either
+    /// way.
+    pub fn resume(&mut self, state: &crate::exec::EngineState) {
+        self.sparse.load_frontier(&state.frontier, state.cycle);
+        if let Some(d) = &mut self.dense {
+            d.reset();
+        }
+        self.in_dense = false;
+        self.window_active = 0;
+        self.window_cycles = 0;
+    }
+
     /// Modeled per-cycle costs `(sparse, dense)` in nanoseconds at the
     /// given average frontier size.
     fn modeled_costs(&self, avg_active: f64) -> (f64, f64) {
@@ -562,6 +593,14 @@ impl Engine for AdaptiveEngine<'_> {
 
     fn reset(&mut self) {
         AdaptiveEngine::reset(self);
+    }
+
+    fn suspend(&self, out: &mut crate::exec::EngineState) {
+        AdaptiveEngine::suspend(self, out);
+    }
+
+    fn resume(&mut self, state: &crate::exec::EngineState) {
+        AdaptiveEngine::resume(self, state);
     }
 
     fn step(&mut self, vector: &[u16], valid: usize, sink: &mut dyn ReportSink) -> usize {

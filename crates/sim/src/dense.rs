@@ -337,6 +337,21 @@ impl<'a> DenseEngine<'a> {
         self.cycle = cycle;
     }
 
+    /// Captures the current execution state (canonical ascending-state
+    /// frontier plus cycle clock) into `out`; see
+    /// [`crate::exec::Engine::suspend`].
+    pub fn suspend(&self, out: &mut crate::exec::EngineState) {
+        out.frontier.clear();
+        self.export_frontier(&mut out.frontier);
+        out.cycle = self.cycle;
+    }
+
+    /// Restores a suspended execution state; see
+    /// [`crate::exec::Engine::resume`].
+    pub fn resume(&mut self, state: &crate::exec::EngineState) {
+        self.load_frontier(&state.frontier, state.cycle);
+    }
+
     /// Appends the current frontier, in ascending state order, to `out`.
     pub fn export_frontier(&self, out: &mut Vec<StateId>) {
         for (wi, &word) in self.active.iter().enumerate() {
@@ -681,6 +696,14 @@ impl Engine for DenseEngine<'_> {
 
     fn reset(&mut self) {
         DenseEngine::reset(self);
+    }
+
+    fn suspend(&self, out: &mut crate::exec::EngineState) {
+        DenseEngine::suspend(self, out);
+    }
+
+    fn resume(&mut self, state: &crate::exec::EngineState) {
+        DenseEngine::resume(self, state);
     }
 
     fn step(&mut self, vector: &[u16], valid: usize, sink: &mut dyn ReportSink) -> usize {

@@ -155,6 +155,22 @@ impl<'a> Simulator<'a> {
         self.cycle = cycle;
     }
 
+    /// Captures the current execution state (canonical ascending-state
+    /// frontier plus cycle clock) into `out`; see
+    /// [`crate::exec::Engine::suspend`].
+    pub fn suspend(&self, out: &mut crate::exec::EngineState) {
+        out.frontier.clear();
+        out.frontier.extend_from_slice(&self.active);
+        out.frontier.sort_unstable_by_key(|s| s.index());
+        out.cycle = self.cycle;
+    }
+
+    /// Restores a suspended execution state; see
+    /// [`crate::exec::Engine::resume`].
+    pub fn resume(&mut self, state: &crate::exec::EngineState) {
+        self.load_frontier(&state.frontier, state.cycle);
+    }
+
     /// One cycle of the stride-1 specialization: candidates are checked
     /// against their (single) charset *before* insertion, so the separate
     /// match pass of the general path disappears, and bucketed start
@@ -549,6 +565,14 @@ impl Engine for Simulator<'_> {
 
     fn reset(&mut self) {
         Simulator::reset(self);
+    }
+
+    fn suspend(&self, out: &mut crate::exec::EngineState) {
+        Simulator::suspend(self, out);
+    }
+
+    fn resume(&mut self, state: &crate::exec::EngineState) {
+        Simulator::resume(self, state);
     }
 
     fn step(&mut self, vector: &[u16], valid: usize, sink: &mut dyn ReportSink) -> usize {

@@ -17,10 +17,40 @@
 //! `sunder-core`'s builder) and [`EngineKind::build`] instantiates one.
 
 use sunder_automata::input::InputView;
-use sunder_automata::Nfa;
+use sunder_automata::{Nfa, StateId};
 use sunder_resilience::{Budget, RunOutcome};
 
 use crate::sink::ReportSink;
+
+/// A suspended mid-stream execution snapshot: everything an engine needs
+/// to continue a stream later (possibly in a different engine instance,
+/// or a different engine *kind* — all engines share the same observable
+/// state model) without re-scanning any input.
+///
+/// The frontier is stored in ascending state order so snapshots are
+/// canonical: two engines suspended at the same stream position produce
+/// equal `EngineState`s regardless of internal representation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineState {
+    /// Active states at the suspension point, ascending by state id.
+    pub frontier: Vec<StateId>,
+    /// Cycles executed before the suspension point (the global stream
+    /// clock — report cycles continue from here on resume).
+    pub cycle: u64,
+}
+
+impl EngineState {
+    /// The initial configuration: cycle 0, empty frontier. Resuming from
+    /// this is identical to running a fresh engine.
+    pub fn initial() -> EngineState {
+        EngineState::default()
+    }
+
+    /// `true` when this snapshot is the initial configuration.
+    pub fn is_initial(&self) -> bool {
+        self.frontier.is_empty() && self.cycle == 0
+    }
+}
 
 /// A cycle-by-cycle automaton executor.
 ///
@@ -42,6 +72,22 @@ pub trait Engine {
 
     /// Resets to the initial configuration (cycle 0, empty frontier).
     fn reset(&mut self);
+
+    /// Captures the current execution state into `out` (frontier in
+    /// ascending state order, plus the cycle clock), clearing whatever
+    /// `out` held before. The engine itself is left untouched, so
+    /// suspension is observation, not mutation.
+    ///
+    /// Together with [`Engine::resume`] this is the streaming-session
+    /// entry point: run a chunk, suspend, park the state, resume on the
+    /// next chunk — the continuation is byte-identical to having run the
+    /// concatenated input in one pass.
+    fn suspend(&self, out: &mut EngineState);
+
+    /// Restores a previously suspended execution state: the frontier
+    /// becomes the active set and the cycle clock continues from
+    /// `state.cycle`. States must be valid ids of this automaton.
+    fn resume(&mut self, state: &EngineState);
 
     /// Executes one cycle on a symbol vector whose first `valid` entries
     /// carry real input. Returns the number of active states after the

@@ -48,10 +48,10 @@ pub mod stats;
 pub use adaptive::{AdaptiveEngine, AdaptiveLimits, DegradeReason};
 pub use dense::{DenseBuildError, DenseEngine};
 pub use engine::{run_trace, Simulator};
-pub use exec::{Engine, EngineKind};
+pub use exec::{Engine, EngineKind, EngineState};
 pub use histogram::BurstHistogramSink;
 pub use profile::{hybrid_split, ActivationProfileSink, HybridSplit};
-pub use sharded::ShardedEngine;
+pub use sharded::{ShardedEngine, ShardedState};
 pub use sink::{BoundedTraceSink, CountSink, NullSink, ReportEvent, ReportSink, TraceSink};
 pub use stats::{DynamicStats, DynamicStatsSink};
 // Budget types are re-exported so engine callers need not depend on

@@ -27,7 +27,7 @@ use sunder_resilience::{Budget, RunOutcome};
 
 use crate::adaptive::{AdaptiveEngine, AdaptiveLimits};
 use crate::dense::DenseTables;
-use crate::exec::{Engine, EngineKind};
+use crate::exec::{Engine, EngineKind, EngineState};
 use crate::fastpath::SparseTables;
 use crate::sink::{ReportEvent, ReportSink, TraceSink};
 
@@ -254,6 +254,104 @@ impl ShardedEngine {
         self.run(&view, &mut sink);
         Ok(sink.events)
     }
+
+    /// The initial (cycle 0, all-frontiers-empty) suspended state for a
+    /// stream about to execute on this sharded engine.
+    pub fn initial_state(&self) -> ShardedState {
+        ShardedState {
+            shards: vec![EngineState::initial(); self.num_shards()],
+        }
+    }
+
+    /// Runs one chunk of a longer stream through every shard, resuming
+    /// each shard's engine from `state` and suspending it back afterward.
+    /// The merged, remapped report events of this chunk are streamed into
+    /// `sink`; report cycles continue the stream's global clock, so the
+    /// concatenation of per-chunk traces over a split stream is
+    /// byte-identical to one whole-input run (the chunking equivalence
+    /// gate in `sunder-shard` locks this down).
+    ///
+    /// Shard engines are rebuilt from the precompiled shared tables per
+    /// chunk — construction is a few vector allocations, the expensive
+    /// per-automaton compilation having been done at plan time — which is
+    /// what lets one compiled pipeline serve an unbounded number of
+    /// concurrently suspended streams at ~`O(frontier)` bytes each.
+    ///
+    /// On an interrupted outcome the suspended state is left as it was
+    /// *before* the chunk (partial shard progress is discarded), so a
+    /// caller enforcing per-chunk deadlines can retry or abandon the
+    /// stream without observing a half-advanced clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` was not created by [`ShardedEngine::initial_state`]
+    /// on an engine with the same shard count, or if the view's stride
+    /// does not match the automaton's.
+    pub fn run_chunk(
+        &self,
+        input: &InputView,
+        sink: &mut dyn ReportSink,
+        state: &mut ShardedState,
+        budget: &Budget,
+    ) -> RunOutcome {
+        assert_eq!(
+            input.stride(),
+            self.stride,
+            "input view stride must match the automaton stride"
+        );
+        assert_eq!(
+            state.shards.len(),
+            self.num_shards(),
+            "suspended state must match the shard count"
+        );
+        let mut traces = Vec::with_capacity(self.num_shards());
+        let mut next: Vec<EngineState> = Vec::with_capacity(self.num_shards());
+        for shard in 0..self.num_shards() {
+            let s = &self.plan.shards[shard];
+            let mut engine = self.build_shard_engine(shard);
+            engine.resume(&state.shards[shard]);
+            let mut trace = TraceSink::new();
+            let outcome = engine.run_budgeted(input, &mut trace, budget);
+            if let RunOutcome::Interrupted { .. } = outcome {
+                return outcome;
+            }
+            let mut suspended = EngineState::initial();
+            engine.suspend(&mut suspended);
+            next.push(suspended);
+            let mut events = trace.events;
+            for e in &mut events {
+                e.state = s.to_original(e.state);
+            }
+            traces.push(events);
+        }
+        state.shards = next;
+        deliver(Self::merge(traces), sink);
+        RunOutcome::Completed
+    }
+}
+
+/// The suspended state of one stream across every shard of a
+/// [`ShardedEngine`]: one [`EngineState`] per shard. This is the whole
+/// per-stream footprint of a suspended streaming session — typically a
+/// few dozen bytes — everything else (tables, plans) is shared.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardedState {
+    /// Per-shard suspended engine state (shard-local state ids).
+    pub shards: Vec<EngineState>,
+}
+
+impl ShardedState {
+    /// Total states suspended across all shard frontiers.
+    pub fn frontier_len(&self) -> usize {
+        self.shards.iter().map(|s| s.frontier.len()).sum()
+    }
+
+    /// The stream clock: cycles executed so far (all shards advance in
+    /// lockstep over the same input, so any shard's clock is the
+    /// stream's; an empty state reads 0).
+    pub fn cycle(&self) -> u64 {
+        self.shards.first().map_or(0, |s| s.cycle)
+    }
 }
 
 /// Streams a merged trace into a sink, one batch per report cycle.
@@ -341,6 +439,82 @@ mod tests {
             RunOutcome::Completed => panic!("cancelled run completed"),
         }
         assert!(trace.events.is_empty(), "no partial trace delivered");
+    }
+
+    #[test]
+    fn chunked_run_matches_whole_run_for_every_engine() {
+        let nfa = rules();
+        let input = b"zab-bc 192net abbbc 007xyq xy123net q".as_slice();
+        let expected = monolithic(&nfa, input);
+        assert!(!expected.is_empty());
+        for kind in EngineKind::ALL {
+            for shards in [1usize, 2, 4] {
+                let engine = ShardedEngine::with_shard_count(&nfa, shards, kind).unwrap();
+                let mut state = engine.initial_state();
+                let mut sink = TraceSink::new();
+                // Uneven chunk sizes, including a 1-byte chunk.
+                for chunk in [&input[..7], &input[7..8], &input[8..20], &input[20..]] {
+                    let view = InputView::new(chunk, nfa.symbol_bits(), nfa.stride()).unwrap();
+                    let outcome =
+                        engine.run_chunk(&view, &mut sink, &mut state, &Budget::unlimited());
+                    assert!(outcome.is_complete());
+                }
+                assert_eq!(sink.events, expected, "{kind}/{shards} shards");
+                assert_eq!(state.cycle(), input.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn suspend_resume_round_trips_across_engine_kinds() {
+        use crate::exec::EngineState;
+        let nfa = rules();
+        let head = InputView::new(b"zab-b", 8, 1).unwrap();
+        let tail = InputView::new(b"c 192net", 8, 1).unwrap();
+        let whole = monolithic(&nfa, b"zab-bc 192net");
+
+        for from in EngineKind::ALL {
+            for to in EngineKind::ALL {
+                let mut first = from.build(&nfa);
+                let mut trace = TraceSink::new();
+                first.run(&head, &mut trace);
+                let mut snap = EngineState::initial();
+                first.suspend(&mut snap);
+                assert_eq!(snap.cycle, 5);
+                // The snapshot is canonical: ascending state order.
+                assert!(snap
+                    .frontier
+                    .windows(2)
+                    .all(|w| w[0].index() < w[1].index()));
+
+                let mut second = to.build(&nfa);
+                second.resume(&snap);
+                second.run(&tail, &mut trace);
+                assert_eq!(trace.events, whole, "{from}->{to}");
+            }
+        }
+    }
+
+    #[test]
+    fn interrupted_chunk_leaves_state_untouched() {
+        let nfa = rules();
+        let engine = ShardedEngine::with_shard_count(&nfa, 2, EngineKind::Sparse).unwrap();
+        let mut state = engine.initial_state();
+        let warm = InputView::new(b"ab", 8, 1).unwrap();
+        let mut sink = TraceSink::new();
+        engine.run_chunk(&warm, &mut sink, &mut state, &Budget::unlimited());
+        let before = state.clone();
+
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = Budget::with_cancel(token).check_every(1);
+        let view = InputView::new(&[b'x'; 64], 8, 1).unwrap();
+        let outcome = engine.run_chunk(&view, &mut sink, &mut state, &budget);
+        assert!(!outcome.is_complete());
+        assert_eq!(
+            state, before,
+            "failed chunk must not half-advance the clock"
+        );
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! sunder bench   --benchmark Snort [--small]
 //! sunder telemetry-report --input trace.jsonl [--validate] [--chrome out.json]
 //! sunder serve-batch --rules rules.txt --inputs a.bin,b.bin [--shards 4] [--workers 2]
+//! sunder serve   --rules rules.txt [--addr 127.0.0.1:7700] [--shards 4]
+//! sunder serve-chaos --rules rules.txt --sessions 32 [--fault-plan chaos.plan]
+//!                [--artifact serve.jsonl] [--reload-rules new.txt]
 //! ```
 //!
 //! Rules files contain one regex per line (`#` comments allowed); compiled
@@ -30,6 +33,10 @@ fn main() -> ExitCode {
         Some("bench") => cmd_bench(&args[1..]),
         Some("telemetry-report") => cmd_telemetry_report(&args[1..]),
         Some("serve-batch") => cmd_serve_batch(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        // serve-chaos has its own four-way exit taxonomy (0 = clean,
+        // 1 = divergence, 2 = usage, 3 = faults injected but attributed).
+        Some("serve-chaos") => return cmd_serve_chaos(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -54,7 +61,17 @@ const USAGE: &str = "usage:
   sunder telemetry-report --input <trace.jsonl> [--validate] [--chrome <out.json>]
   sunder serve-batch (--rules <file> | --program <file.saml>) --inputs <f1,f2,...>
                  [--shards <n>] [--workers <n>] [--config identity|nibble|stride2|stride4]
-                 [--engine sparse|dense|adaptive] [--verify]";
+                 [--engine sparse|dense|adaptive] [--verify]
+  sunder serve   (--rules <file> | --program <file.saml>) [--addr <host:port>]
+                 [--shards <n>] [--config <name>] [--engine <name>]
+                 [--max-sessions <n>] [--queue-depth <n>] [--chunk-deadline-ms <n>]
+                 [--drain-deadline-ms <n>]
+                 (stdin commands: reload <file> | status | quit)
+  sunder serve-chaos (--rules <file> | --program <file.saml>) [--sessions <n>]
+                 [--fault-plan <file>] [--artifact <out.jsonl>] [--reload-rules <file>]
+                 [--shards <n>] [--config <name>] [--engine <name>] [--seed <n>]
+                 [--chunk-size <n>] [--drain-deadline-ms <n>]
+                 (exit: 0 clean, 1 divergence/unattributed, 2 usage, 3 faults attributed)";
 
 /// Minimal flag parser: `--key value` pairs plus boolean flags.
 struct Flags<'a> {
@@ -85,6 +102,67 @@ fn parse_rate(flags: &Flags) -> Result<Rate, String> {
         Some("8") => Ok(Rate::Nibble2),
         Some("4") => Ok(Rate::Nibble1),
         Some(other) => Err(format!("unknown rate {other:?} (use 4, 8, or 16)")),
+    }
+}
+
+/// Parses `--config` into a pipeline configuration (default `identity`).
+fn parse_config(flags: &Flags) -> Result<sunder::oracle::PipelineConfig, String> {
+    use sunder::oracle::PipelineConfig;
+    match flags.value("--config") {
+        None => Ok(PipelineConfig::Identity),
+        Some(name) => PipelineConfig::ALL
+            .into_iter()
+            .find(|c| c.name().eq_ignore_ascii_case(name))
+            .ok_or_else(|| {
+                format!("unknown config {name:?} (use identity, nibble, stride2, or stride4)")
+            }),
+    }
+}
+
+/// Parses `--engine` into an engine kind (default `adaptive`).
+fn parse_engine(flags: &Flags) -> Result<sunder::sim::EngineKind, String> {
+    use sunder::sim::EngineKind;
+    match flags.value("--engine") {
+        None => Ok(EngineKind::Adaptive),
+        Some(name) => EngineKind::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(name))
+            .ok_or_else(|| format!("unknown engine {name:?} (use sparse, dense, or adaptive)")),
+    }
+}
+
+/// Parses an integer-valued flag with a default.
+fn parse_num<T: std::str::FromStr>(flags: &Flags, key: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flags.value(key) {
+        Some(v) => v.parse().map_err(|e| format!("invalid {key} {v:?}: {e}")),
+        None => Ok(default),
+    }
+}
+
+/// Loads a pattern DB from `--program` (ANML text) or `--rules` (one
+/// regex per line) — the shared front door for the serve commands.
+fn load_nfa(flags: &Flags) -> Result<sunder::Nfa, String> {
+    if let Some(path) = flags.value("--program") {
+        let text = fs::read_to_string(path).map_err(|e| format!("read program {path}: {e}"))?;
+        anml::parse(&text).map_err(|e| e.to_string())
+    } else {
+        let rules = read_rules(flags.required("--rules")?)?;
+        sunder::automata::regex::compile_rule_set(&rules).map_err(|e| e.to_string())
+    }
+}
+
+/// Loads a pattern DB from a bare path: `.saml`/`.anml` files parse as
+/// ANML programs, anything else as a rules file. Used by hot reload.
+fn load_nfa_path(path: &str) -> Result<sunder::Nfa, String> {
+    if path.ends_with(".saml") || path.ends_with(".anml") {
+        let text = fs::read_to_string(path).map_err(|e| format!("read program {path}: {e}"))?;
+        anml::parse(&text).map_err(|e| e.to_string())
+    } else {
+        let rules = read_rules(path)?;
+        sunder::automata::regex::compile_rule_set(&rules).map_err(|e| e.to_string())
     }
 }
 
@@ -243,18 +321,10 @@ fn cmd_telemetry_report(args: &[String]) -> Result<(), String> {
 /// batch. `--verify` additionally holds every stream's merged trace
 /// against a monolithic run (the sharding equivalence gate).
 fn cmd_serve_batch(args: &[String]) -> Result<(), String> {
-    use sunder::oracle::PipelineConfig;
     use sunder::shard::{verify_stream, BatchOptions, BatchService, ShardSpec};
-    use sunder::sim::EngineKind;
 
     let flags = Flags { args };
-    let nfa = if let Some(path) = flags.value("--program") {
-        let text = fs::read_to_string(path).map_err(|e| format!("read program {path}: {e}"))?;
-        anml::parse(&text).map_err(|e| e.to_string())?
-    } else {
-        let rules = read_rules(flags.required("--rules")?)?;
-        sunder::automata::regex::compile_rule_set(&rules).map_err(|e| e.to_string())?
-    };
+    let nfa = load_nfa(&flags)?;
 
     let inputs_arg = flags.required("--inputs")?;
     let paths: Vec<&str> = inputs_arg
@@ -270,34 +340,14 @@ fn cmd_serve_batch(args: &[String]) -> Result<(), String> {
         streams.push(fs::read(path).map_err(|e| format!("read input {path}: {e}"))?);
     }
 
-    let shards: usize = match flags.value("--shards") {
-        Some(v) => v
-            .parse()
-            .map_err(|e| format!("invalid --shards {v:?}: {e}"))?,
-        None => 4,
-    };
-    let workers: usize = match flags.value("--workers") {
-        Some(v) => v
-            .parse()
-            .map_err(|e| format!("invalid --workers {v:?}: {e}"))?,
-        None => std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
-    };
-    let config = match flags.value("--config") {
-        None => PipelineConfig::Identity,
-        Some(name) => PipelineConfig::ALL
-            .into_iter()
-            .find(|c| c.name().eq_ignore_ascii_case(name))
-            .ok_or_else(|| {
-                format!("unknown config {name:?} (use identity, nibble, stride2, or stride4)")
-            })?,
-    };
-    let engine = match flags.value("--engine") {
-        None => EngineKind::Adaptive,
-        Some(name) => EngineKind::ALL
-            .into_iter()
-            .find(|k| k.name().eq_ignore_ascii_case(name))
-            .ok_or_else(|| format!("unknown engine {name:?} (use sparse, dense, or adaptive)"))?,
-    };
+    let shards: usize = parse_num(&flags, "--shards", 4)?;
+    let workers: usize = parse_num(
+        &flags,
+        "--workers",
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+    )?;
+    let config = parse_config(&flags)?;
+    let engine = parse_engine(&flags)?;
 
     let service = BatchService::new(ShardSpec::MaxShards(shards), engine);
     let report = service
@@ -353,6 +403,293 @@ fn cmd_serve_batch(args: &[String]) -> Result<(), String> {
         return Err(format!("{failures} stream(s) failed"));
     }
     Ok(())
+}
+
+/// Builds a streaming [`ServerConfig`](sunder::shard::ServerConfig)
+/// from the shared serve flags.
+fn parse_server_config(flags: &Flags) -> Result<sunder::shard::ServerConfig, String> {
+    use std::time::Duration;
+    use sunder::shard::{ServerConfig, ShardSpec};
+
+    let defaults = ServerConfig::default();
+    Ok(ServerConfig {
+        config: parse_config(flags)?,
+        spec: ShardSpec::MaxShards(parse_num(flags, "--shards", 4)?),
+        engine: parse_engine(flags)?,
+        max_sessions: parse_num(flags, "--max-sessions", defaults.max_sessions)?,
+        per_tenant_sessions: parse_num(flags, "--per-tenant", defaults.per_tenant_sessions)?,
+        queue_depth: parse_num(flags, "--queue-depth", defaults.queue_depth)?,
+        chunk_deadline: match flags.value("--chunk-deadline-ms") {
+            Some(v) => {
+                Some(Duration::from_millis(v.parse().map_err(|e| {
+                    format!("invalid --chunk-deadline-ms {v:?}: {e}")
+                })?))
+            }
+            None => None,
+        },
+        drain_deadline: Duration::from_millis(parse_num(
+            flags,
+            "--drain-deadline-ms",
+            defaults.drain_deadline.as_millis() as u64,
+        )?),
+        fault_plan: match flags.value("--fault-plan") {
+            Some(path) => {
+                let text =
+                    fs::read_to_string(path).map_err(|e| format!("read fault plan {path}: {e}"))?;
+                sunder::resilience::FaultPlan::from_text(&text)
+                    .map_err(|e| format!("parse fault plan {path}: {e}"))?
+            }
+            None => sunder::resilience::FaultPlan::none(),
+        },
+        ..defaults
+    })
+}
+
+/// The long-lived streaming daemon: binds the match service, then takes
+/// operator commands on stdin (`reload <file>` swaps the pattern DB
+/// atomically — in-flight sessions finish on their pinned epoch;
+/// `status` prints live counters; `quit` or EOF starts a graceful drain
+/// bounded by the drain deadline).
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use sunder::shard::MatchServer;
+
+    let flags = Flags { args };
+    let nfa = load_nfa(&flags)?;
+    let cfg = parse_server_config(&flags)?;
+    let addr = flags.value("--addr").unwrap_or("127.0.0.1:7700");
+    let mut server = MatchServer::start(addr, &nfa, cfg)?;
+    eprintln!(
+        "sunder serve: listening on {} (epoch {}); stdin commands: reload <file> | status | quit",
+        server.local_addr(),
+        server.epoch(),
+    );
+
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match std::io::BufRead::read_line(&mut stdin.lock(), &mut line) {
+            Ok(0) => break, // EOF: drain and exit.
+            Ok(_) => {}
+            Err(e) => return Err(format!("read stdin: {e}")),
+        }
+        let cmd = line.trim();
+        if cmd.is_empty() {
+            continue;
+        }
+        if cmd == "quit" || cmd == "exit" {
+            break;
+        } else if cmd == "status" {
+            eprintln!(
+                "epoch {}; {} active session(s)",
+                server.epoch(),
+                server.active_sessions()
+            );
+        } else if let Some(path) = cmd.strip_prefix("reload ") {
+            // A failed load never disturbs the serving epoch.
+            match load_nfa_path(path.trim())
+                .and_then(|db| server.reload(&db).map_err(|e| e.to_string()))
+            {
+                Ok(epoch) => eprintln!("reloaded {path}: now epoch {epoch}"),
+                Err(e) => eprintln!("reload failed (still epoch {}): {e}", server.epoch()),
+            }
+        } else {
+            eprintln!("unknown command {cmd:?} (use: reload <file> | status | quit)");
+        }
+    }
+
+    let report = server.drain();
+    eprintln!(
+        "drained: {} finished, {} forced, {:.1} ms",
+        report.drained,
+        report.forced,
+        report.duration.as_secs_f64() * 1e3,
+    );
+    if report.forced > 0 {
+        return Err(format!(
+            "{} session(s) forcibly cancelled at drain",
+            report.forced
+        ));
+    }
+    Ok(())
+}
+
+/// The chaos harness: starts an in-process [`MatchServer`] under a fault
+/// plan, drives N concurrent streaming sessions through the chaos client
+/// (which acts out the plan's connection-level faults on the wire),
+/// verifies every surviving session byte-for-byte against a whole-input
+/// run on the epoch it pinned, then drains and writes the telemetry
+/// artifact. Exit taxonomy matches the fault-smoke gate: 0 = clean run,
+/// 1 = divergence or unattributed failure, 2 = usage error, 3 = faults
+/// were injected and every one was attributed.
+fn cmd_serve_chaos(args: &[String]) -> ExitCode {
+    match run_serve_chaos(args) {
+        Ok(code) => ExitCode::from(code),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_serve_chaos(args: &[String]) -> Result<u8, String> {
+    use std::time::Duration;
+    use sunder::resilience::{FaultKind, SplitMix64};
+    use sunder::shard::{expected_reports, run_chaos, ChaosOptions, MatchServer, SessionOutcome};
+    use sunder::telemetry::{self, Value};
+
+    let flags = Flags { args };
+    let nfa = load_nfa(&flags)?;
+    let sessions: usize = parse_num(&flags, "--sessions", 16)?;
+    if sessions == 0 {
+        return Err("--sessions must be at least 1".to_string());
+    }
+    let seed: u64 = parse_num(&flags, "--seed", 0x5EED)?;
+    let chunk_size: usize = parse_num(&flags, "--chunk-size", 64)?;
+    let mut cfg = parse_server_config(&flags)?;
+    cfg.max_sessions = cfg.max_sessions.max(sessions + 8);
+    let plan = cfg.fault_plan.clone();
+    let drain_deadline = cfg.drain_deadline;
+    let reload_nfa = match flags.value("--reload-rules") {
+        Some(path) => Some(load_nfa_path(path)?),
+        // reload-burst directives without --reload-rules re-load the
+        // primary DB: the epoch still bumps, patterns stay the same.
+        None if plan
+            .faults
+            .iter()
+            .any(|f| matches!(f.kind, FaultKind::ReloadDuringBurst { .. })) =>
+        {
+            Some(nfa.clone())
+        }
+        None => None,
+    };
+
+    telemetry::init(telemetry::Config::spans());
+
+    let server = {
+        let mut s = MatchServer::start("127.0.0.1:0", &nfa, cfg)?;
+        // Deterministic per-session inputs over a printable alphabet.
+        let mut rng = SplitMix64::new(seed);
+        let alphabet: Vec<u8> = (b' '..=b'~').collect();
+        let inputs: Vec<Vec<u8>> = (0..sessions)
+            .map(|_| {
+                (0..256 + (rng.next() % 512) as usize)
+                    .map(|_| alphabet[(rng.next() % alphabet.len() as u64) as usize])
+                    .collect()
+            })
+            .collect();
+        let opts = ChaosOptions {
+            chunk_size: chunk_size.max(1),
+            reload_anml: reload_nfa.as_ref().map(anml::serialize),
+            read_timeout: Duration::from_secs(30),
+        };
+        eprintln!(
+            "serve-chaos: {} session(s) against {} ({} fault(s) planned)",
+            sessions,
+            s.local_addr(),
+            plan.faults.len(),
+        );
+        let outcomes = run_chaos(s.local_addr(), &inputs, &plan, &opts);
+
+        // Reference pipelines per epoch, from the server's own cache so
+        // compilation is shared with what actually served the sessions.
+        let config = parse_config(&flags)?;
+        let primary = s
+            .cache()
+            .get_or_compile(&nfa, config)
+            .map_err(|e| e.to_string())?;
+        let reloaded = match &reload_nfa {
+            Some(db) => Some(
+                s.cache()
+                    .get_or_compile(db, config)
+                    .map_err(|e| e.to_string())?,
+            ),
+            None => None,
+        };
+
+        let mut divergences = 0usize;
+        let mut unattributed = 0usize;
+        let mut completed = 0usize;
+        let mut victims = 0usize;
+        for (i, outcome) in outcomes.iter().enumerate() {
+            let planned: Vec<&FaultKind> = plan.faults_for(i).collect();
+            let verdict = match outcome {
+                SessionOutcome::Completed { epoch, reports, .. } => {
+                    completed += 1;
+                    let reference = if *epoch <= 1 {
+                        &primary
+                    } else {
+                        reloaded.as_ref().unwrap_or(&primary)
+                    };
+                    let expected = expected_reports(reference, &inputs[i])
+                        .map_err(|e| format!("reference run for s{i}: {e}"))?;
+                    if reports == &expected {
+                        "ok"
+                    } else {
+                        divergences += 1;
+                        "DIVERGED"
+                    }
+                }
+                SessionOutcome::Transport(_) => {
+                    unattributed += 1;
+                    "UNATTRIBUTED"
+                }
+                // A refusal, typed error, or deliberate disconnect is
+                // only acceptable when the plan targeted this session.
+                _ if planned.is_empty() => {
+                    unattributed += 1;
+                    "UNATTRIBUTED"
+                }
+                _ => {
+                    victims += 1;
+                    "attributed"
+                }
+            };
+            telemetry::instant(
+                "chaos.session_outcome",
+                &[
+                    ("session", Value::from(i as u64)),
+                    ("outcome", Value::from(outcome.label())),
+                    ("verdict", Value::from(verdict)),
+                ],
+            );
+            println!("s{i}\t{}\t{verdict}", outcome.label());
+        }
+
+        let report = s.drain();
+        let drain_ok = report.forced == 0 && report.duration <= drain_deadline;
+        eprintln!(
+            "serve-chaos: {completed} completed, {victims} attributed victim(s), \
+             {divergences} divergence(s), {unattributed} unattributed; \
+             drain {} finished / {} forced in {:.1} ms (epoch {})",
+            report.drained,
+            report.forced,
+            report.duration.as_secs_f64() * 1e3,
+            s.epoch(),
+        );
+        if !drain_ok {
+            eprintln!(
+                "serve-chaos: drain FAILED (deadline {:.0} ms)",
+                drain_deadline.as_secs_f64() * 1e3
+            );
+        }
+        if divergences + unattributed > 0 || !drain_ok {
+            1u8
+        } else if plan.is_empty() {
+            0
+        } else {
+            3
+        }
+    };
+
+    if let Some(path) = flags.value("--artifact") {
+        let dump = telemetry::finish().ok_or("telemetry session missing")?;
+        let jsonl = dump.to_jsonl();
+        telemetry::validate_jsonl(&jsonl).map_err(|e| format!("artifact invalid: {e}"))?;
+        fs::write(path, &jsonl).map_err(|e| format!("write artifact {path}: {e}"))?;
+        eprintln!("telemetry artifact written to {path}");
+    }
+    Ok(server)
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {

@@ -44,6 +44,7 @@ pub use sunder_baselines as baselines;
 pub use sunder_core as core;
 pub use sunder_llc as llc;
 pub use sunder_oracle as oracle;
+pub use sunder_resilience as resilience;
 pub use sunder_shard as shard;
 pub use sunder_sim as sim;
 pub use sunder_tech as tech;

@@ -155,3 +155,88 @@ fn bad_rate_is_rejected() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown rate"));
 }
+
+#[test]
+fn serve_daemon_takes_stdin_commands_and_drains() {
+    use std::process::Stdio;
+    let rules = write_temp("serve-rules.txt", b"ab+c\n[0-9]{3}\n");
+    let rules2 = write_temp("serve-rules2.txt", b"ab+c\n[0-9]{3}\nq{2}\n");
+    let mut child = bin()
+        .args(["serve", "--rules"])
+        .arg(&rules)
+        .args(["--addr", "127.0.0.1:0", "--shards", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut stdin = child.stdin.take().unwrap();
+    write!(stdin, "status\nreload {}\nstatus\nquit\n", rules2.display()).unwrap();
+    drop(stdin);
+    let out = child.wait_with_output().unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(stderr.contains("listening on 127.0.0.1:"), "{stderr}");
+    assert!(stderr.contains("epoch 1; 0 active session(s)"), "{stderr}");
+    assert!(stderr.contains("now epoch 2"), "{stderr}");
+    assert!(stderr.contains("epoch 2; 0 active session(s)"), "{stderr}");
+    assert!(stderr.contains("drained: 0 finished, 0 forced"), "{stderr}");
+}
+
+#[test]
+fn serve_chaos_clean_run_exits_zero() {
+    let rules = write_temp("chaos-rules.txt", b"ab+c\n[0-9]{3}\n");
+    let out = bin()
+        .args(["serve-chaos", "--rules"])
+        .arg(&rules)
+        .args(["--sessions", "4", "--config", "stride2", "--shards", "2"])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for i in 0..4 {
+        assert!(stdout.contains(&format!("s{i}\tcompleted\tok")), "{stdout}");
+    }
+    assert!(
+        stderr.contains("0 divergence(s), 0 unattributed"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn serve_chaos_attributes_faults_and_exits_three() {
+    let rules = write_temp("chaos3-rules.txt", b"ab+c\n[0-9]{3}\n");
+    let plan = write_temp("chaos3.plan", b"panic 1\nmalformed-frame 2 3\n");
+    let artifact = write_temp("chaos3.jsonl", b"");
+    let out = bin()
+        .args(["serve-chaos", "--rules"])
+        .arg(&rules)
+        .args(["--sessions", "4", "--fault-plan"])
+        .arg(&plan)
+        .arg("--artifact")
+        .arg(&artifact)
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(3), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("s1\terrored\tattributed"), "{stdout}");
+    assert!(stdout.contains("s2\terrored\tattributed"), "{stdout}");
+    assert!(stdout.contains("s0\tcompleted\tok"), "{stdout}");
+    assert!(stderr.contains("2 attributed victim(s)"), "{stderr}");
+    // The artifact is a valid telemetry JSONL with session attribution.
+    let text = std::fs::read_to_string(&artifact).unwrap();
+    assert!(text.contains("serve.session_fault"), "{text}");
+    assert!(text.contains("chaos.session_outcome"), "{text}");
+}
+
+#[test]
+fn serve_chaos_usage_error_exits_two() {
+    let out = bin()
+        .args(["serve-chaos", "--rules", "/nonexistent/rules.txt"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+}
