@@ -8,7 +8,13 @@
 //! [--small | --paper] [--streams N] [--shards A,B,...]
 //! [--sweep-workers A,B,...] [--config NAME] [--wall-floor X|off]
 //! [--runs N] [--out PATH] [--only NAMES | --only~=SUB]
-//! [--telemetry PATH] [--quiet]`
+//! [--telemetry PATH] [--scrape-hz N] [--quiet]`
+//!
+//! `--scrape-hz N` runs a concurrent thread taking a metrics snapshot
+//! and rendering the Prometheus exposition N times a second for the
+//! whole sweep — the in-process cost a `/metrics` scraper imposes on a
+//! live daemon. CI compares `mbps_wall` with and without it to gate
+//! scrape overhead.
 //!
 //! Defaults: small scale, 8 streams, shards 1,4,8, workers 1,2,4,8,
 //! nibble pipeline, adaptive engine, wall floor 0.85.
@@ -66,7 +72,8 @@ fn run() -> Result<u8, BenchError> {
         "Sharded multi-stream throughput sweep gated on trace equality and\n\
          wall-clock speedup. Extra flags: --streams N, --shards A,B,...,\n\
          --sweep-workers A,B,..., --config identity|nibble|stride2|stride4,\n\
-         --wall-floor X|off (default 0.85).",
+         --wall-floor X|off (default 0.85), --scrape-hz N (concurrent\n\
+         snapshot+exposition renders, for the scrape-overhead gate).",
     ) {
         return Ok(0);
     }
@@ -81,6 +88,7 @@ fn run() -> Result<u8, BenchError> {
         wall_floor: Some(0.85),
         ..ThroughputOptions::default()
     };
+    let mut scrape_hz: u32 = 0;
     let mut rest = args.rest.iter();
     while let Some(flag) = rest.next() {
         let mut value = |flag: &str| {
@@ -101,6 +109,12 @@ fn run() -> Result<u8, BenchError> {
                     parse_usize_list(&value("--sweep-workers")?, "--sweep-workers")?;
             }
             "--config" => opts.config = parse_config(&value("--config")?)?,
+            "--scrape-hz" => {
+                let v = value("--scrape-hz")?;
+                scrape_hz = v
+                    .parse()
+                    .with_context(|| format!("invalid --scrape-hz value {v:?}"))?;
+            }
             "--wall-floor" => {
                 let v = value("--wall-floor")?;
                 opts.wall_floor = if v.eq_ignore_ascii_case("off") {
@@ -126,7 +140,34 @@ fn run() -> Result<u8, BenchError> {
         opts.streams, opts.shard_counts, opts.worker_counts, opts.config.name(),
     ));
 
+    // The simulated scraper: snapshot + render at the requested rate on
+    // its own thread, exactly the work a /metrics request costs the
+    // serving process (minus the socket).
+    let scrape_stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let scraper = (scrape_hz > 0).then(|| {
+        let stop = std::sync::Arc::clone(&scrape_stop);
+        let period = std::time::Duration::from_secs_f64(1.0 / f64::from(scrape_hz));
+        std::thread::spawn(move || {
+            let mut scrapes = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                let snap = sunder_telemetry::snapshot();
+                std::hint::black_box(sunder_telemetry::render_prometheus(&snap));
+                scrapes += 1;
+                std::thread::sleep(period);
+            }
+            scrapes
+        })
+    });
+
     let report = run_throughput(&opts).map_err(BenchError::msg)?;
+
+    scrape_stop.store(true, std::sync::atomic::Ordering::Release);
+    if let Some(handle) = scraper {
+        let scrapes = handle.join().expect("scraper thread panicked");
+        progress(&format!(
+            "Concurrent scraper: {scrapes} exposition renders at {scrape_hz} Hz"
+        ));
+    }
     print!("{}", render_table(&report));
     std::fs::write(out_path, render_json(&report))
         .with_context(|| format!("write JSON summary {out_path:?}"))?;

@@ -152,6 +152,13 @@ pub struct PipelineCache {
     entries: Mutex<HashMap<u64, Arc<CompiledPipeline>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    // One (hit, miss) counter-handle pair per PipelineConfig, interned
+    // at construction: the lookup fast path records one atomic per hit
+    // instead of allocating a label set under the registry lock.
+    counters: [(
+        sunder_telemetry::CounterHandle,
+        sunder_telemetry::CounterHandle,
+    ); PipelineConfig::ALL.len()],
 }
 
 impl PipelineCache {
@@ -164,7 +171,29 @@ impl PipelineCache {
             entries: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            counters: PipelineConfig::ALL.map(|config| {
+                let labels = [("config", config.name())];
+                (
+                    sunder_telemetry::counter_handle("pipeline_cache_hits_total", &labels),
+                    sunder_telemetry::counter_handle("pipeline_cache_misses_total", &labels),
+                )
+            }),
         }
+    }
+
+    /// The pre-interned (hit, miss) counter handles for `config`.
+    fn config_counters(
+        &self,
+        config: PipelineConfig,
+    ) -> &(
+        sunder_telemetry::CounterHandle,
+        sunder_telemetry::CounterHandle,
+    ) {
+        let idx = PipelineConfig::ALL
+            .iter()
+            .position(|c| *c == config)
+            .expect("every PipelineConfig is in ALL");
+        &self.counters[idx]
     }
 
     /// The sharding spec used for compilation.
@@ -189,21 +218,14 @@ impl PipelineCache {
         config: PipelineConfig,
     ) -> Result<Arc<CompiledPipeline>, AutomataError> {
         let key = pipeline_key(nfa, config, self.spec, self.engine);
+        let (hits_total, misses_total) = self.config_counters(config);
         if let Some(hit) = self.entries.lock().unwrap().get(&key.0) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            sunder_telemetry::counter_add(
-                "pipeline_cache_hits_total",
-                &[("config", config.name())],
-                1,
-            );
+            hits_total.add(1);
             return Ok(Arc::clone(hit));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        sunder_telemetry::counter_add(
-            "pipeline_cache_misses_total",
-            &[("config", config.name())],
-            1,
-        );
+        misses_total.add(1);
         let compiled = Arc::new(CompiledPipeline::compile(
             nfa,
             config,

@@ -45,14 +45,18 @@
 
 pub mod cache;
 pub mod chaos;
+pub mod flight;
 pub mod frame;
+pub mod obs;
 pub mod scheduler;
 pub mod server;
 pub mod session;
 
 pub use cache::{pipeline_key, CompiledPipeline, PipelineCache, PipelineKey, ShardSpec};
 pub use chaos::{run_chaos, ChaosOptions, SessionOutcome};
+pub use flight::{validate_flight, FlightRecorder, FlightSummary, FLIGHT_SCHEMA_VERSION};
 pub use frame::{ClientFrame, FrameError, ServerFrame, PROTOCOL_VERSION};
+pub use obs::{http_get, ObsHandle};
 pub use scheduler::{
     run_batch, run_batch_pooled, BatchOptions, BatchReport, ShardRun, StreamResult, WorkerPool,
     SERIAL_CUTOFF_BYTES,

@@ -339,9 +339,13 @@ fn drain_worker(
     steals: &AtomicU64,
     results: &[Mutex<Option<StreamResult>>],
 ) {
-    let telemetry = sunder_telemetry::enabled();
+    // Intern the per-worker label handles once: each record below is an
+    // atomic on a pre-resolved cell, not a string allocation plus a
+    // registry lookup under the global lock.
     let labels_value = w.to_string();
     let labels: [(&'static str, &str); 1] = [("worker", labels_value.as_str())];
+    let depth_gauge = sunder_telemetry::gauge_handle("scheduler_queue_depth", &labels);
+    let steals_total = sunder_telemetry::counter_handle("scheduler_steals_total", &labels);
     loop {
         let mut claimed: Option<(usize, bool)> = None;
         {
@@ -349,16 +353,14 @@ fn drain_worker(
             if let Some(s) = own.pop_front() {
                 claimed = Some((s, false));
             }
-            if telemetry {
-                sunder_telemetry::gauge_set("scheduler_queue_depth", &labels, own.len() as f64);
-            }
+            depth_gauge.set(own.len() as f64);
         }
         if claimed.is_none() {
             for step in 1..workers {
                 let victim = (w + step) % workers;
                 if let Some(s) = queues[victim].lock().unwrap().pop_back() {
                     steals.fetch_add(1, Ordering::Relaxed);
-                    sunder_telemetry::counter_add("scheduler_steals_total", &labels, 1);
+                    steals_total.add(1);
                     claimed = Some((s, true));
                     break;
                 }

@@ -76,6 +76,23 @@ pub struct ServerConfig {
     pub drain_deadline: Duration,
     /// Server-side injected faults, keyed by tenant trailing integer.
     pub fault_plan: FaultPlan,
+    /// Observability listener address (`/metrics`, `/healthz`,
+    /// `/readyz`, `/statusz`); `None` disables the listener.
+    pub obs_addr: Option<String>,
+    /// Where flight-recorder post-mortems land; `None` disables the
+    /// per-session recorder entirely.
+    pub flight_recorder_dir: Option<std::path::PathBuf>,
+    /// Flight-recorder ring capacity (events per session).
+    pub flight_events: usize,
+    /// Per-tenant chunk-service SLO: chunks slower than this burn
+    /// `serve_slo_violations_total{tenant}`.
+    pub chunk_slo: Duration,
+    /// Slow-session threshold: a single chunk over this dumps the
+    /// session's flight recorder (reason `slow`).
+    pub slow_chunk: Option<Duration>,
+    /// How often the obs snapshot thread diffs counters into
+    /// `*_per_sec` rate gauges.
+    pub snapshot_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -91,6 +108,12 @@ impl Default for ServerConfig {
             chunk_deadline: None,
             drain_deadline: Duration::from_secs(5),
             fault_plan: FaultPlan::none(),
+            obs_addr: None,
+            flight_recorder_dir: None,
+            flight_events: crate::flight::DEFAULT_FLIGHT_EVENTS,
+            chunk_slo: Duration::from_millis(100),
+            slow_chunk: None,
+            snapshot_interval: Duration::from_secs(1),
         }
     }
 }
@@ -125,11 +148,15 @@ enum Work {
 }
 
 /// The bounded reader→worker queue. Pushing past `depth` blocks the
-/// reader (that *is* the backpressure) and counts a stall.
+/// reader (that *is* the backpressure) and counts a stall. Every item
+/// is timestamped at enqueue so the worker can attribute queue wait to
+/// the tenant's latency histogram.
 struct WorkQueue {
-    items: Mutex<VecDeque<Work>>,
+    items: Mutex<VecDeque<(Work, Instant)>>,
     depth: usize,
     cv: Condvar,
+    /// Pre-interned: the push path runs per frame.
+    stalls: sunder_telemetry::CounterHandle,
 }
 
 impl WorkQueue {
@@ -138,27 +165,30 @@ impl WorkQueue {
             items: Mutex::new(VecDeque::new()),
             depth: depth.max(1),
             cv: Condvar::new(),
+            stalls: sunder_telemetry::counter_handle("serve_backpressure_stalls_total", &[]),
         }
     }
 
     fn push(&self, item: Work) {
+        let enqueued = Instant::now();
         let mut q = self.items.lock().unwrap();
         if q.len() >= self.depth {
-            sunder_telemetry::counter_add("serve_backpressure_stalls_total", &[], 1);
+            self.stalls.add(1);
             while q.len() >= self.depth {
                 q = self.cv.wait(q).unwrap();
             }
         }
-        q.push_back(item);
+        q.push_back((item, enqueued));
         self.cv.notify_all();
     }
 
-    fn pop(&self) -> Work {
+    /// Pops the next item plus how long it sat in the queue.
+    fn pop(&self) -> (Work, Duration) {
         let mut q = self.items.lock().unwrap();
         loop {
-            if let Some(item) = q.pop_front() {
+            if let Some((item, enqueued)) = q.pop_front() {
                 self.cv.notify_all();
-                return item;
+                return (item, enqueued.elapsed());
             }
             q = self.cv.wait(q).unwrap();
         }
@@ -166,26 +196,43 @@ impl WorkQueue {
 }
 
 /// Per-connection registry entry so drain can reach into live sessions.
-struct ConnHandle {
+pub(crate) struct ConnHandle {
     cancel: CancelToken,
     sock: TcpStream,
 }
 
-struct ServerInner {
-    cfg: ServerConfig,
-    cache: PipelineCache,
-    db: Mutex<Arc<LoadedDb>>,
-    next_epoch: AtomicU64,
-    draining: std::sync::atomic::AtomicBool,
-    active: AtomicUsize,
-    tenants: Mutex<HashMap<String, usize>>,
-    conns: Mutex<HashMap<u64, ConnHandle>>,
-    next_conn: AtomicU64,
+pub(crate) struct ServerInner {
+    pub(crate) cfg: ServerConfig,
+    pub(crate) cache: PipelineCache,
+    pub(crate) db: Mutex<Arc<LoadedDb>>,
+    pub(crate) next_epoch: AtomicU64,
+    pub(crate) draining: std::sync::atomic::AtomicBool,
+    /// True while a hot reload is compiling the next epoch; `/readyz`
+    /// reports 503 for the window.
+    pub(crate) reloading: std::sync::atomic::AtomicBool,
+    pub(crate) active: AtomicUsize,
+    pub(crate) tenants: Mutex<HashMap<String, usize>>,
+    pub(crate) conns: Mutex<HashMap<u64, ConnHandle>>,
+    pub(crate) next_conn: AtomicU64,
+    /// Sessions ever accepted (telemetry-independent, for `/statusz`).
+    pub(crate) sessions_started: AtomicU64,
+    /// Frames currently sitting in reader→worker queues, server-wide.
+    pub(crate) queued: AtomicUsize,
+    /// When the server started (uptime in `/statusz`).
+    pub(crate) started: Instant,
 }
 
 impl ServerInner {
-    fn is_draining(&self) -> bool {
+    pub(crate) fn is_draining(&self) -> bool {
         self.draining.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn is_reloading(&self) -> bool {
+        self.reloading.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn epoch(&self) -> u64 {
+        self.db.lock().unwrap().epoch
     }
 }
 
@@ -195,6 +242,7 @@ pub struct MatchServer {
     inner: Arc<ServerInner>,
     addr: SocketAddr,
     accept: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+    obs: Option<crate::obs::ObsHandle>,
     drained: bool,
 }
 
@@ -232,11 +280,19 @@ impl MatchServer {
             db: Mutex::new(Arc::new(LoadedDb { epoch: 1, pipeline })),
             next_epoch: AtomicU64::new(2),
             draining: std::sync::atomic::AtomicBool::new(false),
+            reloading: std::sync::atomic::AtomicBool::new(false),
             active: AtomicUsize::new(0),
             tenants: Mutex::new(HashMap::new()),
             conns: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(0),
+            sessions_started: AtomicU64::new(0),
+            queued: AtomicUsize::new(0),
+            started: Instant::now(),
         });
+        let obs = match &inner.cfg.obs_addr {
+            Some(addr) => Some(crate::obs::start_obs(&inner, addr)?),
+            None => None,
+        };
         let accept_inner = Arc::clone(&inner);
         let accept = std::thread::Builder::new()
             .name("serve-accept".into())
@@ -246,6 +302,7 @@ impl MatchServer {
             inner,
             addr: local,
             accept: Some(accept),
+            obs,
             drained: false,
         })
     }
@@ -268,6 +325,24 @@ impl MatchServer {
     /// The pipeline cache (hit/miss counters survive reloads).
     pub fn cache(&self) -> &PipelineCache {
         &self.inner.cache
+    }
+
+    /// The observability listener's address, when one is running.
+    pub fn obs_addr(&self) -> Option<SocketAddr> {
+        self.obs.as_ref().map(crate::obs::ObsHandle::addr)
+    }
+
+    /// The live `/statusz` JSON document — the single source of truth
+    /// shared by the HTTP endpoint and the stdin `status` command.
+    pub fn status_json(&self) -> String {
+        crate::obs::status_json(&self.inner).render()
+    }
+
+    /// Direct access to server internals for in-crate tests (readiness
+    /// flag manipulation without racing a real drain or reload).
+    #[cfg(test)]
+    pub(crate) fn inner_for_tests(&self) -> Arc<ServerInner> {
+        Arc::clone(&self.inner)
     }
 
     /// Hot-reloads the pattern DB from `nfa`, returning the new epoch.
@@ -308,6 +383,11 @@ impl MatchServer {
         for w in workers {
             let _ = w.join();
         }
+        // The obs listener answers (`/readyz` 503) for the whole drain
+        // window; it goes down with the last worker.
+        if let Some(mut obs) = self.obs.take() {
+            obs.shutdown();
+        }
         self.drained = true;
         let duration = started.elapsed();
         sunder_telemetry::instant(
@@ -335,12 +415,19 @@ impl Drop for MatchServer {
 }
 
 fn reload_db(inner: &ServerInner, nfa: &Nfa) -> Result<u64, AutomataError> {
-    let pipeline = inner.cache.get_or_compile(nfa, inner.cfg.config)?;
-    let epoch = inner.next_epoch.fetch_add(1, Ordering::Relaxed);
-    *inner.db.lock().unwrap() = Arc::new(LoadedDb { epoch, pipeline });
-    sunder_telemetry::counter_add("serve_reloads_total", &[], 1);
-    sunder_telemetry::instant("serve.reloaded", &[("epoch", epoch.into())]);
-    Ok(epoch)
+    // `/readyz` reports 503 while the next epoch compiles: a scraping
+    // load balancer stops routing new streams to a server mid-swap.
+    inner.reloading.store(true, Ordering::Release);
+    let result = (|| {
+        let pipeline = inner.cache.get_or_compile(nfa, inner.cfg.config)?;
+        let epoch = inner.next_epoch.fetch_add(1, Ordering::Relaxed);
+        *inner.db.lock().unwrap() = Arc::new(LoadedDb { epoch, pipeline });
+        sunder_telemetry::counter_add("serve_reloads_total", &[], 1);
+        sunder_telemetry::instant("serve.reloaded", &[("epoch", epoch.into())]);
+        Ok(epoch)
+    })();
+    inner.reloading.store(false, Ordering::Release);
+    result
 }
 
 /// Accepts until drain; returns the connection thread handles so drain
@@ -433,6 +520,114 @@ fn session_fault(tenant: &str, kind: &str) {
     );
 }
 
+/// Per-session observability: label handles interned once at session
+/// open (per-chunk recording is an atomic or an uncontended lock, never
+/// a string allocation), the SLO burn counter, and the optional flight
+/// recorder.
+struct SessionObs {
+    service_us: sunder_telemetry::HistogramHandle,
+    queue_wait_us: sunder_telemetry::HistogramHandle,
+    slo_violations: sunder_telemetry::CounterHandle,
+    chunks_total: sunder_telemetry::CounterHandle,
+    bytes_total: sunder_telemetry::CounterHandle,
+    reports_total: sunder_telemetry::CounterHandle,
+    chunk_slo: Duration,
+    slow_chunk: Option<Duration>,
+    flight: Option<crate::flight::FlightRecorder>,
+    flight_dir: Option<std::path::PathBuf>,
+}
+
+impl SessionObs {
+    fn new(cfg: &ServerConfig, tenant: &str, session: u64, epoch: u64) -> SessionObs {
+        let mut flight = cfg
+            .flight_recorder_dir
+            .as_ref()
+            .map(|_| crate::flight::FlightRecorder::new(tenant, session, epoch, cfg.flight_events));
+        if let Some(fr) = &mut flight {
+            fr.record(
+                "session_open",
+                &[("tenant", tenant.to_string()), ("epoch", epoch.to_string())],
+            );
+        }
+        SessionObs {
+            service_us: sunder_telemetry::histogram_handle(
+                "serve_chunk_service_us",
+                &[("tenant", tenant)],
+            ),
+            queue_wait_us: sunder_telemetry::histogram_handle(
+                "serve_queue_wait_us",
+                &[("tenant", tenant)],
+            ),
+            slo_violations: sunder_telemetry::counter_handle(
+                "serve_slo_violations_total",
+                &[("tenant", tenant)],
+            ),
+            chunks_total: sunder_telemetry::counter_handle("serve_chunks_total", &[]),
+            bytes_total: sunder_telemetry::counter_handle("serve_bytes_total", &[]),
+            reports_total: sunder_telemetry::counter_handle("serve_reports_total", &[]),
+            chunk_slo: cfg.chunk_slo,
+            slow_chunk: cfg.slow_chunk,
+            flight,
+            flight_dir: cfg.flight_recorder_dir.clone(),
+        }
+    }
+
+    /// Accounts one served chunk; dumps the flight recorder when the
+    /// chunk crossed the slow-session threshold.
+    fn chunk(&mut self, bytes: usize, wait: Duration, service: Duration, reports: usize) {
+        let service_us = service.as_micros() as u64;
+        self.chunks_total.add(1);
+        self.bytes_total.add(bytes as u64);
+        self.reports_total.add(reports as u64);
+        self.service_us.record(service_us);
+        self.queue_wait_us.record(wait.as_micros() as u64);
+        if service > self.chunk_slo {
+            self.slo_violations.add(1);
+        }
+        if let Some(fr) = &mut self.flight {
+            fr.record(
+                "chunk",
+                &[
+                    ("bytes", bytes.to_string()),
+                    ("wait_us", wait.as_micros().to_string()),
+                    ("service_us", service_us.to_string()),
+                    ("reports", reports.to_string()),
+                ],
+            );
+            if self.slow_chunk.is_some_and(|t| service > t) {
+                self.dump("slow");
+            }
+        }
+    }
+
+    /// Records a terminal event; `dump_reason` writes the post-mortem.
+    fn fault(&mut self, kind: &str, dump_reason: Option<&'static str>) {
+        if let Some(fr) = &mut self.flight {
+            fr.record("error", &[("kind", kind.to_string())]);
+        }
+        if let Some(reason) = dump_reason {
+            self.dump(reason);
+        }
+    }
+
+    fn event(&mut self, name: &'static str, fields: &[(&'static str, String)]) {
+        if let Some(fr) = &mut self.flight {
+            fr.record(name, fields);
+        }
+    }
+
+    fn dump(&mut self, reason: &str) {
+        if let (Some(fr), Some(dir)) = (&mut self.flight, &self.flight_dir) {
+            if let Err(e) = fr.write(dir, reason) {
+                sunder_telemetry::instant(
+                    "serve.flight_write_failed",
+                    &[("error", e.to_string().into())],
+                );
+            }
+        }
+    }
+}
+
 /// Runs one connection to completion: handshake, reader-thread spawn,
 /// worker loop. Always decrements the active count and deregisters on
 /// the way out.
@@ -449,7 +644,8 @@ fn serve_connection(inner: &Arc<ServerInner>, sock: TcpStream) {
         );
     }
     sunder_telemetry::counter_add("serve_sessions_total", &[], 1);
-    let tenant = run_session(inner, &sock, &cancel);
+    inner.sessions_started.fetch_add(1, Ordering::Relaxed);
+    let tenant = run_session(inner, &sock, &cancel, conn_id);
     if let Some(tenant) = tenant {
         let mut tenants = inner.tenants.lock().unwrap();
         if let Some(n) = tenants.get_mut(&tenant) {
@@ -466,7 +662,12 @@ fn serve_connection(inner: &Arc<ServerInner>, sock: TcpStream) {
 
 /// The session proper. Returns the tenant name once admitted (so the
 /// caller can release the quota), `None` if admission failed.
-fn run_session(inner: &Arc<ServerInner>, sock: &TcpStream, cancel: &CancelToken) -> Option<String> {
+fn run_session(
+    inner: &Arc<ServerInner>,
+    sock: &TcpStream,
+    cancel: &CancelToken,
+    conn_id: u64,
+) -> Option<String> {
     let mut reader = BufReader::new(sock.try_clone().ok()?);
     let writer = Arc::new(Mutex::new(BufWriter::new(sock.try_clone().ok()?)));
     let max_frame = inner.cfg.max_frame_bytes;
@@ -546,34 +747,40 @@ fn run_session(inner: &Arc<ServerInner>, sock: &TcpStream, cancel: &CancelToken)
     );
 
     let faults = injected_for(&inner.cfg.fault_plan, &tenant);
+    let mut obs = SessionObs::new(&inner.cfg, &tenant, conn_id, db.epoch);
 
     // Reader thread: socket → bounded queue. Scoped so a dead worker
     // path can't leak it past the connection.
     let queue = Arc::new(WorkQueue::new(inner.cfg.queue_depth));
     std::thread::scope(|scope| {
         let reader_queue = Arc::clone(&queue);
+        let reader_inner = Arc::clone(inner);
         scope.spawn(move || {
+            let push = |work: Work| {
+                reader_queue.push(work);
+                reader_inner.queued.fetch_add(1, Ordering::Relaxed);
+            };
             loop {
                 match read_raw(&mut reader, max_frame) {
                     Ok(Some(body)) => match decode_client(&body) {
                         Ok(frame) => {
                             let finish = matches!(frame, ClientFrame::Finish);
-                            reader_queue.push(Work::Frame(frame));
+                            push(Work::Frame(frame));
                             if finish {
                                 break; // protocol: nothing follows Finish
                             }
                         }
                         Err(e) => {
-                            reader_queue.push(Work::Bad(e));
+                            push(Work::Bad(e));
                             break;
                         }
                     },
                     Ok(None) => {
-                        reader_queue.push(Work::Eof);
+                        push(Work::Eof);
                         break;
                     }
                     Err(e) => {
-                        reader_queue.push(Work::Bad(e));
+                        push(Work::Bad(e));
                         break;
                     }
                 }
@@ -581,7 +788,16 @@ fn run_session(inner: &Arc<ServerInner>, sock: &TcpStream, cancel: &CancelToken)
         });
 
         // Worker loop: queue → session → socket.
-        worker_loop(inner, &mut session, &tenant, &faults, &queue, cancel, &send);
+        worker_loop(
+            inner,
+            &mut session,
+            &tenant,
+            &faults,
+            &queue,
+            cancel,
+            &send,
+            &mut obs,
+        );
         // Unblock the socket so the reader thread (possibly mid-read)
         // exits before the scope joins it.
         let _ = sock.shutdown(Shutdown::Read);
@@ -598,10 +814,13 @@ fn worker_loop(
     queue: &WorkQueue,
     cancel: &CancelToken,
     send: &dyn Fn(&ServerFrame) -> bool,
+    obs: &mut SessionObs,
 ) {
     let mut first_chunk = true;
     loop {
-        match queue.pop() {
+        let (work, wait) = queue.pop();
+        inner.queued.fetch_sub(1, Ordering::Relaxed);
+        match work {
             Work::Frame(ClientFrame::Chunk(bytes)) => {
                 if first_chunk {
                     first_chunk = false;
@@ -614,31 +833,31 @@ fn worker_loop(
                     budget = budget.deadline(limit);
                 }
                 let inject_panic = faults.panic && session.chunks() == 0;
+                let started = Instant::now();
                 let result = catch_unwind(AssertUnwindSafe(|| {
                     if inject_panic {
                         panic!("injected panic: tenant {tenant}");
                     }
                     session.feed(&bytes, &budget)
                 }));
-                sunder_telemetry::counter_add("serve_chunks_total", &[], 1);
-                sunder_telemetry::counter_add("serve_bytes_total", &[], bytes.len() as u64);
+                let service = started.elapsed();
                 match result {
                     Ok(Ok(reports)) => {
-                        sunder_telemetry::counter_add(
-                            "serve_reports_total",
-                            &[],
-                            reports.len() as u64,
-                        );
+                        obs.chunk(bytes.len(), wait, service, reports.len());
                         if !send(&ServerFrame::Reports(reports)) {
                             return;
                         }
                     }
                     Ok(Err(e)) => {
-                        let (code, kind) = match &e {
-                            SessionError::Interrupted(_) => (ERR_DEADLINE, "deadline"),
-                            _ => (ERR_INTERNAL, "internal"),
+                        obs.chunk(bytes.len(), wait, service, 0);
+                        let (code, kind, dump) = match &e {
+                            SessionError::Interrupted(_) => {
+                                (ERR_DEADLINE, "deadline", Some("deadline"))
+                            }
+                            _ => (ERR_INTERNAL, "internal", None),
                         };
                         session_fault(tenant, kind);
+                        obs.fault(kind, dump);
                         send(&ServerFrame::Error {
                             code,
                             message: e.to_string(),
@@ -646,7 +865,9 @@ fn worker_loop(
                         return;
                     }
                     Err(_) => {
+                        obs.chunk(bytes.len(), wait, service, 0);
                         session_fault(tenant, "panic");
+                        obs.fault("panic", Some("panic"));
                         send(&ServerFrame::Error {
                             code: ERR_PANIC,
                             message: "session worker panicked (isolated)".into(),
@@ -664,10 +885,14 @@ fn worker_loop(
                     session.finish(&budget)
                 })) {
                     Ok(Ok((tail, summary))) => {
-                        sunder_telemetry::counter_add(
-                            "serve_reports_total",
-                            &[],
-                            tail.len() as u64,
+                        obs.reports_total.add(tail.len() as u64);
+                        obs.event(
+                            "finish",
+                            &[
+                                ("chunks", summary.chunks.to_string()),
+                                ("bytes", summary.bytes.to_string()),
+                                ("reports", summary.reports.to_string()),
+                            ],
                         );
                         if send(&ServerFrame::Reports(tail)) {
                             send(&ServerFrame::Done {
@@ -679,11 +904,14 @@ fn worker_loop(
                         }
                     }
                     Ok(Err(e)) => {
-                        let (code, kind) = match &e {
-                            SessionError::Interrupted(_) => (ERR_DEADLINE, "deadline"),
-                            _ => (ERR_INTERNAL, "internal"),
+                        let (code, kind, dump) = match &e {
+                            SessionError::Interrupted(_) => {
+                                (ERR_DEADLINE, "deadline", Some("deadline"))
+                            }
+                            _ => (ERR_INTERNAL, "internal", None),
                         };
                         session_fault(tenant, kind);
+                        obs.fault(kind, dump);
                         send(&ServerFrame::Error {
                             code,
                             message: e.to_string(),
@@ -691,6 +919,7 @@ fn worker_loop(
                     }
                     Err(_) => {
                         session_fault(tenant, "panic");
+                        obs.fault("panic", Some("panic"));
                         send(&ServerFrame::Error {
                             code: ERR_PANIC,
                             message: "session worker panicked (isolated)".into(),
@@ -702,6 +931,7 @@ fn worker_loop(
             Work::Frame(ClientFrame::Reload(text)) => match anml::parse(&text) {
                 Ok(nfa) => match reload_db(inner, &nfa) {
                     Ok(epoch) => {
+                        obs.event("reload", &[("epoch", epoch.to_string())]);
                         if !send(&ServerFrame::Reloaded { epoch }) {
                             return;
                         }
@@ -738,6 +968,7 @@ fn worker_loop(
                     _ => "protocol",
                 };
                 session_fault(tenant, kind);
+                obs.fault(kind, None);
                 let code = match e {
                     FrameError::UnknownVersion(_) => ERR_VERSION,
                     _ => ERR_PROTOCOL,
@@ -752,6 +983,7 @@ fn worker_loop(
                 // Client hung up without Finish: a mid-stream disconnect.
                 if !session.is_finished() {
                     session_fault(tenant, "disconnect");
+                    obs.fault("disconnect", None);
                 }
                 return;
             }
@@ -784,7 +1016,7 @@ mod tests {
         });
         let mut got = Vec::new();
         loop {
-            match q.pop() {
+            match q.pop().0 {
                 Work::Frame(ClientFrame::Chunk(b)) => got.push(b[0]),
                 Work::Eof => break,
                 _ => unreachable!(),

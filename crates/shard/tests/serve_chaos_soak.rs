@@ -38,6 +38,9 @@ fn chaos_soak_64_sessions_with_faults_reload_and_drain() {
         drain_deadline: Duration::from_secs(3),
         // Worker-level injections: tenants s3 and s40 panic, s11 stalls.
         fault_plan: FaultPlan::from_text("panic 3\npanic 40\nstall 11 50\n").unwrap(),
+        // The scrape-during-chaos gate: a 10 Hz scraper hits /metrics
+        // for the whole soak and every response must parse.
+        obs_addr: Some("127.0.0.1:0".to_string()),
         ..ServerConfig::default()
     };
 
@@ -78,8 +81,45 @@ fn chaos_soak_64_sessions_with_faults_reload_and_drain() {
         reload_anml: Some(anml::serialize(&nfa2)),
         read_timeout: Duration::from_secs(30),
     };
+
+    // Concurrent scraper: poll /metrics and /statusz at 10 Hz while the
+    // chaos runs. A scrape that fails to parse fails the soak — the
+    // exposition must stay well-formed no matter what the sessions are
+    // doing to the registry concurrently.
+    let obs_addr = server.obs_addr().expect("obs listener running");
+    let scrape_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&scrape_stop);
+        std::thread::spawn(move || {
+            let mut scrapes = 0usize;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                let (status, body) =
+                    sunder_shard::http_get(obs_addr, "/metrics", Duration::from_secs(5))
+                        .expect("scrape /metrics");
+                assert_eq!(status, 200, "scrape {scrapes}");
+                sunder_telemetry::parse_prometheus(&body).unwrap_or_else(|e| {
+                    panic!("scrape {scrapes}: exposition failed to parse: {e}\n{body}")
+                });
+                let (status, body) =
+                    sunder_shard::http_get(obs_addr, "/statusz", Duration::from_secs(5))
+                        .expect("scrape /statusz");
+                assert_eq!(status, 200, "scrape {scrapes}");
+                sunder_telemetry::json::parse(&body)
+                    .unwrap_or_else(|e| panic!("scrape {scrapes}: statusz not JSON: {e}"));
+                scrapes += 1;
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            scrapes
+        })
+    };
+
     let outcomes = run_chaos(server.local_addr(), &inputs, &plan, &opts);
     assert_eq!(outcomes.len(), SESSIONS, "every session reached an outcome");
+    scrape_stop.store(true, std::sync::atomic::Ordering::Release);
+    let scrapes = scraper.join().expect("scraper thread panicked");
+    // The soak itself only takes a few hundred ms; two full scrape
+    // cycles is the floor that proves concurrency happened at all.
+    assert!(scrapes >= 2, "scraper barely ran: {scrapes} scrapes");
 
     let mut completed = 0;
     for (i, outcome) in outcomes.iter().enumerate() {

@@ -1,0 +1,649 @@
+//! Prometheus text exposition (format version 0.0.4) for the metrics
+//! registry, plus a strict parser used by tests and the `obs-smoke` CI
+//! job to validate every scrape.
+//!
+//! Rendering is fully deterministic: [`crate::metrics::snapshot`]
+//! already yields entries in (name, sorted-labels) order, families are
+//! emitted in that order with one `# HELP` / `# TYPE` header each, and
+//! label values are escaped per the exposition spec (`\\`, `\"`, `\n`).
+//! Pow2 histograms become the cumulative `_bucket{le="..."}` series the
+//! format requires: one bucket at `le="0"` for zero-valued samples, one
+//! per power-of-two upper edge (`2^(i+1)-1`), then `+Inf`, `_sum`, and
+//! `_count`.
+
+use crate::histogram::Pow2Histogram;
+use crate::metrics::{MetricValue, MetricsSnapshot};
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Escapes HELP text: backslash and newline (quotes are legal there).
+fn escape_help(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Formats a sample value: integral floats render without a fraction,
+/// non-finite values as `+Inf`/`-Inf`/`NaN`.
+fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_labels(labels: &[(&'static str, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn render_histogram(
+    out: &mut String,
+    name: &str,
+    labels: &[(&'static str, String)],
+    h: &Pow2Histogram,
+) {
+    let mut cumulative = h.zeros();
+    out.push_str(&format!(
+        "{name}_bucket{} {cumulative}\n",
+        render_labels(labels, Some(("le", "0")))
+    ));
+    for (i, &c) in h.buckets().iter().enumerate() {
+        cumulative += c;
+        let edge = ((1u128 << (i + 1)) - 1).to_string();
+        out.push_str(&format!(
+            "{name}_bucket{} {cumulative}\n",
+            render_labels(labels, Some(("le", &edge)))
+        ));
+    }
+    out.push_str(&format!(
+        "{name}_bucket{} {}\n",
+        render_labels(labels, Some(("le", "+Inf"))),
+        h.count()
+    ));
+    out.push_str(&format!(
+        "{name}_sum{} {}\n",
+        render_labels(labels, None),
+        h.total()
+    ));
+    out.push_str(&format!(
+        "{name}_count{} {}\n",
+        render_labels(labels, None),
+        h.count()
+    ));
+}
+
+/// Renders a snapshot in Prometheus text exposition format. Output is
+/// byte-deterministic for a given snapshot.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut current: Option<&str> = None;
+    for e in &snap.entries {
+        let kind = match &e.value {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        };
+        if current != Some(e.name) {
+            current = Some(e.name);
+            out.push_str(&format!(
+                "# HELP {} {}\n",
+                e.name,
+                escape_help(&format!("Sunder metric {}.", e.name))
+            ));
+            out.push_str(&format!("# TYPE {} {kind}\n", e.name));
+        }
+        match &e.value {
+            MetricValue::Counter(c) => {
+                out.push_str(&format!(
+                    "{}{} {c}\n",
+                    e.name,
+                    render_labels(&e.labels, None)
+                ));
+            }
+            MetricValue::Gauge(g) => {
+                out.push_str(&format!(
+                    "{}{} {}\n",
+                    e.name,
+                    render_labels(&e.labels, None),
+                    format_value(*g)
+                ));
+            }
+            MetricValue::Histogram(h) => render_histogram(&mut out, e.name, &e.labels, h),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parser / validator.
+// ---------------------------------------------------------------------------
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Full sample name (may carry `_bucket`/`_sum`/`_count` suffixes).
+    pub name: String,
+    /// Labels in source order.
+    pub labels: Vec<(String, String)>,
+    /// Parsed value.
+    pub value: f64,
+}
+
+impl PromSample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One metric family: a `# TYPE` block and its samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromFamily {
+    /// Family name (the `# TYPE` name).
+    pub name: String,
+    /// Declared type: `counter`, `gauge`, `histogram`, or `untyped`.
+    pub kind: String,
+    /// HELP text, when present.
+    pub help: String,
+    /// Samples belonging to this family.
+    pub samples: Vec<PromSample>,
+}
+
+impl PromFamily {
+    /// Finds a sample by exact name and labels-as-set.
+    pub fn sample(&self, name: &str, labels: &[(&str, &str)]) -> Option<&PromSample> {
+        self.samples.iter().find(|s| {
+            s.name == name
+                && s.labels.len() == labels.len()
+                && labels.iter().all(|(k, v)| s.label(k) == Some(*v))
+        })
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_value(text: &str) -> Result<f64, String> {
+    match text {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => other
+            .parse::<f64>()
+            .map_err(|e| format!("bad sample value {other:?}: {e}")),
+    }
+}
+
+/// Parses one sample line: `name{k="v",...} value`.
+fn parse_sample(line: &str, lineno: usize) -> Result<PromSample, String> {
+    let err = |msg: &str| format!("line {lineno}: {msg}: {line:?}");
+    let (name_end, has_labels) = match line.find(['{', ' ']) {
+        Some(i) => (i, line.as_bytes()[i] == b'{'),
+        None => return Err(err("sample line has no value")),
+    };
+    let name = &line[..name_end];
+    if !valid_metric_name(name) {
+        return Err(err("invalid metric name"));
+    }
+    let mut labels = Vec::new();
+    let rest = if has_labels {
+        let body_start = name_end + 1;
+        let mut chars = line[body_start..].char_indices().peekable();
+        let pos;
+        loop {
+            // Either `}` (end) or a `key="value"` pair.
+            match chars.peek() {
+                Some(&(i, '}')) => {
+                    pos = body_start + i + 1;
+                    break;
+                }
+                Some(_) => {}
+                None => return Err(err("unterminated label set")),
+            }
+            let key_start = chars.peek().map(|&(i, _)| body_start + i).unwrap();
+            let mut key_end = key_start;
+            for (i, c) in chars.by_ref() {
+                if c == '=' {
+                    key_end = body_start + i;
+                    break;
+                }
+            }
+            let key = &line[key_start..key_end];
+            if !valid_label_name(key) {
+                return Err(err("invalid label name"));
+            }
+            match chars.next() {
+                Some((_, '"')) => {}
+                _ => return Err(err("label value must be quoted")),
+            }
+            let mut value = String::new();
+            let mut closed = false;
+            while let Some((_, c)) = chars.next() {
+                match c {
+                    '\\' => match chars.next() {
+                        Some((_, '\\')) => value.push('\\'),
+                        Some((_, '"')) => value.push('"'),
+                        Some((_, 'n')) => value.push('\n'),
+                        other => {
+                            return Err(err(&format!("bad escape \\{:?}", other.map(|o| o.1))))
+                        }
+                    },
+                    '"' => {
+                        closed = true;
+                        break;
+                    }
+                    other => value.push(other),
+                }
+            }
+            if !closed {
+                return Err(err("unterminated label value"));
+            }
+            labels.push((key.to_string(), value));
+            // After a pair: `,` continues, `}` ends.
+            match chars.peek() {
+                Some(&(_, ',')) => {
+                    chars.next();
+                }
+                Some(&(_, '}')) => {}
+                _ => return Err(err("expected ',' or '}' after label pair")),
+            }
+        }
+        &line[pos..]
+    } else {
+        &line[name_end..]
+    };
+    let value_text = rest.trim();
+    // The exposition format allows an optional trailing timestamp; we
+    // never emit one, so reject it to keep the validator strict.
+    if value_text.contains(' ') {
+        return Err(err("unexpected trailing field after value"));
+    }
+    let value = parse_value(value_text).map_err(|e| err(&e))?;
+    Ok(PromSample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+fn base_name<'a>(sample: &'a str, family: &str, kind: &str) -> Option<&'a str> {
+    if kind == "histogram" {
+        for suffix in ["_bucket", "_sum", "_count"] {
+            if let Some(stripped) = sample.strip_suffix(suffix) {
+                if stripped == family {
+                    return Some(stripped);
+                }
+            }
+        }
+        None
+    } else if sample == family {
+        Some(sample)
+    } else {
+        None
+    }
+}
+
+fn check_histogram(family: &PromFamily) -> Result<(), String> {
+    // Group bucket series by their non-`le` labels and check each
+    // cumulative series is non-decreasing with a `+Inf` bucket matching
+    // `_count`.
+    let series_key = |s: &PromSample| -> Vec<(String, String)> {
+        let mut k: Vec<(String, String)> = s
+            .labels
+            .iter()
+            .filter(|(key, _)| key != "le")
+            .cloned()
+            .collect();
+        k.sort();
+        k
+    };
+    let mut keys: Vec<Vec<(String, String)>> = Vec::new();
+    for s in &family.samples {
+        if s.name.ends_with("_bucket") {
+            let k = series_key(s);
+            if !keys.contains(&k) {
+                keys.push(k);
+            }
+        }
+    }
+    for key in keys {
+        let mut last = 0.0f64;
+        let mut inf = None;
+        for s in family
+            .samples
+            .iter()
+            .filter(|s| s.name.ends_with("_bucket") && series_key(s) == key)
+        {
+            let le = s
+                .label("le")
+                .ok_or_else(|| format!("{}: bucket without le label", family.name))?;
+            if s.value < last {
+                return Err(format!(
+                    "{}: bucket series not cumulative at le={le}",
+                    family.name
+                ));
+            }
+            last = s.value;
+            if le == "+Inf" {
+                inf = Some(s.value);
+            }
+        }
+        let inf =
+            inf.ok_or_else(|| format!("{}: histogram series missing +Inf bucket", family.name))?;
+        let count = family
+            .samples
+            .iter()
+            .find(|s| s.name.ends_with("_count") && series_key(s) == key)
+            .ok_or_else(|| format!("{}: histogram series missing _count", family.name))?;
+        if (count.value - inf).abs() > f64::EPSILON {
+            return Err(format!(
+                "{}: _count {} != +Inf bucket {}",
+                family.name, count.value, inf
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Parses and validates a text-exposition document into metric
+/// families.
+///
+/// Enforced: HELP/TYPE syntax, known types, at most one TYPE per name,
+/// valid metric and label names, well-formed escapes, parseable values,
+/// every sample inside a declared family (histogram suffixes included),
+/// and cumulative + `+Inf`-consistent histogram bucket series.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line or family.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromFamily>, String> {
+    let mut families: Vec<PromFamily> = Vec::new();
+    let mut pending_help: Option<(String, String)> = None;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest
+                .split_once(' ')
+                .map(|(n, h)| (n, h.to_string()))
+                .unwrap_or((rest, String::new()));
+            if !valid_metric_name(name) {
+                return Err(format!("line {lineno}: invalid HELP name {name:?}"));
+            }
+            pending_help = Some((name.to_string(), help));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {lineno}: TYPE line missing a type"))?;
+            if !valid_metric_name(name) {
+                return Err(format!("line {lineno}: invalid TYPE name {name:?}"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "untyped") {
+                return Err(format!("line {lineno}: unknown metric type {kind:?}"));
+            }
+            if families.iter().any(|f| f.name == name) {
+                return Err(format!("line {lineno}: duplicate TYPE for {name}"));
+            }
+            let help = match pending_help.take() {
+                Some((help_name, help)) if help_name == name => help,
+                _ => String::new(),
+            };
+            families.push(PromFamily {
+                name: name.to_string(),
+                kind: kind.to_string(),
+                help,
+                samples: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+        let sample = parse_sample(line, lineno)?;
+        let family = families
+            .iter_mut()
+            .rev()
+            .find(|f| base_name(&sample.name, &f.name, &f.kind).is_some())
+            .ok_or_else(|| {
+                format!(
+                    "line {lineno}: sample {:?} outside any declared family",
+                    sample.name
+                )
+            })?;
+        family.samples.push(sample);
+    }
+    for family in &families {
+        if family.kind == "histogram" {
+            check_histogram(family)?;
+        }
+    }
+    Ok(families)
+}
+
+/// Convenience: the value of a plain counter/gauge sample.
+pub fn sample_value(families: &[PromFamily], name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+    families
+        .iter()
+        .find(|f| f.name == name)
+        .and_then(|f| f.sample(name, labels))
+        .map(|s| s.value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::{set_level, Level};
+    use crate::metrics::{counter_add, gauge_set, histogram_record, reset, snapshot};
+
+    fn build_snapshot() -> MetricsSnapshot {
+        let _lock = crate::test_lock();
+        reset();
+        set_level(Level::Metrics);
+        counter_add("serve_chunks_total", &[("tenant", "a")], 7);
+        counter_add("serve_chunks_total", &[("tenant", "b")], 3);
+        gauge_set("queue_depth", &[("worker", "0")], 2.0);
+        gauge_set("overhead_ratio", &[], 1.25);
+        histogram_record("chunk_service_us", &[("tenant", "a")], 0);
+        histogram_record("chunk_service_us", &[("tenant", "a")], 3);
+        histogram_record("chunk_service_us", &[("tenant", "a")], 200);
+        let snap = snapshot();
+        set_level(Level::Off);
+        reset();
+        snap
+    }
+
+    #[test]
+    fn rendering_is_deterministic_and_ordered() {
+        let snap = build_snapshot();
+        let a = render_prometheus(&snap);
+        let b = render_prometheus(&snap);
+        assert_eq!(a, b, "same snapshot renders byte-identically");
+        // Families appear in snapshot (sorted) order, each headed by
+        // HELP then TYPE.
+        let help_lines: Vec<&str> = a.lines().filter(|l| l.starts_with("# HELP")).collect();
+        let names: Vec<&str> = help_lines
+            .iter()
+            .map(|l| l.split_whitespace().nth(2).unwrap())
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "families are name-ordered");
+        assert!(a.contains("# TYPE serve_chunks_total counter"));
+        assert!(a.contains("# TYPE queue_depth gauge"));
+        assert!(a.contains("# TYPE chunk_service_us histogram"));
+        assert!(a.contains("serve_chunks_total{tenant=\"a\"} 7"));
+        assert!(a.contains("overhead_ratio 1.25"));
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets() {
+        let snap = build_snapshot();
+        let text = render_prometheus(&snap);
+        // zeros=1, 3 → bucket 1 ([2,3]), 200 → bucket 7 ([128,255]).
+        assert!(text.contains("chunk_service_us_bucket{tenant=\"a\",le=\"0\"} 1"));
+        assert!(text.contains("chunk_service_us_bucket{tenant=\"a\",le=\"3\"} 2"));
+        assert!(text.contains("chunk_service_us_bucket{tenant=\"a\",le=\"255\"} 3"));
+        assert!(text.contains("chunk_service_us_bucket{tenant=\"a\",le=\"+Inf\"} 3"));
+        assert!(text.contains("chunk_service_us_sum{tenant=\"a\"} 203"));
+        assert!(text.contains("chunk_service_us_count{tenant=\"a\"} 3"));
+    }
+
+    #[test]
+    fn label_values_are_escaped_and_round_trip() {
+        let _lock = crate::test_lock();
+        reset();
+        set_level(Level::Metrics);
+        counter_add("esc_total", &[("path", "a\\b\"c\nd")], 1);
+        let snap = snapshot();
+        set_level(Level::Off);
+        reset();
+        let text = render_prometheus(&snap);
+        assert!(
+            text.contains(r#"esc_total{path="a\\b\"c\nd"} 1"#),
+            "escaping: {text}"
+        );
+        let families = parse_prometheus(&text).unwrap();
+        let sample = &families
+            .iter()
+            .find(|f| f.name == "esc_total")
+            .unwrap()
+            .samples[0];
+        assert_eq!(sample.label("path"), Some("a\\b\"c\nd"));
+    }
+
+    #[test]
+    fn parser_validates_rendered_output() {
+        let snap = build_snapshot();
+        let families = parse_prometheus(&render_prometheus(&snap)).unwrap();
+        assert_eq!(families.len(), 4);
+        assert_eq!(
+            sample_value(&families, "serve_chunks_total", &[("tenant", "b")]),
+            Some(3.0)
+        );
+        assert_eq!(
+            sample_value(&families, "queue_depth", &[("worker", "0")]),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for (doc, why) in [
+            ("# TYPE m wibble\n", "unknown type"),
+            ("# TYPE m counter\n# TYPE m counter\nm 1\n", "dup TYPE"),
+            ("m{x=\"unterminated} 1\n", "unterminated quote"),
+            ("# TYPE m counter\nm{9bad=\"v\"} 1\n", "bad label name"),
+            ("# TYPE m counter\nm notanumber\n", "bad value"),
+            ("orphan_sample 1\n", "no family"),
+            ("# TYPE m counter\nm{x=\"a\\q\"} 1\n", "bad escape"),
+        ] {
+            assert!(parse_prometheus(doc).is_err(), "should reject: {why}");
+        }
+    }
+
+    #[test]
+    fn parser_rejects_non_cumulative_histograms() {
+        let doc = concat!(
+            "# TYPE h histogram\n",
+            "h_bucket{le=\"1\"} 5\n",
+            "h_bucket{le=\"3\"} 2\n",
+            "h_bucket{le=\"+Inf\"} 5\n",
+            "h_sum 9\n",
+            "h_count 5\n",
+        );
+        assert!(parse_prometheus(doc).unwrap_err().contains("cumulative"));
+        let doc = concat!(
+            "# TYPE h histogram\n",
+            "h_bucket{le=\"1\"} 5\n",
+            "h_sum 9\n",
+            "h_count 5\n",
+        );
+        assert!(parse_prometheus(doc).unwrap_err().contains("+Inf"));
+    }
+
+    #[test]
+    fn counters_are_monotone_across_snapshots() {
+        let _lock = crate::test_lock();
+        reset();
+        set_level(Level::Metrics);
+        counter_add("mono_total", &[("t", "x")], 5);
+        let first = parse_prometheus(&render_prometheus(&snapshot())).unwrap();
+        counter_add("mono_total", &[("t", "x")], 2);
+        counter_add("mono_total", &[("t", "y")], 1);
+        let second = parse_prometheus(&render_prometheus(&snapshot())).unwrap();
+        set_level(Level::Off);
+        reset();
+        // Every counter present in the first scrape is present in the
+        // second with a value >= the first — the monotonicity a scraper
+        // relies on for rate() to be meaningful.
+        for f in first.iter().filter(|f| f.kind == "counter") {
+            for s in &f.samples {
+                let labels: Vec<(&str, &str)> = s
+                    .labels
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                let later = sample_value(&second, &s.name, &labels)
+                    .unwrap_or_else(|| panic!("counter {} vanished", s.name));
+                assert!(later >= s.value, "{} went backwards", s.name);
+            }
+        }
+    }
+}

@@ -21,6 +21,18 @@ impl Pow2Histogram {
         Self::default()
     }
 
+    /// Reassembles a histogram from its serialized parts (the artifact
+    /// deserialization path — `sunder telemetry-report` rebuilding a
+    /// histogram from a JSON-lines metric record).
+    pub fn from_parts(buckets: Vec<u64>, zeros: u64, count: u64, total: u64) -> Self {
+        Pow2Histogram {
+            buckets,
+            zeros,
+            count,
+            total,
+        }
+    }
+
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
         self.count += 1;
@@ -107,6 +119,45 @@ impl Pow2Histogram {
         self.buckets.iter().rposition(|&c| c > 0)
     }
 
+    /// Estimates the `q`-quantile (`q` in `0.0..=1.0`) by linear
+    /// interpolation inside the power-of-two bucket that holds the
+    /// target rank. Returns `None` when the histogram is empty.
+    ///
+    /// The estimate is exact when a bucket holds a single distinct value
+    /// (e.g. bucket 0, or a zero sample) and is otherwise bounded by the
+    /// bucket edges `[2^i, 2^(i+1)-1]` — the usual trade of a fixed-size
+    /// sketch. Ranks are 1-based and resolved as `ceil(q * count)`, so
+    /// `quantile(1.0)` lands on the upper edge of the last occupied
+    /// bucket.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        if rank <= self.zeros {
+            return Some(0.0);
+        }
+        let mut seen = self.zeros;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if rank <= seen + c {
+                let lo = (1u64 << i) as f64;
+                let hi = ((1u64 << (i + 1)) - 1) as f64;
+                let frac = (rank - seen) as f64 / c as f64;
+                return Some(lo + frac * (hi - lo));
+            }
+            seen += c;
+        }
+        // count/zeros/buckets out of sync would be a bug; degrade to the
+        // top edge rather than panicking in a metrics path.
+        self.max_bucket()
+            .map(|i| ((1u64 << (i + 1)) - 1) as f64)
+            .or(Some(0.0))
+    }
+
     /// Renders one `lo..hi count` line per non-empty bucket (plus a
     /// leading `0 count` line when zero samples were recorded).
     pub fn render(&self) -> String {
@@ -172,6 +223,59 @@ mod tests {
         assert_eq!(a.bucket(2), 2);
         assert_eq!(a.bucket(6), 1);
         assert_eq!(a.zeros(), 1);
+    }
+
+    #[test]
+    fn quantile_is_none_on_empty() {
+        assert_eq!(Pow2Histogram::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_pins_single_value_bucket() {
+        // 100 samples of exactly 1: bucket 0 is [1, 1], so every
+        // quantile is exact.
+        let mut h = Pow2Histogram::new();
+        h.record_n(1, 100);
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(0.5), Some(1.0));
+        assert_eq!(h.quantile(0.99), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(1.0));
+    }
+
+    #[test]
+    fn quantile_pins_p50_p99_on_skewed_distribution() {
+        // 99 samples of 1 and a single 1000-valued outlier (bucket 9 =
+        // [512, 1023]). p50 and p99 sit in the dense bucket; only the
+        // very top rank reaches the outlier, and interpolation puts it
+        // at the bucket's upper edge.
+        let mut h = Pow2Histogram::new();
+        h.record_n(1, 99);
+        h.record(1000);
+        assert_eq!(h.quantile(0.5), Some(1.0));
+        assert_eq!(h.quantile(0.99), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(1023.0));
+    }
+
+    #[test]
+    fn quantile_interpolates_within_a_bucket() {
+        // 5 samples of 224 all land in bucket 7 = [128, 255]. The p50
+        // rank is ceil(0.5 * 5) = 3, so frac = 3/5 and the estimate is
+        // 128 + 0.6 * 127 = 204.2 — the sketch's bounded error, pinned.
+        let mut h = Pow2Histogram::new();
+        h.record_n(224, 5);
+        assert_eq!(h.quantile(0.5), Some(204.2));
+    }
+
+    #[test]
+    fn quantile_counts_zeros_first() {
+        let mut h = Pow2Histogram::new();
+        h.record_n(0, 10);
+        h.record_n(64, 10);
+        assert_eq!(h.quantile(0.25), Some(0.0));
+        assert_eq!(h.quantile(0.5), Some(0.0));
+        // rank 15 is the 5th of 10 samples in bucket 6 = [64, 127]:
+        // 64 + 0.5 * 63 = 95.5.
+        assert_eq!(h.quantile(0.75), Some(95.5));
     }
 
     #[test]

@@ -37,6 +37,7 @@
 
 pub mod event;
 pub mod export;
+pub mod exposition;
 pub mod histogram;
 pub mod json;
 pub mod level;
@@ -50,11 +51,13 @@ pub use event::{Event, EventKind, Field, Value};
 pub use export::{
     chrome_trace_from_jsonl, render_chrome_trace, render_jsonl, validate_jsonl, ValidatedArtifact,
 };
+pub use exposition::{parse_prometheus, render_prometheus, PromFamily, PromSample};
 pub use histogram::Pow2Histogram;
 pub use level::{enabled, level, set_level, spans_enabled, Level};
 pub use metrics::{
-    counter_add, gauge_set, histogram_merge, histogram_record, snapshot, MetricEntry, MetricValue,
-    MetricsSnapshot,
+    counter_add, counter_handle, gauge_handle, gauge_set, histogram_handle, histogram_merge,
+    histogram_record, publish_rate_gauges, snapshot, CounterHandle, GaugeHandle, HistogramHandle,
+    MetricEntry, MetricValue, MetricsSnapshot,
 };
 pub use progress::{progress, quiet, set_quiet};
 pub use recorder::DEFAULT_CAPACITY;

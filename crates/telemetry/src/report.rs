@@ -8,6 +8,7 @@
 //! dimension are summarized globally.
 
 use crate::export::validate_jsonl;
+use crate::histogram::Pow2Histogram;
 use crate::json::{self, Json};
 
 /// Aggregated telemetry for one benchmark.
@@ -75,6 +76,9 @@ pub struct Report {
     pub job_panics: u64,
     /// Job deadline timeouts observed by the supervisor.
     pub job_timeouts: u64,
+    /// Every histogram metric in the artifact as `(name, rendered
+    /// labels, histogram)`, sorted — the input to the quantile table.
+    pub histograms: Vec<(String, String, Pow2Histogram)>,
 }
 
 fn bench_of(obj: &Json, key: &str) -> Option<String> {
@@ -148,6 +152,32 @@ impl Report {
                     }
                 }
                 "metric" => {
+                    if obj.get("kind").and_then(Json::as_str) == Some("histogram") {
+                        let buckets = obj
+                            .get("buckets")
+                            .and_then(Json::as_arr)
+                            .map(|a| a.iter().filter_map(Json::as_u64).collect::<Vec<_>>())
+                            .unwrap_or_default();
+                        let grab = |k: &str| obj.get(k).and_then(Json::as_u64).unwrap_or(0);
+                        let hist = Pow2Histogram::from_parts(
+                            buckets,
+                            grab("zeros"),
+                            grab("count"),
+                            grab("total"),
+                        );
+                        let labels = obj
+                            .get("labels")
+                            .map(|l| match l {
+                                Json::Obj(pairs) => pairs
+                                    .iter()
+                                    .map(|(k, v)| format!("{k}={}", v.as_str().unwrap_or_default()))
+                                    .collect::<Vec<_>>()
+                                    .join(","),
+                                _ => String::new(),
+                            })
+                            .unwrap_or_default();
+                        report.histograms.push((name.to_string(), labels, hist));
+                    }
                     let Some(bench) = bench_of(&obj, "labels") else {
                         continue;
                     };
@@ -177,6 +207,9 @@ impl Report {
         }
         benches.sort_by(|a, b| a.bench.cmp(&b.bench));
         report.benches = benches;
+        report
+            .histograms
+            .sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
         Ok(report)
     }
 
@@ -233,6 +266,30 @@ impl Report {
                 }
             }
         }
+        if !self.histograms.is_empty() {
+            out.push('\n');
+            out.push_str("histogram quantiles (pow2-bucket interpolation):\n");
+            out.push_str(&format!(
+                "  {:<40} {:>8} {:>10} {:>10} {:>10}\n",
+                "metric", "count", "mean", "p50", "p99"
+            ));
+            for (name, labels, h) in &self.histograms {
+                let head = if labels.is_empty() {
+                    name.clone()
+                } else {
+                    format!("{name}{{{labels}}}")
+                };
+                let q = |p: f64| h.quantile(p).map_or("-".to_string(), |v| format!("{v:.1}"));
+                out.push_str(&format!(
+                    "  {:<40} {:>8} {:>10.1} {:>10} {:>10}\n",
+                    head,
+                    h.count(),
+                    h.mean(),
+                    q(0.5),
+                    q(0.99)
+                ));
+            }
+        }
         out
     }
 }
@@ -243,7 +300,7 @@ mod tests {
 
     fn artifact() -> String {
         [
-            r#"{"type":"meta","version":1,"tool":"sunder-telemetry","level":"spans","events":4,"dropped":0,"metrics":4}"#,
+            r#"{"type":"meta","version":1,"tool":"sunder-telemetry","level":"spans","events":4,"dropped":0,"metrics":5}"#,
             r#"{"type":"span","name":"suite.benchmark","ts_us":0,"dur_us":1500,"tid":1,"fields":{"bench":"Snort"}}"#,
             r#"{"type":"span","name":"suite.benchmark","ts_us":0,"dur_us":500,"tid":2,"fields":{"bench":"Ranges1"}}"#,
             r#"{"type":"instant","name":"engine.switch","ts_us":3,"tid":1,"fields":{"bench":"Snort","direction":"dense"}}"#,
@@ -252,6 +309,7 @@ mod tests {
             r#"{"type":"metric","kind":"counter","name":"machine_input_cycles_total","labels":{"bench":"Snort"},"value":900}"#,
             r#"{"type":"metric","kind":"counter","name":"machine_stall_cycles_total","labels":{"bench":"Snort","cause":"flush_drain"},"value":60}"#,
             r#"{"type":"metric","kind":"counter","name":"machine_stall_cycles_total","labels":{"bench":"Snort","cause":"fifo_drain_wait"},"value":40}"#,
+            r#"{"type":"metric","kind":"histogram","name":"chunk_service_us","labels":{"tenant":"s1"},"count":5,"total":1120,"zeros":0,"buckets":[0,0,0,0,0,0,0,5]}"#,
         ]
         .join("\n")
             + "\n"
@@ -290,6 +348,21 @@ mod tests {
         assert!(text.contains("Snort"));
         assert!(text.contains("10.00"));
         assert!(text.contains("flush_drain"));
+    }
+
+    #[test]
+    fn histogram_quantiles_appear_in_report() {
+        let report = Report::from_jsonl(&artifact()).unwrap();
+        assert_eq!(report.histograms.len(), 1);
+        let (name, labels, h) = &report.histograms[0];
+        assert_eq!(name, "chunk_service_us");
+        assert_eq!(labels, "tenant=s1");
+        // 5 samples of 224: p50 interpolates to 128 + (3/5) * 127.
+        assert_eq!(h.quantile(0.5), Some(204.2));
+        let text = report.render_text();
+        assert!(text.contains("histogram quantiles"));
+        assert!(text.contains("chunk_service_us{tenant=s1}"));
+        assert!(text.contains("204.2"));
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! sunder telemetry-report --input trace.jsonl [--validate] [--chrome out.json]
 //! sunder serve-batch --rules rules.txt --inputs a.bin,b.bin [--shards 4] [--workers 2]
 //! sunder serve   --rules rules.txt [--addr 127.0.0.1:7700] [--shards 4]
+//!                [--obs-addr 127.0.0.1:7701] [--flight-recorder-dir flights/]
+//! sunder stat    --addr 127.0.0.1:7701 [--iterations 10] [--interval-ms 1000]
 //! sunder serve-chaos --rules rules.txt --sessions 32 [--fault-plan chaos.plan]
 //!                [--artifact serve.jsonl] [--reload-rules new.txt]
 //! ```
@@ -34,6 +36,7 @@ fn main() -> ExitCode {
         Some("telemetry-report") => cmd_telemetry_report(&args[1..]),
         Some("serve-batch") => cmd_serve_batch(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("stat") => cmd_stat(&args[1..]),
         // serve-chaos has its own four-way exit taxonomy (0 = clean,
         // 1 = divergence, 2 = usage, 3 = faults injected but attributed).
         Some("serve-chaos") => return cmd_serve_chaos(&args[1..]),
@@ -65,8 +68,12 @@ const USAGE: &str = "usage:
   sunder serve   (--rules <file> | --program <file.saml>) [--addr <host:port>]
                  [--shards <n>] [--config <name>] [--engine <name>]
                  [--max-sessions <n>] [--queue-depth <n>] [--chunk-deadline-ms <n>]
-                 [--drain-deadline-ms <n>]
+                 [--drain-deadline-ms <n>] [--obs-addr <host:port>]
+                 [--flight-recorder-dir <dir>] [--flight-events <n>]
+                 [--chunk-slo-ms <n>] [--slow-chunk-ms <n>]
                  (stdin commands: reload <file> | status | quit)
+  sunder stat    --addr <obs host:port> [--iterations <n>] [--interval-ms <n>]
+                 [--json] [--check-metrics] [--timeout-ms <n>]
   sunder serve-chaos (--rules <file> | --program <file.saml>) [--sessions <n>]
                  [--fault-plan <file>] [--artifact <out.jsonl>] [--reload-rules <file>]
                  [--shards <n>] [--config <name>] [--engine <name>] [--seed <n>]
@@ -441,6 +448,24 @@ fn parse_server_config(flags: &Flags) -> Result<sunder::shard::ServerConfig, Str
             }
             None => sunder::resilience::FaultPlan::none(),
         },
+        obs_addr: flags.value("--obs-addr").map(String::from),
+        flight_recorder_dir: flags
+            .value("--flight-recorder-dir")
+            .map(std::path::PathBuf::from),
+        flight_events: parse_num(flags, "--flight-events", defaults.flight_events)?,
+        chunk_slo: Duration::from_millis(parse_num(
+            flags,
+            "--chunk-slo-ms",
+            defaults.chunk_slo.as_millis() as u64,
+        )?),
+        slow_chunk: match flags.value("--slow-chunk-ms") {
+            Some(v) => {
+                Some(Duration::from_millis(v.parse().map_err(|e| {
+                    format!("invalid --slow-chunk-ms {v:?}: {e}")
+                })?))
+            }
+            None => None,
+        },
         ..defaults
     })
 }
@@ -456,6 +481,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let flags = Flags { args };
     let nfa = load_nfa(&flags)?;
     let cfg = parse_server_config(&flags)?;
+    // An obs listener without metrics would scrape an empty registry, so
+    // the flag implies metrics-level telemetry.
+    if cfg.obs_addr.is_some() {
+        sunder::telemetry::init(sunder::telemetry::Config::metrics());
+    }
     let addr = flags.value("--addr").unwrap_or("127.0.0.1:7700");
     let mut server = MatchServer::start(addr, &nfa, cfg)?;
     eprintln!(
@@ -463,6 +493,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         server.local_addr(),
         server.epoch(),
     );
+    if let Some(obs) = server.obs_addr() {
+        eprintln!(
+            "sunder serve: observability on http://{obs} (/metrics /healthz /readyz /statusz)"
+        );
+    }
 
     let stdin = std::io::stdin();
     let mut line = String::new();
@@ -480,11 +515,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         if cmd == "quit" || cmd == "exit" {
             break;
         } else if cmd == "status" {
-            eprintln!(
-                "epoch {}; {} active session(s)",
-                server.epoch(),
-                server.active_sessions()
-            );
+            // The same JSON document `/statusz` serves — one producer,
+            // two transports.
+            println!("{}", server.status_json());
         } else if let Some(path) = cmd.strip_prefix("reload ") {
             // A failed load never disturbs the serving epoch.
             match load_nfa_path(path.trim())
@@ -510,6 +543,107 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "{} session(s) forcibly cancelled at drain",
             report.forced
         ));
+    }
+    Ok(())
+}
+
+/// Live daemon dashboard: polls a serve daemon's `/statusz` endpoint and
+/// renders it as a terminal table (`--json` for the raw document, one
+/// line per poll). `--check-metrics` instead scrapes `/metrics` once and
+/// validates the exposition with the telemetry parser — the CI smoke
+/// job's curl-plus-linter in one flag.
+fn cmd_stat(args: &[String]) -> Result<(), String> {
+    use std::net::ToSocketAddrs;
+    use std::time::Duration;
+    use sunder::telemetry::json::Json;
+
+    let flags = Flags { args };
+    let addr_str = flags.value("--addr").unwrap_or("127.0.0.1:7701");
+    let addr = addr_str
+        .to_socket_addrs()
+        .map_err(|e| format!("resolve {addr_str}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("resolve {addr_str}: no addresses"))?;
+    let timeout = Duration::from_millis(parse_num(&flags, "--timeout-ms", 2000u64)?);
+
+    if flags.flag("--check-metrics") {
+        let (status, body) = sunder::shard::http_get(addr, "/metrics", timeout)?;
+        if status != 200 {
+            return Err(format!("/metrics returned HTTP {status}"));
+        }
+        let families = sunder::telemetry::parse_prometheus(&body)
+            .map_err(|e| format!("exposition invalid: {e}"))?;
+        let samples: usize = families.iter().map(|f| f.samples.len()).sum();
+        println!(
+            "metrics ok: {} families, {samples} samples, {} bytes",
+            families.len(),
+            body.len()
+        );
+        return Ok(());
+    }
+
+    let iterations: u64 = parse_num(&flags, "--iterations", 1u64)?;
+    let interval = Duration::from_millis(parse_num(&flags, "--interval-ms", 1000u64)?);
+    let num = |doc: &Json, path: &[&str]| -> f64 {
+        let mut cur = doc.clone();
+        for key in path {
+            cur = cur.get(key).cloned().unwrap_or(Json::Null);
+        }
+        cur.as_f64().unwrap_or(0.0)
+    };
+    for i in 0..iterations {
+        if i > 0 {
+            std::thread::sleep(interval);
+        }
+        let (status, body) = sunder::shard::http_get(addr, "/statusz", timeout)?;
+        if status != 200 {
+            return Err(format!("/statusz returned HTTP {status}"));
+        }
+        if flags.flag("--json") {
+            println!("{body}");
+            continue;
+        }
+        let doc = sunder::telemetry::json::parse(&body)
+            .map_err(|e| format!("/statusz is not valid JSON: {e}"))?;
+        if i == 0 {
+            println!(
+                "{:>8} {:>6} {:>8} {:>8} {:>7} {:>8} {:>9} {:>6}",
+                "uptime_s", "epoch", "active", "started", "queued", "hit_rate", "state", "slo"
+            );
+        }
+        let state = if doc.get("draining").map(|d| *d == Json::Bool(true)) == Some(true) {
+            "draining"
+        } else if doc.get("reloading").map(|d| *d == Json::Bool(true)) == Some(true) {
+            "reloading"
+        } else {
+            "ready"
+        };
+        let slo = match doc.get("slo_violations") {
+            Some(Json::Obj(pairs)) => pairs.iter().filter_map(|(_, v)| v.as_u64()).sum(),
+            _ => 0u64,
+        };
+        println!(
+            "{:>8} {:>6} {:>8} {:>8} {:>7} {:>8.3} {:>9} {:>6}",
+            num(&doc, &["uptime_s"]),
+            num(&doc, &["epoch"]),
+            num(&doc, &["sessions", "active"]),
+            num(&doc, &["sessions", "started"]),
+            num(&doc, &["queue", "queued"]),
+            num(&doc, &["cache", "hit_rate"]),
+            state,
+            slo,
+        );
+        if let Some(Json::Obj(tenants)) = doc.get("latency_us") {
+            for (tenant, stats) in tenants {
+                println!(
+                    "         tenant {tenant}: n={} mean={:.0}us p50={:.0}us p99={:.0}us",
+                    num(stats, &["count"]),
+                    num(stats, &["mean_us"]),
+                    num(stats, &["p50_us"]),
+                    num(stats, &["p99_us"]),
+                );
+            }
+        }
     }
     Ok(())
 }

@@ -177,10 +177,16 @@ fn serve_daemon_takes_stdin_commands_and_drains() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(out.status.success(), "{stderr}");
     assert!(stderr.contains("listening on 127.0.0.1:"), "{stderr}");
-    assert!(stderr.contains("epoch 1; 0 active session(s)"), "{stderr}");
     assert!(stderr.contains("now epoch 2"), "{stderr}");
-    assert!(stderr.contains("epoch 2; 0 active session(s)"), "{stderr}");
     assert!(stderr.contains("drained: 0 finished, 0 forced"), "{stderr}");
+    // `status` prints the /statusz JSON document on stdout — one line
+    // per invocation, epoch advancing across the reload.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let docs: Vec<&str> = stdout.lines().filter(|l| l.starts_with('{')).collect();
+    assert_eq!(docs.len(), 2, "{stdout}");
+    assert!(docs[0].contains("\"epoch\":1"), "{stdout}");
+    assert!(docs[1].contains("\"epoch\":2"), "{stdout}");
+    assert!(docs[0].contains("\"active\":0"), "{stdout}");
 }
 
 #[test]
