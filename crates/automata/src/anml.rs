@@ -72,7 +72,9 @@ fn format_charset(cs: &SymbolSet) -> String {
 /// malformed line, unknown state reference, or header/state inconsistency.
 pub fn parse(text: &str) -> Result<Nfa, AutomataError> {
     let mut nfa: Option<Nfa> = None;
-    let mut names: Vec<String> = Vec::new();
+    // Name -> id index; a linear scan here would make parsing quadratic,
+    // which the artifact loader (one parse per shard) cannot afford.
+    let mut names: std::collections::HashMap<String, StateId> = std::collections::HashMap::new();
 
     let err = |line: usize, msg: &str| AutomataError::Parse {
         line,
@@ -156,7 +158,7 @@ pub fn parse(text: &str) -> Result<Nfa, AutomataError> {
                 if charsets.len() != nfa.stride() {
                     return Err(err(lineno, "charset count does not match stride"));
                 }
-                if names.contains(&name) {
+                if names.contains_key(&name) {
                     return Err(err(lineno, "duplicate state name"));
                 }
                 let mut ste = Ste::with_charsets(charsets).start(start);
@@ -166,8 +168,9 @@ pub fn parse(text: &str) -> Result<Nfa, AutomataError> {
                     }
                     ste.add_report(r);
                 }
+                let id = StateId(names.len() as u32);
                 nfa.add_state(ste);
-                names.push(name);
+                names.insert(name, id);
             }
             Some("edge") => {
                 let nfa = nfa
@@ -179,8 +182,14 @@ pub fn parse(text: &str) -> Result<Nfa, AutomataError> {
                 let b = words
                     .next()
                     .ok_or_else(|| err(lineno, "edge needs two states"))?;
-                let fa = lookup(&names, a).ok_or_else(|| err(lineno, "unknown edge source"))?;
-                let fb = lookup(&names, b).ok_or_else(|| err(lineno, "unknown edge target"))?;
+                let fa = names
+                    .get(a)
+                    .copied()
+                    .ok_or_else(|| err(lineno, "unknown edge source"))?;
+                let fb = names
+                    .get(b)
+                    .copied()
+                    .ok_or_else(|| err(lineno, "unknown edge target"))?;
                 nfa.add_edge(fa, fb);
             }
             _ => return Err(err(lineno, "unknown directive")),
@@ -189,13 +198,6 @@ pub fn parse(text: &str) -> Result<Nfa, AutomataError> {
     let nfa = nfa.ok_or_else(|| err(0, "missing automaton header"))?;
     nfa.validate()?;
     Ok(nfa)
-}
-
-fn lookup(names: &[String], name: &str) -> Option<StateId> {
-    names
-        .iter()
-        .position(|n| n == name)
-        .map(|i| StateId(i as u32))
 }
 
 fn parse_charset(token: &str, bits: u8, lineno: usize) -> Result<SymbolSet, AutomataError> {

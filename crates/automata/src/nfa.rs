@@ -22,6 +22,9 @@ use crate::symbol::SymbolSet;
 /// Ids are dense indexes assigned in insertion order, so they double as
 /// vector positions in the simulator and hardware-mapping code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)] // guarantees &[u32] and &[StateId] share a layout,
+                     // which the mapped pattern database (`sunder-artifact`) relies on to
+                     // borrow state-id tables straight from an `.sdb` mapping
 pub struct StateId(pub u32);
 
 impl StateId {

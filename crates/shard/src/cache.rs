@@ -14,11 +14,23 @@
 //! were built. Hits and misses are exported as the
 //! `pipeline_cache_hits_total` / `pipeline_cache_misses_total` telemetry
 //! counters.
+//!
+//! With [`PipelineCache::with_disk`] the cache gains a second,
+//! process-crossing tier: every compilation is written through as a
+//! `<key>.sdb` artifact (`sunder-artifact` format), and a memory miss
+//! first tries to *map* `dir/<key>.sdb` — validated, zero-copy — before
+//! falling back to compilation. A stale, corrupt, or mismatched file is
+//! simply ignored (the loader's typed rejection is the safety gate), so
+//! the disk tier can never make a lookup fail that compilation would
+//! have satisfied. Disk hits are counted separately
+//! (`pipeline_cache_disk_hits_total`).
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use sunder_artifact::{DbParts, LoadedPipeline, MappedDb, SpecParams};
 use sunder_automata::partition::{partition, partition_into, PartitionOptions, ShardPlan};
 use sunder_automata::{anml, AutomataError, Nfa};
 use sunder_oracle::PipelineConfig;
@@ -44,11 +56,27 @@ impl ShardSpec {
         }
     }
 
-    /// Stable text folded into the cache key.
-    fn key_text(self) -> String {
+    /// The artifact-layer form of this spec (what `.sdb` files persist).
+    pub fn params(self) -> SpecParams {
         match self {
-            ShardSpec::MaxShards(k) => format!("max-shards={k}"),
-            ShardSpec::Budget(o) => format!("budget={} policy={:?}", o.ste_budget, o.oversize),
+            ShardSpec::MaxShards(k) => SpecParams::MaxShards(k),
+            ShardSpec::Budget(opts) => SpecParams::Budget(opts),
+        }
+    }
+
+    /// Stable text folded into the cache key. Delegates to
+    /// [`SpecParams::key_text`] so the in-memory key and the on-disk
+    /// artifact key can never drift apart.
+    pub fn key_text(self) -> String {
+        self.params().key_text()
+    }
+}
+
+impl From<SpecParams> for ShardSpec {
+    fn from(params: SpecParams) -> ShardSpec {
+        match params {
+            SpecParams::MaxShards(k) => ShardSpec::MaxShards(k),
+            SpecParams::Budget(opts) => ShardSpec::Budget(opts),
         }
     }
 }
@@ -144,13 +172,32 @@ impl CompiledPipeline {
     }
 }
 
+impl From<LoadedPipeline> for CompiledPipeline {
+    /// Adopts a pipeline loaded from a `.sdb` mapping: the engines keep
+    /// borrowing their tables from the mapping (pinned inside the
+    /// `ShardedEngine`), no recompilation happens.
+    fn from(lp: LoadedPipeline) -> CompiledPipeline {
+        CompiledPipeline {
+            key: PipelineKey(lp.key),
+            config: lp.config,
+            nfa: lp.nfa,
+            map: lp.map,
+            sharded: lp.sharded,
+        }
+    }
+}
+
 /// Thread-safe content-addressed cache of [`CompiledPipeline`]s.
 #[derive(Debug)]
 pub struct PipelineCache {
     spec: ShardSpec,
     engine: EngineKind,
     entries: Mutex<HashMap<u64, Arc<CompiledPipeline>>>,
+    /// Artifact directory for the disk tier; `None` keeps the cache
+    /// memory-only.
+    disk: Option<PathBuf>,
     hits: AtomicU64,
+    disk_hits: AtomicU64,
     misses: AtomicU64,
     // One (hit, miss) counter-handle pair per PipelineConfig, interned
     // at construction: the lookup fast path records one atomic per hit
@@ -169,7 +216,9 @@ impl PipelineCache {
             spec,
             engine,
             entries: Mutex::new(HashMap::new()),
+            disk: None,
             hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             counters: PipelineConfig::ALL.map(|config| {
                 let labels = [("config", config.name())];
@@ -178,6 +227,80 @@ impl PipelineCache {
                     sunder_telemetry::counter_handle("pipeline_cache_misses_total", &labels),
                 )
             }),
+        }
+    }
+
+    /// A cache with a disk tier rooted at `dir`: compilations are
+    /// written through as `<key>.sdb` artifacts and memory misses try to
+    /// map an existing artifact before compiling. The directory is
+    /// created if absent; artifact i/o failures silently degrade to
+    /// memory-only behavior (compilation is always the fallback).
+    pub fn with_disk(
+        spec: ShardSpec,
+        engine: EngineKind,
+        dir: impl Into<PathBuf>,
+    ) -> PipelineCache {
+        let dir = dir.into();
+        let _ = std::fs::create_dir_all(&dir);
+        let mut cache = PipelineCache::new(spec, engine);
+        cache.disk = Some(dir);
+        cache
+    }
+
+    /// The on-disk artifact path for `key`, when a disk tier is set.
+    pub fn disk_path(&self, key: PipelineKey) -> Option<PathBuf> {
+        self.disk.as_ref().map(|d| d.join(format!("{key}.sdb")))
+    }
+
+    /// Tries the disk tier: map, validate, and adopt `dir/<key>.sdb`.
+    /// Any failure — absent file, corruption, stale hash, or a database
+    /// whose identity does not match the requested key — returns `None`.
+    fn load_from_disk(&self, key: PipelineKey) -> Option<CompiledPipeline> {
+        let path = self.disk_path(key)?;
+        let mapped = match MappedDb::open(&path) {
+            Ok(db) => db,
+            Err(e) => {
+                if path.exists() {
+                    sunder_telemetry::instant(
+                        "pipeline_cache.disk_rejected",
+                        &[
+                            ("key", key.to_string().into()),
+                            ("error", e.to_string().into()),
+                        ],
+                    );
+                }
+                return None;
+            }
+        };
+        // The loader proved the content hash; this guards the *file
+        // name* (a db renamed to the wrong key, or parameters drifting
+        // from the cache's own spec/engine).
+        if mapped.key() != key.0 {
+            return None;
+        }
+        Some(CompiledPipeline::from(mapped.into_parts()))
+    }
+
+    /// Best-effort write-through of a fresh compilation.
+    fn store_to_disk(&self, source_anml: &str, compiled: &CompiledPipeline) {
+        let Some(path) = self.disk_path(compiled.key) else {
+            return;
+        };
+        let parts = DbParts {
+            key: compiled.key.0,
+            config: compiled.config,
+            spec: self.spec.params(),
+            engine: self.engine,
+            source_anml,
+            nfa: &compiled.nfa,
+            map: compiled.map,
+            sharded: &compiled.sharded,
+        };
+        if let Err(e) = sunder_artifact::write_db(&parts, &path) {
+            sunder_telemetry::instant(
+                "pipeline_cache.disk_write_failed",
+                &[("error", e.to_string().into())],
+            );
         }
     }
 
@@ -224,6 +347,21 @@ impl PipelineCache {
             hits_total.add(1);
             return Ok(Arc::clone(hit));
         }
+        // Disk tier: map a persisted artifact instead of recompiling.
+        if let Some(loaded) = self.load_from_disk(key) {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            sunder_telemetry::counter_add(
+                "pipeline_cache_disk_hits_total",
+                &[("config", config.name())],
+                1,
+            );
+            let loaded = Arc::new(loaded);
+            self.entries
+                .lock()
+                .unwrap()
+                .insert(key.0, Arc::clone(&loaded));
+            return Ok(loaded);
+        }
         self.misses.fetch_add(1, Ordering::Relaxed);
         misses_total.add(1);
         let compiled = Arc::new(CompiledPipeline::compile(
@@ -233,6 +371,9 @@ impl PipelineCache {
             self.engine,
         )?);
         debug_assert_eq!(compiled.key, key);
+        if self.disk.is_some() {
+            self.store_to_disk(&anml::serialize(nfa), &compiled);
+        }
         // Two racing compilers produce identical artifacts (compilation
         // is deterministic), so last-insert-wins is safe.
         self.entries
@@ -245,6 +386,11 @@ impl PipelineCache {
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Disk-tier hits (artifacts mapped instead of recompiled) so far.
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits.load(Ordering::Relaxed)
     }
 
     /// Cache misses (= compilations) so far.
@@ -309,6 +455,104 @@ mod tests {
             .map(|&cfg| pipeline_key(&nfa, cfg, ShardSpec::MaxShards(4), EngineKind::Adaptive).0)
             .collect();
         assert_eq!(keys.len(), 4, "keys must not collide across configs");
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "sunder-cache-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn cache_key_matches_artifact_key() {
+        // The disk tier only works if the in-memory key and the artifact
+        // key are bit-identical — pin the cross-crate contract.
+        let nfa = compile_rule_set(&["ab+c", ".*net"]).unwrap();
+        for (spec, engine) in [
+            (ShardSpec::MaxShards(3), EngineKind::Sparse),
+            (
+                ShardSpec::Budget(PartitionOptions {
+                    ste_budget: 64,
+                    oversize: sunder_automata::partition::OversizePolicy::Dedicate,
+                }),
+                EngineKind::Adaptive,
+            ),
+        ] {
+            for config in PipelineConfig::ALL {
+                assert_eq!(
+                    pipeline_key(&nfa, config, spec, engine).0,
+                    sunder_artifact::db_key(&nfa, config, &spec.params(), engine),
+                    "shard cache key and artifact key diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disk_tier_maps_instead_of_recompiling() {
+        let dir = temp_dir("disk");
+        let nfa = compile_rule_set(&["abc", "de+f"]).unwrap();
+
+        // First cache: compiles and writes through.
+        let c1 = PipelineCache::with_disk(ShardSpec::MaxShards(2), EngineKind::Sparse, &dir);
+        let a = c1.get_or_compile(&nfa, PipelineConfig::Nibble).unwrap();
+        assert_eq!((c1.misses(), c1.disk_hits()), (1, 0));
+        let path = c1.disk_path(a.key).unwrap();
+        assert!(path.exists(), "write-through must persist {path:?}");
+
+        // Fresh cache, same dir: the artifact satisfies the lookup.
+        let c2 = PipelineCache::with_disk(ShardSpec::MaxShards(2), EngineKind::Sparse, &dir);
+        let b = c2.get_or_compile(&nfa, PipelineConfig::Nibble).unwrap();
+        assert_eq!(
+            (c2.misses(), c2.disk_hits()),
+            (0, 1),
+            "must map, not compile"
+        );
+        assert_eq!(a.key, b.key);
+        let input = b"xxabcxdeefxx";
+        assert_eq!(
+            a.sharded.run_trace(input).unwrap(),
+            b.sharded.run_trace(input).unwrap(),
+            "mapped pipeline must execute identically"
+        );
+        // Second lookup on the same cache is a plain memory hit.
+        let c = c2.get_or_compile(&nfa, PipelineConfig::Nibble).unwrap();
+        assert!(Arc::ptr_eq(&b, &c));
+        assert_eq!(c2.hits(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_disk_artifact_falls_back_to_compilation() {
+        let dir = temp_dir("corrupt");
+        let nfa = compile_rule_set(&["xy+z"]).unwrap();
+        let c1 = PipelineCache::with_disk(ShardSpec::MaxShards(1), EngineKind::Sparse, &dir);
+        let a = c1.get_or_compile(&nfa, PipelineConfig::Identity).unwrap();
+        let path = c1.disk_path(a.key).unwrap();
+
+        // Flip a payload byte: the mapped load must be rejected and the
+        // lookup must silently recompile (and repair the artifact).
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xA5;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let c2 = PipelineCache::with_disk(ShardSpec::MaxShards(1), EngineKind::Sparse, &dir);
+        let b = c2.get_or_compile(&nfa, PipelineConfig::Identity).unwrap();
+        assert_eq!(
+            (c2.misses(), c2.disk_hits()),
+            (1, 0),
+            "corrupt file must not hit"
+        );
+        assert_eq!(a.key, b.key);
+        // The write-through replaced the corrupt file with a good one.
+        let c3 = PipelineCache::with_disk(ShardSpec::MaxShards(1), EngineKind::Sparse, &dir);
+        c3.get_or_compile(&nfa, PipelineConfig::Identity).unwrap();
+        assert_eq!(c3.disk_hits(), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

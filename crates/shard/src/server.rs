@@ -355,6 +355,21 @@ impl MatchServer {
         reload_db(&self.inner, nfa)
     }
 
+    /// Hot-reloads the pattern DB from a compiled `.sdb` artifact —
+    /// mapped and validated, never recompiled. The artifact must have
+    /// been compiled with this server's exact pipeline configuration,
+    /// sharding spec, and engine kind; any mismatch (or any validation
+    /// failure) is refused and the current epoch stays live, including
+    /// for in-flight sessions.
+    ///
+    /// # Errors
+    ///
+    /// Validation rejections and parameter mismatches, as strings (the
+    /// caller is the CLI).
+    pub fn reload_artifact(&self, path: &std::path::Path) -> Result<u64, String> {
+        reload_db_artifact(&self.inner, path)
+    }
+
     /// Stops accepting, waits for in-flight sessions up to the
     /// configured drain deadline, then cancels the stragglers' budgets
     /// and shuts their sockets down. Idempotent.
@@ -412,6 +427,43 @@ impl Drop for MatchServer {
             self.drain();
         }
     }
+}
+
+fn reload_db_artifact(inner: &ServerInner, path: &std::path::Path) -> Result<u64, String> {
+    inner.reloading.store(true, Ordering::Release);
+    let result = (|| {
+        let mapped =
+            sunder_artifact::MappedDb::open(path).map_err(|e| format!("load artifact: {e}"))?;
+        if mapped.config() != inner.cfg.config {
+            return Err(format!(
+                "artifact config {} does not match server config {}",
+                mapped.config(),
+                inner.cfg.config
+            ));
+        }
+        if mapped.spec() != inner.cfg.spec.params() {
+            return Err(format!(
+                "artifact sharding spec \"{}\" does not match server spec \"{}\"",
+                mapped.spec(),
+                inner.cfg.spec.key_text()
+            ));
+        }
+        if mapped.engine() != inner.cfg.engine {
+            return Err(format!(
+                "artifact engine {} does not match server engine {}",
+                mapped.engine().name(),
+                inner.cfg.engine.name()
+            ));
+        }
+        let pipeline = Arc::new(crate::cache::CompiledPipeline::from(mapped.into_parts()));
+        let epoch = inner.next_epoch.fetch_add(1, Ordering::Relaxed);
+        *inner.db.lock().unwrap() = Arc::new(LoadedDb { epoch, pipeline });
+        sunder_telemetry::counter_add("serve_reloads_total", &[("source", "artifact")], 1);
+        sunder_telemetry::instant("serve.reloaded", &[("epoch", epoch.into())]);
+        Ok(epoch)
+    })();
+    inner.reloading.store(false, Ordering::Release);
+    result
 }
 
 fn reload_db(inner: &ServerInner, nfa: &Nfa) -> Result<u64, AutomataError> {

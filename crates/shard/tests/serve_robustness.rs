@@ -421,3 +421,153 @@ fn drain_with_no_sessions_is_immediate() {
     assert_eq!((report.drained, report.forced), (0, 0));
     assert!(report.duration < Duration::from_secs(1));
 }
+
+/// Compiles `nfa` into a `.sdb` artifact matching `cfg`'s pipeline
+/// parameters and writes it under a fresh temp dir.
+fn write_artifact(nfa: &Nfa, cfg: &ServerConfig, tag: &str) -> std::path::PathBuf {
+    let db = sunder_artifact::CompiledDb::compile(nfa, cfg.config, cfg.spec.params(), cfg.engine)
+        .unwrap();
+    let path = std::env::temp_dir().join(format!(
+        "sunder-serve-artifact-{}-{tag}.sdb",
+        std::process::id()
+    ));
+    db.write(&path).unwrap();
+    path
+}
+
+#[test]
+fn hot_reload_from_artifact_swaps_epoch_without_recompiling() {
+    let nfa = rules();
+    let cfg = config();
+    let expected_old = reference(&nfa, &cfg, INPUT);
+    let nfa2 = compile_rule_set(&["xy+", "[a-c]{2}"]).unwrap();
+    let expected_new = reference(&nfa2, &cfg, INPUT);
+    assert_ne!(expected_old, expected_new, "rule sets must differ");
+
+    let artifact = write_artifact(&nfa2, &cfg, "reload");
+    let mut server = MatchServer::start("127.0.0.1:0", &nfa, cfg).unwrap();
+    let misses_before = server.cache().misses();
+
+    // Session A opens on epoch 1 and feeds half its input.
+    let mut a = Client::connect(&server, "old");
+    assert_eq!(a.expect_ack(), 1);
+    let mut a_reports = Vec::new();
+    let (head, tail) = INPUT.split_at(INPUT.len() / 2);
+    a.send(&ClientFrame::Chunk(head.to_vec()));
+    match a.recv() {
+        ServerFrame::Reports(r) => a_reports.extend(r),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Swap in the mapped artifact mid-session: no compilation happens.
+    let epoch = server.reload_artifact(&artifact).unwrap();
+    assert_eq!(epoch, 2);
+    assert_eq!(server.epoch(), 2);
+    assert_eq!(
+        server.cache().misses(),
+        misses_before,
+        "artifact reload must not compile anything"
+    );
+
+    // A still finishes on its pinned epoch-1 pipeline.
+    a.send(&ClientFrame::Chunk(tail.to_vec()));
+    match a.recv() {
+        ServerFrame::Reports(rep) => a_reports.extend(rep),
+        other => panic!("unexpected {other:?}"),
+    }
+    a.send(&ClientFrame::Finish);
+    match a.recv() {
+        ServerFrame::Reports(rep) => a_reports.extend(rep),
+        other => panic!("unexpected {other:?}"),
+    }
+    match a.recv() {
+        ServerFrame::Done { epoch, .. } => assert_eq!(epoch, 1, "A pinned epoch 1"),
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(a_reports, expected_old);
+
+    // A session opened after the reload runs on the mapped tables and
+    // produces exactly the new rule set's reports.
+    let mut b = Client::connect(&server, "new");
+    assert_eq!(b.expect_ack(), 2);
+    let (b_reports, b_epoch) = b.stream(INPUT, 6);
+    assert_eq!(b_epoch, 2);
+    assert_eq!(b_reports, expected_new);
+
+    server.drain();
+    std::fs::remove_file(&artifact).ok();
+}
+
+#[test]
+fn corrupt_or_mismatched_artifact_is_refused_and_sessions_survive() {
+    let nfa = rules();
+    let cfg = config();
+    let expected = reference(&nfa, &cfg, INPUT);
+    let mut server = MatchServer::start("127.0.0.1:0", &nfa, cfg.clone()).unwrap();
+
+    // An in-flight session straddles both refused reloads.
+    let mut a = Client::connect(&server, "survivor");
+    assert_eq!(a.expect_ack(), 1);
+    let mut a_reports = Vec::new();
+    let (head, tail) = INPUT.split_at(INPUT.len() / 2);
+    a.send(&ClientFrame::Chunk(head.to_vec()));
+    match a.recv() {
+        ServerFrame::Reports(r) => a_reports.extend(r),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Corrupted artifact: flip a payload byte of a valid database.
+    let nfa2 = compile_rule_set(&["qr+s"]).unwrap();
+    let corrupt = write_artifact(&nfa2, &cfg, "corrupt");
+    let mut bytes = std::fs::read(&corrupt).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x5A;
+    std::fs::write(&corrupt, &bytes).unwrap();
+    let err = server.reload_artifact(&corrupt).unwrap_err();
+    assert!(err.contains("checksum"), "unexpected refusal: {err}");
+    assert_eq!(
+        server.epoch(),
+        1,
+        "refused reload must not advance the epoch"
+    );
+
+    // Parameter mismatch: a perfectly valid artifact compiled under a
+    // different sharding spec is refused too.
+    let mismatched_db = sunder_artifact::CompiledDb::compile(
+        &nfa2,
+        cfg.config,
+        ShardSpec::MaxShards(1).params(),
+        cfg.engine,
+    )
+    .unwrap();
+    let mismatched = std::env::temp_dir().join(format!(
+        "sunder-serve-artifact-{}-mismatch.sdb",
+        std::process::id()
+    ));
+    mismatched_db.write(&mismatched).unwrap();
+    let err = server.reload_artifact(&mismatched).unwrap_err();
+    assert!(err.contains("sharding spec"), "unexpected refusal: {err}");
+    assert_eq!(server.epoch(), 1);
+
+    // The straddling session is untouched: it completes byte-identically
+    // on the epoch it pinned.
+    a.send(&ClientFrame::Chunk(tail.to_vec()));
+    match a.recv() {
+        ServerFrame::Reports(rep) => a_reports.extend(rep),
+        other => panic!("unexpected {other:?}"),
+    }
+    a.send(&ClientFrame::Finish);
+    match a.recv() {
+        ServerFrame::Reports(rep) => a_reports.extend(rep),
+        other => panic!("unexpected {other:?}"),
+    }
+    match a.recv() {
+        ServerFrame::Done { epoch, .. } => assert_eq!(epoch, 1),
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(a_reports, expected);
+
+    server.drain();
+    std::fs::remove_file(&corrupt).ok();
+    std::fs::remove_file(&mismatched).ok();
+}

@@ -39,41 +39,52 @@ use sunder_automata::{AutomataError, ByteClasses, Nfa, StartKind, StateId};
 use crate::exec::Engine;
 use crate::simd;
 use crate::sink::{ReportEvent, ReportSink};
+use crate::storage::TableBuf;
 
 /// Precomputed, automaton-derived tables for the dense engine: byte-classed
 /// accept masks, the successor matrix, start/report vectors. Shareable
 /// across engine instances of the same automaton.
+///
+/// Like [`crate::fastpath::SparseTables`], every flat table is a
+/// [`TableBuf`] and every field is public so the `sunder-artifact`
+/// loader can assemble the struct from slices borrowed out of a mapped
+/// `.sdb` database.
 #[derive(Debug)]
-pub(crate) struct DenseTables {
+pub struct DenseTables {
     /// Words per state bit vector: `ceil(num_states / 64)`.
-    pub(crate) words: usize,
-    alphabet: usize,
-    stride: usize,
+    pub words: usize,
+    /// Alphabet size (`1 << symbol_bits`).
+    pub alphabet: usize,
+    /// Automaton stride (symbols per cycle).
+    pub stride: usize,
     /// Per position, the symbol→class map (`stride × alphabet`, row-major).
-    class_of: Vec<u16>,
+    pub class_of: TableBuf<u16>,
     /// Accept-row offset of each position's class 0, in row units
     /// (`stride + 1` entries; the last is the total row count).
-    class_off: Vec<u32>,
+    pub class_off: Vec<u32>,
     /// Accept masks, one `words`-wide row per (position, class).
-    accept: Vec<u64>,
+    pub accept: TableBuf<u64>,
     /// Per position `j`: the states whose charset at `j` is full (don't
     /// care). Used in place of an accept row for end-of-stream padding.
-    pad_full: Vec<u64>,
+    pub pad_full: TableBuf<u64>,
     /// Successor rows, one `words`-wide row per state.
-    succ: Vec<u64>,
+    pub succ: TableBuf<u64>,
     /// States with at least one successor (skip mask for the OR loop).
-    has_succ: Vec<u64>,
-    start_allinput: Vec<u64>,
-    start_sod: Vec<u64>,
-    report_mask: Vec<u64>,
+    pub has_succ: TableBuf<u64>,
+    /// Bit vector of the all-input start states.
+    pub start_allinput: TableBuf<u64>,
+    /// Bit vector of the start-of-data start states.
+    pub start_sod: TableBuf<u64>,
+    /// Bit vector of the reporting states.
+    pub report_mask: TableBuf<u64>,
     /// Cached `nfa.start_period()`, hoisted out of the cycle loop.
-    start_period: u64,
+    pub start_period: u64,
 }
 
 impl DenseTables {
     /// Builds the tables for `nfa`, computing the symbol equivalence
     /// classes first so the accept table holds one row per class.
-    pub(crate) fn build(nfa: &Nfa) -> DenseTables {
+    pub fn build(nfa: &Nfa) -> DenseTables {
         let n = nfa.num_states();
         let words = n.div_ceil(64);
         let alphabet = 1usize << nfa.symbol_bits();
@@ -135,15 +146,15 @@ impl DenseTables {
             words,
             alphabet,
             stride,
-            class_of,
+            class_of: class_of.into(),
             class_off,
-            accept,
-            pad_full,
-            succ,
-            has_succ,
-            start_allinput,
-            start_sod,
-            report_mask,
+            accept: accept.into(),
+            pad_full: pad_full.into(),
+            succ: succ.into(),
+            has_succ: has_succ.into(),
+            start_allinput: start_allinput.into(),
+            start_sod: start_sod.into(),
+            report_mask: report_mask.into(),
             start_period: u64::from(nfa.start_period()),
         }
     }
@@ -157,7 +168,7 @@ impl DenseTables {
     }
 
     /// Accept rows at position `pos` (= distinct symbol classes there).
-    pub(crate) fn class_count(&self, pos: usize) -> usize {
+    pub fn class_count(&self, pos: usize) -> usize {
         (self.class_off[pos + 1] - self.class_off[pos]) as usize
     }
 }

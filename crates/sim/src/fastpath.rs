@@ -24,8 +24,10 @@
 
 use sunder_automata::{Nfa, StartKind, StateId, SymbolSet};
 
+use crate::storage::TableBuf;
+
 /// Alphabets up to this size get a per-symbol start index.
-pub(crate) const MAX_BUCKETED_ALPHABET: usize = 1 << 8;
+pub const MAX_BUCKETED_ALPHABET: usize = 1 << 8;
 
 /// Charsets with at most this many symbols (and no cheaper shape) use the
 /// sorted-list binary-search encoding; larger ones use a bitset probe.
@@ -33,7 +35,7 @@ const SPARSE_MAX: usize = 16;
 
 /// Build-time encoding of one charset, selected per state × position.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum SymCode {
+pub enum SymCode {
     /// Matches nothing.
     Empty,
     /// Matches exactly one symbol.
@@ -63,11 +65,11 @@ pub(crate) enum SymCode {
 
 /// Display names for the encoding kinds, index-aligned with
 /// [`SparseTables::encoding_counts`].
-pub(crate) const ENCODING_KINDS: [&str; 6] = ["empty", "one", "range", "sparse", "dense", "full"];
+pub const ENCODING_KINDS: [&str; 6] = ["empty", "one", "range", "sparse", "dense", "full"];
 
 impl SymCode {
     /// Index into [`ENCODING_KINDS`] / the encoding histogram.
-    fn kind_index(self) -> usize {
+    pub fn kind_index(self) -> usize {
         match self {
             SymCode::Empty => 0,
             SymCode::One(_) => 1,
@@ -81,63 +83,69 @@ impl SymCode {
 
 /// Index over the all-input start states.
 #[derive(Debug)]
-pub(crate) enum StartIndex {
+pub enum StartIndex {
     /// CSR buckets: `flat[off[sym]..off[sym+1]]` lists the starts whose
     /// first-position charset accepts `sym`.
     Bucketed {
         /// `alphabet + 1` offsets into `flat`.
-        off: Vec<u32>,
+        off: TableBuf<u32>,
         /// Bucket contents, state ids ascending within each bucket.
-        flat: Vec<StateId>,
+        flat: TableBuf<StateId>,
     },
     /// Flat list, scanned every enabled cycle (alphabets wider than
     /// [`MAX_BUCKETED_ALPHABET`]).
-    Flat(Vec<StateId>),
+    Flat(TableBuf<StateId>),
 }
 
 /// Compiled per-automaton tables for the sparse engine; see the module
 /// docs for the layout.
+///
+/// Every flat table is a [`TableBuf`], so the struct is assembled either
+/// from freshly built vectors ([`SparseTables::build`]) or from slices
+/// borrowed out of a mapped `.sdb` database (the `sunder-artifact`
+/// loader constructs it field by field — all fields are public for
+/// exactly that reason, behind the `#[doc(hidden)]` module).
 #[derive(Debug)]
-pub(crate) struct SparseTables {
+pub struct SparseTables {
     /// Automaton stride (symbols per cycle).
-    pub(crate) stride: usize,
+    pub stride: usize,
     /// Alphabet size (`1 << symbol_bits`).
-    pub(crate) alphabet: usize,
+    pub alphabet: usize,
     /// Start period gating all-input starts.
-    pub(crate) start_period: u64,
+    pub start_period: u64,
     /// CSR successor offsets (`num_states + 1` entries).
-    succ_off: Vec<u32>,
+    pub succ_off: TableBuf<u32>,
     /// CSR successor arena, original order preserved.
-    succ_flat: Vec<StateId>,
+    pub succ_flat: TableBuf<StateId>,
     /// `num_states × stride` symbol codes, state-major.
-    codes: Vec<SymCode>,
+    pub codes: Vec<SymCode>,
     /// Sorted-symbol arena for [`SymCode::Sparse`].
-    sparse_arena: Vec<u16>,
+    pub sparse_arena: TableBuf<u16>,
     /// Bitset arena for [`SymCode::Dense`] (`alphabet/64` words each).
-    dense_arena: Vec<u64>,
+    pub dense_arena: TableBuf<u64>,
     /// Words per dense-arena bitset.
-    dense_words: usize,
+    pub dense_words: usize,
     /// Start-of-data starts (cycle 0 only).
-    pub(crate) sod_starts: Vec<StateId>,
+    pub sod_starts: TableBuf<StateId>,
     /// All-input start index.
-    pub(crate) start_index: StartIndex,
+    pub start_index: StartIndex,
     /// One bit per symbol: set iff some all-input start's first-position
     /// charset contains it. A miss with an empty frontier proves the next
     /// frontier is empty too — the prefilter skip condition.
-    start_lut: Vec<u64>,
+    pub start_lut: TableBuf<u64>,
     /// One bit per state: set iff the state carries any report — lets the
     /// match loop skip the automaton lookup for the (typical) majority of
     /// non-reporting states.
-    report_bits: Vec<u64>,
+    pub report_bits: TableBuf<u64>,
     /// Encoding histogram, index-aligned with [`ENCODING_KINDS`].
-    pub(crate) encoding_counts: [u64; 6],
+    pub encoding_counts: [u64; 6],
 }
 
 impl SparseTables {
     /// Compiles the tables for `nfa`. Emits the encoding-kind histogram to
     /// telemetry (`state_encodings_total{kind}`) when a collector is
     /// installed.
-    pub(crate) fn build(nfa: &Nfa) -> SparseTables {
+    pub fn build(nfa: &Nfa) -> SparseTables {
         let n = nfa.num_states();
         let stride = nfa.stride();
         let alphabet = 1usize << nfa.symbol_bits();
@@ -209,25 +217,28 @@ impl SparseTables {
                     *c += 1;
                 });
             }
-            StartIndex::Bucketed { off, flat }
+            StartIndex::Bucketed {
+                off: off.into(),
+                flat: flat.into(),
+            }
         } else {
-            StartIndex::Flat(all_input)
+            StartIndex::Flat(all_input.into())
         };
 
         let tables = SparseTables {
             stride,
             alphabet,
             start_period: u64::from(nfa.start_period()),
-            succ_off,
-            succ_flat,
+            succ_off: succ_off.into(),
+            succ_flat: succ_flat.into(),
             codes,
-            sparse_arena,
-            dense_arena,
+            sparse_arena: sparse_arena.into(),
+            dense_arena: dense_arena.into(),
             dense_words,
-            sod_starts,
+            sod_starts: sod_starts.into(),
             start_index,
-            start_lut,
-            report_bits,
+            start_lut: start_lut.into(),
+            report_bits: report_bits.into(),
             encoding_counts,
         };
         if sunder_telemetry::enabled() {
@@ -246,7 +257,7 @@ impl SparseTables {
 
     /// Successors of `id`, in the automaton's original order.
     #[inline(always)]
-    pub(crate) fn successors(&self, id: StateId) -> &[StateId] {
+    pub fn successors(&self, id: StateId) -> &[StateId] {
         let i = id.index();
         &self.succ_flat[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
     }
@@ -254,7 +265,7 @@ impl SparseTables {
     /// Whether any all-input start can fire on leading symbol `sym`.
     /// Symbols outside the alphabet can never match and count as misses.
     #[inline(always)]
-    pub(crate) fn start_lut_hit(&self, sym: u16) -> bool {
+    pub fn start_lut_hit(&self, sym: u16) -> bool {
         let i = usize::from(sym);
         i < self.alphabet && (self.start_lut[i >> 6] >> (i & 63)) & 1 != 0
     }
@@ -263,7 +274,7 @@ impl SparseTables {
     /// evaluated through the specialized code. `sym` must be within the
     /// alphabet (the step loop hoists the out-of-alphabet check).
     #[inline(always)]
-    pub(crate) fn code_matches(&self, code: SymCode, sym: u16) -> bool {
+    pub fn code_matches(&self, code: SymCode, sym: u16) -> bool {
         match code {
             SymCode::Empty => false,
             SymCode::One(s) => sym == s,
@@ -282,7 +293,7 @@ impl SparseTables {
 
     /// Whether state `id` carries any report.
     #[inline(always)]
-    pub(crate) fn has_reports(&self, id: StateId) -> bool {
+    pub fn has_reports(&self, id: StateId) -> bool {
         let i = id.index();
         (self.report_bits[i >> 6] >> (i & 63)) & 1 != 0
     }
@@ -290,7 +301,7 @@ impl SparseTables {
     /// Stride-1 fast path: whether the (single) charset of `id` contains
     /// `sym`. Callers must ensure `self.stride == 1`.
     #[inline(always)]
-    pub(crate) fn matches1(&self, id: StateId, sym: u16) -> bool {
+    pub fn matches1(&self, id: StateId, sym: u16) -> bool {
         self.code_matches(self.codes[id.index()], sym)
     }
 
@@ -299,7 +310,7 @@ impl SparseTables {
     /// position requires a full (don't-care) charset — exactly
     /// `Ste::matches` on the naive path.
     #[inline]
-    pub(crate) fn state_matches(&self, id: StateId, vector: &[u16], valid: usize) -> bool {
+    pub fn state_matches(&self, id: StateId, vector: &[u16], valid: usize) -> bool {
         let base = id.index() * self.stride;
         let codes = &self.codes[base..base + self.stride];
         let live = valid.min(self.stride);

@@ -37,13 +37,18 @@ pub mod adaptive;
 pub mod dense;
 pub mod engine;
 pub mod exec;
-pub(crate) mod fastpath;
+// Public (but doc-hidden) so the `sunder-artifact` mapped-database loader
+// can assemble the compiled tables from borrowed slices; not a supported
+// API surface for anyone else.
+#[doc(hidden)]
+pub mod fastpath;
 pub mod histogram;
 pub mod profile;
 pub mod sharded;
 pub mod simd;
 pub mod sink;
 pub mod stats;
+pub mod storage;
 
 pub use adaptive::{AdaptiveEngine, AdaptiveLimits, DegradeReason};
 pub use dense::{DenseBuildError, DenseEngine};
@@ -54,6 +59,7 @@ pub use profile::{hybrid_split, ActivationProfileSink, HybridSplit};
 pub use sharded::{ShardedEngine, ShardedState};
 pub use sink::{BoundedTraceSink, CountSink, NullSink, ReportEvent, ReportSink, TraceSink};
 pub use stats::{DynamicStats, DynamicStatsSink};
+pub use storage::TableBuf;
 // Budget types are re-exported so engine callers need not depend on
 // sunder-resilience directly.
 pub use sunder_resilience::{Budget, CancelToken, RunOutcome, StopReason};

@@ -106,6 +106,89 @@ impl ShardedEngine {
         }
     }
 
+    /// Assembles a sharded engine around *already compiled* per-shard
+    /// tables — the mapped-database load path (`sunder-artifact`), where
+    /// the tables borrow straight from an `.sdb` mapping and nothing is
+    /// rebuilt. `tables` must hold one entry per plan shard, each built
+    /// from (or validated against) that shard's automaton; a `None` dense
+    /// half leaves the dense tables to be built lazily on first demand,
+    /// exactly like [`ShardedEngine::from_plan`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables.len()` differs from the plan's shard count.
+    #[doc(hidden)]
+    pub fn from_prebuilt(
+        plan: ShardPlan,
+        kind: EngineKind,
+        symbol_bits: u8,
+        stride: usize,
+        tables: Vec<(Arc<SparseTables>, Option<Arc<DenseTables>>)>,
+    ) -> ShardedEngine {
+        assert_eq!(
+            tables.len(),
+            plan.num_shards(),
+            "one table set per plan shard"
+        );
+        let tables = tables
+            .into_iter()
+            .map(|(sparse, dense)| {
+                let cell = OnceLock::new();
+                if let Some(d) = dense {
+                    let _ = cell.set(d);
+                }
+                ShardTables {
+                    sparse,
+                    dense: Arc::new(cell),
+                }
+            })
+            .collect();
+        ShardedEngine {
+            plan,
+            kind,
+            symbol_bits,
+            stride,
+            tables,
+        }
+    }
+
+    /// The compiled sparse tables of one shard (artifact writer support).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    #[doc(hidden)]
+    pub fn shard_sparse(&self, shard: usize) -> &Arc<SparseTables> {
+        &self.tables[shard].sparse
+    }
+
+    /// The dense tables of one shard, when already built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    #[doc(hidden)]
+    pub fn shard_dense(&self, shard: usize) -> Option<Arc<DenseTables>> {
+        self.tables[shard].dense.get().cloned()
+    }
+
+    /// Builds (at most once) and returns the dense tables of one shard —
+    /// lets the artifact writer persist dense matrices for pipelines whose
+    /// engine kind wants them, without waiting for first execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    #[doc(hidden)]
+    pub fn ensure_dense(&self, shard: usize) -> Arc<DenseTables> {
+        let nfa = &self.plan.shards[shard].nfa;
+        Arc::clone(
+            self.tables[shard]
+                .dense
+                .get_or_init(|| Arc::new(DenseTables::build(nfa))),
+        )
+    }
+
     /// The underlying plan.
     pub fn plan(&self) -> &ShardPlan {
         &self.plan

@@ -91,6 +91,18 @@ impl PositionMap {
         })
     }
 
+    /// Reconstructs a map from a stored `per_original` factor — the
+    /// deserialization path for compiled pipeline artifacts, which persist
+    /// the factor rather than the configuration that produced it. Returns
+    /// `None` for a zero factor (no transformation consumes zero symbols
+    /// per original symbol; accepting it would divide by zero later).
+    pub fn from_per_original(per_original: u64) -> Option<Self> {
+        if per_original == 0 {
+            return None;
+        }
+        Some(PositionMap { per_original })
+    }
+
     /// Transformed symbols consumed per original symbol.
     pub fn per_original(&self) -> u64 {
         self.per_original

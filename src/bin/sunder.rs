@@ -2,6 +2,11 @@
 //!
 //! ```text
 //! sunder compile --rules rules.txt --rate 16 -o program.saml
+//! sunder compile-db (--rules rules.txt | --program p.saml) -o db.sdb
+//!                [--shards 4] [--config stride2] [--engine adaptive]
+//! sunder inspect-db db.sdb
+//! sunder artifact-smoke [--dir out/] [--shards 4] [--config <name>]
+//!                [--engine <name>] [--paper]
 //! sunder run     --rules rules.txt --input data.bin [--rate 16] [--fifo] [--summarize]
 //! sunder run     --program program.saml --input data.bin
 //! sunder stats   --rules rules.txt
@@ -30,6 +35,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("compile") => cmd_compile(&args[1..]),
+        Some("compile-db") => cmd_compile_db(&args[1..]),
+        Some("inspect-db") => cmd_inspect_db(&args[1..]),
+        Some("artifact-smoke") => cmd_artifact_smoke(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
@@ -57,6 +65,11 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   sunder compile --rules <file> [--rate 4|8|16] [-o <out.saml>]
+  sunder compile-db (--rules <file> | --program <file.saml>) -o <out.sdb>
+                 [--shards <n>] [--config <name>] [--engine <name>]
+  sunder inspect-db <file.sdb>
+  sunder artifact-smoke [--dir <dir>] [--shards <n>] [--config <name>]
+                 [--engine <name>] [--paper]
   sunder run     (--rules <file> | --program <file.saml>) --input <file>
                  [--rate 4|8|16] [--fifo] [--summarize] [--trace]
   sunder stats   --rules <file>
@@ -71,7 +84,7 @@ const USAGE: &str = "usage:
                  [--drain-deadline-ms <n>] [--obs-addr <host:port>]
                  [--flight-recorder-dir <dir>] [--flight-events <n>]
                  [--chunk-slo-ms <n>] [--slow-chunk-ms <n>]
-                 (stdin commands: reload <file> | status | quit)
+                 (stdin commands: reload <file|file.sdb> | status | quit)
   sunder stat    --addr <obs host:port> [--iterations <n>] [--interval-ms <n>]
                  [--json] [--check-metrics] [--timeout-ms <n>]
   sunder serve-chaos (--rules <file> | --program <file.saml>) [--sessions <n>]
@@ -472,7 +485,8 @@ fn parse_server_config(flags: &Flags) -> Result<sunder::shard::ServerConfig, Str
 
 /// The long-lived streaming daemon: binds the match service, then takes
 /// operator commands on stdin (`reload <file>` swaps the pattern DB
-/// atomically — in-flight sessions finish on their pinned epoch;
+/// atomically — a `.sdb` path maps a precompiled artifact in without
+/// recompiling — while in-flight sessions finish on their pinned epoch;
 /// `status` prints live counters; `quit` or EOF starts a graceful drain
 /// bounded by the drain deadline).
 fn cmd_serve(args: &[String]) -> Result<(), String> {
@@ -519,10 +533,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             // two transports.
             println!("{}", server.status_json());
         } else if let Some(path) = cmd.strip_prefix("reload ") {
-            // A failed load never disturbs the serving epoch.
-            match load_nfa_path(path.trim())
-                .and_then(|db| server.reload(&db).map_err(|e| e.to_string()))
-            {
+            // A failed load never disturbs the serving epoch. `.sdb`
+            // artifacts map straight in without recompiling; any other
+            // path goes through the source-level compile.
+            let path = path.trim();
+            let outcome = if path.ends_with(".sdb") {
+                server.reload_artifact(std::path::Path::new(path))
+            } else {
+                load_nfa_path(path).and_then(|db| server.reload(&db).map_err(|e| e.to_string()))
+            };
+            match outcome {
                 Ok(epoch) => eprintln!("reloaded {path}: now epoch {epoch}"),
                 Err(e) => eprintln!("reload failed (still epoch {}): {e}", server.epoch()),
             }
@@ -868,5 +888,204 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     println!("paper: {:?}", bench.paper());
     println!("states: {}", w.nfa.num_states());
     println!("measured: {d}");
+    Ok(())
+}
+
+/// Compiles a rule set or ANML program all the way through the pipeline
+/// (transform, partition, per-shard engine tables) and writes the result
+/// as a zero-copy `.sdb` pattern database.
+fn cmd_compile_db(args: &[String]) -> Result<(), String> {
+    use sunder::artifact::{CompiledDb, SpecParams};
+
+    let flags = Flags { args };
+    let nfa = load_nfa(&flags)?;
+    let config = parse_config(&flags)?;
+    let engine = parse_engine(&flags)?;
+    let shards: usize = parse_num(&flags, "--shards", 4)?;
+    let out = flags.required("-o")?;
+    let db = CompiledDb::compile(&nfa, config, SpecParams::MaxShards(shards), engine)
+        .map_err(|e| e.to_string())?;
+    db.write(std::path::Path::new(out))
+        .map_err(|e| format!("write database {out}: {e}"))?;
+    let size = fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    let parts = db.parts();
+    eprintln!(
+        "compiled pattern database: key {:016x}, {} pipeline, {} engine, {} shards, \
+         {size} bytes -> {out}",
+        parts.key,
+        parts.config.name(),
+        parts.engine.name(),
+        parts.sharded.num_shards(),
+    );
+    Ok(())
+}
+
+/// Validates a `.sdb` file and prints its identity and section layout.
+/// Both loader phases run in full (byte-level, then typed semantic
+/// checks), so a clean inspect implies the database would map and run.
+fn cmd_inspect_db(args: &[String]) -> Result<(), String> {
+    use sunder::artifact::MappedDb;
+
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("usage: sunder inspect-db <file.sdb>")?;
+    let mapped = MappedDb::open(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    println!("{path}: valid Sunder pattern database");
+    println!("  pipeline key     {:016x}", mapped.key());
+    println!("  config           {}", mapped.config().name());
+    println!("  sharding spec    {}", mapped.spec());
+    println!("  engine           {}", mapped.engine().name());
+    println!("  shards           {}", mapped.num_shards());
+    println!(
+        "  file length      {} bytes ({})",
+        mapped.file_len(),
+        if mapped.is_mmapped() {
+            "memory-mapped"
+        } else {
+            "heap copy"
+        },
+    );
+    println!("  borrowed tables  {}", mapped.borrowed_tables());
+    println!(
+        "  sections         {} (offset, bytes, shard, kind)",
+        mapped.sections().len()
+    );
+    for (kind, shard, offset, len) in mapped.sections() {
+        println!("    {offset:>10}  {len:>10}  shard {shard:>3}  {kind:?}");
+    }
+    Ok(())
+}
+
+/// End-to-end artifact smoke for CI: compiles every suite benchmark to a
+/// `.sdb`, re-runs each from the mapped database asserting trace equality
+/// against the in-memory pipeline, replays the corruption corpus over one
+/// image, and gates that cold-loading beats recompiling decisively.
+fn cmd_artifact_smoke(args: &[String]) -> Result<(), String> {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::time::{Duration, Instant};
+    use sunder::artifact::{corrupt, CompiledDb, MappedDb, SpecParams};
+
+    let flags = Flags { args };
+    // Default to the flagship stride-2 pipeline: the cold-load gate
+    // compares mapping against *recompiling*, and the identity config
+    // (no transform work at all) makes that comparison degenerate.
+    let config = match flags.value("--config") {
+        Some(_) => parse_config(&flags)?,
+        None => sunder::oracle::PipelineConfig::Stride2,
+    };
+    let engine = parse_engine(&flags)?;
+    let shards: usize = parse_num(&flags, "--shards", 4)?;
+    let spec = SpecParams::MaxShards(shards);
+    let scale = if flags.flag("--paper") {
+        Scale::paper()
+    } else {
+        Scale::small()
+    };
+    let dir = match flags.value("--dir") {
+        Some(d) => std::path::PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("sunder-artifact-smoke-{}", std::process::id())),
+    };
+    fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+
+    let mut compile_total = Duration::ZERO;
+    let mut load_total = Duration::ZERO;
+    let mut first_image: Option<Vec<u8>> = None;
+    for bench in Benchmark::ALL.iter().copied() {
+        let w = bench.build(scale);
+        let t = Instant::now();
+        let db = CompiledDb::compile(&w.nfa, config, spec, engine)
+            .map_err(|e| format!("{}: compile: {e}", bench.name()))?;
+        let compile = t.elapsed();
+        let path = dir.join(format!("{}.sdb", bench.name().to_lowercase()));
+        db.write(&path)
+            .map_err(|e| format!("{}: write: {e}", bench.name()))?;
+
+        let t = Instant::now();
+        let mapped = MappedDb::open(&path).map_err(|e| format!("{}: load: {e}", bench.name()))?;
+        let load = t.elapsed();
+
+        let expected = db
+            .parts()
+            .sharded
+            .run_trace(&w.input)
+            .map_err(|e| format!("{}: in-memory run: {e}", bench.name()))?;
+        let actual = mapped
+            .sharded()
+            .run_trace(&w.input)
+            .map_err(|e| format!("{}: mapped run: {e}", bench.name()))?;
+        if actual != expected {
+            return Err(format!(
+                "{}: mapped execution diverged from the in-memory pipeline \
+                 ({} vs {} report events)",
+                bench.name(),
+                actual.len(),
+                expected.len(),
+            ));
+        }
+        println!(
+            "{}\tok\t{} states, {} shards, {} bytes, {} reports; \
+             compile {:.1} ms, cold load {:.2} ms",
+            bench.name(),
+            w.nfa.num_states(),
+            mapped.num_shards(),
+            mapped.file_len(),
+            expected.len(),
+            compile.as_secs_f64() * 1e3,
+            load.as_secs_f64() * 1e3,
+        );
+        compile_total += compile;
+        load_total += load;
+        if first_image.is_none() {
+            first_image = Some(db.to_bytes());
+        }
+    }
+
+    let base = first_image.ok_or("benchmark suite is empty")?;
+    let mutants = corrupt::corpus(&base, 0xC0FFEE);
+    let mut rejected = 0usize;
+    let mut harmless = 0usize;
+    for m in &mutants {
+        match catch_unwind(AssertUnwindSafe(|| MappedDb::load_bytes(&m.bytes))) {
+            Err(_) => {
+                return Err(format!(
+                    "corruption corpus: PANIC on mutant {:?}",
+                    m.description
+                ))
+            }
+            Ok(Err(_)) => rejected += 1,
+            Ok(Ok(_)) if m.must_error => {
+                return Err(format!(
+                    "corruption corpus: mutant {:?} must be rejected but loaded",
+                    m.description
+                ))
+            }
+            Ok(Ok(_)) => harmless += 1,
+        }
+    }
+    println!(
+        "corruption corpus: {} mutants, {rejected} rejected with typed errors, \
+         {harmless} harmless, 0 panics",
+        mutants.len()
+    );
+
+    // The whole point of the format: cold-loading must be decisively
+    // cheaper than recompiling. A 2x bar is far below the real margin
+    // (mmap + validation vs the full pipeline) but robust to CI noise.
+    if load_total * 2 >= compile_total {
+        return Err(format!(
+            "cold-load gate failed: {:.1} ms loading vs {:.1} ms compiling \
+             (need load * 2 < compile)",
+            load_total.as_secs_f64() * 1e3,
+            compile_total.as_secs_f64() * 1e3,
+        ));
+    }
+    println!(
+        "cold-load gate: {:.2} ms load vs {:.1} ms compile ({:.0}x); artifacts in {}",
+        load_total.as_secs_f64() * 1e3,
+        compile_total.as_secs_f64() * 1e3,
+        compile_total.as_secs_f64() / load_total.as_secs_f64().max(1e-9),
+        dir.display(),
+    );
     Ok(())
 }

@@ -22,7 +22,10 @@
 //!   checking, and the structured fuzzer behind the `conformance` binary;
 //! * [`shard`] — the sharded multi-stream execution service: automaton
 //!   partitioning into per-subarray shards, a work-stealing stream
-//!   scheduler, and a content-addressed compiled-pipeline cache.
+//!   scheduler, and a content-addressed compiled-pipeline cache;
+//! * [`artifact`] — zero-copy mmap-able compiled pattern databases
+//!   (`.sdb`): the versioned on-disk format, the corruption-hardened
+//!   validator, and the zero-deserialization loader.
 //!
 //! ```
 //! use sunder::Engine;
@@ -39,6 +42,7 @@
 #![forbid(unsafe_code)]
 
 pub use sunder_arch as arch;
+pub use sunder_artifact as artifact;
 pub use sunder_automata as automata;
 pub use sunder_baselines as baselines;
 pub use sunder_core as core;
